@@ -1,0 +1,88 @@
+// E1 (paper §3): the MINDIST / MINMAXDIST / MAXDIST metrics — worked
+// examples plus a large-scale verification of the bounding theorems.
+
+#include <algorithm>
+#include <cmath>
+
+#include "exp_common.h"
+#include "geom/metrics.h"
+
+namespace spatial {
+namespace bench {
+namespace {
+
+void RunExamples() {
+  Table table({"query", "rect", "MINDIST", "MINMAXDIST", "MAXDIST"});
+  struct Case {
+    Point2 q;
+    Rect2 r;
+  };
+  const Case cases[] = {
+      {{{0.0, 0.0}}, Rect2{{{1, 1}}, {{2, 2}}}},
+      {{{1.5, 1.5}}, Rect2{{{1, 1}}, {{2, 2}}}},   // inside
+      {{{-1.0, 1.0}}, Rect2{{{0, 0}}, {{2, 2}}}},  // facing a side
+      {{{3.0, 1.0}}, Rect2{{{0, 0}}, {{2, 2}}}},
+      {{{5.0, 5.0}}, Rect2{{{0, 0}}, {{1, 1}}}},   // far corner
+  };
+  for (const Case& c : cases) {
+    table.AddRow({c.q.ToString(), c.r.ToString(),
+                  FmtDouble(MinDist(c.q, c.r), 4),
+                  FmtDouble(MinMaxDist(c.q, c.r), 4),
+                  FmtDouble(MaxDist(c.q, c.r), 4)});
+  }
+  PrintTableAndCsv(table);
+}
+
+void RunTheoremSweep() {
+  // Random boxes with objects placed on every face (the MBR face property);
+  // count violations of MINDIST <= d(NN) <= MINMAXDIST <= MAXDIST.
+  Rng rng(kDataSeed);
+  const int kTrials = 200000;
+  int order_violations = 0;
+  int t1_violations = 0;
+  int t2_violations = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const Rect2 r = Rect2::FromCorners(
+        {{rng.Uniform(-10, 10), rng.Uniform(-10, 10)}},
+        {{rng.Uniform(-10, 10), rng.Uniform(-10, 10)}});
+    const Point2 q{{rng.Uniform(-20, 20), rng.Uniform(-20, 20)}};
+    const double min_d = MinDistSq(q, r);
+    const double minmax_d = MinMaxDistSq(q, r);
+    const double max_d = MaxDistSq(q, r);
+    if (min_d > minmax_d || minmax_d > max_d) ++order_violations;
+    double nearest = std::numeric_limits<double>::infinity();
+    for (int dim = 0; dim < 2; ++dim) {
+      for (double coord : {r.lo[dim], r.hi[dim]}) {
+        Point2 obj;
+        obj[dim] = coord;
+        obj[1 - dim] = rng.Uniform(r.lo[1 - dim], r.hi[1 - dim]);
+        nearest = std::min(nearest, SquaredDistance(q, obj));
+        if (SquaredDistance(q, obj) < min_d - 1e-9) ++t1_violations;
+      }
+    }
+    if (nearest > minmax_d + 1e-9) ++t2_violations;
+  }
+  Table table({"theorem", "trials", "violations"});
+  table.AddRow({"MINDIST <= MINMAXDIST <= MAXDIST", FmtInt(kTrials),
+                FmtInt(order_violations)});
+  table.AddRow({"T1: MINDIST lower-bounds objects", FmtInt(kTrials * 4),
+                FmtInt(t1_violations)});
+  table.AddRow({"T2: face object within MINMAXDIST", FmtInt(kTrials),
+                FmtInt(t2_violations)});
+  PrintTableAndCsv(table);
+}
+
+void Run() {
+  PrintHeader("E1", "metrics of the paper: examples and theorem checks");
+  RunExamples();
+  RunTheoremSweep();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace spatial
+
+int main() {
+  spatial::bench::Run();
+  return 0;
+}

@@ -1,0 +1,113 @@
+// E13 (extension): k-closest-pairs distance join and group (aggregate)
+// nearest neighbor — the two classic descendants of the SIGMOD'95
+// branch-and-bound framework — against exhaustive evaluation.
+
+#include <chrono>
+
+#include "core/closest_pairs.h"
+#include "core/group_knn.h"
+#include "exp_common.h"
+#include "geom/metrics.h"
+
+namespace spatial {
+namespace bench {
+namespace {
+
+void RunClosestPairs() {
+  Table table({"N (each side)", "k", "pairs-pages", "heap-pushes", "ms",
+               "brute-ms"});
+  for (size_t n : {1000u, 4000u, 16000u}) {
+    // Disjoint halves of the domain with a thin gap: the regime where the
+    // best-first pair expansion shines.
+    auto left = MakeDataset(Family::kUniform, n, kDataSeed);
+    auto right = MakeDataset(Family::kUniform, n, kDataSeed ^ 0x77);
+    for (auto& e : right) {
+      e.mbr.lo[0] += 1.02;
+      e.mbr.hi[0] += 1.02;
+    }
+    auto outer = Unwrap(
+        BuildTree2D(left, BuildMethod::kBulkStr, kPageSize, kBufferPages),
+        "outer");
+    auto inner = Unwrap(
+        BuildTree2D(right, BuildMethod::kBulkStr, kPageSize, kBufferPages),
+        "inner");
+    for (uint32_t k : {1u, 10u}) {
+      using Clock = std::chrono::steady_clock;
+      QueryStats stats;
+      const auto t0 = Clock::now();
+      auto pairs = Unwrap(ClosestPairs<2>(*outer.tree, *inner.tree, k,
+                                          &stats),
+                          "pairs");
+      const auto t1 = Clock::now();
+      // Brute force for comparison (quadratic).
+      double best = 1e300;
+      const auto b0 = Clock::now();
+      for (const auto& a : left) {
+        for (const auto& b : right) {
+          best = std::min(best, MinDistSq(a.mbr, b.mbr));
+        }
+      }
+      const auto b1 = Clock::now();
+      SPATIAL_CHECK(pairs[0].dist_sq == best);
+      table.AddRow(
+          {FmtInt(n), FmtInt(k), FmtInt(stats.nodes_visited),
+           FmtInt(stats.heap_pushes),
+           FmtDouble(
+               std::chrono::duration<double, std::milli>(t1 - t0).count(),
+               2),
+           FmtDouble(
+               std::chrono::duration<double, std::milli>(b1 - b0).count(),
+               1)});
+    }
+  }
+  PrintTableAndCsv(table);
+}
+
+void RunGroupKnn() {
+  Table table({"group size", "aggregate", "pages/query", "us/query"});
+  auto data = MakeDataset(Family::kUniform, 64000, kDataSeed);
+  auto built = Unwrap(BuildTree2D(data, BuildMethod::kInsertQuadratic,
+                                  kPageSize, kBufferPages),
+                      "build");
+  Rng rng(kQuerySeed);
+  for (size_t group_size : {1u, 2u, 4u, 8u, 16u}) {
+    for (AggregateFn aggregate : {AggregateFn::kSum, AggregateFn::kMax}) {
+      QueryStats stats;
+      double total_us = 0.0;
+      const int kQueries = 100;
+      for (int i = 0; i < kQueries; ++i) {
+        std::vector<Point2> group(group_size);
+        for (auto& q : group) {
+          q = {{rng.Uniform(0.3, 0.7), rng.Uniform(0.3, 0.7)}};
+        }
+        const auto t0 = std::chrono::steady_clock::now();
+        Unwrap(GroupKnnSearch<2>(*built.tree, group, 4, aggregate, &stats),
+               "group knn");
+        const auto t1 = std::chrono::steady_clock::now();
+        total_us +=
+            std::chrono::duration<double, std::micro>(t1 - t0).count();
+      }
+      table.AddRow(
+          {FmtInt(group_size), AggregateFnName(aggregate),
+           FmtDouble(static_cast<double>(stats.nodes_visited) / kQueries, 2),
+           FmtDouble(total_us / kQueries, 1)});
+    }
+  }
+  PrintTableAndCsv(table);
+}
+
+void Run() {
+  PrintHeader("E13",
+              "extensions: k-closest pairs and group (aggregate) k-NN");
+  RunClosestPairs();
+  RunGroupKnn();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace spatial
+
+int main() {
+  spatial::bench::Run();
+  return 0;
+}

@@ -1,0 +1,67 @@
+// E14 (ablation): nearest-neighbor cost vs dimensionality. The paper's
+// algorithm is dimension-generic; this sweep shows the onset of the curse
+// of dimensionality — MBR pruning weakens as D grows because MINDIST
+// concentrates and node MBRs overlap more.
+
+#include "exp_common.h"
+#include "storage/disk_manager.h"
+
+namespace spatial {
+namespace bench {
+namespace {
+
+constexpr size_t kN = 32000;
+constexpr size_t kQueries = 200;
+
+template <int D>
+void RunForDimension(Table* table) {
+  Rng rng(kDataSeed);
+  DiskManager disk(kPageSize);
+  BufferPool pool(&disk, kBufferPages);
+  auto created = RTree<D>::Create(&pool, RTreeOptions{});
+  RTree<D> tree = Unwrap(std::move(created), "create");
+  std::vector<Entry<D>> data;
+  data.reserve(kN);
+  for (uint64_t i = 0; i < kN; ++i) {
+    Point<D> p;
+    for (int dim = 0; dim < D; ++dim) p[dim] = rng.Uniform(0, 1);
+    data.push_back(Entry<D>{Rect<D>::FromPoint(p), i});
+    UnwrapStatus(tree.Insert(data.back().mbr, i), "insert");
+  }
+  Rng query_rng(kQuerySeed);
+  QueryStats total;
+  for (size_t i = 0; i < kQueries; ++i) {
+    Point<D> q;
+    for (int dim = 0; dim < D; ++dim) q[dim] = query_rng.Uniform(0, 1);
+    KnnOptions knn;
+    knn.k = 4;
+    QueryStats stats;
+    Unwrap(KnnSearch<D>(tree, q, knn, &stats), "query");
+    total.Add(stats);
+  }
+  const double nq = static_cast<double>(kQueries);
+  table->AddRow(
+      {FmtInt(D), FmtInt(tree.max_entries()), FmtInt(tree.height()),
+       FmtDouble(static_cast<double>(total.nodes_visited) / nq, 2),
+       FmtDouble(static_cast<double>(total.objects_examined) / nq, 1),
+       FmtDouble(static_cast<double>(total.pruned_s3) / nq, 2)});
+}
+
+void Run() {
+  PrintHeader("E14", "dimensionality sweep (N = 32000, k = 4, uniform)");
+  Table table({"D", "fan-out", "height", "pages/query", "objects/query",
+               "pruned/query"});
+  RunForDimension<2>(&table);
+  RunForDimension<3>(&table);
+  RunForDimension<4>(&table);
+  PrintTableAndCsv(table);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace spatial
+
+int main() {
+  spatial::bench::Run();
+  return 0;
+}

@@ -1,0 +1,50 @@
+// E2 (paper Fig. "NN on synthetic data"): R-tree pages accessed per 1-NN
+// query as a function of dataset cardinality, uniformly distributed points.
+// Expected shape: page accesses grow roughly logarithmically with N.
+
+#include "exp_common.h"
+
+namespace spatial {
+namespace bench {
+namespace {
+
+void Run() {
+  PrintHeader("E2", "page accesses vs dataset size (uniform points, k = 1)");
+  Table table({"N", "height", "pages/query", "p95", "leaf", "internal",
+               "dist-comps", "us/query"});
+  for (size_t n : {2000u, 8000u, 32000u, 128000u, 256000u, 1024000u}) {
+    auto data = MakeDataset(Family::kUniform, n, kDataSeed);
+    auto built = Unwrap(BuildTree2D(data, BuildMethod::kInsertQuadratic,
+                                    kPageSize, kBufferPages),
+                        "build");
+    auto queries = MakeQueries(data);
+    KnnOptions knn;  // k = 1, MINDIST ordering, all strategies (defaults)
+    auto batch = Unwrap(RunKnnBatch(*built.tree, queries, knn), "batch");
+    Percentiles pages;
+    {
+      // Re-run cheaply for the p95 (counters only).
+      for (const Point2& q : queries) {
+        QueryStats stats;
+        Unwrap(KnnSearch<2>(*built.tree, q, knn, &stats), "query");
+        pages.Add(static_cast<double>(stats.nodes_visited));
+      }
+    }
+    table.AddRow({FmtInt(n), FmtInt(built.tree->height()),
+                  FmtDouble(batch.pages.mean(), 2),
+                  FmtDouble(pages.Quantile(0.95), 1),
+                  FmtDouble(batch.leaf_pages.mean(), 2),
+                  FmtDouble(batch.internal_pages.mean(), 2),
+                  FmtDouble(batch.dist_comps.mean(), 1),
+                  FmtDouble(batch.wall_micros.mean(), 1)});
+  }
+  PrintTableAndCsv(table);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace spatial
+
+int main() {
+  spatial::bench::Run();
+  return 0;
+}

@@ -1,0 +1,44 @@
+// E3 (paper Fig. "NN on real/TIGER data"): pages accessed per 1-NN query vs
+// dataset cardinality on the synthetic TIGER-like street data (see the
+// substitution note in DESIGN.md). Expected shape: logarithmic growth, with
+// slightly higher counts than uniform data at equal N due to skew.
+
+#include "exp_common.h"
+
+namespace spatial {
+namespace bench {
+namespace {
+
+void Run() {
+  PrintHeader("E3",
+              "page accesses vs dataset size (TIGER-like street data, k=1)");
+  Table table({"N", "family", "height", "pages/query", "leaf", "internal",
+               "us/query"});
+  for (size_t n : {2000u, 8000u, 32000u, 128000u, 256000u}) {
+    for (Family family : {Family::kTigerLike, Family::kUniform}) {
+      auto data = MakeDataset(family, n, kDataSeed);
+      auto built = Unwrap(BuildTree2D(data, BuildMethod::kInsertQuadratic,
+                                      kPageSize, kBufferPages),
+                          "build");
+      auto queries = MakeQueries(data);
+      auto batch =
+          Unwrap(RunKnnBatch(*built.tree, queries, KnnOptions{}), "batch");
+      table.AddRow({FmtInt(n), FamilyName(family),
+                    FmtInt(built.tree->height()),
+                    FmtDouble(batch.pages.mean(), 2),
+                    FmtDouble(batch.leaf_pages.mean(), 2),
+                    FmtDouble(batch.internal_pages.mean(), 2),
+                    FmtDouble(batch.wall_micros.mean(), 1)});
+    }
+  }
+  PrintTableAndCsv(table);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace spatial
+
+int main() {
+  spatial::bench::Run();
+  return 0;
+}

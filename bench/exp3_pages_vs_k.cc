@@ -1,0 +1,45 @@
+// E4 (paper Fig. "kNN queries"): pages accessed per query as k grows,
+// on uniform and TIGER-like data at fixed N. Expected shape: sub-linear
+// growth in k (the paper sweeps k up to ~25).
+
+#include "exp_common.h"
+
+namespace spatial {
+namespace bench {
+namespace {
+
+constexpr size_t kN = 64000;
+
+void Run() {
+  PrintHeader("E4", "page accesses vs k (N = 64000)");
+  Table table({"k", "family", "pages/query", "leaf", "internal",
+               "objects", "us/query"});
+  for (Family family : {Family::kUniform, Family::kTigerLike}) {
+    auto data = MakeDataset(family, kN, kDataSeed);
+    auto built = Unwrap(BuildTree2D(data, BuildMethod::kInsertQuadratic,
+                                    kPageSize, kBufferPages),
+                        "build");
+    auto queries = MakeQueries(data);
+    for (uint32_t k : {1u, 2u, 4u, 8u, 12u, 16u, 20u, 25u}) {
+      KnnOptions knn;
+      knn.k = k;
+      auto batch = Unwrap(RunKnnBatch(*built.tree, queries, knn), "batch");
+      table.AddRow({FmtInt(k), FamilyName(family),
+                    FmtDouble(batch.pages.mean(), 2),
+                    FmtDouble(batch.leaf_pages.mean(), 2),
+                    FmtDouble(batch.internal_pages.mean(), 2),
+                    FmtDouble(batch.objects.mean(), 1),
+                    FmtDouble(batch.wall_micros.mean(), 1)});
+    }
+  }
+  PrintTableAndCsv(table);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace spatial
+
+int main() {
+  spatial::bench::Run();
+  return 0;
+}

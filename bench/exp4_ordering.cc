@@ -1,0 +1,49 @@
+// E5 (paper §5 discussion): effect of the Active-Branch-List ordering.
+// The paper compares ordering the ABL by MINDIST vs MINMAXDIST and finds
+// MINDIST superior for the depth-first traversal; unordered traversal
+// isolates the contribution of ordering itself.
+
+#include "exp_common.h"
+
+namespace spatial {
+namespace bench {
+namespace {
+
+constexpr size_t kN = 64000;
+
+void Run() {
+  PrintHeader("E5", "ABL ordering: MINDIST vs MINMAXDIST vs none (N=64000)");
+  Table table({"ordering", "k", "family", "pages/query", "pruned-s3/query",
+               "us/query"});
+  for (Family family : {Family::kUniform, Family::kTigerLike}) {
+    auto data = MakeDataset(family, kN, kDataSeed);
+    auto built = Unwrap(BuildTree2D(data, BuildMethod::kInsertQuadratic,
+                                    kPageSize, kBufferPages),
+                        "build");
+    auto queries = MakeQueries(data);
+    for (AblOrdering ordering :
+         {AblOrdering::kMinDist, AblOrdering::kMinMaxDist,
+          AblOrdering::kNone}) {
+      for (uint32_t k : {1u, 4u, 16u}) {
+        KnnOptions knn;
+        knn.ordering = ordering;
+        knn.k = k;
+        auto batch = Unwrap(RunKnnBatch(*built.tree, queries, knn), "batch");
+        table.AddRow({AblOrderingName(ordering), FmtInt(k),
+                      FamilyName(family), FmtDouble(batch.pages.mean(), 2),
+                      FmtDouble(batch.pruned_s3.mean(), 2),
+                      FmtDouble(batch.wall_micros.mean(), 1)});
+      }
+    }
+  }
+  PrintTableAndCsv(table);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace spatial
+
+int main() {
+  spatial::bench::Run();
+  return 0;
+}

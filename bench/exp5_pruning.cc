@@ -1,0 +1,71 @@
+// E6 (paper §4): ablation of the three pruning strategies for k = 1.
+// Expected: S3 (upward pruning by the current NN distance) provides nearly
+// all the pruning; S1/S2 (MINMAXDIST-based) add little on top but are cheap.
+// Every configuration returns the exact answer (verified in the tests).
+
+#include "exp_common.h"
+
+namespace spatial {
+namespace bench {
+namespace {
+
+constexpr size_t kN = 64000;
+
+struct Config {
+  const char* name;
+  bool s1, s2, s3;
+};
+
+void Run() {
+  PrintHeader("E6", "pruning strategy ablation (k = 1, N = 64000)");
+  const Config configs[] = {
+      {"none", false, false, false},
+      {"s1", true, false, false},
+      {"s2", false, true, false},
+      {"s1+s2", true, true, false},
+      {"s3", false, false, true},
+      {"s3+s1", true, false, true},
+      {"s3+s2", false, true, true},
+      {"s3+s1+s2 (paper)", true, true, true},
+  };
+  Table table({"strategies", "family", "pages/query", "pruned-s1",
+               "s2-updates", "pruned-s3", "us/query"});
+  for (Family family : {Family::kUniform, Family::kTigerLike}) {
+    auto data = MakeDataset(family, kN, kDataSeed);
+    auto built = Unwrap(BuildTree2D(data, BuildMethod::kInsertQuadratic,
+                                    kPageSize, kBufferPages),
+                        "build");
+    // The "none" configuration touches every page; use fewer queries to
+    // keep the runtime in check, the mean is stable anyway.
+    auto queries = MakeQueries(data, /*n=*/50);
+    for (const Config& config : configs) {
+      KnnOptions knn;
+      knn.use_s1 = config.s1;
+      knn.use_s2 = config.s2;
+      knn.use_s3 = config.s3;
+      auto batch = Unwrap(RunKnnBatch(*built.tree, queries, knn), "batch");
+      const double n_queries = static_cast<double>(queries.size());
+      table.AddRow(
+          {config.name, FamilyName(family),
+           FmtDouble(batch.pages.mean(), 2),
+           FmtDouble(static_cast<double>(batch.totals.pruned_s1) / n_queries,
+                     2),
+           FmtDouble(static_cast<double>(batch.totals.estimate_updates_s2) /
+                         n_queries,
+                     2),
+           FmtDouble(static_cast<double>(batch.totals.pruned_s3) / n_queries,
+                     2),
+           FmtDouble(batch.wall_micros.mean(), 1)});
+    }
+  }
+  PrintTableAndCsv(table);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace spatial
+
+int main() {
+  spatial::bench::Run();
+  return 0;
+}

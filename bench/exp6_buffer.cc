@@ -1,0 +1,73 @@
+// E7: effect of the buffer pool on physical I/O. Logical page accesses (the
+// paper's cost metric) are buffer-independent; physical reads collapse once
+// the hot upper levels of the tree fit in the buffer.
+
+#include "storage/disk_manager.h"
+#include "exp_common.h"
+#include "rtree/bulk_load.h"
+
+namespace spatial {
+namespace bench {
+namespace {
+
+constexpr size_t kN = 64000;
+
+void Run() {
+  PrintHeader("E7", "buffer pool size vs physical I/O (N = 64000, k = 1)");
+
+  // Build once on a large pool, flush, then re-query through pools of
+  // different sizes over the same on-disk tree.
+  auto data = MakeDataset(Family::kUniform, kN, kDataSeed);
+  DiskManager disk(kPageSize);
+  PageId root = kInvalidPageId;
+  uint64_t total_pages = 0;
+  {
+    BufferPool pool(&disk, kBufferPages);
+    auto tree = Unwrap(
+        BulkLoad<2>(&pool, RTreeOptions{}, data, BulkLoadMethod::kStr),
+        "bulk load");
+    UnwrapStatus(pool.FlushAll(), "flush");
+    root = tree.root_page();
+    total_pages = disk.live_pages();
+  }
+  auto queries = MakeQueries(data, 500);
+
+  Table table({"buffer[pages]", "policy", "logical/query",
+               "physical/query", "hit-rate", "evictions/query"});
+  for (uint32_t buffer_pages : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u, 256u,
+                                512u, 1024u}) {
+    for (EvictionPolicy policy :
+         {EvictionPolicy::kLru, EvictionPolicy::kClock}) {
+      BufferPool pool(&disk, buffer_pages, policy);
+      auto tree =
+          Unwrap(RTree<2>::Open(&pool, RTreeOptions{}, root), "open");
+      pool.ResetStats();
+      disk.ResetStats();
+      KnnOptions knn;
+      for (const Point2& q : queries) {
+        Unwrap(KnnSearch<2>(tree, q, knn, nullptr), "query");
+      }
+      const double n = static_cast<double>(queries.size());
+      table.AddRow(
+          {FmtInt(buffer_pages), EvictionPolicyName(policy),
+           FmtDouble(static_cast<double>(pool.stats().logical_fetches) / n,
+                     2),
+           FmtDouble(static_cast<double>(disk.stats().physical_reads) / n,
+                     2),
+           FmtDouble(pool.stats().HitRate(), 3),
+           FmtDouble(static_cast<double>(pool.stats().evictions) / n, 2)});
+    }
+  }
+  std::printf("tree occupies %llu pages on disk\n\n",
+              static_cast<unsigned long long>(total_pages));
+  PrintTableAndCsv(table);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace spatial
+
+int main() {
+  spatial::bench::Run();
+  return 0;
+}

@@ -1,0 +1,58 @@
+// E9: build-method ablation. How the index construction method (dynamic
+// inserts with linear/quadratic/R* splits, or STR/Hilbert/Morton packing)
+// affects NN page accesses. Expected: packed trees need fewer pages than
+// dynamic ones; quadratic beats linear; R* is the best dynamic variant.
+
+#include <chrono>
+
+#include "exp_common.h"
+#include "rtree/validator.h"
+
+namespace spatial {
+namespace bench {
+namespace {
+
+constexpr size_t kN = 64000;
+
+void Run() {
+  PrintHeader("E9", "tree construction ablation under NN load (N = 64000)");
+  Table table({"build", "family", "build-ms", "height", "nodes", "leaf-fill",
+               "overlap", "pages/query", "us/query"});
+  for (Family family : {Family::kUniform, Family::kTigerLike}) {
+    auto data = MakeDataset(family, kN, kDataSeed);
+    auto queries = MakeQueries(data);
+    for (BuildMethod method :
+         {BuildMethod::kInsertLinear, BuildMethod::kInsertQuadratic,
+          BuildMethod::kInsertRStar, BuildMethod::kBulkStr,
+          BuildMethod::kBulkHilbert, BuildMethod::kBulkMorton}) {
+      const auto start = std::chrono::steady_clock::now();
+      auto built =
+          Unwrap(BuildTree2D(data, method, kPageSize, kBufferPages), "build");
+      const auto stop = std::chrono::steady_clock::now();
+      const double build_ms =
+          std::chrono::duration<double, std::milli>(stop - start).count();
+      auto report =
+          Unwrap(ValidateTree<2>(*built.tree, /*check_min_fill=*/false),
+                 "validate");
+      KnnOptions knn;
+      knn.k = 4;
+      auto batch = Unwrap(RunKnnBatch(*built.tree, queries, knn), "batch");
+      table.AddRow({BuildMethodName(method), FamilyName(family),
+                    FmtDouble(build_ms, 1), FmtInt(report.height),
+                    FmtInt(report.nodes), FmtDouble(report.avg_leaf_fill, 3),
+                    FmtDouble(report.total_sibling_overlap(), 3),
+                    FmtDouble(batch.pages.mean(), 2),
+                    FmtDouble(batch.wall_micros.mean(), 1)});
+    }
+  }
+  PrintTableAndCsv(table);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace spatial
+
+int main() {
+  spatial::bench::Run();
+  return 0;
+}

@@ -1,0 +1,44 @@
+// E10 (ablation): effect of the page size — i.e., of the node fan-out — on
+// NN cost. Mid-1990s pages were 1-2 KiB; modern systems use 4-8 KiB.
+// Expected: larger pages -> higher fan-out -> shallower trees and fewer
+// page accesses per query, but more bytes transferred per access.
+
+#include "exp_common.h"
+#include "storage/disk_manager.h"
+
+namespace spatial {
+namespace bench {
+namespace {
+
+constexpr size_t kN = 64000;
+
+void Run() {
+  PrintHeader("E10", "page size / fan-out ablation (N = 64000, k = 4)");
+  Table table({"page[B]", "fan-out", "height", "pages/query", "KiB/query",
+               "us/query"});
+  auto data = MakeDataset(Family::kUniform, kN, kDataSeed);
+  for (uint32_t page_size : {512u, 1024u, 2048u, 4096u, 8192u}) {
+    auto built = Unwrap(BuildTree2D(data, BuildMethod::kInsertQuadratic,
+                                    page_size, kBufferPages),
+                        "build");
+    auto queries = MakeQueries(data);
+    KnnOptions knn;
+    knn.k = 4;
+    auto batch = Unwrap(RunKnnBatch(*built.tree, queries, knn), "batch");
+    table.AddRow(
+        {FmtInt(page_size), FmtInt(built.tree->max_entries()),
+         FmtInt(built.tree->height()), FmtDouble(batch.pages.mean(), 2),
+         FmtDouble(batch.pages.mean() * page_size / 1024.0, 1),
+         FmtDouble(batch.wall_micros.mean(), 1)});
+  }
+  PrintTableAndCsv(table);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace spatial
+
+int main() {
+  spatial::bench::Run();
+  return 0;
+}

@@ -1,0 +1,114 @@
+#ifndef SPATIAL_BENCH_EXP_COMMON_H_
+#define SPATIAL_BENCH_EXP_COMMON_H_
+
+// Shared setup for the experiment binaries (one binary per reproduced
+// table/figure; see DESIGN.md §4 and EXPERIMENTS.md).
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util/experiment.h"
+#include "bench_util/table.h"
+#include "common/rng.h"
+#include "data/clustered.h"
+#include "data/dataset.h"
+#include "data/tiger_like.h"
+#include "data/uniform.h"
+#include "data/workload.h"
+
+namespace spatial {
+namespace bench {
+
+// The experiment configuration mirrors the SIGMOD'95 testbed: 1 KiB pages
+// (mid-1990s disk pages) and query points drawn uniformly from the data
+// domain. The buffer is sized so that the paper's metric (logical page
+// accesses) is unaffected by caching; E7 varies the buffer explicitly.
+inline constexpr uint32_t kPageSize = 1024;
+inline constexpr uint32_t kBufferPages = 4096;
+inline constexpr uint64_t kDataSeed = 19950523;   // SIGMOD'95 San Jose
+inline constexpr uint64_t kQuerySeed = 777;
+inline constexpr size_t kQueriesPerPoint = 200;
+
+enum class Family { kUniform, kTigerLike, kClustered };
+
+inline const char* FamilyName(Family family) {
+  switch (family) {
+    case Family::kUniform:
+      return "uniform";
+    case Family::kTigerLike:
+      return "tiger-like";
+    case Family::kClustered:
+      return "clustered";
+  }
+  return "unknown";
+}
+
+inline std::vector<Entry<2>> MakeDataset(Family family, size_t n,
+                                         uint64_t seed) {
+  Rng rng(seed);
+  switch (family) {
+    case Family::kUniform:
+      return MakePointEntries(GenerateUniform<2>(n, UnitBounds<2>(), &rng));
+    case Family::kTigerLike: {
+      auto network =
+          GenerateTigerLike(n, UnitBounds<2>(), TigerLikeOptions{}, &rng);
+      auto points = SegmentMidpoints(network.segments);
+      points.resize(n);  // generator may slightly overshoot
+      return MakePointEntries(points);
+    }
+    case Family::kClustered:
+      return MakePointEntries(
+          GenerateClustered<2>(n, UnitBounds<2>(), ClusteredOptions{}, &rng));
+  }
+  return {};
+}
+
+inline std::vector<Point2> MakeQueries(const std::vector<Entry<2>>& data,
+                                       size_t n = kQueriesPerPoint,
+                                       uint64_t seed = kQuerySeed) {
+  Rng rng(seed);
+  return GenerateQueries<2>(data, n, QueryDistribution::kUniform, 0.0, &rng);
+}
+
+inline void PrintHeader(const char* experiment_id, const char* title) {
+  std::printf("================================================================\n");
+  std::printf("%s: %s\n", experiment_id, title);
+  std::printf("page size %u B, buffer %u pages, %zu queries/point, "
+              "data seed %llu, query seed %llu\n",
+              kPageSize, kBufferPages, kQueriesPerPoint,
+              static_cast<unsigned long long>(kDataSeed),
+              static_cast<unsigned long long>(kQuerySeed));
+  std::printf("================================================================\n");
+}
+
+inline void PrintTableAndCsv(const Table& table) {
+  table.Print(std::cout);
+  std::printf("\n--- CSV ---\n");
+  table.PrintCsv(std::cout);
+  std::printf("\n");
+}
+
+// Dies with a message on error — experiment binaries have no recovery path.
+template <typename T>
+T Unwrap(Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", what,
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+inline void UnwrapStatus(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", what, status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+}  // namespace bench
+}  // namespace spatial
+
+#endif  // SPATIAL_BENCH_EXP_COMMON_H_

@@ -1,0 +1,91 @@
+// Tuning tour: how the knobs of the SIGMOD'95 search (ABL ordering,
+// pruning strategies, k) and the index layout (split algorithm vs packing)
+// change the cost of a query on YOUR data — a miniature, single-dataset
+// version of the full experiment suite in bench/.
+//
+//   $ ./build/examples/knn_tuning
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util/experiment.h"
+#include "bench_util/table.h"
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "data/uniform.h"
+#include "data/workload.h"
+
+int main() {
+  using namespace spatial;
+  Rng rng(7);
+  auto data =
+      MakePointEntries(GenerateUniform<2>(20000, UnitBounds<2>(), &rng));
+  auto queries =
+      GenerateQueries<2>(data, 100, QueryDistribution::kUniform, 0.0, &rng);
+
+  auto run = [&](const RTree<2>& tree, const KnnOptions& options) {
+    auto batch = RunKnnBatch(tree, queries, options);
+    return batch.ok() ? batch->pages.mean() : -1.0;
+  };
+
+  // --- Knob 1: ABL ordering -------------------------------------------
+  {
+    auto built = BuildTree2D(data, BuildMethod::kInsertQuadratic, 1024, 512);
+    if (!built.ok()) return 1;
+    Table table({"ordering", "pages/query (k=4)"});
+    for (AblOrdering ordering :
+         {AblOrdering::kMinDist, AblOrdering::kMinMaxDist,
+          AblOrdering::kNone}) {
+      KnnOptions options;
+      options.k = 4;
+      options.ordering = ordering;
+      table.AddRow({AblOrderingName(ordering),
+                    FmtDouble(run(*built->tree, options), 2)});
+    }
+    std::printf("Active Branch List ordering (paper: use MINDIST):\n");
+    table.Print(std::cout);
+  }
+
+  // --- Knob 2: pruning strategies --------------------------------------
+  {
+    auto built = BuildTree2D(data, BuildMethod::kInsertQuadratic, 1024, 512);
+    if (!built.ok()) return 1;
+    Table table({"strategies", "pages/query (k=1)"});
+    const struct {
+      const char* name;
+      bool s1, s2, s3;
+    } configs[] = {
+        {"all off (full traversal)", false, false, false},
+        {"S3 only", false, false, true},
+        {"S1+S2+S3 (paper)", true, true, true},
+    };
+    for (const auto& config : configs) {
+      KnnOptions options;
+      options.use_s1 = config.s1;
+      options.use_s2 = config.s2;
+      options.use_s3 = config.s3;
+      table.AddRow(
+          {config.name, FmtDouble(run(*built->tree, options), 2)});
+    }
+    std::printf("\nPruning strategies:\n");
+    table.Print(std::cout);
+  }
+
+  // --- Knob 3: index construction --------------------------------------
+  {
+    Table table({"build method", "pages/query (k=4)"});
+    for (BuildMethod method :
+         {BuildMethod::kInsertLinear, BuildMethod::kInsertQuadratic,
+          BuildMethod::kInsertRStar, BuildMethod::kBulkHilbert}) {
+      auto built = BuildTree2D(data, method, 1024, 512);
+      if (!built.ok()) return 1;
+      KnnOptions options;
+      options.k = 4;
+      table.AddRow({BuildMethodName(method),
+                    FmtDouble(run(*built->tree, options), 2)});
+    }
+    std::printf("\nIndex construction (same data, same queries):\n");
+    table.Print(std::cout);
+  }
+  return 0;
+}

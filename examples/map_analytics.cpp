@@ -1,0 +1,117 @@
+// Map analytics: the extension APIs working together on one scene —
+// a spatial join (which bus stops lie on which streets), constrained k-NN
+// (closest stops inside the visible viewport), farthest neighbors
+// (coverage extremes), and incremental distance browsing.
+//
+//   $ ./build/examples/map_analytics
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "core/constrained.h"
+#include "core/farthest.h"
+#include "core/incremental.h"
+#include "core/spatial_join.h"
+#include "data/dataset.h"
+#include "data/tiger_like.h"
+#include "data/uniform.h"
+#include "rtree/bulk_load.h"
+#include "storage/disk_manager.h"
+#include "storage/heap_file.h"
+
+int main() {
+  using namespace spatial;
+  DiskManager disk(1024);
+  BufferPool pool(&disk, 1024);
+  Rng rng(42);
+
+  // Streets (extended objects) and bus stops (points), separate indexes.
+  auto network =
+      GenerateTigerLike(20000, UnitBounds<2>(), TigerLikeOptions{}, &rng);
+  auto streets = SegmentsToEntries(network.segments);
+  auto stops =
+      MakePointEntries(GenerateUniform<2>(800, UnitBounds<2>(), &rng));
+
+  auto street_tree = BulkLoad<2>(&pool, RTreeOptions{}, streets,
+                                 BulkLoadMethod::kHilbert);
+  auto stop_tree =
+      BulkLoad<2>(&pool, RTreeOptions{}, stops, BulkLoadMethod::kStr);
+  if (!street_tree.ok() || !stop_tree.ok()) {
+    std::fprintf(stderr, "index build failed\n");
+    return 1;
+  }
+  std::printf("indexed %zu streets and %zu bus stops\n", streets.size(),
+              stops.size());
+
+  // 1. Spatial join: stop-MBR x street-MBR overlaps (candidate matches of
+  //    a map-matching pipeline).
+  std::vector<JoinPair> matches;
+  JoinStats join_stats;
+  if (!SpatialJoin<2>(*stop_tree, *street_tree, &matches, &join_stats)
+           .ok()) {
+    std::fprintf(stderr, "join failed\n");
+    return 1;
+  }
+  std::printf("join: %zu stop/street candidate pairs "
+              "(%llu pages, %llu comparisons)\n",
+              matches.size(),
+              static_cast<unsigned long long>(join_stats.pages_outer +
+                                              join_stats.pages_inner),
+              static_cast<unsigned long long>(join_stats.comparisons));
+
+  // 2. Constrained k-NN: closest stops inside the visible viewport.
+  const Rect2 viewport{{{0.40, 0.40}}, {{0.60, 0.60}}};
+  const Point2 user{{0.45, 0.52}};
+  KnnOptions options;
+  options.k = 3;
+  auto visible =
+      ConstrainedKnnSearch<2>(*stop_tree, user, viewport, options, nullptr);
+  if (!visible.ok()) return 1;
+  std::printf("3 closest stops inside the viewport:");
+  for (const Neighbor& n : *visible) {
+    const Point2 p = stops[n.id].mbr.Center();
+    std::printf("  (%.3f, %.3f)", p[0], p[1]);
+  }
+  std::printf("\n");
+
+  // 3. Farthest neighbors: the stops a depot at the center covers worst.
+  auto extremes = FarthestSearch<2>(*stop_tree, {{0.5, 0.5}}, 3, nullptr);
+  if (!extremes.ok()) return 1;
+  std::printf("3 stops farthest from a central depot:");
+  for (const Neighbor& n : *extremes) {
+    std::printf("  d=%.3f", std::sqrt(n.dist_sq));
+  }
+  std::printf("\n");
+
+  // 4. Payloads: the index stores geometry + ids; the actual stop records
+  //    (names here) live in a slotted-page heap file on the same pool.
+  auto heap = HeapFile::Create(&pool);
+  if (!heap.ok()) return 1;
+  std::vector<RecordId> stop_records(stops.size());
+  for (size_t i = 0; i < stops.size(); ++i) {
+    auto rid = heap->Append("stop #" + std::to_string(i) +
+                            (i % 2 == 0 ? " (accessible)" : ""));
+    if (!rid.ok()) return 1;
+    stop_records[i] = *rid;
+  }
+
+  // 5. Distance browsing: walk outward from the user until a stop with an
+  //    even id (an accessible stop, per the records) appears — k is
+  //    unknown up front.
+  IncrementalKnn<2> browse(*stop_tree, user, nullptr);
+  int examined = 0;
+  for (;;) {
+    auto next = browse.Next();
+    if (!next.ok() || !next->has_value()) break;
+    ++examined;
+    if ((*next)->id % 2 == 0) {
+      auto record = heap->Read(stop_records[(*next)->id]);
+      std::printf("first accessible stop is \"%s\" at distance %.3f "
+                  "(%d stops browsed)\n",
+                  record.ok() ? record->c_str() : "?",
+                  std::sqrt((*next)->dist_sq), examined);
+      break;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,102 @@
+// POI finder: the paper's motivating scenario. A synthetic city holds
+// thousands of points of interest in several categories; users issue
+// interactive "k closest pharmacies to me" queries. One R-tree per
+// category, built once; each query is a branch-and-bound k-NN search.
+//
+//   $ ./build/examples/poi_finder
+
+#include <cstdio>
+#include <optional>
+#include <vector>
+
+#include "storage/disk_manager.h"
+#include "common/rng.h"
+#include "core/knn.h"
+#include "data/clustered.h"
+#include "data/dataset.h"
+#include "data/uniform.h"
+#include "rtree/bulk_load.h"
+
+namespace {
+
+using namespace spatial;
+
+struct Category {
+  const char* name;
+  size_t count;
+  uint32_t clusters;  // how concentrated the category is in the city
+};
+
+struct CategoryIndex {
+  std::optional<RTree<2>> tree;
+  std::vector<Point2> locations;
+};
+
+constexpr Category kCategories[] = {
+    {"restaurant", 4000, 24},
+    {"pharmacy", 600, 40},
+    {"fuel station", 350, 60},
+    {"hospital", 40, 8},
+};
+
+}  // namespace
+
+int main() {
+  DiskManager disk(1024);
+  BufferPool pool(&disk, 1024);
+  Rng rng(2024);
+
+  // Build one packed index per category. Different categories cluster
+  // differently: restaurants crowd downtown, fuel stations spread out.
+  std::vector<CategoryIndex> indexes;
+  for (const Category& category : kCategories) {
+    ClusteredOptions distribution;
+    distribution.num_clusters = category.clusters;
+    distribution.sigma_fraction = 0.05;
+    CategoryIndex index;
+    index.locations = GenerateClustered<2>(category.count, UnitBounds<2>(),
+                                           distribution, &rng);
+    auto loaded = BulkLoad<2>(&pool, RTreeOptions{},
+                              MakePointEntries(index.locations),
+                              BulkLoadMethod::kHilbert);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "index build failed: %s\n",
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    index.tree.emplace(std::move(loaded).value());
+    indexes.push_back(std::move(index));
+    std::printf("indexed %5zu %-12s (tree height %d)\n", category.count,
+                category.name, indexes.back().tree->height());
+  }
+
+  // A user wanders through the city and asks for the closest POIs.
+  const Point2 user_positions[] = {
+      {{0.52, 0.48}},  // downtown
+      {{0.05, 0.93}},  // suburb corner
+      {{0.80, 0.20}},
+  };
+  for (const Point2& user : user_positions) {
+    std::printf("\nuser at (%.2f, %.2f):\n", user[0], user[1]);
+    for (size_t c = 0; c < indexes.size(); ++c) {
+      KnnOptions options;
+      options.k = 3;
+      QueryStats stats;
+      auto result = KnnSearch<2>(*indexes[c].tree, user, options, &stats);
+      if (!result.ok()) {
+        std::fprintf(stderr, "query failed: %s\n",
+                     result.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("  closest %-12s:", kCategories[c].name);
+      for (const Neighbor& n : *result) {
+        const Point2& p = indexes[c].locations[n.id];
+        std::printf("  (%.3f, %.3f) d=%.3f", p[0], p[1],
+                    std::sqrt(n.dist_sq));
+      }
+      std::printf("   [%llu pages]\n",
+                  static_cast<unsigned long long>(stats.nodes_visited));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,158 @@
+#include "baselines/grid_file.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/macros.h"
+#include "geom/metrics.h"
+
+namespace spatial {
+
+template <int D>
+GridFile<D>::GridFile(std::vector<Entry<D>> objects, uint32_t cells_per_dim)
+    : objects_(std::move(objects)), cells_per_dim_(cells_per_dim) {
+  SPATIAL_CHECK(cells_per_dim_ >= 1);
+  bounds_ = Rect<D>::Empty();
+  for (const Entry<D>& e : objects_) bounds_.ExpandToInclude(e.mbr);
+  if (objects_.empty()) {
+    // Arbitrary unit bounds keep the arithmetic well-defined.
+    for (int i = 0; i < D; ++i) {
+      bounds_.lo[i] = 0.0;
+      bounds_.hi[i] = 1.0;
+    }
+  }
+  for (int i = 0; i < D; ++i) {
+    double width = bounds_.hi[i] - bounds_.lo[i];
+    if (width <= 0.0) width = 1.0;
+    cell_width_[i] = width / static_cast<double>(cells_per_dim_);
+  }
+  cells_.resize(num_cells());
+  for (uint32_t i = 0; i < objects_.size(); ++i) {
+    int32_t cell[D];
+    CellOf(objects_[i].mbr.Center(), cell);
+    cells_[CellIndex(cell)].push_back(i);
+  }
+}
+
+template <int D>
+uint64_t GridFile<D>::num_cells() const {
+  uint64_t n = 1;
+  for (int i = 0; i < D; ++i) n *= cells_per_dim_;
+  return n;
+}
+
+template <int D>
+size_t GridFile<D>::CellIndex(const int32_t (&cell)[D]) const {
+  size_t index = 0;
+  for (int i = 0; i < D; ++i) {
+    SPATIAL_DCHECK(cell[i] >= 0 &&
+                   cell[i] < static_cast<int32_t>(cells_per_dim_));
+    index = index * cells_per_dim_ + static_cast<size_t>(cell[i]);
+  }
+  return index;
+}
+
+template <int D>
+void GridFile<D>::CellOf(const Point<D>& p, int32_t (&cell)[D]) const {
+  for (int i = 0; i < D; ++i) {
+    const double offset = (p[i] - bounds_.lo[i]) / cell_width_[i];
+    int32_t c = static_cast<int32_t>(std::floor(offset));
+    c = std::clamp<int32_t>(c, 0, static_cast<int32_t>(cells_per_dim_) - 1);
+    cell[i] = c;
+  }
+}
+
+template <int D>
+Rect<D> GridFile<D>::CellRect(const int32_t (&cell)[D]) const {
+  Rect<D> r;
+  for (int i = 0; i < D; ++i) {
+    r.lo[i] = bounds_.lo[i] + cell[i] * cell_width_[i];
+    r.hi[i] = r.lo[i] + cell_width_[i];
+  }
+  return r;
+}
+
+template <int D>
+void GridFile<D>::ScanShell(const Point<D>& query, const int32_t (&center)[D],
+                            int32_t radius, NeighborBuffer* buffer,
+                            GridQueryStats* stats) const {
+  // Enumerate the box [center - radius, center + radius]^D clipped to the
+  // grid and keep only cells on the shell (Chebyshev distance == radius).
+  int32_t cell[D];
+  int32_t lo[D], hi[D];
+  for (int i = 0; i < D; ++i) {
+    lo[i] = std::max<int32_t>(0, center[i] - radius);
+    hi[i] = std::min<int32_t>(static_cast<int32_t>(cells_per_dim_) - 1,
+                              center[i] + radius);
+    if (lo[i] > hi[i]) return;  // box fully outside the grid
+    cell[i] = lo[i];
+  }
+  for (;;) {
+    int32_t chebyshev = 0;
+    for (int i = 0; i < D; ++i) {
+      chebyshev = std::max(chebyshev, std::abs(cell[i] - center[i]));
+    }
+    if (chebyshev == radius) {
+      if (stats != nullptr) ++stats->cells_examined;
+      for (const uint32_t idx : cells_[CellIndex(cell)]) {
+        if (stats != nullptr) ++stats->objects_examined;
+        buffer->Offer(objects_[idx].id,
+                      ObjectDistSq(query, objects_[idx].mbr));
+      }
+    }
+    // Odometer increment.
+    int i = D - 1;
+    for (; i >= 0; --i) {
+      if (cell[i] < hi[i]) {
+        ++cell[i];
+        break;
+      }
+      cell[i] = lo[i];
+    }
+    if (i < 0) break;
+  }
+}
+
+template <int D>
+Result<std::vector<Neighbor>> GridFile<D>::Knn(const Point<D>& query,
+                                               uint32_t k,
+                                               GridQueryStats* stats) const {
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  NeighborBuffer buffer(k);
+  if (objects_.empty()) return buffer.TakeSorted();
+
+  int32_t center[D];
+  CellOf(query, center);
+
+  const int32_t max_radius = static_cast<int32_t>(cells_per_dim_);
+  for (int32_t radius = 0; radius <= max_radius; ++radius) {
+    ScanShell(query, center, radius, &buffer, stats);
+    if (stats != nullptr) ++stats->shells_expanded;
+    if (!buffer.full()) continue;
+    // Every unvisited cell lies outside the box of shells <= radius; the
+    // distance from the query to that box's boundary lower-bounds every
+    // remaining object. (If the query sits outside the box in some
+    // dimension the bound degrades to zero in that term, which is safe.)
+    int32_t cell_lo[D], cell_hi[D];
+    for (int i = 0; i < D; ++i) {
+      cell_lo[i] = center[i] - radius;
+      cell_hi[i] = center[i] + radius;
+    }
+    double bound = std::numeric_limits<double>::infinity();
+    for (int i = 0; i < D; ++i) {
+      const double box_lo = bounds_.lo[i] + cell_lo[i] * cell_width_[i];
+      const double box_hi = bounds_.lo[i] + (cell_hi[i] + 1) * cell_width_[i];
+      bound = std::min(bound, query[i] - box_lo);
+      bound = std::min(bound, box_hi - query[i]);
+    }
+    bound = std::max(bound, 0.0);
+    if (bound * bound >= buffer.WorstDistSq()) break;
+  }
+  return buffer.TakeSorted();
+}
+
+template class GridFile<2>;
+template class GridFile<3>;
+
+}  // namespace spatial

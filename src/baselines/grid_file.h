@@ -1,0 +1,72 @@
+#ifndef SPATIAL_BASELINES_GRID_FILE_H_
+#define SPATIAL_BASELINES_GRID_FILE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "core/neighbor_buffer.h"
+#include "geom/point.h"
+#include "geom/rect.h"
+#include "rtree/entry.h"
+
+namespace spatial {
+
+// Counters of one grid k-NN query.
+struct GridQueryStats {
+  uint64_t cells_examined = 0;
+  uint64_t objects_examined = 0;
+  uint64_t shells_expanded = 0;
+
+  void Reset() { *this = GridQueryStats(); }
+};
+
+// A uniform in-memory grid index, the classic fixed-partition alternative
+// to the R-tree. k-NN proceeds by expanding Chebyshev shells of cells
+// around the query's cell until the remaining shells provably cannot
+// improve the k-th candidate.
+//
+// Works for any dimension but is practical only for small D (the shell
+// volume grows as r^(D-1)).
+//
+// Exactness caveat: objects are binned by their MBR *centers*, so the shell
+// stopping bound is exact only for point-like (degenerate) MBRs. Extended
+// objects may be returned with center-based approximation.
+template <int D>
+class GridFile {
+ public:
+  // Objects are indexed by their MBR centers. cells_per_dim >= 1.
+  GridFile(std::vector<Entry<D>> objects, uint32_t cells_per_dim);
+
+  Result<std::vector<Neighbor>> Knn(const Point<D>& query, uint32_t k,
+                                    GridQueryStats* stats) const;
+
+  uint64_t num_cells() const;
+  const Rect<D>& bounds() const { return bounds_; }
+  size_t size() const { return objects_.size(); }
+
+ private:
+  size_t CellIndex(const int32_t (&cell)[D]) const;
+  void CellOf(const Point<D>& p, int32_t (&cell)[D]) const;
+  Rect<D> CellRect(const int32_t (&cell)[D]) const;
+
+  // Visits every cell at Chebyshev distance exactly `radius` from `center`,
+  // scanning its objects into `buffer`.
+  void ScanShell(const Point<D>& query, const int32_t (&center)[D],
+                 int32_t radius, NeighborBuffer* buffer,
+                 GridQueryStats* stats) const;
+
+  std::vector<Entry<D>> objects_;
+  uint32_t cells_per_dim_;
+  Rect<D> bounds_;
+  double cell_width_[D];
+  // cell -> indices into objects_.
+  std::vector<std::vector<uint32_t>> cells_;
+};
+
+extern template class GridFile<2>;
+extern template class GridFile<3>;
+
+}  // namespace spatial
+
+#endif  // SPATIAL_BASELINES_GRID_FILE_H_

@@ -1,0 +1,110 @@
+#include "baselines/kd_tree.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/macros.h"
+
+namespace spatial {
+
+template <int D>
+KdTree<D>::KdTree(std::vector<Entry<D>> objects) {
+  std::vector<Node> scratch;
+  scratch.reserve(objects.size());
+  for (const Entry<D>& e : objects) {
+    Node node;
+    node.point = e.mbr.Center();
+    node.id = e.id;
+    scratch.push_back(node);
+  }
+  nodes_.reserve(scratch.size());
+  if (!scratch.empty()) {
+    root_ = Build(&scratch, 0, static_cast<int32_t>(scratch.size()));
+  }
+}
+
+template <int D>
+int32_t KdTree<D>::Build(std::vector<Node>* scratch, int32_t lo,
+                         int32_t hi) {
+  if (lo >= hi) return -1;
+  // Split on the axis with the widest spread in this subrange.
+  int axis = 0;
+  double best_spread = -1.0;
+  for (int dim = 0; dim < D; ++dim) {
+    double mn = std::numeric_limits<double>::infinity();
+    double mx = -std::numeric_limits<double>::infinity();
+    for (int32_t i = lo; i < hi; ++i) {
+      mn = std::min(mn, (*scratch)[i].point[dim]);
+      mx = std::max(mx, (*scratch)[i].point[dim]);
+    }
+    if (mx - mn > best_spread) {
+      best_spread = mx - mn;
+      axis = dim;
+    }
+  }
+  const int32_t mid = lo + (hi - lo) / 2;
+  std::nth_element(scratch->begin() + lo, scratch->begin() + mid,
+                   scratch->begin() + hi,
+                   [axis](const Node& a, const Node& b) {
+                     return a.point[axis] < b.point[axis];
+                   });
+  Node node = (*scratch)[mid];
+  node.axis = axis;
+  const int32_t idx = static_cast<int32_t>(nodes_.size());
+  nodes_.push_back(node);
+  // Children are built after the parent slot is reserved; indices into
+  // nodes_ remain stable because the vector only grows.
+  const int32_t left = Build(scratch, lo, mid);
+  const int32_t right = Build(scratch, mid + 1, hi);
+  nodes_[idx].left = left;
+  nodes_[idx].right = right;
+  return idx;
+}
+
+template <int D>
+Result<std::vector<Neighbor>> KdTree<D>::Knn(const Point<D>& query,
+                                             uint32_t k,
+                                             KdQueryStats* stats) const {
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  NeighborBuffer buffer(k);
+  if (root_ >= 0) Search(root_, query, &buffer, stats);
+  return buffer.TakeSorted();
+}
+
+template <int D>
+void KdTree<D>::Search(int32_t node_idx, const Point<D>& query,
+                       NeighborBuffer* buffer, KdQueryStats* stats) const {
+  const Node& node = nodes_[static_cast<size_t>(node_idx)];
+  if (stats != nullptr) {
+    ++stats->nodes_visited;
+    ++stats->distance_computations;
+  }
+  buffer->Offer(node.id, SquaredDistance(query, node.point));
+
+  const double delta = query[node.axis] - node.point[node.axis];
+  const int32_t near_child = delta <= 0.0 ? node.left : node.right;
+  const int32_t far_child = delta <= 0.0 ? node.right : node.left;
+  if (near_child >= 0) Search(near_child, query, buffer, stats);
+  // The far half-space can only help if the splitting hyperplane is closer
+  // than the current k-th nearest (the FBF "bounds-overlap-ball" test).
+  if (far_child >= 0 && delta * delta <= buffer->WorstDistSq()) {
+    Search(far_child, query, buffer, stats);
+  }
+}
+
+template <int D>
+int KdTree<D>::height() const {
+  return HeightOf(root_);
+}
+
+template <int D>
+int KdTree<D>::HeightOf(int32_t node_idx) const {
+  if (node_idx < 0) return 0;
+  const Node& node = nodes_[static_cast<size_t>(node_idx)];
+  return 1 + std::max(HeightOf(node.left), HeightOf(node.right));
+}
+
+template class KdTree<2>;
+template class KdTree<3>;
+
+}  // namespace spatial

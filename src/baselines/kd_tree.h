@@ -1,0 +1,66 @@
+#ifndef SPATIAL_BASELINES_KD_TREE_H_
+#define SPATIAL_BASELINES_KD_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "core/neighbor_buffer.h"
+#include "geom/point.h"
+#include "rtree/entry.h"
+
+namespace spatial {
+
+struct KdQueryStats {
+  uint64_t nodes_visited = 0;
+  uint64_t distance_computations = 0;
+
+  void Reset() { *this = KdQueryStats(); }
+};
+
+// In-memory kd-tree with the Friedman–Bentley–Finkel nearest-neighbor
+// search — the algorithm the SIGMOD'95 paper adapts to R-trees. Serves as
+// the main-memory comparator in experiment E8: it shows what the
+// branch-and-bound idea achieves without paging, and conversely what the
+// R-tree adds (secondary-storage residency, extended objects, updates).
+//
+// Objects are indexed by their MBR centers, so the search is exact for
+// point-like (degenerate) MBRs; this matches the NN experiments, which use
+// point data.
+template <int D>
+class KdTree {
+ public:
+  // Builds a balanced tree (median splits on the widest-spread axis).
+  explicit KdTree(std::vector<Entry<D>> objects);
+
+  // The k objects nearest to `query`; fewer iff size() < k.
+  Result<std::vector<Neighbor>> Knn(const Point<D>& query, uint32_t k,
+                                    KdQueryStats* stats) const;
+
+  size_t size() const { return nodes_.size(); }
+  int height() const;
+
+ private:
+  struct Node {
+    Point<D> point;
+    uint64_t id = 0;
+    int axis = 0;
+    int32_t left = -1;
+    int32_t right = -1;
+  };
+
+  int32_t Build(std::vector<Node>* scratch, int32_t lo, int32_t hi);
+  void Search(int32_t node_idx, const Point<D>& query,
+              NeighborBuffer* buffer, KdQueryStats* stats) const;
+  int HeightOf(int32_t node_idx) const;
+
+  std::vector<Node> nodes_;
+  int32_t root_ = -1;
+};
+
+extern template class KdTree<2>;
+extern template class KdTree<3>;
+
+}  // namespace spatial
+
+#endif  // SPATIAL_BASELINES_KD_TREE_H_

@@ -1,0 +1,42 @@
+#include "baselines/linear_scan.h"
+
+#include "geom/metrics.h"
+#include "rtree/node.h"
+
+namespace spatial {
+
+template <int D>
+std::vector<Neighbor> LinearScanKnn(const std::vector<Entry<D>>& objects,
+                                    const Point<D>& query, uint32_t k,
+                                    QueryStats* stats) {
+  NeighborBuffer buffer(k);
+  for (const Entry<D>& e : objects) {
+    buffer.Offer(e.id, ObjectDistSq(query, e.mbr));
+  }
+  if (stats != nullptr) {
+    stats->objects_examined += objects.size();
+    stats->distance_computations += objects.size();
+  }
+  return buffer.TakeSorted();
+}
+
+template <int D>
+uint64_t LinearScanPageCost(uint64_t num_objects, uint32_t page_size) {
+  const uint64_t per_page = NodeView<D>::MaxEntries(page_size);
+  return (num_objects + per_page - 1) / per_page;
+}
+
+template std::vector<Neighbor> LinearScanKnn<2>(const std::vector<Entry<2>>&,
+                                                const Point<2>&, uint32_t,
+                                                QueryStats*);
+template std::vector<Neighbor> LinearScanKnn<3>(const std::vector<Entry<3>>&,
+                                                const Point<3>&, uint32_t,
+                                                QueryStats*);
+template std::vector<Neighbor> LinearScanKnn<4>(const std::vector<Entry<4>>&,
+                                                const Point<4>&, uint32_t,
+                                                QueryStats*);
+template uint64_t LinearScanPageCost<2>(uint64_t, uint32_t);
+template uint64_t LinearScanPageCost<3>(uint64_t, uint32_t);
+template uint64_t LinearScanPageCost<4>(uint64_t, uint32_t);
+
+}  // namespace spatial

@@ -1,0 +1,38 @@
+#ifndef SPATIAL_BASELINES_LINEAR_SCAN_H_
+#define SPATIAL_BASELINES_LINEAR_SCAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/neighbor_buffer.h"
+#include "core/query_stats.h"
+#include "geom/point.h"
+#include "rtree/entry.h"
+
+namespace spatial {
+
+// Exact k-NN by exhaustive scan. Serves as ground truth for every property
+// test and as the trivial baseline of experiment E8. `stats` may be null.
+template <int D>
+std::vector<Neighbor> LinearScanKnn(const std::vector<Entry<D>>& objects,
+                                    const Point<D>& query, uint32_t k,
+                                    QueryStats* stats);
+
+// Page cost a scan would incur if the objects were packed densely into
+// pages of the given size (E8 reports this next to the R-tree page counts).
+template <int D>
+uint64_t LinearScanPageCost(uint64_t num_objects, uint32_t page_size);
+
+extern template std::vector<Neighbor> LinearScanKnn<2>(
+    const std::vector<Entry<2>>&, const Point<2>&, uint32_t, QueryStats*);
+extern template std::vector<Neighbor> LinearScanKnn<3>(
+    const std::vector<Entry<3>>&, const Point<3>&, uint32_t, QueryStats*);
+extern template std::vector<Neighbor> LinearScanKnn<4>(
+    const std::vector<Entry<4>>&, const Point<4>&, uint32_t, QueryStats*);
+extern template uint64_t LinearScanPageCost<2>(uint64_t, uint32_t);
+extern template uint64_t LinearScanPageCost<3>(uint64_t, uint32_t);
+extern template uint64_t LinearScanPageCost<4>(uint64_t, uint32_t);
+
+}  // namespace spatial
+
+#endif  // SPATIAL_BASELINES_LINEAR_SCAN_H_

@@ -1,0 +1,87 @@
+#include "baselines/range_expand.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/metrics.h"
+
+namespace spatial {
+
+template <int D>
+Result<std::vector<Neighbor>> RangeExpandKnn(const RTree<D>& tree,
+                                             const Point<D>& query,
+                                             uint32_t k,
+                                             double initial_radius,
+                                             QueryStats* stats) {
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  if (tree.empty()) return std::vector<Neighbor>{};
+
+  double radius = initial_radius;
+  if (radius <= 0.0) {
+    // Expected radius of a ball holding ~k objects under uniform density.
+    SPATIAL_ASSIGN_OR_RETURN(Rect<D> bounds, tree.Bounds());
+    const double volume = std::max(bounds.Area(), 1e-12);
+    const double per_object = volume / static_cast<double>(tree.size());
+    radius = std::pow(per_object * static_cast<double>(k),
+                      1.0 / static_cast<double>(D));
+    radius = std::max(radius, 1e-12);
+  }
+
+  const uint64_t fetches_before = tree.pool()->stats().logical_fetches;
+  std::vector<Entry<D>> hits;
+  for (;;) {
+    Rect<D> window;
+    for (int i = 0; i < D; ++i) {
+      window.lo[i] = query[i] - radius;
+      window.hi[i] = query[i] + radius;
+    }
+    hits.clear();
+    SPATIAL_RETURN_IF_ERROR(tree.Search(window, &hits));
+
+    // Candidates strictly within the radius *ball* are final: any object
+    // outside the window is farther than `radius`.
+    NeighborBuffer buffer(k);
+    const double radius_sq = radius * radius;
+    uint64_t within = 0;
+    for (const Entry<D>& e : hits) {
+      const double dist_sq = ObjectDistSq(query, e.mbr);
+      if (stats != nullptr) ++stats->distance_computations;
+      if (dist_sq <= radius_sq) ++within;
+      buffer.Offer(e.id, dist_sq);
+    }
+    if (stats != nullptr) stats->objects_examined += hits.size();
+
+    const bool have_all = within >= k || hits.size() >= tree.size();
+    if (have_all && buffer.full() && buffer.WorstDistSq() <= radius_sq) {
+      if (stats != nullptr) {
+        stats->nodes_visited +=
+            tree.pool()->stats().logical_fetches - fetches_before;
+      }
+      return buffer.TakeSorted();
+    }
+    if (hits.size() >= tree.size()) {
+      // Fewer than k objects exist; the scan of everything is the answer.
+      if (stats != nullptr) {
+        stats->nodes_visited +=
+            tree.pool()->stats().logical_fetches - fetches_before;
+      }
+      return buffer.TakeSorted();
+    }
+    radius *= 2.0;
+  }
+}
+
+template Result<std::vector<Neighbor>> RangeExpandKnn<2>(const RTree<2>&,
+                                                         const Point<2>&,
+                                                         uint32_t, double,
+                                                         QueryStats*);
+template Result<std::vector<Neighbor>> RangeExpandKnn<3>(const RTree<3>&,
+                                                         const Point<3>&,
+                                                         uint32_t, double,
+                                                         QueryStats*);
+template Result<std::vector<Neighbor>> RangeExpandKnn<4>(const RTree<4>&,
+                                                         const Point<4>&,
+                                                         uint32_t, double,
+                                                         QueryStats*);
+
+}  // namespace spatial

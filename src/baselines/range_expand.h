@@ -1,0 +1,39 @@
+#ifndef SPATIAL_BASELINES_RANGE_EXPAND_H_
+#define SPATIAL_BASELINES_RANGE_EXPAND_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "core/neighbor_buffer.h"
+#include "core/query_stats.h"
+#include "geom/point.h"
+#include "rtree/rtree.h"
+
+namespace spatial {
+
+// The "obvious" R-tree k-NN the paper argues against: run window queries
+// with geometrically growing radius until the window provably contains the
+// k nearest objects. Re-reads the top of the tree on every expansion, which
+// is exactly the redundancy the branch-and-bound algorithm eliminates.
+//
+// `initial_radius` <= 0 selects an automatic guess from the data density.
+// Page accesses are accumulated into stats->nodes_visited (measured via the
+// buffer pool's logical-fetch counter).
+template <int D>
+Result<std::vector<Neighbor>> RangeExpandKnn(const RTree<D>& tree,
+                                             const Point<D>& query,
+                                             uint32_t k,
+                                             double initial_radius,
+                                             QueryStats* stats);
+
+extern template Result<std::vector<Neighbor>> RangeExpandKnn<2>(
+    const RTree<2>&, const Point<2>&, uint32_t, double, QueryStats*);
+extern template Result<std::vector<Neighbor>> RangeExpandKnn<3>(
+    const RTree<3>&, const Point<3>&, uint32_t, double, QueryStats*);
+extern template Result<std::vector<Neighbor>> RangeExpandKnn<4>(
+    const RTree<4>&, const Point<4>&, uint32_t, double, QueryStats*);
+
+}  // namespace spatial
+
+#endif  // SPATIAL_BASELINES_RANGE_EXPAND_H_

@@ -1,0 +1,113 @@
+#include "bench_util/experiment.h"
+
+#include <chrono>
+
+#include "common/macros.h"
+
+namespace spatial {
+
+const char* BuildMethodName(BuildMethod method) {
+  switch (method) {
+    case BuildMethod::kInsertLinear:
+      return "insert-linear";
+    case BuildMethod::kInsertQuadratic:
+      return "insert-quadratic";
+    case BuildMethod::kInsertRStar:
+      return "insert-rstar";
+    case BuildMethod::kBulkStr:
+      return "bulk-str";
+    case BuildMethod::kBulkHilbert:
+      return "bulk-hilbert";
+    case BuildMethod::kBulkMorton:
+      return "bulk-morton";
+  }
+  return "unknown";
+}
+
+Result<BuiltTree> BuildTree2D(const std::vector<Entry<2>>& dataset,
+                              BuildMethod method, uint32_t page_size,
+                              uint32_t buffer_pages) {
+  BuiltTree built;
+  built.disk = std::make_unique<DiskManager>(page_size);
+  built.pool = std::make_unique<BufferPool>(built.disk.get(), buffer_pages);
+
+  RTreeOptions options;
+  switch (method) {
+    case BuildMethod::kInsertLinear:
+      options.split = SplitAlgorithm::kLinear;
+      break;
+    case BuildMethod::kInsertQuadratic:
+      options.split = SplitAlgorithm::kQuadratic;
+      break;
+    case BuildMethod::kInsertRStar:
+      options.split = SplitAlgorithm::kRStar;
+      break;
+    case BuildMethod::kBulkStr:
+    case BuildMethod::kBulkHilbert:
+    case BuildMethod::kBulkMorton:
+      options.split = SplitAlgorithm::kQuadratic;  // for later inserts
+      break;
+  }
+
+  switch (method) {
+    case BuildMethod::kInsertLinear:
+    case BuildMethod::kInsertQuadratic:
+    case BuildMethod::kInsertRStar: {
+      SPATIAL_ASSIGN_OR_RETURN(RTree<2> tree,
+                               RTree<2>::Create(built.pool.get(), options));
+      built.tree.emplace(std::move(tree));
+      for (const Entry<2>& e : dataset) {
+        SPATIAL_RETURN_IF_ERROR(built.tree->Insert(e.mbr, e.id));
+      }
+      break;
+    }
+    case BuildMethod::kBulkStr:
+    case BuildMethod::kBulkHilbert:
+    case BuildMethod::kBulkMorton: {
+      BulkLoadMethod bulk = BulkLoadMethod::kStr;
+      if (method == BuildMethod::kBulkHilbert) {
+        bulk = BulkLoadMethod::kHilbert;
+      } else if (method == BuildMethod::kBulkMorton) {
+        bulk = BulkLoadMethod::kMorton;
+      }
+      SPATIAL_ASSIGN_OR_RETURN(
+          RTree<2> tree,
+          BulkLoad<2>(built.pool.get(), options, dataset, bulk));
+      built.tree.emplace(std::move(tree));
+      break;
+    }
+  }
+  // Build traffic should not pollute query-phase counters.
+  built.pool->ResetStats();
+  built.disk->ResetStats();
+  return built;
+}
+
+Result<KnnBatchStats> RunKnnBatch(const RTree<2>& tree,
+                                  const std::vector<Point<2>>& queries,
+                                  const KnnOptions& options) {
+  KnnBatchStats batch;
+  for (const Point<2>& q : queries) {
+    QueryStats stats;
+    const auto start = std::chrono::steady_clock::now();
+    SPATIAL_ASSIGN_OR_RETURN(std::vector<Neighbor> result,
+                             KnnSearch<2>(tree, q, options, &stats));
+    const auto stop = std::chrono::steady_clock::now();
+    (void)result;
+    const double micros =
+        std::chrono::duration<double, std::micro>(stop - start).count();
+    batch.pages.Add(static_cast<double>(stats.nodes_visited));
+    batch.leaf_pages.Add(static_cast<double>(stats.leaf_nodes_visited));
+    batch.internal_pages.Add(
+        static_cast<double>(stats.internal_nodes_visited));
+    batch.objects.Add(static_cast<double>(stats.objects_examined));
+    batch.dist_comps.Add(static_cast<double>(stats.distance_computations));
+    batch.pruned_s1.Add(static_cast<double>(stats.pruned_s1));
+    batch.pruned_s3.Add(static_cast<double>(stats.pruned_s3));
+    batch.wall_micros.Add(micros);
+    batch.totals.Add(stats);
+  }
+  return batch;
+}
+
+}  // namespace spatial

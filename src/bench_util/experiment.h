@@ -1,0 +1,67 @@
+#ifndef SPATIAL_BENCH_UTIL_EXPERIMENT_H_
+#define SPATIAL_BENCH_UTIL_EXPERIMENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/result.h"
+#include "common/stats.h"
+#include "core/knn.h"
+#include "rtree/bulk_load.h"
+#include "rtree/rtree.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+
+namespace spatial {
+
+// How the experiment's index is constructed.
+enum class BuildMethod {
+  kInsertLinear,     // tuple-at-a-time inserts, Guttman linear split
+  kInsertQuadratic,  // tuple-at-a-time inserts, Guttman quadratic split
+  kInsertRStar,      // tuple-at-a-time inserts, R* split + reinsertion
+  kBulkStr,          // packed, Sort-Tile-Recursive
+  kBulkHilbert,      // packed, Hilbert curve
+  kBulkMorton,       // packed, Z-order curve
+};
+
+const char* BuildMethodName(BuildMethod method);
+
+// A self-contained index: simulated disk, buffer pool, and the tree.
+// Move-only; keeps the storage alive for the tree's lifetime.
+struct BuiltTree {
+  std::unique_ptr<DiskManager> disk;
+  std::unique_ptr<BufferPool> pool;
+  std::optional<RTree<2>> tree;
+};
+
+// Builds a 2-D index over `dataset` on a fresh simulated disk. The paper's
+// experiment configuration is page_size = 1024 (mid-1990s pages) and a
+// buffer large enough to hold hot upper levels.
+Result<BuiltTree> BuildTree2D(const std::vector<Entry<2>>& dataset,
+                              BuildMethod method, uint32_t page_size,
+                              uint32_t buffer_pages);
+
+// Aggregates of one batch of k-NN queries.
+struct KnnBatchStats {
+  RunningStat pages;           // nodes (pages) visited per query
+  RunningStat leaf_pages;
+  RunningStat internal_pages;
+  RunningStat objects;         // objects examined per query
+  RunningStat dist_comps;      // distance computations per query
+  RunningStat pruned_s1;
+  RunningStat pruned_s3;
+  RunningStat wall_micros;     // wall-clock per query
+  QueryStats totals;           // summed raw counters
+};
+
+// Runs the paper's branch-and-bound k-NN for every query point and
+// aggregates the per-query counters.
+Result<KnnBatchStats> RunKnnBatch(const RTree<2>& tree,
+                                  const std::vector<Point<2>>& queries,
+                                  const KnnOptions& options);
+
+}  // namespace spatial
+
+#endif  // SPATIAL_BENCH_UTIL_EXPERIMENT_H_

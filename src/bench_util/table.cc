@@ -1,0 +1,64 @@
+#include "bench_util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/macros.h"
+
+namespace spatial {
+
+Table::Table(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {
+  SPATIAL_CHECK(!columns_.empty());
+}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  SPATIAL_CHECK(cells.size() == columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::Print(std::ostream& os) const {
+  std::vector<size_t> widths(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "" : "  ");
+      // Right-align everything; headers read fine either way.
+      os << std::string(widths[c] - cells[c].size(), ' ') << cells[c];
+    }
+    os << '\n';
+  };
+  print_row(columns_);
+  size_t total = 0;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c == 0 ? 0 : 2);
+  }
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+void Table::PrintCsv(std::ostream& os) const {
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "" : ",") << cells[c];
+    }
+    os << '\n';
+  };
+  print_row(columns_);
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string FmtInt(uint64_t v) { return std::to_string(v); }
+
+std::string FmtDouble(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return std::string(buf);
+}
+
+}  // namespace spatial

@@ -1,0 +1,39 @@
+#ifndef SPATIAL_BENCH_UTIL_TABLE_H_
+#define SPATIAL_BENCH_UTIL_TABLE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace spatial {
+
+// Minimal fixed-width table printer for the experiment binaries: each
+// experiment prints the same rows/series the paper reports, plus a CSV
+// block for plotting.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns);
+
+  void AddRow(std::vector<std::string> cells);
+
+  // Aligned human-readable rendering.
+  void Print(std::ostream& os) const;
+
+  // Machine-readable rendering (comma-separated, header first).
+  void PrintCsv(std::ostream& os) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Numeric formatting helpers.
+std::string FmtInt(uint64_t v);
+std::string FmtDouble(double v, int precision);
+
+}  // namespace spatial
+
+#endif  // SPATIAL_BENCH_UTIL_TABLE_H_

@@ -1,0 +1,40 @@
+#ifndef SPATIAL_COMMON_MACROS_H_
+#define SPATIAL_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Project-wide assertion macros.
+//
+// SPATIAL_CHECK(cond)   - always-on invariant check; aborts with location.
+// SPATIAL_DCHECK(cond)  - debug-only check, compiled out in NDEBUG builds.
+//
+// Following the project error model (see DESIGN.md §5), CHECK/DCHECK are for
+// programming errors only; anticipated runtime failures return Status.
+
+#define SPATIAL_CHECK(cond)                                                  \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "CHECK failed: %s at %s:%d\n", #cond, __FILE__,   \
+                   __LINE__);                                                \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#ifdef NDEBUG
+#define SPATIAL_DCHECK(cond) \
+  do {                       \
+  } while (0)
+#else
+#define SPATIAL_DCHECK(cond) SPATIAL_CHECK(cond)
+#endif
+
+#if defined(__GNUC__) || defined(__clang__)
+#define SPATIAL_PREDICT_TRUE(x) (__builtin_expect(!!(x), 1))
+#define SPATIAL_PREDICT_FALSE(x) (__builtin_expect(!!(x), 0))
+#else
+#define SPATIAL_PREDICT_TRUE(x) (x)
+#define SPATIAL_PREDICT_FALSE(x) (x)
+#endif
+
+#endif  // SPATIAL_COMMON_MACROS_H_

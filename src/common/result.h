@@ -1,0 +1,69 @@
+#ifndef SPATIAL_COMMON_RESULT_H_
+#define SPATIAL_COMMON_RESULT_H_
+
+#include <utility>
+#include <variant>
+
+#include "common/macros.h"
+#include "common/status.h"
+
+namespace spatial {
+
+// Result<T> holds either a value of type T or a non-OK Status.
+// A minimal StatusOr analogue; accessing value() on an error aborts.
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from a value or an error Status keeps call sites
+  // terse: `return value;` / `return Status::NotFound(...)`.
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : data_(std::move(status)) {  // NOLINT
+    SPATIAL_DCHECK(!std::get<Status>(data_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const Status& status() const {
+    static const Status kOk = Status::OK();
+    return ok() ? kOk : std::get<Status>(data_);
+  }
+
+  T& value() & {
+    SPATIAL_CHECK(ok());
+    return std::get<T>(data_);
+  }
+  const T& value() const& {
+    SPATIAL_CHECK(ok());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    SPATIAL_CHECK(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+// Evaluate an expression producing Result<T>; on error, propagate the Status;
+// otherwise bind the value to `lhs`.
+#define SPATIAL_ASSIGN_OR_RETURN(lhs, expr)                \
+  SPATIAL_ASSIGN_OR_RETURN_IMPL_(                          \
+      SPATIAL_RESULT_CONCAT_(_result_tmp_, __LINE__), lhs, expr)
+
+#define SPATIAL_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                   \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).value()
+
+#define SPATIAL_RESULT_CONCAT_(a, b) SPATIAL_RESULT_CONCAT_IMPL_(a, b)
+#define SPATIAL_RESULT_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace spatial
+
+#endif  // SPATIAL_COMMON_RESULT_H_

@@ -1,0 +1,115 @@
+#ifndef SPATIAL_COMMON_RNG_H_
+#define SPATIAL_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace spatial {
+
+// Deterministic, seedable pseudo-random number generator
+// (xoshiro256** seeded via splitmix64). All dataset generators and query
+// workloads draw from this type so every experiment is reproducible from a
+// single 64-bit seed printed by the experiment binary.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // splitmix64 expansion of the seed into the 256-bit state.
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  // Next raw 64-bit value (xoshiro256**).
+  uint64_t Next64() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next64() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    SPATIAL_DCHECK(lo <= hi);
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  // Uniform integer in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound) {
+    SPATIAL_DCHECK(bound > 0);
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t threshold = (0ULL - bound) % bound;
+    for (;;) {
+      const uint64_t r = Next64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    SPATIAL_DCHECK(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    NextBounded(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  // Standard normal variate (Marsaglia polar method).
+  double NextGaussian() {
+    if (have_cached_gaussian_) {
+      have_cached_gaussian_ = false;
+      return cached_gaussian_;
+    }
+    double u, v, s;
+    do {
+      u = Uniform(-1.0, 1.0);
+      v = Uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double factor = std::sqrt(-2.0 * std::log(s) / s);
+    cached_gaussian_ = v * factor;
+    have_cached_gaussian_ = true;
+    return u * factor;
+  }
+
+  // Bernoulli trial with success probability p.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      const size_t j = static_cast<size_t>(NextBounded(i));
+      using std::swap;
+      swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+  bool have_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace spatial
+
+#endif  // SPATIAL_COMMON_RNG_H_

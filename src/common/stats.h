@@ -1,0 +1,62 @@
+#ifndef SPATIAL_COMMON_STATS_H_
+#define SPATIAL_COMMON_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace spatial {
+
+// Streaming aggregate over a sequence of samples (Welford's algorithm for
+// a numerically stable variance). Used by the experiment harness to report
+// mean / min / max / stddev of per-query counters.
+class RunningStat {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double min() const {
+    return count_ == 0 ? 0.0 : min_;
+  }
+  double max() const {
+    return count_ == 0 ? 0.0 : max_;
+  }
+  double variance() const;
+  double stddev() const;
+  double sum() const { return count_ == 0 ? 0.0 : mean_ * count_; }
+
+  // Merge another aggregate into this one (parallel-friendly combine).
+  void Merge(const RunningStat& other);
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Exact percentile over a retained sample vector. Not streaming; intended
+// for experiment-sized sample counts (<= a few million doubles).
+class Percentiles {
+ public:
+  void Add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+  size_t count() const { return samples_.size(); }
+
+  // q in [0, 1]; nearest-rank method. Returns 0 for an empty sample.
+  double Quantile(double q) const;
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace spatial
+
+#endif  // SPATIAL_COMMON_STATS_H_

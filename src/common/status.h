@@ -1,0 +1,118 @@
+#ifndef SPATIAL_COMMON_STATUS_H_
+#define SPATIAL_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace spatial {
+
+// Error model: the library does not throw exceptions. Fallible operations
+// return Status (or Result<T>, see result.h). Inspired by the RocksDB /
+// Abseil Status idiom.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kCorruption,
+    kResourceExhausted,
+    kOutOfRange,
+    kAlreadyExists,
+    kInternal,
+  };
+
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string_view msg) {
+    return Status(Code::kInvalidArgument, msg);
+  }
+  static Status NotFound(std::string_view msg) {
+    return Status(Code::kNotFound, msg);
+  }
+  static Status Corruption(std::string_view msg) {
+    return Status(Code::kCorruption, msg);
+  }
+  static Status ResourceExhausted(std::string_view msg) {
+    return Status(Code::kResourceExhausted, msg);
+  }
+  static Status OutOfRange(std::string_view msg) {
+    return Status(Code::kOutOfRange, msg);
+  }
+  static Status AlreadyExists(std::string_view msg) {
+    return Status(Code::kAlreadyExists, msg);
+  }
+  static Status Internal(std::string_view msg) {
+    return Status(Code::kInternal, msg);
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsResourceExhausted() const {
+    return code_ == Code::kResourceExhausted;
+  }
+  bool IsOutOfRange() const { return code_ == Code::kOutOfRange; }
+  bool IsAlreadyExists() const { return code_ == Code::kAlreadyExists; }
+  bool IsInternal() const { return code_ == Code::kInternal; }
+
+  // Human-readable "CODE: message" string, e.g. "NotFound: page 17".
+  std::string ToString() const {
+    if (ok()) return "OK";
+    std::string out(CodeName(code_));
+    if (!message_.empty()) {
+      out += ": ";
+      out += message_;
+    }
+    return out;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  Status(Code code, std::string_view msg) : code_(code), message_(msg) {}
+
+  static const char* CodeName(Code code) {
+    switch (code) {
+      case Code::kOk:
+        return "OK";
+      case Code::kInvalidArgument:
+        return "InvalidArgument";
+      case Code::kNotFound:
+        return "NotFound";
+      case Code::kCorruption:
+        return "Corruption";
+      case Code::kResourceExhausted:
+        return "ResourceExhausted";
+      case Code::kOutOfRange:
+        return "OutOfRange";
+      case Code::kAlreadyExists:
+        return "AlreadyExists";
+      case Code::kInternal:
+        return "Internal";
+    }
+    return "Unknown";
+  }
+
+  Code code_;
+  std::string message_;
+};
+
+// Propagate a non-OK Status to the caller.
+#define SPATIAL_RETURN_IF_ERROR(expr)                   \
+  do {                                                  \
+    ::spatial::Status _status = (expr);                 \
+    if (!_status.ok()) return _status;                  \
+  } while (0)
+
+}  // namespace spatial
+
+#endif  // SPATIAL_COMMON_STATUS_H_

@@ -1,0 +1,33 @@
+#ifndef SPATIAL_CORE_BEST_FIRST_H_
+#define SPATIAL_CORE_BEST_FIRST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "core/neighbor_buffer.h"
+#include "core/query_stats.h"
+#include "geom/point.h"
+#include "rtree/rtree.h"
+
+namespace spatial {
+
+// Global best-first k-NN: repeatedly expands the queue entry with the
+// smallest MINDIST until k objects have been emitted. Visits the provably
+// minimal set of R-tree nodes for the query, at the cost of a global
+// priority queue. Used as the page-access-optimal comparator in E8.
+template <int D>
+Result<std::vector<Neighbor>> BestFirstKnn(const RTree<D>& tree,
+                                           const Point<D>& query, uint32_t k,
+                                           QueryStats* stats);
+
+extern template Result<std::vector<Neighbor>> BestFirstKnn<2>(
+    const RTree<2>&, const Point<2>&, uint32_t, QueryStats*);
+extern template Result<std::vector<Neighbor>> BestFirstKnn<3>(
+    const RTree<3>&, const Point<3>&, uint32_t, QueryStats*);
+extern template Result<std::vector<Neighbor>> BestFirstKnn<4>(
+    const RTree<4>&, const Point<4>&, uint32_t, QueryStats*);
+
+}  // namespace spatial
+
+#endif  // SPATIAL_CORE_BEST_FIRST_H_

@@ -1,0 +1,145 @@
+#include "core/closest_pairs.h"
+
+#include <queue>
+
+#include "common/macros.h"
+#include "geom/metrics.h"
+#include "rtree/node.h"
+
+namespace spatial {
+namespace {
+
+template <int D>
+struct PairItem {
+  double dist_sq;
+  bool outer_is_object;
+  bool inner_is_object;
+  uint64_t outer_id;  // object id or PageId
+  uint64_t inner_id;
+  Rect<D> outer_mbr;
+  Rect<D> inner_mbr;
+
+  // Min-heap on distance; fully resolved (object/object) pairs win ties so
+  // results are emitted as early as possible.
+  friend bool operator<(const PairItem& a, const PairItem& b) {
+    if (a.dist_sq != b.dist_sq) return a.dist_sq > b.dist_sq;
+    const int a_resolved = a.outer_is_object + a.inner_is_object;
+    const int b_resolved = b.outer_is_object + b.inner_is_object;
+    return a_resolved < b_resolved;
+  }
+};
+
+template <int D>
+class ClosestPairsSearch {
+ public:
+  ClosestPairsSearch(const RTree<D>& outer, const RTree<D>& inner,
+                     QueryStats* stats)
+      : outer_(outer), inner_(inner), stats_(stats) {}
+
+  Result<std::vector<ClosestPair>> Run(uint32_t k) {
+    std::vector<ClosestPair> results;
+    results.reserve(k);
+    if (outer_.empty() || inner_.empty()) return results;
+
+    SPATIAL_ASSIGN_OR_RETURN(Rect<D> outer_mbr, outer_.Bounds());
+    SPATIAL_ASSIGN_OR_RETURN(Rect<D> inner_mbr, inner_.Bounds());
+    Push(PairItem<D>{MinDistSq(outer_mbr, inner_mbr), false, false,
+                     outer_.root_page(), inner_.root_page(), outer_mbr,
+                     inner_mbr});
+
+    while (!queue_.empty() && results.size() < k) {
+      const PairItem<D> item = queue_.top();
+      queue_.pop();
+      if (stats_ != nullptr) ++stats_->heap_pops;
+
+      if (item.outer_is_object && item.inner_is_object) {
+        results.push_back(
+            ClosestPair{item.outer_id, item.inner_id, item.dist_sq});
+        continue;
+      }
+      // Expand one unresolved side: prefer the node side with the larger
+      // area (classic heuristic; either choice is correct).
+      bool expand_outer;
+      if (item.outer_is_object) {
+        expand_outer = false;
+      } else if (item.inner_is_object) {
+        expand_outer = true;
+      } else {
+        expand_outer = item.outer_mbr.Area() >= item.inner_mbr.Area();
+      }
+      SPATIAL_RETURN_IF_ERROR(Expand(item, expand_outer));
+    }
+    return results;
+  }
+
+ private:
+  void Push(PairItem<D> item) {
+    queue_.push(std::move(item));
+    if (stats_ != nullptr) ++stats_->heap_pushes;
+  }
+
+  Status Expand(const PairItem<D>& item, bool expand_outer) {
+    const RTree<D>& tree = expand_outer ? outer_ : inner_;
+    const PageId node_id = static_cast<PageId>(
+        expand_outer ? item.outer_id : item.inner_id);
+    SPATIAL_ASSIGN_OR_RETURN(PageHandle handle, tree.pool()->Fetch(node_id));
+    NodeView<D> view(handle.data(), tree.pool()->page_size());
+    if (!view.has_valid_magic()) {
+      return Status::Corruption("closest pairs: node page has bad magic");
+    }
+    if (stats_ != nullptr) {
+      ++stats_->nodes_visited;
+      if (view.is_leaf()) {
+        ++stats_->leaf_nodes_visited;
+      } else {
+        ++stats_->internal_nodes_visited;
+      }
+    }
+    const bool child_is_object = view.is_leaf();
+    const std::vector<Entry<D>> entries = view.GetEntries();
+    handle.Release();
+    for (const Entry<D>& e : entries) {
+      PairItem<D> next = item;
+      if (expand_outer) {
+        next.outer_is_object = child_is_object;
+        next.outer_id = e.id;
+        next.outer_mbr = e.mbr;
+      } else {
+        next.inner_is_object = child_is_object;
+        next.inner_id = e.id;
+        next.inner_mbr = e.mbr;
+      }
+      next.dist_sq = MinDistSq(next.outer_mbr, next.inner_mbr);
+      if (stats_ != nullptr) ++stats_->distance_computations;
+      Push(std::move(next));
+    }
+    return Status::OK();
+  }
+
+  const RTree<D>& outer_;
+  const RTree<D>& inner_;
+  QueryStats* stats_;
+  std::priority_queue<PairItem<D>> queue_;
+};
+
+}  // namespace
+
+template <int D>
+Result<std::vector<ClosestPair>> ClosestPairs(const RTree<D>& outer,
+                                              const RTree<D>& inner,
+                                              uint32_t k, QueryStats* stats) {
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  ClosestPairsSearch<D> search(outer, inner, stats);
+  return search.Run(k);
+}
+
+template Result<std::vector<ClosestPair>> ClosestPairs<2>(const RTree<2>&,
+                                                          const RTree<2>&,
+                                                          uint32_t,
+                                                          QueryStats*);
+template Result<std::vector<ClosestPair>> ClosestPairs<3>(const RTree<3>&,
+                                                          const RTree<3>&,
+                                                          uint32_t,
+                                                          QueryStats*);
+
+}  // namespace spatial

@@ -1,0 +1,140 @@
+#include "core/constrained.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/macros.h"
+#include "geom/metrics.h"
+#include "rtree/node.h"
+
+namespace spatial {
+namespace {
+
+// Note: strategies S1/S2 are unsound under a region constraint — the object
+// MINMAXDIST guarantees may lie outside the region — so this traversal uses
+// only window pruning plus S3, regardless of the option flags.
+template <int D>
+class ConstrainedTraversal {
+ public:
+  ConstrainedTraversal(const RTree<D>& tree, const Point<D>& query,
+                       const Rect<D>& region, const KnnOptions& options,
+                       QueryStats* stats)
+      : tree_(tree),
+        query_(query),
+        region_(region),
+        options_(options),
+        stats_(stats),
+        buffer_(options.k) {}
+
+  Result<std::vector<Neighbor>> Run() {
+    SPATIAL_RETURN_IF_ERROR(Visit(tree_.root_page()));
+    return buffer_.TakeSorted();
+  }
+
+ private:
+  struct Slot {
+    PageId child;
+    double min_dist_sq;
+    double min_max_dist_sq;
+  };
+
+  double PruneBoundSq() const {
+    return options_.use_s3 ? buffer_.WorstDistSq()
+                           : std::numeric_limits<double>::infinity();
+  }
+
+  Status Visit(PageId node_id) {
+    SPATIAL_ASSIGN_OR_RETURN(PageHandle handle, tree_.pool()->Fetch(node_id));
+    NodeView<D> view(handle.data(), tree_.pool()->page_size());
+    if (!view.has_valid_magic()) {
+      return Status::Corruption("constrained knn: node page has bad magic");
+    }
+    if (stats_ != nullptr) {
+      ++stats_->nodes_visited;
+      if (view.is_leaf()) {
+        ++stats_->leaf_nodes_visited;
+      } else {
+        ++stats_->internal_nodes_visited;
+      }
+    }
+    if (view.is_leaf()) {
+      const uint32_t n = view.count();
+      for (uint32_t i = 0; i < n; ++i) {
+        const Entry<D> e = view.entry(i);
+        if (!e.mbr.Intersects(region_)) continue;
+        buffer_.Offer(e.id, ObjectDistSq(query_, e.mbr));
+        if (stats_ != nullptr) {
+          ++stats_->objects_examined;
+          ++stats_->distance_computations;
+        }
+      }
+      return Status::OK();
+    }
+    std::vector<Slot> abl;
+    abl.reserve(view.count());
+    const uint32_t n = view.count();
+    for (uint32_t i = 0; i < n; ++i) {
+      const Entry<D> e = view.entry(i);
+      if (!e.mbr.Intersects(region_)) continue;  // window pruning
+      abl.push_back(Slot{static_cast<PageId>(e.id), MinDistSq(query_, e.mbr),
+                         MinMaxDistSq(query_, e.mbr)});
+      if (stats_ != nullptr) {
+        ++stats_->abl_entries_generated;
+        stats_->distance_computations += 2;
+      }
+    }
+    handle.Release();
+    switch (options_.ordering) {
+      case AblOrdering::kMinDist:
+        std::sort(abl.begin(), abl.end(), [](const Slot& a, const Slot& b) {
+          return a.min_dist_sq < b.min_dist_sq;
+        });
+        break;
+      case AblOrdering::kMinMaxDist:
+        std::sort(abl.begin(), abl.end(), [](const Slot& a, const Slot& b) {
+          return a.min_max_dist_sq < b.min_max_dist_sq;
+        });
+        break;
+      case AblOrdering::kNone:
+        break;
+    }
+    for (const Slot& slot : abl) {
+      if (slot.min_dist_sq > PruneBoundSq()) {
+        if (stats_ != nullptr) ++stats_->pruned_s3;
+        continue;
+      }
+      SPATIAL_RETURN_IF_ERROR(Visit(slot.child));
+    }
+    return Status::OK();
+  }
+
+  const RTree<D>& tree_;
+  const Point<D> query_;
+  const Rect<D> region_;
+  const KnnOptions options_;
+  QueryStats* stats_;
+  NeighborBuffer buffer_;
+};
+
+}  // namespace
+
+template <int D>
+Result<std::vector<Neighbor>> ConstrainedKnnSearch(const RTree<D>& tree,
+                                                   const Point<D>& query,
+                                                   const Rect<D>& region,
+                                                   const KnnOptions& options,
+                                                   QueryStats* stats) {
+  SPATIAL_RETURN_IF_ERROR(options.Validate());
+  if (tree.empty() || region.IsEmpty()) return std::vector<Neighbor>{};
+  ConstrainedTraversal<D> traversal(tree, query, region, options, stats);
+  return traversal.Run();
+}
+
+template Result<std::vector<Neighbor>> ConstrainedKnnSearch<2>(
+    const RTree<2>&, const Point<2>&, const Rect<2>&, const KnnOptions&,
+    QueryStats*);
+template Result<std::vector<Neighbor>> ConstrainedKnnSearch<3>(
+    const RTree<3>&, const Point<3>&, const Rect<3>&, const KnnOptions&,
+    QueryStats*);
+
+}  // namespace spatial

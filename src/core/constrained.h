@@ -1,0 +1,36 @@
+#ifndef SPATIAL_CORE_CONSTRAINED_H_
+#define SPATIAL_CORE_CONSTRAINED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "core/knn.h"
+
+namespace spatial {
+
+// Constrained (region-restricted) k-NN: the k objects nearest to `query`
+// among those whose MBRs intersect `region` — "the 5 closest restaurants
+// inside the currently visible map window". Combines the paper's
+// branch-and-bound pruning with window pruning: a subtree is skipped when
+// it cannot beat the k-th candidate *or* cannot intersect the region.
+//
+// All KnnOptions knobs apply. Returns fewer than k neighbors when the
+// region holds fewer than k objects.
+template <int D>
+Result<std::vector<Neighbor>> ConstrainedKnnSearch(const RTree<D>& tree,
+                                                   const Point<D>& query,
+                                                   const Rect<D>& region,
+                                                   const KnnOptions& options,
+                                                   QueryStats* stats);
+
+extern template Result<std::vector<Neighbor>> ConstrainedKnnSearch<2>(
+    const RTree<2>&, const Point<2>&, const Rect<2>&, const KnnOptions&,
+    QueryStats*);
+extern template Result<std::vector<Neighbor>> ConstrainedKnnSearch<3>(
+    const RTree<3>&, const Point<3>&, const Rect<3>&, const KnnOptions&,
+    QueryStats*);
+
+}  // namespace spatial
+
+#endif  // SPATIAL_CORE_CONSTRAINED_H_

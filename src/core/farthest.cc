@@ -1,0 +1,154 @@
+#include "core/farthest.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/macros.h"
+#include "geom/metrics.h"
+#include "rtree/node.h"
+
+namespace spatial {
+namespace {
+
+// Bounded min-heap keeping the k largest distances seen so far (the mirror
+// of NeighborBuffer). The pruning bound is the k-th largest distance:
+// -infinity until the buffer holds k candidates.
+class FarthestBuffer {
+ public:
+  explicit FarthestBuffer(uint32_t k) : k_(k) { SPATIAL_CHECK(k >= 1); }
+
+  bool full() const { return heap_.size() >= k_; }
+
+  double BoundDistSq() const {
+    return full() ? heap_.front().dist_sq
+                  : -std::numeric_limits<double>::infinity();
+  }
+
+  void Offer(uint64_t id, double dist_sq) {
+    if (!full()) {
+      heap_.push_back(Neighbor{id, dist_sq});
+      std::push_heap(heap_.begin(), heap_.end(), Greater);
+      return;
+    }
+    if (dist_sq <= heap_.front().dist_sq) return;
+    std::pop_heap(heap_.begin(), heap_.end(), Greater);
+    heap_.back() = Neighbor{id, dist_sq};
+    std::push_heap(heap_.begin(), heap_.end(), Greater);
+  }
+
+  // Descending by distance.
+  std::vector<Neighbor> TakeSorted() {
+    std::sort_heap(heap_.begin(), heap_.end(), Greater);
+    return std::move(heap_);
+  }
+
+ private:
+  static bool Greater(const Neighbor& a, const Neighbor& b) {
+    return a.dist_sq > b.dist_sq;
+  }
+
+  uint32_t k_;
+  std::vector<Neighbor> heap_;  // min-heap on dist_sq
+};
+
+template <int D>
+class FarthestTraversal {
+ public:
+  FarthestTraversal(const RTree<D>& tree, const Point<D>& query, uint32_t k,
+                    QueryStats* stats)
+      : tree_(tree), query_(query), stats_(stats), buffer_(k) {}
+
+  Result<std::vector<Neighbor>> Run() {
+    SPATIAL_RETURN_IF_ERROR(Visit(tree_.root_page()));
+    return buffer_.TakeSorted();
+  }
+
+ private:
+  struct Slot {
+    PageId child;
+    double max_dist_sq;
+  };
+
+  Status Visit(PageId node_id) {
+    SPATIAL_ASSIGN_OR_RETURN(PageHandle handle, tree_.pool()->Fetch(node_id));
+    NodeView<D> view(handle.data(), tree_.pool()->page_size());
+    if (!view.has_valid_magic()) {
+      return Status::Corruption("farthest: node page has bad magic");
+    }
+    if (stats_ != nullptr) {
+      ++stats_->nodes_visited;
+      if (view.is_leaf()) {
+        ++stats_->leaf_nodes_visited;
+      } else {
+        ++stats_->internal_nodes_visited;
+      }
+    }
+    if (view.is_leaf()) {
+      const uint32_t n = view.count();
+      for (uint32_t i = 0; i < n; ++i) {
+        const Entry<D> e = view.entry(i);
+        // Distance to an extended object's farthest point; exact distance
+        // for point objects.
+        buffer_.Offer(e.id, MaxDistSq(query_, e.mbr));
+        if (stats_ != nullptr) {
+          ++stats_->objects_examined;
+          ++stats_->distance_computations;
+        }
+      }
+      return Status::OK();
+    }
+    std::vector<Slot> abl;
+    abl.reserve(view.count());
+    const uint32_t n = view.count();
+    for (uint32_t i = 0; i < n; ++i) {
+      const Entry<D> e = view.entry(i);
+      abl.push_back(Slot{static_cast<PageId>(e.id), MaxDistSq(query_, e.mbr)});
+      if (stats_ != nullptr) {
+        ++stats_->abl_entries_generated;
+        ++stats_->distance_computations;
+      }
+    }
+    handle.Release();
+    std::sort(abl.begin(), abl.end(), [](const Slot& a, const Slot& b) {
+      return a.max_dist_sq > b.max_dist_sq;
+    });
+    for (const Slot& slot : abl) {
+      // MAXDIST is an upper bound on every object in the subtree: nothing
+      // inside can beat the current k-th farthest if the bound cannot.
+      if (slot.max_dist_sq < buffer_.BoundDistSq()) {
+        if (stats_ != nullptr) ++stats_->pruned_s3;
+        continue;
+      }
+      SPATIAL_RETURN_IF_ERROR(Visit(slot.child));
+    }
+    return Status::OK();
+  }
+
+  const RTree<D>& tree_;
+  const Point<D> query_;
+  QueryStats* stats_;
+  FarthestBuffer buffer_;
+};
+
+}  // namespace
+
+template <int D>
+Result<std::vector<Neighbor>> FarthestSearch(const RTree<D>& tree,
+                                             const Point<D>& query,
+                                             uint32_t k, QueryStats* stats) {
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  if (tree.empty()) return std::vector<Neighbor>{};
+  FarthestTraversal<D> traversal(tree, query, k, stats);
+  return traversal.Run();
+}
+
+template Result<std::vector<Neighbor>> FarthestSearch<2>(const RTree<2>&,
+                                                         const Point<2>&,
+                                                         uint32_t,
+                                                         QueryStats*);
+template Result<std::vector<Neighbor>> FarthestSearch<3>(const RTree<3>&,
+                                                         const Point<3>&,
+                                                         uint32_t,
+                                                         QueryStats*);
+
+}  // namespace spatial

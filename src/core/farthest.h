@@ -1,0 +1,36 @@
+#ifndef SPATIAL_CORE_FARTHEST_H_
+#define SPATIAL_CORE_FARTHEST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "core/neighbor_buffer.h"
+#include "core/query_stats.h"
+#include "geom/point.h"
+#include "rtree/rtree.h"
+
+namespace spatial {
+
+// k-farthest-neighbor search: the mirror image of the paper's algorithm.
+// MAXDIST(q, M) upper-bounds the distance to every object in M, so the
+// Active Branch List is ordered by descending MAXDIST and a subtree is
+// pruned when its MAXDIST cannot exceed the current k-th farthest distance.
+// Results are ordered by descending distance.
+//
+// A natural by-product of the metric toolbox (the paper defines MAXDIST but
+// only uses it in passing); useful for diameter estimation and outlier
+// scans, and exercised by the E8-style comparisons in tests.
+template <int D>
+Result<std::vector<Neighbor>> FarthestSearch(const RTree<D>& tree,
+                                             const Point<D>& query,
+                                             uint32_t k, QueryStats* stats);
+
+extern template Result<std::vector<Neighbor>> FarthestSearch<2>(
+    const RTree<2>&, const Point<2>&, uint32_t, QueryStats*);
+extern template Result<std::vector<Neighbor>> FarthestSearch<3>(
+    const RTree<3>&, const Point<3>&, uint32_t, QueryStats*);
+
+}  // namespace spatial
+
+#endif  // SPATIAL_CORE_FARTHEST_H_

@@ -1,0 +1,78 @@
+#include "core/incremental.h"
+
+#include "geom/metrics.h"
+#include "rtree/node.h"
+
+namespace spatial {
+
+template <int D>
+IncrementalKnn<D>::IncrementalKnn(const RTree<D>& tree, const Point<D>& query,
+                                  QueryStats* stats)
+    : tree_(&tree), query_(query), stats_(stats) {
+  if (!tree.empty()) {
+    queue_.push(QueueItem{0.0, /*is_object=*/false, tree.root_page()});
+    if (stats_ != nullptr) ++stats_->heap_pushes;
+  }
+}
+
+template <int D>
+Result<std::optional<Neighbor>> IncrementalKnn<D>::Next() {
+  while (!queue_.empty()) {
+    const QueueItem item = queue_.top();
+    queue_.pop();
+    if (stats_ != nullptr) ++stats_->heap_pops;
+    if (item.is_object) {
+      return std::optional<Neighbor>(Neighbor{item.id, item.dist_sq});
+    }
+    SPATIAL_RETURN_IF_ERROR(ExpandNode(static_cast<PageId>(item.id)));
+  }
+  return std::optional<Neighbor>(std::nullopt);
+}
+
+template <int D>
+Status IncrementalKnn<D>::ExpandNode(PageId node_id) {
+  BufferPool* pool = tree_->pool();
+  SPATIAL_ASSIGN_OR_RETURN(PageHandle handle, pool->Fetch(node_id));
+  NodeView<D> view(handle.data(), pool->page_size());
+  if (!view.has_valid_magic()) {
+    return Status::Corruption("incremental knn: node page has bad magic");
+  }
+  if (stats_ != nullptr) {
+    ++stats_->nodes_visited;
+    if (view.is_leaf()) {
+      ++stats_->leaf_nodes_visited;
+    } else {
+      ++stats_->internal_nodes_visited;
+    }
+  }
+  const bool is_leaf = view.is_leaf();
+  const uint32_t n = view.count();
+  for (uint32_t i = 0; i < n; ++i) {
+    const Entry<D> e = view.entry(i);
+    if (is_leaf) {
+      const double dist_sq = ObjectDistSq(query_, e.mbr);
+      queue_.push(QueueItem{dist_sq, /*is_object=*/true, e.id});
+      if (stats_ != nullptr) {
+        ++stats_->objects_examined;
+        ++stats_->distance_computations;
+        ++stats_->heap_pushes;
+      }
+    } else {
+      const double dist_sq = MinDistSq(query_, e.mbr);
+      queue_.push(
+          QueueItem{dist_sq, /*is_object=*/false, static_cast<PageId>(e.id)});
+      if (stats_ != nullptr) {
+        ++stats_->abl_entries_generated;
+        ++stats_->distance_computations;
+        ++stats_->heap_pushes;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+template class IncrementalKnn<2>;
+template class IncrementalKnn<3>;
+template class IncrementalKnn<4>;
+
+}  // namespace spatial

@@ -1,0 +1,65 @@
+#ifndef SPATIAL_CORE_INCREMENTAL_H_
+#define SPATIAL_CORE_INCREMENTAL_H_
+
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "common/result.h"
+#include "core/neighbor_buffer.h"
+#include "core/query_stats.h"
+#include "geom/point.h"
+#include "rtree/rtree.h"
+
+namespace spatial {
+
+// Incremental ("distance browsing") nearest-neighbor iterator over an
+// R-tree: a global best-first traversal driven by a priority queue mixing
+// subtrees (keyed by MINDIST) and objects (keyed by their distance).
+// Each Next() call yields the next-closest object; k is not fixed up front.
+//
+// This is the natural engineering extension of the SIGMOD'95 algorithm
+// (later formalized by Hjaltason & Samet); experiment E8 uses it as the
+// page-access-optimal comparator for the paper's depth-first search.
+//
+// The iterator borrows `tree` (and its buffer pool); it must not outlive
+// them, and the tree must not be mutated while iterating.
+template <int D>
+class IncrementalKnn {
+ public:
+  IncrementalKnn(const RTree<D>& tree, const Point<D>& query,
+                 QueryStats* stats);
+
+  // Returns the next-closest neighbor, or nullopt when exhausted.
+  Result<std::optional<Neighbor>> Next();
+
+ private:
+  struct QueueItem {
+    double dist_sq;
+    bool is_object;
+    uint64_t id;  // object id or child PageId
+
+    // Min-heap on distance; objects win distance ties so results are
+    // emitted as early as possible.
+    friend bool operator<(const QueueItem& a, const QueueItem& b) {
+      if (a.dist_sq != b.dist_sq) return a.dist_sq > b.dist_sq;
+      return a.is_object < b.is_object;
+    }
+  };
+
+  Status ExpandNode(PageId node_id);
+
+  const RTree<D>* tree_;
+  Point<D> query_;
+  QueryStats* stats_;
+  std::priority_queue<QueueItem> queue_;
+};
+
+extern template class IncrementalKnn<2>;
+extern template class IncrementalKnn<3>;
+extern template class IncrementalKnn<4>;
+
+}  // namespace spatial
+
+#endif  // SPATIAL_CORE_INCREMENTAL_H_

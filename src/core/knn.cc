@@ -1,0 +1,214 @@
+#include "core/knn.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/macros.h"
+#include "geom/metrics.h"
+#include "rtree/node.h"
+
+namespace spatial {
+
+const char* AblOrderingName(AblOrdering ordering) {
+  switch (ordering) {
+    case AblOrdering::kMinDist:
+      return "mindist";
+    case AblOrdering::kMinMaxDist:
+      return "minmaxdist";
+    case AblOrdering::kNone:
+      return "none";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Relative slack applied to MINMAXDIST-based pruning (S1/S2). MINDIST of a
+// descendant box and MINMAXDIST of an ancestor box can denote the same
+// geometric distance yet differ by an ulp, because they are computed through
+// different floating-point expression trees; without slack, strict
+// comparisons can prune the branch holding the guaranteed object. Inflating
+// the upper bound keeps it an upper bound, so correctness is unaffected.
+// (S3 needs no slack: MINDIST(q, box) <= dist(q, object) holds in floating
+// point by monotonicity of per-dimension clamping.)
+constexpr double kMinMaxSlack = 1.0 + 1e-9;
+
+// One Active Branch List slot: a child subtree with its two metrics.
+struct AblEntry {
+  PageId child = kInvalidPageId;
+  double min_dist_sq = 0.0;
+  double min_max_dist_sq = 0.0;
+};
+
+template <int D>
+class DepthFirstKnn {
+ public:
+  DepthFirstKnn(const RTree<D>& tree, const Point<D>& query,
+                const KnnOptions& options, QueryStats* stats)
+      : tree_(tree),
+        query_(query),
+        options_(options),
+        stats_(stats),
+        buffer_(options.k),
+        // S1/S2 depend on MINMAXDIST bounding a *single* object, so they
+        // are sound only for k = 1.
+        s1_active_(options.use_s1 && options.k == 1),
+        s2_active_(options.use_s2 && options.k == 1) {}
+
+  Result<std::vector<Neighbor>> Run() {
+    SPATIAL_RETURN_IF_ERROR(Visit(tree_.root_page()));
+    return buffer_.TakeSorted();
+  }
+
+ private:
+  // Current pruning bound: actual k-th nearest distance (S3) combined with
+  // the MINMAXDIST-based estimate (S2). Branches at MINDIST strictly above
+  // the bound cannot improve the result.
+  double PruneBoundSq() const {
+    double bound = std::numeric_limits<double>::infinity();
+    if (options_.use_s3) bound = std::min(bound, buffer_.WorstDistSq());
+    if (s2_active_) bound = std::min(bound, estimate_sq_);
+    return bound;
+  }
+
+  Status Visit(PageId node_id) {
+    SPATIAL_ASSIGN_OR_RETURN(PageHandle handle,
+                             tree_.pool()->Fetch(node_id));
+    NodeView<D> view(handle.data(), tree_.pool()->page_size());
+    if (!view.has_valid_magic()) {
+      return Status::Corruption("knn: node page has bad magic");
+    }
+    if (stats_ != nullptr) {
+      ++stats_->nodes_visited;
+      if (view.is_leaf()) {
+        ++stats_->leaf_nodes_visited;
+      } else {
+        ++stats_->internal_nodes_visited;
+      }
+    }
+
+    if (view.is_leaf()) {
+      const uint32_t n = view.count();
+      for (uint32_t i = 0; i < n; ++i) {
+        const Entry<D> e = view.entry(i);
+        const double dist_sq = ObjectDistSq(query_, e.mbr);
+        if (stats_ != nullptr) {
+          ++stats_->objects_examined;
+          ++stats_->distance_computations;
+        }
+        buffer_.Offer(e.id, dist_sq);
+      }
+      return Status::OK();
+    }
+
+    // Build the Active Branch List.
+    std::vector<AblEntry> abl;
+    abl.reserve(view.count());
+    const uint32_t n = view.count();
+    for (uint32_t i = 0; i < n; ++i) {
+      const Entry<D> e = view.entry(i);
+      AblEntry slot;
+      slot.child = static_cast<PageId>(e.id);
+      slot.min_dist_sq = MinDistSq(query_, e.mbr);
+      slot.min_max_dist_sq = MinMaxDistSq(query_, e.mbr);
+      if (stats_ != nullptr) {
+        ++stats_->abl_entries_generated;
+        stats_->distance_computations += 2;
+      }
+      abl.push_back(slot);
+    }
+    // Release before descending: pin-depth stays at one frame.
+    handle.Release();
+
+    switch (options_.ordering) {
+      case AblOrdering::kMinDist:
+        std::sort(abl.begin(), abl.end(),
+                  [](const AblEntry& a, const AblEntry& b) {
+                    return a.min_dist_sq < b.min_dist_sq;
+                  });
+        break;
+      case AblOrdering::kMinMaxDist:
+        std::sort(abl.begin(), abl.end(),
+                  [](const AblEntry& a, const AblEntry& b) {
+                    return a.min_max_dist_sq < b.min_max_dist_sq;
+                  });
+        break;
+      case AblOrdering::kNone:
+        break;
+    }
+
+    if (s1_active_ || s2_active_) {
+      double min_minmax = std::numeric_limits<double>::infinity();
+      for (const AblEntry& slot : abl) {
+        min_minmax = std::min(min_minmax, slot.min_max_dist_sq);
+      }
+      if (s1_active_) {
+        // Strategy 1: some sibling is guaranteed to contain an object at
+        // distance <= min_minmax; branches strictly beyond it are dead.
+        const double s1_bound = min_minmax * kMinMaxSlack;
+        auto keep_end = std::remove_if(
+            abl.begin(), abl.end(), [s1_bound](const AblEntry& slot) {
+              return slot.min_dist_sq > s1_bound;
+            });
+        if (stats_ != nullptr) {
+          stats_->pruned_s1 +=
+              static_cast<uint64_t>(std::distance(keep_end, abl.end()));
+        }
+        abl.erase(keep_end, abl.end());
+      }
+      if (s2_active_ && min_minmax * kMinMaxSlack < estimate_sq_) {
+        // Strategy 2: tighten the NN distance estimate.
+        estimate_sq_ = min_minmax * kMinMaxSlack;
+        if (stats_ != nullptr) ++stats_->estimate_updates_s2;
+      }
+    }
+
+    // Recurse in ABL order, re-testing the bound after every return
+    // (strategy 3 / upward pruning).
+    for (const AblEntry& slot : abl) {
+      if (slot.min_dist_sq > PruneBoundSq()) {
+        if (stats_ != nullptr) ++stats_->pruned_s3;
+        continue;
+      }
+      SPATIAL_RETURN_IF_ERROR(Visit(slot.child));
+    }
+    return Status::OK();
+  }
+
+  const RTree<D>& tree_;
+  const Point<D> query_;
+  const KnnOptions options_;
+  QueryStats* stats_;
+  NeighborBuffer buffer_;
+  const bool s1_active_;
+  const bool s2_active_;
+  double estimate_sq_ = std::numeric_limits<double>::infinity();
+};
+
+}  // namespace
+
+template <int D>
+Result<std::vector<Neighbor>> KnnSearch(const RTree<D>& tree,
+                                        const Point<D>& query,
+                                        const KnnOptions& options,
+                                        QueryStats* stats) {
+  SPATIAL_RETURN_IF_ERROR(options.Validate());
+  if (tree.empty()) return std::vector<Neighbor>{};
+  DepthFirstKnn<D> search(tree, query, options, stats);
+  return search.Run();
+}
+
+template Result<std::vector<Neighbor>> KnnSearch<2>(const RTree<2>&,
+                                                    const Point<2>&,
+                                                    const KnnOptions&,
+                                                    QueryStats*);
+template Result<std::vector<Neighbor>> KnnSearch<3>(const RTree<3>&,
+                                                    const Point<3>&,
+                                                    const KnnOptions&,
+                                                    QueryStats*);
+template Result<std::vector<Neighbor>> KnnSearch<4>(const RTree<4>&,
+                                                    const Point<4>&,
+                                                    const KnnOptions&,
+                                                    QueryStats*);
+
+}  // namespace spatial

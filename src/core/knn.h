@@ -1,0 +1,73 @@
+#ifndef SPATIAL_CORE_KNN_H_
+#define SPATIAL_CORE_KNN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "core/neighbor_buffer.h"
+#include "core/query_stats.h"
+#include "geom/point.h"
+#include "rtree/rtree.h"
+
+namespace spatial {
+
+// Order in which the Active Branch List (the child MBRs of the node being
+// visited) is traversed. The paper evaluates MINDIST and MINMAXDIST
+// orderings and finds MINDIST superior for depth-first traversal; kNone
+// (arrival order) isolates the contribution of ordering in experiment E5.
+enum class AblOrdering {
+  kMinDist,
+  kMinMaxDist,
+  kNone,
+};
+
+const char* AblOrderingName(AblOrdering ordering);
+
+// Configuration of the branch-and-bound search. The three switches map
+// one-to-one onto the paper's pruning strategies:
+//
+//  s1: discard an MBR whose MINDIST exceeds the minimum MINMAXDIST among
+//      its siblings (downward pruning; valid for k = 1 only).
+//  s2: lower the nearest-neighbor *estimate* to the minimum MINMAXDIST seen
+//      (allows pruning before any actual object is found; k = 1 only).
+//  s3: discard an MBR whose MINDIST exceeds the distance to the k-th
+//      nearest object found so far (upward pruning; the workhorse).
+//
+// Correctness holds for every combination, including all three disabled
+// (which degenerates to a full traversal). S1/S2 rely on the MBR-face
+// property that guarantees only a single object, so with k > 1 they are
+// automatically inactive regardless of the flags.
+struct KnnOptions {
+  uint32_t k = 1;
+  AblOrdering ordering = AblOrdering::kMinDist;
+  bool use_s1 = true;
+  bool use_s2 = true;
+  bool use_s3 = true;
+
+  Status Validate() const {
+    if (k < 1) return Status::InvalidArgument("k must be >= 1");
+    return Status::OK();
+  }
+};
+
+// Finds the k objects of `tree` nearest to `query` using the ordered
+// depth-first branch-and-bound algorithm of "Nearest Neighbor Queries"
+// (SIGMOD 1995). Returns fewer than k neighbors iff the tree holds fewer
+// than k objects. `stats` may be null.
+template <int D>
+Result<std::vector<Neighbor>> KnnSearch(const RTree<D>& tree,
+                                        const Point<D>& query,
+                                        const KnnOptions& options,
+                                        QueryStats* stats);
+
+extern template Result<std::vector<Neighbor>> KnnSearch<2>(
+    const RTree<2>&, const Point<2>&, const KnnOptions&, QueryStats*);
+extern template Result<std::vector<Neighbor>> KnnSearch<3>(
+    const RTree<3>&, const Point<3>&, const KnnOptions&, QueryStats*);
+extern template Result<std::vector<Neighbor>> KnnSearch<4>(
+    const RTree<4>&, const Point<4>&, const KnnOptions&, QueryStats*);
+
+}  // namespace spatial
+
+#endif  // SPATIAL_CORE_KNN_H_

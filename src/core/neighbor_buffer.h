@@ -1,0 +1,74 @@
+#ifndef SPATIAL_CORE_NEIGHBOR_BUFFER_H_
+#define SPATIAL_CORE_NEIGHBOR_BUFFER_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace spatial {
+
+// One answer of a k-NN query.
+struct Neighbor {
+  uint64_t id = 0;
+  double dist_sq = 0.0;
+
+  friend bool operator==(const Neighbor& a, const Neighbor& b) {
+    return a.id == b.id && a.dist_sq == b.dist_sq;
+  }
+};
+
+// The paper's "sorted buffer of at most k current nearest neighbors",
+// realized as a bounded max-heap keyed by squared distance. WorstDistSq()
+// is the pruning bound of strategy 3: infinite until the buffer holds k
+// candidates, thereafter the k-th smallest distance seen so far.
+class NeighborBuffer {
+ public:
+  explicit NeighborBuffer(uint32_t k) : k_(k) { SPATIAL_CHECK(k >= 1); }
+
+  uint32_t k() const { return k_; }
+  size_t size() const { return heap_.size(); }
+  bool full() const { return heap_.size() >= k_; }
+
+  double WorstDistSq() const {
+    return full() ? heap_.front().dist_sq
+                  : std::numeric_limits<double>::infinity();
+  }
+
+  // Inserts the candidate if it improves the buffer; returns whether it was
+  // kept. Ties with the current worst are rejected once the buffer is full
+  // (the result is still a correct k-NN set; tests compare distances).
+  bool Offer(uint64_t id, double dist_sq) {
+    if (!full()) {
+      heap_.push_back(Neighbor{id, dist_sq});
+      std::push_heap(heap_.begin(), heap_.end(), Less);
+      return true;
+    }
+    if (dist_sq >= heap_.front().dist_sq) return false;
+    std::pop_heap(heap_.begin(), heap_.end(), Less);
+    heap_.back() = Neighbor{id, dist_sq};
+    std::push_heap(heap_.begin(), heap_.end(), Less);
+    return true;
+  }
+
+  // Extracts the neighbors ordered by ascending distance, emptying the
+  // buffer.
+  std::vector<Neighbor> TakeSorted() {
+    std::sort_heap(heap_.begin(), heap_.end(), Less);
+    return std::move(heap_);
+  }
+
+ private:
+  static bool Less(const Neighbor& a, const Neighbor& b) {
+    return a.dist_sq < b.dist_sq;
+  }
+
+  uint32_t k_;
+  std::vector<Neighbor> heap_;  // max-heap on dist_sq
+};
+
+}  // namespace spatial
+
+#endif  // SPATIAL_CORE_NEIGHBOR_BUFFER_H_

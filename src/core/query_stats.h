@@ -1,0 +1,47 @@
+#ifndef SPATIAL_CORE_QUERY_STATS_H_
+#define SPATIAL_CORE_QUERY_STATS_H_
+
+#include <cstdint>
+
+namespace spatial {
+
+// Per-query instrumentation. `nodes_visited` equals the number of R-tree
+// pages fetched by the query — the headline metric of the SIGMOD'95
+// evaluation. The prune counters attribute discarded branches to the
+// paper's three pruning strategies.
+struct QueryStats {
+  uint64_t nodes_visited = 0;
+  uint64_t leaf_nodes_visited = 0;
+  uint64_t internal_nodes_visited = 0;
+
+  uint64_t abl_entries_generated = 0;  // child entries considered
+  uint64_t pruned_s1 = 0;              // MINDIST > min sibling MINMAXDIST
+  uint64_t estimate_updates_s2 = 0;    // MINMAXDIST lowered the NN estimate
+  uint64_t pruned_s3 = 0;              // MINDIST > k-th nearest (or estimate)
+
+  uint64_t objects_examined = 0;
+  uint64_t distance_computations = 0;
+
+  uint64_t heap_pushes = 0;  // best-first / incremental queue traffic
+  uint64_t heap_pops = 0;
+
+  void Reset() { *this = QueryStats(); }
+
+  void Add(const QueryStats& other) {
+    nodes_visited += other.nodes_visited;
+    leaf_nodes_visited += other.leaf_nodes_visited;
+    internal_nodes_visited += other.internal_nodes_visited;
+    abl_entries_generated += other.abl_entries_generated;
+    pruned_s1 += other.pruned_s1;
+    estimate_updates_s2 += other.estimate_updates_s2;
+    pruned_s3 += other.pruned_s3;
+    objects_examined += other.objects_examined;
+    distance_computations += other.distance_computations;
+    heap_pushes += other.heap_pushes;
+    heap_pops += other.heap_pops;
+  }
+};
+
+}  // namespace spatial
+
+#endif  // SPATIAL_CORE_QUERY_STATS_H_

@@ -1,0 +1,182 @@
+#include "core/reverse_nn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "common/macros.h"
+#include "core/knn.h"
+#include "geom/metrics.h"
+#include "rtree/node.h"
+
+namespace spatial {
+namespace {
+
+constexpr int kNumSectors = 6;
+// Candidates kept per sector: 1 suffices for points in general position;
+// a few extra make the sector lemma robust to distance ties on sector
+// boundaries. Hard cap so adversarial duplicate-heavy inputs stay bounded.
+constexpr int kSectorBase = 3;
+constexpr int kSectorCap = 16;
+
+struct Candidate {
+  uint64_t id;
+  Point2 location;
+  double dist_sq;  // to the query point
+};
+
+int SectorOf(const Point2& q, const Point2& p) {
+  const double angle = std::atan2(p[1] - q[1], p[0] - q[0]);  // [-pi, pi]
+  int sector = static_cast<int>((angle + M_PI) / (M_PI / 3.0));
+  if (sector >= kNumSectors) sector = kNumSectors - 1;  // angle == +pi
+  if (sector < 0) sector = 0;
+  return sector;
+}
+
+// Incremental best-first browse from q that retains object geometry
+// (IncrementalKnn only exposes ids, and verification needs locations).
+class BrowseQueue {
+ public:
+  BrowseQueue(const RTree<2>& tree, const Point2& query, QueryStats* stats)
+      : tree_(tree), query_(query), stats_(stats) {
+    if (!tree.empty()) {
+      queue_.push(Item{0.0, false, tree.root_page(), Rect2::Empty()});
+    }
+  }
+
+  // Next object in nondecreasing distance order; nullopt when exhausted.
+  Result<std::optional<Candidate>> Next() {
+    while (!queue_.empty()) {
+      const Item item = queue_.top();
+      queue_.pop();
+      if (item.is_object) {
+        return std::optional<Candidate>(
+            Candidate{item.id, item.mbr.Center(), item.dist_sq});
+      }
+      SPATIAL_ASSIGN_OR_RETURN(
+          PageHandle handle,
+          tree_.pool()->Fetch(static_cast<PageId>(item.id)));
+      NodeView<2> view(handle.data(), tree_.pool()->page_size());
+      if (!view.has_valid_magic()) {
+        return Status::Corruption("reverse nn: node page has bad magic");
+      }
+      if (stats_ != nullptr) {
+        ++stats_->nodes_visited;
+        if (view.is_leaf()) {
+          ++stats_->leaf_nodes_visited;
+        } else {
+          ++stats_->internal_nodes_visited;
+        }
+      }
+      const bool is_leaf = view.is_leaf();
+      const std::vector<Entry<2>> entries = view.GetEntries();
+      handle.Release();
+      for (const Entry<2>& e : entries) {
+        queue_.push(Item{MinDistSq(query_, e.mbr), is_leaf, e.id, e.mbr});
+        if (stats_ != nullptr) ++stats_->distance_computations;
+      }
+    }
+    return std::optional<Candidate>(std::nullopt);
+  }
+
+ private:
+  struct Item {
+    double dist_sq;
+    bool is_object;
+    uint64_t id;
+    Rect2 mbr;
+
+    friend bool operator<(const Item& a, const Item& b) {
+      if (a.dist_sq != b.dist_sq) return a.dist_sq > b.dist_sq;
+      return a.is_object < b.is_object;
+    }
+  };
+
+  const RTree<2>& tree_;
+  Point2 query_;
+  QueryStats* stats_;
+  std::priority_queue<Item> queue_;
+};
+
+}  // namespace
+
+template <>
+Result<std::vector<Neighbor>> ReverseNnSearch<2>(const RTree<2>& tree,
+                                                 const Point2& query,
+                                                 QueryStats* stats) {
+  std::vector<Neighbor> results;
+  if (tree.empty()) return results;
+
+  // Phase 1: sector-guided candidate generation by distance browsing.
+  std::vector<Candidate> candidates;
+  int kept[kNumSectors] = {};
+  double third_dist[kNumSectors];
+  for (double& d : third_dist) d = std::numeric_limits<double>::infinity();
+
+  BrowseQueue browse(tree, query, stats);
+  for (;;) {
+    SPATIAL_ASSIGN_OR_RETURN(std::optional<Candidate> next, browse.Next());
+    if (!next.has_value()) break;
+    if (stats != nullptr) ++stats->objects_examined;
+    if (next->dist_sq == 0.0) {
+      // Coincides with q: an unconditional reverse nearest neighbor and
+      // irrelevant to the sector bookkeeping.
+      candidates.push_back(*next);
+      continue;
+    }
+    const int sector = SectorOf(query, next->location);
+    const bool accept =
+        kept[sector] < kSectorBase ||
+        (kept[sector] < kSectorCap &&
+         next->dist_sq <= third_dist[sector] * (1.0 + 1e-12));
+    if (accept) {
+      candidates.push_back(*next);
+      ++kept[sector];
+      if (kept[sector] == kSectorBase) third_dist[sector] = next->dist_sq;
+      continue;
+    }
+    // The browse order is nondecreasing in distance; once every sector is
+    // saturated beyond its tie band, nothing farther can be a candidate.
+    bool all_closed = true;
+    for (int s = 0; s < kNumSectors; ++s) {
+      if (kept[s] < kSectorBase) {
+        all_closed = false;  // sector not yet saturated
+      } else if (kept[s] < kSectorCap &&
+                 next->dist_sq <= third_dist[s] * (1.0 + 1e-12)) {
+        all_closed = false;  // still inside the sector's tie band
+      }
+    }
+    if (all_closed) break;
+  }
+
+  // Phase 2: exact verification. o is a reverse NN iff its nearest *other*
+  // object is no closer than q.
+  for (const Candidate& candidate : candidates) {
+    if (candidate.dist_sq == 0.0) {
+      results.push_back(Neighbor{candidate.id, 0.0});
+      continue;
+    }
+    KnnOptions knn;
+    knn.k = 3;  // the candidate itself plus up to two others
+    SPATIAL_ASSIGN_OR_RETURN(
+        std::vector<Neighbor> around,
+        KnnSearch<2>(tree, candidate.location, knn, stats));
+    double nearest_other_sq = std::numeric_limits<double>::infinity();
+    for (const Neighbor& n : around) {
+      if (n.id == candidate.id) continue;
+      nearest_other_sq = n.dist_sq;
+      break;
+    }
+    if (candidate.dist_sq <= nearest_other_sq) {
+      results.push_back(Neighbor{candidate.id, candidate.dist_sq});
+    }
+  }
+  std::sort(results.begin(), results.end(),
+            [](const Neighbor& a, const Neighbor& b) {
+              return a.dist_sq < b.dist_sq;
+            });
+  return results;
+}
+
+}  // namespace spatial

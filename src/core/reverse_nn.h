@@ -1,0 +1,47 @@
+#ifndef SPATIAL_CORE_REVERSE_NN_H_
+#define SPATIAL_CORE_REVERSE_NN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "core/neighbor_buffer.h"
+#include "core/query_stats.h"
+#include "geom/point.h"
+#include "rtree/rtree.h"
+
+namespace spatial {
+
+// Reverse nearest neighbor (monochromatic, 2-D points): the objects whose
+// nearest *other* object is no closer than the query point q — i.e. the
+// objects that would pick q as their nearest neighbor (ties included).
+//
+// Implementation (Stanoi–Agrawal–El Abbadi candidate generation):
+//   1. Partition the plane around q into six 60° sectors. In each sector,
+//      only the objects nearest to q can be reverse nearest neighbors —
+//      for any two points in one sector, the farther one is strictly
+//      closer to the nearer one than to q (law of cosines, angle < 60°).
+//      Candidates are collected with the incremental distance-browsing
+//      iterator (a handful per sector to be robust to ties).
+//   2. Each candidate o is verified exactly with a 2-NN query at o's
+//      location: o is a result iff its nearest other object is at least
+//      as far from o as q is.
+//
+// Intended for point objects (degenerate MBRs); extended objects are
+// treated by their MBR distance like everywhere else, but the sector
+// lemma's guarantee is stated for points.
+template <int D>
+Result<std::vector<Neighbor>> ReverseNnSearch(const RTree<D>& tree,
+                                              const Point<D>& query,
+                                              QueryStats* stats);
+
+// Only the 2-D specialization is provided (the sector construction is
+// planar); other dimensions fail to link by design.
+template <>
+Result<std::vector<Neighbor>> ReverseNnSearch<2>(const RTree<2>&,
+                                                 const Point<2>&,
+                                                 QueryStats*);
+
+}  // namespace spatial
+
+#endif  // SPATIAL_CORE_REVERSE_NN_H_

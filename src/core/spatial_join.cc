@@ -1,0 +1,123 @@
+#include "core/spatial_join.h"
+
+#include "common/macros.h"
+#include "rtree/node.h"
+
+namespace spatial {
+namespace {
+
+template <int D>
+struct JoinContext {
+  const RTree<D>* outer;
+  const RTree<D>* inner;
+  std::vector<JoinPair>* out;
+  JoinStats* stats;
+};
+
+template <int D>
+struct LoadedNode {
+  uint16_t level = 0;
+  std::vector<Entry<D>> entries;
+};
+
+template <int D>
+Result<LoadedNode<D>> LoadNode(const RTree<D>* tree, PageId id,
+                               uint64_t* page_counter) {
+  SPATIAL_ASSIGN_OR_RETURN(PageHandle handle, tree->pool()->Fetch(id));
+  NodeView<D> view(handle.data(), tree->pool()->page_size());
+  if (!view.has_valid_magic()) {
+    return Status::Corruption("join: node page has bad magic");
+  }
+  if (page_counter != nullptr) ++*page_counter;
+  LoadedNode<D> node;
+  node.level = view.level();
+  node.entries = view.GetEntries();
+  return node;
+}
+
+// Synchronized traversal. When the subtrees stand at different heights the
+// taller one is descended until the levels align.
+template <int D>
+Status JoinNodes(JoinContext<D>* ctx, PageId outer_id, PageId inner_id) {
+  SPATIAL_ASSIGN_OR_RETURN(
+      LoadedNode<D> outer,
+      LoadNode(ctx->outer, outer_id,
+               ctx->stats ? &ctx->stats->pages_outer : nullptr));
+  SPATIAL_ASSIGN_OR_RETURN(
+      LoadedNode<D> inner,
+      LoadNode(ctx->inner, inner_id,
+               ctx->stats ? &ctx->stats->pages_inner : nullptr));
+  if (ctx->stats != nullptr) ++ctx->stats->node_pairs;
+
+  if (outer.level == 0 && inner.level == 0) {
+    for (const Entry<D>& a : outer.entries) {
+      for (const Entry<D>& b : inner.entries) {
+        if (ctx->stats != nullptr) ++ctx->stats->comparisons;
+        if (a.mbr.Intersects(b.mbr)) {
+          ctx->out->push_back({a.id, b.id});
+          if (ctx->stats != nullptr) ++ctx->stats->results;
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  if (outer.level >= inner.level && outer.level > 0) {
+    // Descend the outer side. Restrict to children overlapping the inner
+    // node's tight MBR.
+    Rect<D> inner_mbr = Rect<D>::Empty();
+    for (const Entry<D>& b : inner.entries) inner_mbr.ExpandToInclude(b.mbr);
+    for (const Entry<D>& a : outer.entries) {
+      if (ctx->stats != nullptr) ++ctx->stats->comparisons;
+      if (!a.mbr.Intersects(inner_mbr)) continue;
+      SPATIAL_RETURN_IF_ERROR(
+          JoinNodes(ctx, static_cast<PageId>(a.id), inner_id));
+    }
+    return Status::OK();
+  }
+
+  // Descend the inner side.
+  Rect<D> outer_mbr = Rect<D>::Empty();
+  for (const Entry<D>& a : outer.entries) outer_mbr.ExpandToInclude(a.mbr);
+  for (const Entry<D>& b : inner.entries) {
+    if (ctx->stats != nullptr) ++ctx->stats->comparisons;
+    if (!b.mbr.Intersects(outer_mbr)) continue;
+    SPATIAL_RETURN_IF_ERROR(
+        JoinNodes(ctx, outer_id, static_cast<PageId>(b.id)));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+template <int D>
+Status SpatialJoin(const RTree<D>& outer, const RTree<D>& inner,
+                   std::vector<JoinPair>* out, JoinStats* stats) {
+  SPATIAL_CHECK(out != nullptr);
+  if (outer.empty() || inner.empty()) return Status::OK();
+  JoinContext<D> ctx{&outer, &inner, out, stats};
+  return JoinNodes(&ctx, outer.root_page(), inner.root_page());
+}
+
+template <int D>
+std::vector<JoinPair> NestedLoopJoin(const std::vector<Entry<D>>& outer,
+                                     const std::vector<Entry<D>>& inner) {
+  std::vector<JoinPair> out;
+  for (const Entry<D>& a : outer) {
+    for (const Entry<D>& b : inner) {
+      if (a.mbr.Intersects(b.mbr)) out.push_back({a.id, b.id});
+    }
+  }
+  return out;
+}
+
+template Status SpatialJoin<2>(const RTree<2>&, const RTree<2>&,
+                               std::vector<JoinPair>*, JoinStats*);
+template Status SpatialJoin<3>(const RTree<3>&, const RTree<3>&,
+                               std::vector<JoinPair>*, JoinStats*);
+template std::vector<JoinPair> NestedLoopJoin<2>(const std::vector<Entry<2>>&,
+                                                 const std::vector<Entry<2>>&);
+template std::vector<JoinPair> NestedLoopJoin<3>(const std::vector<Entry<3>>&,
+                                                 const std::vector<Entry<3>>&);
+
+}  // namespace spatial

@@ -1,0 +1,53 @@
+#ifndef SPATIAL_CORE_SPATIAL_JOIN_H_
+#define SPATIAL_CORE_SPATIAL_JOIN_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "rtree/rtree.h"
+
+namespace spatial {
+
+struct JoinStats {
+  uint64_t pages_outer = 0;   // nodes of the first tree fetched
+  uint64_t pages_inner = 0;   // nodes of the second tree fetched
+  uint64_t node_pairs = 0;    // node pairs whose MBRs overlapped
+  uint64_t comparisons = 0;   // entry-pair intersection tests
+  uint64_t results = 0;
+
+  void Reset() { *this = JoinStats(); }
+};
+
+// A pair of object ids whose MBRs intersect, (outer id, inner id).
+using JoinPair = std::pair<uint64_t, uint64_t>;
+
+// R-tree intersection join (synchronized traversal, Brinkhoff et al. 1993):
+// descends both trees simultaneously, expanding only node pairs whose MBRs
+// overlap. The natural companion operation of the NN search — both replace
+// exhaustive enumeration with MBR-directed pruning.
+//
+// The trees may have different heights and may live on different buffer
+// pools. Results are appended to `out` in unspecified order.
+template <int D>
+Status SpatialJoin(const RTree<D>& outer, const RTree<D>& inner,
+                   std::vector<JoinPair>* out, JoinStats* stats);
+
+// Exhaustive reference implementation for tests and small inputs.
+template <int D>
+std::vector<JoinPair> NestedLoopJoin(const std::vector<Entry<D>>& outer,
+                                     const std::vector<Entry<D>>& inner);
+
+extern template Status SpatialJoin<2>(const RTree<2>&, const RTree<2>&,
+                                      std::vector<JoinPair>*, JoinStats*);
+extern template Status SpatialJoin<3>(const RTree<3>&, const RTree<3>&,
+                                      std::vector<JoinPair>*, JoinStats*);
+extern template std::vector<JoinPair> NestedLoopJoin<2>(
+    const std::vector<Entry<2>>&, const std::vector<Entry<2>>&);
+extern template std::vector<JoinPair> NestedLoopJoin<3>(
+    const std::vector<Entry<3>>&, const std::vector<Entry<3>>&);
+
+}  // namespace spatial
+
+#endif  // SPATIAL_CORE_SPATIAL_JOIN_H_

@@ -1,0 +1,48 @@
+#include "data/clustered.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace spatial {
+
+template <int D>
+std::vector<Point<D>> GenerateClustered(size_t n, const Rect<D>& bounds,
+                                        const ClusteredOptions& options,
+                                        Rng* rng) {
+  SPATIAL_CHECK(rng != nullptr);
+  SPATIAL_CHECK(bounds.IsValid());
+  SPATIAL_CHECK(options.num_clusters >= 1);
+
+  std::vector<Point<D>> centers(options.num_clusters);
+  for (Point<D>& c : centers) {
+    for (int i = 0; i < D; ++i) {
+      c[i] = rng->Uniform(bounds.lo[i], bounds.hi[i]);
+    }
+  }
+
+  std::vector<Point<D>> points(n);
+  for (Point<D>& p : points) {
+    const Point<D>& center =
+        centers[rng->NextBounded(options.num_clusters)];
+    for (int i = 0; i < D; ++i) {
+      const double sigma =
+          options.sigma_fraction * (bounds.hi[i] - bounds.lo[i]);
+      const double v = center[i] + sigma * rng->NextGaussian();
+      p[i] = std::clamp(v, bounds.lo[i], bounds.hi[i]);
+    }
+  }
+  return points;
+}
+
+template std::vector<Point<2>> GenerateClustered<2>(size_t, const Rect<2>&,
+                                                    const ClusteredOptions&,
+                                                    Rng*);
+template std::vector<Point<3>> GenerateClustered<3>(size_t, const Rect<3>&,
+                                                    const ClusteredOptions&,
+                                                    Rng*);
+template std::vector<Point<4>> GenerateClustered<4>(size_t, const Rect<4>&,
+                                                    const ClusteredOptions&,
+                                                    Rng*);
+
+}  // namespace spatial

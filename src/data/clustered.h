@@ -1,0 +1,38 @@
+#ifndef SPATIAL_DATA_CLUSTERED_H_
+#define SPATIAL_DATA_CLUSTERED_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "geom/point.h"
+#include "geom/rect.h"
+
+namespace spatial {
+
+struct ClusteredOptions {
+  // Number of Gaussian clusters.
+  uint32_t num_clusters = 16;
+  // Cluster standard deviation as a fraction of the domain width.
+  double sigma_fraction = 0.02;
+};
+
+// Gaussian-mixture point clouds: cluster centers uniform in `bounds`,
+// points normal around a random center (clipped to bounds). Models the
+// skewed distributions that separate "real" from "uniform" behaviour in
+// the paper's figures.
+template <int D>
+std::vector<Point<D>> GenerateClustered(size_t n, const Rect<D>& bounds,
+                                        const ClusteredOptions& options,
+                                        Rng* rng);
+
+extern template std::vector<Point<2>> GenerateClustered<2>(
+    size_t, const Rect<2>&, const ClusteredOptions&, Rng*);
+extern template std::vector<Point<3>> GenerateClustered<3>(
+    size_t, const Rect<3>&, const ClusteredOptions&, Rng*);
+extern template std::vector<Point<4>> GenerateClustered<4>(
+    size_t, const Rect<4>&, const ClusteredOptions&, Rng*);
+
+}  // namespace spatial
+
+#endif  // SPATIAL_DATA_CLUSTERED_H_

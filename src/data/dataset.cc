@@ -1,0 +1,46 @@
+#include "data/dataset.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace spatial {
+
+Status WritePointsCsv(const std::string& path,
+                      const std::vector<Point<2>>& points) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::InvalidArgument("cannot open for writing: " + path);
+  }
+  out.precision(17);
+  for (const Point<2>& p : points) {
+    out << p[0] << ',' << p[1] << '\n';
+  }
+  if (!out.good()) return Status::Internal("write failed: " + path);
+  return Status::OK();
+}
+
+Result<std::vector<Point<2>>> ReadPointsCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::NotFound("cannot open for reading: " + path);
+  }
+  std::vector<Point<2>> points;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream ss(line);
+    Point<2> p;
+    char comma = 0;
+    if (!(ss >> p.coord[0] >> comma >> p.coord[1]) || comma != ',') {
+      return Status::Corruption("bad CSV at " + path + ":" +
+                                std::to_string(line_no));
+    }
+    points.push_back(p);
+  }
+  return points;
+}
+
+}  // namespace spatial

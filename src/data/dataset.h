@@ -1,0 +1,47 @@
+#ifndef SPATIAL_DATA_DATASET_H_
+#define SPATIAL_DATA_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "geom/point.h"
+#include "geom/rect.h"
+#include "rtree/entry.h"
+
+namespace spatial {
+
+// Datasets are plain vectors of leaf entries (Entry<D>): an MBR plus an
+// object id. Point datasets use degenerate rectangles.
+
+// Wraps points as entries with ids first_id, first_id+1, ...
+template <int D>
+std::vector<Entry<D>> MakePointEntries(const std::vector<Point<D>>& points,
+                                       uint64_t first_id = 0) {
+  std::vector<Entry<D>> entries;
+  entries.reserve(points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    entries.push_back(Entry<D>{Rect<D>::FromPoint(points[i]),
+                               first_id + static_cast<uint64_t>(i)});
+  }
+  return entries;
+}
+
+// Tight bounds of a dataset (Empty() for an empty dataset).
+template <int D>
+Rect<D> BoundsOf(const std::vector<Entry<D>>& entries) {
+  Rect<D> bounds = Rect<D>::Empty();
+  for (const Entry<D>& e : entries) bounds.ExpandToInclude(e.mbr);
+  return bounds;
+}
+
+// CSV persistence for 2-D point datasets ("x,y" per line). Used by the
+// examples so generated datasets can be inspected and re-used.
+Status WritePointsCsv(const std::string& path,
+                      const std::vector<Point<2>>& points);
+Result<std::vector<Point<2>>> ReadPointsCsv(const std::string& path);
+
+}  // namespace spatial
+
+#endif  // SPATIAL_DATA_DATASET_H_

@@ -1,0 +1,165 @@
+#include "data/tiger_like.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace spatial {
+namespace {
+
+// Relative population weight at p under the Gaussian-mixture core model,
+// normalized to (0, 1].
+double DensityAt(const Point<2>& p, const std::vector<Point<2>>& cores,
+                 const std::vector<double>& weights, double sigma) {
+  double density = 0.0;
+  double total_weight = 0.0;
+  for (size_t i = 0; i < cores.size(); ++i) {
+    const double dist_sq = SquaredDistance(p, cores[i]);
+    density += weights[i] * std::exp(-dist_sq / (2.0 * sigma * sigma));
+    total_weight += weights[i];
+  }
+  return total_weight > 0.0 ? density / total_weight : 0.0;
+}
+
+Point<2> ClampToBounds(const Point<2>& p, const Rect<2>& bounds) {
+  Point<2> q;
+  for (int i = 0; i < 2; ++i) {
+    q[i] = std::clamp(p[i], bounds.lo[i], bounds.hi[i]);
+  }
+  return q;
+}
+
+// Draws a start point from the mixture density (rejection sampling with a
+// uniform proposal; accepts quickly because density is normalized).
+Point<2> SampleByDensity(const Rect<2>& bounds,
+                         const std::vector<Point<2>>& cores,
+                         const std::vector<double>& weights, double sigma,
+                         Rng* rng) {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    Point<2> p{{rng->Uniform(bounds.lo[0], bounds.hi[0]),
+                rng->Uniform(bounds.lo[1], bounds.hi[1])}};
+    // Mix in a uniform floor so the outskirts are sparse but not empty,
+    // as in real county data.
+    const double d = 0.1 + 0.9 * DensityAt(p, cores, weights, sigma);
+    if (rng->NextDouble() < d) return p;
+  }
+  return Point<2>{{0.5 * (bounds.lo[0] + bounds.hi[0]),
+                   0.5 * (bounds.lo[1] + bounds.hi[1])}};
+}
+
+}  // namespace
+
+RoadNetwork GenerateTigerLike(size_t target_segments, const Rect<2>& bounds,
+                              const TigerLikeOptions& options, Rng* rng) {
+  SPATIAL_CHECK(rng != nullptr);
+  SPATIAL_CHECK(bounds.IsValid());
+  SPATIAL_CHECK(options.num_urban_cores >= 1);
+  SPATIAL_CHECK(options.max_walk_steps >= options.min_walk_steps);
+  SPATIAL_CHECK(options.min_walk_steps >= 1);
+
+  RoadNetwork network;
+  if (target_segments == 0) return network;
+  network.segments.reserve(target_segments);
+
+  const double width = bounds.hi[0] - bounds.lo[0];
+  const double sigma = options.core_sigma_fraction * width;
+  const double base_block = options.block_length_fraction * width;
+
+  // Urban cores with Zipf-ish weights: one dominant city, smaller towns.
+  std::vector<double> weights;
+  network.core_centers.reserve(options.num_urban_cores);
+  for (uint32_t i = 0; i < options.num_urban_cores; ++i) {
+    network.core_centers.push_back(
+        Point<2>{{rng->Uniform(bounds.lo[0], bounds.hi[0]),
+                  rng->Uniform(bounds.lo[1], bounds.hi[1])}});
+    weights.push_back(1.0 / static_cast<double>(i + 1));
+  }
+
+  // Arterials: segmented near-straight roads between random core pairs.
+  const size_t arterial_target = static_cast<size_t>(
+      options.arterial_fraction * static_cast<double>(target_segments));
+  while (network.segments.size() < arterial_target &&
+         network.core_centers.size() >= 2) {
+    const size_t a = rng->NextBounded(network.core_centers.size());
+    size_t b = rng->NextBounded(network.core_centers.size());
+    if (a == b) continue;
+    const Point<2> from = network.core_centers[a];
+    const Point<2> to = network.core_centers[b];
+    const double dist = Distance(from, to);
+    const size_t pieces =
+        std::max<size_t>(2, static_cast<size_t>(dist / (4.0 * base_block)));
+    Point<2> prev = from;
+    for (size_t i = 1; i <= pieces; ++i) {
+      const double t = static_cast<double>(i) / static_cast<double>(pieces);
+      Point<2> next{{from[0] + t * (to[0] - from[0]),
+                     from[1] + t * (to[1] - from[1])}};
+      // Slight curvature jitter, except at the endpoints.
+      if (i < pieces) {
+        next[0] += 0.5 * base_block * rng->NextGaussian();
+        next[1] += 0.5 * base_block * rng->NextGaussian();
+      }
+      next = ClampToBounds(next, bounds);
+      network.segments.push_back(Segment<2>{prev, next});
+      prev = next;
+      if (network.segments.size() >= arterial_target) break;
+    }
+  }
+
+  // Local streets: Manhattan-biased random walks seeded by density, with
+  // block length shrinking where density is high.
+  while (network.segments.size() < target_segments) {
+    Point<2> pos = SampleByDensity(bounds, network.core_centers, weights,
+                                   sigma, rng);
+    const uint32_t steps = static_cast<uint32_t>(rng->UniformInt(
+        options.min_walk_steps, options.max_walk_steps));
+    // Streets in a neighborhood share an orientation: pick a grid rotation
+    // per walk, mostly axis-aligned.
+    const bool axis_aligned = rng->NextDouble() < 0.85;
+    const double grid_angle =
+        axis_aligned ? 0.0 : rng->Uniform(0.0, 1.5707963267948966);
+    int heading = static_cast<int>(rng->NextBounded(4));  // quadrant steps
+    for (uint32_t s = 0; s < steps; ++s) {
+      const double density =
+          DensityAt(pos, network.core_centers, weights, sigma);
+      const double block = base_block / (0.35 + 3.0 * density);
+      // Mostly straight; occasionally turn left/right by 90 degrees.
+      const double turn = rng->NextDouble();
+      if (turn < 0.2) {
+        heading = (heading + 1) & 3;
+      } else if (turn < 0.4) {
+        heading = (heading + 3) & 3;
+      }
+      const double angle =
+          grid_angle + 1.5707963267948966 * static_cast<double>(heading);
+      Point<2> next{{pos[0] + block * std::cos(angle),
+                     pos[1] + block * std::sin(angle)}};
+      next = ClampToBounds(next, bounds);
+      if (next == pos) break;  // stuck on the boundary
+      network.segments.push_back(Segment<2>{pos, next});
+      pos = next;
+      if (network.segments.size() >= target_segments) break;
+    }
+  }
+  return network;
+}
+
+std::vector<Entry<2>> SegmentsToEntries(const std::vector<Segment<2>>& segs,
+                                        uint64_t first_id) {
+  std::vector<Entry<2>> entries;
+  entries.reserve(segs.size());
+  for (size_t i = 0; i < segs.size(); ++i) {
+    entries.push_back(
+        Entry<2>{segs[i].Mbr(), first_id + static_cast<uint64_t>(i)});
+  }
+  return entries;
+}
+
+std::vector<Point<2>> SegmentMidpoints(const std::vector<Segment<2>>& segs) {
+  std::vector<Point<2>> points;
+  points.reserve(segs.size());
+  for (const Segment<2>& s : segs) points.push_back(s.Midpoint());
+  return points;
+}
+
+}  // namespace spatial

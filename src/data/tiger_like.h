@@ -1,0 +1,61 @@
+#ifndef SPATIAL_DATA_TIGER_LIKE_H_
+#define SPATIAL_DATA_TIGER_LIKE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "geom/point.h"
+#include "geom/rect.h"
+#include "geom/segment.h"
+#include "rtree/entry.h"
+
+namespace spatial {
+
+// Synthetic substitute for the TIGER/Line street-segment files used by the
+// SIGMOD'95 evaluation (Long Beach County CA, Montgomery County MD), which
+// are not available here. See DESIGN.md "Substitutions".
+//
+// The generator reproduces the statistical properties that make
+// cartographic data different from uniform data in the paper's figures:
+//   * strong density skew (dense urban cores, sparse outskirts) via a
+//     weighted Gaussian-mixture population model;
+//   * line-segment objects arranged in connected polylines;
+//   * Manhattan-style local street grids (axis-aligned bias) plus a small
+//     number of long arterials connecting the cores;
+//   * shorter blocks where density is high, as in real street networks.
+struct TigerLikeOptions {
+  uint32_t num_urban_cores = 6;
+  // Core radius (std. dev.) as a fraction of the domain width.
+  double core_sigma_fraction = 0.08;
+  // Fraction of segments belonging to long arterial roads.
+  double arterial_fraction = 0.05;
+  // Mean local-street block length as a fraction of the domain width,
+  // at average density (shrinks in dense areas).
+  double block_length_fraction = 0.01;
+  // Steps per local street random walk.
+  uint32_t min_walk_steps = 3;
+  uint32_t max_walk_steps = 12;
+};
+
+struct RoadNetwork {
+  std::vector<Segment<2>> segments;
+  std::vector<Point<2>> core_centers;
+};
+
+// Generates approximately `target_segments` street segments inside `bounds`.
+RoadNetwork GenerateTigerLike(size_t target_segments, const Rect<2>& bounds,
+                              const TigerLikeOptions& options, Rng* rng);
+
+// Leaf entries for indexing a network: one entry per segment MBR.
+std::vector<Entry<2>> SegmentsToEntries(const std::vector<Segment<2>>& segs,
+                                        uint64_t first_id = 0);
+
+// Point dataset derived from the network (segment midpoints) — the form
+// used by the nearest-neighbor experiments.
+std::vector<Point<2>> SegmentMidpoints(const std::vector<Segment<2>>& segs);
+
+}  // namespace spatial
+
+#endif  // SPATIAL_DATA_TIGER_LIKE_H_

@@ -1,0 +1,28 @@
+#include "data/uniform.h"
+
+#include "common/macros.h"
+
+namespace spatial {
+
+template <int D>
+std::vector<Point<D>> GenerateUniform(size_t n, const Rect<D>& bounds,
+                                      Rng* rng) {
+  SPATIAL_CHECK(rng != nullptr);
+  SPATIAL_CHECK(bounds.IsValid());
+  std::vector<Point<D>> points(n);
+  for (Point<D>& p : points) {
+    for (int i = 0; i < D; ++i) {
+      p[i] = rng->Uniform(bounds.lo[i], bounds.hi[i]);
+    }
+  }
+  return points;
+}
+
+template std::vector<Point<2>> GenerateUniform<2>(size_t, const Rect<2>&,
+                                                  Rng*);
+template std::vector<Point<3>> GenerateUniform<3>(size_t, const Rect<3>&,
+                                                  Rng*);
+template std::vector<Point<4>> GenerateUniform<4>(size_t, const Rect<4>&,
+                                                  Rng*);
+
+}  // namespace spatial

@@ -1,0 +1,42 @@
+#ifndef SPATIAL_DATA_UNIFORM_H_
+#define SPATIAL_DATA_UNIFORM_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "geom/point.h"
+#include "geom/rect.h"
+
+namespace spatial {
+
+// Uniformly distributed points inside `bounds` — the synthetic family of
+// the SIGMOD'95 evaluation.
+template <int D>
+std::vector<Point<D>> GenerateUniform(size_t n, const Rect<D>& bounds,
+                                      Rng* rng);
+
+extern template std::vector<Point<2>> GenerateUniform<2>(size_t,
+                                                         const Rect<2>&,
+                                                         Rng*);
+extern template std::vector<Point<3>> GenerateUniform<3>(size_t,
+                                                         const Rect<3>&,
+                                                         Rng*);
+extern template std::vector<Point<4>> GenerateUniform<4>(size_t,
+                                                         const Rect<4>&,
+                                                         Rng*);
+
+// The unit square/cube used as the default experiment domain.
+template <int D>
+Rect<D> UnitBounds() {
+  Rect<D> r;
+  for (int i = 0; i < D; ++i) {
+    r.lo[i] = 0.0;
+    r.hi[i] = 1.0;
+  }
+  return r;
+}
+
+}  // namespace spatial
+
+#endif  // SPATIAL_DATA_UNIFORM_H_

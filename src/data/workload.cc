@@ -1,0 +1,70 @@
+#include "data/workload.h"
+
+#include "common/macros.h"
+#include "data/dataset.h"
+
+namespace spatial {
+
+const char* QueryDistributionName(QueryDistribution distribution) {
+  switch (distribution) {
+    case QueryDistribution::kUniform:
+      return "uniform";
+    case QueryDistribution::kDataDrawn:
+      return "data-drawn";
+    case QueryDistribution::kPerturbed:
+      return "perturbed";
+  }
+  return "unknown";
+}
+
+template <int D>
+std::vector<Point<D>> GenerateQueries(const std::vector<Entry<D>>& dataset,
+                                      size_t n,
+                                      QueryDistribution distribution,
+                                      double perturb_fraction, Rng* rng) {
+  SPATIAL_CHECK(rng != nullptr);
+  Rect<D> bounds = BoundsOf(dataset);
+  if (bounds.IsEmpty()) {
+    for (int i = 0; i < D; ++i) {
+      bounds.lo[i] = 0.0;
+      bounds.hi[i] = 1.0;
+    }
+  }
+  std::vector<Point<D>> queries(n);
+  for (Point<D>& q : queries) {
+    switch (distribution) {
+      case QueryDistribution::kUniform:
+        for (int i = 0; i < D; ++i) {
+          q[i] = rng->Uniform(bounds.lo[i], bounds.hi[i]);
+        }
+        break;
+      case QueryDistribution::kDataDrawn:
+      case QueryDistribution::kPerturbed: {
+        SPATIAL_CHECK(!dataset.empty());
+        const Entry<D>& e = dataset[rng->NextBounded(dataset.size())];
+        q = e.mbr.Center();
+        if (distribution == QueryDistribution::kPerturbed) {
+          for (int i = 0; i < D; ++i) {
+            const double sigma =
+                perturb_fraction * (bounds.hi[i] - bounds.lo[i]);
+            q[i] += sigma * rng->NextGaussian();
+          }
+        }
+        break;
+      }
+    }
+  }
+  return queries;
+}
+
+template std::vector<Point<2>> GenerateQueries<2>(const std::vector<Entry<2>>&,
+                                                  size_t, QueryDistribution,
+                                                  double, Rng*);
+template std::vector<Point<3>> GenerateQueries<3>(const std::vector<Entry<3>>&,
+                                                  size_t, QueryDistribution,
+                                                  double, Rng*);
+template std::vector<Point<4>> GenerateQueries<4>(const std::vector<Entry<4>>&,
+                                                  size_t, QueryDistribution,
+                                                  double, Rng*);
+
+}  // namespace spatial

@@ -1,0 +1,41 @@
+#ifndef SPATIAL_DATA_WORKLOAD_H_
+#define SPATIAL_DATA_WORKLOAD_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "geom/point.h"
+#include "geom/rect.h"
+#include "rtree/entry.h"
+
+namespace spatial {
+
+// Where query points come from, relative to the dataset.
+enum class QueryDistribution {
+  kUniform,     // uniform over the dataset bounds (the paper's workload)
+  kDataDrawn,   // centers of randomly chosen data objects
+  kPerturbed,   // data-drawn plus small Gaussian displacement
+};
+
+const char* QueryDistributionName(QueryDistribution distribution);
+
+// Generates `n` query points for a dataset. `perturb_fraction` (used by
+// kPerturbed) is the displacement std. dev. as a fraction of the domain
+// width.
+template <int D>
+std::vector<Point<D>> GenerateQueries(const std::vector<Entry<D>>& dataset,
+                                      size_t n,
+                                      QueryDistribution distribution,
+                                      double perturb_fraction, Rng* rng);
+
+extern template std::vector<Point<2>> GenerateQueries<2>(
+    const std::vector<Entry<2>>&, size_t, QueryDistribution, double, Rng*);
+extern template std::vector<Point<3>> GenerateQueries<3>(
+    const std::vector<Entry<3>>&, size_t, QueryDistribution, double, Rng*);
+extern template std::vector<Point<4>> GenerateQueries<4>(
+    const std::vector<Entry<4>>&, size_t, QueryDistribution, double, Rng*);
+
+}  // namespace spatial
+
+#endif  // SPATIAL_DATA_WORKLOAD_H_

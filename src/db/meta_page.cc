@@ -1,0 +1,86 @@
+#include "db/meta_page.h"
+
+#include <cstring>
+
+#include "common/macros.h"
+
+namespace spatial {
+namespace {
+
+constexpr uint32_t kMetaMagic = 0x53504442;  // "SPDB"
+constexpr uint32_t kMetaVersion = 1;
+
+// On-page layout; trivially copyable and memcpy'd like node pages.
+struct MetaLayout {
+  uint32_t magic;
+  uint32_t version;
+  uint32_t page_size;
+  uint16_t dimension;
+  uint16_t root_level;
+  uint32_t root_page;
+  uint64_t size;
+  uint8_t split;
+  uint8_t rstar_reinsert;
+  uint8_t padding[6];
+  double min_fill;
+  double reinsert_fraction;
+};
+static_assert(std::is_trivially_copyable_v<MetaLayout>);
+
+}  // namespace
+
+void EncodeMetaPage(const MetaRecord& meta, char* page, uint32_t page_size) {
+  SPATIAL_CHECK(page_size >= sizeof(MetaLayout));
+  MetaLayout layout{};
+  layout.magic = kMetaMagic;
+  layout.version = kMetaVersion;
+  layout.page_size = meta.page_size;
+  layout.dimension = meta.dimension;
+  layout.root_level = meta.root_level;
+  layout.root_page = meta.root_page;
+  layout.size = meta.size;
+  layout.split = static_cast<uint8_t>(meta.split);
+  layout.rstar_reinsert = meta.rstar_reinsert ? 1 : 0;
+  layout.min_fill = meta.min_fill;
+  layout.reinsert_fraction = meta.reinsert_fraction;
+  std::memset(page, 0, page_size);
+  std::memcpy(page, &layout, sizeof(layout));
+}
+
+Status DecodeMetaPage(const char* page, uint32_t page_size,
+                      MetaRecord* meta) {
+  SPATIAL_CHECK(meta != nullptr);
+  if (page_size < sizeof(MetaLayout)) {
+    return Status::InvalidArgument("page too small for a meta page");
+  }
+  MetaLayout layout;
+  std::memcpy(&layout, page, sizeof(layout));
+  if (layout.magic != kMetaMagic) {
+    return Status::Corruption("meta page has bad magic");
+  }
+  if (layout.version != kMetaVersion) {
+    return Status::Corruption("unsupported meta page version " +
+                              std::to_string(layout.version));
+  }
+  if (layout.page_size != page_size) {
+    return Status::InvalidArgument(
+        "database was created with page size " +
+        std::to_string(layout.page_size) + ", opened with " +
+        std::to_string(page_size));
+  }
+  if (layout.split > static_cast<uint8_t>(SplitAlgorithm::kRStar)) {
+    return Status::Corruption("meta page has invalid split algorithm");
+  }
+  meta->page_size = layout.page_size;
+  meta->dimension = layout.dimension;
+  meta->root_level = layout.root_level;
+  meta->root_page = layout.root_page;
+  meta->size = layout.size;
+  meta->split = static_cast<SplitAlgorithm>(layout.split);
+  meta->rstar_reinsert = layout.rstar_reinsert != 0;
+  meta->min_fill = layout.min_fill;
+  meta->reinsert_fraction = layout.reinsert_fraction;
+  return Status::OK();
+}
+
+}  // namespace spatial

@@ -1,0 +1,37 @@
+#ifndef SPATIAL_DB_META_PAGE_H_
+#define SPATIAL_DB_META_PAGE_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "rtree/options.h"
+#include "storage/disk.h"
+
+namespace spatial {
+
+// Superblock stored in page 0 of a SpatialDb. Records everything needed to
+// reopen the index without rescanning: root page, entry count, dimension,
+// and the tree options the index was built with.
+struct MetaRecord {
+  uint32_t page_size = 0;
+  uint16_t dimension = 0;
+  PageId root_page = kInvalidPageId;
+  uint64_t size = 0;
+  uint16_t root_level = 0;
+  SplitAlgorithm split = SplitAlgorithm::kQuadratic;
+  double min_fill = 0.4;
+  bool rstar_reinsert = true;
+  double reinsert_fraction = 0.3;
+};
+
+// Serializes `meta` into a page buffer of `page_size` bytes.
+void EncodeMetaPage(const MetaRecord& meta, char* page, uint32_t page_size);
+
+// Parses and validates a meta page; Corruption on bad magic/version,
+// InvalidArgument when the stored geometry disagrees with `page_size`.
+Status DecodeMetaPage(const char* page, uint32_t page_size,
+                      MetaRecord* meta);
+
+}  // namespace spatial
+
+#endif  // SPATIAL_DB_META_PAGE_H_

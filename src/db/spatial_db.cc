@@ -1,0 +1,138 @@
+#include "db/spatial_db.h"
+
+#include <utility>
+
+#include "common/macros.h"
+#include "storage/disk_manager.h"
+#include "storage/file_disk_manager.h"
+
+namespace spatial {
+
+template <int D>
+Result<SpatialDb<D>> SpatialDb<D>::CreateInMemory(const Options& options) {
+  return InitCommon(std::make_unique<DiskManager>(options.page_size),
+                    /*file_backed=*/false, options);
+}
+
+template <int D>
+Result<SpatialDb<D>> SpatialDb<D>::CreateOnFile(const std::string& path,
+                                                const Options& options) {
+  SPATIAL_ASSIGN_OR_RETURN(FileDiskManager file_disk,
+                           FileDiskManager::Create(path, options.page_size));
+  return InitCommon(std::make_unique<FileDiskManager>(std::move(file_disk)),
+                    /*file_backed=*/true, options);
+}
+
+template <int D>
+Result<SpatialDb<D>> SpatialDb<D>::InitCommon(std::unique_ptr<Disk> disk,
+                                              bool file_backed,
+                                              const Options& options) {
+  SPATIAL_RETURN_IF_ERROR(options.tree.Validate());
+  SpatialDb<D> db;
+  db.disk_ = std::move(disk);
+  db.file_backed_ = file_backed;
+  db.pool_ = std::make_unique<BufferPool>(db.disk_.get(),
+                                          options.buffer_pages);
+  // The superblock must be the first allocation so reopen can find it.
+  {
+    SPATIAL_ASSIGN_OR_RETURN(PageHandle meta, db.pool_->NewPage());
+    if (meta.id() != 0) {
+      return Status::Internal("superblock did not land on page 0");
+    }
+    db.meta_page_ = meta.id();
+    meta.MarkDirty();
+  }
+  SPATIAL_ASSIGN_OR_RETURN(RTree<D> tree,
+                           RTree<D>::Create(db.pool_.get(), options.tree));
+  db.tree_.emplace(std::move(tree));
+  SPATIAL_RETURN_IF_ERROR(db.Flush());
+  return db;
+}
+
+template <int D>
+Result<SpatialDb<D>> SpatialDb<D>::OpenFromFile(const std::string& path,
+                                                uint32_t page_size,
+                                                uint32_t buffer_pages) {
+  SPATIAL_ASSIGN_OR_RETURN(FileDiskManager file_disk,
+                           FileDiskManager::Open(path, page_size));
+  SpatialDb<D> db;
+  db.disk_ = std::make_unique<FileDiskManager>(std::move(file_disk));
+  db.file_backed_ = true;
+  db.pool_ = std::make_unique<BufferPool>(db.disk_.get(), buffer_pages);
+  db.meta_page_ = 0;
+
+  MetaRecord meta;
+  {
+    SPATIAL_ASSIGN_OR_RETURN(PageHandle page, db.pool_->Fetch(0));
+    SPATIAL_RETURN_IF_ERROR(DecodeMetaPage(page.data(), page_size, &meta));
+  }
+  if (meta.dimension != D) {
+    return Status::InvalidArgument(
+        "database holds " + std::to_string(meta.dimension) +
+        "-dimensional data, opened as " + std::to_string(D) + "-D");
+  }
+  RTreeOptions tree_options;
+  tree_options.split = meta.split;
+  tree_options.min_fill = meta.min_fill;
+  tree_options.rstar_reinsert = meta.rstar_reinsert;
+  tree_options.reinsert_fraction = meta.reinsert_fraction;
+  SPATIAL_ASSIGN_OR_RETURN(
+      RTree<D> tree, RTree<D>::Open(db.pool_.get(), tree_options,
+                                    meta.root_page, meta.size));
+  db.tree_.emplace(std::move(tree));
+  return db;
+}
+
+template <int D>
+SpatialDb<D>::~SpatialDb() {
+  // Guard against moved-from shells (pool_ is null after a move).
+  if (pool_ != nullptr && tree_.has_value()) {
+    Flush().ok();  // best effort; Flush() is the durable path
+  }
+}
+
+template <int D>
+Status SpatialDb<D>::BulkLoadData(std::vector<Entry<D>> items,
+                                  BulkLoadMethod method) {
+  if (!tree_->empty()) {
+    return Status::AlreadyExists(
+        "BulkLoadData requires an empty database");
+  }
+  const PageId old_root = tree_->root_page();
+  SPATIAL_ASSIGN_OR_RETURN(
+      RTree<D> tree, BulkLoad<D>(pool_.get(), tree_->options(),
+                                 std::move(items), method));
+  tree_.emplace(std::move(tree));
+  SPATIAL_RETURN_IF_ERROR(pool_->FreePage(old_root));
+  return Flush();
+}
+
+template <int D>
+Status SpatialDb<D>::Flush() {
+  {
+    SPATIAL_ASSIGN_OR_RETURN(PageHandle page, pool_->Fetch(meta_page_));
+    MetaRecord meta;
+    meta.page_size = disk_->page_size();
+    meta.dimension = D;
+    meta.root_page = tree_->root_page();
+    meta.size = tree_->size();
+    meta.root_level = static_cast<uint16_t>(tree_->height() - 1);
+    meta.split = tree_->options().split;
+    meta.min_fill = tree_->options().min_fill;
+    meta.rstar_reinsert = tree_->options().rstar_reinsert;
+    meta.reinsert_fraction = tree_->options().reinsert_fraction;
+    EncodeMetaPage(meta, page.data(), disk_->page_size());
+    page.MarkDirty();
+  }
+  SPATIAL_RETURN_IF_ERROR(pool_->FlushAll());
+  if (file_backed_) {
+    SPATIAL_RETURN_IF_ERROR(
+        static_cast<FileDiskManager*>(disk_.get())->Sync());
+  }
+  return Status::OK();
+}
+
+template class SpatialDb<2>;
+template class SpatialDb<3>;
+
+}  // namespace spatial

@@ -1,0 +1,94 @@
+#ifndef SPATIAL_DB_SPATIAL_DB_H_
+#define SPATIAL_DB_SPATIAL_DB_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/result.h"
+#include "db/meta_page.h"
+#include "rtree/bulk_load.h"
+#include "rtree/rtree.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk.h"
+
+namespace spatial {
+
+// The adoption-friendly front door: bundles storage (in-memory or
+// file-backed), buffer pool, superblock, and the R-tree into one owned
+// object with a create / reopen lifecycle.
+//
+//   auto db = SpatialDb<2>::CreateOnFile("points.sdb", {});
+//   db->tree().Insert(Rect2::FromPoint({{1.0, 2.0}}), 7);
+//   db->Flush();                      // persist superblock + dirty pages
+//   ...
+//   auto again = SpatialDb<2>::OpenFromFile("points.sdb", 256);
+//   auto nn = KnnSearch<2>(again->tree(), {{1.0, 2.1}}, KnnOptions{}, nullptr);
+//
+// Page 0 of the underlying disk is the superblock (see db/meta_page.h);
+// tree nodes occupy the remaining pages. Flush() must be called before the
+// process exits for the index to be reopenable (the destructor makes a
+// best-effort Flush as well).
+//
+// Not thread-safe.
+template <int D>
+class SpatialDb {
+ public:
+  struct Options {
+    uint32_t page_size = 1024;
+    uint32_t buffer_pages = 256;
+    RTreeOptions tree;
+  };
+
+  // Fresh database on a simulated in-memory disk (tests, experiments).
+  static Result<SpatialDb> CreateInMemory(const Options& options);
+
+  // Fresh database on a file (truncates an existing one).
+  static Result<SpatialDb> CreateOnFile(const std::string& path,
+                                        const Options& options);
+
+  // Reopens a database created by CreateOnFile. Page size and tree options
+  // come from the superblock.
+  static Result<SpatialDb> OpenFromFile(const std::string& path,
+                                        uint32_t page_size,
+                                        uint32_t buffer_pages);
+
+  SpatialDb(SpatialDb&&) = default;
+  SpatialDb& operator=(SpatialDb&&) = default;
+  SpatialDb(const SpatialDb&) = delete;
+  SpatialDb& operator=(const SpatialDb&) = delete;
+  ~SpatialDb();
+
+  // Replaces the (empty) tree with a packed one over `items`. Fails with
+  // AlreadyExists if the database already holds data.
+  Status BulkLoadData(std::vector<Entry<D>> items, BulkLoadMethod method);
+
+  // Writes the superblock, flushes dirty pages, and syncs a file backend.
+  Status Flush();
+
+  RTree<D>& tree() { return *tree_; }
+  const RTree<D>& tree() const { return *tree_; }
+  BufferPool& pool() { return *pool_; }
+  Disk& disk() { return *disk_; }
+  bool file_backed() const { return file_backed_; }
+
+ private:
+  SpatialDb() = default;
+
+  static Result<SpatialDb> InitCommon(std::unique_ptr<Disk> disk,
+                                      bool file_backed,
+                                      const Options& options);
+
+  std::unique_ptr<Disk> disk_;
+  std::unique_ptr<BufferPool> pool_;
+  std::optional<RTree<D>> tree_;
+  bool file_backed_ = false;
+  PageId meta_page_ = kInvalidPageId;
+};
+
+extern template class SpatialDb<2>;
+extern template class SpatialDb<3>;
+
+}  // namespace spatial
+
+#endif  // SPATIAL_DB_SPATIAL_DB_H_

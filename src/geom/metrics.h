@@ -1,0 +1,145 @@
+#ifndef SPATIAL_GEOM_METRICS_H_
+#define SPATIAL_GEOM_METRICS_H_
+
+#include <cmath>
+#include <limits>
+
+#include "common/macros.h"
+#include "geom/point.h"
+#include "geom/rect.h"
+
+namespace spatial {
+
+// The two distance metrics introduced by "Nearest Neighbor Queries"
+// (SIGMOD 1995), plus MAXDIST. All functions return *squared* distances;
+// the paper compares squared values throughout to avoid square roots.
+//
+// For a query point p and an MBR R:
+//
+//   MINDIST(p, R)    — distance from p to the nearest point of R
+//                      (0 if p lies inside R). Lower bound on the distance
+//                      from p to *any* object enclosed by R. (Theorem 1)
+//
+//   MINMAXDIST(p, R) — the minimum over all faces of R of the maximum
+//                      distance from p to that face's farthest point, taking
+//                      in each dimension the closer of the two hyperplanes.
+//                      Because every face of a *minimum* bounding rectangle
+//                      touches at least one enclosed object (the MBR face
+//                      property), MINMAXDIST is an upper bound on the
+//                      distance from p to the *nearest* object in R.
+//                      (Theorem 2)
+//
+//   MAXDIST(p, R)    — distance from p to the farthest corner of R; an upper
+//                      bound on the distance from p to any object in R.
+//
+// Together:  MINDIST(p,R) <= d(p, nearest object in R) <= MINMAXDIST(p,R)
+//                                                      <= MAXDIST(p,R).
+
+// MINDIST^2(p, R). R must be non-empty.
+template <int D>
+inline double MinDistSq(const Point<D>& p, const Rect<D>& r) {
+  SPATIAL_DCHECK(!r.IsEmpty());
+  double sum = 0.0;
+  for (int i = 0; i < D; ++i) {
+    double d = 0.0;
+    if (p[i] < r.lo[i]) {
+      d = r.lo[i] - p[i];
+    } else if (p[i] > r.hi[i]) {
+      d = p[i] - r.hi[i];
+    }
+    sum += d * d;
+  }
+  return sum;
+}
+
+// MINMAXDIST^2(p, R). R must be non-empty.
+//
+// Following the construction in the paper: for each dimension k let
+//   rm_k = lo_k if p_k <= (lo_k + hi_k)/2, else hi_k      (nearer hyperplane)
+//   rM_i = lo_i if p_i >= (lo_i + hi_i)/2, else hi_i      (farther hyperplane)
+// then
+//   MINMAXDIST^2 = min over k of (|p_k - rm_k|^2 + sum_{i != k} |p_i - rM_i|^2).
+template <int D>
+inline double MinMaxDistSq(const Point<D>& p, const Rect<D>& r) {
+  SPATIAL_DCHECK(!r.IsEmpty());
+  // Precompute S = sum_i |p_i - rM_i|^2, then for each k swap the farther
+  // term for the nearer one. O(D) instead of O(D^2).
+  double far_sum = 0.0;
+  double far_term[D];
+  double near_term[D];
+  for (int i = 0; i < D; ++i) {
+    const double mid = 0.5 * (r.lo[i] + r.hi[i]);
+    const double near_plane = (p[i] <= mid) ? r.lo[i] : r.hi[i];
+    const double far_plane = (p[i] >= mid) ? r.lo[i] : r.hi[i];
+    const double dn = p[i] - near_plane;
+    const double df = p[i] - far_plane;
+    near_term[i] = dn * dn;
+    far_term[i] = df * df;
+    far_sum += far_term[i];
+  }
+  double best = std::numeric_limits<double>::infinity();
+  for (int k = 0; k < D; ++k) {
+    const double candidate = far_sum - far_term[k] + near_term[k];
+    best = std::min(best, candidate);
+  }
+  return best;
+}
+
+// MAXDIST^2(p, R): squared distance to the farthest corner. R non-empty.
+template <int D>
+inline double MaxDistSq(const Point<D>& p, const Rect<D>& r) {
+  SPATIAL_DCHECK(!r.IsEmpty());
+  double sum = 0.0;
+  for (int i = 0; i < D; ++i) {
+    const double d = std::max(std::abs(p[i] - r.lo[i]),
+                              std::abs(p[i] - r.hi[i]));
+    sum += d * d;
+  }
+  return sum;
+}
+
+// Convenience non-squared wrappers (cold paths / reporting only).
+template <int D>
+inline double MinDist(const Point<D>& p, const Rect<D>& r) {
+  return std::sqrt(MinDistSq(p, r));
+}
+template <int D>
+inline double MinMaxDist(const Point<D>& p, const Rect<D>& r) {
+  return std::sqrt(MinMaxDistSq(p, r));
+}
+template <int D>
+inline double MaxDist(const Point<D>& p, const Rect<D>& r) {
+  return std::sqrt(MaxDistSq(p, r));
+}
+
+// MINDIST^2 between two rectangles: the squared gap between the closest
+// pair of points of the two boxes (0 when they intersect). Used by the
+// closest-pairs distance join. Both rectangles must be non-empty.
+template <int D>
+inline double MinDistSq(const Rect<D>& a, const Rect<D>& b) {
+  SPATIAL_DCHECK(!a.IsEmpty() && !b.IsEmpty());
+  double sum = 0.0;
+  for (int i = 0; i < D; ++i) {
+    double gap = 0.0;
+    if (a.hi[i] < b.lo[i]) {
+      gap = b.lo[i] - a.hi[i];
+    } else if (b.hi[i] < a.lo[i]) {
+      gap = a.lo[i] - b.hi[i];
+    }
+    sum += gap * gap;
+  }
+  return sum;
+}
+
+// Distance from a query point to a stored *object*. Objects are stored as
+// (possibly degenerate) rectangles; for point objects this is the exact
+// point distance, for extended objects it is the distance to the object's
+// MBR, matching the convention of libspatialindex-style engines.
+template <int D>
+inline double ObjectDistSq(const Point<D>& p, const Rect<D>& object_mbr) {
+  return MinDistSq(p, object_mbr);
+}
+
+}  // namespace spatial
+
+#endif  // SPATIAL_GEOM_METRICS_H_

@@ -1,0 +1,69 @@
+#ifndef SPATIAL_GEOM_POINT_H_
+#define SPATIAL_GEOM_POINT_H_
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <string>
+
+#include "common/macros.h"
+
+namespace spatial {
+
+// A point in D-dimensional Euclidean space. D is a compile-time constant;
+// the SIGMOD'95 experiments are two-dimensional, but the whole library (and
+// the paper's metrics) generalize verbatim to any D.
+template <int D>
+struct Point {
+  static_assert(D >= 1, "dimension must be positive");
+
+  std::array<double, D> coord{};
+
+  double& operator[](int i) {
+    SPATIAL_DCHECK(i >= 0 && i < D);
+    return coord[static_cast<size_t>(i)];
+  }
+  double operator[](int i) const {
+    SPATIAL_DCHECK(i >= 0 && i < D);
+    return coord[static_cast<size_t>(i)];
+  }
+
+  friend bool operator==(const Point& a, const Point& b) {
+    return a.coord == b.coord;
+  }
+  friend bool operator!=(const Point& a, const Point& b) { return !(a == b); }
+
+  std::string ToString() const {
+    std::string out = "(";
+    for (int i = 0; i < D; ++i) {
+      if (i > 0) out += ", ";
+      out += std::to_string(coord[static_cast<size_t>(i)]);
+    }
+    out += ")";
+    return out;
+  }
+};
+
+// Squared Euclidean distance. The paper (and this library) compares squared
+// distances throughout to avoid square roots on the hot path.
+template <int D>
+inline double SquaredDistance(const Point<D>& a, const Point<D>& b) {
+  double sum = 0.0;
+  for (int i = 0; i < D; ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+template <int D>
+inline double Distance(const Point<D>& a, const Point<D>& b) {
+  return std::sqrt(SquaredDistance(a, b));
+}
+
+using Point2 = Point<2>;
+using Point3 = Point<3>;
+
+}  // namespace spatial
+
+#endif  // SPATIAL_GEOM_POINT_H_

@@ -1,0 +1,59 @@
+#ifndef SPATIAL_GEOM_SEGMENT_H_
+#define SPATIAL_GEOM_SEGMENT_H_
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/point.h"
+#include "geom/rect.h"
+
+namespace spatial {
+
+// A line segment between two endpoints. Used by the TIGER-like road-network
+// generator: the cartographic datasets of the SIGMOD'95 evaluation are
+// street-segment files, indexed by their MBRs.
+template <int D>
+struct Segment {
+  Point<D> a;
+  Point<D> b;
+
+  Rect<D> Mbr() const { return Rect<D>::FromCorners(a, b); }
+
+  Point<D> Midpoint() const {
+    Point<D> m;
+    for (int i = 0; i < D; ++i) m[i] = 0.5 * (a[i] + b[i]);
+    return m;
+  }
+
+  double LengthSq() const { return SquaredDistance(a, b); }
+  double Length() const { return std::sqrt(LengthSq()); }
+
+  // Point interpolated at parameter t in [0, 1] along the segment.
+  Point<D> Interpolate(double t) const {
+    Point<D> p;
+    for (int i = 0; i < D; ++i) p[i] = a[i] + t * (b[i] - a[i]);
+    return p;
+  }
+};
+
+// Squared distance from point p to the closest point of the segment.
+template <int D>
+inline double PointSegmentDistSq(const Point<D>& p, const Segment<D>& s) {
+  double len_sq = 0.0;
+  double dot = 0.0;
+  for (int i = 0; i < D; ++i) {
+    const double e = s.b[i] - s.a[i];
+    len_sq += e * e;
+    dot += (p[i] - s.a[i]) * e;
+  }
+  double t = 0.0;
+  if (len_sq > 0.0) t = std::clamp(dot / len_sq, 0.0, 1.0);
+  const Point<D> proj = s.Interpolate(t);
+  return SquaredDistance(p, proj);
+}
+
+using Segment2 = Segment<2>;
+
+}  // namespace spatial
+
+#endif  // SPATIAL_GEOM_SEGMENT_H_

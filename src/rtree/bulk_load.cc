@@ -1,0 +1,234 @@
+#include "rtree/bulk_load.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <utility>
+
+#include "common/macros.h"
+#include "geom/metrics.h"
+
+namespace spatial {
+
+// Grants the bulk loader access to RTree's private constructor.
+class TreeBuilderAccess {
+ public:
+  template <int D>
+  static RTree<D> Make(BufferPool* pool, const RTreeOptions& options,
+                       PageId root_page, uint64_t size, uint16_t root_level) {
+    return RTree<D>(pool, options, root_page, size, root_level);
+  }
+};
+
+namespace {
+
+const char* kMethodNames[] = {"str", "hilbert", "morton"};
+
+// ---------------------------------------------------------------------------
+// Space-filling curve keys (on a 2^16 grid per dimension).
+
+constexpr int kGridBits = 16;
+
+// Quantizes v in [lo, hi] to the 16-bit grid.
+uint32_t Quantize(double v, double lo, double hi) {
+  if (hi <= lo) return 0;
+  double t = (v - lo) / (hi - lo);
+  t = std::clamp(t, 0.0, 1.0);
+  const double scaled = t * static_cast<double>((1u << kGridBits) - 1);
+  return static_cast<uint32_t>(scaled);
+}
+
+// Hilbert index of a 2-D grid cell (Wikipedia xy2d construction).
+uint64_t HilbertIndex2D(uint32_t x, uint32_t y) {
+  uint64_t d = 0;
+  for (uint32_t s = 1u << (kGridBits - 1); s > 0; s >>= 1) {
+    const uint32_t rx = (x & s) ? 1 : 0;
+    const uint32_t ry = (y & s) ? 1 : 0;
+    d += static_cast<uint64_t>(s) * s * ((3 * rx) ^ ry);
+    // Rotate the quadrant.
+    if (ry == 0) {
+      if (rx == 1) {
+        x = s - 1 - x;
+        y = s - 1 - y;
+      }
+      std::swap(x, y);
+    }
+  }
+  return d;
+}
+
+// Interleaves the low 16 bits of up to 4 coordinates (Z-order / Morton).
+template <int D>
+uint64_t MortonIndex(const uint32_t (&coords)[D]) {
+  uint64_t key = 0;
+  for (int bit = kGridBits - 1; bit >= 0; --bit) {
+    for (int dim = 0; dim < D; ++dim) {
+      key = (key << 1) | ((coords[dim] >> bit) & 1u);
+    }
+  }
+  return key;
+}
+
+// ---------------------------------------------------------------------------
+// Orderings.
+
+template <int D>
+void SortByCurve(std::vector<Entry<D>>* entries, BulkLoadMethod method) {
+  Rect<D> bounds = Rect<D>::Empty();
+  for (const Entry<D>& e : *entries) bounds.ExpandToInclude(e.mbr);
+  std::vector<std::pair<uint64_t, size_t>> keyed(entries->size());
+  for (size_t i = 0; i < entries->size(); ++i) {
+    const Point<D> c = (*entries)[i].mbr.Center();
+    uint32_t grid[D];
+    for (int dim = 0; dim < D; ++dim) {
+      grid[dim] = Quantize(c[dim], bounds.lo[dim], bounds.hi[dim]);
+    }
+    uint64_t key;
+    if (method == BulkLoadMethod::kHilbert) {
+      SPATIAL_DCHECK(D == 2);
+      key = HilbertIndex2D(grid[0], grid[1]);
+    } else {
+      key = MortonIndex<D>(grid);
+    }
+    keyed[i] = {key, i};
+  }
+  std::sort(keyed.begin(), keyed.end());
+  std::vector<Entry<D>> sorted;
+  sorted.reserve(entries->size());
+  for (const auto& [key, idx] : keyed) sorted.push_back((*entries)[idx]);
+  *entries = std::move(sorted);
+}
+
+// Sort-Tile-Recursive ordering: sort by the first dimension, partition into
+// slabs, recurse on the remaining dimensions inside each slab.
+template <int D>
+void StrOrder(Entry<D>* begin, Entry<D>* end, int dim, size_t node_capacity) {
+  const size_t n = static_cast<size_t>(end - begin);
+  if (n <= node_capacity || dim >= D) return;
+  std::sort(begin, end, [dim](const Entry<D>& a, const Entry<D>& b) {
+    return a.mbr.Center()[dim] < b.mbr.Center()[dim];
+  });
+  if (dim == D - 1) return;
+  const double pages =
+      std::ceil(static_cast<double>(n) / static_cast<double>(node_capacity));
+  const double slabs_d = std::ceil(
+      std::pow(pages, 1.0 / static_cast<double>(D - dim)));
+  const size_t slabs = std::max<size_t>(1, static_cast<size_t>(slabs_d));
+  const size_t slab_size = (n + slabs - 1) / slabs;
+  for (size_t start = 0; start < n; start += slab_size) {
+    const size_t stop = std::min(n, start + slab_size);
+    StrOrder(begin + start, begin + stop, dim + 1, node_capacity);
+  }
+}
+
+// Packs an ordered entry run into nodes at `level`, spreading entries evenly
+// so every node holds between floor(n/P) and ceil(n/P) entries.
+template <int D>
+Status PackLevel(BufferPool* pool, const std::vector<Entry<D>>& ordered,
+                 uint16_t level, size_t node_capacity,
+                 std::vector<Entry<D>>* parents) {
+  const size_t n = ordered.size();
+  const size_t num_nodes = (n + node_capacity - 1) / node_capacity;
+  const size_t base = n / num_nodes;
+  const size_t extra = n % num_nodes;
+  size_t next = 0;
+  parents->clear();
+  parents->reserve(num_nodes);
+  for (size_t node = 0; node < num_nodes; ++node) {
+    const size_t take = base + (node < extra ? 1 : 0);
+    SPATIAL_ASSIGN_OR_RETURN(PageHandle page, pool->NewPage());
+    NodeView<D> view(page.data(), pool->page_size());
+    view.InitEmpty(level);
+    Rect<D> mbr = Rect<D>::Empty();
+    for (size_t i = 0; i < take; ++i) {
+      view.Append(ordered[next]);
+      mbr.ExpandToInclude(ordered[next].mbr);
+      ++next;
+    }
+    page.MarkDirty();
+    parents->push_back(Entry<D>{mbr, page.id()});
+  }
+  SPATIAL_DCHECK(next == n);
+  return Status::OK();
+}
+
+}  // namespace
+
+const char* BulkLoadMethodName(BulkLoadMethod method) {
+  return kMethodNames[static_cast<int>(method)];
+}
+
+template <int D>
+Result<RTree<D>> BulkLoad(BufferPool* pool, const RTreeOptions& options,
+                          std::vector<Entry<D>> items, BulkLoadMethod method,
+                          double fill_factor) {
+  if (pool == nullptr) {
+    return Status::InvalidArgument("BulkLoad: pool is null");
+  }
+  SPATIAL_RETURN_IF_ERROR(options.Validate());
+  if (fill_factor <= 0.0 || fill_factor > 1.0) {
+    return Status::InvalidArgument("BulkLoad: fill_factor must be in (0, 1]");
+  }
+  if (fill_factor < 2.0 * options.min_fill) {
+    return Status::InvalidArgument(
+        "BulkLoad: fill_factor must be at least 2 * min_fill to preserve "
+        "the minimum node fill");
+  }
+  if (method == BulkLoadMethod::kHilbert && D != 2) {
+    return Status::InvalidArgument(
+        "BulkLoad: Hilbert packing is implemented for 2-D only; use kMorton");
+  }
+  for (const Entry<D>& e : items) {
+    if (!e.mbr.IsValid()) {
+      return Status::InvalidArgument("BulkLoad: invalid entry rectangle");
+    }
+  }
+
+  if (items.empty()) {
+    // Degenerate case: an empty tree is just an empty leaf root.
+    SPATIAL_ASSIGN_OR_RETURN(RTree<D> tree, RTree<D>::Create(pool, options));
+    return tree;
+  }
+
+  const uint32_t max_entries = NodeView<D>::MaxEntries(pool->page_size());
+  if (max_entries < 4) {
+    return Status::InvalidArgument(
+        "page size too small: a node must hold at least 4 entries");
+  }
+  const size_t node_capacity = std::max<size_t>(
+      2, static_cast<size_t>(
+             std::floor(static_cast<double>(max_entries) * fill_factor)));
+
+  const uint64_t total = items.size();
+  std::vector<Entry<D>> current = std::move(items);
+  uint16_t level = 0;
+  for (;;) {
+    if (method == BulkLoadMethod::kStr) {
+      StrOrder<D>(current.data(), current.data() + current.size(), 0,
+                  node_capacity);
+    } else {
+      SortByCurve<D>(&current, method);
+    }
+    std::vector<Entry<D>> parents;
+    SPATIAL_RETURN_IF_ERROR(
+        PackLevel<D>(pool, current, level, node_capacity, &parents));
+    if (parents.size() == 1) {
+      return TreeBuilderAccess::Make<D>(
+          pool, options, static_cast<PageId>(parents[0].id), total, level);
+    }
+    current = std::move(parents);
+    ++level;
+  }
+}
+
+template Result<RTree<2>> BulkLoad<2>(BufferPool*, const RTreeOptions&,
+                                      std::vector<Entry<2>>, BulkLoadMethod,
+                                      double);
+template Result<RTree<3>> BulkLoad<3>(BufferPool*, const RTreeOptions&,
+                                      std::vector<Entry<3>>, BulkLoadMethod,
+                                      double);
+template Result<RTree<4>> BulkLoad<4>(BufferPool*, const RTreeOptions&,
+                                      std::vector<Entry<4>>, BulkLoadMethod,
+                                      double);
+
+}  // namespace spatial

@@ -1,0 +1,42 @@
+#ifndef SPATIAL_RTREE_BULK_LOAD_H_
+#define SPATIAL_RTREE_BULK_LOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "rtree/rtree.h"
+
+namespace spatial {
+
+// Bottom-up packed tree construction.
+enum class BulkLoadMethod {
+  kStr,      // Sort-Tile-Recursive (Leutenegger et al. 1997), any dimension.
+  kHilbert,  // Hilbert-curve packing (Kamel & Faloutsos 1993), 2-D only.
+  kMorton,   // Z-order packing, any dimension.
+};
+
+const char* BulkLoadMethodName(BulkLoadMethod method);
+
+// Builds a packed R-tree over `items` (leaf entries) on the given pool.
+// `fill_factor` in (0, 1] scales the per-node capacity; entries are spread
+// evenly across the nodes of each level so every node keeps at least the
+// tree's minimum fill. Requires fill_factor >= 2 * options.min_fill.
+template <int D>
+Result<RTree<D>> BulkLoad(BufferPool* pool, const RTreeOptions& options,
+                          std::vector<Entry<D>> items, BulkLoadMethod method,
+                          double fill_factor = 1.0);
+
+extern template Result<RTree<2>> BulkLoad<2>(BufferPool*, const RTreeOptions&,
+                                             std::vector<Entry<2>>,
+                                             BulkLoadMethod, double);
+extern template Result<RTree<3>> BulkLoad<3>(BufferPool*, const RTreeOptions&,
+                                             std::vector<Entry<3>>,
+                                             BulkLoadMethod, double);
+extern template Result<RTree<4>> BulkLoad<4>(BufferPool*, const RTreeOptions&,
+                                             std::vector<Entry<4>>,
+                                             BulkLoadMethod, double);
+
+}  // namespace spatial
+
+#endif  // SPATIAL_RTREE_BULK_LOAD_H_

@@ -1,0 +1,29 @@
+#ifndef SPATIAL_RTREE_ENTRY_H_
+#define SPATIAL_RTREE_ENTRY_H_
+
+#include <cstdint>
+#include <type_traits>
+
+#include "geom/rect.h"
+
+namespace spatial {
+
+// One slot of an R-tree node. In a leaf (level 0) `id` is the user's object
+// id; in an internal node `id` is the PageId of the child node (level-1).
+// Entries are trivially copyable and are memcpy'd to/from page memory.
+template <int D>
+struct Entry {
+  Rect<D> mbr;
+  uint64_t id = 0;
+};
+
+static_assert(std::is_trivially_copyable_v<Entry<2>>,
+              "Entry must be memcpy-safe for page serialization");
+static_assert(sizeof(Entry<2>) == 4 * sizeof(double) + sizeof(uint64_t),
+              "Entry<2> layout must be dense");
+
+using Entry2 = Entry<2>;
+
+}  // namespace spatial
+
+#endif  // SPATIAL_RTREE_ENTRY_H_

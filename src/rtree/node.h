@@ -1,0 +1,153 @@
+#ifndef SPATIAL_RTREE_NODE_H_
+#define SPATIAL_RTREE_NODE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/macros.h"
+#include "rtree/entry.h"
+
+namespace spatial {
+
+// On-page node layout:
+//
+//   +-------------------------------+
+//   | NodeHeader (8 bytes)          |  magic, level, count
+//   +-------------------------------+
+//   | Entry<D> [0]                  |  memcpy'd, densely packed
+//   | Entry<D> [1]                  |
+//   | ...                           |
+//   +-------------------------------+
+//
+// level 0 = leaf. The maximum fan-out M is derived from the page size, as in
+// the original system where node = disk page.
+
+struct NodeHeader {
+  uint32_t magic = 0;
+  uint16_t level = 0;
+  uint16_t count = 0;
+};
+static_assert(sizeof(NodeHeader) == 8, "NodeHeader must be 8 bytes");
+
+inline constexpr uint32_t kNodeMagic = 0x52545245;  // "RTRE"
+
+// A typed, non-owning view over one page's bytes. All accessors memcpy to
+// avoid alignment/aliasing hazards; entries are small and the compiler
+// lowers these to plain loads/stores.
+template <int D>
+class NodeView {
+ public:
+  NodeView(char* data, uint32_t page_size)
+      : data_(data), page_size_(page_size) {
+    SPATIAL_DCHECK(data != nullptr);
+    SPATIAL_DCHECK(MaxEntries(page_size) >= 2);
+  }
+
+  // Maximum fan-out M for the given page size.
+  static uint32_t MaxEntries(uint32_t page_size) {
+    return (page_size - static_cast<uint32_t>(sizeof(NodeHeader))) /
+           static_cast<uint32_t>(sizeof(Entry<D>));
+  }
+
+  // Formats the page as an empty node at `level`.
+  void InitEmpty(uint16_t level) {
+    NodeHeader header;
+    header.magic = kNodeMagic;
+    header.level = level;
+    header.count = 0;
+    std::memcpy(data_, &header, sizeof(header));
+  }
+
+  uint16_t level() const { return header().level; }
+  bool is_leaf() const { return level() == 0; }
+  uint16_t count() const { return header().count; }
+  uint32_t max_entries() const { return MaxEntries(page_size_); }
+  bool full() const { return count() >= max_entries(); }
+  bool has_valid_magic() const { return header().magic == kNodeMagic; }
+
+  Entry<D> entry(uint32_t i) const {
+    SPATIAL_DCHECK(i < count());
+    Entry<D> e;
+    std::memcpy(&e, data_ + EntryOffset(i), sizeof(e));
+    return e;
+  }
+
+  void set_entry(uint32_t i, const Entry<D>& e) {
+    SPATIAL_DCHECK(i < count());
+    std::memcpy(data_ + EntryOffset(i), &e, sizeof(e));
+  }
+
+  void Append(const Entry<D>& e) {
+    NodeHeader h = header();
+    SPATIAL_CHECK(h.count < max_entries());
+    std::memcpy(data_ + EntryOffset(h.count), &e, sizeof(e));
+    ++h.count;
+    set_header(h);
+  }
+
+  // Removes entry i by moving the last entry into its slot (order is not
+  // meaningful inside an R-tree node).
+  void RemoveAt(uint32_t i) {
+    NodeHeader h = header();
+    SPATIAL_DCHECK(i < h.count);
+    if (i != static_cast<uint32_t>(h.count - 1)) {
+      set_entry(i, entry(h.count - 1));
+    }
+    --h.count;
+    set_header(h);
+  }
+
+  void Clear() {
+    NodeHeader h = header();
+    h.count = 0;
+    set_header(h);
+  }
+
+  // Replaces the node's entries wholesale (used by splits).
+  void SetEntries(const std::vector<Entry<D>>& entries) {
+    SPATIAL_CHECK(entries.size() <= max_entries());
+    NodeHeader h = header();
+    h.count = static_cast<uint16_t>(entries.size());
+    set_header(h);
+    for (uint32_t i = 0; i < entries.size(); ++i) {
+      std::memcpy(data_ + EntryOffset(i), &entries[i], sizeof(Entry<D>));
+    }
+  }
+
+  std::vector<Entry<D>> GetEntries() const {
+    std::vector<Entry<D>> out;
+    const uint32_t n = count();
+    out.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) out.push_back(entry(i));
+    return out;
+  }
+
+  // Tight bounding rectangle over all entries (Empty() if none).
+  Rect<D> ComputeMbr() const {
+    Rect<D> mbr = Rect<D>::Empty();
+    const uint32_t n = count();
+    for (uint32_t i = 0; i < n; ++i) mbr.ExpandToInclude(entry(i).mbr);
+    return mbr;
+  }
+
+ private:
+  NodeHeader header() const {
+    NodeHeader h;
+    std::memcpy(&h, data_, sizeof(h));
+    return h;
+  }
+  void set_header(const NodeHeader& h) {
+    std::memcpy(data_, &h, sizeof(h));
+  }
+  static size_t EntryOffset(uint32_t i) {
+    return sizeof(NodeHeader) + static_cast<size_t>(i) * sizeof(Entry<D>);
+  }
+
+  char* data_;
+  uint32_t page_size_;
+};
+
+}  // namespace spatial
+
+#endif  // SPATIAL_RTREE_NODE_H_

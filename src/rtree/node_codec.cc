@@ -1,0 +1,40 @@
+#include "rtree/node_codec.h"
+
+#include <cstring>
+#include <string>
+
+namespace spatial {
+
+template <int D>
+Status CheckNodePage(const char* data, uint32_t page_size) {
+  if (page_size < sizeof(NodeHeader) + sizeof(Entry<D>)) {
+    return Status::InvalidArgument("page too small for any node");
+  }
+  NodeHeader header;
+  std::memcpy(&header, data, sizeof(header));
+  if (header.magic != kNodeMagic) {
+    return Status::Corruption("node page has bad magic");
+  }
+  const uint32_t max_entries = NodeView<D>::MaxEntries(page_size);
+  if (header.count > max_entries) {
+    return Status::Corruption("node entry count " +
+                              std::to_string(header.count) +
+                              " exceeds page capacity " +
+                              std::to_string(max_entries));
+  }
+  // Entry rectangles of live entries must be valid (lo <= hi per dim).
+  NodeView<D> view(const_cast<char*>(data), page_size);
+  for (uint32_t i = 0; i < header.count; ++i) {
+    if (!view.entry(i).mbr.IsValid()) {
+      return Status::Corruption("node entry " + std::to_string(i) +
+                                " has an invalid rectangle");
+    }
+  }
+  return Status::OK();
+}
+
+template Status CheckNodePage<2>(const char*, uint32_t);
+template Status CheckNodePage<3>(const char*, uint32_t);
+template Status CheckNodePage<4>(const char*, uint32_t);
+
+}  // namespace spatial

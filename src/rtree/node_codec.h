@@ -1,0 +1,24 @@
+#ifndef SPATIAL_RTREE_NODE_CODEC_H_
+#define SPATIAL_RTREE_NODE_CODEC_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "rtree/node.h"
+
+namespace spatial {
+
+// Structural sanity checks on raw page bytes before they are interpreted as
+// a node. Returns Corruption with a description on failure. Guards against
+// stale/garbage pages reaching the tree logic (failure-injection tests
+// exercise this).
+template <int D>
+Status CheckNodePage(const char* data, uint32_t page_size);
+
+extern template Status CheckNodePage<2>(const char*, uint32_t);
+extern template Status CheckNodePage<3>(const char*, uint32_t);
+extern template Status CheckNodePage<4>(const char*, uint32_t);
+
+}  // namespace spatial
+
+#endif  // SPATIAL_RTREE_NODE_CODEC_H_

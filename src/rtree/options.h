@@ -1,0 +1,60 @@
+#ifndef SPATIAL_RTREE_OPTIONS_H_
+#define SPATIAL_RTREE_OPTIONS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace spatial {
+
+// Node-split algorithm used by dynamic inserts.
+enum class SplitAlgorithm {
+  kLinear,     // Guttman 1984, linear-cost seed picking.
+  kQuadratic,  // Guttman 1984, quadratic-cost seed picking (paper default).
+  kRStar,      // Beckmann et al. 1990 axis/distribution choice.
+};
+
+const char* SplitAlgorithmName(SplitAlgorithm algo);
+
+// Tuning knobs for a dynamic R-tree. The defaults mirror the SIGMOD'95
+// setup: quadratic split, 40% minimum fill.
+struct RTreeOptions {
+  SplitAlgorithm split = SplitAlgorithm::kQuadratic;
+
+  // Minimum node fill as a fraction of the maximum fan-out M;
+  // m = max(1, floor(M * min_fill)), clamped to M/2.
+  double min_fill = 0.4;
+
+  // R*-tree forced reinsertion on first overflow per level per insert.
+  bool rstar_reinsert = true;
+
+  // Fraction of entries removed on forced reinsertion (R* paper: 30%).
+  double reinsert_fraction = 0.3;
+
+  Status Validate() const {
+    if (min_fill <= 0.0 || min_fill > 0.5) {
+      return Status::InvalidArgument("min_fill must be in (0, 0.5]");
+    }
+    if (reinsert_fraction <= 0.0 || reinsert_fraction >= 1.0) {
+      return Status::InvalidArgument("reinsert_fraction must be in (0, 1)");
+    }
+    return Status::OK();
+  }
+};
+
+inline const char* SplitAlgorithmName(SplitAlgorithm algo) {
+  switch (algo) {
+    case SplitAlgorithm::kLinear:
+      return "linear";
+    case SplitAlgorithm::kQuadratic:
+      return "quadratic";
+    case SplitAlgorithm::kRStar:
+      return "rstar";
+  }
+  return "unknown";
+}
+
+}  // namespace spatial
+
+#endif  // SPATIAL_RTREE_OPTIONS_H_

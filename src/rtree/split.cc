@@ -1,0 +1,280 @@
+#include "rtree/split.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/macros.h"
+
+namespace spatial {
+namespace {
+
+template <int D>
+Rect<D> UnionOf(const std::vector<Entry<D>>& entries) {
+  Rect<D> mbr = Rect<D>::Empty();
+  for (const Entry<D>& e : entries) mbr.ExpandToInclude(e.mbr);
+  return mbr;
+}
+
+// Shared distribution loop for the Guttman splits: after seeds are chosen,
+// assign each remaining entry to the group whose cover needs the least
+// enlargement, forcing assignments when a group must absorb all remaining
+// entries to reach the minimum fill.
+//
+// `pick_next` selects which remaining entry to assign next; Guttman's linear
+// split takes them in arbitrary order, the quadratic split picks the entry
+// with the strongest preference for one group.
+template <int D>
+SplitResult<D> DistributeAfterSeeds(std::vector<Entry<D>> remaining,
+                                    uint32_t min_entries,
+                                    const Entry<D>& seed_a,
+                                    const Entry<D>& seed_b,
+                                    bool quadratic_pick_next) {
+  SplitResult<D> result;
+  result.group_a.push_back(seed_a);
+  result.group_b.push_back(seed_b);
+  Rect<D> cover_a = seed_a.mbr;
+  Rect<D> cover_b = seed_b.mbr;
+
+  while (!remaining.empty()) {
+    // Force assignment when one group must take everything left to reach
+    // the minimum fill.
+    if (result.group_a.size() + remaining.size() == min_entries) {
+      for (const Entry<D>& e : remaining) result.group_a.push_back(e);
+      break;
+    }
+    if (result.group_b.size() + remaining.size() == min_entries) {
+      for (const Entry<D>& e : remaining) result.group_b.push_back(e);
+      break;
+    }
+
+    size_t pick = 0;
+    if (quadratic_pick_next) {
+      // PickNext: the entry with the greatest preference for one group.
+      double best_pref = -1.0;
+      for (size_t i = 0; i < remaining.size(); ++i) {
+        const double d1 = cover_a.Enlargement(remaining[i].mbr);
+        const double d2 = cover_b.Enlargement(remaining[i].mbr);
+        const double pref = std::abs(d1 - d2);
+        if (pref > best_pref) {
+          best_pref = pref;
+          pick = i;
+        }
+      }
+    }
+    const Entry<D> e = remaining[pick];
+    remaining.erase(remaining.begin() + static_cast<ptrdiff_t>(pick));
+
+    const double enlarge_a = cover_a.Enlargement(e.mbr);
+    const double enlarge_b = cover_b.Enlargement(e.mbr);
+    bool to_a;
+    if (enlarge_a != enlarge_b) {
+      to_a = enlarge_a < enlarge_b;
+    } else if (cover_a.Area() != cover_b.Area()) {
+      to_a = cover_a.Area() < cover_b.Area();
+    } else {
+      to_a = result.group_a.size() <= result.group_b.size();
+    }
+    if (to_a) {
+      result.group_a.push_back(e);
+      cover_a.ExpandToInclude(e.mbr);
+    } else {
+      result.group_b.push_back(e);
+      cover_b.ExpandToInclude(e.mbr);
+    }
+  }
+  return result;
+}
+
+// Guttman's linear split: seeds with the greatest separation, normalized by
+// the extent of the full entry set along each dimension.
+template <int D>
+SplitResult<D> SplitLinear(std::vector<Entry<D>> entries,
+                           uint32_t min_entries) {
+  const Rect<D> total = UnionOf(entries);
+  double best_separation = -std::numeric_limits<double>::infinity();
+  size_t seed_a_idx = 0;
+  size_t seed_b_idx = 1;
+  for (int dim = 0; dim < D; ++dim) {
+    // Entry with the highest low side and entry with the lowest high side.
+    size_t highest_lo = 0;
+    size_t lowest_hi = 0;
+    for (size_t i = 1; i < entries.size(); ++i) {
+      if (entries[i].mbr.lo[dim] > entries[highest_lo].mbr.lo[dim]) {
+        highest_lo = i;
+      }
+      if (entries[i].mbr.hi[dim] < entries[lowest_hi].mbr.hi[dim]) {
+        lowest_hi = i;
+      }
+    }
+    const double width = total.hi[dim] - total.lo[dim];
+    if (width <= 0.0 || highest_lo == lowest_hi) continue;
+    const double separation =
+        (entries[highest_lo].mbr.lo[dim] - entries[lowest_hi].mbr.hi[dim]) /
+        width;
+    if (separation > best_separation) {
+      best_separation = separation;
+      seed_a_idx = lowest_hi;
+      seed_b_idx = highest_lo;
+    }
+  }
+  if (seed_a_idx == seed_b_idx) {
+    // Degenerate input (all rectangles identical): fall back to the first
+    // two entries as seeds.
+    seed_a_idx = 0;
+    seed_b_idx = 1;
+  }
+  const Entry<D> seed_a = entries[seed_a_idx];
+  const Entry<D> seed_b = entries[seed_b_idx];
+  // Remove seeds (erase the later index first).
+  const size_t first = std::min(seed_a_idx, seed_b_idx);
+  const size_t second = std::max(seed_a_idx, seed_b_idx);
+  entries.erase(entries.begin() + static_cast<ptrdiff_t>(second));
+  entries.erase(entries.begin() + static_cast<ptrdiff_t>(first));
+  return DistributeAfterSeeds(std::move(entries), min_entries, seed_a, seed_b,
+                              /*quadratic_pick_next=*/false);
+}
+
+// Guttman's quadratic split: the seed pair wastes the most area.
+template <int D>
+SplitResult<D> SplitQuadratic(std::vector<Entry<D>> entries,
+                              uint32_t min_entries) {
+  size_t seed_a_idx = 0;
+  size_t seed_b_idx = 1;
+  double worst_waste = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < entries.size(); ++i) {
+    for (size_t j = i + 1; j < entries.size(); ++j) {
+      const Rect<D> combined = Rect<D>::Union(entries[i].mbr, entries[j].mbr);
+      const double waste =
+          combined.Area() - entries[i].mbr.Area() - entries[j].mbr.Area();
+      if (waste > worst_waste) {
+        worst_waste = waste;
+        seed_a_idx = i;
+        seed_b_idx = j;
+      }
+    }
+  }
+  const Entry<D> seed_a = entries[seed_a_idx];
+  const Entry<D> seed_b = entries[seed_b_idx];
+  entries.erase(entries.begin() + static_cast<ptrdiff_t>(seed_b_idx));
+  entries.erase(entries.begin() + static_cast<ptrdiff_t>(seed_a_idx));
+  return DistributeAfterSeeds(std::move(entries), min_entries, seed_a, seed_b,
+                              /*quadratic_pick_next=*/true);
+}
+
+// R*-tree split (Beckmann et al. 1990).
+template <int D>
+SplitResult<D> SplitRStar(std::vector<Entry<D>> entries,
+                          uint32_t min_entries) {
+  const size_t total = entries.size();
+  const uint32_t m = min_entries;
+  SPATIAL_DCHECK(total >= 2 * m);
+
+  // ChooseSplitAxis: for every axis, consider entries sorted by low value
+  // and by high value; sum the margins of all legal distributions. The axis
+  // with the minimum margin sum wins.
+  int best_axis = 0;
+  double best_margin_sum = std::numeric_limits<double>::infinity();
+  for (int axis = 0; axis < D; ++axis) {
+    double margin_sum = 0.0;
+    for (int by_hi = 0; by_hi < 2; ++by_hi) {
+      std::sort(entries.begin(), entries.end(),
+                [axis, by_hi](const Entry<D>& a, const Entry<D>& b) {
+                  return by_hi ? a.mbr.hi[axis] < b.mbr.hi[axis]
+                               : a.mbr.lo[axis] < b.mbr.lo[axis];
+                });
+      // Prefix/suffix covers for O(n) margin evaluation per sort order.
+      std::vector<Rect<D>> prefix(total), suffix(total);
+      prefix[0] = entries[0].mbr;
+      for (size_t i = 1; i < total; ++i) {
+        prefix[i] = Rect<D>::Union(prefix[i - 1], entries[i].mbr);
+      }
+      suffix[total - 1] = entries[total - 1].mbr;
+      for (size_t i = total - 1; i-- > 0;) {
+        suffix[i] = Rect<D>::Union(suffix[i + 1], entries[i].mbr);
+      }
+      for (size_t k = m; k + m <= total; ++k) {
+        margin_sum += prefix[k - 1].Margin() + suffix[k].Margin();
+      }
+    }
+    if (margin_sum < best_margin_sum) {
+      best_margin_sum = margin_sum;
+      best_axis = axis;
+    }
+  }
+
+  // ChooseSplitIndex along the best axis: minimal overlap, then minimal
+  // total area, over both sort orders.
+  double best_overlap = std::numeric_limits<double>::infinity();
+  double best_area = std::numeric_limits<double>::infinity();
+  int best_by_hi = 0;
+  size_t best_k = m;
+  for (int by_hi = 0; by_hi < 2; ++by_hi) {
+    std::sort(entries.begin(), entries.end(),
+              [best_axis, by_hi](const Entry<D>& a, const Entry<D>& b) {
+                return by_hi ? a.mbr.hi[best_axis] < b.mbr.hi[best_axis]
+                             : a.mbr.lo[best_axis] < b.mbr.lo[best_axis];
+              });
+    std::vector<Rect<D>> prefix(total), suffix(total);
+    prefix[0] = entries[0].mbr;
+    for (size_t i = 1; i < total; ++i) {
+      prefix[i] = Rect<D>::Union(prefix[i - 1], entries[i].mbr);
+    }
+    suffix[total - 1] = entries[total - 1].mbr;
+    for (size_t i = total - 1; i-- > 0;) {
+      suffix[i] = Rect<D>::Union(suffix[i + 1], entries[i].mbr);
+    }
+    for (size_t k = m; k + m <= total; ++k) {
+      const double overlap = prefix[k - 1].OverlapArea(suffix[k]);
+      const double area = prefix[k - 1].Area() + suffix[k].Area();
+      if (overlap < best_overlap ||
+          (overlap == best_overlap && area < best_area)) {
+        best_overlap = overlap;
+        best_area = area;
+        best_by_hi = by_hi;
+        best_k = k;
+      }
+    }
+  }
+
+  std::sort(entries.begin(), entries.end(),
+            [best_axis, best_by_hi](const Entry<D>& a, const Entry<D>& b) {
+              return best_by_hi ? a.mbr.hi[best_axis] < b.mbr.hi[best_axis]
+                                : a.mbr.lo[best_axis] < b.mbr.lo[best_axis];
+            });
+  SplitResult<D> result;
+  result.group_a.assign(entries.begin(),
+                        entries.begin() + static_cast<ptrdiff_t>(best_k));
+  result.group_b.assign(entries.begin() + static_cast<ptrdiff_t>(best_k),
+                        entries.end());
+  return result;
+}
+
+}  // namespace
+
+template <int D>
+SplitResult<D> SplitEntries(SplitAlgorithm algo, uint32_t min_entries,
+                            std::vector<Entry<D>> entries) {
+  SPATIAL_CHECK(entries.size() >= 2);
+  SPATIAL_CHECK(min_entries >= 1);
+  SPATIAL_CHECK(entries.size() >= 2 * static_cast<size_t>(min_entries));
+  switch (algo) {
+    case SplitAlgorithm::kLinear:
+      return SplitLinear(std::move(entries), min_entries);
+    case SplitAlgorithm::kQuadratic:
+      return SplitQuadratic(std::move(entries), min_entries);
+    case SplitAlgorithm::kRStar:
+      return SplitRStar(std::move(entries), min_entries);
+  }
+  SPATIAL_CHECK(false);
+  return SplitResult<D>{};
+}
+
+template SplitResult<2> SplitEntries<2>(SplitAlgorithm, uint32_t,
+                                        std::vector<Entry<2>>);
+template SplitResult<3> SplitEntries<3>(SplitAlgorithm, uint32_t,
+                                        std::vector<Entry<3>>);
+template SplitResult<4> SplitEntries<4>(SplitAlgorithm, uint32_t,
+                                        std::vector<Entry<4>>);
+
+}  // namespace spatial

@@ -1,0 +1,40 @@
+#ifndef SPATIAL_RTREE_SPLIT_H_
+#define SPATIAL_RTREE_SPLIT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "rtree/entry.h"
+#include "rtree/options.h"
+
+namespace spatial {
+
+template <int D>
+struct SplitResult {
+  std::vector<Entry<D>> group_a;
+  std::vector<Entry<D>> group_b;
+};
+
+// Partitions an overflowing entry set (M+1 entries) into two groups, each
+// with at least `min_entries` members, using the requested algorithm:
+//
+//  * kLinear    — Guttman's linear-cost split: seeds by greatest normalized
+//                 separation, remaining entries by least enlargement.
+//  * kQuadratic — Guttman's quadratic-cost split: seed pair maximizing dead
+//                 area, remaining entries by strongest group preference.
+//  * kRStar     — Beckmann et al.: choose the split axis by minimum margin
+//                 sum, then the distribution with minimal overlap.
+template <int D>
+SplitResult<D> SplitEntries(SplitAlgorithm algo, uint32_t min_entries,
+                            std::vector<Entry<D>> entries);
+
+extern template SplitResult<2> SplitEntries<2>(SplitAlgorithm, uint32_t,
+                                               std::vector<Entry<2>>);
+extern template SplitResult<3> SplitEntries<3>(SplitAlgorithm, uint32_t,
+                                               std::vector<Entry<3>>);
+extern template SplitResult<4> SplitEntries<4>(SplitAlgorithm, uint32_t,
+                                               std::vector<Entry<4>>);
+
+}  // namespace spatial
+
+#endif  // SPATIAL_RTREE_SPLIT_H_

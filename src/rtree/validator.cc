@@ -1,0 +1,120 @@
+#include "rtree/validator.h"
+
+#include <string>
+
+#include "rtree/node_codec.h"
+
+namespace spatial {
+namespace {
+
+template <int D>
+struct ValidationContext {
+  const RTree<D>* tree;
+  bool check_min_fill;
+  TreeReport report;
+};
+
+// Validates the subtree rooted at `node_id` (which must sit at `level`) and
+// returns its tight MBR.
+template <int D>
+Result<Rect<D>> ValidateSubtree(ValidationContext<D>* ctx, PageId node_id,
+                                uint16_t level) {
+  BufferPool* pool = ctx->tree->pool();
+  SPATIAL_ASSIGN_OR_RETURN(PageHandle handle, pool->Fetch(node_id));
+  SPATIAL_RETURN_IF_ERROR(CheckNodePage<D>(handle.data(), pool->page_size()));
+  NodeView<D> view(handle.data(), pool->page_size());
+
+  if (view.level() != level) {
+    return Status::Corruption(
+        "node " + std::to_string(node_id) + " has level " +
+        std::to_string(view.level()) + ", expected " + std::to_string(level));
+  }
+
+  const bool is_root = node_id == ctx->tree->root_page();
+  const uint32_t count = view.count();
+  if (is_root && level > 0 && count < 2) {
+    return Status::Corruption("internal root has fewer than 2 entries");
+  }
+  if (!is_root && ctx->check_min_fill &&
+      count < ctx->tree->min_entries()) {
+    return Status::Corruption("node " + std::to_string(node_id) +
+                              " violates minimum fill: " +
+                              std::to_string(count) + " < " +
+                              std::to_string(ctx->tree->min_entries()));
+  }
+
+  ++ctx->report.nodes;
+  if (static_cast<size_t>(level) >= ctx->report.nodes_per_level.size()) {
+    ctx->report.nodes_per_level.resize(level + 1, 0);
+    ctx->report.sibling_overlap_per_level.resize(level + 1, 0.0);
+    ctx->report.entry_area_per_level.resize(level + 1, 0.0);
+  }
+  ++ctx->report.nodes_per_level[level];
+
+  // Quality metrics: pairwise overlap and total area of this node's
+  // entries (O(M^2) per node, M is the fan-out).
+  for (uint32_t i = 0; i < count; ++i) {
+    const Rect<D> a = view.entry(i).mbr;
+    ctx->report.entry_area_per_level[level] += a.Area();
+    for (uint32_t j = i + 1; j < count; ++j) {
+      ctx->report.sibling_overlap_per_level[level] +=
+          a.OverlapArea(view.entry(j).mbr);
+    }
+  }
+
+  if (view.is_leaf()) {
+    ctx->report.leaf_entries += count;
+    ctx->report.avg_leaf_fill +=
+        static_cast<double>(count) / static_cast<double>(view.max_entries());
+    return view.ComputeMbr();
+  }
+
+  const std::vector<Entry<D>> entries = view.GetEntries();
+  handle.Release();  // keep validation pin-depth low
+  Rect<D> mbr = Rect<D>::Empty();
+  for (const Entry<D>& e : entries) {
+    SPATIAL_ASSIGN_OR_RETURN(
+        Rect<D> child_mbr,
+        ValidateSubtree(ctx, static_cast<PageId>(e.id),
+                        static_cast<uint16_t>(level - 1)));
+    if (child_mbr != e.mbr) {
+      return Status::Corruption("parent entry MBR of child page " +
+                                std::to_string(e.id) +
+                                " is not the child's tight MBR");
+    }
+    mbr.ExpandToInclude(child_mbr);
+  }
+  return mbr;
+}
+
+}  // namespace
+
+template <int D>
+Result<TreeReport> ValidateTree(const RTree<D>& tree, bool check_min_fill) {
+  ValidationContext<D> ctx;
+  ctx.tree = &tree;
+  ctx.check_min_fill = check_min_fill;
+  ctx.report.height = tree.height();
+  SPATIAL_ASSIGN_OR_RETURN(
+      Rect<D> root_mbr,
+      ValidateSubtree(&ctx, tree.root_page(),
+                      static_cast<uint16_t>(tree.height() - 1)));
+  (void)root_mbr;
+  if (ctx.report.leaf_entries != tree.size()) {
+    return Status::Corruption(
+        "leaf entry count " + std::to_string(ctx.report.leaf_entries) +
+        " != tree size " + std::to_string(tree.size()));
+  }
+  const uint64_t leaves =
+      ctx.report.nodes_per_level.empty() ? 0 : ctx.report.nodes_per_level[0];
+  if (leaves > 0) {
+    ctx.report.avg_leaf_fill /= static_cast<double>(leaves);
+  }
+  return ctx.report;
+}
+
+template Result<TreeReport> ValidateTree<2>(const RTree<2>&, bool);
+template Result<TreeReport> ValidateTree<3>(const RTree<3>&, bool);
+template Result<TreeReport> ValidateTree<4>(const RTree<4>&, bool);
+
+}  // namespace spatial

@@ -1,0 +1,51 @@
+#ifndef SPATIAL_RTREE_VALIDATOR_H_
+#define SPATIAL_RTREE_VALIDATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "rtree/rtree.h"
+
+namespace spatial {
+
+// Structural summary produced by a successful validation pass.
+struct TreeReport {
+  uint64_t leaf_entries = 0;
+  uint64_t nodes = 0;
+  int height = 0;
+  std::vector<uint64_t> nodes_per_level;  // index = level (0 = leaves)
+  double avg_leaf_fill = 0.0;             // mean count/M over leaf nodes
+
+  // Quality diagnostics (classic R-tree metrics): per level, the summed
+  // pairwise overlap area between sibling entries of each node, and the
+  // summed area of the entries. High overlap forces NN/window searches to
+  // descend multiple siblings — the quantity the R* split minimizes.
+  std::vector<double> sibling_overlap_per_level;
+  std::vector<double> entry_area_per_level;
+
+  double total_sibling_overlap() const {
+    double total = 0.0;
+    for (double o : sibling_overlap_per_level) total += o;
+    return total;
+  }
+};
+
+// Verifies every structural invariant of the tree:
+//   * each page decodes as a node (magic, count bounds, valid rectangles);
+//   * child level == parent level - 1 (uniform leaf depth);
+//   * each parent entry's MBR equals the child's tight MBR exactly;
+//   * non-root nodes satisfy the minimum fill (if check_min_fill);
+//   * an internal root has >= 2 entries;
+//   * total leaf entries == tree.size().
+// Returns Corruption with a description on the first violation.
+template <int D>
+Result<TreeReport> ValidateTree(const RTree<D>& tree, bool check_min_fill);
+
+extern template Result<TreeReport> ValidateTree<2>(const RTree<2>&, bool);
+extern template Result<TreeReport> ValidateTree<3>(const RTree<3>&, bool);
+extern template Result<TreeReport> ValidateTree<4>(const RTree<4>&, bool);
+
+}  // namespace spatial
+
+#endif  // SPATIAL_RTREE_VALIDATOR_H_

@@ -1,0 +1,227 @@
+#include "storage/buffer_pool.h"
+
+#include <cstring>
+
+#include "common/macros.h"
+
+namespace spatial {
+
+const char* EvictionPolicyName(EvictionPolicy policy) {
+  switch (policy) {
+    case EvictionPolicy::kLru:
+      return "lru";
+    case EvictionPolicy::kClock:
+      return "clock";
+  }
+  return "unknown";
+}
+
+PageHandle& PageHandle::operator=(PageHandle&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    id_ = other.id_;
+    data_ = other.data_;
+    dirty_ = other.dirty_;
+    other.pool_ = nullptr;
+    other.data_ = nullptr;
+    other.id_ = kInvalidPageId;
+    other.dirty_ = false;
+  }
+  return *this;
+}
+
+PageHandle::~PageHandle() { Release(); }
+
+void PageHandle::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(id_, dirty_);
+    pool_ = nullptr;
+    data_ = nullptr;
+    id_ = kInvalidPageId;
+    dirty_ = false;
+  }
+}
+
+BufferPool::BufferPool(Disk* disk, uint32_t capacity,
+                       EvictionPolicy policy)
+    : disk_(disk), capacity_(capacity), policy_(policy) {
+  SPATIAL_CHECK(disk_ != nullptr);
+  SPATIAL_CHECK(capacity_ >= 1);
+  frames_.resize(capacity_);
+  free_frames_.reserve(capacity_);
+  for (uint32_t i = 0; i < capacity_; ++i) {
+    frames_[i].data = std::make_unique<char[]>(disk_->page_size());
+    free_frames_.push_back(capacity_ - 1 - i);  // hand out frame 0 first
+  }
+}
+
+BufferPool::~BufferPool() {
+  // Best-effort writeback; errors here indicate disk teardown races that
+  // cannot happen with the in-memory DiskManager.
+  FlushAll().ok();
+}
+
+Result<PageHandle> BufferPool::Fetch(PageId id) {
+  if (id == kInvalidPageId) {
+    return Status::InvalidArgument("Fetch: invalid page id");
+  }
+  ++stats_.logical_fetches;
+  auto it = page_table_.find(id);
+  if (it != page_table_.end()) {
+    ++stats_.hits;
+    const uint32_t idx = it->second;
+    Frame& frame = frames_[idx];
+    if (frame.pin_count == 0) MakeUnevictable(idx);
+    ++frame.pin_count;
+    frame.referenced = true;
+    return PageHandle(this, id, frame.data.get());
+  }
+  ++stats_.misses;
+  SPATIAL_ASSIGN_OR_RETURN(const uint32_t idx, GetVictimFrame());
+  Frame& frame = frames_[idx];
+  Status read = disk_->ReadPage(id, frame.data.get());
+  if (!read.ok()) {
+    free_frames_.push_back(idx);
+    return read;
+  }
+  frame.id = id;
+  frame.pin_count = 1;
+  frame.dirty = false;
+  frame.referenced = true;
+  page_table_[id] = idx;
+  return PageHandle(this, id, frame.data.get());
+}
+
+Result<PageHandle> BufferPool::NewPage() {
+  SPATIAL_ASSIGN_OR_RETURN(const uint32_t idx, GetVictimFrame());
+  const PageId id = disk_->AllocatePage();
+  Frame& frame = frames_[idx];
+  frame.id = id;
+  frame.pin_count = 1;
+  frame.dirty = true;
+  frame.referenced = true;
+  std::memset(frame.data.get(), 0, disk_->page_size());
+  page_table_[id] = idx;
+  return PageHandle(this, id, frame.data.get());
+}
+
+Status BufferPool::FreePage(PageId id) {
+  auto it = page_table_.find(id);
+  if (it != page_table_.end()) {
+    const uint32_t idx = it->second;
+    Frame& frame = frames_[idx];
+    if (frame.pin_count > 0) {
+      return Status::InvalidArgument("FreePage: page is pinned");
+    }
+    MakeUnevictable(idx);
+    frame.id = kInvalidPageId;
+    frame.dirty = false;
+    page_table_.erase(it);
+    free_frames_.push_back(idx);
+  }
+  return disk_->FreePage(id);
+}
+
+Status BufferPool::FlushAll() {
+  for (Frame& frame : frames_) {
+    if (frame.id != kInvalidPageId && frame.dirty) {
+      SPATIAL_RETURN_IF_ERROR(disk_->WritePage(frame.id, frame.data.get()));
+      frame.dirty = false;
+    }
+  }
+  return Status::OK();
+}
+
+uint32_t BufferPool::pinned_frames() const {
+  uint32_t pinned = 0;
+  for (const Frame& frame : frames_) {
+    if (frame.id != kInvalidPageId && frame.pin_count > 0) ++pinned;
+  }
+  return pinned;
+}
+
+void BufferPool::Unpin(PageId id, bool dirty) {
+  auto it = page_table_.find(id);
+  SPATIAL_CHECK(it != page_table_.end());
+  const uint32_t idx = it->second;
+  Frame& frame = frames_[idx];
+  SPATIAL_CHECK(frame.pin_count > 0);
+  frame.dirty = frame.dirty || dirty;
+  --frame.pin_count;
+  if (frame.pin_count == 0) MakeEvictable(idx);
+}
+
+Result<uint32_t> BufferPool::GetVictimFrame() {
+  if (!free_frames_.empty()) {
+    const uint32_t idx = free_frames_.back();
+    free_frames_.pop_back();
+    return idx;
+  }
+  return policy_ == EvictionPolicy::kLru ? EvictLru() : EvictClock();
+}
+
+Result<uint32_t> BufferPool::EvictLru() {
+  if (lru_list_.empty()) {
+    return Status::ResourceExhausted(
+        "buffer pool: all frames pinned; cannot evict");
+  }
+  const uint32_t idx = lru_list_.front();
+  SPATIAL_DCHECK(frames_[idx].pin_count == 0);
+  MakeUnevictable(idx);
+  SPATIAL_RETURN_IF_ERROR(WriteBackAndDetach(idx));
+  return idx;
+}
+
+Result<uint32_t> BufferPool::EvictClock() {
+  // Second-chance sweep: give each referenced frame one pass of grace.
+  // Two full revolutions guarantee progress or prove exhaustion.
+  for (uint32_t step = 0; step < 2 * capacity_; ++step) {
+    const uint32_t idx = clock_hand_;
+    clock_hand_ = (clock_hand_ + 1) % capacity_;
+    Frame& frame = frames_[idx];
+    if (frame.id == kInvalidPageId || frame.pin_count > 0) continue;
+    if (frame.referenced) {
+      frame.referenced = false;
+      continue;
+    }
+    SPATIAL_RETURN_IF_ERROR(WriteBackAndDetach(idx));
+    return idx;
+  }
+  return Status::ResourceExhausted(
+      "buffer pool: all frames pinned; cannot evict");
+}
+
+// Writes back a dirty victim and removes it from the page table.
+Status BufferPool::WriteBackAndDetach(uint32_t frame_idx) {
+  Frame& frame = frames_[frame_idx];
+  if (frame.dirty) {
+    SPATIAL_RETURN_IF_ERROR(disk_->WritePage(frame.id, frame.data.get()));
+    ++stats_.dirty_writebacks;
+  }
+  page_table_.erase(frame.id);
+  frame.id = kInvalidPageId;
+  frame.dirty = false;
+  frame.referenced = false;
+  ++stats_.evictions;
+  return Status::OK();
+}
+
+void BufferPool::MakeEvictable(uint32_t frame_idx) {
+  if (policy_ != EvictionPolicy::kLru) return;  // CLOCK uses pin counts only
+  Frame& frame = frames_[frame_idx];
+  SPATIAL_DCHECK(!frame.evictable);
+  frame.lru_pos = lru_list_.insert(lru_list_.end(), frame_idx);
+  frame.evictable = true;
+}
+
+void BufferPool::MakeUnevictable(uint32_t frame_idx) {
+  if (policy_ != EvictionPolicy::kLru) return;
+  Frame& frame = frames_[frame_idx];
+  if (frame.evictable) {
+    lru_list_.erase(frame.lru_pos);
+    frame.evictable = false;
+  }
+}
+
+}  // namespace spatial

@@ -1,0 +1,141 @@
+#ifndef SPATIAL_STORAGE_BUFFER_POOL_H_
+#define SPATIAL_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/disk.h"
+#include "storage/io_stats.h"
+
+namespace spatial {
+
+class BufferPool;
+
+// Frame replacement policy of the BufferPool.
+enum class EvictionPolicy {
+  kLru,    // least-recently-used (exact, list-based)
+  kClock,  // second-chance / CLOCK (approximate LRU, O(1) metadata)
+};
+
+const char* EvictionPolicyName(EvictionPolicy policy);
+
+// RAII pin on a buffered page. While a handle is alive, the page is pinned
+// in the pool and its frame memory is stable. Move-only.
+class PageHandle {
+ public:
+  PageHandle() = default;
+  PageHandle(PageHandle&& other) noexcept { *this = std::move(other); }
+  PageHandle& operator=(PageHandle&& other) noexcept;
+  PageHandle(const PageHandle&) = delete;
+  PageHandle& operator=(const PageHandle&) = delete;
+  ~PageHandle();
+
+  bool valid() const { return pool_ != nullptr; }
+  PageId id() const { return id_; }
+  char* data() { return data_; }
+  const char* data() const { return data_; }
+
+  // Marks the page dirty: it will be written back to disk on eviction/flush.
+  void MarkDirty() { dirty_ = true; }
+
+  // Explicitly release the pin before destruction.
+  void Release();
+
+ private:
+  friend class BufferPool;
+  PageHandle(BufferPool* pool, PageId id, char* data)
+      : pool_(pool), id_(id), data_(data) {}
+
+  BufferPool* pool_ = nullptr;
+  PageId id_ = kInvalidPageId;
+  char* data_ = nullptr;
+  bool dirty_ = false;
+};
+
+// A fixed-capacity LRU buffer pool over any Disk implementation.
+//
+// Every Fetch() counts as one *logical page access* — the metric reported
+// by the SIGMOD'95 experiments. Physical reads happen only on misses, so
+// the buffer experiments (E7) can contrast logical and physical counts.
+//
+// Not thread-safe (single-threaded library, like the original testbed).
+class BufferPool {
+ public:
+  // `capacity` is the number of page frames.
+  BufferPool(Disk* disk, uint32_t capacity,
+             EvictionPolicy policy = EvictionPolicy::kLru);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+  ~BufferPool();
+
+  // Pins the page in memory, reading it from disk if absent.
+  // Fails with ResourceExhausted when every frame is pinned.
+  Result<PageHandle> Fetch(PageId id);
+
+  // Allocates a fresh zero-filled page on disk and pins it (dirty).
+  Result<PageHandle> NewPage();
+
+  // Frees a page on disk; the page must not be pinned. Its frame (if any)
+  // is discarded without writeback.
+  Status FreePage(PageId id);
+
+  // Writes back all dirty frames.
+  Status FlushAll();
+
+  Disk* disk() { return disk_; }
+  uint32_t capacity() const { return capacity_; }
+  EvictionPolicy policy() const { return policy_; }
+  uint32_t page_size() const { return disk_->page_size(); }
+
+  const BufferStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
+
+  // Number of currently pinned frames (for tests / leak detection).
+  uint32_t pinned_frames() const;
+
+ private:
+  friend class PageHandle;
+
+  struct Frame {
+    PageId id = kInvalidPageId;
+    std::unique_ptr<char[]> data;
+    uint32_t pin_count = 0;
+    bool dirty = false;
+    // LRU: position in lru_list_ when evictable; valid iff `evictable`.
+    std::list<uint32_t>::iterator lru_pos;
+    bool evictable = false;
+    // CLOCK: reference bit, set on every access.
+    bool referenced = false;
+  };
+
+  void Unpin(PageId id, bool dirty);
+
+  // Returns a free frame index, evicting if necessary.
+  Result<uint32_t> GetVictimFrame();
+  Result<uint32_t> EvictLru();
+  Result<uint32_t> EvictClock();
+  Status WriteBackAndDetach(uint32_t frame_idx);
+
+  void MakeEvictable(uint32_t frame_idx);
+  void MakeUnevictable(uint32_t frame_idx);
+
+  Disk* disk_;
+  uint32_t capacity_;
+  EvictionPolicy policy_;
+  uint32_t clock_hand_ = 0;
+  std::vector<Frame> frames_;
+  std::vector<uint32_t> free_frames_;
+  std::unordered_map<PageId, uint32_t> page_table_;
+  std::list<uint32_t> lru_list_;  // front = least recently used
+  BufferStats stats_;
+};
+
+}  // namespace spatial
+
+#endif  // SPATIAL_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,47 @@
+#ifndef SPATIAL_STORAGE_DISK_H_
+#define SPATIAL_STORAGE_DISK_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "storage/io_stats.h"
+
+namespace spatial {
+
+using PageId = uint32_t;
+inline constexpr PageId kInvalidPageId = 0xffffffffu;
+
+// Abstract page-granular storage device. Two implementations ship:
+//   * DiskManager     — in-memory simulated disk (experiments; default),
+//   * FileDiskManager — a real file on the local filesystem (persistence).
+// The BufferPool talks to this interface only, so indexes are storage-
+// agnostic. Virtual dispatch happens once per *physical* I/O — never on
+// the logical-access path.
+class Disk {
+ public:
+  virtual ~Disk() = default;
+
+  virtual uint32_t page_size() const = 0;
+
+  // Allocates a zero-filled page and returns its id. May reuse freed ids.
+  virtual PageId AllocatePage() = 0;
+
+  // Returns a page to the free list. Double frees are rejected.
+  virtual Status FreePage(PageId id) = 0;
+
+  // Copies the page contents into `out` (page_size bytes).
+  virtual Status ReadPage(PageId id, char* out) = 0;
+
+  // Copies page_size bytes from `in` into the page.
+  virtual Status WritePage(PageId id, const char* in) = 0;
+
+  // Number of live (allocated, not freed) pages.
+  virtual uint64_t live_pages() const = 0;
+
+  virtual const IoStats& stats() const = 0;
+  virtual void ResetStats() = 0;
+};
+
+}  // namespace spatial
+
+#endif  // SPATIAL_STORAGE_DISK_H_

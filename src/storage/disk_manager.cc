@@ -1,0 +1,64 @@
+#include "storage/disk_manager.h"
+
+#include <cstring>
+
+#include "common/macros.h"
+
+namespace spatial {
+
+DiskManager::DiskManager(uint32_t page_size) : page_size_(page_size) {
+  SPATIAL_CHECK(page_size_ >= 64);
+}
+
+PageId DiskManager::AllocatePage() {
+  ++stats_.pages_allocated;
+  if (!free_list_.empty()) {
+    const PageId id = free_list_.back();
+    free_list_.pop_back();
+    freed_[id] = false;
+    std::memset(pages_[id].get(), 0, page_size_);
+    return id;
+  }
+  const PageId id = static_cast<PageId>(pages_.size());
+  SPATIAL_CHECK(id != kInvalidPageId);
+  pages_.push_back(std::make_unique<char[]>(page_size_));
+  freed_.push_back(false);
+  return id;
+}
+
+Status DiskManager::FreePage(PageId id) {
+  if (id >= pages_.size()) {
+    return Status::InvalidArgument("FreePage: page id out of range");
+  }
+  if (freed_[id]) {
+    return Status::InvalidArgument("FreePage: double free");
+  }
+  freed_[id] = true;
+  free_list_.push_back(id);
+  ++stats_.pages_freed;
+  return Status::OK();
+}
+
+Status DiskManager::ReadPage(PageId id, char* out) {
+  if (!IsLive(id)) {
+    return Status::InvalidArgument("ReadPage: page not allocated");
+  }
+  std::memcpy(out, pages_[id].get(), page_size_);
+  ++stats_.physical_reads;
+  return Status::OK();
+}
+
+Status DiskManager::WritePage(PageId id, const char* in) {
+  if (!IsLive(id)) {
+    return Status::InvalidArgument("WritePage: page not allocated");
+  }
+  std::memcpy(pages_[id].get(), in, page_size_);
+  ++stats_.physical_writes;
+  return Status::OK();
+}
+
+bool DiskManager::IsLive(PageId id) const {
+  return id < pages_.size() && !freed_[id];
+}
+
+}  // namespace spatial

@@ -1,0 +1,53 @@
+#ifndef SPATIAL_STORAGE_DISK_MANAGER_H_
+#define SPATIAL_STORAGE_DISK_MANAGER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/disk.h"
+#include "storage/io_stats.h"
+
+namespace spatial {
+
+// Simulated disk: a growable array of fixed-size pages held in memory, with
+// physical-I/O accounting. The 1995 testbed's disk behaviour that matters to
+// the paper (page-granular access counts) is preserved exactly; transfer
+// latency is not simulated because the paper reports page counts, not
+// wall-clock I/O time.
+//
+// Not thread-safe; the library is single-threaded like the original system.
+class DiskManager final : public Disk {
+ public:
+  explicit DiskManager(uint32_t page_size);
+
+  DiskManager(const DiskManager&) = delete;
+  DiskManager& operator=(const DiskManager&) = delete;
+
+  uint32_t page_size() const override { return page_size_; }
+  PageId AllocatePage() override;
+  Status FreePage(PageId id) override;
+  Status ReadPage(PageId id, char* out) override;
+  Status WritePage(PageId id, const char* in) override;
+
+  uint64_t live_pages() const override {
+    return stats_.pages_allocated - stats_.pages_freed;
+  }
+
+  const IoStats& stats() const override { return stats_; }
+  void ResetStats() override { stats_.Reset(); }
+
+ private:
+  bool IsLive(PageId id) const;
+
+  uint32_t page_size_;
+  std::vector<std::unique_ptr<char[]>> pages_;
+  std::vector<bool> freed_;
+  std::vector<PageId> free_list_;
+  IoStats stats_;
+};
+
+}  // namespace spatial
+
+#endif  // SPATIAL_STORAGE_DISK_MANAGER_H_

@@ -1,0 +1,163 @@
+#include "storage/file_disk_manager.h"
+
+#include <cstring>
+#include <memory>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace spatial {
+
+namespace {
+
+Status SeekToPage(std::FILE* file, PageId id, uint32_t page_size) {
+  const long offset = static_cast<long>(id) * static_cast<long>(page_size);
+  if (std::fseek(file, offset, SEEK_SET) != 0) {
+    return Status::Internal("seek failed for page " + std::to_string(id));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<FileDiskManager> FileDiskManager::Create(const std::string& path,
+                                                uint32_t page_size) {
+  if (page_size < 64) {
+    return Status::InvalidArgument("page size must be >= 64");
+  }
+  std::FILE* file = std::fopen(path.c_str(), "w+b");
+  if (file == nullptr) {
+    return Status::InvalidArgument("cannot create file: " + path);
+  }
+  return FileDiskManager(path, page_size, file, /*num_pages=*/0);
+}
+
+Result<FileDiskManager> FileDiskManager::Open(const std::string& path,
+                                              uint32_t page_size) {
+  if (page_size < 64) {
+    return Status::InvalidArgument("page size must be >= 64");
+  }
+  std::FILE* file = std::fopen(path.c_str(), "r+b");
+  if (file == nullptr) {
+    return Status::NotFound("cannot open file: " + path);
+  }
+  if (std::fseek(file, 0, SEEK_END) != 0) {
+    std::fclose(file);
+    return Status::Internal("seek failed: " + path);
+  }
+  const long size = std::ftell(file);
+  if (size < 0 || size % static_cast<long>(page_size) != 0) {
+    std::fclose(file);
+    return Status::Corruption("file size is not a multiple of page size: " +
+                              path);
+  }
+  return FileDiskManager(path, page_size, file,
+                         static_cast<uint32_t>(size / page_size));
+}
+
+FileDiskManager::FileDiskManager(std::string path, uint32_t page_size,
+                                 std::FILE* file, uint32_t num_pages)
+    : path_(std::move(path)),
+      page_size_(page_size),
+      file_(file),
+      num_pages_(num_pages),
+      freed_(num_pages, false) {}
+
+FileDiskManager::FileDiskManager(FileDiskManager&& other) noexcept
+    : Disk() {
+  *this = std::move(other);
+}
+
+FileDiskManager& FileDiskManager::operator=(
+    FileDiskManager&& other) noexcept {
+  if (this != &other) {
+    if (file_ != nullptr) std::fclose(file_);
+    path_ = std::move(other.path_);
+    page_size_ = other.page_size_;
+    file_ = other.file_;
+    num_pages_ = other.num_pages_;
+    freed_ = std::move(other.freed_);
+    free_list_ = std::move(other.free_list_);
+    stats_ = other.stats_;
+    other.file_ = nullptr;
+  }
+  return *this;
+}
+
+FileDiskManager::~FileDiskManager() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+PageId FileDiskManager::AllocatePage() {
+  ++stats_.pages_allocated;
+  if (!free_list_.empty()) {
+    const PageId id = free_list_.back();
+    free_list_.pop_back();
+    freed_[id] = false;
+    // Zero the recycled page to match DiskManager semantics.
+    std::unique_ptr<char[]> zeros(new char[page_size_]());
+    WritePage(id, zeros.get()).ok();
+    --stats_.physical_writes;  // allocation zeroing is not user I/O
+    return id;
+  }
+  const PageId id = num_pages_;
+  SPATIAL_CHECK(id != kInvalidPageId);
+  ++num_pages_;
+  freed_.push_back(false);
+  // Extend the file by one zero page.
+  std::unique_ptr<char[]> zeros(new char[page_size_]());
+  if (SeekToPage(file_, id, page_size_).ok()) {
+    std::fwrite(zeros.get(), 1, page_size_, file_);
+  }
+  return id;
+}
+
+Status FileDiskManager::FreePage(PageId id) {
+  if (id >= num_pages_) {
+    return Status::InvalidArgument("FreePage: page id out of range");
+  }
+  if (freed_[id]) {
+    return Status::InvalidArgument("FreePage: double free");
+  }
+  freed_[id] = true;
+  free_list_.push_back(id);
+  ++stats_.pages_freed;
+  return Status::OK();
+}
+
+Status FileDiskManager::ReadPage(PageId id, char* out) {
+  if (id >= num_pages_ || freed_[id]) {
+    return Status::InvalidArgument("ReadPage: page not allocated");
+  }
+  SPATIAL_RETURN_IF_ERROR(SeekToPage(file_, id, page_size_));
+  if (std::fread(out, 1, page_size_, file_) != page_size_) {
+    return Status::Corruption("short read on page " + std::to_string(id));
+  }
+  ++stats_.physical_reads;
+  return Status::OK();
+}
+
+Status FileDiskManager::WritePage(PageId id, const char* in) {
+  if (id >= num_pages_ || freed_[id]) {
+    return Status::InvalidArgument("WritePage: page not allocated");
+  }
+  SPATIAL_RETURN_IF_ERROR(SeekToPage(file_, id, page_size_));
+  if (std::fwrite(in, 1, page_size_, file_) != page_size_) {
+    return Status::Internal("short write on page " + std::to_string(id));
+  }
+  ++stats_.physical_writes;
+  return Status::OK();
+}
+
+uint64_t FileDiskManager::live_pages() const {
+  return num_pages_ - free_list_.size();
+}
+
+Status FileDiskManager::Sync() {
+  if (std::fflush(file_) != 0) {
+    return Status::Internal("fflush failed: " + path_);
+  }
+  return Status::OK();
+}
+
+}  // namespace spatial

@@ -1,0 +1,74 @@
+#ifndef SPATIAL_STORAGE_FILE_DISK_MANAGER_H_
+#define SPATIAL_STORAGE_FILE_DISK_MANAGER_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/disk.h"
+
+namespace spatial {
+
+// Page storage backed by a real file, giving indexes durability across
+// processes. File layout:
+//
+//   page 0..N-1 : raw page images, page_size bytes each
+//
+// Allocation metadata (the free list) is kept in memory and rebuilt as
+// "no free pages" on reopen; freed pages of a previous session are leaked
+// in the file but remain readable, which is sound (the tree never points
+// at them) if slightly wasteful. A production system would persist the
+// free list in a superblock; for this reproduction the simple scheme keeps
+// the format trivial and the recovery story obvious.
+//
+// Not thread-safe.
+class FileDiskManager final : public Disk {
+ public:
+  // Creates a new file (truncating any existing one).
+  static Result<FileDiskManager> Create(const std::string& path,
+                                        uint32_t page_size);
+
+  // Opens an existing file; the page count is derived from the file size,
+  // which must be a multiple of page_size.
+  static Result<FileDiskManager> Open(const std::string& path,
+                                      uint32_t page_size);
+
+  FileDiskManager(FileDiskManager&& other) noexcept;
+  FileDiskManager& operator=(FileDiskManager&& other) noexcept;
+  FileDiskManager(const FileDiskManager&) = delete;
+  FileDiskManager& operator=(const FileDiskManager&) = delete;
+  ~FileDiskManager() override;
+
+  uint32_t page_size() const override { return page_size_; }
+  PageId AllocatePage() override;
+  Status FreePage(PageId id) override;
+  Status ReadPage(PageId id, char* out) override;
+  Status WritePage(PageId id, const char* in) override;
+  uint64_t live_pages() const override;
+  const IoStats& stats() const override { return stats_; }
+  void ResetStats() override { stats_.Reset(); }
+
+  // Flushes the underlying file's user-space buffers.
+  Status Sync();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  FileDiskManager(std::string path, uint32_t page_size, std::FILE* file,
+                  uint32_t num_pages);
+
+  std::string path_;
+  uint32_t page_size_ = 0;
+  std::FILE* file_ = nullptr;
+  uint32_t num_pages_ = 0;
+  std::vector<bool> freed_;  // indexed by PageId
+  std::vector<PageId> free_list_;
+  IoStats stats_;
+};
+
+}  // namespace spatial
+
+#endif  // SPATIAL_STORAGE_FILE_DISK_MANAGER_H_

@@ -1,0 +1,161 @@
+#include "storage/heap_file.h"
+
+#include <cstring>
+
+#include "common/macros.h"
+
+namespace spatial {
+namespace {
+
+constexpr uint32_t kHeapMagic = 0x48454150;  // "HEAP"
+
+struct HeapPageHeader {
+  uint32_t magic;
+  uint16_t count;        // records on this page
+  uint16_t free_offset;  // start of free space (end of record bytes)
+  PageId next_page;      // chain link; kInvalidPageId at the tail
+};
+static_assert(sizeof(HeapPageHeader) == 12);
+
+struct SlotEntry {
+  uint16_t offset;
+  uint16_t length;
+};
+static_assert(sizeof(SlotEntry) == 4);
+
+HeapPageHeader ReadHeader(const char* page) {
+  HeapPageHeader header;
+  std::memcpy(&header, page, sizeof(header));
+  return header;
+}
+
+void WriteHeader(char* page, const HeapPageHeader& header) {
+  std::memcpy(page, &header, sizeof(header));
+}
+
+size_t SlotOffset(uint32_t page_size, uint16_t slot) {
+  return page_size - (static_cast<size_t>(slot) + 1) * sizeof(SlotEntry);
+}
+
+SlotEntry ReadSlot(const char* page, uint32_t page_size, uint16_t slot) {
+  SlotEntry entry;
+  std::memcpy(&entry, page + SlotOffset(page_size, slot), sizeof(entry));
+  return entry;
+}
+
+void WriteSlot(char* page, uint32_t page_size, uint16_t slot,
+               const SlotEntry& entry) {
+  std::memcpy(page + SlotOffset(page_size, slot), &entry, sizeof(entry));
+}
+
+void InitHeapPage(char* page) {
+  HeapPageHeader header;
+  header.magic = kHeapMagic;
+  header.count = 0;
+  header.free_offset = sizeof(HeapPageHeader);
+  header.next_page = kInvalidPageId;
+  WriteHeader(page, header);
+}
+
+// Free bytes available for one more record (slot entry included).
+uint32_t FreeSpace(const HeapPageHeader& header, uint32_t page_size) {
+  const size_t dir_start =
+      page_size - static_cast<size_t>(header.count) * sizeof(SlotEntry);
+  return static_cast<uint32_t>(dir_start - header.free_offset);
+}
+
+}  // namespace
+
+uint32_t HeapFile::MaxRecordSize(uint32_t page_size) {
+  return page_size - static_cast<uint32_t>(sizeof(HeapPageHeader)) -
+         static_cast<uint32_t>(sizeof(SlotEntry));
+}
+
+Result<HeapFile> HeapFile::Create(BufferPool* pool) {
+  if (pool == nullptr) {
+    return Status::InvalidArgument("HeapFile::Create: pool is null");
+  }
+  if (pool->page_size() < sizeof(HeapPageHeader) + sizeof(SlotEntry) + 16) {
+    return Status::InvalidArgument("page size too small for a heap page");
+  }
+  SPATIAL_ASSIGN_OR_RETURN(PageHandle page, pool->NewPage());
+  InitHeapPage(page.data());
+  page.MarkDirty();
+  return HeapFile(pool, page.id(), page.id(), /*num_records=*/0);
+}
+
+Result<HeapFile> HeapFile::Open(BufferPool* pool, PageId first_page) {
+  if (pool == nullptr) {
+    return Status::InvalidArgument("HeapFile::Open: pool is null");
+  }
+  uint64_t records = 0;
+  PageId current = first_page;
+  PageId last = first_page;
+  while (current != kInvalidPageId) {
+    SPATIAL_ASSIGN_OR_RETURN(PageHandle page, pool->Fetch(current));
+    const HeapPageHeader header = ReadHeader(page.data());
+    if (header.magic != kHeapMagic) {
+      return Status::Corruption("heap page has bad magic");
+    }
+    records += header.count;
+    last = current;
+    current = header.next_page;
+  }
+  return HeapFile(pool, first_page, last, records);
+}
+
+Result<RecordId> HeapFile::Append(std::string_view record) {
+  const uint32_t page_size = pool_->page_size();
+  if (record.size() > MaxRecordSize(page_size)) {
+    return Status::InvalidArgument(
+        "record of " + std::to_string(record.size()) +
+        " bytes exceeds the page capacity of " +
+        std::to_string(MaxRecordSize(page_size)));
+  }
+  SPATIAL_ASSIGN_OR_RETURN(PageHandle page, pool_->Fetch(last_page_));
+  HeapPageHeader header = ReadHeader(page.data());
+  if (header.magic != kHeapMagic) {
+    return Status::Corruption("heap page has bad magic");
+  }
+  if (FreeSpace(header, page_size) < record.size() + sizeof(SlotEntry)) {
+    // Chain a fresh page.
+    SPATIAL_ASSIGN_OR_RETURN(PageHandle fresh, pool_->NewPage());
+    InitHeapPage(fresh.data());
+    fresh.MarkDirty();
+    header.next_page = fresh.id();
+    WriteHeader(page.data(), header);
+    page.MarkDirty();
+    last_page_ = fresh.id();
+    page = std::move(fresh);
+    header = ReadHeader(page.data());
+  }
+  const uint16_t slot = header.count;
+  SlotEntry entry;
+  entry.offset = header.free_offset;
+  entry.length = static_cast<uint16_t>(record.size());
+  std::memcpy(page.data() + entry.offset, record.data(), record.size());
+  WriteSlot(page.data(), page_size, slot, entry);
+  header.free_offset = static_cast<uint16_t>(entry.offset + record.size());
+  ++header.count;
+  WriteHeader(page.data(), header);
+  page.MarkDirty();
+  ++num_records_;
+  return RecordId{page.id(), slot};
+}
+
+Result<std::string> HeapFile::Read(const RecordId& rid) const {
+  SPATIAL_ASSIGN_OR_RETURN(PageHandle page, pool_->Fetch(rid.page));
+  const HeapPageHeader header = ReadHeader(page.data());
+  if (header.magic != kHeapMagic) {
+    return Status::Corruption("heap page has bad magic");
+  }
+  if (rid.slot >= header.count) {
+    return Status::OutOfRange("slot " + std::to_string(rid.slot) +
+                              " out of range on page " +
+                              std::to_string(rid.page));
+  }
+  const SlotEntry entry = ReadSlot(page.data(), pool_->page_size(), rid.slot);
+  return std::string(page.data() + entry.offset, entry.length);
+}
+
+}  // namespace spatial

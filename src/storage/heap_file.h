@@ -1,0 +1,79 @@
+#ifndef SPATIAL_STORAGE_HEAP_FILE_H_
+#define SPATIAL_STORAGE_HEAP_FILE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "storage/buffer_pool.h"
+
+namespace spatial {
+
+// Identifies one record in a HeapFile.
+struct RecordId {
+  PageId page = kInvalidPageId;
+  uint16_t slot = 0;
+
+  friend bool operator==(const RecordId& a, const RecordId& b) {
+    return a.page == b.page && a.slot == b.slot;
+  }
+};
+
+// Append-only record store over slotted pages — the payload companion of
+// the R-tree: the tree indexes geometry and maps object ids (or RIDs) to
+// records holding the actual object data (names, attributes, geometry
+// blobs), exactly how a spatial DBMS splits index and heap.
+//
+// Page layout (classic slotted page):
+//
+//   [HeapPageHeader][record bytes grow ->] ... [<- slot dir (offset,len)]
+//
+// Pages are chained through the header; Open() walks the chain. Records
+// are immutable once appended (no update/delete — the index layer owns
+// object lifecycle in this reproduction).
+//
+// Not thread-safe.
+class HeapFile {
+ public:
+  // Creates an empty heap with one page.
+  static Result<HeapFile> Create(BufferPool* pool);
+
+  // Reopens a heap starting at `first_page`, recounting records.
+  static Result<HeapFile> Open(BufferPool* pool, PageId first_page);
+
+  HeapFile(HeapFile&&) = default;
+  HeapFile& operator=(HeapFile&&) = default;
+  HeapFile(const HeapFile&) = delete;
+  HeapFile& operator=(const HeapFile&) = delete;
+
+  // Appends a record; fails with InvalidArgument if the record cannot fit
+  // on one page.
+  Result<RecordId> Append(std::string_view record);
+
+  // Reads a record by id; NotFound/OutOfRange for invalid ids.
+  Result<std::string> Read(const RecordId& rid) const;
+
+  uint64_t num_records() const { return num_records_; }
+  PageId first_page() const { return first_page_; }
+
+  // Largest record that fits on a page of the pool's size.
+  static uint32_t MaxRecordSize(uint32_t page_size);
+
+ private:
+  HeapFile(BufferPool* pool, PageId first_page, PageId last_page,
+           uint64_t num_records)
+      : pool_(pool),
+        first_page_(first_page),
+        last_page_(last_page),
+        num_records_(num_records) {}
+
+  BufferPool* pool_;
+  PageId first_page_;
+  PageId last_page_;
+  uint64_t num_records_;
+};
+
+}  // namespace spatial
+
+#endif  // SPATIAL_STORAGE_HEAP_FILE_H_

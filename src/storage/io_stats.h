@@ -1,0 +1,40 @@
+#ifndef SPATIAL_STORAGE_IO_STATS_H_
+#define SPATIAL_STORAGE_IO_STATS_H_
+
+#include <cstdint>
+
+namespace spatial {
+
+// Counters kept by DiskManager (physical I/O) and BufferPool (logical
+// accesses). The SIGMOD'95 evaluation reports *page accesses* per query;
+// we expose both logical fetches (what the paper counts, since it assumes
+// a cold/no buffer) and physical reads after the buffer pool.
+struct IoStats {
+  uint64_t physical_reads = 0;
+  uint64_t physical_writes = 0;
+  uint64_t pages_allocated = 0;
+  uint64_t pages_freed = 0;
+
+  void Reset() { *this = IoStats(); }
+};
+
+struct BufferStats {
+  uint64_t logical_fetches = 0;  // Fetch() calls: the paper's page accesses.
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t dirty_writebacks = 0;
+
+  double HitRate() const {
+    return logical_fetches == 0
+               ? 0.0
+               : static_cast<double>(hits) /
+                     static_cast<double>(logical_fetches);
+  }
+
+  void Reset() { *this = BufferStats(); }
+};
+
+}  // namespace spatial
+
+#endif  // SPATIAL_STORAGE_IO_STATS_H_

@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "baselines/grid_file.h"
+#include "baselines/linear_scan.h"
+#include "baselines/range_expand.h"
+#include "core/knn.h"
+#include "data/clustered.h"
+#include "data/uniform.h"
+#include "data/workload.h"
+#include "tests/test_util.h"
+
+namespace spatial {
+namespace {
+
+// --------------------------------------------------------------------------
+// Linear scan (itself the ground truth — test basics directly).
+
+TEST(LinearScanTest, EmptyDataset) {
+  auto result = LinearScanKnn<2>({}, {{0.0, 0.0}}, 3, nullptr);
+  EXPECT_TRUE(result.empty());
+}
+
+TEST(LinearScanTest, OrdersByDistance) {
+  std::vector<Entry<2>> data{
+      Entry<2>{Rect2::FromPoint({{3.0, 0.0}}), 1},
+      Entry<2>{Rect2::FromPoint({{1.0, 0.0}}), 2},
+      Entry<2>{Rect2::FromPoint({{2.0, 0.0}}), 3},
+  };
+  auto result = LinearScanKnn<2>(data, {{0.0, 0.0}}, 3, nullptr);
+  ASSERT_EQ(result.size(), 3u);
+  EXPECT_EQ(result[0].id, 2u);
+  EXPECT_EQ(result[1].id, 3u);
+  EXPECT_EQ(result[2].id, 1u);
+}
+
+TEST(LinearScanTest, StatsCountEveryObject) {
+  std::vector<Entry<2>> data(100,
+                             Entry<2>{Rect2::FromPoint({{0.0, 0.0}}), 0});
+  QueryStats stats;
+  LinearScanKnn<2>(data, {{1.0, 1.0}}, 5, &stats);
+  EXPECT_EQ(stats.objects_examined, 100u);
+  EXPECT_EQ(stats.distance_computations, 100u);
+}
+
+TEST(LinearScanTest, PageCostIsCeilDivision) {
+  // 512-byte pages hold 12 Entry<2> records.
+  EXPECT_EQ(LinearScanPageCost<2>(0, 512), 0u);
+  EXPECT_EQ(LinearScanPageCost<2>(1, 512), 1u);
+  EXPECT_EQ(LinearScanPageCost<2>(12, 512), 1u);
+  EXPECT_EQ(LinearScanPageCost<2>(13, 512), 2u);
+  EXPECT_EQ(LinearScanPageCost<2>(1200, 512), 100u);
+}
+
+// --------------------------------------------------------------------------
+// Grid file.
+
+class GridFileParamTest
+    : public ::testing::TestWithParam<std::tuple<uint32_t, uint32_t>> {};
+
+TEST_P(GridFileParamTest, MatchesBruteForce) {
+  const auto [cells, k] = GetParam();
+  Rng rng(900 + cells + k);
+  auto data =
+      MakePointEntries(GenerateUniform<2>(1500, UnitBounds<2>(), &rng));
+  GridFile<2> grid(data, cells);
+  auto queries = GenerateQueries<2>(data, 60, QueryDistribution::kUniform,
+                                    0.0, &rng);
+  for (const Point2& q : queries) {
+    auto result = grid.Knn(q, k, nullptr);
+    ASSERT_TRUE(result.ok());
+    ExpectKnnMatchesBruteForce(data, q, k, *result);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CellsAndK, GridFileParamTest,
+                         ::testing::Combine(::testing::Values(1u, 8u, 64u),
+                                            ::testing::Values(1u, 10u)));
+
+TEST(GridFileTest, EmptyDatasetReturnsNothing) {
+  GridFile<2> grid({}, 16);
+  auto result = grid.Knn({{0.5, 0.5}}, 3, nullptr);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+}
+
+TEST(GridFileTest, RejectsZeroK) {
+  GridFile<2> grid({}, 4);
+  EXPECT_TRUE(grid.Knn({{0.0, 0.0}}, 0, nullptr).status().IsInvalidArgument());
+}
+
+TEST(GridFileTest, QueryOutsideBoundsStillExact) {
+  Rng rng(901);
+  auto data =
+      MakePointEntries(GenerateUniform<2>(800, UnitBounds<2>(), &rng));
+  GridFile<2> grid(data, 32);
+  const Point2 q{{7.0, -3.0}};
+  auto result = grid.Knn(q, 5, nullptr);
+  ASSERT_TRUE(result.ok());
+  ExpectKnnMatchesBruteForce(data, q, 5, *result);
+}
+
+TEST(GridFileTest, ClusteredDataStillExact) {
+  Rng rng(902);
+  auto data = MakePointEntries(
+      GenerateClustered<2>(1200, UnitBounds<2>(), ClusteredOptions{}, &rng));
+  GridFile<2> grid(data, 24);
+  auto queries = GenerateQueries<2>(data, 50, QueryDistribution::kPerturbed,
+                                    0.05, &rng);
+  for (const Point2& q : queries) {
+    auto result = grid.Knn(q, 3, nullptr);
+    ASSERT_TRUE(result.ok());
+    ExpectKnnMatchesBruteForce(data, q, 3, *result);
+  }
+}
+
+TEST(GridFileTest, ShellExpansionPrunesWork) {
+  Rng rng(903);
+  auto data =
+      MakePointEntries(GenerateUniform<2>(10000, UnitBounds<2>(), &rng));
+  GridFile<2> grid(data, 64);
+  GridQueryStats stats;
+  auto result = grid.Knn({{0.5, 0.5}}, 1, &stats);
+  ASSERT_TRUE(result.ok());
+  // A central 1-NN query in dense uniform data should touch only a few
+  // shells and a tiny fraction of the objects.
+  EXPECT_LT(stats.shells_expanded, 6u);
+  EXPECT_LT(stats.objects_examined, data.size() / 20);
+}
+
+TEST(GridFileTest, SingleCellDegeneratesToScan) {
+  Rng rng(904);
+  auto data =
+      MakePointEntries(GenerateUniform<2>(200, UnitBounds<2>(), &rng));
+  GridFile<2> grid(data, 1);
+  GridQueryStats stats;
+  auto result = grid.Knn({{0.5, 0.5}}, 2, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(stats.objects_examined, 200u);
+  ExpectKnnMatchesBruteForce(data, {{0.5, 0.5}}, 2, *result);
+}
+
+// --------------------------------------------------------------------------
+// Range-expansion k-NN over the R-tree.
+
+class RangeExpandParamTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(RangeExpandParamTest, MatchesBruteForce) {
+  const double initial_radius = GetParam();
+  TestIndex2D index;
+  Rng rng(905);
+  auto data =
+      MakePointEntries(GenerateUniform<2>(1800, UnitBounds<2>(), &rng));
+  index.InsertAll(data);
+  auto queries = GenerateQueries<2>(data, 40, QueryDistribution::kUniform,
+                                    0.0, &rng);
+  for (uint32_t k : {1u, 6u}) {
+    for (const Point2& q : queries) {
+      auto result =
+          RangeExpandKnn<2>(*index.tree, q, k, initial_radius, nullptr);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      ExpectKnnMatchesBruteForce(data, q, k, *result);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Radii, RangeExpandParamTest,
+                         ::testing::Values(0.0,       // auto guess
+                                           1e-6,      // forces expansions
+                                           10.0));    // covers everything
+
+TEST(RangeExpandTest, EmptyTree) {
+  TestIndex2D index;
+  auto result = RangeExpandKnn<2>(*index.tree, {{0.5, 0.5}}, 2, 0.0, nullptr);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+}
+
+TEST(RangeExpandTest, KBeyondSizeReturnsAll) {
+  TestIndex2D index;
+  Rng rng(906);
+  auto data =
+      MakePointEntries(GenerateUniform<2>(20, UnitBounds<2>(), &rng));
+  index.InsertAll(data);
+  auto result =
+      RangeExpandKnn<2>(*index.tree, {{0.5, 0.5}}, 50, 0.0, nullptr);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 20u);
+}
+
+TEST(RangeExpandTest, CostsMorePagesThanBranchAndBound) {
+  TestIndex2D index;
+  Rng rng(907);
+  auto data =
+      MakePointEntries(GenerateUniform<2>(5000, UnitBounds<2>(), &rng));
+  index.InsertAll(data);
+  auto queries = GenerateQueries<2>(data, 50, QueryDistribution::kUniform,
+                                    0.0, &rng);
+  uint64_t bb_pages = 0, re_pages = 0;
+  for (const Point2& q : queries) {
+    QueryStats bb, re;
+    KnnOptions knn;
+    knn.k = 4;
+    ASSERT_TRUE(KnnSearch<2>(*index.tree, q, knn, &bb).ok());
+    ASSERT_TRUE(RangeExpandKnn<2>(*index.tree, q, 4, 1e-5, &re).ok());
+    bb_pages += bb.nodes_visited;
+    re_pages += re.nodes_visited;
+  }
+  // Repeated window expansion re-reads the tree top — strictly more pages.
+  EXPECT_GT(re_pages, bb_pages);
+}
+
+TEST(RangeExpandTest, RejectsZeroK) {
+  TestIndex2D index;
+  EXPECT_TRUE(RangeExpandKnn<2>(*index.tree, {{0.0, 0.0}}, 0, 0.0, nullptr)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace spatial

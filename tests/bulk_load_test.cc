@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "storage/disk_manager.h"
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "data/uniform.h"
+#include "rtree/bulk_load.h"
+#include "rtree/validator.h"
+
+namespace spatial {
+namespace {
+
+constexpr uint32_t kPageSize = 512;
+
+class BulkLoadParamTest
+    : public ::testing::TestWithParam<std::tuple<BulkLoadMethod, size_t>> {};
+
+TEST_P(BulkLoadParamTest, StructureValidAndAllEntriesPresent) {
+  const auto [method, n] = GetParam();
+  DiskManager disk(kPageSize);
+  BufferPool pool(&disk, 64);
+  Rng rng(1000 + n);
+  auto data = MakePointEntries(GenerateUniform<2>(n, UnitBounds<2>(), &rng));
+  auto loaded = BulkLoad<2>(&pool, RTreeOptions{}, data, method);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const RTree<2>& tree = *loaded;
+  EXPECT_EQ(tree.size(), n);
+
+  auto report = ValidateTree<2>(tree, /*check_min_fill=*/true);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->leaf_entries, n);
+
+  std::vector<Entry<2>> found;
+  ASSERT_TRUE(tree.Search(UnitBounds<2>(), &found).ok());
+  std::set<uint64_t> ids;
+  for (const auto& e : found) ids.insert(e.id);
+  EXPECT_EQ(ids.size(), n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MethodsAndSizes, BulkLoadParamTest,
+    ::testing::Combine(::testing::Values(BulkLoadMethod::kStr,
+                                         BulkLoadMethod::kHilbert,
+                                         BulkLoadMethod::kMorton),
+                       ::testing::Values<size_t>(1, 7, 12, 13, 100, 1000,
+                                                 5000)));
+
+TEST(BulkLoadTest, EmptyInputYieldsEmptyTree) {
+  DiskManager disk(kPageSize);
+  BufferPool pool(&disk, 16);
+  auto loaded = BulkLoad<2>(&pool, RTreeOptions{}, {}, BulkLoadMethod::kStr);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 0u);
+  EXPECT_EQ(loaded->height(), 1);
+}
+
+TEST(BulkLoadTest, PackedTreeIsShallowerOrEqualToDynamicTree) {
+  DiskManager disk(kPageSize);
+  BufferPool pool(&disk, 128);
+  Rng rng(55);
+  auto data =
+      MakePointEntries(GenerateUniform<2>(4000, UnitBounds<2>(), &rng));
+
+  auto packed = BulkLoad<2>(&pool, RTreeOptions{}, data,
+                            BulkLoadMethod::kStr);
+  ASSERT_TRUE(packed.ok());
+
+  auto created = RTree<2>::Create(&pool, RTreeOptions{});
+  ASSERT_TRUE(created.ok());
+  RTree<2> dynamic = std::move(created).value();
+  for (const auto& e : data) ASSERT_TRUE(dynamic.Insert(e.mbr, e.id).ok());
+
+  EXPECT_LE(packed->height(), dynamic.height());
+
+  auto packed_report = ValidateTree<2>(*packed, true);
+  auto dynamic_report = ValidateTree<2>(dynamic, true);
+  ASSERT_TRUE(packed_report.ok());
+  ASSERT_TRUE(dynamic_report.ok());
+  // Full packing uses no more nodes than the dynamically grown tree.
+  EXPECT_LE(packed_report->nodes, dynamic_report->nodes);
+  EXPECT_GT(packed_report->avg_leaf_fill, 0.9);
+}
+
+TEST(BulkLoadTest, FillFactorControlsLeafOccupancy) {
+  DiskManager disk(kPageSize);
+  BufferPool pool(&disk, 64);
+  Rng rng(56);
+  auto data =
+      MakePointEntries(GenerateUniform<2>(2000, UnitBounds<2>(), &rng));
+  auto loaded = BulkLoad<2>(&pool, RTreeOptions{}, data,
+                            BulkLoadMethod::kStr, /*fill_factor=*/0.8);
+  ASSERT_TRUE(loaded.ok());
+  auto report = ValidateTree<2>(*loaded, true);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->avg_leaf_fill, 0.7);
+  EXPECT_LT(report->avg_leaf_fill, 0.9);
+}
+
+TEST(BulkLoadTest, RejectsBadFillFactor) {
+  DiskManager disk(kPageSize);
+  BufferPool pool(&disk, 16);
+  auto too_big =
+      BulkLoad<2>(&pool, RTreeOptions{}, {}, BulkLoadMethod::kStr, 1.5);
+  EXPECT_TRUE(too_big.status().IsInvalidArgument());
+  auto too_small =
+      BulkLoad<2>(&pool, RTreeOptions{}, {}, BulkLoadMethod::kStr, 0.3);
+  EXPECT_TRUE(too_small.status().IsInvalidArgument());
+}
+
+TEST(BulkLoadTest, RejectsInvalidEntryRect) {
+  DiskManager disk(kPageSize);
+  BufferPool pool(&disk, 16);
+  Entry<2> bad;
+  bad.mbr.lo = {{1.0, 1.0}};
+  bad.mbr.hi = {{0.0, 0.0}};
+  auto loaded =
+      BulkLoad<2>(&pool, RTreeOptions{}, {bad}, BulkLoadMethod::kStr);
+  EXPECT_TRUE(loaded.status().IsInvalidArgument());
+}
+
+TEST(BulkLoadTest, HilbertRejectedForNon2D) {
+  DiskManager disk(1024);
+  BufferPool pool(&disk, 16);
+  auto loaded = BulkLoad<3>(&pool, RTreeOptions{}, {},
+                            BulkLoadMethod::kHilbert);
+  EXPECT_TRUE(loaded.status().IsInvalidArgument());
+}
+
+TEST(BulkLoadTest, MortonWorksIn3D) {
+  DiskManager disk(1024);
+  BufferPool pool(&disk, 64);
+  Rng rng(57);
+  std::vector<Entry<3>> data;
+  for (uint64_t i = 0; i < 900; ++i) {
+    Point3 p{{rng.Uniform(0, 1), rng.Uniform(0, 1), rng.Uniform(0, 1)}};
+    data.push_back(Entry<3>{Rect3::FromPoint(p), i});
+  }
+  auto loaded =
+      BulkLoad<3>(&pool, RTreeOptions{}, data, BulkLoadMethod::kMorton);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  auto report = ValidateTree<3>(*loaded, true);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->leaf_entries, 900u);
+}
+
+TEST(BulkLoadTest, LoadedTreeAcceptsFurtherInserts) {
+  DiskManager disk(kPageSize);
+  BufferPool pool(&disk, 64);
+  Rng rng(58);
+  auto data =
+      MakePointEntries(GenerateUniform<2>(1000, UnitBounds<2>(), &rng));
+  auto loaded =
+      BulkLoad<2>(&pool, RTreeOptions{}, data, BulkLoadMethod::kHilbert);
+  ASSERT_TRUE(loaded.ok());
+  RTree<2> tree = std::move(loaded).value();
+  for (uint64_t i = 0; i < 500; ++i) {
+    Point2 p{{rng.Uniform(0, 1), rng.Uniform(0, 1)}};
+    ASSERT_TRUE(tree.Insert(Rect2::FromPoint(p), 10000 + i).ok());
+  }
+  EXPECT_EQ(tree.size(), 1500u);
+  auto report = ValidateTree<2>(tree, /*check_min_fill=*/true);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+}
+
+TEST(BulkLoadTest, SingleEntryTree) {
+  DiskManager disk(kPageSize);
+  BufferPool pool(&disk, 16);
+  std::vector<Entry<2>> data{
+      Entry<2>{Rect2::FromPoint({{0.5, 0.5}}), 99}};
+  auto loaded =
+      BulkLoad<2>(&pool, RTreeOptions{}, data, BulkLoadMethod::kStr);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 1u);
+  EXPECT_EQ(loaded->height(), 1);
+  std::vector<Entry<2>> found;
+  ASSERT_TRUE(loaded->Search(UnitBounds<2>(), &found).ok());
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].id, 99u);
+}
+
+}  // namespace
+}  // namespace spatial

@@ -1,0 +1,262 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/status.h"
+
+namespace spatial {
+namespace {
+
+// --------------------------------------------------------------------------
+// Status
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("page 17");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.message(), "page 17");
+  EXPECT_EQ(s.ToString(), "NotFound: page 17");
+}
+
+TEST(StatusTest, EachFactoryMapsToItsPredicate) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+}
+
+TEST(StatusTest, EqualityComparesCodesOnly) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Corruption("a"));
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto fails = [] { return Status::Corruption("inner"); };
+  auto outer = [&]() -> Status {
+    SPATIAL_RETURN_IF_ERROR(fails());
+    return Status::OK();
+  };
+  EXPECT_TRUE(outer().IsCorruption());
+}
+
+// --------------------------------------------------------------------------
+// Result
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 7);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("gone"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(ResultTest, MoveOnlyValueWorks) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(42));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesError) {
+  auto inner = []() -> Result<int> { return Status::OutOfRange("x"); };
+  auto outer = [&]() -> Status {
+    SPATIAL_ASSIGN_OR_RETURN(int v, inner());
+    (void)v;
+    return Status::OK();
+  };
+  EXPECT_TRUE(outer().IsOutOfRange());
+}
+
+TEST(ResultTest, AssignOrReturnBindsValue) {
+  auto inner = []() -> Result<int> { return 5; };
+  int seen = 0;
+  auto outer = [&]() -> Status {
+    SPATIAL_ASSIGN_OR_RETURN(seen, inner());
+    return Status::OK();
+  };
+  EXPECT_TRUE(outer().ok());
+  EXPECT_EQ(seen, 5);
+}
+
+// --------------------------------------------------------------------------
+// Rng
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next64(), b.Next64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next64() == b.Next64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, NextDoubleIsInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRespectsRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Uniform(-3.0, 9.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 9.0);
+  }
+}
+
+TEST(RngTest, NextBoundedCoversAllResidues) {
+  Rng rng(99);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.NextBounded(7));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.rbegin(), 6u);
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.UniformInt(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, GaussianHasPlausibleMoments) {
+  Rng rng(11);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.NextGaussian();
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(RngTest, ShufflePreservesMultiset) {
+  Rng rng(3);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::multiset<int> a(v.begin(), v.end());
+  std::multiset<int> b(orig.begin(), orig.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(RngTest, NextBoolProbabilityRoughlyHolds) {
+  Rng rng(17);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.NextBool(0.25) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.01);
+}
+
+// --------------------------------------------------------------------------
+// RunningStat / Percentiles
+
+TEST(RunningStatTest, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStatTest, BasicMoments) {
+  RunningStat s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  // Sample variance of this classic example is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(RunningStatTest, MergeMatchesSequential) {
+  RunningStat all, left, right;
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Uniform(-10, 10);
+    all.Add(v);
+    (i % 2 == 0 ? left : right).Add(v);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(RunningStatTest, MergeWithEmptySides) {
+  RunningStat a, b;
+  a.Add(1.0);
+  a.Merge(b);  // merge empty into non-empty
+  EXPECT_EQ(a.count(), 1u);
+  b.Merge(a);  // merge non-empty into empty
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.0);
+}
+
+TEST(PercentilesTest, QuantilesOfKnownSequence) {
+  Percentiles p;
+  for (int i = 1; i <= 100; ++i) p.Add(i);
+  EXPECT_DOUBLE_EQ(p.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(p.Quantile(0.5), 50.0);
+  EXPECT_DOUBLE_EQ(p.Quantile(1.0), 100.0);
+  EXPECT_DOUBLE_EQ(p.Quantile(0.95), 95.0);
+}
+
+TEST(PercentilesTest, AddAfterQuantileStaysCorrect) {
+  Percentiles p;
+  p.Add(10.0);
+  EXPECT_DOUBLE_EQ(p.Quantile(1.0), 10.0);
+  p.Add(1.0);
+  EXPECT_DOUBLE_EQ(p.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(p.Quantile(1.0), 10.0);
+}
+
+TEST(PercentilesTest, EmptyReturnsZero) {
+  Percentiles p;
+  EXPECT_EQ(p.Quantile(0.5), 0.0);
+}
+
+}  // namespace
+}  // namespace spatial

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/constrained.h"
+#include "data/uniform.h"
+#include "data/workload.h"
+#include "geom/metrics.h"
+#include "tests/test_util.h"
+
+namespace spatial {
+namespace {
+
+// Reference: scan, filter by region, take k nearest.
+std::vector<Neighbor> BruteConstrained(const std::vector<Entry<2>>& data,
+                                       const Point2& q, const Rect2& region,
+                                       uint32_t k) {
+  std::vector<Neighbor> all;
+  for (const Entry<2>& e : data) {
+    if (!e.mbr.Intersects(region)) continue;
+    all.push_back(Neighbor{e.id, ObjectDistSq(q, e.mbr)});
+  }
+  std::sort(all.begin(), all.end(), [](const Neighbor& a, const Neighbor& b) {
+    return a.dist_sq < b.dist_sq;
+  });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+TEST(ConstrainedKnnTest, EmptyRegionReturnsNothing) {
+  TestIndex2D index;
+  ASSERT_TRUE(index.tree->Insert(Rect2::FromPoint({{0.5, 0.5}}), 1).ok());
+  auto result = ConstrainedKnnSearch<2>(*index.tree, {{0.5, 0.5}},
+                                        Rect2::Empty(), KnnOptions{}, nullptr);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+}
+
+TEST(ConstrainedKnnTest, RegionExcludesCloserObjects) {
+  TestIndex2D index;
+  ASSERT_TRUE(index.tree->Insert(Rect2::FromPoint({{0.1, 0.1}}), 1).ok());
+  ASSERT_TRUE(index.tree->Insert(Rect2::FromPoint({{0.9, 0.9}}), 2).ok());
+  // Query near object 1 but restrict to the far quadrant.
+  const Rect2 region{{{0.5, 0.5}}, {{1.0, 1.0}}};
+  auto result = ConstrainedKnnSearch<2>(*index.tree, {{0.0, 0.0}}, region,
+                                        KnnOptions{}, nullptr);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ((*result)[0].id, 2u);
+}
+
+class ConstrainedPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ConstrainedPropertyTest, MatchesFilteredBruteForce) {
+  TestIndex2D index;
+  Rng rng(GetParam());
+  auto data =
+      MakePointEntries(GenerateUniform<2>(2500, UnitBounds<2>(), &rng));
+  index.InsertAll(data);
+  for (int trial = 0; trial < 40; ++trial) {
+    const Point2 q{{rng.Uniform(0, 1), rng.Uniform(0, 1)}};
+    Point2 a{{rng.Uniform(0, 1), rng.Uniform(0, 1)}};
+    Point2 b{{a[0] + rng.Uniform(0, 0.5), a[1] + rng.Uniform(0, 0.5)}};
+    const Rect2 region = Rect2::FromCorners(a, b);
+    for (uint32_t k : {1u, 5u}) {
+      KnnOptions options;
+      options.k = k;
+      auto result =
+          ConstrainedKnnSearch<2>(*index.tree, q, region, options, nullptr);
+      ASSERT_TRUE(result.ok());
+      auto expected = BruteConstrained(data, q, region, k);
+      ASSERT_EQ(result->size(), expected.size());
+      for (size_t i = 0; i < expected.size(); ++i) {
+        ASSERT_DOUBLE_EQ((*result)[i].dist_sq, expected[i].dist_sq);
+      }
+      // Every reported object is actually inside the region.
+      for (const Neighbor& n : *result) {
+        EXPECT_TRUE(region.Contains(data[n.id].mbr.Center()));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConstrainedPropertyTest,
+                         ::testing::Values(7u, 77u, 777u));
+
+TEST(ConstrainedKnnTest, WholeDomainRegionEqualsPlainKnn) {
+  TestIndex2D index;
+  Rng rng(88);
+  auto data =
+      MakePointEntries(GenerateUniform<2>(1500, UnitBounds<2>(), &rng));
+  index.InsertAll(data);
+  KnnOptions options;
+  options.k = 6;
+  auto queries = GenerateQueries<2>(data, 30, QueryDistribution::kUniform,
+                                    0.0, &rng);
+  for (const Point2& q : queries) {
+    auto constrained = ConstrainedKnnSearch<2>(*index.tree, q,
+                                               UnitBounds<2>(), options,
+                                               nullptr);
+    auto plain = KnnSearch<2>(*index.tree, q, options, nullptr);
+    ASSERT_TRUE(constrained.ok());
+    ASSERT_TRUE(plain.ok());
+    ASSERT_EQ(constrained->size(), plain->size());
+    for (size_t i = 0; i < plain->size(); ++i) {
+      ASSERT_DOUBLE_EQ((*constrained)[i].dist_sq, (*plain)[i].dist_sq);
+    }
+  }
+}
+
+TEST(ConstrainedKnnTest, TinyRegionPrunesMostPages) {
+  TestIndex2D index;
+  Rng rng(89);
+  auto data =
+      MakePointEntries(GenerateUniform<2>(20000, UnitBounds<2>(), &rng));
+  index.InsertAll(data);
+  QueryStats window_stats, full_stats;
+  const Rect2 tiny{{{0.70, 0.70}}, {{0.72, 0.72}}};
+  KnnOptions options;
+  options.k = 3;
+  ASSERT_TRUE(ConstrainedKnnSearch<2>(*index.tree, {{0.1, 0.1}}, tiny,
+                                      options, &window_stats)
+                  .ok());
+  ASSERT_TRUE(ConstrainedKnnSearch<2>(*index.tree, {{0.1, 0.1}},
+                                      UnitBounds<2>(), options, &full_stats)
+                  .ok());
+  EXPECT_LT(window_stats.nodes_visited, full_stats.nodes_visited);
+}
+
+TEST(ConstrainedKnnTest, RejectsBadOptions) {
+  TestIndex2D index;
+  KnnOptions options;
+  options.k = 0;
+  EXPECT_TRUE(ConstrainedKnnSearch<2>(*index.tree, {{0, 0}}, UnitBounds<2>(),
+                                      options, nullptr)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace spatial

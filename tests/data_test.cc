@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "data/clustered.h"
+#include "data/dataset.h"
+#include "data/tiger_like.h"
+#include "data/uniform.h"
+
+namespace spatial {
+namespace {
+
+TEST(UniformDataTest, GeneratesRequestedCountInsideBounds) {
+  Rng rng(1);
+  const Rect2 bounds{{{-2, 3}}, {{5, 9}}};
+  auto points = GenerateUniform<2>(5000, bounds, &rng);
+  ASSERT_EQ(points.size(), 5000u);
+  for (const auto& p : points) {
+    ASSERT_TRUE(bounds.Contains(p));
+  }
+}
+
+TEST(UniformDataTest, DeterministicPerSeed) {
+  Rng a(9), b(9), c(10);
+  auto pa = GenerateUniform<2>(100, UnitBounds<2>(), &a);
+  auto pb = GenerateUniform<2>(100, UnitBounds<2>(), &b);
+  auto pc = GenerateUniform<2>(100, UnitBounds<2>(), &c);
+  EXPECT_EQ(pa, pb);
+  EXPECT_NE(pa, pc);
+}
+
+TEST(UniformDataTest, RoughlyUniformQuadrantCounts) {
+  Rng rng(2);
+  auto points = GenerateUniform<2>(40000, UnitBounds<2>(), &rng);
+  int counts[4] = {0, 0, 0, 0};
+  for (const auto& p : points) {
+    const int quadrant = (p[0] < 0.5 ? 0 : 1) + (p[1] < 0.5 ? 0 : 2);
+    ++counts[quadrant];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / 40000.0, 0.25, 0.02);
+  }
+}
+
+TEST(ClusteredDataTest, PointsStayInBounds) {
+  Rng rng(3);
+  ClusteredOptions options;
+  options.num_clusters = 5;
+  auto points = GenerateClustered<2>(3000, UnitBounds<2>(), options, &rng);
+  ASSERT_EQ(points.size(), 3000u);
+  for (const auto& p : points) {
+    ASSERT_TRUE(UnitBounds<2>().Contains(p));
+  }
+}
+
+TEST(ClusteredDataTest, IsMoreSkewedThanUniform) {
+  // Chi-square style check: clustered data concentrates in few grid cells.
+  Rng rng(4);
+  auto clustered = GenerateClustered<2>(20000, UnitBounds<2>(),
+                                        ClusteredOptions{}, &rng);
+  auto uniform = GenerateUniform<2>(20000, UnitBounds<2>(), &rng);
+  auto max_cell_share = [](const std::vector<Point2>& pts) {
+    int grid[10][10] = {};
+    for (const auto& p : pts) {
+      int gx = std::min(9, static_cast<int>(p[0] * 10));
+      int gy = std::min(9, static_cast<int>(p[1] * 10));
+      ++grid[gx][gy];
+    }
+    int max_count = 0;
+    for (auto& row : grid) {
+      for (int c : row) max_count = std::max(max_count, c);
+    }
+    return static_cast<double>(max_count) / static_cast<double>(pts.size());
+  };
+  EXPECT_GT(max_cell_share(clustered), 2.0 * max_cell_share(uniform));
+}
+
+TEST(TigerLikeTest, ProducesApproximatelyTargetSegments) {
+  Rng rng(5);
+  auto network =
+      GenerateTigerLike(10000, UnitBounds<2>(), TigerLikeOptions{}, &rng);
+  EXPECT_GE(network.segments.size(), 10000u);
+  EXPECT_LE(network.segments.size(), 11000u);  // may slightly overshoot
+  EXPECT_EQ(network.core_centers.size(), TigerLikeOptions{}.num_urban_cores);
+}
+
+TEST(TigerLikeTest, SegmentsWithinBounds) {
+  Rng rng(6);
+  auto network =
+      GenerateTigerLike(5000, UnitBounds<2>(), TigerLikeOptions{}, &rng);
+  for (const auto& s : network.segments) {
+    ASSERT_TRUE(UnitBounds<2>().Contains(s.a));
+    ASSERT_TRUE(UnitBounds<2>().Contains(s.b));
+  }
+}
+
+TEST(TigerLikeTest, DeterministicPerSeed) {
+  Rng a(7), b(7);
+  auto na = GenerateTigerLike(1000, UnitBounds<2>(), TigerLikeOptions{}, &a);
+  auto nb = GenerateTigerLike(1000, UnitBounds<2>(), TigerLikeOptions{}, &b);
+  ASSERT_EQ(na.segments.size(), nb.segments.size());
+  for (size_t i = 0; i < na.segments.size(); ++i) {
+    ASSERT_EQ(na.segments[i].a, nb.segments[i].a);
+    ASSERT_EQ(na.segments[i].b, nb.segments[i].b);
+  }
+}
+
+TEST(TigerLikeTest, MidpointsAreSkewedLikeRealStreetData) {
+  // The whole point of the substitute: midpoints must be substantially more
+  // concentrated than uniform (see DESIGN.md substitution table).
+  Rng rng(8);
+  auto network =
+      GenerateTigerLike(20000, UnitBounds<2>(), TigerLikeOptions{}, &rng);
+  auto midpoints = SegmentMidpoints(network.segments);
+  int grid[10][10] = {};
+  for (const auto& p : midpoints) {
+    int gx = std::clamp(static_cast<int>(p[0] * 10), 0, 9);
+    int gy = std::clamp(static_cast<int>(p[1] * 10), 0, 9);
+    ++grid[gx][gy];
+  }
+  int max_count = 0;
+  for (auto& row : grid) {
+    for (int c : row) max_count = std::max(max_count, c);
+  }
+  const double max_share =
+      static_cast<double>(max_count) / static_cast<double>(midpoints.size());
+  EXPECT_GT(max_share, 0.02);  // uniform would give ~0.01 per cell
+}
+
+TEST(TigerLikeTest, SegmentsAreShortRelativeToDomain) {
+  Rng rng(9);
+  auto network =
+      GenerateTigerLike(5000, UnitBounds<2>(), TigerLikeOptions{}, &rng);
+  double total_length = 0.0;
+  for (const auto& s : network.segments) total_length += s.Length();
+  const double mean_length =
+      total_length / static_cast<double>(network.segments.size());
+  EXPECT_LT(mean_length, 0.1);  // street blocks, not cross-country lines
+  EXPECT_GT(mean_length, 0.0005);
+}
+
+TEST(TigerLikeTest, ZeroTargetYieldsEmptyNetwork) {
+  Rng rng(10);
+  auto network =
+      GenerateTigerLike(0, UnitBounds<2>(), TigerLikeOptions{}, &rng);
+  EXPECT_TRUE(network.segments.empty());
+}
+
+TEST(DatasetTest, MakePointEntriesAssignsSequentialIds) {
+  std::vector<Point2> points{{{1, 2}}, {{3, 4}}};
+  auto entries = MakePointEntries(points, 100);
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].id, 100u);
+  EXPECT_EQ(entries[1].id, 101u);
+  EXPECT_EQ(entries[0].mbr, Rect2::FromPoint({{1, 2}}));
+}
+
+TEST(DatasetTest, BoundsOfComputesTightBox) {
+  std::vector<Entry<2>> entries{
+      Entry<2>{Rect2::FromPoint({{1, 5}}), 0},
+      Entry<2>{Rect2::FromPoint({{-2, 3}}), 1},
+  };
+  const Rect2 bounds = BoundsOf(entries);
+  EXPECT_EQ(bounds.lo[0], -2.0);
+  EXPECT_EQ(bounds.hi[0], 1.0);
+  EXPECT_EQ(bounds.lo[1], 3.0);
+  EXPECT_EQ(bounds.hi[1], 5.0);
+  EXPECT_TRUE(BoundsOf<2>({}).IsEmpty());
+}
+
+TEST(DatasetTest, CsvRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/points_roundtrip.csv";
+  std::vector<Point2> points{{{0.125, -3.5}}, {{1e-9, 7.25}}};
+  ASSERT_TRUE(WritePointsCsv(path, points).ok());
+  auto loaded = ReadPointsCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), 2u);
+  EXPECT_EQ((*loaded)[0], points[0]);
+  EXPECT_EQ((*loaded)[1], points[1]);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetTest, CsvReadMissingFileFails) {
+  EXPECT_TRUE(ReadPointsCsv("/nonexistent/nope.csv").status().IsNotFound());
+}
+
+TEST(DatasetTest, CsvReadMalformedFails) {
+  const std::string path = ::testing::TempDir() + "/points_bad.csv";
+  FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("1.0,2.0\nnot-a-number\n", f);
+  std::fclose(f);
+  EXPECT_TRUE(ReadPointsCsv(path).status().IsCorruption());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace spatial

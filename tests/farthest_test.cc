@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/farthest.h"
+#include "data/uniform.h"
+#include "data/workload.h"
+#include "geom/metrics.h"
+#include "tests/test_util.h"
+
+namespace spatial {
+namespace {
+
+// Reference: exhaustive k-farthest under the same object-distance
+// definition (distance to the farthest point of the object's MBR).
+std::vector<Neighbor> BruteFarthest(const std::vector<Entry<2>>& data,
+                                    const Point2& q, uint32_t k) {
+  std::vector<Neighbor> all;
+  all.reserve(data.size());
+  for (const Entry<2>& e : data) {
+    all.push_back(Neighbor{e.id, MaxDistSq(q, e.mbr)});
+  }
+  std::sort(all.begin(), all.end(), [](const Neighbor& a, const Neighbor& b) {
+    return a.dist_sq > b.dist_sq;
+  });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+TEST(FarthestTest, RejectsZeroK) {
+  TestIndex2D index;
+  EXPECT_TRUE(FarthestSearch<2>(*index.tree, {{0.0, 0.0}}, 0, nullptr)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(FarthestTest, EmptyTree) {
+  TestIndex2D index;
+  auto result = FarthestSearch<2>(*index.tree, {{0.0, 0.0}}, 2, nullptr);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+}
+
+TEST(FarthestTest, HandCase) {
+  TestIndex2D index;
+  ASSERT_TRUE(index.tree->Insert(Rect2::FromPoint({{1.0, 0.0}}), 1).ok());
+  ASSERT_TRUE(index.tree->Insert(Rect2::FromPoint({{5.0, 0.0}}), 2).ok());
+  ASSERT_TRUE(index.tree->Insert(Rect2::FromPoint({{3.0, 0.0}}), 3).ok());
+  auto result = FarthestSearch<2>(*index.tree, {{0.0, 0.0}}, 2, nullptr);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 2u);
+  EXPECT_EQ((*result)[0].id, 2u);  // farthest first
+  EXPECT_EQ((*result)[1].id, 3u);
+}
+
+class FarthestPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FarthestPropertyTest, MatchesBruteForce) {
+  TestIndex2D index;
+  Rng rng(GetParam());
+  auto data =
+      MakePointEntries(GenerateUniform<2>(2000, UnitBounds<2>(), &rng));
+  index.InsertAll(data);
+  auto queries = GenerateQueries<2>(data, 50, QueryDistribution::kUniform,
+                                    0.0, &rng);
+  for (uint32_t k : {1u, 7u}) {
+    for (const Point2& q : queries) {
+      auto result = FarthestSearch<2>(*index.tree, q, k, nullptr);
+      ASSERT_TRUE(result.ok());
+      auto expected = BruteFarthest(data, q, k);
+      ASSERT_EQ(result->size(), expected.size());
+      for (size_t i = 0; i < expected.size(); ++i) {
+        ASSERT_DOUBLE_EQ((*result)[i].dist_sq, expected[i].dist_sq);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FarthestPropertyTest,
+                         ::testing::Values(11u, 22u, 33u));
+
+TEST(FarthestTest, PrunesMostOfTheTree) {
+  TestIndex2D index;
+  Rng rng(44);
+  auto data =
+      MakePointEntries(GenerateUniform<2>(20000, UnitBounds<2>(), &rng));
+  index.InsertAll(data);
+  QueryStats stats;
+  // A corner query makes the opposite corner's subtrees dominate; most of
+  // the tree is prunable.
+  auto result = FarthestSearch<2>(*index.tree, {{0.0, 0.0}}, 1, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(stats.nodes_visited, 200u);
+  EXPECT_GT(stats.pruned_s3, 0u);
+}
+
+TEST(FarthestTest, RectObjectsUseFarCorner) {
+  TestIndex2D index;
+  // A huge box whose far corner beats a slightly farther point.
+  ASSERT_TRUE(index.tree->Insert(Rect2{{{0, 0}}, {{10, 10}}}, 1).ok());
+  ASSERT_TRUE(index.tree->Insert(Rect2::FromPoint({{12.0, 0.0}}), 2).ok());
+  auto result = FarthestSearch<2>(*index.tree, {{0.0, 0.0}}, 1, nullptr);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ((*result)[0].id, 1u);  // corner (10,10): 200 > 144
+  EXPECT_DOUBLE_EQ((*result)[0].dist_sq, 200.0);
+}
+
+TEST(FarthestTest, KBeyondSizeReturnsAllDescending) {
+  TestIndex2D index;
+  Rng rng(55);
+  auto data =
+      MakePointEntries(GenerateUniform<2>(30, UnitBounds<2>(), &rng));
+  index.InsertAll(data);
+  auto result = FarthestSearch<2>(*index.tree, {{0.5, 0.5}}, 100, nullptr);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 30u);
+  for (size_t i = 1; i < result->size(); ++i) {
+    EXPECT_GE((*result)[i - 1].dist_sq, (*result)[i].dist_sq);
+  }
+}
+
+}  // namespace
+}  // namespace spatial

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/uniform.h"
+#include "core/knn.h"
+#include "rtree/bulk_load.h"
+#include "rtree/validator.h"
+#include "storage/buffer_pool.h"
+#include "storage/file_disk_manager.h"
+#include "tests/test_util.h"
+
+namespace spatial {
+namespace {
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(FileDiskManagerTest, CreateWriteReadRoundTrip) {
+  const std::string path = TempPath("fdm_roundtrip.db");
+  auto created = FileDiskManager::Create(path, 256);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  FileDiskManager disk = std::move(created).value();
+  const PageId id = disk.AllocatePage();
+  std::vector<char> out(256, 'x');
+  ASSERT_TRUE(disk.WritePage(id, out.data()).ok());
+  std::vector<char> in(256, 0);
+  ASSERT_TRUE(disk.ReadPage(id, in.data()).ok());
+  EXPECT_EQ(std::memcmp(out.data(), in.data(), 256), 0);
+  std::remove(path.c_str());
+}
+
+TEST(FileDiskManagerTest, FreshPagesAreZeroFilled) {
+  const std::string path = TempPath("fdm_zero.db");
+  auto created = FileDiskManager::Create(path, 128);
+  ASSERT_TRUE(created.ok());
+  FileDiskManager disk = std::move(created).value();
+  const PageId id = disk.AllocatePage();
+  std::vector<char> in(128, 'y');
+  ASSERT_TRUE(disk.ReadPage(id, in.data()).ok());
+  for (char c : in) EXPECT_EQ(c, 0);
+  std::remove(path.c_str());
+}
+
+TEST(FileDiskManagerTest, FreeAndReuse) {
+  const std::string path = TempPath("fdm_free.db");
+  auto created = FileDiskManager::Create(path, 128);
+  ASSERT_TRUE(created.ok());
+  FileDiskManager disk = std::move(created).value();
+  const PageId a = disk.AllocatePage();
+  const PageId b = disk.AllocatePage();
+  (void)b;
+  ASSERT_TRUE(disk.FreePage(a).ok());
+  EXPECT_TRUE(disk.FreePage(a).IsInvalidArgument());  // double free
+  std::vector<char> buf(128);
+  EXPECT_TRUE(disk.ReadPage(a, buf.data()).IsInvalidArgument());
+  const PageId again = disk.AllocatePage();
+  EXPECT_EQ(again, a);  // recycled
+  std::vector<char> in(128, 'q');
+  ASSERT_TRUE(disk.ReadPage(again, in.data()).ok());
+  for (char c : in) EXPECT_EQ(c, 0);  // zeroed on reuse
+  std::remove(path.c_str());
+}
+
+TEST(FileDiskManagerTest, PersistsAcrossOpen) {
+  const std::string path = TempPath("fdm_persist.db");
+  PageId id;
+  {
+    auto created = FileDiskManager::Create(path, 256);
+    ASSERT_TRUE(created.ok());
+    FileDiskManager disk = std::move(created).value();
+    id = disk.AllocatePage();
+    std::vector<char> out(256, 'p');
+    ASSERT_TRUE(disk.WritePage(id, out.data()).ok());
+    ASSERT_TRUE(disk.Sync().ok());
+  }
+  auto opened = FileDiskManager::Open(path, 256);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  FileDiskManager disk = std::move(opened).value();
+  EXPECT_EQ(disk.live_pages(), 1u);
+  std::vector<char> in(256, 0);
+  ASSERT_TRUE(disk.ReadPage(id, in.data()).ok());
+  for (char c : in) EXPECT_EQ(c, 'p');
+  std::remove(path.c_str());
+}
+
+TEST(FileDiskManagerTest, OpenMissingFileFails) {
+  EXPECT_TRUE(FileDiskManager::Open("/nonexistent/x.db", 128)
+                  .status()
+                  .IsNotFound());
+}
+
+TEST(FileDiskManagerTest, OpenMisalignedFileFails) {
+  const std::string path = TempPath("fdm_misaligned.db");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("short", f);
+  std::fclose(f);
+  EXPECT_TRUE(
+      FileDiskManager::Open(path, 128).status().IsCorruption());
+  std::remove(path.c_str());
+}
+
+TEST(FileDiskManagerTest, RejectsTinyPageSize) {
+  EXPECT_TRUE(FileDiskManager::Create(TempPath("fdm_tiny.db"), 16)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(FileDiskManagerTest, WholeTreePersistsAcrossProcessBoundary) {
+  // Build a tree on a file-backed disk, "restart" (new manager + pool),
+  // reopen and query — the full durability path.
+  const std::string path = TempPath("fdm_tree.db");
+  std::vector<Entry<2>> data;
+  PageId root;
+  {
+    auto created = FileDiskManager::Create(path, 512);
+    ASSERT_TRUE(created.ok());
+    FileDiskManager disk = std::move(created).value();
+    BufferPool pool(&disk, 64);
+    Rng rng(404);
+    data = MakePointEntries(GenerateUniform<2>(2000, UnitBounds<2>(), &rng));
+    auto tree =
+        BulkLoad<2>(&pool, RTreeOptions{}, data, BulkLoadMethod::kStr);
+    ASSERT_TRUE(tree.ok());
+    root = tree->root_page();
+    ASSERT_TRUE(pool.FlushAll().ok());
+    ASSERT_TRUE(disk.Sync().ok());
+  }
+  {
+    auto opened = FileDiskManager::Open(path, 512);
+    ASSERT_TRUE(opened.ok());
+    FileDiskManager disk = std::move(opened).value();
+    BufferPool pool(&disk, 16);
+    auto tree = RTree<2>::Open(&pool, RTreeOptions{}, root);
+    ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+    EXPECT_EQ(tree->size(), data.size());
+    auto report = ValidateTree<2>(*tree, /*check_min_fill=*/false);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    auto result = KnnSearch<2>(*tree, {{0.5, 0.5}}, KnnOptions{}, nullptr);
+    ASSERT_TRUE(result.ok());
+    ExpectKnnMatchesBruteForce(data, {{0.5, 0.5}}, 1, *result);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FileDiskManagerTest, StatsCountPhysicalIo) {
+  const std::string path = TempPath("fdm_stats.db");
+  auto created = FileDiskManager::Create(path, 128);
+  ASSERT_TRUE(created.ok());
+  FileDiskManager disk = std::move(created).value();
+  const PageId id = disk.AllocatePage();
+  std::vector<char> buf(128, 'a');
+  ASSERT_TRUE(disk.WritePage(id, buf.data()).ok());
+  ASSERT_TRUE(disk.ReadPage(id, buf.data()).ok());
+  EXPECT_EQ(disk.stats().pages_allocated, 1u);
+  EXPECT_EQ(disk.stats().physical_writes, 1u);
+  EXPECT_EQ(disk.stats().physical_reads, 1u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace spatial

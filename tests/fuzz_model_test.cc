@@ -1,0 +1,171 @@
+// Model-based randomized testing: long random operation sequences executed
+// against both the real component and a trivial in-memory reference model,
+// with full-state comparison at checkpoints. Complements the example-based
+// suites with coverage of operation *interleavings*.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "baselines/linear_scan.h"
+#include "common/rng.h"
+#include "core/knn.h"
+#include "rtree/validator.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "tests/test_util.h"
+
+namespace spatial {
+namespace {
+
+// --------------------------------------------------------------------------
+// Buffer pool vs a map<PageId, bytes> model.
+
+class BufferPoolModelTest
+    : public ::testing::TestWithParam<std::tuple<EvictionPolicy, uint64_t>> {
+};
+
+TEST_P(BufferPoolModelTest, RandomOpsAgreeWithModel) {
+  const auto [policy, seed] = GetParam();
+  constexpr uint32_t kPageSize = 128;
+  DiskManager disk(kPageSize);
+  BufferPool pool(&disk, /*capacity=*/4, policy);
+  std::map<PageId, std::vector<char>> model;
+  Rng rng(seed);
+
+  for (int op = 0; op < 5000; ++op) {
+    const double dice = rng.NextDouble();
+    if (dice < 0.30 || model.empty()) {
+      // Allocate a page and write a random fill byte.
+      auto page = pool.NewPage();
+      ASSERT_TRUE(page.ok()) << page.status().ToString();
+      const char fill = static_cast<char>(rng.NextBounded(256));
+      std::memset(page->data(), fill, kPageSize);
+      page->MarkDirty();
+      model[page->id()] = std::vector<char>(kPageSize, fill);
+    } else if (dice < 0.70) {
+      // Fetch a random live page and verify its contents byte-for-byte.
+      auto it = model.begin();
+      std::advance(it, rng.NextBounded(model.size()));
+      auto page = pool.Fetch(it->first);
+      ASSERT_TRUE(page.ok()) << page.status().ToString();
+      ASSERT_EQ(std::memcmp(page->data(), it->second.data(), kPageSize), 0)
+          << "page " << it->first << " diverged at op " << op;
+    } else if (dice < 0.90) {
+      // Overwrite a random live page.
+      auto it = model.begin();
+      std::advance(it, rng.NextBounded(model.size()));
+      auto page = pool.Fetch(it->first);
+      ASSERT_TRUE(page.ok());
+      const char fill = static_cast<char>(rng.NextBounded(256));
+      std::memset(page->data(), fill, kPageSize);
+      page->MarkDirty();
+      it->second.assign(kPageSize, fill);
+    } else {
+      // Free a random live page.
+      auto it = model.begin();
+      std::advance(it, rng.NextBounded(model.size()));
+      ASSERT_TRUE(pool.FreePage(it->first).ok());
+      model.erase(it);
+    }
+  }
+  // Final sweep: every live page readable and correct after FlushAll.
+  ASSERT_TRUE(pool.FlushAll().ok());
+  for (const auto& [id, bytes] : model) {
+    std::vector<char> raw(kPageSize);
+    ASSERT_TRUE(disk.ReadPage(id, raw.data()).ok());
+    ASSERT_EQ(std::memcmp(raw.data(), bytes.data(), kPageSize), 0);
+  }
+  EXPECT_EQ(disk.live_pages(), model.size());
+  EXPECT_EQ(pool.pinned_frames(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PolicyAndSeeds, BufferPoolModelTest,
+    ::testing::Combine(::testing::Values(EvictionPolicy::kLru,
+                                         EvictionPolicy::kClock),
+                       ::testing::Values(1u, 2u, 3u, 4u)));
+
+// --------------------------------------------------------------------------
+// R-tree vs a flat vector model, with window- and kNN-oracles.
+
+class RTreeModelTest
+    : public ::testing::TestWithParam<std::tuple<SplitAlgorithm, uint64_t>> {
+};
+
+TEST_P(RTreeModelTest, RandomMutationsWithOracles) {
+  const auto [split, seed] = GetParam();
+  RTreeOptions options;
+  options.split = split;
+  TestIndex2D index(/*page_size=*/512, /*buffer_pages=*/64, options);
+  std::vector<Entry<2>> model;
+  Rng rng(seed);
+  uint64_t next_id = 0;
+
+  for (int op = 0; op < 4000; ++op) {
+    const double dice = rng.NextDouble();
+    if (dice < 0.55 || model.empty()) {
+      Point2 a{{rng.Uniform(0, 1), rng.Uniform(0, 1)}};
+      Rect2 mbr = Rect2::FromPoint(a);
+      if (rng.NextBool(0.3)) {  // extended object
+        Point2 b{{a[0] + rng.Uniform(0, 0.05), a[1] + rng.Uniform(0, 0.05)}};
+        mbr = Rect2::FromCorners(a, b);
+      }
+      ASSERT_TRUE(index.tree->Insert(mbr, next_id).ok());
+      model.push_back(Entry<2>{mbr, next_id});
+      ++next_id;
+    } else if (dice < 0.85) {
+      const size_t pick = rng.NextBounded(model.size());
+      auto removed = index.tree->Delete(model[pick].mbr, model[pick].id);
+      ASSERT_TRUE(removed.ok());
+      ASSERT_TRUE(*removed);
+      model[pick] = model.back();
+      model.pop_back();
+    } else if (dice < 0.95) {
+      // Window oracle.
+      Point2 a{{rng.Uniform(0, 1), rng.Uniform(0, 1)}};
+      Point2 b{{a[0] + rng.Uniform(0, 0.2), a[1] + rng.Uniform(0, 0.2)}};
+      const Rect2 window = Rect2::FromCorners(a, b);
+      std::vector<Entry<2>> found;
+      ASSERT_TRUE(index.tree->Search(window, &found).ok());
+      std::multiset<uint64_t> got, want;
+      for (const auto& e : found) got.insert(e.id);
+      for (const auto& e : model) {
+        if (e.mbr.Intersects(window)) want.insert(e.id);
+      }
+      ASSERT_EQ(got, want) << "window oracle diverged at op " << op;
+    } else {
+      // kNN oracle.
+      const Point2 q{{rng.Uniform(0, 1), rng.Uniform(0, 1)}};
+      KnnOptions knn;
+      knn.k = 1 + static_cast<uint32_t>(rng.NextBounded(8));
+      auto result = KnnSearch<2>(*index.tree, q, knn, nullptr);
+      ASSERT_TRUE(result.ok());
+      ExpectKnnMatchesBruteForce(model, q, knn.k, *result);
+    }
+    if (op % 500 == 499) {
+      auto report = ValidateTree<2>(*index.tree, /*check_min_fill=*/true);
+      ASSERT_TRUE(report.ok())
+          << "op " << op << ": " << report.status().ToString();
+      ASSERT_EQ(report->leaf_entries, model.size());
+    }
+  }
+  EXPECT_EQ(index.tree->size(), model.size());
+  EXPECT_EQ(index.pool.pinned_frames(), 0u);  // no leaked pins anywhere
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RTreeModelTest,
+    ::testing::Combine(::testing::Values(SplitAlgorithm::kLinear,
+                                         SplitAlgorithm::kQuadratic,
+                                         SplitAlgorithm::kRStar),
+                       ::testing::Values(101u, 202u)));
+
+}  // namespace
+}  // namespace spatial

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/incremental.h"
+#include "data/uniform.h"
+#include "tests/test_util.h"
+
+namespace spatial {
+namespace {
+
+TEST(IncrementalTest, EmptyTreeExhaustsImmediately) {
+  TestIndex2D index;
+  IncrementalKnn<2> iter(*index.tree, {{0.5, 0.5}}, nullptr);
+  auto next = iter.Next();
+  ASSERT_TRUE(next.ok());
+  EXPECT_FALSE(next->has_value());
+  // Repeated calls stay exhausted.
+  next = iter.Next();
+  ASSERT_TRUE(next.ok());
+  EXPECT_FALSE(next->has_value());
+}
+
+TEST(IncrementalTest, EmitsAllObjectsInDistanceOrder) {
+  TestIndex2D index;
+  Rng rng(81);
+  auto data =
+      MakePointEntries(GenerateUniform<2>(700, UnitBounds<2>(), &rng));
+  index.InsertAll(data);
+  const Point2 q{{0.3, 0.6}};
+  IncrementalKnn<2> iter(*index.tree, q, nullptr);
+  std::vector<Neighbor> emitted;
+  for (;;) {
+    auto next = iter.Next();
+    ASSERT_TRUE(next.ok());
+    if (!next->has_value()) break;
+    emitted.push_back(**next);
+  }
+  ASSERT_EQ(emitted.size(), data.size());
+  for (size_t i = 1; i < emitted.size(); ++i) {
+    EXPECT_LE(emitted[i - 1].dist_sq, emitted[i].dist_sq);
+  }
+  // The full emission IS the brute-force ranking.
+  ExpectKnnMatchesBruteForce(data, q, static_cast<uint32_t>(data.size()),
+                             emitted);
+}
+
+TEST(IncrementalTest, PrefixProperty) {
+  // The first k results of the iterator equal a direct k-NN query — the
+  // defining property of distance browsing.
+  TestIndex2D index;
+  Rng rng(82);
+  auto data =
+      MakePointEntries(GenerateUniform<2>(1500, UnitBounds<2>(), &rng));
+  index.InsertAll(data);
+  const Point2 q{{0.9, 0.1}};
+  IncrementalKnn<2> iter(*index.tree, q, nullptr);
+  std::vector<Neighbor> prefix;
+  for (int i = 0; i < 25; ++i) {
+    auto next = iter.Next();
+    ASSERT_TRUE(next.ok());
+    ASSERT_TRUE(next->has_value());
+    prefix.push_back(**next);
+  }
+  ExpectKnnMatchesBruteForce(data, q, 25, prefix);
+}
+
+TEST(IncrementalTest, LazyExpansion) {
+  // Asking for only the first neighbor must touch far fewer pages than
+  // draining the whole iterator.
+  TestIndex2D index;
+  Rng rng(83);
+  auto data =
+      MakePointEntries(GenerateUniform<2>(5000, UnitBounds<2>(), &rng));
+  index.InsertAll(data);
+
+  QueryStats first_only;
+  {
+    IncrementalKnn<2> iter(*index.tree, {{0.5, 0.5}}, &first_only);
+    auto next = iter.Next();
+    ASSERT_TRUE(next.ok());
+    ASSERT_TRUE(next->has_value());
+  }
+  QueryStats drain_all;
+  {
+    IncrementalKnn<2> iter(*index.tree, {{0.5, 0.5}}, &drain_all);
+    for (;;) {
+      auto next = iter.Next();
+      ASSERT_TRUE(next.ok());
+      if (!next->has_value()) break;
+    }
+  }
+  EXPECT_LT(first_only.nodes_visited * 10, drain_all.nodes_visited);
+}
+
+TEST(IncrementalTest, ObjectsWinDistanceTiesOverNodes) {
+  // A query placed exactly on a stored point: the object must be emitted
+  // even though sibling subtrees have MINDIST 0 as well.
+  TestIndex2D index;
+  Rng rng(84);
+  auto data =
+      MakePointEntries(GenerateUniform<2>(300, UnitBounds<2>(), &rng));
+  index.InsertAll(data);
+  const Point2 q = data[42].mbr.Center();
+  IncrementalKnn<2> iter(*index.tree, q, nullptr);
+  auto next = iter.Next();
+  ASSERT_TRUE(next.ok());
+  ASSERT_TRUE(next->has_value());
+  EXPECT_DOUBLE_EQ((*next)->dist_sq, 0.0);
+}
+
+}  // namespace
+}  // namespace spatial

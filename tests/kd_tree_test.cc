@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "baselines/kd_tree.h"
+#include "baselines/linear_scan.h"
+#include "common/rng.h"
+#include "data/clustered.h"
+#include "data/dataset.h"
+#include "data/uniform.h"
+#include "data/workload.h"
+
+namespace spatial {
+namespace {
+
+TEST(KdTreeTest, EmptyTree) {
+  KdTree<2> tree({});
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.height(), 0);
+  auto result = tree.Knn({{0.5, 0.5}}, 3, nullptr);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+}
+
+TEST(KdTreeTest, RejectsZeroK) {
+  KdTree<2> tree({});
+  EXPECT_TRUE(tree.Knn({{0.0, 0.0}}, 0, nullptr).status().IsInvalidArgument());
+}
+
+TEST(KdTreeTest, SingleElement) {
+  KdTree<2> tree({Entry<2>{Rect2::FromPoint({{1.0, 2.0}}), 42}});
+  auto result = tree.Knn({{4.0, 6.0}}, 1, nullptr);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ((*result)[0].id, 42u);
+  EXPECT_DOUBLE_EQ((*result)[0].dist_sq, 25.0);
+}
+
+TEST(KdTreeTest, BalancedHeight) {
+  Rng rng(1);
+  auto data =
+      MakePointEntries(GenerateUniform<2>(4096, UnitBounds<2>(), &rng));
+  KdTree<2> tree(data);
+  EXPECT_EQ(tree.size(), 4096u);
+  // Median splits give height <= ceil(log2(n)) + 1.
+  EXPECT_LE(tree.height(), 14);
+}
+
+class KdTreePropertyTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, uint32_t>> {};
+
+TEST_P(KdTreePropertyTest, MatchesBruteForceUniform) {
+  const auto [seed, k] = GetParam();
+  Rng rng(seed);
+  auto data =
+      MakePointEntries(GenerateUniform<2>(2500, UnitBounds<2>(), &rng));
+  KdTree<2> tree(data);
+  auto queries = GenerateQueries<2>(data, 60, QueryDistribution::kUniform,
+                                    0.0, &rng);
+  for (const Point2& q : queries) {
+    auto result = tree.Knn(q, k, nullptr);
+    ASSERT_TRUE(result.ok());
+    auto expected = LinearScanKnn<2>(data, q, k, nullptr);
+    ASSERT_EQ(result->size(), expected.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+      ASSERT_DOUBLE_EQ((*result)[i].dist_sq, expected[i].dist_sq);
+    }
+  }
+}
+
+TEST_P(KdTreePropertyTest, MatchesBruteForceClustered) {
+  const auto [seed, k] = GetParam();
+  Rng rng(seed ^ 0xabc);
+  auto data = MakePointEntries(
+      GenerateClustered<2>(2000, UnitBounds<2>(), ClusteredOptions{}, &rng));
+  KdTree<2> tree(data);
+  auto queries = GenerateQueries<2>(data, 40, QueryDistribution::kPerturbed,
+                                    0.03, &rng);
+  for (const Point2& q : queries) {
+    auto result = tree.Knn(q, k, nullptr);
+    ASSERT_TRUE(result.ok());
+    auto expected = LinearScanKnn<2>(data, q, k, nullptr);
+    ASSERT_EQ(result->size(), expected.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+      ASSERT_DOUBLE_EQ((*result)[i].dist_sq, expected[i].dist_sq);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedsAndK, KdTreePropertyTest,
+                         ::testing::Combine(::testing::Values(3u, 33u, 333u),
+                                            ::testing::Values(1u, 9u)));
+
+TEST(KdTreeTest, ThreeDimensional) {
+  Rng rng(5);
+  std::vector<Entry<3>> data;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    Point3 p{{rng.Uniform(0, 1), rng.Uniform(0, 1), rng.Uniform(0, 1)}};
+    data.push_back(Entry<3>{Rect3::FromPoint(p), i});
+  }
+  KdTree<3> tree(data);
+  for (int i = 0; i < 25; ++i) {
+    Point3 q{{rng.Uniform(0, 1), rng.Uniform(0, 1), rng.Uniform(0, 1)}};
+    auto result = tree.Knn(q, 4, nullptr);
+    ASSERT_TRUE(result.ok());
+    auto expected = LinearScanKnn<3>(data, q, 4, nullptr);
+    ASSERT_EQ(result->size(), expected.size());
+    for (size_t r = 0; r < expected.size(); ++r) {
+      ASSERT_DOUBLE_EQ((*result)[r].dist_sq, expected[r].dist_sq);
+    }
+  }
+}
+
+TEST(KdTreeTest, SearchPrunesMostNodes) {
+  Rng rng(6);
+  auto data =
+      MakePointEntries(GenerateUniform<2>(20000, UnitBounds<2>(), &rng));
+  KdTree<2> tree(data);
+  KdQueryStats stats;
+  auto result = tree.Knn({{0.5, 0.5}}, 1, &stats);
+  ASSERT_TRUE(result.ok());
+  // The FBF bound makes 1-NN logarithmic-ish; far below a full scan.
+  EXPECT_LT(stats.nodes_visited, 600u);
+}
+
+TEST(KdTreeTest, DuplicatePointsHandled) {
+  std::vector<Entry<2>> data(50, Entry<2>{Rect2::FromPoint({{0.5, 0.5}}), 0});
+  for (size_t i = 0; i < data.size(); ++i) data[i].id = i;
+  KdTree<2> tree(data);
+  auto result = tree.Knn({{0.5, 0.5}}, 10, nullptr);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 10u);
+  for (const Neighbor& n : *result) {
+    EXPECT_DOUBLE_EQ(n.dist_sq, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace spatial

@@ -1,0 +1,242 @@
+// Property suite: for every tree variant, dataset family, k, and ABL
+// configuration, the branch-and-bound search must return exactly the
+// brute-force k-NN distances. This is the core correctness argument of the
+// reproduction.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "storage/disk_manager.h"
+#include "core/knn.h"
+#include "data/clustered.h"
+#include "data/tiger_like.h"
+#include "data/uniform.h"
+#include "data/workload.h"
+#include "tests/test_util.h"
+
+namespace spatial {
+namespace {
+
+enum class DataFamily { kUniform, kClustered, kTigerLike };
+
+std::vector<Entry<2>> MakeData(DataFamily family, size_t n, Rng* rng) {
+  switch (family) {
+    case DataFamily::kUniform:
+      return MakePointEntries(GenerateUniform<2>(n, UnitBounds<2>(), rng));
+    case DataFamily::kClustered:
+      return MakePointEntries(
+          GenerateClustered<2>(n, UnitBounds<2>(), ClusteredOptions{}, rng));
+    case DataFamily::kTigerLike: {
+      auto network = GenerateTigerLike(n, UnitBounds<2>(),
+                                       TigerLikeOptions{}, rng);
+      return MakePointEntries(SegmentMidpoints(network.segments));
+    }
+  }
+  return {};
+}
+
+// ---------------------------------------------------------------------------
+// Sweep 1: dynamic trees (every split algorithm) x data families x k.
+
+class KnnVsBruteForceTest
+    : public ::testing::TestWithParam<
+          std::tuple<SplitAlgorithm, DataFamily, uint32_t>> {};
+
+TEST_P(KnnVsBruteForceTest, MatchesOnHundredQueries) {
+  const auto [split, family, k] = GetParam();
+  RTreeOptions options;
+  options.split = split;
+  TestIndex2D index(/*page_size=*/512, /*buffer_pages=*/64, options);
+  Rng rng(static_cast<uint64_t>(split) * 1000 +
+          static_cast<uint64_t>(family) * 100 + k);
+  auto data = MakeData(family, 2000, &rng);
+  index.InsertAll(data);
+
+  auto queries = GenerateQueries<2>(data, 100, QueryDistribution::kUniform,
+                                    0.0, &rng);
+  KnnOptions knn;
+  knn.k = k;
+  for (const Point2& q : queries) {
+    auto result = KnnSearch<2>(*index.tree, q, knn, nullptr);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ExpectKnnMatchesBruteForce(data, q, k, *result);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KnnVsBruteForceTest,
+    ::testing::Combine(::testing::Values(SplitAlgorithm::kLinear,
+                                         SplitAlgorithm::kQuadratic,
+                                         SplitAlgorithm::kRStar),
+                       ::testing::Values(DataFamily::kUniform,
+                                         DataFamily::kClustered,
+                                         DataFamily::kTigerLike),
+                       ::testing::Values(1u, 5u, 32u)));
+
+// ---------------------------------------------------------------------------
+// Sweep 2: packed trees x k.
+
+class KnnOnPackedTreeTest
+    : public ::testing::TestWithParam<std::tuple<BulkLoadMethod, uint32_t>> {
+};
+
+TEST_P(KnnOnPackedTreeTest, MatchesBruteForce) {
+  const auto [method, k] = GetParam();
+  DiskManager disk(512);
+  BufferPool pool(&disk, 64);
+  Rng rng(777 + k);
+  auto data =
+      MakePointEntries(GenerateUniform<2>(3000, UnitBounds<2>(), &rng));
+  auto loaded = BulkLoad<2>(&pool, RTreeOptions{}, data, method);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  auto queries = GenerateQueries<2>(data, 60, QueryDistribution::kUniform,
+                                    0.0, &rng);
+  KnnOptions knn;
+  knn.k = k;
+  for (const Point2& q : queries) {
+    auto result = KnnSearch<2>(*loaded, q, knn, nullptr);
+    ASSERT_TRUE(result.ok());
+    ExpectKnnMatchesBruteForce(data, q, k, *result);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KnnOnPackedTreeTest,
+    ::testing::Combine(::testing::Values(BulkLoadMethod::kStr,
+                                         BulkLoadMethod::kHilbert,
+                                         BulkLoadMethod::kMorton),
+                       ::testing::Values(1u, 8u)));
+
+// ---------------------------------------------------------------------------
+// Sweep 3: every combination of orderings and pruning strategies is exact
+// (pruning may only change cost, never the answer).
+
+class KnnConfigurationTest
+    : public ::testing::TestWithParam<
+          std::tuple<AblOrdering, bool, bool, bool>> {};
+
+TEST_P(KnnConfigurationTest, AnyConfigurationIsExact) {
+  const auto [ordering, s1, s2, s3] = GetParam();
+  TestIndex2D index(/*page_size=*/512);
+  Rng rng(4242);
+  auto data =
+      MakePointEntries(GenerateUniform<2>(1500, UnitBounds<2>(), &rng));
+  index.InsertAll(data);
+
+  KnnOptions knn;
+  knn.ordering = ordering;
+  knn.use_s1 = s1;
+  knn.use_s2 = s2;
+  knn.use_s3 = s3;
+  auto queries = GenerateQueries<2>(data, 40, QueryDistribution::kUniform,
+                                    0.0, &rng);
+  for (uint32_t k : {1u, 7u}) {
+    knn.k = k;
+    for (const Point2& q : queries) {
+      auto result = KnnSearch<2>(*index.tree, q, knn, nullptr);
+      ASSERT_TRUE(result.ok());
+      ExpectKnnMatchesBruteForce(data, q, k, *result);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KnnConfigurationTest,
+    ::testing::Combine(::testing::Values(AblOrdering::kMinDist,
+                                         AblOrdering::kMinMaxDist,
+                                         AblOrdering::kNone),
+                       ::testing::Bool(), ::testing::Bool(),
+                       ::testing::Bool()));
+
+// ---------------------------------------------------------------------------
+// Sweep 4: rectangle (extended) objects.
+
+class KnnRectObjectsTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(KnnRectObjectsTest, MatchesBruteForceOnRectangles) {
+  TestIndex2D index(/*page_size=*/512);
+  Rng rng(GetParam());
+  std::vector<Entry<2>> data;
+  for (uint64_t i = 0; i < 1200; ++i) {
+    Point2 a{{rng.Uniform(0, 50), rng.Uniform(0, 50)}};
+    Point2 b{{a[0] + rng.Uniform(0, 2), a[1] + rng.Uniform(0, 2)}};
+    data.push_back(Entry<2>{Rect2::FromCorners(a, b), i});
+  }
+  index.InsertAll(data);
+  KnnOptions knn;
+  knn.k = 6;
+  for (int i = 0; i < 40; ++i) {
+    Point2 q{{rng.Uniform(-5, 55), rng.Uniform(-5, 55)}};
+    auto result = KnnSearch<2>(*index.tree, q, knn, nullptr);
+    ASSERT_TRUE(result.ok());
+    ExpectKnnMatchesBruteForce(data, q, 6, *result);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KnnRectObjectsTest,
+                         ::testing::Values(5u, 55u, 555u));
+
+// ---------------------------------------------------------------------------
+// Sweep 5: higher dimensions (3-D and 4-D trees).
+
+TEST(KnnHigherDimTest, ThreeDimensionalMatchesBruteForce) {
+  DiskManager disk(1024);
+  BufferPool pool(&disk, 64);
+  auto created = RTree<3>::Create(&pool, RTreeOptions{});
+  ASSERT_TRUE(created.ok());
+  RTree<3> tree = std::move(created).value();
+  Rng rng(31337);
+  std::vector<Entry<3>> data;
+  for (uint64_t i = 0; i < 1500; ++i) {
+    Point3 p{{rng.Uniform(0, 1), rng.Uniform(0, 1), rng.Uniform(0, 1)}};
+    data.push_back(Entry<3>{Rect3::FromPoint(p), i});
+    ASSERT_TRUE(tree.Insert(data.back().mbr, i).ok());
+  }
+  KnnOptions knn;
+  knn.k = 5;
+  for (int i = 0; i < 30; ++i) {
+    Point3 q{{rng.Uniform(0, 1), rng.Uniform(0, 1), rng.Uniform(0, 1)}};
+    auto result = KnnSearch<3>(tree, q, knn, nullptr);
+    ASSERT_TRUE(result.ok());
+    auto expected = LinearScanKnn<3>(data, q, 5, nullptr);
+    ASSERT_EQ(result->size(), expected.size());
+    for (size_t r = 0; r < expected.size(); ++r) {
+      ASSERT_DOUBLE_EQ((*result)[r].dist_sq, expected[r].dist_sq);
+    }
+  }
+}
+
+TEST(KnnHigherDimTest, FourDimensionalMatchesBruteForce) {
+  DiskManager disk(1024);
+  BufferPool pool(&disk, 64);
+  auto created = RTree<4>::Create(&pool, RTreeOptions{});
+  ASSERT_TRUE(created.ok());
+  RTree<4> tree = std::move(created).value();
+  Rng rng(271828);
+  std::vector<Entry<4>> data;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    Point<4> p{{rng.Uniform(0, 1), rng.Uniform(0, 1), rng.Uniform(0, 1),
+                rng.Uniform(0, 1)}};
+    data.push_back(Entry<4>{Rect<4>::FromPoint(p), i});
+    ASSERT_TRUE(tree.Insert(data.back().mbr, i).ok());
+  }
+  KnnOptions knn;
+  knn.k = 3;
+  for (int i = 0; i < 25; ++i) {
+    Point<4> q{{rng.Uniform(0, 1), rng.Uniform(0, 1), rng.Uniform(0, 1),
+                rng.Uniform(0, 1)}};
+    auto result = KnnSearch<4>(tree, q, knn, nullptr);
+    ASSERT_TRUE(result.ok());
+    auto expected = LinearScanKnn<4>(data, q, 3, nullptr);
+    ASSERT_EQ(result->size(), expected.size());
+    for (size_t r = 0; r < expected.size(); ++r) {
+      ASSERT_DOUBLE_EQ((*result)[r].dist_sq, expected[r].dist_sq);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace spatial

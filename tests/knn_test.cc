@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/knn.h"
+#include "data/uniform.h"
+#include "tests/test_util.h"
+
+namespace spatial {
+namespace {
+
+TEST(KnnOptionsTest, ValidateRejectsZeroK) {
+  KnnOptions options;
+  options.k = 0;
+  EXPECT_TRUE(options.Validate().IsInvalidArgument());
+  TestIndex2D index;
+  auto result = KnnSearch<2>(*index.tree, {{0.5, 0.5}}, options, nullptr);
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+TEST(KnnTest, EmptyTreeReturnsNothing) {
+  TestIndex2D index;
+  auto result = KnnSearch<2>(*index.tree, {{0.5, 0.5}}, KnnOptions{}, nullptr);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+}
+
+TEST(KnnTest, SingleObjectTree) {
+  TestIndex2D index;
+  ASSERT_TRUE(index.tree->Insert(Rect2::FromPoint({{0.3, 0.4}}), 77).ok());
+  auto result = KnnSearch<2>(*index.tree, {{0.0, 0.0}}, KnnOptions{}, nullptr);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ((*result)[0].id, 77u);
+  EXPECT_DOUBLE_EQ((*result)[0].dist_sq, 0.25);
+}
+
+TEST(KnnTest, KLargerThanTreeReturnsAllSorted) {
+  TestIndex2D index;
+  ASSERT_TRUE(index.tree->Insert(Rect2::FromPoint({{0.1, 0.0}}), 1).ok());
+  ASSERT_TRUE(index.tree->Insert(Rect2::FromPoint({{0.3, 0.0}}), 2).ok());
+  ASSERT_TRUE(index.tree->Insert(Rect2::FromPoint({{0.2, 0.0}}), 3).ok());
+  KnnOptions options;
+  options.k = 10;
+  auto result = KnnSearch<2>(*index.tree, {{0.0, 0.0}}, options, nullptr);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 3u);
+  EXPECT_EQ((*result)[0].id, 1u);
+  EXPECT_EQ((*result)[1].id, 3u);
+  EXPECT_EQ((*result)[2].id, 2u);
+}
+
+TEST(KnnTest, ExactNearestOnSmallGrid) {
+  TestIndex2D index;
+  // 10x10 integer grid, id = 10*x + y.
+  for (int x = 0; x < 10; ++x) {
+    for (int y = 0; y < 10; ++y) {
+      ASSERT_TRUE(index.tree
+                      ->Insert(Rect2::FromPoint({{static_cast<double>(x),
+                                                   static_cast<double>(y)}}),
+                               static_cast<uint64_t>(10 * x + y))
+                      .ok());
+    }
+  }
+  auto result =
+      KnnSearch<2>(*index.tree, {{3.2, 6.9}}, KnnOptions{}, nullptr);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ((*result)[0].id, 37u);  // (3, 7)
+}
+
+TEST(KnnTest, QueryOnDataPointHasZeroDistance) {
+  TestIndex2D index;
+  Rng rng(7);
+  auto data =
+      MakePointEntries(GenerateUniform<2>(500, UnitBounds<2>(), &rng));
+  index.InsertAll(data);
+  const Point2 q = data[123].mbr.Center();
+  auto result = KnnSearch<2>(*index.tree, q, KnnOptions{}, nullptr);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_DOUBLE_EQ((*result)[0].dist_sq, 0.0);
+}
+
+TEST(KnnTest, StatsAreRecorded) {
+  TestIndex2D index;
+  Rng rng(8);
+  auto data =
+      MakePointEntries(GenerateUniform<2>(3000, UnitBounds<2>(), &rng));
+  index.InsertAll(data);
+  QueryStats stats;
+  auto result =
+      KnnSearch<2>(*index.tree, {{0.5, 0.5}}, KnnOptions{}, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(stats.nodes_visited, static_cast<uint64_t>(index.tree->height()));
+  EXPECT_EQ(stats.nodes_visited,
+            stats.leaf_nodes_visited + stats.internal_nodes_visited);
+  EXPECT_GT(stats.objects_examined, 0u);
+  EXPECT_GT(stats.distance_computations, 0u);
+  EXPECT_GT(stats.pruned_s3, 0u);  // with 3000 points pruning must occur
+  EXPECT_GT(stats.abl_entries_generated, 0u);
+}
+
+TEST(KnnTest, PageAccessesMatchBufferPoolFetches) {
+  TestIndex2D index;
+  Rng rng(9);
+  auto data =
+      MakePointEntries(GenerateUniform<2>(2000, UnitBounds<2>(), &rng));
+  index.InsertAll(data);
+  index.pool.ResetStats();
+  QueryStats stats;
+  auto result =
+      KnnSearch<2>(*index.tree, {{0.25, 0.75}}, KnnOptions{}, &stats);
+  ASSERT_TRUE(result.ok());
+  // The paper's metric: every node visit is exactly one logical page fetch.
+  EXPECT_EQ(stats.nodes_visited, index.pool.stats().logical_fetches);
+}
+
+TEST(KnnTest, S1S2InactiveForKGreaterOne) {
+  TestIndex2D index;
+  Rng rng(10);
+  auto data =
+      MakePointEntries(GenerateUniform<2>(2000, UnitBounds<2>(), &rng));
+  index.InsertAll(data);
+  KnnOptions options;
+  options.k = 4;
+  options.use_s1 = true;
+  options.use_s2 = true;
+  QueryStats stats;
+  auto result = KnnSearch<2>(*index.tree, {{0.5, 0.5}}, options, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(stats.pruned_s1, 0u);
+  EXPECT_EQ(stats.estimate_updates_s2, 0u);
+  ExpectKnnMatchesBruteForce(data, {{0.5, 0.5}}, 4, *result);
+}
+
+TEST(KnnTest, S1CountsPrunesForK1) {
+  TestIndex2D index;
+  Rng rng(11);
+  auto data =
+      MakePointEntries(GenerateUniform<2>(5000, UnitBounds<2>(), &rng));
+  index.InsertAll(data);
+  KnnOptions options;
+  options.use_s1 = true;
+  options.use_s2 = true;
+  QueryStats stats;
+  auto result = KnnSearch<2>(*index.tree, {{0.5, 0.5}}, options, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(stats.pruned_s1 + stats.estimate_updates_s2, 0u);
+  ExpectKnnMatchesBruteForce(data, {{0.5, 0.5}}, 1, *result);
+}
+
+TEST(KnnTest, QueryFarOutsideDataBounds) {
+  TestIndex2D index;
+  Rng rng(12);
+  auto data =
+      MakePointEntries(GenerateUniform<2>(1000, UnitBounds<2>(), &rng));
+  index.InsertAll(data);
+  const Point2 q{{50.0, -30.0}};
+  KnnOptions options;
+  options.k = 3;
+  auto result = KnnSearch<2>(*index.tree, q, options, nullptr);
+  ASSERT_TRUE(result.ok());
+  ExpectKnnMatchesBruteForce(data, q, 3, *result);
+}
+
+TEST(KnnTest, ExtendedObjectsUseMbrDistance) {
+  TestIndex2D index;
+  // Two rectangles: a large one whose edge is very close to the query, and
+  // a small one slightly farther. MBR distance must rank the large first.
+  const Rect2 large{{{1.0, -5.0}}, {{2.0, 5.0}}};
+  const Rect2 small = Rect2::FromPoint({{1.5, 0.0}});
+  ASSERT_TRUE(index.tree->Insert(large, 1).ok());
+  ASSERT_TRUE(index.tree->Insert(small, 2).ok());
+  auto result = KnnSearch<2>(*index.tree, {{0.0, 0.0}}, KnnOptions{}, nullptr);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ((*result)[0].id, 1u);
+  EXPECT_DOUBLE_EQ((*result)[0].dist_sq, 1.0);
+}
+
+TEST(KnnTest, QueryInsideObjectMbrHasZeroDistance) {
+  TestIndex2D index;
+  ASSERT_TRUE(index.tree->Insert(Rect2{{{0, 0}}, {{10, 10}}}, 5).ok());
+  auto result = KnnSearch<2>(*index.tree, {{3.0, 3.0}}, KnnOptions{}, nullptr);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_DOUBLE_EQ((*result)[0].dist_sq, 0.0);
+}
+
+}  // namespace
+}  // namespace spatial

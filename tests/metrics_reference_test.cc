@@ -1,0 +1,121 @@
+// Reference-implementation cross-checks for the paper's metrics: the
+// optimized closed-form implementations in geom/metrics.h are compared
+// against direct, literal transcriptions of the definitions.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+
+#include "common/rng.h"
+#include "geom/metrics.h"
+
+namespace spatial {
+namespace {
+
+// Literal MINMAXDIST: for every dimension k, take the *nearer* hyperplane
+// along k and the *farther* hyperplane along every other dimension; the
+// answer is the minimum over k. O(D^2) but unmistakably the definition.
+template <int D>
+double ReferenceMinMaxDistSq(const Point<D>& p, const Rect<D>& r) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int k = 0; k < D; ++k) {
+    const double mid_k = 0.5 * (r.lo[k] + r.hi[k]);
+    const double rm_k = p[k] <= mid_k ? r.lo[k] : r.hi[k];
+    double candidate = (p[k] - rm_k) * (p[k] - rm_k);
+    for (int i = 0; i < D; ++i) {
+      if (i == k) continue;
+      const double mid_i = 0.5 * (r.lo[i] + r.hi[i]);
+      const double rM_i = p[i] >= mid_i ? r.lo[i] : r.hi[i];
+      candidate += (p[i] - rM_i) * (p[i] - rM_i);
+    }
+    best = std::min(best, candidate);
+  }
+  return best;
+}
+
+// Literal MINDIST via dense sampling of the box (upper-bounds the true
+// minimum; the closed form must never exceed any sample).
+template <int D>
+double SampledBoxDistanceSq(const Point<D>& p, const Rect<D>& r, Rng* rng,
+                            int samples) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int s = 0; s < samples; ++s) {
+    Point<D> inside;
+    for (int i = 0; i < D; ++i) inside[i] = rng->Uniform(r.lo[i], r.hi[i]);
+    best = std::min(best, SquaredDistance(p, inside));
+  }
+  return best;
+}
+
+template <int D>
+Rect<D> RandomRect(Rng* rng) {
+  Point<D> a, b;
+  for (int i = 0; i < D; ++i) {
+    a[i] = rng->Uniform(-10, 10);
+    b[i] = rng->Uniform(-10, 10);
+  }
+  return Rect<D>::FromCorners(a, b);
+}
+
+template <int D>
+Point<D> RandomPoint(Rng* rng) {
+  Point<D> p;
+  for (int i = 0; i < D; ++i) p[i] = rng->Uniform(-15, 15);
+  return p;
+}
+
+template <int D>
+void CheckDimension(uint64_t seed) {
+  Rng rng(seed);
+  for (int trial = 0; trial < 3000; ++trial) {
+    const Rect<D> r = RandomRect<D>(&rng);
+    const Point<D> p = RandomPoint<D>(&rng);
+    ASSERT_NEAR(MinMaxDistSq(p, r), ReferenceMinMaxDistSq(p, r), 1e-9)
+        << "dimension " << D << " trial " << trial;
+    ASSERT_LE(MinDistSq(p, r),
+              SampledBoxDistanceSq(p, r, &rng, 16) + 1e-9);
+  }
+}
+
+class MetricsReferenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MetricsReferenceTest, MinMaxDistMatchesLiteralDefinition2D) {
+  CheckDimension<2>(GetParam());
+}
+
+TEST_P(MetricsReferenceTest, MinMaxDistMatchesLiteralDefinition3D) {
+  CheckDimension<3>(GetParam() ^ 0x3);
+}
+
+TEST_P(MetricsReferenceTest, MinMaxDistMatchesLiteralDefinition4D) {
+  CheckDimension<4>(GetParam() ^ 0x4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricsReferenceTest,
+                         ::testing::Values(17u, 1717u, 171717u));
+
+TEST(MetricsReferenceTest, RectRectMinDistSymmetricAndConsistent) {
+  Rng rng(18);
+  for (int trial = 0; trial < 3000; ++trial) {
+    const Rect2 a = RandomRect<2>(&rng);
+    const Rect2 b = RandomRect<2>(&rng);
+    const double ab = MinDistSq(a, b);
+    const double ba = MinDistSq(b, a);
+    ASSERT_DOUBLE_EQ(ab, ba);
+    if (a.Intersects(b)) {
+      ASSERT_DOUBLE_EQ(ab, 0.0);
+    } else {
+      ASSERT_GT(ab, 0.0);
+    }
+    // Point-in-box sampling upper-bounds the rect-rect distance.
+    Point2 pa{{rng.Uniform(a.lo[0], a.hi[0]), rng.Uniform(a.lo[1], a.hi[1])}};
+    Point2 pb{{rng.Uniform(b.lo[0], b.hi[0]), rng.Uniform(b.lo[1], b.hi[1])}};
+    ASSERT_LE(ab, SquaredDistance(pa, pb) + 1e-9);
+    // Degenerate rect reduces rect-rect to point-box distance.
+    ASSERT_NEAR(MinDistSq(Rect2::FromPoint(pa), b), MinDistSq(pa, b), 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace spatial

@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.h"
+#include "geom/metrics.h"
+
+namespace spatial {
+namespace {
+
+// --------------------------------------------------------------------------
+// MINDIST examples (hand-computed).
+
+TEST(MinDistTest, ZeroInside) {
+  Rect2 r{{{0, 0}}, {{2, 2}}};
+  EXPECT_DOUBLE_EQ(MinDistSq(Point2{{1.0, 1.0}}, r), 0.0);
+  EXPECT_DOUBLE_EQ(MinDistSq(Point2{{0.0, 2.0}}, r), 0.0);  // boundary
+}
+
+TEST(MinDistTest, FaceProjection) {
+  Rect2 r{{{0, 0}}, {{2, 2}}};
+  // Left of the box: distance to the x = 0 face.
+  EXPECT_DOUBLE_EQ(MinDistSq(Point2{{-3.0, 1.0}}, r), 9.0);
+  // Above: distance to the y = 2 face.
+  EXPECT_DOUBLE_EQ(MinDistSq(Point2{{1.0, 5.0}}, r), 9.0);
+}
+
+TEST(MinDistTest, CornerDistance) {
+  Rect2 r{{{0, 0}}, {{2, 2}}};
+  EXPECT_DOUBLE_EQ(MinDistSq(Point2{{-3.0, -4.0}}, r), 25.0);
+  EXPECT_DOUBLE_EQ(MinDistSq(Point2{{5.0, 6.0}}, r), 9.0 + 16.0);
+}
+
+TEST(MinDistTest, DegenerateRectEqualsPointDistance) {
+  Rect2 r = Rect2::FromPoint({{1.0, 1.0}});
+  EXPECT_DOUBLE_EQ(MinDistSq(Point2{{4.0, 5.0}}, r), 25.0);
+}
+
+// --------------------------------------------------------------------------
+// MINMAXDIST examples.
+
+TEST(MinMaxDistTest, DegenerateRectEqualsPointDistance) {
+  Rect2 r = Rect2::FromPoint({{1.0, 1.0}});
+  EXPECT_DOUBLE_EQ(MinMaxDistSq(Point2{{4.0, 5.0}}, r), 25.0);
+}
+
+TEST(MinMaxDistTest, HandComputedSquare) {
+  // Unit square, query at the origin corner. For each dimension k the
+  // candidate is |p_k - nearer plane|^2 + |p_other - farther plane|^2 =
+  // 0 + 1 = 1 for both axes.
+  Rect2 r{{{0, 0}}, {{1, 1}}};
+  EXPECT_DOUBLE_EQ(MinMaxDistSq(Point2{{0.0, 0.0}}, r), 1.0);
+}
+
+TEST(MinMaxDistTest, HandComputedOffsetQuery) {
+  // Box [0,2]x[0,2], query (-1, 1) (midpoint in y).
+  // k = x: nearer x-plane 0 -> 1; farther y-plane (y=0 or 2, both |dy|=1)
+  //   candidate = 1 + 1 = 2.
+  // k = y: nearer y-plane (1 <= mid) -> lo=0: |1-0|^2 = 1; farther x-plane
+  //   x=2 -> |(-1)-2|^2 = 9; candidate = 10.
+  // MINMAXDIST^2 = 2.
+  Rect2 r{{{0, 0}}, {{2, 2}}};
+  EXPECT_DOUBLE_EQ(MinMaxDistSq(Point2{{-1.0, 1.0}}, r), 2.0);
+}
+
+TEST(MaxDistTest, FarthestCorner) {
+  Rect2 r{{{0, 0}}, {{2, 2}}};
+  EXPECT_DOUBLE_EQ(MaxDistSq(Point2{{-1.0, -1.0}}, r), 9.0 + 9.0);
+  EXPECT_DOUBLE_EQ(MaxDistSq(Point2{{1.0, 1.0}}, r), 2.0);  // center
+}
+
+TEST(MetricsTest, NonSquaredWrappersAreSqrt) {
+  Rect2 r{{{0, 0}}, {{2, 2}}};
+  Point2 p{{-3.0, 1.0}};
+  EXPECT_DOUBLE_EQ(MinDist(p, r), 3.0);
+  EXPECT_DOUBLE_EQ(MaxDist(p, r), std::sqrt(MaxDistSq(p, r)));
+  EXPECT_DOUBLE_EQ(MinMaxDist(p, r), std::sqrt(MinMaxDistSq(p, r)));
+}
+
+// --------------------------------------------------------------------------
+// Property sweep: the paper's theorems on random rectangles.
+//
+// For random boxes and random points, with objects placed on the box faces
+// (as the MBR face property guarantees), verify:
+//   T1: MINDIST <= distance to any enclosed object.
+//   T2: some face-touching object lies within MINMAXDIST.
+//   Ordering: MINDIST <= MINMAXDIST <= MAXDIST.
+
+class MetricsPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MetricsPropertyTest, TheoremsHoldOnRandomBoxes2D) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 2000; ++iter) {
+    Rect2 r = Rect2::FromCorners(
+        {{rng.Uniform(-10, 10), rng.Uniform(-10, 10)}},
+        {{rng.Uniform(-10, 10), rng.Uniform(-10, 10)}});
+    Point2 p{{rng.Uniform(-20, 20), rng.Uniform(-20, 20)}};
+
+    const double min_d = MinDistSq(p, r);
+    const double minmax_d = MinMaxDistSq(p, r);
+    const double max_d = MaxDistSq(p, r);
+
+    EXPECT_LE(min_d, minmax_d + 1e-12);
+    EXPECT_LE(minmax_d, max_d + 1e-12);
+
+    // T1: any point inside the box is at least MINDIST away.
+    for (int j = 0; j < 8; ++j) {
+      Point2 obj{{rng.Uniform(r.lo[0], r.hi[0]),
+                  rng.Uniform(r.lo[1], r.hi[1])}};
+      EXPECT_GE(SquaredDistance(p, obj), min_d - 1e-9);
+      EXPECT_LE(SquaredDistance(p, obj), max_d + 1e-9);
+    }
+
+    // T2: place one object on every face (the minimality guarantee of an
+    // MBR); the nearest of them must be within MINMAXDIST.
+    std::vector<Point2> face_objects;
+    for (int dim = 0; dim < 2; ++dim) {
+      for (double coord : {r.lo[dim], r.hi[dim]}) {
+        Point2 obj;
+        obj[dim] = coord;
+        const int other = 1 - dim;
+        obj[other] = rng.Uniform(r.lo[other], r.hi[other]);
+        face_objects.push_back(obj);
+      }
+    }
+    double nearest = std::numeric_limits<double>::infinity();
+    for (const Point2& obj : face_objects) {
+      nearest = std::min(nearest, SquaredDistance(p, obj));
+    }
+    EXPECT_LE(nearest, minmax_d + 1e-9)
+        << "face-touching object beyond MINMAXDIST";
+  }
+}
+
+TEST_P(MetricsPropertyTest, TheoremsHoldOnRandomBoxes3D) {
+  Rng rng(GetParam() ^ 0xabcdef);
+  for (int iter = 0; iter < 1000; ++iter) {
+    Point3 a{{rng.Uniform(-5, 5), rng.Uniform(-5, 5), rng.Uniform(-5, 5)}};
+    Point3 b{{rng.Uniform(-5, 5), rng.Uniform(-5, 5), rng.Uniform(-5, 5)}};
+    Rect3 r = Rect3::FromCorners(a, b);
+    Point3 p{{rng.Uniform(-10, 10), rng.Uniform(-10, 10),
+              rng.Uniform(-10, 10)}};
+
+    const double min_d = MinDistSq(p, r);
+    const double minmax_d = MinMaxDistSq(p, r);
+    const double max_d = MaxDistSq(p, r);
+    EXPECT_LE(min_d, minmax_d + 1e-12);
+    EXPECT_LE(minmax_d, max_d + 1e-12);
+
+    // One object per face; nearest must be within MINMAXDIST.
+    double nearest = std::numeric_limits<double>::infinity();
+    for (int dim = 0; dim < 3; ++dim) {
+      for (double coord : {r.lo[dim], r.hi[dim]}) {
+        Point3 obj;
+        for (int o = 0; o < 3; ++o) obj[o] = rng.Uniform(r.lo[o], r.hi[o]);
+        obj[dim] = coord;
+        nearest = std::min(nearest, SquaredDistance(p, obj));
+      }
+    }
+    EXPECT_LE(nearest, minmax_d + 1e-9);
+  }
+}
+
+TEST_P(MetricsPropertyTest, MinDistIsExactDistanceToClosestBoxPoint) {
+  Rng rng(GetParam() ^ 0x5555);
+  for (int iter = 0; iter < 2000; ++iter) {
+    Rect2 r = Rect2::FromCorners(
+        {{rng.Uniform(-10, 10), rng.Uniform(-10, 10)}},
+        {{rng.Uniform(-10, 10), rng.Uniform(-10, 10)}});
+    Point2 p{{rng.Uniform(-20, 20), rng.Uniform(-20, 20)}};
+    // Closest point of the box by clamping.
+    Point2 clamped{{std::clamp(p[0], r.lo[0], r.hi[0]),
+                    std::clamp(p[1], r.lo[1], r.hi[1])}};
+    EXPECT_NEAR(MinDistSq(p, r), SquaredDistance(p, clamped), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricsPropertyTest,
+                         ::testing::Values(1, 42, 2026, 777, 31337));
+
+}  // namespace
+}  // namespace spatial

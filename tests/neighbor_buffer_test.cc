@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/neighbor_buffer.h"
+
+namespace spatial {
+namespace {
+
+TEST(NeighborBufferTest, WorstIsInfiniteUntilFull) {
+  NeighborBuffer buffer(3);
+  EXPECT_EQ(buffer.WorstDistSq(), std::numeric_limits<double>::infinity());
+  buffer.Offer(1, 5.0);
+  buffer.Offer(2, 1.0);
+  EXPECT_EQ(buffer.WorstDistSq(), std::numeric_limits<double>::infinity());
+  buffer.Offer(3, 3.0);
+  EXPECT_EQ(buffer.WorstDistSq(), 5.0);
+}
+
+TEST(NeighborBufferTest, KeepsKSmallest) {
+  NeighborBuffer buffer(2);
+  EXPECT_TRUE(buffer.Offer(1, 9.0));
+  EXPECT_TRUE(buffer.Offer(2, 7.0));
+  EXPECT_TRUE(buffer.Offer(3, 3.0));   // evicts 9.0
+  EXPECT_FALSE(buffer.Offer(4, 8.0));  // worse than current worst (7.0)
+  auto result = buffer.TakeSorted();
+  ASSERT_EQ(result.size(), 2u);
+  EXPECT_EQ(result[0].id, 3u);
+  EXPECT_EQ(result[0].dist_sq, 3.0);
+  EXPECT_EQ(result[1].id, 2u);
+  EXPECT_EQ(result[1].dist_sq, 7.0);
+}
+
+TEST(NeighborBufferTest, TieWithWorstIsRejectedWhenFull) {
+  NeighborBuffer buffer(1);
+  EXPECT_TRUE(buffer.Offer(1, 4.0));
+  EXPECT_FALSE(buffer.Offer(2, 4.0));
+  auto result = buffer.TakeSorted();
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0].id, 1u);
+}
+
+TEST(NeighborBufferTest, FewerCandidatesThanK) {
+  NeighborBuffer buffer(10);
+  buffer.Offer(1, 2.0);
+  buffer.Offer(2, 1.0);
+  auto result = buffer.TakeSorted();
+  ASSERT_EQ(result.size(), 2u);
+  EXPECT_EQ(result[0].id, 2u);
+  EXPECT_EQ(result[1].id, 1u);
+}
+
+TEST(NeighborBufferTest, SortedOutputMatchesStdSortOnRandomInput) {
+  Rng rng(101);
+  for (uint32_t k : {1u, 4u, 16u, 64u}) {
+    NeighborBuffer buffer(k);
+    std::vector<double> all;
+    for (int i = 0; i < 500; ++i) {
+      const double d = rng.Uniform(0, 1000);
+      all.push_back(d);
+      buffer.Offer(static_cast<uint64_t>(i), d);
+    }
+    std::sort(all.begin(), all.end());
+    auto result = buffer.TakeSorted();
+    ASSERT_EQ(result.size(), std::min<size_t>(k, all.size()));
+    for (size_t i = 0; i < result.size(); ++i) {
+      EXPECT_DOUBLE_EQ(result[i].dist_sq, all[i]) << "rank " << i;
+    }
+    // Output is nondecreasing.
+    for (size_t i = 1; i < result.size(); ++i) {
+      EXPECT_LE(result[i - 1].dist_sq, result[i].dist_sq);
+    }
+  }
+}
+
+TEST(NeighborBufferTest, WorstTracksKthSmallestExactly) {
+  Rng rng(102);
+  NeighborBuffer buffer(5);
+  std::vector<double> seen;
+  for (int i = 0; i < 200; ++i) {
+    const double d = rng.Uniform(0, 100);
+    seen.push_back(d);
+    buffer.Offer(static_cast<uint64_t>(i), d);
+    if (seen.size() >= 5) {
+      std::vector<double> sorted = seen;
+      std::sort(sorted.begin(), sorted.end());
+      EXPECT_DOUBLE_EQ(buffer.WorstDistSq(), sorted[4]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace spatial

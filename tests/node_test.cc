@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "rtree/node.h"
+#include "rtree/node_codec.h"
+
+namespace spatial {
+namespace {
+
+constexpr uint32_t kPageSize = 1024;
+
+Entry<2> MakeEntry(double x, double y, uint64_t id) {
+  return Entry<2>{Rect2::FromPoint({{x, y}}), id};
+}
+
+class NodeTest : public ::testing::Test {
+ protected:
+  NodeTest() : view_(buffer_, kPageSize) { view_.InitEmpty(0); }
+
+  char buffer_[kPageSize] = {};
+  NodeView<2> view_;
+};
+
+TEST_F(NodeTest, MaxEntriesMatchesLayout) {
+  // (1024 - 8) / 40 = 25 entries for D = 2.
+  EXPECT_EQ(NodeView<2>::MaxEntries(1024), 25u);
+  // D = 3: entry = 6 doubles + id = 56 bytes -> 18 entries.
+  EXPECT_EQ(NodeView<3>::MaxEntries(1024), 18u);
+}
+
+TEST_F(NodeTest, InitEmptySetsHeader) {
+  EXPECT_TRUE(view_.has_valid_magic());
+  EXPECT_EQ(view_.count(), 0u);
+  EXPECT_EQ(view_.level(), 0u);
+  EXPECT_TRUE(view_.is_leaf());
+}
+
+TEST_F(NodeTest, InternalLevel) {
+  view_.InitEmpty(3);
+  EXPECT_EQ(view_.level(), 3u);
+  EXPECT_FALSE(view_.is_leaf());
+}
+
+TEST_F(NodeTest, AppendAndReadBack) {
+  view_.Append(MakeEntry(1, 2, 100));
+  view_.Append(MakeEntry(3, 4, 200));
+  ASSERT_EQ(view_.count(), 2u);
+  EXPECT_EQ(view_.entry(0).id, 100u);
+  EXPECT_EQ(view_.entry(1).id, 200u);
+  EXPECT_EQ(view_.entry(1).mbr.lo[0], 3.0);
+}
+
+TEST_F(NodeTest, SetEntryOverwrites) {
+  view_.Append(MakeEntry(1, 2, 100));
+  view_.set_entry(0, MakeEntry(9, 9, 900));
+  EXPECT_EQ(view_.entry(0).id, 900u);
+  EXPECT_EQ(view_.entry(0).mbr.hi[1], 9.0);
+}
+
+TEST_F(NodeTest, RemoveAtSwapsWithLast) {
+  view_.Append(MakeEntry(1, 1, 1));
+  view_.Append(MakeEntry(2, 2, 2));
+  view_.Append(MakeEntry(3, 3, 3));
+  view_.RemoveAt(0);
+  ASSERT_EQ(view_.count(), 2u);
+  EXPECT_EQ(view_.entry(0).id, 3u);  // last moved into slot 0
+  EXPECT_EQ(view_.entry(1).id, 2u);
+}
+
+TEST_F(NodeTest, RemoveLastEntry) {
+  view_.Append(MakeEntry(1, 1, 1));
+  view_.Append(MakeEntry(2, 2, 2));
+  view_.RemoveAt(1);
+  ASSERT_EQ(view_.count(), 1u);
+  EXPECT_EQ(view_.entry(0).id, 1u);
+}
+
+TEST_F(NodeTest, FillToCapacity) {
+  const uint32_t max = view_.max_entries();
+  for (uint32_t i = 0; i < max; ++i) {
+    EXPECT_FALSE(view_.full());
+    view_.Append(MakeEntry(i, i, i));
+  }
+  EXPECT_TRUE(view_.full());
+  EXPECT_EQ(view_.count(), max);
+  for (uint32_t i = 0; i < max; ++i) {
+    ASSERT_EQ(view_.entry(i).id, i);
+  }
+}
+
+TEST_F(NodeTest, SetEntriesReplacesContents) {
+  view_.Append(MakeEntry(1, 1, 1));
+  std::vector<Entry<2>> entries{MakeEntry(5, 5, 5), MakeEntry(6, 6, 6),
+                                MakeEntry(7, 7, 7)};
+  view_.SetEntries(entries);
+  ASSERT_EQ(view_.count(), 3u);
+  EXPECT_EQ(view_.entry(2).id, 7u);
+  EXPECT_EQ(view_.GetEntries().size(), 3u);
+}
+
+TEST_F(NodeTest, ClearKeepsLevel) {
+  view_.InitEmpty(2);
+  view_.Append(MakeEntry(1, 1, 1));
+  view_.Clear();
+  EXPECT_EQ(view_.count(), 0u);
+  EXPECT_EQ(view_.level(), 2u);
+}
+
+TEST_F(NodeTest, ComputeMbrIsTightUnion) {
+  view_.Append(Entry<2>{Rect2{{{0, 0}}, {{1, 1}}}, 1});
+  view_.Append(Entry<2>{Rect2{{{2, -1}}, {{3, 0.5}}}, 2});
+  const Rect2 mbr = view_.ComputeMbr();
+  EXPECT_EQ(mbr.lo[0], 0.0);
+  EXPECT_EQ(mbr.lo[1], -1.0);
+  EXPECT_EQ(mbr.hi[0], 3.0);
+  EXPECT_EQ(mbr.hi[1], 1.0);
+}
+
+TEST_F(NodeTest, ComputeMbrOfEmptyNodeIsEmpty) {
+  EXPECT_TRUE(view_.ComputeMbr().IsEmpty());
+}
+
+// --------------------------------------------------------------------------
+// Codec / corruption checks.
+
+TEST(NodeCodecTest, ValidPagePasses) {
+  char buffer[kPageSize] = {};
+  NodeView<2> view(buffer, kPageSize);
+  view.InitEmpty(1);
+  view.Append(MakeEntry(1, 2, 3));
+  EXPECT_TRUE(CheckNodePage<2>(buffer, kPageSize).ok());
+}
+
+TEST(NodeCodecTest, ZeroedPageHasBadMagic) {
+  char buffer[kPageSize] = {};
+  EXPECT_TRUE(CheckNodePage<2>(buffer, kPageSize).IsCorruption());
+}
+
+TEST(NodeCodecTest, GarbagePageRejected) {
+  char buffer[kPageSize];
+  std::memset(buffer, 0x5a, kPageSize);
+  EXPECT_TRUE(CheckNodePage<2>(buffer, kPageSize).IsCorruption());
+}
+
+TEST(NodeCodecTest, OverflowCountRejected) {
+  char buffer[kPageSize] = {};
+  NodeView<2> view(buffer, kPageSize);
+  view.InitEmpty(0);
+  NodeHeader header;
+  std::memcpy(&header, buffer, sizeof(header));
+  header.count = 1000;  // > capacity
+  std::memcpy(buffer, &header, sizeof(header));
+  EXPECT_TRUE(CheckNodePage<2>(buffer, kPageSize).IsCorruption());
+}
+
+TEST(NodeCodecTest, InvalidRectangleRejected) {
+  char buffer[kPageSize] = {};
+  NodeView<2> view(buffer, kPageSize);
+  view.InitEmpty(0);
+  Entry<2> bad;
+  bad.mbr.lo = {{2.0, 2.0}};
+  bad.mbr.hi = {{1.0, 1.0}};  // lo > hi
+  bad.id = 7;
+  view.Append(bad);
+  EXPECT_TRUE(CheckNodePage<2>(buffer, kPageSize).IsCorruption());
+}
+
+TEST(NodeCodecTest, TooSmallPageRejected) {
+  char buffer[32] = {};
+  EXPECT_TRUE(CheckNodePage<2>(buffer, 32).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace spatial

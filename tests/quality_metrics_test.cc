@@ -1,0 +1,128 @@
+// Tests for the validator's tree-quality diagnostics and for the
+// cross-configuration identities of the query counters.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bench_util/experiment.h"
+#include "common/rng.h"
+#include "core/knn.h"
+#include "data/dataset.h"
+#include "data/uniform.h"
+#include "data/workload.h"
+#include "rtree/validator.h"
+#include "tests/test_util.h"
+
+namespace spatial {
+namespace {
+
+TEST(QualityMetricsTest, DisjointLeavesHaveZeroLeafOverlap) {
+  // A 1-D-ish grid of disjoint unit squares bulk-loaded with STR: leaf
+  // *entries* never overlap, so level-0 overlap must be exactly zero.
+  DiskManager disk(512);
+  BufferPool pool(&disk, 64);
+  std::vector<Entry<2>> data;
+  for (uint64_t i = 0; i < 500; ++i) {
+    const double x = static_cast<double>(i % 25) * 2.0;
+    const double y = static_cast<double>(i / 25) * 2.0;
+    data.push_back(Entry<2>{Rect2{{{x, y}}, {{x + 1, y + 1}}}, i});
+  }
+  auto tree = BulkLoad<2>(&pool, RTreeOptions{}, data, BulkLoadMethod::kStr);
+  ASSERT_TRUE(tree.ok());
+  auto report = ValidateTree<2>(*tree, /*check_min_fill=*/false);
+  ASSERT_TRUE(report.ok());
+  ASSERT_FALSE(report->sibling_overlap_per_level.empty());
+  EXPECT_DOUBLE_EQ(report->sibling_overlap_per_level[0], 0.0);
+  EXPECT_GT(report->entry_area_per_level[0], 0.0);
+}
+
+TEST(QualityMetricsTest, RStarOverlapBelowLinearSplitOverlap) {
+  Rng rng(7);
+  auto data =
+      MakePointEntries(GenerateUniform<2>(8000, UnitBounds<2>(), &rng));
+  auto linear = BuildTree2D(data, BuildMethod::kInsertLinear, 1024, 512);
+  auto rstar = BuildTree2D(data, BuildMethod::kInsertRStar, 1024, 512);
+  ASSERT_TRUE(linear.ok());
+  ASSERT_TRUE(rstar.ok());
+  auto linear_report = ValidateTree<2>(*linear->tree, false);
+  auto rstar_report = ValidateTree<2>(*rstar->tree, false);
+  ASSERT_TRUE(linear_report.ok());
+  ASSERT_TRUE(rstar_report.ok());
+  // The whole point of the R* heuristics: much less sibling overlap.
+  EXPECT_LT(rstar_report->total_sibling_overlap(),
+            0.5 * linear_report->total_sibling_overlap());
+}
+
+TEST(QualityMetricsTest, VectorsSizedByHeight) {
+  Rng rng(8);
+  auto data =
+      MakePointEntries(GenerateUniform<2>(3000, UnitBounds<2>(), &rng));
+  auto built = BuildTree2D(data, BuildMethod::kInsertQuadratic, 512, 128);
+  ASSERT_TRUE(built.ok());
+  auto report = ValidateTree<2>(*built->tree, true);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->sibling_overlap_per_level.size(),
+            static_cast<size_t>(report->height));
+  EXPECT_EQ(report->entry_area_per_level.size(),
+            static_cast<size_t>(report->height));
+}
+
+// --------------------------------------------------------------------------
+// Counter identities across query configurations.
+
+class CounterIdentityTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CounterIdentityTest, InvariantsHoldAcrossKs) {
+  TestIndex2D index(/*page_size=*/1024, /*buffer_pages=*/2048);
+  Rng rng(GetParam());
+  auto data =
+      MakePointEntries(GenerateUniform<2>(10000, UnitBounds<2>(), &rng));
+  index.InsertAll(data);
+  auto queries = GenerateQueries<2>(data, 30, QueryDistribution::kUniform,
+                                    0.0, &rng);
+  for (const Point2& q : queries) {
+    uint64_t previous_pages = 0;
+    for (uint32_t k : {1u, 2u, 4u, 8u, 16u}) {
+      KnnOptions knn;
+      knn.k = k;
+      QueryStats stats;
+      index.pool.ResetStats();
+      auto result = KnnSearch<2>(*index.tree, q, knn, &stats);
+      ASSERT_TRUE(result.ok());
+      // Identity 1: node visits split exactly into leaf + internal.
+      ASSERT_EQ(stats.nodes_visited,
+                stats.leaf_nodes_visited + stats.internal_nodes_visited);
+      // Identity 2: every visit is one logical buffer fetch.
+      ASSERT_EQ(stats.nodes_visited, index.pool.stats().logical_fetches);
+      // Identity 3: objects examined = sum of visited leaf populations,
+      // so examined >= results returned.
+      ASSERT_GE(stats.objects_examined, result->size());
+      // Identity 4: page cost is monotone nondecreasing in k.
+      ASSERT_GE(stats.nodes_visited, previous_pages);
+      previous_pages = stats.nodes_visited;
+    }
+  }
+}
+
+TEST_P(CounterIdentityTest, PrunedPlusVisitedCoversGeneratedAbl) {
+  TestIndex2D index(/*page_size=*/512);
+  Rng rng(GetParam() ^ 0xaa);
+  auto data =
+      MakePointEntries(GenerateUniform<2>(5000, UnitBounds<2>(), &rng));
+  index.InsertAll(data);
+  KnnOptions knn;  // defaults: k = 1, all pruning on
+  QueryStats stats;
+  auto result = KnnSearch<2>(*index.tree, {{0.5, 0.5}}, knn, &stats);
+  ASSERT_TRUE(result.ok());
+  // Every generated ABL entry is either visited (a node fetch below the
+  // root), pruned by S1, or pruned by S3.
+  EXPECT_EQ(stats.abl_entries_generated,
+            (stats.nodes_visited - 1) + stats.pruned_s1 + stats.pruned_s3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CounterIdentityTest,
+                         ::testing::Values(1u, 2u, 3u));
+
+}  // namespace
+}  // namespace spatial

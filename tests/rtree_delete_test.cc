@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <tuple>
+#include <vector>
+
+#include "storage/disk_manager.h"
+#include "common/rng.h"
+#include "data/uniform.h"
+#include "rtree/rtree.h"
+#include "rtree/validator.h"
+
+namespace spatial {
+namespace {
+
+constexpr uint32_t kPageSize = 512;
+
+struct TestIndex {
+  explicit TestIndex(RTreeOptions options, uint32_t buffer_pages = 64)
+      : disk(kPageSize), pool(&disk, buffer_pages) {
+    auto created = RTree<2>::Create(&pool, options);
+    EXPECT_TRUE(created.ok()) << created.status().ToString();
+    tree.emplace(std::move(created).value());
+  }
+
+  DiskManager disk;
+  BufferPool pool;
+  std::optional<RTree<2>> tree;
+};
+
+TEST(RTreeDeleteTest, DeleteFromEmptyTreeReturnsFalse) {
+  TestIndex index(RTreeOptions{});
+  auto removed = index.tree->Delete(Rect2::FromPoint({{0.5, 0.5}}), 1);
+  ASSERT_TRUE(removed.ok());
+  EXPECT_FALSE(*removed);
+}
+
+TEST(RTreeDeleteTest, DeleteRejectsInvalidRect) {
+  TestIndex index(RTreeOptions{});
+  Rect2 bad;
+  bad.lo = {{2.0, 2.0}};
+  bad.hi = {{1.0, 1.0}};
+  EXPECT_TRUE(index.tree->Delete(bad, 1).status().IsInvalidArgument());
+}
+
+TEST(RTreeDeleteTest, InsertThenDeleteSingle) {
+  TestIndex index(RTreeOptions{});
+  const Rect2 r = Rect2::FromPoint({{0.5, 0.5}});
+  ASSERT_TRUE(index.tree->Insert(r, 42).ok());
+  auto removed = index.tree->Delete(r, 42);
+  ASSERT_TRUE(removed.ok());
+  EXPECT_TRUE(*removed);
+  EXPECT_EQ(index.tree->size(), 0u);
+  std::vector<Entry<2>> found;
+  ASSERT_TRUE(index.tree->Search(r, &found).ok());
+  EXPECT_TRUE(found.empty());
+}
+
+TEST(RTreeDeleteTest, DeleteRequiresExactIdMatch) {
+  TestIndex index(RTreeOptions{});
+  const Rect2 r = Rect2::FromPoint({{0.5, 0.5}});
+  ASSERT_TRUE(index.tree->Insert(r, 1).ok());
+  auto wrong_id = index.tree->Delete(r, 2);
+  ASSERT_TRUE(wrong_id.ok());
+  EXPECT_FALSE(*wrong_id);
+  EXPECT_EQ(index.tree->size(), 1u);
+}
+
+TEST(RTreeDeleteTest, DeleteRequiresExactMbrMatch) {
+  TestIndex index(RTreeOptions{});
+  ASSERT_TRUE(index.tree->Insert(Rect2::FromPoint({{0.5, 0.5}}), 1).ok());
+  auto wrong_rect = index.tree->Delete(Rect2::FromPoint({{0.5, 0.6}}), 1);
+  ASSERT_TRUE(wrong_rect.ok());
+  EXPECT_FALSE(*wrong_rect);
+}
+
+TEST(RTreeDeleteTest, DeleteOneOfDuplicates) {
+  TestIndex index(RTreeOptions{});
+  const Rect2 r = Rect2::FromPoint({{0.5, 0.5}});
+  ASSERT_TRUE(index.tree->Insert(r, 7).ok());
+  ASSERT_TRUE(index.tree->Insert(r, 7).ok());
+  auto removed = index.tree->Delete(r, 7);
+  ASSERT_TRUE(removed.ok());
+  EXPECT_TRUE(*removed);
+  EXPECT_EQ(index.tree->size(), 1u);  // only one copy removed
+}
+
+class RTreeDeleteParamTest
+    : public ::testing::TestWithParam<std::tuple<SplitAlgorithm, uint64_t>> {
+};
+
+TEST_P(RTreeDeleteParamTest, DeleteHalfKeepsTreeValidAndExact) {
+  const auto [split, seed] = GetParam();
+  RTreeOptions options;
+  options.split = split;
+  TestIndex index(options);
+  Rng rng(seed);
+  auto points = GenerateUniform<2>(2000, UnitBounds<2>(), &rng);
+  for (size_t i = 0; i < points.size(); ++i) {
+    ASSERT_TRUE(index.tree->Insert(Rect2::FromPoint(points[i]), i).ok());
+  }
+  // Delete every even id.
+  for (size_t i = 0; i < points.size(); i += 2) {
+    auto removed = index.tree->Delete(Rect2::FromPoint(points[i]), i);
+    ASSERT_TRUE(removed.ok()) << removed.status().ToString();
+    ASSERT_TRUE(*removed) << "id " << i;
+  }
+  EXPECT_EQ(index.tree->size(), points.size() / 2);
+  auto report = ValidateTree<2>(*index.tree, /*check_min_fill=*/true);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  // Exactly the odd ids remain findable.
+  for (size_t i = 0; i < points.size(); ++i) {
+    std::vector<Entry<2>> found;
+    ASSERT_TRUE(
+        index.tree->Search(Rect2::FromPoint(points[i]), &found).ok());
+    bool present = false;
+    for (const auto& e : found) present |= (e.id == i);
+    EXPECT_EQ(present, i % 2 == 1) << "id " << i;
+  }
+}
+
+TEST_P(RTreeDeleteParamTest, DeleteEverythingShrinksToEmptyRoot) {
+  const auto [split, seed] = GetParam();
+  RTreeOptions options;
+  options.split = split;
+  TestIndex index(options);
+  Rng rng(seed ^ 0xdead);
+  auto points = GenerateUniform<2>(600, UnitBounds<2>(), &rng);
+  for (size_t i = 0; i < points.size(); ++i) {
+    ASSERT_TRUE(index.tree->Insert(Rect2::FromPoint(points[i]), i).ok());
+  }
+  Rng order_rng(seed);
+  std::vector<size_t> order(points.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  order_rng.Shuffle(&order);
+  for (size_t i : order) {
+    auto removed = index.tree->Delete(Rect2::FromPoint(points[i]), i);
+    ASSERT_TRUE(removed.ok()) << removed.status().ToString();
+    ASSERT_TRUE(*removed);
+  }
+  EXPECT_EQ(index.tree->size(), 0u);
+  EXPECT_EQ(index.tree->height(), 1);
+  auto report = ValidateTree<2>(*index.tree, /*check_min_fill=*/true);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->nodes, 1u);
+  // The storage must not leak pages: a single empty root remains.
+  EXPECT_EQ(index.disk.live_pages(), 1u);
+}
+
+TEST_P(RTreeDeleteParamTest, InterleavedInsertDeleteChurn) {
+  const auto [split, seed] = GetParam();
+  RTreeOptions options;
+  options.split = split;
+  TestIndex index(options);
+  Rng rng(seed ^ 0xc0ffee);
+  std::vector<std::pair<Rect2, uint64_t>> live;
+  uint64_t next_id = 0;
+  for (int round = 0; round < 3000; ++round) {
+    const bool do_insert = live.empty() || rng.NextBool(0.6);
+    if (do_insert) {
+      Rect2 r =
+          Rect2::FromPoint({{rng.Uniform(0, 1), rng.Uniform(0, 1)}});
+      ASSERT_TRUE(index.tree->Insert(r, next_id).ok());
+      live.push_back({r, next_id});
+      ++next_id;
+    } else {
+      const size_t pick = rng.NextBounded(live.size());
+      auto removed =
+          index.tree->Delete(live[pick].first, live[pick].second);
+      ASSERT_TRUE(removed.ok());
+      ASSERT_TRUE(*removed);
+      live[pick] = live.back();
+      live.pop_back();
+    }
+  }
+  EXPECT_EQ(index.tree->size(), live.size());
+  auto report = ValidateTree<2>(*index.tree, /*check_min_fill=*/true);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSplits, RTreeDeleteParamTest,
+    ::testing::Combine(::testing::Values(SplitAlgorithm::kLinear,
+                                         SplitAlgorithm::kQuadratic,
+                                         SplitAlgorithm::kRStar),
+                       ::testing::Values(21u, 4711u)));
+
+}  // namespace
+}  // namespace spatial

@@ -1,0 +1,279 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "storage/disk_manager.h"
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "data/uniform.h"
+#include "rtree/bulk_load.h"
+#include "rtree/rtree.h"
+
+namespace spatial {
+namespace {
+
+constexpr uint32_t kPageSize = 512;
+
+struct TestIndex {
+  explicit TestIndex(RTreeOptions options = RTreeOptions{},
+                     uint32_t buffer_pages = 64)
+      : disk(kPageSize), pool(&disk, buffer_pages) {
+    auto created = RTree<2>::Create(&pool, options);
+    EXPECT_TRUE(created.ok()) << created.status().ToString();
+    tree.emplace(std::move(created).value());
+  }
+
+  DiskManager disk;
+  BufferPool pool;
+  std::optional<RTree<2>> tree;
+};
+
+std::set<uint64_t> BruteForceWindow(const std::vector<Entry<2>>& data,
+                                    const Rect2& window) {
+  std::set<uint64_t> ids;
+  for (const auto& e : data) {
+    if (e.mbr.Intersects(window)) ids.insert(e.id);
+  }
+  return ids;
+}
+
+std::set<uint64_t> IdsOf(const std::vector<Entry<2>>& found) {
+  std::set<uint64_t> ids;
+  for (const auto& e : found) ids.insert(e.id);
+  return ids;
+}
+
+TEST(RTreeSearchTest, EmptyTreeFindsNothing) {
+  TestIndex index;
+  std::vector<Entry<2>> found;
+  ASSERT_TRUE(index.tree->Search(Rect2{{{0, 0}}, {{1, 1}}}, &found).ok());
+  EXPECT_TRUE(found.empty());
+}
+
+TEST(RTreeSearchTest, EmptyWindowFindsNothing) {
+  TestIndex index;
+  ASSERT_TRUE(index.tree->Insert(Rect2::FromPoint({{0.5, 0.5}}), 1).ok());
+  std::vector<Entry<2>> found;
+  ASSERT_TRUE(index.tree->Search(Rect2::Empty(), &found).ok());
+  EXPECT_TRUE(found.empty());
+}
+
+TEST(RTreeSearchTest, WindowMatchesBruteForceOnUniformData) {
+  TestIndex index;
+  Rng rng(31);
+  auto points = GenerateUniform<2>(3000, UnitBounds<2>(), &rng);
+  auto data = MakePointEntries(points);
+  for (const auto& e : data) {
+    ASSERT_TRUE(index.tree->Insert(e.mbr, e.id).ok());
+  }
+  for (int q = 0; q < 50; ++q) {
+    Point2 a{{rng.Uniform(0, 1), rng.Uniform(0, 1)}};
+    Point2 b{{a[0] + rng.Uniform(0, 0.3), a[1] + rng.Uniform(0, 0.3)}};
+    const Rect2 window = Rect2::FromCorners(a, b);
+    std::vector<Entry<2>> found;
+    ASSERT_TRUE(index.tree->Search(window, &found).ok());
+    EXPECT_EQ(IdsOf(found), BruteForceWindow(data, window));
+  }
+}
+
+TEST(RTreeSearchTest, WindowMatchesBruteForceOnRectObjects) {
+  TestIndex index;
+  Rng rng(32);
+  std::vector<Entry<2>> data;
+  for (uint64_t i = 0; i < 1500; ++i) {
+    Point2 a{{rng.Uniform(0, 10), rng.Uniform(0, 10)}};
+    Point2 b{{a[0] + rng.Uniform(0, 0.5), a[1] + rng.Uniform(0, 0.5)}};
+    data.push_back(Entry<2>{Rect2::FromCorners(a, b), i});
+    ASSERT_TRUE(index.tree->Insert(data.back().mbr, i).ok());
+  }
+  for (int q = 0; q < 50; ++q) {
+    Point2 a{{rng.Uniform(0, 10), rng.Uniform(0, 10)}};
+    Point2 b{{a[0] + rng.Uniform(0, 2), a[1] + rng.Uniform(0, 2)}};
+    const Rect2 window = Rect2::FromCorners(a, b);
+    std::vector<Entry<2>> found;
+    ASSERT_TRUE(index.tree->Search(window, &found).ok());
+    EXPECT_EQ(IdsOf(found), BruteForceWindow(data, window));
+  }
+}
+
+TEST(RTreeSearchTest, FullWindowReturnsEverything) {
+  TestIndex index;
+  Rng rng(33);
+  auto points = GenerateUniform<2>(500, UnitBounds<2>(), &rng);
+  for (size_t i = 0; i < points.size(); ++i) {
+    ASSERT_TRUE(index.tree->Insert(Rect2::FromPoint(points[i]), i).ok());
+  }
+  std::vector<Entry<2>> found;
+  ASSERT_TRUE(index.tree->Search(UnitBounds<2>(), &found).ok());
+  EXPECT_EQ(found.size(), points.size());
+}
+
+TEST(RTreeSearchTest, SearchAppendsToExistingVector) {
+  TestIndex index;
+  ASSERT_TRUE(index.tree->Insert(Rect2::FromPoint({{0.5, 0.5}}), 9).ok());
+  std::vector<Entry<2>> found;
+  found.push_back(Entry<2>{Rect2::FromPoint({{0, 0}}), 1});
+  ASSERT_TRUE(index.tree->Search(UnitBounds<2>(), &found).ok());
+  EXPECT_EQ(found.size(), 2u);  // appended, not replaced
+}
+
+TEST(RTreeSearchTest, QueriesWorkWithSingleFrameBufferPool) {
+  // Read paths copy entries out and release pages before descending, so a
+  // capacity-1 pool must suffice for queries (not for inserts).
+  DiskManager disk(kPageSize);
+  BufferPool build_pool(&disk, 64);
+  auto created = RTree<2>::Create(&build_pool, RTreeOptions{});
+  ASSERT_TRUE(created.ok());
+  RTree<2> tree = std::move(created).value();
+  Rng rng(34);
+  auto points = GenerateUniform<2>(2000, UnitBounds<2>(), &rng);
+  for (size_t i = 0; i < points.size(); ++i) {
+    ASSERT_TRUE(tree.Insert(Rect2::FromPoint(points[i]), i).ok());
+  }
+  ASSERT_TRUE(build_pool.FlushAll().ok());
+
+  BufferPool query_pool(&disk, 1);
+  auto reopened =
+      RTree<2>::Open(&query_pool, RTreeOptions{}, tree.root_page());
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  std::vector<Entry<2>> found;
+  ASSERT_TRUE(
+      reopened->Search(Rect2{{{0.2, 0.2}}, {{0.4, 0.4}}}, &found).ok());
+  EXPECT_FALSE(found.empty());
+}
+
+TEST(RTreeOpenTest, ReopenRecoversSizeAndAnswersQueries) {
+  DiskManager disk(kPageSize);
+  BufferPool pool(&disk, 64);
+  PageId root;
+  std::vector<Entry<2>> data;
+  {
+    auto created = RTree<2>::Create(&pool, RTreeOptions{});
+    ASSERT_TRUE(created.ok());
+    RTree<2> tree = std::move(created).value();
+    Rng rng(35);
+    auto points = GenerateUniform<2>(1200, UnitBounds<2>(), &rng);
+    data = MakePointEntries(points);
+    for (const auto& e : data) ASSERT_TRUE(tree.Insert(e.mbr, e.id).ok());
+    ASSERT_TRUE(pool.FlushAll().ok());
+    root = tree.root_page();
+  }
+  auto reopened = RTree<2>::Open(&pool, RTreeOptions{}, root);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened->size(), data.size());
+  const Rect2 window{{{0.4, 0.4}}, {{0.6, 0.6}}};
+  std::vector<Entry<2>> found;
+  ASSERT_TRUE(reopened->Search(window, &found).ok());
+  EXPECT_EQ(IdsOf(found), BruteForceWindow(data, window));
+}
+
+TEST(RTreeOpenTest, OpenRejectsGarbageRoot) {
+  DiskManager disk(kPageSize);
+  BufferPool pool(&disk, 8);
+  // Allocate a raw page that was never formatted as a node.
+  const PageId garbage = disk.AllocatePage();
+  std::vector<char> junk(kPageSize, 0x5a);
+  ASSERT_TRUE(disk.WritePage(garbage, junk.data()).ok());
+  auto opened = RTree<2>::Open(&pool, RTreeOptions{}, garbage);
+  EXPECT_FALSE(opened.ok());
+  EXPECT_TRUE(opened.status().IsCorruption());
+}
+
+TEST(RTreeSearchTest, SearchCountsLogicalPageFetches) {
+  TestIndex index;
+  Rng rng(36);
+  auto points = GenerateUniform<2>(3000, UnitBounds<2>(), &rng);
+  for (size_t i = 0; i < points.size(); ++i) {
+    ASSERT_TRUE(index.tree->Insert(Rect2::FromPoint(points[i]), i).ok());
+  }
+  index.pool.ResetStats();
+  std::vector<Entry<2>> found;
+  ASSERT_TRUE(
+      index.tree->Search(Rect2{{{0.1, 0.1}}, {{0.15, 0.15}}}, &found).ok());
+  const uint64_t small_window = index.pool.stats().logical_fetches;
+  EXPECT_GE(small_window, 1u);
+
+  index.pool.ResetStats();
+  found.clear();
+  ASSERT_TRUE(index.tree->Search(UnitBounds<2>(), &found).ok());
+  const uint64_t full_window = index.pool.stats().logical_fetches;
+  // A full scan touches far more pages than a tiny window.
+  EXPECT_GT(full_window, small_window * 5);
+}
+
+std::set<uint64_t> BruteContained(const std::vector<Entry<2>>& data,
+                                  const Rect2& window) {
+  std::set<uint64_t> ids;
+  for (const auto& e : data) {
+    if (window.Contains(e.mbr)) ids.insert(e.id);
+  }
+  return ids;
+}
+
+TEST(RTreeSearchTest, ContainedMatchesBruteForceOnRectObjects) {
+  TestIndex index;
+  Rng rng(41);
+  std::vector<Entry<2>> data;
+  for (uint64_t i = 0; i < 1500; ++i) {
+    Point2 a{{rng.Uniform(0, 10), rng.Uniform(0, 10)}};
+    Point2 b{{a[0] + rng.Uniform(0, 0.5), a[1] + rng.Uniform(0, 0.5)}};
+    data.push_back(Entry<2>{Rect2::FromCorners(a, b), i});
+    ASSERT_TRUE(index.tree->Insert(data.back().mbr, i).ok());
+  }
+  for (int q = 0; q < 40; ++q) {
+    Point2 a{{rng.Uniform(0, 10), rng.Uniform(0, 10)}};
+    Point2 b{{a[0] + rng.Uniform(0, 2), a[1] + rng.Uniform(0, 2)}};
+    const Rect2 window = Rect2::FromCorners(a, b);
+    std::vector<Entry<2>> found;
+    ASSERT_TRUE(index.tree->SearchContained(window, &found).ok());
+    EXPECT_EQ(IdsOf(found), BruteContained(data, window));
+    // Containment results are a subset of intersection results.
+    std::vector<Entry<2>> intersecting;
+    ASSERT_TRUE(index.tree->Search(window, &intersecting).ok());
+    EXPECT_LE(found.size(), intersecting.size());
+  }
+}
+
+TEST(RTreeSearchTest, ContainedExcludesStraddlingObjects) {
+  TestIndex index;
+  ASSERT_TRUE(index.tree->Insert(Rect2{{{0, 0}}, {{2, 2}}}, 1).ok());
+  ASSERT_TRUE(index.tree->Insert(Rect2{{{0.4, 0.4}}, {{0.6, 0.6}}}, 2).ok());
+  const Rect2 window{{{0.25, 0.25}}, {{1.0, 1.0}}};
+  std::vector<Entry<2>> found;
+  ASSERT_TRUE(index.tree->SearchContained(window, &found).ok());
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].id, 2u);  // 1 intersects but is not contained
+}
+
+TEST(RTreeSearchTest, CountMatchesSearchSize) {
+  TestIndex index;
+  Rng rng(42);
+  auto points = GenerateUniform<2>(2500, UnitBounds<2>(), &rng);
+  auto data = MakePointEntries(points);
+  for (const auto& e : data) {
+    ASSERT_TRUE(index.tree->Insert(e.mbr, e.id).ok());
+  }
+  for (int q = 0; q < 40; ++q) {
+    Point2 a{{rng.Uniform(0, 1), rng.Uniform(0, 1)}};
+    Point2 b{{a[0] + rng.Uniform(0, 0.4), a[1] + rng.Uniform(0, 0.4)}};
+    const Rect2 window = Rect2::FromCorners(a, b);
+    std::vector<Entry<2>> found;
+    ASSERT_TRUE(index.tree->Search(window, &found).ok());
+    auto count = index.tree->CountIntersecting(window);
+    ASSERT_TRUE(count.ok());
+    EXPECT_EQ(*count, found.size());
+  }
+  // Empty window and full window.
+  auto empty = index.tree->CountIntersecting(Rect2::Empty());
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(*empty, 0u);
+  auto all = index.tree->CountIntersecting(UnitBounds<2>());
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(*all, data.size());
+}
+
+}  // namespace
+}  // namespace spatial

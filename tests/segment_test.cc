@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "geom/metrics.h"
+#include "geom/segment.h"
+
+namespace spatial {
+namespace {
+
+TEST(SegmentTest, MbrCoversEndpoints) {
+  Segment2 s{{{3.0, 1.0}}, {{0.0, 2.0}}};
+  Rect2 mbr = s.Mbr();
+  EXPECT_EQ(mbr.lo[0], 0.0);
+  EXPECT_EQ(mbr.hi[0], 3.0);
+  EXPECT_EQ(mbr.lo[1], 1.0);
+  EXPECT_EQ(mbr.hi[1], 2.0);
+}
+
+TEST(SegmentTest, MidpointAndLength) {
+  Segment2 s{{{0.0, 0.0}}, {{4.0, 3.0}}};
+  EXPECT_EQ(s.Midpoint(), (Point2{{2.0, 1.5}}));
+  EXPECT_DOUBLE_EQ(s.Length(), 5.0);
+  EXPECT_DOUBLE_EQ(s.LengthSq(), 25.0);
+}
+
+TEST(SegmentTest, Interpolate) {
+  Segment2 s{{{1.0, 1.0}}, {{3.0, 5.0}}};
+  EXPECT_EQ(s.Interpolate(0.0), s.a);
+  EXPECT_EQ(s.Interpolate(1.0), s.b);
+  EXPECT_EQ(s.Interpolate(0.5), s.Midpoint());
+}
+
+TEST(SegmentTest, PointSegmentDistancePerpendicular) {
+  Segment2 s{{{0.0, 0.0}}, {{10.0, 0.0}}};
+  EXPECT_DOUBLE_EQ(PointSegmentDistSq(Point2{{5.0, 3.0}}, s), 9.0);
+}
+
+TEST(SegmentTest, PointSegmentDistanceClampsToEndpoints) {
+  Segment2 s{{{0.0, 0.0}}, {{10.0, 0.0}}};
+  EXPECT_DOUBLE_EQ(PointSegmentDistSq(Point2{{-3.0, 4.0}}, s), 25.0);
+  EXPECT_DOUBLE_EQ(PointSegmentDistSq(Point2{{13.0, 4.0}}, s), 25.0);
+}
+
+TEST(SegmentTest, ZeroLengthSegmentActsAsPoint) {
+  Segment2 s{{{2.0, 2.0}}, {{2.0, 2.0}}};
+  EXPECT_DOUBLE_EQ(PointSegmentDistSq(Point2{{5.0, 6.0}}, s), 25.0);
+}
+
+TEST(SegmentTest, SegmentDistanceAtLeastMbrMinDist) {
+  // MINDIST to the segment's MBR lower-bounds the true segment distance —
+  // the geometric fact that justifies indexing segments by their MBRs.
+  Rng rng(8);
+  for (int i = 0; i < 2000; ++i) {
+    Segment2 s{{{rng.Uniform(-5, 5), rng.Uniform(-5, 5)}},
+               {{rng.Uniform(-5, 5), rng.Uniform(-5, 5)}}};
+    Point2 p{{rng.Uniform(-10, 10), rng.Uniform(-10, 10)}};
+    EXPECT_LE(MinDistSq(p, s.Mbr()), PointSegmentDistSq(p, s) + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace spatial

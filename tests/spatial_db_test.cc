@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/knn.h"
+#include "data/dataset.h"
+#include "data/uniform.h"
+#include "db/meta_page.h"
+#include "db/spatial_db.h"
+#include "rtree/validator.h"
+#include "tests/test_util.h"
+
+namespace spatial {
+namespace {
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+// --------------------------------------------------------------------------
+// Meta page codec.
+
+TEST(MetaPageTest, RoundTrip) {
+  MetaRecord meta;
+  meta.page_size = 1024;
+  meta.dimension = 2;
+  meta.root_page = 17;
+  meta.size = 123456;
+  meta.root_level = 3;
+  meta.split = SplitAlgorithm::kRStar;
+  meta.min_fill = 0.35;
+  meta.rstar_reinsert = false;
+  meta.reinsert_fraction = 0.25;
+  char page[1024];
+  EncodeMetaPage(meta, page, sizeof(page));
+  MetaRecord decoded;
+  ASSERT_TRUE(DecodeMetaPage(page, sizeof(page), &decoded).ok());
+  EXPECT_EQ(decoded.page_size, meta.page_size);
+  EXPECT_EQ(decoded.dimension, meta.dimension);
+  EXPECT_EQ(decoded.root_page, meta.root_page);
+  EXPECT_EQ(decoded.size, meta.size);
+  EXPECT_EQ(decoded.root_level, meta.root_level);
+  EXPECT_EQ(decoded.split, meta.split);
+  EXPECT_EQ(decoded.min_fill, meta.min_fill);
+  EXPECT_EQ(decoded.rstar_reinsert, meta.rstar_reinsert);
+  EXPECT_EQ(decoded.reinsert_fraction, meta.reinsert_fraction);
+}
+
+TEST(MetaPageTest, RejectsGarbage) {
+  char page[1024] = {};
+  MetaRecord meta;
+  EXPECT_TRUE(DecodeMetaPage(page, sizeof(page), &meta).IsCorruption());
+}
+
+TEST(MetaPageTest, RejectsPageSizeMismatch) {
+  MetaRecord meta;
+  meta.page_size = 512;
+  char page[1024];
+  EncodeMetaPage(meta, page, sizeof(page));
+  MetaRecord decoded;
+  EXPECT_TRUE(
+      DecodeMetaPage(page, sizeof(page), &decoded).IsInvalidArgument());
+}
+
+// --------------------------------------------------------------------------
+// SpatialDb lifecycle.
+
+TEST(SpatialDbTest, InMemoryInsertAndQuery) {
+  auto db = SpatialDb<2>::CreateInMemory({});
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  ASSERT_TRUE(db->tree().Insert(Rect2::FromPoint({{0.25, 0.5}}), 9).ok());
+  auto result = KnnSearch<2>(db->tree(), {{0.2, 0.5}}, KnnOptions{}, nullptr);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ((*result)[0].id, 9u);
+}
+
+TEST(SpatialDbTest, FileLifecycleInsertFlushReopen) {
+  const std::string path = TempPath("sdb_lifecycle.sdb");
+  std::vector<Entry<2>> data;
+  {
+    SpatialDb<2>::Options options;
+    options.tree.split = SplitAlgorithm::kRStar;
+    auto db = SpatialDb<2>::CreateOnFile(path, options);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    Rng rng(71);
+    data = MakePointEntries(GenerateUniform<2>(1500, UnitBounds<2>(), &rng));
+    for (const auto& e : data) {
+      ASSERT_TRUE(db->tree().Insert(e.mbr, e.id).ok());
+    }
+    ASSERT_TRUE(db->Flush().ok());
+  }
+  auto reopened = SpatialDb<2>::OpenFromFile(path, 1024, 128);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened->tree().size(), data.size());
+  // Tree options came back from the superblock.
+  EXPECT_EQ(reopened->tree().options().split, SplitAlgorithm::kRStar);
+  auto report = ValidateTree<2>(reopened->tree(), /*check_min_fill=*/true);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  auto result =
+      KnnSearch<2>(reopened->tree(), {{0.3, 0.7}}, KnnOptions{}, nullptr);
+  ASSERT_TRUE(result.ok());
+  ExpectKnnMatchesBruteForce(data, {{0.3, 0.7}}, 1, *result);
+  std::remove(path.c_str());
+}
+
+TEST(SpatialDbTest, DestructorFlushesWithoutExplicitFlush) {
+  const std::string path = TempPath("sdb_dtor.sdb");
+  {
+    auto db = SpatialDb<2>::CreateOnFile(path, {});
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE(db->tree().Insert(Rect2::FromPoint({{0.5, 0.5}}), 1).ok());
+    // No Flush(): the destructor's best-effort flush must cover this.
+  }
+  auto reopened = SpatialDb<2>::OpenFromFile(path, 1024, 64);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened->tree().size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(SpatialDbTest, BulkLoadIntoFreshDb) {
+  const std::string path = TempPath("sdb_bulk.sdb");
+  std::vector<Entry<2>> data;
+  {
+    auto db = SpatialDb<2>::CreateOnFile(path, {});
+    ASSERT_TRUE(db.ok());
+    Rng rng(72);
+    data = MakePointEntries(GenerateUniform<2>(3000, UnitBounds<2>(), &rng));
+    ASSERT_TRUE(db->BulkLoadData(data, BulkLoadMethod::kStr).ok());
+    EXPECT_EQ(db->tree().size(), data.size());
+    // Second bulk load must be rejected.
+    EXPECT_TRUE(
+        db->BulkLoadData(data, BulkLoadMethod::kStr).IsAlreadyExists());
+  }
+  auto reopened = SpatialDb<2>::OpenFromFile(path, 1024, 64);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened->tree().size(), data.size());
+  auto result =
+      KnnSearch<2>(reopened->tree(), {{0.8, 0.2}}, KnnOptions{}, nullptr);
+  ASSERT_TRUE(result.ok());
+  ExpectKnnMatchesBruteForce(data, {{0.8, 0.2}}, 1, *result);
+  std::remove(path.c_str());
+}
+
+TEST(SpatialDbTest, OpenWithWrongDimensionFails) {
+  const std::string path = TempPath("sdb_dim.sdb");
+  {
+    auto db = SpatialDb<2>::CreateOnFile(path, {});
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE(db->Flush().ok());
+  }
+  auto as_3d = SpatialDb<3>::OpenFromFile(path, 1024, 64);
+  EXPECT_FALSE(as_3d.ok());
+  EXPECT_TRUE(as_3d.status().IsInvalidArgument());
+  std::remove(path.c_str());
+}
+
+TEST(SpatialDbTest, OpenWithWrongPageSizeFails) {
+  const std::string path = TempPath("sdb_psize.sdb");
+  {
+    SpatialDb<2>::Options options;
+    options.page_size = 1024;
+    auto db = SpatialDb<2>::CreateOnFile(path, options);
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE(db->Flush().ok());
+  }
+  // 512 divides the file size, so the failure comes from the superblock.
+  auto wrong = SpatialDb<2>::OpenFromFile(path, 512, 64);
+  EXPECT_FALSE(wrong.ok());
+  std::remove(path.c_str());
+}
+
+TEST(SpatialDbTest, OpenMissingFileFails) {
+  EXPECT_TRUE(SpatialDb<2>::OpenFromFile("/nonexistent/db.sdb", 1024, 64)
+                  .status()
+                  .IsNotFound());
+}
+
+TEST(SpatialDbTest, MutationsAcrossReopenCycles) {
+  const std::string path = TempPath("sdb_cycles.sdb");
+  std::vector<Entry<2>> live;
+  Rng rng(73);
+  {
+    auto db = SpatialDb<2>::CreateOnFile(path, {});
+    ASSERT_TRUE(db.ok());
+  }
+  for (int cycle = 0; cycle < 4; ++cycle) {
+    auto db = SpatialDb<2>::OpenFromFile(path, 1024, 64);
+    ASSERT_TRUE(db.ok()) << "cycle " << cycle << ": "
+                         << db.status().ToString();
+    ASSERT_EQ(db->tree().size(), live.size());
+    // Insert 200, delete 50 of the live set.
+    for (int i = 0; i < 200; ++i) {
+      const Rect2 r =
+          Rect2::FromPoint({{rng.Uniform(0, 1), rng.Uniform(0, 1)}});
+      const uint64_t id = live.size() * 1000 + static_cast<uint64_t>(i);
+      ASSERT_TRUE(db->tree().Insert(r, id).ok());
+      live.push_back(Entry<2>{r, id});
+    }
+    for (int i = 0; i < 50 && !live.empty(); ++i) {
+      const size_t pick = rng.NextBounded(live.size());
+      auto removed = db->tree().Delete(live[pick].mbr, live[pick].id);
+      ASSERT_TRUE(removed.ok());
+      ASSERT_TRUE(*removed);
+      live[pick] = live.back();
+      live.pop_back();
+    }
+    ASSERT_TRUE(db->Flush().ok());
+  }
+  auto db = SpatialDb<2>::OpenFromFile(path, 1024, 64);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->tree().size(), live.size());
+  auto result = KnnSearch<2>(db->tree(), {{0.5, 0.5}}, KnnOptions{}, nullptr);
+  ASSERT_TRUE(result.ok());
+  ExpectKnnMatchesBruteForce(live, {{0.5, 0.5}}, 1, *result);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace spatial

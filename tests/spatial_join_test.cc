@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/spatial_join.h"
+#include "data/dataset.h"
+#include "data/uniform.h"
+#include "rtree/bulk_load.h"
+#include "storage/disk_manager.h"
+#include "tests/test_util.h"
+
+namespace spatial {
+namespace {
+
+std::vector<Entry<2>> RandomRects(size_t n, double extent, uint64_t seed,
+                                  uint64_t first_id = 0) {
+  Rng rng(seed);
+  std::vector<Entry<2>> data;
+  data.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Point2 a{{rng.Uniform(0, 10), rng.Uniform(0, 10)}};
+    Point2 b{{a[0] + rng.Uniform(0, extent), a[1] + rng.Uniform(0, extent)}};
+    data.push_back(Entry<2>{Rect2::FromCorners(a, b), first_id + i});
+  }
+  return data;
+}
+
+std::multiset<JoinPair> AsSet(std::vector<JoinPair> pairs) {
+  return std::multiset<JoinPair>(pairs.begin(), pairs.end());
+}
+
+TEST(SpatialJoinTest, EmptyInputsYieldNoPairs) {
+  TestIndex2D a, b;
+  ASSERT_TRUE(a.tree->Insert(Rect2::FromPoint({{0.5, 0.5}}), 1).ok());
+  std::vector<JoinPair> out;
+  ASSERT_TRUE(SpatialJoin<2>(*a.tree, *b.tree, &out, nullptr).ok());
+  EXPECT_TRUE(out.empty());
+  ASSERT_TRUE(SpatialJoin<2>(*b.tree, *a.tree, &out, nullptr).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(SpatialJoinTest, SmallHandCase) {
+  TestIndex2D a, b;
+  ASSERT_TRUE(a.tree->Insert(Rect2{{{0, 0}}, {{2, 2}}}, 1).ok());
+  ASSERT_TRUE(a.tree->Insert(Rect2{{{5, 5}}, {{6, 6}}}, 2).ok());
+  ASSERT_TRUE(b.tree->Insert(Rect2{{{1, 1}}, {{3, 3}}}, 10).ok());
+  ASSERT_TRUE(b.tree->Insert(Rect2{{{9, 9}}, {{9.5, 9.5}}}, 20).ok());
+  std::vector<JoinPair> out;
+  ASSERT_TRUE(SpatialJoin<2>(*a.tree, *b.tree, &out, nullptr).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], (JoinPair{1, 10}));
+}
+
+class SpatialJoinParamTest
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t, double>> {};
+
+TEST_P(SpatialJoinParamTest, MatchesNestedLoop) {
+  const auto [n_outer, n_inner, extent] = GetParam();
+  auto outer_data = RandomRects(n_outer, extent, 91, 0);
+  auto inner_data = RandomRects(n_inner, extent, 92, 100000);
+  TestIndex2D outer, inner;
+  outer.InsertAll(outer_data);
+  inner.InsertAll(inner_data);
+  std::vector<JoinPair> out;
+  JoinStats stats;
+  ASSERT_TRUE(SpatialJoin<2>(*outer.tree, *inner.tree, &out, &stats).ok());
+  EXPECT_EQ(AsSet(out), AsSet(NestedLoopJoin<2>(outer_data, inner_data)));
+  EXPECT_EQ(stats.results, out.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, SpatialJoinParamTest,
+    ::testing::Values(std::make_tuple<size_t, size_t, double>(1, 500, 0.3),
+                      std::make_tuple<size_t, size_t, double>(500, 1, 0.3),
+                      std::make_tuple<size_t, size_t, double>(300, 300, 0.2),
+                      std::make_tuple<size_t, size_t, double>(1500, 700,
+                                                              0.05),
+                      std::make_tuple<size_t, size_t, double>(64, 2000,
+                                                              0.1)));
+
+TEST(SpatialJoinTest, DifferentHeightsHandled) {
+  // One tall tree joined with a tiny one (and vice versa).
+  auto big_data = RandomRects(3000, 0.05, 93, 0);
+  auto small_data = RandomRects(5, 1.0, 94, 100000);
+  TestIndex2D big, small;
+  big.InsertAll(big_data);
+  small.InsertAll(small_data);
+  ASSERT_GT(big.tree->height(), small.tree->height());
+  std::vector<JoinPair> ab, ba;
+  ASSERT_TRUE(SpatialJoin<2>(*big.tree, *small.tree, &ab, nullptr).ok());
+  ASSERT_TRUE(SpatialJoin<2>(*small.tree, *big.tree, &ba, nullptr).ok());
+  auto expected = NestedLoopJoin<2>(big_data, small_data);
+  EXPECT_EQ(AsSet(ab), AsSet(expected));
+  // Swapped argument order flips each pair.
+  std::vector<JoinPair> ba_flipped;
+  for (auto [x, y] : ba) ba_flipped.push_back({y, x});
+  EXPECT_EQ(AsSet(ba_flipped), AsSet(expected));
+}
+
+TEST(SpatialJoinTest, SelfJoinContainsIdentityPairs) {
+  auto data = RandomRects(400, 0.1, 95, 0);
+  TestIndex2D index;
+  index.InsertAll(data);
+  std::vector<JoinPair> out;
+  ASSERT_TRUE(SpatialJoin<2>(*index.tree, *index.tree, &out, nullptr).ok());
+  // Every object intersects itself.
+  std::set<uint64_t> self_paired;
+  for (auto [a, b] : out) {
+    if (a == b) self_paired.insert(a);
+  }
+  EXPECT_EQ(self_paired.size(), data.size());
+  EXPECT_EQ(AsSet(out), AsSet(NestedLoopJoin<2>(data, data)));
+}
+
+TEST(SpatialJoinTest, PrunesFarApartData) {
+  // Two spatially disjoint datasets: the join must touch only the roots.
+  Rng rng(96);
+  std::vector<Entry<2>> left, right;
+  for (uint64_t i = 0; i < 2000; ++i) {
+    left.push_back(Entry<2>{
+        Rect2::FromPoint({{rng.Uniform(0, 1), rng.Uniform(0, 1)}}), i});
+    right.push_back(Entry<2>{
+        Rect2::FromPoint({{rng.Uniform(100, 101), rng.Uniform(0, 1)}}), i});
+  }
+  TestIndex2D a, b;
+  a.InsertAll(left);
+  b.InsertAll(right);
+  std::vector<JoinPair> out;
+  JoinStats stats;
+  ASSERT_TRUE(SpatialJoin<2>(*a.tree, *b.tree, &out, &stats).ok());
+  EXPECT_TRUE(out.empty());
+  EXPECT_LE(stats.pages_outer + stats.pages_inner, 4u);
+}
+
+TEST(SpatialJoinTest, CountsPagesAgainstBothPools) {
+  auto outer_data = RandomRects(1000, 0.1, 97, 0);
+  auto inner_data = RandomRects(1000, 0.1, 98, 100000);
+  TestIndex2D outer, inner;
+  outer.InsertAll(outer_data);
+  inner.InsertAll(inner_data);
+  outer.pool.ResetStats();
+  inner.pool.ResetStats();
+  std::vector<JoinPair> out;
+  JoinStats stats;
+  ASSERT_TRUE(SpatialJoin<2>(*outer.tree, *inner.tree, &out, &stats).ok());
+  EXPECT_EQ(stats.pages_outer, outer.pool.stats().logical_fetches);
+  EXPECT_EQ(stats.pages_inner, inner.pool.stats().logical_fetches);
+  EXPECT_GT(stats.comparisons, 0u);
+}
+
+TEST(SpatialJoinTest, WorksOnPackedTrees) {
+  Rng rng(99);
+  auto outer_data = RandomRects(2000, 0.08, 99, 0);
+  auto inner_data = RandomRects(1500, 0.08, 100, 100000);
+  DiskManager disk(512);
+  BufferPool pool(&disk, 128);
+  auto outer =
+      BulkLoad<2>(&pool, RTreeOptions{}, outer_data, BulkLoadMethod::kStr);
+  auto inner = BulkLoad<2>(&pool, RTreeOptions{}, inner_data,
+                           BulkLoadMethod::kHilbert);
+  ASSERT_TRUE(outer.ok());
+  ASSERT_TRUE(inner.ok());
+  std::vector<JoinPair> out;
+  ASSERT_TRUE(SpatialJoin<2>(*outer, *inner, &out, nullptr).ok());
+  EXPECT_EQ(AsSet(out), AsSet(NestedLoopJoin<2>(outer_data, inner_data)));
+}
+
+}  // namespace
+}  // namespace spatial

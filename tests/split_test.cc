@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.h"
+#include "rtree/split.h"
+
+namespace spatial {
+namespace {
+
+std::vector<Entry<2>> RandomEntries(size_t n, Rng* rng,
+                                    bool points_only = false) {
+  std::vector<Entry<2>> entries;
+  entries.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Point2 a{{rng->Uniform(0, 100), rng->Uniform(0, 100)}};
+    if (points_only) {
+      entries.push_back(Entry<2>{Rect2::FromPoint(a), i});
+    } else {
+      Point2 b{{a[0] + rng->Uniform(0, 5), a[1] + rng->Uniform(0, 5)}};
+      entries.push_back(Entry<2>{Rect2::FromCorners(a, b), i});
+    }
+  }
+  return entries;
+}
+
+// Postconditions every split algorithm must satisfy.
+void CheckSplitInvariants(const std::vector<Entry<2>>& input,
+                          const SplitResult<2>& result,
+                          uint32_t min_entries) {
+  EXPECT_GE(result.group_a.size(), min_entries);
+  EXPECT_GE(result.group_b.size(), min_entries);
+  EXPECT_EQ(result.group_a.size() + result.group_b.size(), input.size());
+  // Exact multiset partition of the ids.
+  std::multiset<uint64_t> in_ids, out_ids;
+  for (const auto& e : input) in_ids.insert(e.id);
+  for (const auto& e : result.group_a) out_ids.insert(e.id);
+  for (const auto& e : result.group_b) out_ids.insert(e.id);
+  EXPECT_EQ(in_ids, out_ids);
+}
+
+class SplitAlgorithmTest
+    : public ::testing::TestWithParam<std::tuple<SplitAlgorithm, uint64_t>> {
+};
+
+TEST_P(SplitAlgorithmTest, InvariantsHoldOnRandomInputs) {
+  const auto [algo, seed] = GetParam();
+  Rng rng(seed);
+  for (size_t n : {4u, 5u, 11u, 26u, 51u, 101u}) {
+    const uint32_t min_entries =
+        std::max<uint32_t>(1, static_cast<uint32_t>(n) * 2 / 5 / 2);
+    auto input = RandomEntries(n, &rng);
+    auto result = SplitEntries<2>(algo, min_entries, input);
+    CheckSplitInvariants(input, result, min_entries);
+  }
+}
+
+TEST_P(SplitAlgorithmTest, HandlesDuplicateRectangles) {
+  const auto [algo, seed] = GetParam();
+  Rng rng(seed);
+  // All entries identical: worst case for seed picking.
+  std::vector<Entry<2>> input(10, Entry<2>{Rect2{{{1, 1}}, {{2, 2}}}, 0});
+  for (size_t i = 0; i < input.size(); ++i) input[i].id = i;
+  auto result = SplitEntries<2>(algo, 3, input);
+  CheckSplitInvariants(input, result, 3);
+}
+
+TEST_P(SplitAlgorithmTest, HandlesCollinearPoints) {
+  const auto [algo, seed] = GetParam();
+  std::vector<Entry<2>> input;
+  for (size_t i = 0; i < 20; ++i) {
+    input.push_back(
+        Entry<2>{Rect2::FromPoint({{static_cast<double>(i), 0.0}}), i});
+  }
+  auto result = SplitEntries<2>(algo, 5, input);
+  CheckSplitInvariants(input, result, 5);
+}
+
+TEST_P(SplitAlgorithmTest, MinEntriesOneWorks) {
+  const auto [algo, seed] = GetParam();
+  Rng rng(seed ^ 0x77);
+  auto input = RandomEntries(6, &rng, /*points_only=*/true);
+  auto result = SplitEntries<2>(algo, 1, input);
+  CheckSplitInvariants(input, result, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, SplitAlgorithmTest,
+    ::testing::Combine(::testing::Values(SplitAlgorithm::kLinear,
+                                         SplitAlgorithm::kQuadratic,
+                                         SplitAlgorithm::kRStar),
+                       ::testing::Values(1u, 99u, 4242u)));
+
+// Split-quality sanity: on two well-separated clusters every algorithm
+// should produce the obvious grouping.
+TEST(SplitQualityTest, SeparatedClustersAreSeparated) {
+  // Two tight 2-D clusters 100 units apart. (Collinear degenerate points
+  // would make every area-based heuristic tie at zero, so spread in y too.)
+  std::vector<Entry<2>> input;
+  for (size_t i = 0; i < 5; ++i) {
+    const double t = static_cast<double>(i) * 0.1;
+    input.push_back(Entry<2>{Rect2::FromPoint({{t, 0.7 * t + 0.05}}), i});
+  }
+  for (size_t i = 0; i < 5; ++i) {
+    const double t = static_cast<double>(i) * 0.1;
+    input.push_back(Entry<2>{
+        Rect2::FromPoint({{100.0 + t, 1.3 * t + 0.02}}), 100 + i});
+  }
+  for (SplitAlgorithm algo :
+       {SplitAlgorithm::kLinear, SplitAlgorithm::kQuadratic,
+        SplitAlgorithm::kRStar}) {
+    auto result = SplitEntries<2>(algo, 2, input);
+    auto is_low = [](const Entry<2>& e) { return e.id < 100; };
+    const bool a_all_low =
+        std::all_of(result.group_a.begin(), result.group_a.end(), is_low);
+    const bool a_all_high =
+        std::none_of(result.group_a.begin(), result.group_a.end(), is_low);
+    const bool b_all_low =
+        std::all_of(result.group_b.begin(), result.group_b.end(), is_low);
+    const bool b_all_high =
+        std::none_of(result.group_b.begin(), result.group_b.end(), is_low);
+    EXPECT_TRUE((a_all_low && b_all_high) || (a_all_high && b_all_low))
+        << "algorithm " << SplitAlgorithmName(algo)
+        << " mixed two well-separated clusters";
+  }
+}
+
+TEST(SplitQualityTest, RStarMinimizesOverlapOnGrid) {
+  // A 6x1 row of unit squares: the R* split along x produces zero overlap.
+  std::vector<Entry<2>> input;
+  for (size_t i = 0; i < 6; ++i) {
+    const double x = static_cast<double>(i);
+    input.push_back(Entry<2>{Rect2{{{x, 0}}, {{x + 1, 1}}}, i});
+  }
+  auto result = SplitEntries<2>(SplitAlgorithm::kRStar, 2, input);
+  Rect2 mbr_a = Rect2::Empty(), mbr_b = Rect2::Empty();
+  for (const auto& e : result.group_a) mbr_a.ExpandToInclude(e.mbr);
+  for (const auto& e : result.group_b) mbr_b.ExpandToInclude(e.mbr);
+  EXPECT_DOUBLE_EQ(mbr_a.OverlapArea(mbr_b), 0.0);
+}
+
+TEST(SplitTest, ThreeDimensionalEntries) {
+  Rng rng(5);
+  std::vector<Entry<3>> input;
+  for (size_t i = 0; i < 30; ++i) {
+    Point3 p{{rng.Uniform(0, 10), rng.Uniform(0, 10), rng.Uniform(0, 10)}};
+    input.push_back(Entry<3>{Rect3::FromPoint(p), i});
+  }
+  for (SplitAlgorithm algo :
+       {SplitAlgorithm::kLinear, SplitAlgorithm::kQuadratic,
+        SplitAlgorithm::kRStar}) {
+    auto result = SplitEntries<3>(algo, 10, input);
+    EXPECT_GE(result.group_a.size(), 10u);
+    EXPECT_GE(result.group_b.size(), 10u);
+    EXPECT_EQ(result.group_a.size() + result.group_b.size(), 30u);
+  }
+}
+
+}  // namespace
+}  // namespace spatial

@@ -1,0 +1,63 @@
+#ifndef SPATIAL_TESTS_TEST_UTIL_H_
+#define SPATIAL_TESTS_TEST_UTIL_H_
+
+// Shared helpers for the nearest-neighbor test suites.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "storage/disk_manager.h"
+#include "baselines/linear_scan.h"
+#include "common/rng.h"
+#include "core/neighbor_buffer.h"
+#include "data/dataset.h"
+#include "rtree/bulk_load.h"
+#include "rtree/rtree.h"
+
+namespace spatial {
+
+// A 2-D index with its own simulated disk and pool.
+struct TestIndex2D {
+  explicit TestIndex2D(uint32_t page_size = 512, uint32_t buffer_pages = 64,
+                       RTreeOptions options = RTreeOptions{})
+      : disk(page_size), pool(&disk, buffer_pages) {
+    auto created = RTree<2>::Create(&pool, options);
+    EXPECT_TRUE(created.ok()) << created.status().ToString();
+    tree.emplace(std::move(created).value());
+  }
+
+  void InsertAll(const std::vector<Entry<2>>& data) {
+    for (const auto& e : data) {
+      ASSERT_TRUE(tree->Insert(e.mbr, e.id).ok());
+    }
+  }
+
+  DiskManager disk;
+  BufferPool pool;
+  std::optional<RTree<2>> tree;
+};
+
+// Asserts that `actual` is a correct k-NN answer for `query` over `data`:
+// identical distance sequence as the brute-force scan (ids may differ only
+// within exact distance ties).
+inline void ExpectKnnMatchesBruteForce(const std::vector<Entry<2>>& data,
+                                       const Point2& query, uint32_t k,
+                                       const std::vector<Neighbor>& actual) {
+  const std::vector<Neighbor> expected =
+      LinearScanKnn<2>(data, query, k, nullptr);
+  ASSERT_EQ(actual.size(), expected.size());
+  for (size_t i = 0; i < actual.size(); ++i) {
+    ASSERT_DOUBLE_EQ(actual[i].dist_sq, expected[i].dist_sq)
+        << "rank " << i << " of k=" << k;
+  }
+  // Results must be sorted by distance.
+  for (size_t i = 1; i < actual.size(); ++i) {
+    ASSERT_LE(actual[i - 1].dist_sq, actual[i].dist_sq);
+  }
+}
+
+}  // namespace spatial
+
+#endif  // SPATIAL_TESTS_TEST_UTIL_H_

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/uniform.h"
+#include "data/workload.h"
+
+namespace spatial {
+namespace {
+
+std::vector<Entry<2>> SampleData(uint64_t seed, size_t n = 500) {
+  Rng rng(seed);
+  return MakePointEntries(GenerateUniform<2>(n, UnitBounds<2>(), &rng));
+}
+
+TEST(WorkloadTest, UniformQueriesStayInDataBounds) {
+  auto data = SampleData(1);
+  Rng rng(2);
+  auto queries = GenerateQueries<2>(data, 1000, QueryDistribution::kUniform,
+                                    0.0, &rng);
+  ASSERT_EQ(queries.size(), 1000u);
+  const Rect2 bounds = BoundsOf(data);
+  for (const auto& q : queries) {
+    ASSERT_TRUE(bounds.Contains(q));
+  }
+}
+
+TEST(WorkloadTest, DataDrawnQueriesAreDataCenters) {
+  auto data = SampleData(3);
+  Rng rng(4);
+  auto queries = GenerateQueries<2>(data, 200, QueryDistribution::kDataDrawn,
+                                    0.0, &rng);
+  for (const auto& q : queries) {
+    bool found = false;
+    for (const auto& e : data) {
+      if (e.mbr.Center() == q) {
+        found = true;
+        break;
+      }
+    }
+    ASSERT_TRUE(found);
+  }
+}
+
+TEST(WorkloadTest, PerturbedQueriesDeviateFromData) {
+  auto data = SampleData(5);
+  Rng rng(6);
+  auto queries = GenerateQueries<2>(data, 200, QueryDistribution::kPerturbed,
+                                    0.05, &rng);
+  int exact_matches = 0;
+  for (const auto& q : queries) {
+    for (const auto& e : data) {
+      if (e.mbr.Center() == q) {
+        ++exact_matches;
+        break;
+      }
+    }
+  }
+  EXPECT_LT(exact_matches, 5);
+}
+
+TEST(WorkloadTest, DeterministicPerSeed) {
+  auto data = SampleData(7);
+  Rng a(8), b(8);
+  auto qa = GenerateQueries<2>(data, 50, QueryDistribution::kUniform, 0.0, &a);
+  auto qb = GenerateQueries<2>(data, 50, QueryDistribution::kUniform, 0.0, &b);
+  EXPECT_EQ(qa, qb);
+}
+
+TEST(WorkloadTest, EmptyDatasetUsesUnitFallbackBounds) {
+  Rng rng(9);
+  auto queries = GenerateQueries<2>({}, 100, QueryDistribution::kUniform,
+                                    0.0, &rng);
+  for (const auto& q : queries) {
+    ASSERT_TRUE(UnitBounds<2>().Contains(q));
+  }
+}
+
+TEST(WorkloadTest, DistributionNames) {
+  EXPECT_STREQ(QueryDistributionName(QueryDistribution::kUniform), "uniform");
+  EXPECT_STREQ(QueryDistributionName(QueryDistribution::kDataDrawn),
+               "data-drawn");
+  EXPECT_STREQ(QueryDistributionName(QueryDistribution::kPerturbed),
+               "perturbed");
+}
+
+}  // namespace
+}  // namespace spatial

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# End-to-end test of the spatial_cli tool: generate -> build -> stats ->
+# knn -> range, checking outputs and exit codes. Run by ctest with the
+# binary path as $1.
+set -euo pipefail
+
+CLI="$1"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+# generate
+"$CLI" generate uniform 2000 "$WORK/pts.csv" 9 | grep -q "wrote 2000"
+test "$(wc -l < "$WORK/pts.csv")" -eq 2000
+
+# build (bulk + insert paths)
+"$CLI" build "$WORK/pts.csv" "$WORK/bulk.sdb" str | grep -q "indexed 2000"
+"$CLI" build "$WORK/pts.csv" "$WORK/dyn.sdb" insert | grep -q "indexed 2000"
+
+# stats validates structure
+"$CLI" stats "$WORK/bulk.sdb" | grep -q "structure:      OK"
+"$CLI" stats "$WORK/dyn.sdb" | grep -q "entries:        2000"
+
+# knn: both indexes must report identical nearest distances
+"$CLI" knn "$WORK/bulk.sdb" 0.5 0.5 3 | grep "^id=" | cut -d= -f3 > "$WORK/a"
+"$CLI" knn "$WORK/dyn.sdb" 0.5 0.5 3 | grep "^id=" | cut -d= -f3 > "$WORK/b"
+diff "$WORK/a" "$WORK/b"
+
+# farthest + rnn commands run and report
+"$CLI" farthest "$WORK/bulk.sdb" 0.5 0.5 2 | grep -c "^id=" | grep -q 2
+"$CLI" rnn "$WORK/bulk.sdb" 0.5 0.5 | grep -q "reverse nearest neighbors"
+
+# range query returns a result count line
+"$CLI" range "$WORK/bulk.sdb" 0.4 0.4 0.6 0.6 | tail -1 | grep -q "results"
+
+# error handling: bad arguments exit non-zero
+if "$CLI" knn "$WORK/missing.sdb" 0 0 1 2>/dev/null; then
+  echo "expected failure for missing db" >&2
+  exit 1
+fi
+if "$CLI" frobnicate 2>/dev/null; then
+  echo "expected usage error" >&2
+  exit 1
+fi
+
+echo "cli_test OK"

@@ -1,0 +1,249 @@
+// spatial_cli — command-line front end for the library: generate datasets,
+// build persistent indexes, inspect them, and run queries.
+//
+//   spatial_cli generate <uniform|clustered|tiger> <n> <out.csv> [seed]
+//   spatial_cli build <points.csv> <out.sdb> [method] [page_size]
+//                      method: insert|str|hilbert|morton   (default str)
+//   spatial_cli stats <db.sdb> [page_size]
+//   spatial_cli knn <db.sdb> <x> <y> <k> [page_size]
+//   spatial_cli farthest <db.sdb> <x> <y> <k> [page_size]
+//   spatial_cli rnn <db.sdb> <x> <y> [page_size]
+//   spatial_cli range <db.sdb> <lox> <loy> <hix> <hiy> [page_size]
+//
+// Exit status 0 on success; errors print a Status string to stderr.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/farthest.h"
+#include "core/knn.h"
+#include "core/reverse_nn.h"
+#include "data/clustered.h"
+#include "data/dataset.h"
+#include "data/tiger_like.h"
+#include "data/uniform.h"
+#include "db/spatial_db.h"
+#include "rtree/validator.h"
+
+namespace spatial {
+namespace {
+
+int Fail(const Status& status, const char* what) {
+  std::fprintf(stderr, "%s: %s\n", what, status.ToString().c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  spatial_cli generate <uniform|clustered|tiger> <n> <out.csv> "
+      "[seed]\n"
+      "  spatial_cli build <points.csv> <out.sdb> [insert|str|hilbert|"
+      "morton] [page_size]\n"
+      "  spatial_cli stats <db.sdb> [page_size]\n"
+      "  spatial_cli knn <db.sdb> <x> <y> <k> [page_size]\n"
+      "  spatial_cli farthest <db.sdb> <x> <y> <k> [page_size]\n"
+      "  spatial_cli rnn <db.sdb> <x> <y> [page_size]\n"
+      "  spatial_cli range <db.sdb> <lox> <loy> <hix> <hiy> [page_size]\n");
+  return 2;
+}
+
+int CmdGenerate(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string family = argv[0];
+  const size_t n = static_cast<size_t>(std::atoll(argv[1]));
+  const std::string out = argv[2];
+  const uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 42;
+  Rng rng(seed);
+  std::vector<Point2> points;
+  if (family == "uniform") {
+    points = GenerateUniform<2>(n, UnitBounds<2>(), &rng);
+  } else if (family == "clustered") {
+    points = GenerateClustered<2>(n, UnitBounds<2>(), ClusteredOptions{},
+                                  &rng);
+  } else if (family == "tiger") {
+    auto network =
+        GenerateTigerLike(n, UnitBounds<2>(), TigerLikeOptions{}, &rng);
+    points = SegmentMidpoints(network.segments);
+    points.resize(n);
+  } else {
+    return Usage();
+  }
+  if (Status s = WritePointsCsv(out, points); !s.ok()) {
+    return Fail(s, "write csv");
+  }
+  std::printf("wrote %zu %s points to %s (seed %llu)\n", points.size(),
+              family.c_str(), out.c_str(),
+              static_cast<unsigned long long>(seed));
+  return 0;
+}
+
+int CmdBuild(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string csv = argv[0];
+  const std::string out = argv[1];
+  const std::string method = argc > 2 ? argv[2] : "str";
+  const uint32_t page_size =
+      argc > 3 ? static_cast<uint32_t>(std::atoi(argv[3])) : 1024;
+
+  auto points = ReadPointsCsv(csv);
+  if (!points.ok()) return Fail(points.status(), "read csv");
+  auto data = MakePointEntries(*points);
+
+  SpatialDb<2>::Options options;
+  options.page_size = page_size;
+  auto db = SpatialDb<2>::CreateOnFile(out, options);
+  if (!db.ok()) return Fail(db.status(), "create db");
+
+  if (method == "insert") {
+    for (const auto& e : data) {
+      if (Status s = db->tree().Insert(e.mbr, e.id); !s.ok()) {
+        return Fail(s, "insert");
+      }
+    }
+  } else {
+    BulkLoadMethod bulk;
+    if (method == "str") {
+      bulk = BulkLoadMethod::kStr;
+    } else if (method == "hilbert") {
+      bulk = BulkLoadMethod::kHilbert;
+    } else if (method == "morton") {
+      bulk = BulkLoadMethod::kMorton;
+    } else {
+      return Usage();
+    }
+    if (Status s = db->BulkLoadData(data, bulk); !s.ok()) {
+      return Fail(s, "bulk load");
+    }
+  }
+  if (Status s = db->Flush(); !s.ok()) return Fail(s, "flush");
+  std::printf("indexed %llu points into %s (height %d, %llu pages)\n",
+              static_cast<unsigned long long>(db->tree().size()),
+              out.c_str(), db->tree().height(),
+              static_cast<unsigned long long>(db->disk().live_pages()));
+  return 0;
+}
+
+int CmdStats(int argc, char** argv) {
+  if (argc < 1) return Usage();
+  const uint32_t page_size =
+      argc > 1 ? static_cast<uint32_t>(std::atoi(argv[1])) : 1024;
+  auto db = SpatialDb<2>::OpenFromFile(argv[0], page_size, 1024);
+  if (!db.ok()) return Fail(db.status(), "open db");
+  auto report = ValidateTree<2>(db->tree(), /*check_min_fill=*/false);
+  if (!report.ok()) return Fail(report.status(), "validate");
+  std::printf("entries:        %llu\n",
+              static_cast<unsigned long long>(db->tree().size()));
+  std::printf("height:         %d\n", report->height);
+  std::printf("nodes:          %llu\n",
+              static_cast<unsigned long long>(report->nodes));
+  std::printf("avg leaf fill:  %.3f\n", report->avg_leaf_fill);
+  std::printf("fan-out (max):  %u\n", db->tree().max_entries());
+  std::printf("nodes/level:   ");
+  for (uint64_t n : report->nodes_per_level) {
+    std::printf(" %llu", static_cast<unsigned long long>(n));
+  }
+  std::printf("  (leaves first)\n");
+  std::printf("structure:      OK\n");
+  return 0;
+}
+
+int CmdKnn(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  const uint32_t page_size =
+      argc > 4 ? static_cast<uint32_t>(std::atoi(argv[4])) : 1024;
+  auto db = SpatialDb<2>::OpenFromFile(argv[0], page_size, 1024);
+  if (!db.ok()) return Fail(db.status(), "open db");
+  const Point2 q{{std::atof(argv[1]), std::atof(argv[2])}};
+  KnnOptions options;
+  options.k = static_cast<uint32_t>(std::atoi(argv[3]));
+  QueryStats stats;
+  auto result = KnnSearch<2>(db->tree(), q, options, &stats);
+  if (!result.ok()) return Fail(result.status(), "knn");
+  for (const Neighbor& n : *result) {
+    std::printf("id=%llu distance=%.9f\n",
+                static_cast<unsigned long long>(n.id), std::sqrt(n.dist_sq));
+  }
+  std::printf("(%llu pages read)\n",
+              static_cast<unsigned long long>(stats.nodes_visited));
+  return 0;
+}
+
+int CmdFarthest(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  const uint32_t page_size =
+      argc > 4 ? static_cast<uint32_t>(std::atoi(argv[4])) : 1024;
+  auto db = SpatialDb<2>::OpenFromFile(argv[0], page_size, 1024);
+  if (!db.ok()) return Fail(db.status(), "open db");
+  const Point2 q{{std::atof(argv[1]), std::atof(argv[2])}};
+  auto result = FarthestSearch<2>(
+      db->tree(), q, static_cast<uint32_t>(std::atoi(argv[3])), nullptr);
+  if (!result.ok()) return Fail(result.status(), "farthest");
+  for (const Neighbor& n : *result) {
+    std::printf("id=%llu distance=%.9f\n",
+                static_cast<unsigned long long>(n.id), std::sqrt(n.dist_sq));
+  }
+  return 0;
+}
+
+int CmdRnn(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const uint32_t page_size =
+      argc > 3 ? static_cast<uint32_t>(std::atoi(argv[3])) : 1024;
+  auto db = SpatialDb<2>::OpenFromFile(argv[0], page_size, 1024);
+  if (!db.ok()) return Fail(db.status(), "open db");
+  const Point2 q{{std::atof(argv[1]), std::atof(argv[2])}};
+  auto result = ReverseNnSearch<2>(db->tree(), q, nullptr);
+  if (!result.ok()) return Fail(result.status(), "rnn");
+  for (const Neighbor& n : *result) {
+    std::printf("id=%llu distance=%.9f\n",
+                static_cast<unsigned long long>(n.id), std::sqrt(n.dist_sq));
+  }
+  std::printf("(%zu reverse nearest neighbors)\n", result->size());
+  return 0;
+}
+
+int CmdRange(int argc, char** argv) {
+  if (argc < 5) return Usage();
+  const uint32_t page_size =
+      argc > 5 ? static_cast<uint32_t>(std::atoi(argv[5])) : 1024;
+  auto db = SpatialDb<2>::OpenFromFile(argv[0], page_size, 1024);
+  if (!db.ok()) return Fail(db.status(), "open db");
+  const Rect2 window = Rect2::FromCorners(
+      {{std::atof(argv[1]), std::atof(argv[2])}},
+      {{std::atof(argv[3]), std::atof(argv[4])}});
+  std::vector<Entry<2>> found;
+  if (Status s = db->tree().Search(window, &found); !s.ok()) {
+    return Fail(s, "range");
+  }
+  for (const Entry<2>& e : found) {
+    const Point2 c = e.mbr.Center();
+    std::printf("id=%llu center=(%.6f, %.6f)\n",
+                static_cast<unsigned long long>(e.id), c[0], c[1]);
+  }
+  std::printf("(%zu results)\n", found.size());
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  if (command == "generate") return CmdGenerate(argc - 2, argv + 2);
+  if (command == "build") return CmdBuild(argc - 2, argv + 2);
+  if (command == "stats") return CmdStats(argc - 2, argv + 2);
+  if (command == "knn") return CmdKnn(argc - 2, argv + 2);
+  if (command == "farthest") return CmdFarthest(argc - 2, argv + 2);
+  if (command == "rnn") return CmdRnn(argc - 2, argv + 2);
+  if (command == "range") return CmdRange(argc - 2, argv + 2);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace spatial
+
+int main(int argc, char** argv) { return spatial::Main(argc, argv); }
