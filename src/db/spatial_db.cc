@@ -55,9 +55,28 @@ Result<SpatialDb<D>> SpatialDb<D>::OpenFromFile(const std::string& path,
                                                 uint32_t buffer_pages) {
   SPATIAL_ASSIGN_OR_RETURN(FileDiskManager file_disk,
                            FileDiskManager::Open(path, page_size));
+  return OpenFromDisk(std::make_unique<FileDiskManager>(std::move(file_disk)),
+                      page_size, buffer_pages, /*read_only=*/false);
+}
+
+template <int D>
+Result<SpatialDb<D>> SpatialDb<D>::OpenFromFileReadOnly(
+    const std::string& path, uint32_t page_size, uint32_t buffer_pages) {
+  SPATIAL_ASSIGN_OR_RETURN(FileDiskManager file_disk,
+                           FileDiskManager::OpenReadOnly(path, page_size));
+  return OpenFromDisk(std::make_unique<FileDiskManager>(std::move(file_disk)),
+                      page_size, buffer_pages, /*read_only=*/true);
+}
+
+template <int D>
+Result<SpatialDb<D>> SpatialDb<D>::OpenFromDisk(std::unique_ptr<Disk> disk,
+                                                uint32_t page_size,
+                                                uint32_t buffer_pages,
+                                                bool read_only) {
   SpatialDb<D> db;
-  db.disk_ = std::make_unique<FileDiskManager>(std::move(file_disk));
+  db.disk_ = std::move(disk);
   db.file_backed_ = true;
+  db.read_only_ = read_only;
   db.pool_ = std::make_unique<BufferPool>(db.disk_.get(), buffer_pages);
   db.meta_page_ = 0;
 
@@ -85,8 +104,9 @@ Result<SpatialDb<D>> SpatialDb<D>::OpenFromFile(const std::string& path,
 
 template <int D>
 SpatialDb<D>::~SpatialDb() {
-  // Guard against moved-from shells (pool_ is null after a move).
-  if (pool_ != nullptr && tree_.has_value()) {
+  // Guard against moved-from shells (pool_ is null after a move); a
+  // read-only database has nothing to write back.
+  if (pool_ != nullptr && tree_.has_value() && !read_only_) {
     Flush().ok();  // best effort; Flush() is the durable path
   }
 }
@@ -94,6 +114,9 @@ SpatialDb<D>::~SpatialDb() {
 template <int D>
 Status SpatialDb<D>::BulkLoadData(std::vector<Entry<D>> items,
                                   BulkLoadMethod method) {
+  if (read_only_) {
+    return Status::InvalidArgument("BulkLoadData: database is read-only");
+  }
   if (!tree_->empty()) {
     return Status::AlreadyExists(
         "BulkLoadData requires an empty database");
@@ -109,6 +132,9 @@ Status SpatialDb<D>::BulkLoadData(std::vector<Entry<D>> items,
 
 template <int D>
 Status SpatialDb<D>::Flush() {
+  if (read_only_) {
+    return Status::InvalidArgument("Flush: database is read-only");
+  }
   {
     SPATIAL_ASSIGN_OR_RETURN(PageHandle page, pool_->Fetch(meta_page_));
     MetaRecord meta;

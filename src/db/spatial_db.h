@@ -30,7 +30,10 @@ namespace spatial {
 // process exits for the index to be reopenable (the destructor makes a
 // best-effort Flush as well).
 //
-// Not thread-safe.
+// Not thread-safe. A database opened with OpenFromFileReadOnly is
+// immutable, which makes its *disk* safe for concurrent readers via
+// Disk::ReadPageConcurrent — the basis of the query service's one-pool-
+// per-worker concurrency model (service/query_service.h).
 template <int D>
 class SpatialDb {
  public:
@@ -53,6 +56,15 @@ class SpatialDb {
                                         uint32_t page_size,
                                         uint32_t buffer_pages);
 
+  // Like OpenFromFile, but the underlying file is opened read-only:
+  // mutations are rejected at the storage layer, Flush() fails, and the
+  // destructor does not write. This is the mode the query service uses —
+  // a read-only database is immutable, so many threads may read its disk
+  // concurrently (each through its own BufferPool; see docs/SERVICE.md).
+  static Result<SpatialDb> OpenFromFileReadOnly(const std::string& path,
+                                                uint32_t page_size,
+                                                uint32_t buffer_pages);
+
   SpatialDb(SpatialDb&&) = default;
   SpatialDb& operator=(SpatialDb&&) = default;
   SpatialDb(const SpatialDb&) = delete;
@@ -70,7 +82,9 @@ class SpatialDb {
   const RTree<D>& tree() const { return *tree_; }
   BufferPool& pool() { return *pool_; }
   Disk& disk() { return *disk_; }
+  const Disk& disk() const { return *disk_; }
   bool file_backed() const { return file_backed_; }
+  bool read_only() const { return read_only_; }
 
  private:
   SpatialDb() = default;
@@ -78,11 +92,16 @@ class SpatialDb {
   static Result<SpatialDb> InitCommon(std::unique_ptr<Disk> disk,
                                       bool file_backed,
                                       const Options& options);
+  static Result<SpatialDb> OpenFromDisk(std::unique_ptr<Disk> disk,
+                                        uint32_t page_size,
+                                        uint32_t buffer_pages,
+                                        bool read_only);
 
   std::unique_ptr<Disk> disk_;
   std::unique_ptr<BufferPool> pool_;
   std::optional<RTree<D>> tree_;
   bool file_backed_ = false;
+  bool read_only_ = false;
   PageId meta_page_ = kInvalidPageId;
 };
 

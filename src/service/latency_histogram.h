@@ -1,0 +1,127 @@
+#ifndef SPATIAL_SERVICE_LATENCY_HISTOGRAM_H_
+#define SPATIAL_SERVICE_LATENCY_HISTOGRAM_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/macros.h"
+
+namespace spatial {
+
+// Latency bookkeeping for the query service, in two pieces:
+//
+//   * LatencyHistogram — one per worker thread. Record() is two relaxed
+//     atomic increments on thread-private cache lines: lock-free and
+//     uncontended (only the owning worker writes; aggregators only read).
+//   * LatencySnapshot  — a plain-value copy used for aggregation across
+//     workers (operator+=) and percentile extraction.
+//
+// Buckets are powers of two of nanoseconds (bucket b covers [2^(b-1), 2^b)
+// ns), so percentiles carry at most a 2x quantization error — plenty for
+// p50/p95/p99 reporting, and the fixed layout keeps Record() branch-free.
+inline constexpr int kLatencyBuckets = 64;
+
+struct LatencySnapshot {
+  uint64_t counts[kLatencyBuckets] = {};
+  uint64_t total_count = 0;
+  uint64_t total_ns = 0;
+  uint64_t max_ns = 0;
+
+  LatencySnapshot& operator+=(const LatencySnapshot& other) {
+    for (int i = 0; i < kLatencyBuckets; ++i) counts[i] += other.counts[i];
+    total_count += other.total_count;
+    total_ns += other.total_ns;
+    if (other.max_ns > max_ns) max_ns = other.max_ns;
+    return *this;
+  }
+
+  // Upper bound of the bucket containing the p-th percentile observation
+  // (p in [0, 1]); 0 when empty.
+  uint64_t PercentileNs(double p) const {
+    if (total_count == 0) return 0;
+    if (p < 0.0) p = 0.0;
+    if (p > 1.0) p = 1.0;
+    // Rank of the percentile observation, 1-based ceiling.
+    uint64_t rank = static_cast<uint64_t>(p * static_cast<double>(total_count));
+    if (rank == 0) rank = 1;
+    uint64_t seen = 0;
+    for (int b = 0; b < kLatencyBuckets; ++b) {
+      seen += counts[b];
+      if (seen >= rank) {
+        // Upper bound of bucket b (which covers [2^(b-1), 2^b) ns); the
+        // overflow bucket reports the true maximum instead.
+        return b >= kLatencyBuckets - 1 ? max_ns : (uint64_t{1} << b) - 1;
+      }
+    }
+    return max_ns;
+  }
+
+  double MeanNs() const {
+    return total_count == 0
+               ? 0.0
+               : static_cast<double>(total_ns) /
+                     static_cast<double>(total_count);
+  }
+};
+
+class LatencyHistogram {
+ public:
+  LatencyHistogram() = default;
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  // Called by the owning worker only.
+  void Record(uint64_t ns) {
+    const int bucket = Bucket(ns);
+    counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+    total_ns_.fetch_add(ns, std::memory_order_relaxed);
+    // Monotonic max; only the owner writes, so a plain store after compare
+    // would do, but CAS keeps the class correct if ownership rules change.
+    uint64_t prev = max_ns_.load(std::memory_order_relaxed);
+    while (ns > prev &&
+           !max_ns_.compare_exchange_weak(prev, ns,
+                                          std::memory_order_relaxed)) {
+    }
+  }
+
+  // Safe from any thread at any time (relaxed reads: the snapshot is a
+  // consistent-enough view for monitoring, exact once the worker is idle).
+  LatencySnapshot Snapshot() const {
+    LatencySnapshot s;
+    for (int i = 0; i < kLatencyBuckets; ++i) {
+      s.counts[i] = counts_[i].load(std::memory_order_relaxed);
+      s.total_count += s.counts[i];
+    }
+    s.total_ns = total_ns_.load(std::memory_order_relaxed);
+    s.max_ns = max_ns_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  void Reset() {
+    for (int i = 0; i < kLatencyBuckets; ++i) {
+      counts_[i].store(0, std::memory_order_relaxed);
+    }
+    total_ns_.store(0, std::memory_order_relaxed);
+    max_ns_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  // Index of the highest set bit + 1 (0 maps to bucket 0): bucket b holds
+  // durations in [2^(b-1), 2^b) ns.
+  static int Bucket(uint64_t ns) {
+    int b = 0;
+    while (ns != 0 && b < kLatencyBuckets - 1) {
+      ns >>= 1;
+      ++b;
+    }
+    return b;
+  }
+
+  std::atomic<uint64_t> counts_[kLatencyBuckets] = {};
+  std::atomic<uint64_t> total_ns_{0};
+  std::atomic<uint64_t> max_ns_{0};
+};
+
+}  // namespace spatial
+
+#endif  // SPATIAL_SERVICE_LATENCY_HISTOGRAM_H_

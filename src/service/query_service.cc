@@ -1,0 +1,231 @@
+#include "service/query_service.h"
+
+#include <utility>
+
+#include "core/constrained.h"
+#include "core/incremental.h"
+#include "core/knn.h"
+
+namespace spatial {
+
+const char* QueryKindName(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kKnn:
+      return "knn";
+    case QueryKind::kConstrainedKnn:
+      return "constrained-knn";
+    case QueryKind::kRange:
+      return "range";
+    case QueryKind::kTopK:
+      return "top-k";
+  }
+  return "unknown";
+}
+
+template <int D>
+QueryService<D>::QueryService(const SpatialDb<D>* db,
+                              std::unique_ptr<SpatialDb<D>> owned,
+                              const Options& options)
+    : options_(options),
+      owned_db_(std::move(owned)),
+      db_(db),
+      queue_(options.queue_capacity),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+template <int D>
+Result<std::unique_ptr<QueryService<D>>> QueryService<D>::Open(
+    const std::string& path, uint32_t page_size, const Options& options) {
+  SPATIAL_RETURN_IF_ERROR(options.Validate());
+  // The service's own pool is used only to decode the superblock and
+  // validate the root; queries run through the per-worker pools.
+  SPATIAL_ASSIGN_OR_RETURN(
+      SpatialDb<D> db,
+      SpatialDb<D>::OpenFromFileReadOnly(path, page_size,
+                                         /*buffer_pages=*/16));
+  auto owned = std::make_unique<SpatialDb<D>>(std::move(db));
+  const SpatialDb<D>* raw = owned.get();
+  std::unique_ptr<QueryService<D>> service(
+      new QueryService<D>(raw, std::move(owned), options));
+  SPATIAL_RETURN_IF_ERROR(service->StartWorkers());
+  return service;
+}
+
+template <int D>
+Result<std::unique_ptr<QueryService<D>>> QueryService<D>::Attach(
+    const SpatialDb<D>& db, const Options& options) {
+  SPATIAL_RETURN_IF_ERROR(options.Validate());
+  std::unique_ptr<QueryService<D>> service(
+      new QueryService<D>(&db, nullptr, options));
+  SPATIAL_RETURN_IF_ERROR(service->StartWorkers());
+  return service;
+}
+
+template <int D>
+Status QueryService<D>::StartWorkers() {
+  // Build every worker's private view/pool/tree before the first thread
+  // starts, so worker construction needs no synchronization.
+  for (uint32_t i = 0; i < options_.num_workers; ++i) {
+    auto worker = std::make_unique<Worker>();
+    worker->disk = std::make_unique<ReadOnlyDiskView>(
+        &db_->disk(), options_.simulated_read_latency_us);
+    worker->pool = std::make_unique<BufferPool>(
+        worker->disk.get(), options_.frames_per_worker, options_.eviction);
+    SPATIAL_ASSIGN_OR_RETURN(
+        RTree<D> tree,
+        RTree<D>::Open(worker->pool.get(), db_->tree().options(),
+                       db_->tree().root_page(), db_->tree().size()));
+    worker->tree.emplace(std::move(tree));
+    workers_.push_back(std::move(worker));
+  }
+  epoch_ = std::chrono::steady_clock::now();
+  threads_.reserve(options_.num_workers);
+  for (uint32_t i = 0; i < options_.num_workers; ++i) {
+    threads_.emplace_back(&QueryService<D>::WorkerLoop, this,
+                          workers_[i].get(), i);
+  }
+  return Status::OK();
+}
+
+template <int D>
+QueryService<D>::~QueryService() {
+  Shutdown();
+}
+
+template <int D>
+void QueryService<D>::Shutdown() {
+  stopped_.store(true, std::memory_order_release);
+  queue_.Close();
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+}
+
+template <int D>
+std::future<QueryResponse<D>> QueryService<D>::Submit(
+    QueryRequest<D> request) {
+  Task task;
+  task.request = std::move(request);
+  std::future<QueryResponse<D>> future = task.promise.get_future();
+  if (!queue_.Push(std::move(task))) {
+    // Queue closed; Push left `task` intact, so answer inline.
+    QueryResponse<D> response;
+    response.status = Status::InvalidArgument("query service is shut down");
+    task.promise.set_value(std::move(response));
+  }
+  return future;
+}
+
+template <int D>
+QueryResponse<D> QueryService<D>::Execute(QueryRequest<D> request) {
+  return Submit(std::move(request)).get();
+}
+
+template <int D>
+void QueryService<D>::WorkerLoop(Worker* worker, uint32_t worker_id) {
+  while (std::optional<Task> task = queue_.Pop()) {
+    const auto start = std::chrono::steady_clock::now();
+    QueryResponse<D> response = Dispatch(worker, task->request);
+    const auto end = std::chrono::steady_clock::now();
+    const uint64_t ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+            .count());
+    response.latency_ns = ns;
+    response.worker_id = worker_id;
+    worker->histogram.Record(ns);
+    (response.ok() ? worker->ok : worker->failed)
+        .fetch_add(1, std::memory_order_relaxed);
+    worker->query_stats.Add(response.stats);
+    task->promise.set_value(std::move(response));
+  }
+}
+
+template <int D>
+QueryResponse<D> QueryService<D>::Dispatch(Worker* worker,
+                                           const QueryRequest<D>& request) {
+  QueryResponse<D> response;
+  const RTree<D>& tree = *worker->tree;
+  switch (request.kind) {
+    case QueryKind::kKnn: {
+      auto result =
+          KnnSearch<D>(tree, request.query, request.knn, &response.stats);
+      if (result.ok()) {
+        response.neighbors = std::move(result).value();
+      } else {
+        response.status = result.status();
+      }
+      return response;
+    }
+    case QueryKind::kConstrainedKnn: {
+      auto result = ConstrainedKnnSearch<D>(tree, request.query,
+                                            request.window, request.knn,
+                                            &response.stats);
+      if (result.ok()) {
+        response.neighbors = std::move(result).value();
+      } else {
+        response.status = result.status();
+      }
+      return response;
+    }
+    case QueryKind::kRange: {
+      response.status = tree.Search(request.window, &response.entries);
+      return response;
+    }
+    case QueryKind::kTopK: {
+      if (request.top_k < 1) {
+        response.status = Status::InvalidArgument("top_k must be >= 1");
+        return response;
+      }
+      IncrementalKnn<D> scan(tree, request.query, &response.stats);
+      for (uint32_t i = 0; i < request.top_k; ++i) {
+        auto next = scan.Next();
+        if (!next.ok()) {
+          response.status = next.status();
+          return response;
+        }
+        if (!next->has_value()) break;  // tree exhausted
+        response.neighbors.push_back(**next);
+      }
+      return response;
+    }
+  }
+  response.status = Status::InvalidArgument("unknown query kind");
+  return response;
+}
+
+template <int D>
+ServiceStats QueryService<D>::Stats() const {
+  ServiceStats stats;
+  stats.workers = static_cast<uint32_t>(workers_.size());
+  stats.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    epoch_)
+          .count();
+  for (const auto& worker : workers_) {
+    stats.queries_ok += worker->ok.load(std::memory_order_relaxed);
+    stats.queries_failed += worker->failed.load(std::memory_order_relaxed);
+    stats.io += worker->disk->stats();
+    stats.buffer += worker->pool->stats();
+    stats.query.Add(worker->query_stats);
+    stats.latency += worker->histogram.Snapshot();
+  }
+  return stats;
+}
+
+template <int D>
+void QueryService<D>::ResetStats() {
+  for (const auto& worker : workers_) {
+    worker->disk->ResetStats();
+    worker->pool->ResetStats();
+    worker->query_stats.Reset();
+    worker->histogram.Reset();
+    worker->ok.store(0, std::memory_order_relaxed);
+    worker->failed.store(0, std::memory_order_relaxed);
+  }
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+template class QueryService<2>;
+template class QueryService<3>;
+
+}  // namespace spatial

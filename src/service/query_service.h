@@ -1,0 +1,155 @@
+#ifndef SPATIAL_SERVICE_QUERY_SERVICE_H_
+#define SPATIAL_SERVICE_QUERY_SERVICE_H_
+
+#include <chrono>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "db/spatial_db.h"
+#include "service/latency_histogram.h"
+#include "service/request.h"
+#include "service/request_queue.h"
+#include "service/service_stats.h"
+#include "storage/buffer_pool.h"
+#include "storage/read_only_disk.h"
+
+namespace spatial {
+
+// Concurrent query service over an immutable SpatialDb: a fixed pool of
+// worker threads drains an MPMC request queue and answers kNN, constrained
+// kNN, range, and incremental top-k queries.
+//
+// Concurrency model (docs/SERVICE.md has the full story):
+//   * The tree is immutable while served, so workers share the on-disk
+//     image with no coordination at all.
+//   * Each worker owns a private ReadOnlyDiskView + BufferPool + RTree
+//     handle — the hot path (queue pop aside) takes no locks and touches
+//     no shared mutable state. Physical reads go through the base disk's
+//     thread-safe ReadPageConcurrent (pread on files, stable-memory copy
+//     in-memory).
+//   * Per-query latency lands in a lock-free per-worker histogram;
+//     Stats() merges workers into one ServiceStats (percentiles, QPS, and
+//     the paper's page-accesses-per-query, now measurable under load).
+//
+// Usage:
+//   auto svc = QueryService<2>::Open("points.sdb", 1024, {});
+//   auto future = (*svc)->Submit(QueryRequest<2>::Knn({{0.5, 0.5}}, 8));
+//   QueryResponse<2> resp = future.get();
+//
+// Submit may be called from any number of threads. Stats() may be called
+// at any time; counters are exact once every submitted future has
+// resolved. The destructor drains outstanding requests and joins the
+// workers.
+template <int D>
+class QueryService {
+ public:
+  struct Options {
+    uint32_t num_workers = 4;
+    // Private buffer-pool frames per worker. Queries pin one frame at a
+    // time, so even tiny pools work; larger pools cache the hot upper
+    // tree levels per worker (E14 varies this).
+    uint32_t frames_per_worker = 256;
+    size_t queue_capacity = 1024;
+    EvictionPolicy eviction = EvictionPolicy::kLru;
+    // Benchmarking aid: make every physical read sleep this long, modelling
+    // a rotational disk so throughput scaling reflects I/O overlap rather
+    // than the host's core count (see E14 and storage/read_only_disk.h).
+    uint32_t simulated_read_latency_us = 0;
+
+    Status Validate() const {
+      if (num_workers < 1) {
+        return Status::InvalidArgument("num_workers must be >= 1");
+      }
+      if (frames_per_worker < 1) {
+        return Status::InvalidArgument("frames_per_worker must be >= 1");
+      }
+      return Status::OK();
+    }
+  };
+
+  // Opens `path` read-only and serves it; the service owns the database.
+  static Result<std::unique_ptr<QueryService>> Open(const std::string& path,
+                                                    uint32_t page_size,
+                                                    const Options& options);
+
+  // Serves a database owned by the caller. `db` must outlive the service,
+  // must not be mutated while served, and — because workers read the raw
+  // disk, not the caller's buffer pool — must hold no unflushed dirty
+  // pages (call db.Flush() first; bulk load flushes on completion).
+  static Result<std::unique_ptr<QueryService>> Attach(const SpatialDb<D>& db,
+                                                      const Options& options);
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+  ~QueryService();
+
+  // Enqueues a query (blocking while the queue is full) and returns the
+  // future answer. After Shutdown(), resolves immediately with an error.
+  std::future<QueryResponse<D>> Submit(QueryRequest<D> request);
+
+  // Convenience synchronous round trip.
+  QueryResponse<D> Execute(QueryRequest<D> request);
+
+  // Stops accepting requests, drains the queue, joins workers. Idempotent;
+  // also run by the destructor.
+  void Shutdown();
+
+  // Aggregated snapshot across workers. Exact when no queries are in
+  // flight (e.g. all submitted futures resolved); during load the
+  // latency/queue counters are live and the I/O counters approximate.
+  ServiceStats Stats() const;
+
+  // Zeroes all per-worker counters and restarts the QPS clock. Call only
+  // while no queries are in flight (between bench phases).
+  void ResetStats();
+
+  const Options& options() const { return options_; }
+  uint32_t num_workers() const { return options_.num_workers; }
+  const SpatialDb<D>& db() const { return *db_; }
+
+ private:
+  struct Task {
+    QueryRequest<D> request;
+    std::promise<QueryResponse<D>> promise;
+  };
+
+  // Everything a worker thread touches while executing queries. Built on
+  // the service thread before workers start; thereafter `stats_ok/failed`
+  // and the histogram are written only by the owning worker.
+  struct Worker {
+    std::unique_ptr<ReadOnlyDiskView> disk;
+    std::unique_ptr<BufferPool> pool;
+    std::optional<RTree<D>> tree;
+    LatencyHistogram histogram;
+    std::atomic<uint64_t> ok{0};
+    std::atomic<uint64_t> failed{0};
+    QueryStats query_stats;  // owner-thread only; read when idle
+  };
+
+  QueryService(const SpatialDb<D>* db, std::unique_ptr<SpatialDb<D>> owned,
+               const Options& options);
+
+  Status StartWorkers();
+  void WorkerLoop(Worker* worker, uint32_t worker_id);
+  QueryResponse<D> Dispatch(Worker* worker, const QueryRequest<D>& request);
+
+  Options options_;
+  std::unique_ptr<SpatialDb<D>> owned_db_;  // Open() path; null for Attach()
+  const SpatialDb<D>* db_;                  // always valid
+  RequestQueue<Task> queue_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::atomic<bool> stopped_{false};
+};
+
+extern template class QueryService<2>;
+extern template class QueryService<3>;
+
+}  // namespace spatial
+
+#endif  // SPATIAL_SERVICE_QUERY_SERVICE_H_

@@ -1,0 +1,91 @@
+#ifndef SPATIAL_SERVICE_REQUEST_H_
+#define SPATIAL_SERVICE_REQUEST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/knn.h"
+#include "core/neighbor_buffer.h"
+#include "core/query_stats.h"
+#include "geom/point.h"
+#include "geom/rect.h"
+#include "rtree/entry.h"
+
+namespace spatial {
+
+// The query kinds the service executes — the read-only surface of the
+// library. Insert/delete are deliberately absent: the served tree is
+// immutable (see docs/SERVICE.md).
+enum class QueryKind {
+  kKnn,             // k nearest neighbors (SIGMOD'95 branch-and-bound)
+  kConstrainedKnn,  // k nearest within a region
+  kRange,           // all entries intersecting a window
+  kTopK,            // k nearest via the incremental (distance-browsing) scan
+};
+
+const char* QueryKindName(QueryKind kind);
+
+// One query. Which fields matter depends on `kind`; the factory functions
+// below construct well-formed requests for each kind.
+template <int D>
+struct QueryRequest {
+  QueryKind kind = QueryKind::kKnn;
+  Point<D> query{};                    // kKnn / kConstrainedKnn / kTopK
+  Rect<D> window = Rect<D>::Empty();   // kConstrainedKnn region, kRange
+  KnnOptions knn;                      // kKnn / kConstrainedKnn knobs
+  uint32_t top_k = 1;                  // kTopK result count
+
+  static QueryRequest Knn(const Point<D>& q, uint32_t k) {
+    QueryRequest r;
+    r.kind = QueryKind::kKnn;
+    r.query = q;
+    r.knn.k = k;
+    return r;
+  }
+
+  static QueryRequest ConstrainedKnn(const Point<D>& q, const Rect<D>& region,
+                                     uint32_t k) {
+    QueryRequest r;
+    r.kind = QueryKind::kConstrainedKnn;
+    r.query = q;
+    r.window = region;
+    r.knn.k = k;
+    return r;
+  }
+
+  static QueryRequest Range(const Rect<D>& window) {
+    QueryRequest r;
+    r.kind = QueryKind::kRange;
+    r.window = window;
+    return r;
+  }
+
+  static QueryRequest TopK(const Point<D>& q, uint32_t k) {
+    QueryRequest r;
+    r.kind = QueryKind::kTopK;
+    r.query = q;
+    r.top_k = k;
+    return r;
+  }
+};
+
+// The answer to one request. `neighbors` is filled for the k-NN kinds,
+// `entries` for range queries. `stats` carries the paper's per-query
+// counters (nodes_visited == page accesses); `latency_ns` is wall time
+// inside the worker, excluding queue wait.
+template <int D>
+struct QueryResponse {
+  Status status;
+  std::vector<Neighbor> neighbors;
+  std::vector<Entry<D>> entries;
+  QueryStats stats;
+  uint64_t latency_ns = 0;
+  uint32_t worker_id = 0;
+
+  bool ok() const { return status.ok(); }
+};
+
+}  // namespace spatial
+
+#endif  // SPATIAL_SERVICE_REQUEST_H_

@@ -1,0 +1,82 @@
+#ifndef SPATIAL_SERVICE_REQUEST_QUEUE_H_
+#define SPATIAL_SERVICE_REQUEST_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace spatial {
+
+// Bounded blocking MPMC queue: any number of producers call Push (blocking
+// while the queue is full, for natural backpressure), any number of
+// consumers call Pop (blocking while empty). Close() wakes everyone;
+// remaining items are still drained, then Pop returns nullopt and Push
+// returns false. Mutex + two condvars — the queue is crossed once per
+// query, so a fancier lock-free design would be noise next to the query
+// itself (microseconds of tree traversal).
+template <typename T>
+class RequestQueue {
+ public:
+  explicit RequestQueue(size_t capacity) : capacity_(capacity) {
+    SPATIAL_CHECK(capacity >= 1);
+  }
+
+  RequestQueue(const RequestQueue&) = delete;
+  RequestQueue& operator=(const RequestQueue&) = delete;
+
+  // Returns false iff the queue is closed; `item` is moved from only on
+  // success, so a failed Push leaves it intact for the caller to handle.
+  bool Push(T&& item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock,
+                   [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Blocks until an item is available or the queue is closed and empty.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;  // closed and drained
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace spatial
+
+#endif  // SPATIAL_SERVICE_REQUEST_QUEUE_H_

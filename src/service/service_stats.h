@@ -1,0 +1,53 @@
+#ifndef SPATIAL_SERVICE_SERVICE_STATS_H_
+#define SPATIAL_SERVICE_SERVICE_STATS_H_
+
+#include <cstdint>
+
+#include "core/query_stats.h"
+#include "service/latency_histogram.h"
+#include "storage/io_stats.h"
+
+namespace spatial {
+
+// Aggregated view over every worker of a QueryService: the per-worker
+// IoStats (physical reads through the private disk views), BufferStats
+// (logical fetches — the paper's "page accesses"), algorithm counters, and
+// the merged latency distribution. Produced by QueryService::Stats().
+struct ServiceStats {
+  uint32_t workers = 0;
+  uint64_t queries_ok = 0;
+  uint64_t queries_failed = 0;
+  double elapsed_seconds = 0.0;  // since service start (or ResetStats)
+
+  IoStats io;          // summed over worker disk views
+  BufferStats buffer;  // summed over worker buffer pools
+  QueryStats query;    // summed over all executed queries
+  LatencySnapshot latency;
+
+  uint64_t TotalQueries() const { return queries_ok + queries_failed; }
+
+  double QueriesPerSecond() const {
+    return elapsed_seconds <= 0.0
+               ? 0.0
+               : static_cast<double>(TotalQueries()) / elapsed_seconds;
+  }
+
+  // The paper's headline metric, now observable under concurrent load.
+  double PageAccessesPerQuery() const {
+    return TotalQueries() == 0
+               ? 0.0
+               : static_cast<double>(buffer.logical_fetches) /
+                     static_cast<double>(TotalQueries());
+  }
+
+  double PhysicalReadsPerQuery() const {
+    return TotalQueries() == 0
+               ? 0.0
+               : static_cast<double>(io.physical_reads) /
+                     static_cast<double>(TotalQueries());
+  }
+};
+
+}  // namespace spatial
+
+#endif  // SPATIAL_SERVICE_SERVICE_STATS_H_

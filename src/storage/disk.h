@@ -11,12 +11,19 @@ namespace spatial {
 using PageId = uint32_t;
 inline constexpr PageId kInvalidPageId = 0xffffffffu;
 
-// Abstract page-granular storage device. Two implementations ship:
-//   * DiskManager     — in-memory simulated disk (experiments; default),
-//   * FileDiskManager — a real file on the local filesystem (persistence).
+// Abstract page-granular storage device. Three implementations ship:
+//   * DiskManager      — in-memory simulated disk (experiments; default),
+//   * FileDiskManager  — a real file on the local filesystem (persistence),
+//   * ReadOnlyDiskView — thread-private read view over a shared base disk
+//                        (the query service's per-worker adapter).
 // The BufferPool talks to this interface only, so indexes are storage-
 // agnostic. Virtual dispatch happens once per *physical* I/O — never on
 // the logical-access path.
+//
+// Thread-safety contract: all mutating members (and ReadPage, which updates
+// stats) are single-threaded. ReadPageConcurrent is the one exception — it
+// may be called from many threads at once provided no mutating member runs
+// concurrently (the "immutable while served" regime of the query service).
 class Disk {
  public:
   virtual ~Disk() = default;
@@ -31,6 +38,12 @@ class Disk {
 
   // Copies the page contents into `out` (page_size bytes).
   virtual Status ReadPage(PageId id, char* out) = 0;
+
+  // Like ReadPage, but safe to call concurrently from multiple threads as
+  // long as no thread is mutating the disk (allocate/free/write). Does NOT
+  // update stats() — callers that need counters keep their own (see
+  // ReadOnlyDiskView).
+  virtual Status ReadPageConcurrent(PageId id, char* out) const = 0;
 
   // Copies page_size bytes from `in` into the page.
   virtual Status WritePage(PageId id, const char* in) = 0;

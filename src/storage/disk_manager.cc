@@ -48,6 +48,14 @@ Status DiskManager::ReadPage(PageId id, char* out) {
   return Status::OK();
 }
 
+Status DiskManager::ReadPageConcurrent(PageId id, char* out) const {
+  if (!IsLive(id)) {
+    return Status::InvalidArgument("ReadPageConcurrent: page not allocated");
+  }
+  std::memcpy(out, pages_[id].get(), page_size_);
+  return Status::OK();
+}
+
 Status DiskManager::WritePage(PageId id, const char* in) {
   if (!IsLive(id)) {
     return Status::InvalidArgument("WritePage: page not allocated");

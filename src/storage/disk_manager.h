@@ -17,7 +17,9 @@ namespace spatial {
 // latency is not simulated because the paper reports page counts, not
 // wall-clock I/O time.
 //
-// Not thread-safe; the library is single-threaded like the original system.
+// Not thread-safe for mutation; ReadPageConcurrent may be called from many
+// threads once the disk holds a finished, immutable index (page images are
+// stable heap blocks, so concurrent memcpy reads are race-free).
 class DiskManager final : public Disk {
  public:
   explicit DiskManager(uint32_t page_size);
@@ -29,6 +31,7 @@ class DiskManager final : public Disk {
   PageId AllocatePage() override;
   Status FreePage(PageId id) override;
   Status ReadPage(PageId id, char* out) override;
+  Status ReadPageConcurrent(PageId id, char* out) const override;
   Status WritePage(PageId id, const char* in) override;
 
   uint64_t live_pages() const override {

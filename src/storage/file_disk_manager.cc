@@ -1,10 +1,16 @@
 #include "storage/file_disk_manager.h"
 
+#include <cerrno>
 #include <cstring>
 #include <memory>
 #include <utility>
 
 #include "common/macros.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define SPATIAL_HAVE_PREAD 1
+#include <unistd.h>
+#endif
 
 namespace spatial {
 
@@ -18,6 +24,29 @@ Status SeekToPage(std::FILE* file, PageId id, uint32_t page_size) {
   return Status::OK();
 }
 
+std::FILE* OpenUnbuffered(const std::string& path, const char* mode) {
+  std::FILE* file = std::fopen(path.c_str(), mode);
+  if (file != nullptr) {
+    // Unbuffered stdio keeps the descriptor view (pread) coherent with
+    // stdio writes; pages are written whole, so buffering bought little.
+    std::setvbuf(file, nullptr, _IONBF, 0);
+  }
+  return file;
+}
+
+Result<uint32_t> PageCountFromFileSize(std::FILE* file, uint32_t page_size,
+                                       const std::string& path) {
+  if (std::fseek(file, 0, SEEK_END) != 0) {
+    return Status::Internal("seek failed: " + path);
+  }
+  const long size = std::ftell(file);
+  if (size < 0 || size % static_cast<long>(page_size) != 0) {
+    return Status::Corruption("file size is not a multiple of page size: " +
+                              path);
+  }
+  return static_cast<uint32_t>(size / page_size);
+}
+
 }  // namespace
 
 Result<FileDiskManager> FileDiskManager::Create(const std::string& path,
@@ -25,11 +54,12 @@ Result<FileDiskManager> FileDiskManager::Create(const std::string& path,
   if (page_size < 64) {
     return Status::InvalidArgument("page size must be >= 64");
   }
-  std::FILE* file = std::fopen(path.c_str(), "w+b");
+  std::FILE* file = OpenUnbuffered(path, "w+b");
   if (file == nullptr) {
     return Status::InvalidArgument("cannot create file: " + path);
   }
-  return FileDiskManager(path, page_size, file, /*num_pages=*/0);
+  return FileDiskManager(path, page_size, file, /*num_pages=*/0,
+                         /*read_only=*/false);
 }
 
 Result<FileDiskManager> FileDiskManager::Open(const std::string& path,
@@ -37,31 +67,48 @@ Result<FileDiskManager> FileDiskManager::Open(const std::string& path,
   if (page_size < 64) {
     return Status::InvalidArgument("page size must be >= 64");
   }
-  std::FILE* file = std::fopen(path.c_str(), "r+b");
+  std::FILE* file = OpenUnbuffered(path, "r+b");
   if (file == nullptr) {
     return Status::NotFound("cannot open file: " + path);
   }
-  if (std::fseek(file, 0, SEEK_END) != 0) {
+  auto num_pages = PageCountFromFileSize(file, page_size, path);
+  if (!num_pages.ok()) {
     std::fclose(file);
-    return Status::Internal("seek failed: " + path);
+    return num_pages.status();
   }
-  const long size = std::ftell(file);
-  if (size < 0 || size % static_cast<long>(page_size) != 0) {
+  return FileDiskManager(path, page_size, file, *num_pages,
+                         /*read_only=*/false);
+}
+
+Result<FileDiskManager> FileDiskManager::OpenReadOnly(const std::string& path,
+                                                      uint32_t page_size) {
+  if (page_size < 64) {
+    return Status::InvalidArgument("page size must be >= 64");
+  }
+  std::FILE* file = OpenUnbuffered(path, "rb");
+  if (file == nullptr) {
+    return Status::NotFound("cannot open file: " + path);
+  }
+  auto num_pages = PageCountFromFileSize(file, page_size, path);
+  if (!num_pages.ok()) {
     std::fclose(file);
-    return Status::Corruption("file size is not a multiple of page size: " +
-                              path);
+    return num_pages.status();
   }
-  return FileDiskManager(path, page_size, file,
-                         static_cast<uint32_t>(size / page_size));
+  return FileDiskManager(path, page_size, file, *num_pages,
+                         /*read_only=*/true);
 }
 
 FileDiskManager::FileDiskManager(std::string path, uint32_t page_size,
-                                 std::FILE* file, uint32_t num_pages)
+                                 std::FILE* file, uint32_t num_pages,
+                                 bool read_only)
     : path_(std::move(path)),
       page_size_(page_size),
       file_(file),
+      fd_(fileno(file)),
       num_pages_(num_pages),
-      freed_(num_pages, false) {}
+      read_only_(read_only),
+      freed_(num_pages, false),
+      read_mu_(std::make_unique<std::mutex>()) {}
 
 FileDiskManager::FileDiskManager(FileDiskManager&& other) noexcept
     : Disk() {
@@ -75,11 +122,15 @@ FileDiskManager& FileDiskManager::operator=(
     path_ = std::move(other.path_);
     page_size_ = other.page_size_;
     file_ = other.file_;
+    fd_ = other.fd_;
     num_pages_ = other.num_pages_;
+    read_only_ = other.read_only_;
     freed_ = std::move(other.freed_);
     free_list_ = std::move(other.free_list_);
     stats_ = other.stats_;
+    read_mu_ = std::move(other.read_mu_);
     other.file_ = nullptr;
+    other.fd_ = -1;
   }
   return *this;
 }
@@ -89,6 +140,7 @@ FileDiskManager::~FileDiskManager() {
 }
 
 PageId FileDiskManager::AllocatePage() {
+  SPATIAL_CHECK(!read_only_);
   ++stats_.pages_allocated;
   if (!free_list_.empty()) {
     const PageId id = free_list_.back();
@@ -113,6 +165,9 @@ PageId FileDiskManager::AllocatePage() {
 }
 
 Status FileDiskManager::FreePage(PageId id) {
+  if (read_only_) {
+    return Status::InvalidArgument("FreePage: disk is read-only");
+  }
   if (id >= num_pages_) {
     return Status::InvalidArgument("FreePage: page id out of range");
   }
@@ -125,19 +180,55 @@ Status FileDiskManager::FreePage(PageId id) {
   return Status::OK();
 }
 
-Status FileDiskManager::ReadPage(PageId id, char* out) {
-  if (id >= num_pages_ || freed_[id]) {
-    return Status::InvalidArgument("ReadPage: page not allocated");
+Status FileDiskManager::PositionalRead(PageId id, char* out) const {
+#if defined(SPATIAL_HAVE_PREAD)
+  const off_t base = static_cast<off_t>(id) * static_cast<off_t>(page_size_);
+  size_t done = 0;
+  while (done < page_size_) {
+    const ssize_t n = ::pread(fd_, out + done, page_size_ - done,
+                              base + static_cast<off_t>(done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal("pread failed on page " + std::to_string(id));
+    }
+    if (n == 0) {
+      return Status::Corruption("short read on page " + std::to_string(id));
+    }
+    done += static_cast<size_t>(n);
   }
+  return Status::OK();
+#else
+  // Portable fallback: the shared stream offset forces serialization.
+  std::lock_guard<std::mutex> lock(*read_mu_);
   SPATIAL_RETURN_IF_ERROR(SeekToPage(file_, id, page_size_));
   if (std::fread(out, 1, page_size_, file_) != page_size_) {
     return Status::Corruption("short read on page " + std::to_string(id));
   }
+  return Status::OK();
+#endif
+}
+
+Status FileDiskManager::ReadPage(PageId id, char* out) {
+  if (id >= num_pages_ || freed_[id]) {
+    return Status::InvalidArgument("ReadPage: page not allocated");
+  }
+  SPATIAL_RETURN_IF_ERROR(PositionalRead(id, out));
   ++stats_.physical_reads;
   return Status::OK();
 }
 
+Status FileDiskManager::ReadPageConcurrent(PageId id, char* out) const {
+  if (id >= num_pages_ || freed_[id]) {
+    return Status::InvalidArgument(
+        "ReadPageConcurrent: page not allocated");
+  }
+  return PositionalRead(id, out);
+}
+
 Status FileDiskManager::WritePage(PageId id, const char* in) {
+  if (read_only_) {
+    return Status::InvalidArgument("WritePage: disk is read-only");
+  }
   if (id >= num_pages_ || freed_[id]) {
     return Status::InvalidArgument("WritePage: page not allocated");
   }

@@ -3,6 +3,8 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -24,7 +26,16 @@ namespace spatial {
 // free list in a superblock; for this reproduction the simple scheme keeps
 // the format trivial and the recovery story obvious.
 //
-// Not thread-safe.
+// Thread-safety contract:
+//   * AllocatePage / FreePage / WritePage / ReadPage / Sync — single
+//     threaded, exactly as before (ReadPage updates stats()).
+//   * ReadPageConcurrent — safe from any number of threads at once, as
+//     long as no mutating member runs concurrently. On POSIX it issues a
+//     positional `pread` on the underlying descriptor, so concurrent
+//     readers never race on the shared file offset; elsewhere it falls
+//     back to a mutex-serialized seek+read. The stdio stream is opened
+//     unbuffered so the descriptor view (pread) is always coherent with
+//     stdio writes.
 class FileDiskManager final : public Disk {
  public:
   // Creates a new file (truncating any existing one).
@@ -36,6 +47,13 @@ class FileDiskManager final : public Disk {
   static Result<FileDiskManager> Open(const std::string& path,
                                       uint32_t page_size);
 
+  // Opens an existing file for reading only. Mutating members fail with
+  // InvalidArgument (AllocatePage, which cannot report, CHECK-fails); the
+  // read paths, including ReadPageConcurrent, work as usual. Several
+  // FileDiskManagers (or processes) may hold the same file read-only.
+  static Result<FileDiskManager> OpenReadOnly(const std::string& path,
+                                              uint32_t page_size);
+
   FileDiskManager(FileDiskManager&& other) noexcept;
   FileDiskManager& operator=(FileDiskManager&& other) noexcept;
   FileDiskManager(const FileDiskManager&) = delete;
@@ -46,6 +64,7 @@ class FileDiskManager final : public Disk {
   PageId AllocatePage() override;
   Status FreePage(PageId id) override;
   Status ReadPage(PageId id, char* out) override;
+  Status ReadPageConcurrent(PageId id, char* out) const override;
   Status WritePage(PageId id, const char* in) override;
   uint64_t live_pages() const override;
   const IoStats& stats() const override { return stats_; }
@@ -55,18 +74,28 @@ class FileDiskManager final : public Disk {
   Status Sync();
 
   const std::string& path() const { return path_; }
+  bool read_only() const { return read_only_; }
 
  private:
   FileDiskManager(std::string path, uint32_t page_size, std::FILE* file,
-                  uint32_t num_pages);
+                  uint32_t num_pages, bool read_only);
+
+  // Positional read shared by ReadPage and ReadPageConcurrent: pread on
+  // POSIX, mutex-guarded seek+read otherwise.
+  Status PositionalRead(PageId id, char* out) const;
 
   std::string path_;
   uint32_t page_size_ = 0;
   std::FILE* file_ = nullptr;
+  int fd_ = -1;  // fileno(file_), cached for pread
   uint32_t num_pages_ = 0;
+  bool read_only_ = false;
   std::vector<bool> freed_;  // indexed by PageId
   std::vector<PageId> free_list_;
   IoStats stats_;
+  // Serializes the non-POSIX ReadPageConcurrent fallback; heap-allocated
+  // so the manager stays movable.
+  std::unique_ptr<std::mutex> read_mu_;
 };
 
 }  // namespace spatial

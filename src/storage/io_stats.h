@@ -16,6 +16,18 @@ struct IoStats {
   uint64_t pages_freed = 0;
 
   void Reset() { *this = IoStats(); }
+
+  // Aggregation across independent counters (e.g. per-worker disks in the
+  // query service, or per-run sums in the experiment drivers).
+  IoStats& operator+=(const IoStats& other) {
+    physical_reads += other.physical_reads;
+    physical_writes += other.physical_writes;
+    pages_allocated += other.pages_allocated;
+    pages_freed += other.pages_freed;
+    return *this;
+  }
+
+  friend IoStats operator+(IoStats a, const IoStats& b) { return a += b; }
 };
 
 struct BufferStats {
@@ -33,6 +45,19 @@ struct BufferStats {
   }
 
   void Reset() { *this = BufferStats(); }
+
+  BufferStats& operator+=(const BufferStats& other) {
+    logical_fetches += other.logical_fetches;
+    hits += other.hits;
+    misses += other.misses;
+    evictions += other.evictions;
+    dirty_writebacks += other.dirty_writebacks;
+    return *this;
+  }
+
+  friend BufferStats operator+(BufferStats a, const BufferStats& b) {
+    return a += b;
+  }
 };
 
 }  // namespace spatial

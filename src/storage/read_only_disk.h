@@ -1,0 +1,80 @@
+#ifndef SPATIAL_STORAGE_READ_ONLY_DISK_H_
+#define SPATIAL_STORAGE_READ_ONLY_DISK_H_
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+#include "common/macros.h"
+#include "common/status.h"
+#include "storage/disk.h"
+
+namespace spatial {
+
+// Thread-private read-only view over a shared base disk. The query service
+// gives each worker thread one view (and one private BufferPool on top of
+// it): reads forward to the base's thread-safe ReadPageConcurrent, while
+// I/O counters live in the view itself — so N workers share one immutable
+// disk image with zero locks and zero shared mutable state on the read
+// path. Works over both backends (DiskManager pages are stable heap
+// blocks; FileDiskManager reads via pread).
+//
+// The view itself is NOT shared between threads (its stats are plain
+// counters); create one per thread. The base disk must stay alive and
+// unmutated for the lifetime of every view.
+//
+// `simulated_read_latency_us`, when nonzero, makes every physical read
+// sleep that long — modelling the rotational-disk latency the SIGMOD'95
+// cost model assumes (where page accesses, not CPU, dominate). Sleeping
+// yields the core, so the throughput-scaling experiment (E14) can observe
+// I/O overlap across workers independent of the host's core count.
+class ReadOnlyDiskView final : public Disk {
+ public:
+  explicit ReadOnlyDiskView(const Disk* base,
+                            uint32_t simulated_read_latency_us = 0)
+      : base_(base), simulated_read_latency_us_(simulated_read_latency_us) {
+    SPATIAL_CHECK(base != nullptr);
+  }
+
+  uint32_t page_size() const override { return base_->page_size(); }
+  uint64_t live_pages() const override { return base_->live_pages(); }
+
+  // Mutation is a programming error on a read-only view. AllocatePage has
+  // no error channel, so it aborts.
+  PageId AllocatePage() override {
+    std::fprintf(stderr, "AllocatePage called on ReadOnlyDiskView\n");
+    std::abort();
+  }
+  Status FreePage(PageId) override {
+    return Status::InvalidArgument("FreePage: disk view is read-only");
+  }
+  Status WritePage(PageId, const char*) override {
+    return Status::InvalidArgument("WritePage: disk view is read-only");
+  }
+
+  Status ReadPage(PageId id, char* out) override {
+    SPATIAL_RETURN_IF_ERROR(base_->ReadPageConcurrent(id, out));
+    if (simulated_read_latency_us_ != 0) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(simulated_read_latency_us_));
+    }
+    ++stats_.physical_reads;
+    return Status::OK();
+  }
+
+  Status ReadPageConcurrent(PageId id, char* out) const override {
+    return base_->ReadPageConcurrent(id, out);
+  }
+
+  const IoStats& stats() const override { return stats_; }
+  void ResetStats() override { stats_.Reset(); }
+
+ private:
+  const Disk* base_;
+  const uint32_t simulated_read_latency_us_;
+  IoStats stats_;  // private to the owning thread
+};
+
+}  // namespace spatial
+
+#endif  // SPATIAL_STORAGE_READ_ONLY_DISK_H_

@@ -164,5 +164,57 @@ TEST(FileDiskManagerTest, StatsCountPhysicalIo) {
   std::remove(path.c_str());
 }
 
+TEST(FileDiskManagerTest, ReadPageConcurrentMatchesReadPage) {
+  const std::string path = TempPath("fdm_pread.db");
+  auto created = FileDiskManager::Create(path, 128);
+  ASSERT_TRUE(created.ok());
+  FileDiskManager disk = std::move(created).value();
+  std::vector<PageId> ids;
+  for (int i = 0; i < 8; ++i) {
+    const PageId id = disk.AllocatePage();
+    std::vector<char> buf(128, static_cast<char>('a' + i));
+    ASSERT_TRUE(disk.WritePage(id, buf.data()).ok());
+    ids.push_back(id);
+  }
+  for (int i = 0; i < 8; ++i) {
+    std::vector<char> via_read(128, 0);
+    std::vector<char> via_pread(128, 1);
+    ASSERT_TRUE(disk.ReadPage(ids[i], via_read.data()).ok());
+    ASSERT_TRUE(disk.ReadPageConcurrent(ids[i], via_pread.data()).ok());
+    EXPECT_EQ(std::memcmp(via_read.data(), via_pread.data(), 128), 0);
+  }
+  // ReadPageConcurrent does not touch stats.
+  EXPECT_EQ(disk.stats().physical_reads, 8u);
+  EXPECT_FALSE(disk.ReadPageConcurrent(999, nullptr).ok());
+  std::remove(path.c_str());
+}
+
+TEST(FileDiskManagerTest, OpenReadOnlyRejectsMutation) {
+  const std::string path = TempPath("fdm_readonly.db");
+  {
+    auto created = FileDiskManager::Create(path, 128);
+    ASSERT_TRUE(created.ok());
+    FileDiskManager disk = std::move(created).value();
+    const PageId id = disk.AllocatePage();
+    std::vector<char> buf(128, 'r');
+    ASSERT_TRUE(disk.WritePage(id, buf.data()).ok());
+    ASSERT_TRUE(disk.Sync().ok());
+  }
+  auto opened = FileDiskManager::OpenReadOnly(path, 128);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  FileDiskManager disk = std::move(opened).value();
+  EXPECT_TRUE(disk.read_only());
+  EXPECT_EQ(disk.live_pages(), 1u);
+
+  std::vector<char> buf(128, 0);
+  ASSERT_TRUE(disk.ReadPage(0, buf.data()).ok());
+  EXPECT_EQ(buf[0], 'r');
+  ASSERT_TRUE(disk.ReadPageConcurrent(0, buf.data()).ok());
+
+  EXPECT_TRUE(disk.WritePage(0, buf.data()).IsInvalidArgument());
+  EXPECT_TRUE(disk.FreePage(0).IsInvalidArgument());
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace spatial

@@ -1,0 +1,279 @@
+// Behavior of the concurrent query service: every query kind must return
+// exactly what the corresponding single-threaded call returns, stats must
+// aggregate across workers, and lifecycle edges (shutdown, read-only
+// database, invalid requests) must fail cleanly.
+
+#include "service/query_service.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/constrained.h"
+#include "core/incremental.h"
+#include "core/knn.h"
+#include "data/dataset.h"
+#include "data/uniform.h"
+#include "storage/read_only_disk.h"
+#include "tests/test_util.h"
+
+namespace spatial {
+namespace {
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::vector<Entry<2>> MakeData(size_t n, uint64_t seed = 42) {
+  Rng rng(seed);
+  return MakePointEntries(GenerateUniform<2>(n, UnitBounds<2>(), &rng));
+}
+
+// An in-memory database, bulk-loaded and flushed, ready to serve.
+Result<SpatialDb<2>> MakeServableDb(const std::vector<Entry<2>>& data) {
+  SpatialDb<2>::Options options;
+  options.page_size = 512;
+  options.buffer_pages = 64;
+  SPATIAL_ASSIGN_OR_RETURN(SpatialDb<2> db,
+                           SpatialDb<2>::CreateInMemory(options));
+  SPATIAL_RETURN_IF_ERROR(db.BulkLoadData(data, BulkLoadMethod::kStr));
+  return db;
+}
+
+TEST(QueryServiceTest, KnnMatchesSingleThreadedSearch) {
+  const auto data = MakeData(2000);
+  auto db = MakeServableDb(data);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+
+  QueryService<2>::Options options;
+  options.num_workers = 3;
+  options.frames_per_worker = 16;
+  auto service = QueryService<2>::Attach(*db, options);
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) {
+    const Point2 q{{rng.Uniform(0.0, 1.0), rng.Uniform(0.0, 1.0)}};
+    KnnOptions knn;
+    knn.k = 5;
+    auto expected = KnnSearch<2>(db->tree(), q, knn, nullptr);
+    ASSERT_TRUE(expected.ok());
+
+    QueryResponse<2> got =
+        (*service)->Execute(QueryRequest<2>::Knn(q, 5));
+    ASSERT_TRUE(got.ok()) << got.status.ToString();
+    ASSERT_EQ(got.neighbors.size(), expected->size());
+    for (size_t j = 0; j < expected->size(); ++j) {
+      EXPECT_EQ(got.neighbors[j].id, (*expected)[j].id);
+      EXPECT_EQ(got.neighbors[j].dist_sq, (*expected)[j].dist_sq);
+    }
+    EXPECT_GT(got.stats.nodes_visited, 0u);
+  }
+}
+
+TEST(QueryServiceTest, AllQueryKindsMatchDirectCalls) {
+  const auto data = MakeData(1500);
+  auto db = MakeServableDb(data);
+  ASSERT_TRUE(db.ok());
+
+  QueryService<2>::Options options;
+  options.num_workers = 2;
+  auto service = QueryService<2>::Attach(*db, options);
+  ASSERT_TRUE(service.ok());
+
+  const Point2 q{{0.4, 0.6}};
+  const Rect2 region = Rect2::FromCorners({{0.2, 0.2}}, {{0.8, 0.8}});
+
+  {  // constrained kNN
+    KnnOptions knn;
+    knn.k = 7;
+    auto expected = ConstrainedKnnSearch<2>(db->tree(), q, region, knn,
+                                            nullptr);
+    ASSERT_TRUE(expected.ok());
+    QueryResponse<2> got =
+        (*service)->Execute(QueryRequest<2>::ConstrainedKnn(q, region, 7));
+    ASSERT_TRUE(got.ok());
+    ASSERT_EQ(got.neighbors.size(), expected->size());
+    for (size_t j = 0; j < expected->size(); ++j) {
+      EXPECT_EQ(got.neighbors[j].id, (*expected)[j].id);
+      EXPECT_EQ(got.neighbors[j].dist_sq, (*expected)[j].dist_sq);
+    }
+  }
+  {  // range
+    std::vector<Entry<2>> expected;
+    ASSERT_TRUE(db->tree().Search(region, &expected).ok());
+    QueryResponse<2> got =
+        (*service)->Execute(QueryRequest<2>::Range(region));
+    ASSERT_TRUE(got.ok());
+    ASSERT_EQ(got.entries.size(), expected.size());
+  }
+  {  // top-k via the incremental scan
+    IncrementalKnn<2> scan(db->tree(), q, nullptr);
+    std::vector<Neighbor> expected;
+    for (int i = 0; i < 9; ++i) {
+      auto next = scan.Next();
+      ASSERT_TRUE(next.ok());
+      if (!next->has_value()) break;
+      expected.push_back(**next);
+    }
+    QueryResponse<2> got = (*service)->Execute(QueryRequest<2>::TopK(q, 9));
+    ASSERT_TRUE(got.ok());
+    ASSERT_EQ(got.neighbors.size(), expected.size());
+    for (size_t j = 0; j < expected.size(); ++j) {
+      EXPECT_EQ(got.neighbors[j].id, expected[j].id);
+      EXPECT_EQ(got.neighbors[j].dist_sq, expected[j].dist_sq);
+    }
+  }
+}
+
+TEST(QueryServiceTest, StatsAggregateAcrossWorkers) {
+  const auto data = MakeData(1000);
+  auto db = MakeServableDb(data);
+  ASSERT_TRUE(db.ok());
+
+  QueryService<2>::Options options;
+  options.num_workers = 4;
+  options.frames_per_worker = 8;
+  auto service = QueryService<2>::Attach(*db, options);
+  ASSERT_TRUE(service.ok());
+
+  constexpr int kQueries = 120;
+  std::vector<std::future<QueryResponse<2>>> futures;
+  Rng rng(99);
+  for (int i = 0; i < kQueries; ++i) {
+    const Point2 q{{rng.Uniform(0.0, 1.0), rng.Uniform(0.0, 1.0)}};
+    futures.push_back((*service)->Submit(QueryRequest<2>::Knn(q, 3)));
+  }
+  for (auto& f : futures) {
+    ASSERT_TRUE(f.get().ok());
+  }
+
+  const ServiceStats stats = (*service)->Stats();
+  EXPECT_EQ(stats.workers, 4u);
+  EXPECT_EQ(stats.queries_ok, static_cast<uint64_t>(kQueries));
+  EXPECT_EQ(stats.queries_failed, 0u);
+  EXPECT_EQ(stats.latency.total_count, static_cast<uint64_t>(kQueries));
+  // Every query touches at least the root: logical fetches ≥ queries.
+  EXPECT_GE(stats.buffer.logical_fetches,
+            static_cast<uint64_t>(kQueries));
+  EXPECT_GT(stats.PageAccessesPerQuery(), 0.0);
+  EXPECT_GT(stats.QueriesPerSecond(), 0.0);
+  EXPECT_GT(stats.latency.PercentileNs(0.5), 0u);
+  EXPECT_GE(stats.latency.PercentileNs(0.99),
+            stats.latency.PercentileNs(0.5));
+  // Per-query algorithm counters flowed through the workers.
+  EXPECT_GE(stats.query.nodes_visited, static_cast<uint64_t>(kQueries));
+
+  (*service)->ResetStats();
+  const ServiceStats zeroed = (*service)->Stats();
+  EXPECT_EQ(zeroed.queries_ok, 0u);
+  EXPECT_EQ(zeroed.buffer.logical_fetches, 0u);
+  EXPECT_EQ(zeroed.latency.total_count, 0u);
+}
+
+TEST(QueryServiceTest, InvalidRequestsFailCleanly) {
+  const auto data = MakeData(200);
+  auto db = MakeServableDb(data);
+  ASSERT_TRUE(db.ok());
+  auto service = QueryService<2>::Attach(*db, {});
+  ASSERT_TRUE(service.ok());
+
+  QueryRequest<2> bad = QueryRequest<2>::Knn({{0.5, 0.5}}, 0);  // k = 0
+  QueryResponse<2> got = (*service)->Execute(bad);
+  EXPECT_FALSE(got.ok());
+  EXPECT_TRUE(got.status.IsInvalidArgument());
+
+  const ServiceStats stats = (*service)->Stats();
+  EXPECT_EQ(stats.queries_failed, 1u);
+}
+
+TEST(QueryServiceTest, SubmitAfterShutdownResolvesWithError) {
+  const auto data = MakeData(100);
+  auto db = MakeServableDb(data);
+  ASSERT_TRUE(db.ok());
+  auto service = QueryService<2>::Attach(*db, {});
+  ASSERT_TRUE(service.ok());
+
+  (*service)->Shutdown();
+  auto future = (*service)->Submit(QueryRequest<2>::Knn({{0.1, 0.1}}, 1));
+  QueryResponse<2> got = future.get();
+  EXPECT_FALSE(got.ok());
+  EXPECT_TRUE(got.status.IsInvalidArgument());
+  (*service)->Shutdown();  // idempotent
+}
+
+TEST(QueryServiceTest, OpenServesFileBackedDatabaseReadOnly) {
+  const std::string path = TempPath("service_open.sdb");
+  const auto data = MakeData(800);
+  {
+    SpatialDb<2>::Options options;
+    options.page_size = 512;
+    auto db = SpatialDb<2>::CreateOnFile(path, options);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    ASSERT_TRUE(db->BulkLoadData(data, BulkLoadMethod::kStr).ok());
+    ASSERT_TRUE(db->Flush().ok());
+  }
+
+  QueryService<2>::Options options;
+  options.num_workers = 2;
+  auto service = QueryService<2>::Open(path, 512, options);
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  EXPECT_TRUE((*service)->db().read_only());
+
+  const Point2 q{{0.25, 0.75}};
+  QueryResponse<2> got = (*service)->Execute(QueryRequest<2>::Knn(q, 4));
+  ASSERT_TRUE(got.ok()) << got.status.ToString();
+  ExpectKnnMatchesBruteForce(data, q, 4, got.neighbors);
+
+  std::remove(path.c_str());
+}
+
+TEST(QueryServiceTest, ReadOnlyDbRejectsMutationAndFlush) {
+  const std::string path = TempPath("service_ro.sdb");
+  const auto data = MakeData(100);
+  {
+    SpatialDb<2>::Options options;
+    options.page_size = 512;
+    auto db = SpatialDb<2>::CreateOnFile(path, options);
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE(db->BulkLoadData(data, BulkLoadMethod::kStr).ok());
+  }
+  auto db = SpatialDb<2>::OpenFromFileReadOnly(path, 512, 32);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  EXPECT_TRUE(db->read_only());
+  EXPECT_TRUE(db->Flush().IsInvalidArgument());
+  EXPECT_TRUE(db->BulkLoadData(data, BulkLoadMethod::kStr)
+                  .IsInvalidArgument());
+  // Queries still work.
+  auto nn = KnnSearch<2>(db->tree(), {{0.5, 0.5}}, KnnOptions{}, nullptr);
+  ASSERT_TRUE(nn.ok());
+  ExpectKnnMatchesBruteForce(data, {{0.5, 0.5}}, 1, *nn);
+  std::remove(path.c_str());
+}
+
+TEST(ReadOnlyDiskViewTest, ForwardsReadsAndCountsPrivately) {
+  DiskManager base(128);
+  const PageId id = base.AllocatePage();
+  std::vector<char> buf(128, 'v');
+  ASSERT_TRUE(base.WritePage(id, buf.data()).ok());
+
+  ReadOnlyDiskView view(&base);
+  EXPECT_EQ(view.page_size(), 128u);
+  EXPECT_EQ(view.live_pages(), 1u);
+
+  std::vector<char> out(128, 0);
+  ASSERT_TRUE(view.ReadPage(id, out.data()).ok());
+  EXPECT_EQ(out[0], 'v');
+  EXPECT_EQ(view.stats().physical_reads, 1u);
+  EXPECT_EQ(base.stats().physical_reads, 0u);  // base untouched
+
+  EXPECT_TRUE(view.WritePage(id, buf.data()).IsInvalidArgument());
+  EXPECT_TRUE(view.FreePage(id).IsInvalidArgument());
+  EXPECT_FALSE(view.ReadPage(999, out.data()).ok());
+}
+
+}  // namespace
+}  // namespace spatial

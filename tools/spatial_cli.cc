@@ -9,13 +9,18 @@
 //   spatial_cli farthest <db.sdb> <x> <y> <k> [page_size]
 //   spatial_cli rnn <db.sdb> <x> <y> [page_size]
 //   spatial_cli range <db.sdb> <lox> <loy> <hix> <hiy> [page_size]
+//   spatial_cli serve-bench <db.sdb> <workers> <queries> [k] [page_size]
+//                           [frames_per_worker] [latency_us]
 //
 // Exit status 0 on success; errors print a Status string to stderr.
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <future>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/rng.h"
@@ -28,6 +33,7 @@
 #include "data/uniform.h"
 #include "db/spatial_db.h"
 #include "rtree/validator.h"
+#include "service/query_service.h"
 
 namespace spatial {
 namespace {
@@ -49,7 +55,9 @@ int Usage() {
       "  spatial_cli knn <db.sdb> <x> <y> <k> [page_size]\n"
       "  spatial_cli farthest <db.sdb> <x> <y> <k> [page_size]\n"
       "  spatial_cli rnn <db.sdb> <x> <y> [page_size]\n"
-      "  spatial_cli range <db.sdb> <lox> <loy> <hix> <hiy> [page_size]\n");
+      "  spatial_cli range <db.sdb> <lox> <loy> <hix> <hiy> [page_size]\n"
+      "  spatial_cli serve-bench <db.sdb> <workers> <queries> [k] "
+      "[page_size] [frames_per_worker] [latency_us]\n");
   return 2;
 }
 
@@ -230,6 +238,79 @@ int CmdRange(int argc, char** argv) {
   return 0;
 }
 
+// Opens the database read-only behind a worker pool, fires uniformly
+// random kNN queries at it from two submitter threads, and reports
+// throughput, latency percentiles, and the aggregated page-access stats.
+int CmdServeBench(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string path = argv[0];
+  const uint32_t workers =
+      static_cast<uint32_t>(std::atoi(argv[1]));
+  const size_t num_queries = static_cast<size_t>(std::atoll(argv[2]));
+  const uint32_t k =
+      argc > 3 ? static_cast<uint32_t>(std::atoi(argv[3])) : 10;
+  const uint32_t page_size =
+      argc > 4 ? static_cast<uint32_t>(std::atoi(argv[4])) : 1024;
+
+  QueryService<2>::Options options;
+  options.num_workers = workers;
+  if (argc > 5) {
+    options.frames_per_worker = static_cast<uint32_t>(std::atoi(argv[5]));
+  }
+  if (argc > 6) {
+    options.simulated_read_latency_us =
+        static_cast<uint32_t>(std::atoi(argv[6]));
+  }
+
+  auto service = QueryService<2>::Open(path, page_size, options);
+  if (!service.ok()) return Fail(service.status(), "open service");
+
+  auto bounds = (*service)->db().tree().Bounds();
+  if (!bounds.ok()) return Fail(bounds.status(), "bounds");
+
+  Rng rng(12345);
+  std::vector<Point2> queries(512);
+  for (auto& q : queries) {
+    for (int d = 0; d < 2; ++d) {
+      q[d] = rng.Uniform(bounds->lo[d], bounds->hi[d]);
+    }
+  }
+
+  constexpr uint32_t kSubmitters = 2;
+  std::vector<std::thread> clients;
+  std::atomic<uint64_t> failed{0};
+  for (uint32_t t = 0; t < kSubmitters; ++t) {
+    clients.emplace_back([&, t] {
+      std::vector<std::future<QueryResponse<2>>> futures;
+      for (size_t i = t; i < num_queries; i += kSubmitters) {
+        futures.push_back((*service)->Submit(
+            QueryRequest<2>::Knn(queries[i % queries.size()], k)));
+      }
+      for (auto& f : futures) {
+        if (!f.get().ok()) failed.fetch_add(1);
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+
+  const ServiceStats stats = (*service)->Stats();
+  std::printf("served %llu queries (%llu failed) on %u workers in %.3f s\n",
+              static_cast<unsigned long long>(stats.TotalQueries()),
+              static_cast<unsigned long long>(failed.load()), workers,
+              stats.elapsed_seconds);
+  std::printf("throughput:      %.0f queries/s\n", stats.QueriesPerSecond());
+  std::printf("latency p50/p95/p99: %.3f / %.3f / %.3f ms (max %.3f)\n",
+              static_cast<double>(stats.latency.PercentileNs(0.50)) / 1e6,
+              static_cast<double>(stats.latency.PercentileNs(0.95)) / 1e6,
+              static_cast<double>(stats.latency.PercentileNs(0.99)) / 1e6,
+              static_cast<double>(stats.latency.max_ns) / 1e6);
+  std::printf("page accesses/query: %.2f logical, %.2f physical "
+              "(hit rate %.3f)\n",
+              stats.PageAccessesPerQuery(), stats.PhysicalReadsPerQuery(),
+              stats.buffer.HitRate());
+  return failed.load() == 0 ? 0 : 1;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
@@ -240,6 +321,7 @@ int Main(int argc, char** argv) {
   if (command == "farthest") return CmdFarthest(argc - 2, argv + 2);
   if (command == "rnn") return CmdRnn(argc - 2, argv + 2);
   if (command == "range") return CmdRange(argc - 2, argv + 2);
+  if (command == "serve-bench") return CmdServeBench(argc - 2, argv + 2);
   return Usage();
 }
 

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Builds the repo with ThreadSanitizer (-DSPATIAL_SANITIZE=thread) into a
+# dedicated build directory and runs the concurrency-sensitive tests: the
+# query-service unit tests and the multi-threaded stress test that checks
+# byte-identical results against single-threaded KnnSearch.
+#
+# Usage: tools/tsan_check.sh [build-dir]   (default: build-tsan)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-tsan}"
+
+cmake -B "$BUILD_DIR" -S . -DSPATIAL_SANITIZE=thread \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j "$(nproc)" \
+  --target query_service_test service_stress_test io_stats_test
+
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
+for t in io_stats_test query_service_test service_stress_test; do
+  echo "=== TSan: $t ==="
+  "$BUILD_DIR/tests/$t"
+done
+echo "=== TSan: all concurrency tests clean ==="
