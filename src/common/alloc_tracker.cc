@@ -1,0 +1,83 @@
+#include "common/alloc_tracker.h"
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+
+// Counting replacements for the global allocation functions. Defined in the
+// same translation unit as ThreadAllocCounts() so that any binary calling
+// it pulls these replacements into its link; see alloc_tracker.h.
+
+namespace spatial {
+namespace {
+
+thread_local AllocCounts tls_counts;
+
+void* CountedAlloc(std::size_t size, std::size_t align) noexcept {
+  ++tls_counts.allocations;
+  tls_counts.bytes += size;
+  if (size == 0) size = 1;
+  if (align <= alignof(std::max_align_t)) return std::malloc(size);
+  if (align < sizeof(void*)) align = sizeof(void*);
+  void* p = nullptr;
+  if (posix_memalign(&p, align, size) != 0) return nullptr;
+  return p;
+}
+
+void* CountedAllocOrThrow(std::size_t size, std::size_t align) {
+  void* p = CountedAlloc(size, align);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+}  // namespace
+
+AllocCounts ThreadAllocCounts() { return tls_counts; }
+
+}  // namespace spatial
+
+void* operator new(std::size_t size) {
+  return spatial::CountedAllocOrThrow(size, alignof(std::max_align_t));
+}
+void* operator new[](std::size_t size) {
+  return spatial::CountedAllocOrThrow(size, alignof(std::max_align_t));
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  return spatial::CountedAllocOrThrow(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return spatial::CountedAllocOrThrow(size, static_cast<std::size_t>(align));
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return spatial::CountedAlloc(size, alignof(std::max_align_t));
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return spatial::CountedAlloc(size, alignof(std::max_align_t));
+}
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return spatial::CountedAlloc(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return spatial::CountedAlloc(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}

@@ -1,0 +1,38 @@
+#ifndef SPATIAL_COMMON_ALLOC_TRACKER_H_
+#define SPATIAL_COMMON_ALLOC_TRACKER_H_
+
+#include <cstdint>
+
+namespace spatial {
+
+// Heap-allocation counting for the zero-allocation assertions (docs/PERF.md
+// and bench E15).
+//
+// Linking the `spatial_alloc_tracker` library replaces the global operator
+// new/delete with counting forwarders that bump a thread-local counter and
+// delegate to malloc/free. Binaries that do not link the library are
+// completely unaffected — which is why the tracker is its own library
+// rather than part of spatial_common: only the allocation test and the E15
+// bench opt in.
+//
+// Usage (single thread):
+//   const AllocCounts before = ThreadAllocCounts();
+//   ... code under test ...
+//   const AllocCounts delta = ThreadAllocCounts() - before;
+//   EXPECT_EQ(delta.allocations, 0u);
+struct AllocCounts {
+  uint64_t allocations = 0;  // number of operator-new calls
+  uint64_t bytes = 0;        // total bytes requested
+
+  friend AllocCounts operator-(const AllocCounts& a, const AllocCounts& b) {
+    return AllocCounts{a.allocations - b.allocations, a.bytes - b.bytes};
+  }
+};
+
+// Counters of the calling thread. Deallocations are not tracked: steady
+// state is defined by allocation count alone.
+AllocCounts ThreadAllocCounts();
+
+}  // namespace spatial
+
+#endif  // SPATIAL_COMMON_ALLOC_TRACKER_H_

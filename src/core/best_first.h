@@ -7,6 +7,7 @@
 #include "common/result.h"
 #include "core/neighbor_buffer.h"
 #include "core/query_stats.h"
+#include "core/scratch.h"
 #include "geom/point.h"
 #include "rtree/rtree.h"
 
@@ -21,12 +22,30 @@ Result<std::vector<Neighbor>> BestFirstKnn(const RTree<D>& tree,
                                            const Point<D>& query, uint32_t k,
                                            QueryStats* stats);
 
+// As above, but the queue and staging buffers are borrowed from `scratch`
+// (may be null for a private arena) so repeated queries reuse storage.
+template <int D>
+Result<std::vector<Neighbor>> BestFirstKnn(const RTree<D>& tree,
+                                           const Point<D>& query, uint32_t k,
+                                           QueryScratch<D>* scratch,
+                                           QueryStats* stats);
+
 extern template Result<std::vector<Neighbor>> BestFirstKnn<2>(
     const RTree<2>&, const Point<2>&, uint32_t, QueryStats*);
 extern template Result<std::vector<Neighbor>> BestFirstKnn<3>(
     const RTree<3>&, const Point<3>&, uint32_t, QueryStats*);
 extern template Result<std::vector<Neighbor>> BestFirstKnn<4>(
     const RTree<4>&, const Point<4>&, uint32_t, QueryStats*);
+
+extern template Result<std::vector<Neighbor>> BestFirstKnn<2>(
+    const RTree<2>&, const Point<2>&, uint32_t, QueryScratch<2>*,
+    QueryStats*);
+extern template Result<std::vector<Neighbor>> BestFirstKnn<3>(
+    const RTree<3>&, const Point<3>&, uint32_t, QueryScratch<3>*,
+    QueryStats*);
+extern template Result<std::vector<Neighbor>> BestFirstKnn<4>(
+    const RTree<4>&, const Point<4>&, uint32_t, QueryScratch<4>*,
+    QueryStats*);
 
 }  // namespace spatial
 

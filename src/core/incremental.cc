@@ -1,5 +1,7 @@
 #include "core/incremental.h"
 
+#include <algorithm>
+
 #include "geom/metrics.h"
 #include "rtree/node.h"
 
@@ -8,18 +10,31 @@ namespace spatial {
 template <int D>
 IncrementalKnn<D>::IncrementalKnn(const RTree<D>& tree, const Point<D>& query,
                                   QueryStats* stats)
-    : tree_(&tree), query_(query), stats_(stats) {
+    : IncrementalKnn(tree, query, nullptr, stats) {}
+
+template <int D>
+IncrementalKnn<D>::IncrementalKnn(const RTree<D>& tree, const Point<D>& query,
+                                  QueryScratch<D>* scratch, QueryStats* stats)
+    : tree_(&tree), query_(query), stats_(stats), scratch_(scratch) {
+  if (scratch_ == nullptr) {
+    owned_scratch_ = std::make_unique<QueryScratch<D>>();
+    scratch_ = owned_scratch_.get();
+  }
+  scratch_->heap.clear();
   if (!tree.empty()) {
-    queue_.push(QueueItem{0.0, /*is_object=*/false, tree.root_page()});
+    scratch_->heap.push_back(
+        DistHeapItem{0.0, /*is_object=*/false, tree.root_page()});
     if (stats_ != nullptr) ++stats_->heap_pushes;
   }
 }
 
 template <int D>
 Result<std::optional<Neighbor>> IncrementalKnn<D>::Next() {
-  while (!queue_.empty()) {
-    const QueueItem item = queue_.top();
-    queue_.pop();
+  std::vector<DistHeapItem>& heap = scratch_->heap;
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end());
+    const DistHeapItem item = heap.back();
+    heap.pop_back();
     if (stats_ != nullptr) ++stats_->heap_pops;
     if (item.is_object) {
       return std::optional<Neighbor>(Neighbor{item.id, item.dist_sq});
@@ -47,26 +62,32 @@ Status IncrementalKnn<D>::ExpandNode(PageId node_id) {
   }
   const bool is_leaf = view.is_leaf();
   const uint32_t n = view.count();
-  for (uint32_t i = 0; i < n; ++i) {
-    const Entry<D> e = view.entry(i);
+  if (n == 0) return Status::OK();
+
+  // Expansion never recurses, so the pin is held for the whole call and
+  // the packed entries are read in place; the metric for all entries is
+  // evaluated in one batched pass before feeding the queue.
+  const Entry<D>* entries = view.entries();
+  double* dist = scratch_->min_dist.EnsureCapacity(n);
+  if (is_leaf) {
+    ObjectDistSqBatch(query_, entries, n, dist);
+  } else {
+    MinDistSqBatch(query_, entries, n, dist);
+  }
+  if (stats_ != nullptr) {
+    stats_->distance_computations += n;
+    stats_->heap_pushes += n;
     if (is_leaf) {
-      const double dist_sq = ObjectDistSq(query_, e.mbr);
-      queue_.push(QueueItem{dist_sq, /*is_object=*/true, e.id});
-      if (stats_ != nullptr) {
-        ++stats_->objects_examined;
-        ++stats_->distance_computations;
-        ++stats_->heap_pushes;
-      }
+      stats_->objects_examined += n;
     } else {
-      const double dist_sq = MinDistSq(query_, e.mbr);
-      queue_.push(
-          QueueItem{dist_sq, /*is_object=*/false, static_cast<PageId>(e.id)});
-      if (stats_ != nullptr) {
-        ++stats_->abl_entries_generated;
-        ++stats_->distance_computations;
-        ++stats_->heap_pushes;
-      }
+      stats_->abl_entries_generated += n;
     }
+  }
+
+  std::vector<DistHeapItem>& heap = scratch_->heap;
+  for (uint32_t i = 0; i < n; ++i) {
+    heap.push_back(DistHeapItem{dist[i], is_leaf, entries[i].id});
+    std::push_heap(heap.begin(), heap.end());
   }
   return Status::OK();
 }

@@ -2,13 +2,14 @@
 #define SPATIAL_CORE_INCREMENTAL_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
-#include <queue>
 #include <vector>
 
 #include "common/result.h"
 #include "core/neighbor_buffer.h"
 #include "core/query_stats.h"
+#include "core/scratch.h"
 #include "geom/point.h"
 #include "rtree/rtree.h"
 
@@ -23,37 +24,33 @@ namespace spatial {
 // (later formalized by Hjaltason & Samet); experiment E8 uses it as the
 // page-access-optimal comparator for the paper's depth-first search.
 //
-// The iterator borrows `tree` (and its buffer pool); it must not outlive
-// them, and the tree must not be mutated while iterating.
+// The queue and the node-staging buffers live in a QueryScratch: pass one
+// in to reuse its storage across queries (the query-service workers do), or
+// use the two-argument constructor and the iterator owns a private arena.
+//
+// The iterator borrows `tree` (and its buffer pool, and `scratch` if
+// given); it must not outlive them, and the tree must not be mutated while
+// iterating. A shared scratch must not be used by another query until this
+// iterator is done.
 template <int D>
 class IncrementalKnn {
  public:
   IncrementalKnn(const RTree<D>& tree, const Point<D>& query,
                  QueryStats* stats);
+  IncrementalKnn(const RTree<D>& tree, const Point<D>& query,
+                 QueryScratch<D>* scratch, QueryStats* stats);
 
   // Returns the next-closest neighbor, or nullopt when exhausted.
   Result<std::optional<Neighbor>> Next();
 
  private:
-  struct QueueItem {
-    double dist_sq;
-    bool is_object;
-    uint64_t id;  // object id or child PageId
-
-    // Min-heap on distance; objects win distance ties so results are
-    // emitted as early as possible.
-    friend bool operator<(const QueueItem& a, const QueueItem& b) {
-      if (a.dist_sq != b.dist_sq) return a.dist_sq > b.dist_sq;
-      return a.is_object < b.is_object;
-    }
-  };
-
   Status ExpandNode(PageId node_id);
 
   const RTree<D>* tree_;
   Point<D> query_;
   QueryStats* stats_;
-  std::priority_queue<QueueItem> queue_;
+  std::unique_ptr<QueryScratch<D>> owned_scratch_;  // when none was passed
+  QueryScratch<D>* scratch_;
 };
 
 extern template class IncrementalKnn<2>;

@@ -33,31 +33,59 @@ namespace {
 // point by monotonicity of per-dimension clamping.)
 constexpr double kMinMaxSlack = 1.0 + 1e-9;
 
-// One Active Branch List slot: a child subtree with its two metrics.
-struct AblEntry {
-  PageId child = kInvalidPageId;
-  double min_dist_sq = 0.0;
-  double min_max_dist_sq = 0.0;
+// ABL orderings. Ties on the distance key are broken by child page id so
+// that every traversal path (full sort, lazy heap) visits tied siblings in
+// the same order — the visit-order tests rely on this determinism.
+inline bool MinDistLess(const AblSlot& a, const AblSlot& b) {
+  if (a.min_dist_sq != b.min_dist_sq) return a.min_dist_sq < b.min_dist_sq;
+  return a.child < b.child;
+}
+inline bool MinMaxDistLess(const AblSlot& a, const AblSlot& b) {
+  if (a.min_max_dist_sq != b.min_max_dist_sq) {
+    return a.min_max_dist_sq < b.min_max_dist_sq;
+  }
+  return a.child < b.child;
+}
+
+// Truncates the shared ABL arena back to this recursion level's base on
+// every exit path (shrinking never allocates).
+struct AblFrame {
+  std::vector<AblSlot>* arena;
+  size_t base;
+  ~AblFrame() { arena->resize(base); }
 };
 
 template <int D>
 class DepthFirstKnn {
  public:
   DepthFirstKnn(const RTree<D>& tree, const Point<D>& query,
-                const KnnOptions& options, QueryStats* stats)
+                const KnnOptions& options, QueryScratch<D>* scratch,
+                QueryStats* stats)
       : tree_(tree),
         query_(query),
         options_(options),
+        scratch_(scratch),
         stats_(stats),
-        buffer_(options.k),
         // S1/S2 depend on MINMAXDIST bounding a *single* object, so they
         // are sound only for k = 1.
         s1_active_(options.use_s1 && options.k == 1),
-        s2_active_(options.use_s2 && options.k == 1) {}
+        s2_active_(options.use_s2 && options.k == 1),
+        // Under MINDIST ordering the ABL is consumed in ascending-MINDIST
+        // order until the bound kills the rest, so most entries are popped
+        // lazily from a min-heap instead of fully sorted. Pop order equals
+        // sorted order (ties broken by page id in both), and the prune
+        // bound only ever tightens, so the moment the heap's top exceeds it
+        // every remaining entry is dead — exactly the set the sorted loop
+        // would skip. The traversal is therefore unchanged for every k.
+        lazy_heap_(options.ordering == AblOrdering::kMinDist &&
+                   !options.force_full_sort) {}
 
-  Result<std::vector<Neighbor>> Run() {
+  Status Run(std::vector<Neighbor>* out, bool append) {
+    scratch_->buffer.Reset(options_.k);
+    scratch_->abl.clear();
     SPATIAL_RETURN_IF_ERROR(Visit(tree_.root_page()));
-    return buffer_.TakeSorted();
+    scratch_->buffer.ExtractSorted(out, append);
+    return Status::OK();
   }
 
  private:
@@ -66,9 +94,33 @@ class DepthFirstKnn {
   // the bound cannot improve the result.
   double PruneBoundSq() const {
     double bound = std::numeric_limits<double>::infinity();
-    if (options_.use_s3) bound = std::min(bound, buffer_.WorstDistSq());
+    if (options_.use_s3) bound = std::min(bound, scratch_->buffer.WorstDistSq());
     if (s2_active_) bound = std::min(bound, estimate_sq_);
     return bound;
+  }
+
+  Status VisitLeaf(const Entry<D>* entries, uint32_t n) {
+    double* dist = scratch_->min_dist.EnsureCapacity(n);
+    ObjectDistSqBatch(query_, entries, n, dist);
+    if (stats_ != nullptr) {
+      stats_->objects_examined += n;
+      stats_->distance_computations += n;
+    }
+    NeighborBuffer& buffer = scratch_->buffer;
+    // The bound only tightens when an offer is kept, so it is hoisted out
+    // of the loop and refreshed on that event alone.
+    double bound_sq = PruneBoundSq();
+    for (uint32_t i = 0; i < n; ++i) {
+      // An entry already beyond the prune bound cannot enter the answer
+      // (the bound proves k closer objects exist); skipping it avoids the
+      // buffer's sift work on dense leaves.
+      if (dist[i] > bound_sq) {
+        if (stats_ != nullptr) ++stats_->pruned_leaf;
+        continue;
+      }
+      if (buffer.Offer(entries[i].id, dist[i])) bound_sq = PruneBoundSq();
+    }
+    return Status::OK();
   }
 
   Status Visit(PageId node_id) {
@@ -86,75 +138,66 @@ class DepthFirstKnn {
         ++stats_->internal_nodes_visited;
       }
     }
-
-    if (view.is_leaf()) {
-      const uint32_t n = view.count();
-      for (uint32_t i = 0; i < n; ++i) {
-        const Entry<D> e = view.entry(i);
-        const double dist_sq = ObjectDistSq(query_, e.mbr);
-        if (stats_ != nullptr) {
-          ++stats_->objects_examined;
-          ++stats_->distance_computations;
-        }
-        buffer_.Offer(e.id, dist_sq);
-      }
-      return Status::OK();
+    if (options_.visit_trace != nullptr) {
+      options_.visit_trace->push_back(node_id);
     }
 
-    // Build the Active Branch List.
-    std::vector<AblEntry> abl;
-    abl.reserve(view.count());
     const uint32_t n = view.count();
-    for (uint32_t i = 0; i < n; ++i) {
-      const Entry<D> e = view.entry(i);
-      AblEntry slot;
-      slot.child = static_cast<PageId>(e.id);
-      slot.min_dist_sq = MinDistSq(query_, e.mbr);
-      slot.min_max_dist_sq = MinMaxDistSq(query_, e.mbr);
-      if (stats_ != nullptr) {
-        ++stats_->abl_entries_generated;
-        stats_->distance_computations += 2;
-      }
-      abl.push_back(slot);
-    }
-    // Release before descending: pin-depth stays at one frame.
+    if (n == 0) return Status::OK();
+
+    // Leaves recurse no further, so the pin is simply held across the
+    // distance pass and the packed entries are read in place — no copy.
+    if (view.is_leaf()) return VisitLeaf(view.entries(), n);
+
+    // Internal nodes are staged into contiguous scratch and the pin
+    // released before any metric or descent work: pin-depth stays at one
+    // frame for the whole traversal, however deep the tree.
+    Entry<D>* stage = scratch_->stage.EnsureCapacity(n);
+    view.CopyEntries(stage);
     handle.Release();
 
-    switch (options_.ordering) {
-      case AblOrdering::kMinDist:
-        std::sort(abl.begin(), abl.end(),
-                  [](const AblEntry& a, const AblEntry& b) {
-                    return a.min_dist_sq < b.min_dist_sq;
-                  });
-        break;
-      case AblOrdering::kMinMaxDist:
-        std::sort(abl.begin(), abl.end(),
-                  [](const AblEntry& a, const AblEntry& b) {
-                    return a.min_max_dist_sq < b.min_max_dist_sq;
-                  });
-        break;
-      case AblOrdering::kNone:
-        break;
+    // Evaluate the metrics for all children in one pass each. MINMAXDIST
+    // is needed only by S1/S2 and by the MINMAXDIST ordering.
+    double* dmin = scratch_->min_dist.EnsureCapacity(n);
+    MinDistSqBatch(query_, stage, n, dmin);
+    const bool need_minmax = s1_active_ || s2_active_ ||
+                             options_.ordering == AblOrdering::kMinMaxDist;
+    double* dminmax = nullptr;
+    if (need_minmax) {
+      dminmax = scratch_->min_max_dist.EnsureCapacity(n);
+      MinMaxDistSqBatch(query_, stage, n, dminmax);
+    }
+    if (stats_ != nullptr) {
+      stats_->abl_entries_generated += n;
+      stats_->distance_computations += need_minmax ? 2 * uint64_t{n} : n;
+    }
+
+    // Build this level's Active Branch List as a frame in the shared arena.
+    std::vector<AblSlot>& abl = scratch_->abl;
+    AblFrame frame{&abl, abl.size()};
+    const size_t base = frame.base;
+    for (uint32_t i = 0; i < n; ++i) {
+      abl.push_back(AblSlot{static_cast<PageId>(stage[i].id), dmin[i],
+                            need_minmax ? dminmax[i] : 0.0});
     }
 
     if (s1_active_ || s2_active_) {
       double min_minmax = std::numeric_limits<double>::infinity();
-      for (const AblEntry& slot : abl) {
-        min_minmax = std::min(min_minmax, slot.min_max_dist_sq);
+      for (size_t i = base; i < abl.size(); ++i) {
+        min_minmax = std::min(min_minmax, abl[i].min_max_dist_sq);
       }
       if (s1_active_) {
         // Strategy 1: some sibling is guaranteed to contain an object at
         // distance <= min_minmax; branches strictly beyond it are dead.
         const double s1_bound = min_minmax * kMinMaxSlack;
-        auto keep_end = std::remove_if(
-            abl.begin(), abl.end(), [s1_bound](const AblEntry& slot) {
-              return slot.min_dist_sq > s1_bound;
-            });
-        if (stats_ != nullptr) {
-          stats_->pruned_s1 +=
-              static_cast<uint64_t>(std::distance(keep_end, abl.end()));
+        size_t kept = base;
+        for (size_t i = base; i < abl.size(); ++i) {
+          if (abl[i].min_dist_sq <= s1_bound) abl[kept++] = abl[i];
         }
-        abl.erase(keep_end, abl.end());
+        if (stats_ != nullptr) {
+          stats_->pruned_s1 += static_cast<uint64_t>(abl.size() - kept);
+        }
+        abl.resize(kept);
       }
       if (s2_active_ && min_minmax * kMinMaxSlack < estimate_sq_) {
         // Strategy 2: tighten the NN distance estimate.
@@ -162,10 +205,59 @@ class DepthFirstKnn {
         if (stats_ != nullptr) ++stats_->estimate_updates_s2;
       }
     }
+    const size_t m = abl.size() - base;
+
+    if (lazy_heap_) {
+      // Pop children in MINDIST order from a min-heap, visiting until the
+      // cheapest survivor exceeds the bound — at that point *every*
+      // remaining child exceeds it (the heap top is their minimum), which
+      // is exactly the set a per-slot check would prune.
+      const auto greater = [](const AblSlot& a, const AblSlot& b) {
+        return MinDistLess(b, a);
+      };
+      std::make_heap(abl.begin() + base, abl.end(), greater);
+      size_t live = m;
+      while (live > 0) {
+        // Recompute iterators each round: recursion below may grow (and
+        // reallocate) the arena past this frame.
+        std::pop_heap(abl.begin() + base, abl.begin() + base + live,
+                      greater);
+        const AblSlot slot = abl[base + --live];
+        if (slot.min_dist_sq > PruneBoundSq()) {
+          if (stats_ != nullptr) {
+            stats_->pruned_s3 += static_cast<uint64_t>(live) + 1;
+          }
+          break;
+        }
+        SPATIAL_RETURN_IF_ERROR(Visit(slot.child));
+      }
+      return Status::OK();
+    }
+
+    // The comparators are wrapped in lambdas so std::sort instantiates on a
+    // unique inlinable closure type; passing the functions themselves would
+    // make every comparison an indirect call through a function pointer.
+    switch (options_.ordering) {
+      case AblOrdering::kMinDist:
+        std::sort(abl.begin() + base, abl.end(),
+                  [](const AblSlot& a, const AblSlot& b) {
+                    return MinDistLess(a, b);
+                  });
+        break;
+      case AblOrdering::kMinMaxDist:
+        std::sort(abl.begin() + base, abl.end(),
+                  [](const AblSlot& a, const AblSlot& b) {
+                    return MinMaxDistLess(a, b);
+                  });
+        break;
+      case AblOrdering::kNone:
+        break;
+    }
 
     // Recurse in ABL order, re-testing the bound after every return
     // (strategy 3 / upward pruning).
-    for (const AblEntry& slot : abl) {
+    for (size_t i = 0; i < m; ++i) {
+      const AblSlot slot = abl[base + i];  // copy: recursion moves the arena
       if (slot.min_dist_sq > PruneBoundSq()) {
         if (stats_ != nullptr) ++stats_->pruned_s3;
         continue;
@@ -178,24 +270,58 @@ class DepthFirstKnn {
   const RTree<D>& tree_;
   const Point<D> query_;
   const KnnOptions options_;
+  QueryScratch<D>* scratch_;
   QueryStats* stats_;
-  NeighborBuffer buffer_;
   const bool s1_active_;
   const bool s2_active_;
+  const bool lazy_heap_;
   double estimate_sq_ = std::numeric_limits<double>::infinity();
 };
 
 }  // namespace
 
 template <int D>
+Status KnnSearchInto(const RTree<D>& tree, const Point<D>& query,
+                     const KnnOptions& options, QueryScratch<D>* scratch,
+                     std::vector<Neighbor>* out, QueryStats* stats) {
+  SPATIAL_CHECK(scratch != nullptr && out != nullptr);
+  SPATIAL_RETURN_IF_ERROR(options.Validate());
+  out->clear();
+  if (tree.empty()) return Status::OK();
+  DepthFirstKnn<D> search(tree, query, options, scratch, stats);
+  return search.Run(out, /*append=*/false);
+}
+
+template <int D>
 Result<std::vector<Neighbor>> KnnSearch(const RTree<D>& tree,
                                         const Point<D>& query,
                                         const KnnOptions& options,
                                         QueryStats* stats) {
+  QueryScratch<D> scratch;
+  std::vector<Neighbor> out;
+  SPATIAL_RETURN_IF_ERROR(
+      KnnSearchInto(tree, query, options, &scratch, &out, stats));
+  return out;
+}
+
+template <int D>
+Status KnnSearchBatch(const RTree<D>& tree, const Point<D>* queries,
+                      size_t num_queries, const KnnOptions& options,
+                      QueryScratch<D>* scratch, BatchKnnResult* out) {
+  SPATIAL_CHECK(scratch != nullptr && out != nullptr);
   SPATIAL_RETURN_IF_ERROR(options.Validate());
-  if (tree.empty()) return std::vector<Neighbor>{};
-  DepthFirstKnn<D> search(tree, query, options, stats);
-  return search.Run();
+  out->Clear();
+  out->offsets.push_back(0);
+  for (size_t q = 0; q < num_queries; ++q) {
+    out->stats.emplace_back();
+    if (!tree.empty()) {
+      DepthFirstKnn<D> search(tree, queries[q], options, scratch,
+                              &out->stats.back());
+      SPATIAL_RETURN_IF_ERROR(search.Run(&out->neighbors, /*append=*/true));
+    }
+    out->offsets.push_back(static_cast<uint32_t>(out->neighbors.size()));
+  }
+  return Status::OK();
 }
 
 template Result<std::vector<Neighbor>> KnnSearch<2>(const RTree<2>&,
@@ -210,5 +336,25 @@ template Result<std::vector<Neighbor>> KnnSearch<4>(const RTree<4>&,
                                                     const Point<4>&,
                                                     const KnnOptions&,
                                                     QueryStats*);
+
+template Status KnnSearchInto<2>(const RTree<2>&, const Point<2>&,
+                                 const KnnOptions&, QueryScratch<2>*,
+                                 std::vector<Neighbor>*, QueryStats*);
+template Status KnnSearchInto<3>(const RTree<3>&, const Point<3>&,
+                                 const KnnOptions&, QueryScratch<3>*,
+                                 std::vector<Neighbor>*, QueryStats*);
+template Status KnnSearchInto<4>(const RTree<4>&, const Point<4>&,
+                                 const KnnOptions&, QueryScratch<4>*,
+                                 std::vector<Neighbor>*, QueryStats*);
+
+template Status KnnSearchBatch<2>(const RTree<2>&, const Point<2>*, size_t,
+                                  const KnnOptions&, QueryScratch<2>*,
+                                  BatchKnnResult*);
+template Status KnnSearchBatch<3>(const RTree<3>&, const Point<3>*, size_t,
+                                  const KnnOptions&, QueryScratch<3>*,
+                                  BatchKnnResult*);
+template Status KnnSearchBatch<4>(const RTree<4>&, const Point<4>*, size_t,
+                                  const KnnOptions&, QueryScratch<4>*,
+                                  BatchKnnResult*);
 
 }  // namespace spatial

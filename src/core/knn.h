@@ -2,11 +2,13 @@
 #define SPATIAL_CORE_KNN_H_
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
 #include "core/neighbor_buffer.h"
 #include "core/query_stats.h"
+#include "core/scratch.h"
 #include "geom/point.h"
 #include "rtree/rtree.h"
 
@@ -45,6 +47,13 @@ struct KnnOptions {
   bool use_s2 = true;
   bool use_s3 = true;
 
+  // Test hooks. `force_full_sort` disables the lazy-heap ABL path that
+  // MINDIST ordering otherwise takes, so tests can assert both paths visit
+  // nodes in the identical order. `visit_trace` (if set) receives the
+  // PageId of every node visited, in order.
+  bool force_full_sort = false;
+  std::vector<uint64_t>* visit_trace = nullptr;
+
   Status Validate() const {
     if (k < 1) return Status::InvalidArgument("k must be >= 1");
     return Status::OK();
@@ -61,12 +70,78 @@ Result<std::vector<Neighbor>> KnnSearch(const RTree<D>& tree,
                                         const KnnOptions& options,
                                         QueryStats* stats);
 
+// Allocation-free variant: identical algorithm and results, but all
+// traversal state lives in `scratch` and the answer is written into `out`
+// (cleared first, sorted by ascending distance). Reusing one scratch and
+// one output vector across queries makes steady-state execution perform
+// zero heap allocations (see docs/PERF.md). `scratch` and `out` must be
+// non-null; `stats` may be null.
+template <int D>
+Status KnnSearchInto(const RTree<D>& tree, const Point<D>& query,
+                     const KnnOptions& options, QueryScratch<D>* scratch,
+                     std::vector<Neighbor>* out, QueryStats* stats);
+
+// Answers of a batched kNN call, CSR-packed: query i's neighbors are
+// neighbors[offsets[i] .. offsets[i+1]), sorted by ascending distance, and
+// stats[i] holds that query's counters. Clear() retains capacity so one
+// result object can be reused across batches allocation-free.
+struct BatchKnnResult {
+  std::vector<Neighbor> neighbors;
+  std::vector<uint32_t> offsets;  // size num_queries() + 1
+  std::vector<QueryStats> stats;  // size num_queries()
+
+  size_t num_queries() const {
+    return offsets.empty() ? 0 : offsets.size() - 1;
+  }
+
+  // Neighbors of query i as a (pointer, count) span.
+  std::pair<const Neighbor*, size_t> Query(size_t i) const {
+    return {neighbors.data() + offsets[i],
+            static_cast<size_t>(offsets[i + 1] - offsets[i])};
+  }
+
+  void Clear() {
+    neighbors.clear();
+    offsets.clear();
+    stats.clear();
+  }
+};
+
+// Runs `num_queries` kNN queries through one shared scratch, amortizing all
+// per-query setup. Results are identical to issuing the queries one by one
+// through KnnSearch (the batch is an execution strategy, not a different
+// algorithm). `scratch` and `out` must be non-null.
+template <int D>
+Status KnnSearchBatch(const RTree<D>& tree, const Point<D>* queries,
+                      size_t num_queries, const KnnOptions& options,
+                      QueryScratch<D>* scratch, BatchKnnResult* out);
+
 extern template Result<std::vector<Neighbor>> KnnSearch<2>(
     const RTree<2>&, const Point<2>&, const KnnOptions&, QueryStats*);
 extern template Result<std::vector<Neighbor>> KnnSearch<3>(
     const RTree<3>&, const Point<3>&, const KnnOptions&, QueryStats*);
 extern template Result<std::vector<Neighbor>> KnnSearch<4>(
     const RTree<4>&, const Point<4>&, const KnnOptions&, QueryStats*);
+
+extern template Status KnnSearchInto<2>(const RTree<2>&, const Point<2>&,
+                                        const KnnOptions&, QueryScratch<2>*,
+                                        std::vector<Neighbor>*, QueryStats*);
+extern template Status KnnSearchInto<3>(const RTree<3>&, const Point<3>&,
+                                        const KnnOptions&, QueryScratch<3>*,
+                                        std::vector<Neighbor>*, QueryStats*);
+extern template Status KnnSearchInto<4>(const RTree<4>&, const Point<4>&,
+                                        const KnnOptions&, QueryScratch<4>*,
+                                        std::vector<Neighbor>*, QueryStats*);
+
+extern template Status KnnSearchBatch<2>(const RTree<2>&, const Point<2>*,
+                                         size_t, const KnnOptions&,
+                                         QueryScratch<2>*, BatchKnnResult*);
+extern template Status KnnSearchBatch<3>(const RTree<3>&, const Point<3>*,
+                                         size_t, const KnnOptions&,
+                                         QueryScratch<3>*, BatchKnnResult*);
+extern template Status KnnSearchBatch<4>(const RTree<4>&, const Point<4>*,
+                                         size_t, const KnnOptions&,
+                                         QueryScratch<4>*, BatchKnnResult*);
 
 }  // namespace spatial
 

@@ -28,6 +28,14 @@ class NeighborBuffer {
  public:
   explicit NeighborBuffer(uint32_t k) : k_(k) { SPATIAL_CHECK(k >= 1); }
 
+  // Re-arms the buffer for a new query, retaining the heap's capacity so a
+  // scratch-owned buffer serves any number of queries allocation-free.
+  void Reset(uint32_t k) {
+    SPATIAL_CHECK(k >= 1);
+    k_ = k;
+    heap_.clear();
+  }
+
   uint32_t k() const { return k_; }
   size_t size() const { return heap_.size(); }
   bool full() const { return heap_.size() >= k_; }
@@ -43,27 +51,42 @@ class NeighborBuffer {
   bool Offer(uint64_t id, double dist_sq) {
     if (!full()) {
       heap_.push_back(Neighbor{id, dist_sq});
-      std::push_heap(heap_.begin(), heap_.end(), Less);
+      std::push_heap(heap_.begin(), heap_.end(), Less{});
       return true;
     }
     if (dist_sq >= heap_.front().dist_sq) return false;
-    std::pop_heap(heap_.begin(), heap_.end(), Less);
+    std::pop_heap(heap_.begin(), heap_.end(), Less{});
     heap_.back() = Neighbor{id, dist_sq};
-    std::push_heap(heap_.begin(), heap_.end(), Less);
+    std::push_heap(heap_.begin(), heap_.end(), Less{});
     return true;
   }
 
   // Extracts the neighbors ordered by ascending distance, emptying the
   // buffer.
   std::vector<Neighbor> TakeSorted() {
-    std::sort_heap(heap_.begin(), heap_.end(), Less);
+    std::sort_heap(heap_.begin(), heap_.end(), Less{});
     return std::move(heap_);
   }
 
- private:
-  static bool Less(const Neighbor& a, const Neighbor& b) {
-    return a.dist_sq < b.dist_sq;
+  // Copies the neighbors ordered by ascending distance into `out`
+  // (replacing its contents unless `append`), then empties the buffer.
+  // Unlike TakeSorted this keeps the heap's capacity, so buffer and `out`
+  // both reach a steady state with no allocations when reused.
+  void ExtractSorted(std::vector<Neighbor>* out, bool append = false) {
+    std::sort_heap(heap_.begin(), heap_.end(), Less{});
+    if (!append) out->clear();
+    out->insert(out->end(), heap_.begin(), heap_.end());
+    heap_.clear();
   }
+
+ private:
+  // A named functor (not a function pointer) so the heap algorithms inline
+  // the comparison; a pointer would cost an indirect call per sift step.
+  struct Less {
+    bool operator()(const Neighbor& a, const Neighbor& b) const {
+      return a.dist_sq < b.dist_sq;
+    }
+  };
 
   uint32_t k_;
   std::vector<Neighbor> heap_;  // max-heap on dist_sq

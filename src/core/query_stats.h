@@ -18,6 +18,7 @@ struct QueryStats {
   uint64_t pruned_s1 = 0;              // MINDIST > min sibling MINMAXDIST
   uint64_t estimate_updates_s2 = 0;    // MINMAXDIST lowered the NN estimate
   uint64_t pruned_s3 = 0;              // MINDIST > k-th nearest (or estimate)
+  uint64_t pruned_leaf = 0;            // leaf entries skipped before Offer
 
   uint64_t objects_examined = 0;
   uint64_t distance_computations = 0;
@@ -35,6 +36,7 @@ struct QueryStats {
     pruned_s1 += other.pruned_s1;
     estimate_updates_s2 += other.estimate_updates_s2;
     pruned_s3 += other.pruned_s3;
+    pruned_leaf += other.pruned_leaf;
     objects_examined += other.objects_examined;
     distance_computations += other.distance_computations;
     heap_pushes += other.heap_pushes;

@@ -1,0 +1,126 @@
+#ifndef SPATIAL_CORE_SCRATCH_H_
+#define SPATIAL_CORE_SCRATCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+#include "core/neighbor_buffer.h"
+#include "rtree/entry.h"
+#include "storage/disk.h"
+
+namespace spatial {
+
+// Reusable per-query traversal storage (see docs/PERF.md).
+//
+// The branch-and-bound search of the paper spends its time in two places:
+// evaluating MINDIST/MINMAXDIST over a node's entries and maintaining the
+// Active Branch List. Both need only storage that is bounded by tree height
+// and fan-out, so one QueryScratch — owned per worker and handed to every
+// query — lets steady-state query execution run without touching the heap
+// at all: the arena's buffers grow to their high-water mark during the
+// first queries and are reused verbatim afterwards.
+//
+// A QueryScratch may be shared by any number of *sequential* queries (the
+// batched kNN API and the query-service workers do exactly that) but never
+// by two concurrent ones. It borrows nothing; dropping it is always safe.
+
+// Alignment of the staging buffers. 64 bytes = one cache line, and wide
+// enough for any SIMD ISA the auto-vectorizer may target.
+inline constexpr size_t kScratchAlignment = 64;
+
+// Growable 64-byte-aligned array of trivially copyable elements. Contents
+// are uninitialized and are *not* preserved across EnsureCapacity calls —
+// this is staging memory, not a container.
+template <typename T>
+class AlignedArray {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "AlignedArray is raw staging storage");
+
+ public:
+  AlignedArray() = default;
+
+  // Returns a pointer to at least `n` writable slots, reallocating only
+  // when the high-water mark grows.
+  T* EnsureCapacity(size_t n) {
+    if (n > capacity_) Grow(n);
+    return data_.get();
+  }
+
+  T* data() { return data_.get(); }
+  const T* data() const { return data_.get(); }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct AlignedDelete {
+    void operator()(T* p) const {
+      ::operator delete(p, std::align_val_t{kScratchAlignment});
+    }
+  };
+
+  void Grow(size_t n) {
+    size_t cap = capacity_ == 0 ? 16 : capacity_;
+    while (cap < n) cap *= 2;
+    data_.reset(static_cast<T*>(
+        ::operator new(cap * sizeof(T), std::align_val_t{kScratchAlignment})));
+    capacity_ = cap;
+  }
+
+  std::unique_ptr<T, AlignedDelete> data_;
+  size_t capacity_ = 0;
+};
+
+// One Active Branch List slot: a child subtree with its two metrics.
+struct AblSlot {
+  PageId child = kInvalidPageId;
+  double min_dist_sq = 0.0;
+  double min_max_dist_sq = 0.0;
+};
+
+// Priority-queue item of the best-first / incremental traversals: either a
+// subtree (keyed by MINDIST) or an object (keyed by its distance).
+struct DistHeapItem {
+  double dist_sq = 0.0;
+  bool is_object = false;
+  uint64_t id = 0;  // object id or child PageId
+
+  // Min-heap on distance under std::push_heap/pop_heap; objects win
+  // distance ties so results are emitted as early as possible.
+  friend bool operator<(const DistHeapItem& a, const DistHeapItem& b) {
+    if (a.dist_sq != b.dist_sq) return a.dist_sq > b.dist_sq;
+    return a.is_object < b.is_object;
+  }
+};
+
+// The arena proper. Members are deliberately public: the traversals in
+// core/ know the reuse discipline, and exposing the buffers keeps the hot
+// path free of accessor indirection.
+template <int D>
+struct QueryScratch {
+  // One node's entries, staged contiguously by NodeView::CopyEntries so the
+  // batch distance kernels stream them in a single pass.
+  AlignedArray<Entry<D>> stage;
+
+  // Distance outputs of the batch kernels, parallel to `stage`.
+  AlignedArray<double> min_dist;
+  AlignedArray<double> min_max_dist;
+
+  // Active Branch List arena shared by all recursion levels with stack
+  // discipline: each Visit() records the current size as its frame base,
+  // appends its slots, and truncates back on exit.
+  std::vector<AblSlot> abl;
+
+  // Best-first / incremental traversal queue storage.
+  std::vector<DistHeapItem> heap;
+
+  // Candidate buffer of the depth-first search; Reset(k) re-arms it per
+  // query without releasing storage.
+  NeighborBuffer buffer{1};
+};
+
+}  // namespace spatial
+
+#endif  // SPATIAL_CORE_SCRATCH_H_

@@ -140,6 +140,72 @@ inline double ObjectDistSq(const Point<D>& p, const Rect<D>& object_mbr) {
   return MinDistSq(p, object_mbr);
 }
 
+// ---------------------------------------------------------------------------
+// Batch kernels.
+//
+// Evaluate one metric for a query point against a *contiguous span* of
+// elements — anything exposing an `mbr` member, in practice Entry<D> staged
+// by NodeView::CopyEntries into a QueryScratch — writing one distance per
+// element. The element loop is branch-free straight-line arithmetic over a
+// fixed stride, which compilers auto-vectorize; the results are
+// bit-identical to calling the scalar functions element by element (the
+// max-based MINDIST form selects exactly the same operand as the scalar
+// branches, so every product and the summation order coincide).
+
+// out[j] = MINDIST^2(p, elems[j].mbr) for j in [0, n).
+template <int D, typename E>
+inline void MinDistSqBatch(const Point<D>& p, const E* elems, uint32_t n,
+                           double* out) {
+  for (uint32_t j = 0; j < n; ++j) {
+    const Rect<D>& r = elems[j].mbr;
+    double sum = 0.0;
+    for (int i = 0; i < D; ++i) {
+      const double lo_gap = r.lo[i] - p[i];
+      const double hi_gap = p[i] - r.hi[i];
+      const double d = std::max(std::max(lo_gap, hi_gap), 0.0);
+      sum += d * d;
+    }
+    out[j] = sum;
+  }
+}
+
+// out[j] = MINMAXDIST^2(p, elems[j].mbr) for j in [0, n). Same construction
+// as the scalar MinMaxDistSq: precompute the all-far sum, then swap in the
+// near term per dimension.
+template <int D, typename E>
+inline void MinMaxDistSqBatch(const Point<D>& p, const E* elems, uint32_t n,
+                              double* out) {
+  for (uint32_t j = 0; j < n; ++j) {
+    const Rect<D>& r = elems[j].mbr;
+    double far_sum = 0.0;
+    double far_term[D];
+    double near_term[D];
+    for (int i = 0; i < D; ++i) {
+      const double mid = 0.5 * (r.lo[i] + r.hi[i]);
+      const double near_plane = (p[i] <= mid) ? r.lo[i] : r.hi[i];
+      const double far_plane = (p[i] >= mid) ? r.lo[i] : r.hi[i];
+      const double dn = p[i] - near_plane;
+      const double df = p[i] - far_plane;
+      near_term[i] = dn * dn;
+      far_term[i] = df * df;
+      far_sum += far_term[i];
+    }
+    double best = std::numeric_limits<double>::infinity();
+    for (int k = 0; k < D; ++k) {
+      const double candidate = far_sum - far_term[k] + near_term[k];
+      best = std::min(best, candidate);
+    }
+    out[j] = best;
+  }
+}
+
+// out[j] = ObjectDistSq(p, elems[j].mbr): object distance is MBR MINDIST.
+template <int D, typename E>
+inline void ObjectDistSqBatch(const Point<D>& p, const E* elems, uint32_t n,
+                              double* out) {
+  MinDistSqBatch<D>(p, elems, n, out);
+}
+
 }  // namespace spatial
 
 #endif  // SPATIAL_GEOM_METRICS_H_

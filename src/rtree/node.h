@@ -123,6 +123,25 @@ class NodeView {
     return out;
   }
 
+  // Stages all count() entries into `out` with one bulk copy (the entries
+  // are densely packed on the page). `out` must hold at least count()
+  // slots; traversals point it at reusable aligned scratch so the batch
+  // distance kernels can stream the node in a single contiguous pass.
+  void CopyEntries(Entry<D>* out) const {
+    std::memcpy(out, data_ + sizeof(NodeHeader),
+                static_cast<size_t>(count()) * sizeof(Entry<D>));
+  }
+
+  // Direct pointer to the packed entry array, for reading a node in place
+  // without the staging copy. Entry<D> is trivially copyable and the array
+  // starts 8-byte aligned (header is 8 bytes, frames are allocated with
+  // new[]), so in-place reads are safe on page images that were written
+  // through this view. Only valid while the page's pin is held — callers
+  // that recurse must stage instead.
+  const Entry<D>* entries() const {
+    return reinterpret_cast<const Entry<D>*>(data_ + sizeof(NodeHeader));
+  }
+
   // Tight bounding rectangle over all entries (Empty() if none).
   Rect<D> ComputeMbr() const {
     Rect<D> mbr = Rect<D>::Empty();

@@ -18,6 +18,8 @@ const char* QueryKindName(QueryKind kind) {
       return "range";
     case QueryKind::kTopK:
       return "top-k";
+    case QueryKind::kBatchKnn:
+      return "batch-knn";
   }
   return "unknown";
 }
@@ -147,13 +149,9 @@ QueryResponse<D> QueryService<D>::Dispatch(Worker* worker,
   const RTree<D>& tree = *worker->tree;
   switch (request.kind) {
     case QueryKind::kKnn: {
-      auto result =
-          KnnSearch<D>(tree, request.query, request.knn, &response.stats);
-      if (result.ok()) {
-        response.neighbors = std::move(result).value();
-      } else {
-        response.status = result.status();
-      }
+      response.status =
+          KnnSearchInto<D>(tree, request.query, request.knn, &worker->scratch,
+                           &response.neighbors, &response.stats);
       return response;
     }
     case QueryKind::kConstrainedKnn: {
@@ -176,7 +174,8 @@ QueryResponse<D> QueryService<D>::Dispatch(Worker* worker,
         response.status = Status::InvalidArgument("top_k must be >= 1");
         return response;
       }
-      IncrementalKnn<D> scan(tree, request.query, &response.stats);
+      IncrementalKnn<D> scan(tree, request.query, &worker->scratch,
+                             &response.stats);
       for (uint32_t i = 0; i < request.top_k; ++i) {
         auto next = scan.Next();
         if (!next.ok()) {
@@ -185,6 +184,22 @@ QueryResponse<D> QueryService<D>::Dispatch(Worker* worker,
         }
         if (!next->has_value()) break;  // tree exhausted
         response.neighbors.push_back(**next);
+      }
+      return response;
+    }
+    case QueryKind::kBatchKnn: {
+      if (request.batch_queries.empty()) {
+        response.batch_offsets.push_back(0);
+        return response;
+      }
+      BatchKnnResult batch;
+      response.status = KnnSearchBatch<D>(
+          tree, request.batch_queries.data(), request.batch_queries.size(),
+          request.knn, &worker->scratch, &batch);
+      if (response.status.ok()) {
+        response.neighbors = std::move(batch.neighbors);
+        response.batch_offsets = std::move(batch.offsets);
+        for (const QueryStats& qs : batch.stats) response.stats.Add(qs);
       }
       return response;
     }

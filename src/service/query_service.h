@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "core/scratch.h"
 #include "db/spatial_db.h"
 #include "service/latency_histogram.h"
 #include "service/request.h"
@@ -128,6 +129,9 @@ class QueryService {
     std::atomic<uint64_t> ok{0};
     std::atomic<uint64_t> failed{0};
     QueryStats query_stats;  // owner-thread only; read when idle
+    // Reusable traversal arena: after warm-up, kNN/top-k dispatches run
+    // without heap allocation (docs/PERF.md).
+    QueryScratch<D> scratch;
   };
 
   QueryService(const SpatialDb<D>* db, std::unique_ptr<SpatialDb<D>> owned,

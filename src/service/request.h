@@ -22,6 +22,7 @@ enum class QueryKind {
   kConstrainedKnn,  // k nearest within a region
   kRange,           // all entries intersecting a window
   kTopK,            // k nearest via the incremental (distance-browsing) scan
+  kBatchKnn,        // many kNN queries answered in one worker pass
 };
 
 const char* QueryKindName(QueryKind kind);
@@ -33,8 +34,9 @@ struct QueryRequest {
   QueryKind kind = QueryKind::kKnn;
   Point<D> query{};                    // kKnn / kConstrainedKnn / kTopK
   Rect<D> window = Rect<D>::Empty();   // kConstrainedKnn region, kRange
-  KnnOptions knn;                      // kKnn / kConstrainedKnn knobs
+  KnnOptions knn;                      // kKnn / kConstrainedKnn / kBatchKnn
   uint32_t top_k = 1;                  // kTopK result count
+  std::vector<Point<D>> batch_queries;  // kBatchKnn query points
 
   static QueryRequest Knn(const Point<D>& q, uint32_t k) {
     QueryRequest r;
@@ -68,17 +70,32 @@ struct QueryRequest {
     r.top_k = k;
     return r;
   }
+
+  // All queries share one k and one traversal through the worker's scratch
+  // arena; the response packs per-query slices CSR-style (batch_offsets).
+  static QueryRequest BatchKnn(std::vector<Point<D>> queries, uint32_t k) {
+    QueryRequest r;
+    r.kind = QueryKind::kBatchKnn;
+    r.batch_queries = std::move(queries);
+    r.knn.k = k;
+    return r;
+  }
 };
 
 // The answer to one request. `neighbors` is filled for the k-NN kinds,
 // `entries` for range queries. `stats` carries the paper's per-query
 // counters (nodes_visited == page accesses); `latency_ns` is wall time
 // inside the worker, excluding queue wait.
+//
+// For kBatchKnn, `neighbors` concatenates every query's results and
+// `batch_offsets` delimits them: query i owns neighbors
+// [batch_offsets[i], batch_offsets[i + 1]). `stats` sums over the batch.
 template <int D>
 struct QueryResponse {
   Status status;
   std::vector<Neighbor> neighbors;
   std::vector<Entry<D>> entries;
+  std::vector<uint32_t> batch_offsets;
   QueryStats stats;
   uint64_t latency_ns = 0;
   uint32_t worker_id = 0;

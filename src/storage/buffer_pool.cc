@@ -1,5 +1,6 @@
 #include "storage/buffer_pool.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/macros.h"
@@ -67,10 +68,10 @@ Result<PageHandle> BufferPool::Fetch(PageId id) {
     return Status::InvalidArgument("Fetch: invalid page id");
   }
   ++stats_.logical_fetches;
-  auto it = page_table_.find(id);
-  if (it != page_table_.end()) {
+  const uint32_t resident = LookupFrame(id);
+  if (resident != kNilFrame) {
     ++stats_.hits;
-    const uint32_t idx = it->second;
+    const uint32_t idx = resident;
     Frame& frame = frames_[idx];
     if (frame.pin_count == 0) MakeUnevictable(idx);
     ++frame.pin_count;
@@ -89,7 +90,7 @@ Result<PageHandle> BufferPool::Fetch(PageId id) {
   frame.pin_count = 1;
   frame.dirty = false;
   frame.referenced = true;
-  page_table_[id] = idx;
+  InsertFrame(id, idx);
   return PageHandle(this, id, frame.data.get());
 }
 
@@ -102,14 +103,13 @@ Result<PageHandle> BufferPool::NewPage() {
   frame.dirty = true;
   frame.referenced = true;
   std::memset(frame.data.get(), 0, disk_->page_size());
-  page_table_[id] = idx;
+  InsertFrame(id, idx);
   return PageHandle(this, id, frame.data.get());
 }
 
 Status BufferPool::FreePage(PageId id) {
-  auto it = page_table_.find(id);
-  if (it != page_table_.end()) {
-    const uint32_t idx = it->second;
+  const uint32_t idx = LookupFrame(id);
+  if (idx != kNilFrame) {
     Frame& frame = frames_[idx];
     if (frame.pin_count > 0) {
       return Status::InvalidArgument("FreePage: page is pinned");
@@ -117,7 +117,7 @@ Status BufferPool::FreePage(PageId id) {
     MakeUnevictable(idx);
     frame.id = kInvalidPageId;
     frame.dirty = false;
-    page_table_.erase(it);
+    page_table_[id] = kNilFrame;
     free_frames_.push_back(idx);
   }
   return disk_->FreePage(id);
@@ -142,9 +142,8 @@ uint32_t BufferPool::pinned_frames() const {
 }
 
 void BufferPool::Unpin(PageId id, bool dirty) {
-  auto it = page_table_.find(id);
-  SPATIAL_CHECK(it != page_table_.end());
-  const uint32_t idx = it->second;
+  const uint32_t idx = LookupFrame(id);
+  SPATIAL_CHECK(idx != kNilFrame);
   Frame& frame = frames_[idx];
   SPATIAL_CHECK(frame.pin_count > 0);
   frame.dirty = frame.dirty || dirty;
@@ -162,11 +161,11 @@ Result<uint32_t> BufferPool::GetVictimFrame() {
 }
 
 Result<uint32_t> BufferPool::EvictLru() {
-  if (lru_list_.empty()) {
+  if (lru_head_ == kNilFrame) {
     return Status::ResourceExhausted(
         "buffer pool: all frames pinned; cannot evict");
   }
-  const uint32_t idx = lru_list_.front();
+  const uint32_t idx = lru_head_;
   SPATIAL_DCHECK(frames_[idx].pin_count == 0);
   MakeUnevictable(idx);
   SPATIAL_RETURN_IF_ERROR(WriteBackAndDetach(idx));
@@ -199,7 +198,7 @@ Status BufferPool::WriteBackAndDetach(uint32_t frame_idx) {
     SPATIAL_RETURN_IF_ERROR(disk_->WritePage(frame.id, frame.data.get()));
     ++stats_.dirty_writebacks;
   }
-  page_table_.erase(frame.id);
+  page_table_[frame.id] = kNilFrame;
   frame.id = kInvalidPageId;
   frame.dirty = false;
   frame.referenced = false;
@@ -207,21 +206,50 @@ Status BufferPool::WriteBackAndDetach(uint32_t frame_idx) {
   return Status::OK();
 }
 
+// Grows the table geometrically so that repeated appends of fresh page ids
+// stay amortized O(1), then records the mapping.
+void BufferPool::InsertFrame(PageId id, uint32_t frame_idx) {
+  if (id >= page_table_.size()) {
+    const size_t grown = std::max<size_t>(size_t{id} + 1,
+                                          2 * page_table_.size());
+    page_table_.resize(grown, kNilFrame);
+  }
+  page_table_[id] = frame_idx;
+}
+
+// Appends the frame at the most-recently-used end of the intrusive list.
 void BufferPool::MakeEvictable(uint32_t frame_idx) {
   if (policy_ != EvictionPolicy::kLru) return;  // CLOCK uses pin counts only
   Frame& frame = frames_[frame_idx];
   SPATIAL_DCHECK(!frame.evictable);
-  frame.lru_pos = lru_list_.insert(lru_list_.end(), frame_idx);
+  frame.lru_prev = lru_tail_;
+  frame.lru_next = kNilFrame;
+  if (lru_tail_ != kNilFrame) {
+    frames_[lru_tail_].lru_next = frame_idx;
+  } else {
+    lru_head_ = frame_idx;
+  }
+  lru_tail_ = frame_idx;
   frame.evictable = true;
 }
 
 void BufferPool::MakeUnevictable(uint32_t frame_idx) {
   if (policy_ != EvictionPolicy::kLru) return;
   Frame& frame = frames_[frame_idx];
-  if (frame.evictable) {
-    lru_list_.erase(frame.lru_pos);
-    frame.evictable = false;
+  if (!frame.evictable) return;
+  if (frame.lru_prev != kNilFrame) {
+    frames_[frame.lru_prev].lru_next = frame.lru_next;
+  } else {
+    lru_head_ = frame.lru_next;
   }
+  if (frame.lru_next != kNilFrame) {
+    frames_[frame.lru_next].lru_prev = frame.lru_prev;
+  } else {
+    lru_tail_ = frame.lru_prev;
+  }
+  frame.lru_prev = kNilFrame;
+  frame.lru_next = kNilFrame;
+  frame.evictable = false;
 }
 
 }  // namespace spatial

@@ -1,0 +1,141 @@
+// Proves the tentpole claim of the scratch arena: once warm, query
+// execution performs ZERO heap allocations — not "few", none. This binary
+// links spatial_alloc_tracker, which replaces global operator new/delete
+// with counting forwarders, so any allocation on the hot path is caught
+// mechanically rather than by inspection.
+//
+// Discipline inside the measured region: no gtest assertions, no stats
+// formatting — counters are sampled before/after and asserted afterwards.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/alloc_tracker.h"
+#include "common/rng.h"
+#include "core/incremental.h"
+#include "core/knn.h"
+#include "data/uniform.h"
+#include "data/workload.h"
+#include "rtree/bulk_load.h"
+#include "tests/test_util.h"
+
+namespace spatial {
+namespace {
+
+// The pool covers the whole tree, so after the warm pass every fetch is a
+// hit: steady state exercises the full traversal but no eviction path.
+struct Fixture {
+  Fixture() : disk(1024), pool(&disk, 2048) {
+    Rng rng(404);
+    data = MakePointEntries(GenerateUniform<2>(8000, UnitBounds<2>(), &rng));
+    auto loaded =
+        BulkLoad<2>(&pool, RTreeOptions{}, data, BulkLoadMethod::kStr);
+    EXPECT_TRUE(loaded.ok()) << loaded.status().ToString();
+    tree.emplace(std::move(loaded).value());
+    Rng qrng(405);
+    queries =
+        GenerateQueries<2>(data, 64, QueryDistribution::kUniform, 0.0, &qrng);
+  }
+
+  DiskManager disk;
+  BufferPool pool;
+  std::vector<Entry<2>> data;
+  std::optional<RTree<2>> tree;
+  std::vector<Point2> queries;
+};
+
+TEST(ZeroAllocTest, TrackerCountsAllocations) {
+  const AllocCounts before = ThreadAllocCounts();
+  // The volatile sink keeps the allocation observable, so the compiler
+  // cannot dead-code-eliminate the new/delete pair.
+  static void* volatile sink;
+  sink = ::operator new(32);
+  ::operator delete(sink);
+  const AllocCounts delta = ThreadAllocCounts() - before;
+  EXPECT_GE(delta.allocations, 1u);
+  EXPECT_GE(delta.bytes, 32u);
+}
+
+TEST(ZeroAllocTest, KnnSearchIntoIsAllocationFreeWhenWarm) {
+  Fixture f;
+  QueryScratch<2> scratch;
+  std::vector<Neighbor> out;
+  QueryStats stats;
+
+  for (uint32_t k : {1u, 10u}) {
+    KnnOptions options;
+    options.k = k;
+    // Warm pass: arenas grow to their high-water mark, pool faults in the
+    // whole tree.
+    for (const Point2& q : f.queries) {
+      ASSERT_TRUE(
+          KnnSearchInto<2>(*f.tree, q, options, &scratch, &out, &stats).ok());
+    }
+
+    const AllocCounts before = ThreadAllocCounts();
+    bool all_ok = true;
+    for (const Point2& q : f.queries) {
+      all_ok &=
+          KnnSearchInto<2>(*f.tree, q, options, &scratch, &out, &stats).ok();
+    }
+    const AllocCounts delta = ThreadAllocCounts() - before;
+    ASSERT_TRUE(all_ok);
+    EXPECT_EQ(delta.allocations, 0u) << "k=" << k << ": " << delta.bytes
+                                     << " bytes allocated in steady state";
+  }
+}
+
+TEST(ZeroAllocTest, BatchKnnSteadyStateIsAllocationFree) {
+  Fixture f;
+  QueryScratch<2> scratch;
+  BatchKnnResult batch;
+  KnnOptions options;
+  options.k = 10;
+
+  // Warm: result vectors and scratch reach capacity on the first batch.
+  ASSERT_TRUE(KnnSearchBatch<2>(*f.tree, f.queries.data(), f.queries.size(),
+                                options, &scratch, &batch)
+                  .ok());
+
+  const AllocCounts before = ThreadAllocCounts();
+  Status status = KnnSearchBatch<2>(*f.tree, f.queries.data(),
+                                    f.queries.size(), options, &scratch,
+                                    &batch);
+  const AllocCounts delta = ThreadAllocCounts() - before;
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(delta.allocations, 0u)
+      << delta.bytes << " bytes allocated in steady-state batch";
+}
+
+TEST(ZeroAllocTest, IncrementalScanReusesScratchWithoutAllocating) {
+  Fixture f;
+  QueryScratch<2> scratch;
+  QueryStats stats;
+
+  // Warm pass identical to the measured pass, so the shared heap storage
+  // reaches the exact high-water mark the measurement will need.
+  auto run_scans = [&]() -> size_t {
+    size_t produced = 0;
+    for (const Point2& q : f.queries) {
+      IncrementalKnn<2> scan(*f.tree, q, &scratch, &stats);
+      for (int i = 0; i < 16; ++i) {
+        auto next = scan.Next();
+        if (!next.ok() || !next->has_value()) return produced;
+        ++produced;
+      }
+    }
+    return produced;
+  };
+  ASSERT_EQ(run_scans(), f.queries.size() * 16);
+
+  const AllocCounts before = ThreadAllocCounts();
+  const size_t produced = run_scans();
+  const AllocCounts delta = ThreadAllocCounts() - before;
+  EXPECT_EQ(produced, f.queries.size() * 16);
+  EXPECT_EQ(delta.allocations, 0u)
+      << delta.bytes << " bytes allocated across incremental scans";
+}
+
+}  // namespace
+}  // namespace spatial

@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json files and fail on performance regressions.
+
+The experiment binaries (currently E15) emit a flat ``{"metric": value}``
+JSON dictionary. This script diffs an old and a new run:
+
+    tools/bench_compare.py BENCH_E15.old.json BENCH_E15.json
+
+and exits non-zero when any metric regressed by more than ``--max-regress``
+(default 10%). Whether higher or lower is better is inferred from the
+metric-name prefix:
+
+    higher is better:  qps_*, speedup_*, hit_*
+    lower  is better:  allocs_*, pages_*, latency_*, p50_*, p95_*, p99_*
+
+Metrics with an unrecognized prefix, or present in only one file, are
+reported but never fail the comparison. ``--self-test`` runs the built-in
+check that ctest wires in (see bench/CMakeLists.txt).
+"""
+
+import argparse
+import json
+import sys
+
+HIGHER_IS_BETTER = ("qps", "speedup", "hit")
+LOWER_IS_BETTER = ("allocs", "pages", "latency", "p50", "p95", "p99")
+
+
+def direction(metric):
+    """Returns +1 (higher better), -1 (lower better), or 0 (informational)."""
+    if metric.startswith(HIGHER_IS_BETTER):
+        return 1
+    if metric.startswith(LOWER_IS_BETTER):
+        return -1
+    return 0
+
+
+def regression(metric, old, new):
+    """Fractional regression of `new` vs `old`; positive means worse."""
+    sense = direction(metric)
+    if sense == 0:
+        return None
+    if old == 0:
+        # A zero baseline (e.g. allocs_per_query == 0) cannot shrink; any
+        # increase of a lower-is-better metric from zero is a regression of
+        # its absolute size.
+        if sense == -1 and new > 0:
+            return float("inf")
+        return 0.0
+    change = (new - old) / abs(old)
+    return -change if sense == 1 else change
+
+
+def compare(old, new, max_regress, out=sys.stdout):
+    """Prints a per-metric report; returns the list of failing metrics."""
+    failures = []
+    width = max((len(k) for k in sorted(set(old) | set(new))), default=6)
+    for metric in sorted(set(old) | set(new)):
+        if metric not in old or metric not in new:
+            where = "old" if metric in old else "new"
+            print(f"  {metric:<{width}}  only in {where} (ignored)", file=out)
+            continue
+        reg = regression(metric, old[metric], new[metric])
+        if reg is None:
+            print(f"  {metric:<{width}}  {old[metric]:>12.4f} -> "
+                  f"{new[metric]:>12.4f}  (informational)", file=out)
+            continue
+        verdict = "ok"
+        if reg > max_regress:
+            verdict = "REGRESSION"
+            failures.append(metric)
+        elif reg < -max_regress:
+            verdict = "improved"
+        print(f"  {metric:<{width}}  {old[metric]:>12.4f} -> "
+              f"{new[metric]:>12.4f}  {reg:+8.1%}  {verdict}", file=out)
+    return failures
+
+
+def self_test():
+    old = {
+        "qps_scratch_k1": 1000.0,
+        "allocs_per_query_scratch_k1": 0.0,
+        "pages_per_query_scratch_k1": 10.0,
+        "speedup_scratch_k1": 2.0,
+        "note_metric": 5.0,
+        "only_old": 1.0,
+    }
+    # qps -12% and allocs 0 -> 3 must both fail; pages -5% must pass;
+    # unknown prefixes and one-sided metrics must never fail.
+    new = {
+        "qps_scratch_k1": 880.0,
+        "allocs_per_query_scratch_k1": 3.0,
+        "pages_per_query_scratch_k1": 10.5,
+        "speedup_scratch_k1": 2.1,
+        "note_metric": 500.0,
+        "only_new": 1.0,
+    }
+    failures = compare(old, new, 0.10)
+    expected = ["allocs_per_query_scratch_k1", "qps_scratch_k1"]
+    if sorted(failures) != expected:
+        print(f"self-test FAILED: got {sorted(failures)}, want {expected}")
+        return 1
+    if regression("qps_x", 1000.0, 1100.0) != -0.1:
+        print("self-test FAILED: improvement sign")
+        return 1
+    if regression("latency_x", 100.0, 109.0) >= 0.10:
+        print("self-test FAILED: sub-threshold regression flagged")
+        return 1
+    print("self-test passed")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="diff two benchmark JSON files, fail on regressions")
+    parser.add_argument("old", nargs="?", help="baseline BENCH_*.json")
+    parser.add_argument("new", nargs="?", help="candidate BENCH_*.json")
+    parser.add_argument("--max-regress", type=float, default=0.10,
+                        help="allowed fractional regression (default 0.10)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the built-in consistency check and exit")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if args.old is None or args.new is None:
+        parser.error("old and new JSON files are required")
+
+    with open(args.old) as f:
+        old = json.load(f)
+    with open(args.new) as f:
+        new = json.load(f)
+    print(f"comparing {args.old} -> {args.new} "
+          f"(max regression {args.max_regress:.0%})")
+    failures = compare(old, new, args.max_regress)
+    if failures:
+        print(f"\n{len(failures)} metric(s) regressed beyond "
+              f"{args.max_regress:.0%}: {', '.join(failures)}")
+        return 1
+    print("\nno regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
