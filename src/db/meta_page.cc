@@ -1,16 +1,22 @@
 #include "db/meta_page.h"
 
+#include <algorithm>
 #include <cstring>
 
+#include "common/crc32.h"
 #include "common/macros.h"
 
 namespace spatial {
 namespace {
 
 constexpr uint32_t kMetaMagic = 0x53504442;  // "SPDB"
-constexpr uint32_t kMetaVersion = 1;
+constexpr uint32_t kMetaVersion = 2;
 
-// On-page layout; trivially copyable and memcpy'd like node pages.
+// On-page layout; trivially copyable and memcpy'd like node pages. The
+// free list (free_count u32 page ids) follows immediately after. The CRC
+// covers the layout (with the crc field zeroed) plus the free list, and
+// layout + full free list stay below one 512-byte sector — see
+// kMaxPersistedFreeIds.
 struct MetaLayout {
   uint32_t magic;
   uint32_t version;
@@ -24,13 +30,29 @@ struct MetaLayout {
   uint8_t padding[6];
   double min_fill;
   double reinsert_fraction;
+  uint32_t num_pages;
+  uint32_t free_count;
+  uint64_t epoch;
+  uint64_t checkpoint_lsn;
+  uint64_t wal_seq;
+  uint32_t crc;
+  uint32_t padding2;
 };
 static_assert(std::is_trivially_copyable_v<MetaLayout>);
+static_assert(sizeof(MetaLayout) + 4 * kMaxPersistedFreeIds <= 512,
+              "superblock must fit one atomically-written sector");
 
 }  // namespace
 
 void EncodeMetaPage(const MetaRecord& meta, char* page, uint32_t page_size) {
   SPATIAL_CHECK(page_size >= sizeof(MetaLayout));
+  // Tiny pages shrink the persistable free list further; overflow is
+  // leaked, not lost data.
+  const uint32_t cap = std::min<uint32_t>(
+      kMaxPersistedFreeIds,
+      (page_size - static_cast<uint32_t>(sizeof(MetaLayout))) / 4);
+  const uint32_t free_count =
+      static_cast<uint32_t>(std::min<size_t>(meta.free_pages.size(), cap));
   MetaLayout layout{};
   layout.magic = kMetaMagic;
   layout.version = kMetaVersion;
@@ -43,8 +65,20 @@ void EncodeMetaPage(const MetaRecord& meta, char* page, uint32_t page_size) {
   layout.rstar_reinsert = meta.rstar_reinsert ? 1 : 0;
   layout.min_fill = meta.min_fill;
   layout.reinsert_fraction = meta.reinsert_fraction;
+  layout.num_pages = meta.num_pages;
+  layout.free_count = free_count;
+  layout.epoch = meta.epoch;
+  layout.checkpoint_lsn = meta.checkpoint_lsn;
+  layout.wal_seq = meta.wal_seq;
+  layout.crc = 0;
   std::memset(page, 0, page_size);
   std::memcpy(page, &layout, sizeof(layout));
+  if (free_count > 0) {
+    std::memcpy(page + sizeof(layout), meta.free_pages.data(),
+                4 * free_count);
+  }
+  const uint32_t crc = Crc32(page, sizeof(layout) + 4 * free_count);
+  std::memcpy(page + offsetof(MetaLayout, crc), &crc, 4);
 }
 
 Status DecodeMetaPage(const char* page, uint32_t page_size,
@@ -61,6 +95,17 @@ Status DecodeMetaPage(const char* page, uint32_t page_size,
   if (layout.version != kMetaVersion) {
     return Status::Corruption("unsupported meta page version " +
                               std::to_string(layout.version));
+  }
+  if (layout.free_count > kMaxPersistedFreeIds ||
+      sizeof(MetaLayout) + 4 * layout.free_count > page_size) {
+    return Status::Corruption("meta page free list overlong");
+  }
+  // CRC check with the crc field zeroed, exactly as encoded.
+  const uint32_t stored_crc = layout.crc;
+  std::string covered(page, sizeof(layout) + 4 * layout.free_count);
+  std::memset(covered.data() + offsetof(MetaLayout, crc), 0, 4);
+  if (Crc32(covered.data(), covered.size()) != stored_crc) {
+    return Status::Corruption("meta page checksum mismatch");
   }
   if (layout.page_size != page_size) {
     return Status::InvalidArgument(
@@ -80,6 +125,15 @@ Status DecodeMetaPage(const char* page, uint32_t page_size,
   meta->rstar_reinsert = layout.rstar_reinsert != 0;
   meta->min_fill = layout.min_fill;
   meta->reinsert_fraction = layout.reinsert_fraction;
+  meta->num_pages = layout.num_pages;
+  meta->epoch = layout.epoch;
+  meta->checkpoint_lsn = layout.checkpoint_lsn;
+  meta->wal_seq = layout.wal_seq;
+  meta->free_pages.assign(layout.free_count, 0);
+  if (layout.free_count > 0) {
+    std::memcpy(meta->free_pages.data(), page + sizeof(layout),
+                4 * layout.free_count);
+  }
   return Status::OK();
 }
 

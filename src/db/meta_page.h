@@ -2,6 +2,7 @@
 #define SPATIAL_DB_META_PAGE_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "common/status.h"
 #include "rtree/options.h"
@@ -9,9 +10,22 @@
 
 namespace spatial {
 
+// Maximum number of free-list page ids persisted in the superblock. The
+// checkpoint protocol relies on the superblock write being atomic, which
+// holds on common hardware for a single 512-byte sector — so the fixed
+// layout plus the free list must stay under 512 bytes. Free pages beyond
+// the cap are merely leaked across a crash (re-captured by later
+// checkpoints while the process lives), never corrupted.
+inline constexpr uint32_t kMaxPersistedFreeIds = 100;
+
 // Superblock stored in page 0 of a SpatialDb. Records everything needed to
 // reopen the index without rescanning: root page, entry count, dimension,
-// and the tree options the index was built with.
+// the tree options the index was built with — and, since version 2, the
+// durability state a ServingDb checkpoint publishes: the page span the
+// tree may reference, the publishing epoch, the LSN covered by the
+// checkpoint, the WAL segment replay starts from, and the allocator's free
+// list. A CRC over the whole encoded region rejects partially written or
+// bit-rotted superblocks at open.
 struct MetaRecord {
   uint32_t page_size = 0;
   uint16_t dimension = 0;
@@ -22,12 +36,21 @@ struct MetaRecord {
   double min_fill = 0.4;
   bool rstar_reinsert = true;
   double reinsert_fraction = 0.3;
+  // Durability state (v2). `num_pages` is the file's page span at the
+  // moment this superblock was written; every page id the tree references
+  // is below it, which is what lets open() reject truncated files.
+  uint32_t num_pages = 0;
+  uint64_t epoch = 0;
+  uint64_t checkpoint_lsn = 0;
+  uint64_t wal_seq = 1;
+  std::vector<PageId> free_pages;  // at most kMaxPersistedFreeIds persist
 };
 
-// Serializes `meta` into a page buffer of `page_size` bytes.
+// Serializes `meta` into a page buffer of `page_size` bytes. At most
+// kMaxPersistedFreeIds entries of `free_pages` are stored.
 void EncodeMetaPage(const MetaRecord& meta, char* page, uint32_t page_size);
 
-// Parses and validates a meta page; Corruption on bad magic/version,
+// Parses and validates a meta page; Corruption on bad magic/version/CRC,
 // InvalidArgument when the stored geometry disagrees with `page_size`.
 Status DecodeMetaPage(const char* page, uint32_t page_size,
                       MetaRecord* meta);

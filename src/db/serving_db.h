@@ -1,0 +1,189 @@
+#ifndef SPATIAL_DB_SERVING_DB_H_
+#define SPATIAL_DB_SERVING_DB_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "db/spatial_db.h"
+#include "geom/rect.h"
+#include "snapshot/epoch.h"
+#include "snapshot/snapshot.h"
+#include "snapshot/version_table.h"
+#include "storage/fault_injector.h"
+#include "wal/wal_writer.h"
+
+namespace spatial {
+
+struct ServingOptions {
+  uint32_t page_size = 1024;
+  uint32_t buffer_pages = 256;
+  uint64_t wal_segment_bytes = 256 * 1024;
+  uint32_t max_reader_slots = 64;
+  RTreeOptions tree;
+  bool create_if_missing = true;
+  // When set, every durable operation (page writes, WAL writes, fsyncs)
+  // consults the injector — the crash-matrix test's hook. Must outlive the
+  // ServingDb. Production use leaves this null.
+  FaultInjector* injector = nullptr;
+};
+
+// The durability subsystem's front door: a SpatialDb opened for serving —
+// WAL-logged single-writer mutations with group commit, snapshot-isolated
+// multi-reader queries over copy-on-write tree versions, periodic
+// checkpoints that fold the log into the base file, and crash recovery
+// that replays the WAL tail on reopen. See docs/DURABILITY.md for the
+// protocol and its crash-safety argument.
+//
+// Threading contract:
+//   * ApplyBatch / Checkpoint / Close — exactly one writer thread.
+//   * RegisterReader / PinSnapshot / UnpinSnapshot / ReleaseReader and
+//     Disk::ReadPageConcurrent on disk() — any number of reader threads.
+//     Each reader pins a snapshot around each query, reads pages through
+//     its own BufferPool, and rebases its private RTree onto the pinned
+//     (root, size, level) triple. When the pinned snapshot's reclaim_gen
+//     differs from the last one the reader saw, the reader must
+//     InvalidateAll() its pool first: a checkpoint has recycled retired
+//     page ids whose stale images may still be cached.
+//
+// The ack contract: when ApplyBatch returns OK, every operation in the
+// batch is on durable storage (WAL committed with fsync) and will survive
+// any crash. When it fails, nothing in the batch was acknowledged and the
+// ServingDb is dead — every later write fails — but an unacknowledged
+// durable prefix may still be recovered on reopen (acked ⊆ recovered ⊆
+// submitted).
+template <int D>
+class ServingDb {
+ public:
+  struct WriteOp {
+    bool is_insert = true;
+    Rect<D> mbr = Rect<D>::Empty();
+    uint64_t id = 0;
+
+    static WriteOp Insert(const Rect<D>& mbr, uint64_t id) {
+      return WriteOp{true, mbr, id};
+    }
+    static WriteOp Delete(const Rect<D>& mbr, uint64_t id) {
+      return WriteOp{false, mbr, id};
+    }
+  };
+
+  struct WriteResult {
+    uint64_t lsn = 0;
+    // Inserts always apply; a delete applied iff (mbr, id) matched.
+    bool applied = false;
+  };
+
+  // What reopen found. `recovered_lsn` is the highest LSN in the durable
+  // state (checkpoint + replayed WAL tail); every acknowledged write has
+  // lsn <= recovered_lsn.
+  struct RecoveryInfo {
+    uint64_t recovered_lsn = 0;
+    uint64_t replayed_records = 0;
+    bool tail_torn = false;
+    uint64_t checkpoint_lsn = 0;
+    bool created = false;  // no database existed; a fresh one was created
+  };
+
+  // Opens (or, with create_if_missing, creates) `path` for serving:
+  // replays the WAL tail past the superblock's checkpoint, repairs a torn
+  // log tail, then checkpoints so the recovered state is durably folded
+  // into the base file before the first query.
+  static Result<std::unique_ptr<ServingDb>> Open(const std::string& path,
+                                                 const ServingOptions& options);
+
+  ServingDb(const ServingDb&) = delete;
+  ServingDb& operator=(const ServingDb&) = delete;
+  ~ServingDb();
+
+  // Writer side --------------------------------------------------------------
+
+  // Durably logs, applies, and publishes a batch of mutations as one
+  // commit (one WAL write + one fsync for the whole batch). On OK,
+  // `results` (when non-null) holds one entry per op, in order. May
+  // trigger a checkpoint when the WAL segment is full.
+  Status ApplyBatch(const std::vector<WriteOp>& ops,
+                    std::vector<WriteResult>* results);
+
+  // Folds the log into the base file: flushes tree pages, rotates to a
+  // fresh WAL segment, publishes the superblock (the atomic commit
+  // point), deletes obsolete segments, and reclaims retired pages no
+  // pinned snapshot can reach.
+  Status Checkpoint();
+
+  // Checkpoints and retires the database. After OK the destructor is a
+  // no-op. On a dead database, discards in-memory state and reports why.
+  Status Close();
+
+  // Simulated crash: drops everything not yet durable, no flush, no
+  // checkpoint. The crash tests' way to "kill" the process.
+  void Abandon();
+
+  // Reader side --------------------------------------------------------------
+
+  Result<uint32_t> RegisterReader() { return snapshots_.RegisterReader(); }
+  void ReleaseReader(uint32_t slot) { snapshots_.ReleaseReader(slot); }
+  TreeSnapshot PinSnapshot(uint32_t slot) { return snapshots_.Pin(slot); }
+  void UnpinSnapshot(uint32_t slot) { snapshots_.Unpin(slot); }
+  TreeSnapshot CurrentSnapshot() const { return snapshots_.Current(); }
+
+  // Introspection ------------------------------------------------------------
+
+  const RecoveryInfo& recovery_info() const { return recovery_info_; }
+  uint64_t last_lsn() const { return last_lsn_; }
+  uint64_t epoch() const { return epoch_; }
+  uint64_t reclaim_gen() const { return reclaim_gen_; }
+  uint64_t checkpoints() const { return checkpoints_; }
+  bool dead() const { return dead_; }
+  const std::string& path() const { return path_; }
+  const ServingOptions& options() const { return options_; }
+
+  // The shared storage readers open ReadOnlyDiskView over. With fault
+  // injection this is the FaultyDiskManager wrapper (reads pass through).
+  Disk& disk() { return db_->disk(); }
+  const Disk& disk() const { return db_->disk(); }
+
+  // The writer's view of the database. Reader threads must not touch
+  // these; they get their own pools and trees via disk() + snapshots.
+  SpatialDb<D>& db() { return *db_; }
+  RTree<D>& writer_tree() { return db_->tree(); }
+  const RTree<D>& writer_tree() const { return db_->tree(); }
+
+ private:
+  ServingDb(std::string path, const ServingOptions& options)
+      : path_(std::move(path)),
+        options_(options),
+        snapshots_(options.max_reader_slots) {}
+
+  Status Replay(uint64_t start_seq);
+  void PublishCurrent();
+  Status Die(Status why) {
+    dead_ = true;
+    return why;
+  }
+
+  std::string path_;
+  ServingOptions options_;
+  std::unique_ptr<SpatialDb<D>> db_;
+  std::optional<WalWriter> wal_;
+  PageVersionTable version_table_;
+  SnapshotManager snapshots_;
+  RecoveryInfo recovery_info_;
+  uint64_t epoch_ = 0;
+  uint64_t last_lsn_ = 0;
+  uint64_t reclaim_gen_ = 0;
+  uint64_t checkpoints_ = 0;
+  bool dead_ = false;
+  bool closed_ = false;
+};
+
+extern template class ServingDb<2>;
+extern template class ServingDb<3>;
+
+}  // namespace spatial
+
+#endif  // SPATIAL_DB_SERVING_DB_H_

@@ -1,5 +1,6 @@
 #include "db/spatial_db.h"
 
+#include <cstdio>
 #include <utility>
 
 #include "common/macros.h"
@@ -69,6 +70,17 @@ Result<SpatialDb<D>> SpatialDb<D>::OpenFromFileReadOnly(
 }
 
 template <int D>
+Result<SpatialDb<D>> SpatialDb<D>::OpenOnDisk(std::unique_ptr<Disk> disk,
+                                              uint32_t page_size,
+                                              uint32_t buffer_pages) {
+  if (disk == nullptr) {
+    return Status::InvalidArgument("OpenOnDisk: disk is null");
+  }
+  return OpenFromDisk(std::move(disk), page_size, buffer_pages,
+                      /*read_only=*/false);
+}
+
+template <int D>
 Result<SpatialDb<D>> SpatialDb<D>::OpenFromDisk(std::unique_ptr<Disk> disk,
                                                 uint32_t page_size,
                                                 uint32_t buffer_pages,
@@ -90,6 +102,28 @@ Result<SpatialDb<D>> SpatialDb<D>::OpenFromDisk(std::unique_ptr<Disk> disk,
         "database holds " + std::to_string(meta.dimension) +
         "-dimensional data, opened as " + std::to_string(D) + "-D");
   }
+  // The superblock's page count is a claim about the file, not a fact:
+  // verify it against the actual file span so a truncated copy (partial
+  // download, bad restore) fails here with a clear story instead of as a
+  // bad-magic error — or silent garbage — deep inside a traversal.
+  const uint64_t span = db.disk_->page_span();
+  if (meta.num_pages > span) {
+    return Status::Corruption(
+        "file is truncated: superblock covers " +
+        std::to_string(meta.num_pages) + " pages, file holds " +
+        std::to_string(span));
+  }
+  if (meta.root_page != kInvalidPageId && meta.root_page >= span) {
+    return Status::Corruption("root page " + std::to_string(meta.root_page) +
+                              " is outside the file");
+  }
+  db.epoch_ = meta.epoch;
+  db.checkpoint_lsn_ = meta.checkpoint_lsn;
+  db.wal_seq_ = meta.wal_seq;
+  if (!read_only) {
+    // Resume reusing pages the previous incarnation freed.
+    db.disk_->AdoptFreeList(meta.free_pages);
+  }
   RTreeOptions tree_options;
   tree_options.split = meta.split;
   tree_options.min_fill = meta.min_fill;
@@ -105,10 +139,31 @@ Result<SpatialDb<D>> SpatialDb<D>::OpenFromDisk(std::unique_ptr<Disk> disk,
 template <int D>
 SpatialDb<D>::~SpatialDb() {
   // Guard against moved-from shells (pool_ is null after a move); a
-  // read-only database has nothing to write back.
-  if (pool_ != nullptr && tree_.has_value() && !read_only_) {
-    Flush().ok();  // best effort; Flush() is the durable path
+  // read-only or Close()d database has nothing to write back.
+  if (pool_ != nullptr && tree_.has_value() && !read_only_ && !closed_) {
+    const Status flushed = Flush();
+    if (!flushed.ok()) {
+      // A destructor cannot return the error, but it must not eat it
+      // either: data since the last successful Flush()/Close() may be
+      // lost. Callers who care should Close() explicitly.
+      std::fprintf(stderr,
+                   "SpatialDb: flush in destructor failed, recent writes "
+                   "may not be durable: %s\n",
+                   flushed.ToString().c_str());
+    }
   }
+}
+
+template <int D>
+Status SpatialDb<D>::Close() {
+  if (closed_ || pool_ == nullptr || !tree_.has_value()) {
+    return Status::OK();
+  }
+  if (!read_only_) {
+    SPATIAL_RETURN_IF_ERROR(Flush());
+  }
+  closed_ = true;
+  return Status::OK();
 }
 
 template <int D>
@@ -147,13 +202,18 @@ Status SpatialDb<D>::Flush() {
     meta.min_fill = tree_->options().min_fill;
     meta.rstar_reinsert = tree_->options().rstar_reinsert;
     meta.reinsert_fraction = tree_->options().reinsert_fraction;
+    meta.num_pages = static_cast<uint32_t>(disk_->page_span());
+    meta.epoch = epoch_;
+    meta.checkpoint_lsn = checkpoint_lsn_;
+    meta.wal_seq = wal_seq_;
+    meta.free_pages = disk_->FreeListSnapshot();
     EncodeMetaPage(meta, page.data(), disk_->page_size());
     page.MarkDirty();
   }
   SPATIAL_RETURN_IF_ERROR(pool_->FlushAll());
   if (file_backed_) {
-    SPATIAL_RETURN_IF_ERROR(
-        static_cast<FileDiskManager*>(disk_.get())->Sync());
+    // Virtual Sync so interposed disks (fault injection) see the barrier.
+    SPATIAL_RETURN_IF_ERROR(disk_->Sync());
   }
   return Status::OK();
 }

@@ -14,6 +14,10 @@
 
 namespace spatial {
 
+template <int D>
+class ServingDb;
+struct ServingOptions;
+
 // The adoption-friendly front door: bundles storage (in-memory or
 // file-backed), buffer pool, superblock, and the R-tree into one owned
 // object with a create / reopen lifecycle.
@@ -65,6 +69,19 @@ class SpatialDb {
                                                 uint32_t page_size,
                                                 uint32_t buffer_pages);
 
+  // Reopens a database over a caller-supplied Disk (page 0 must hold a
+  // valid superblock). This is how the durability subsystem interposes a
+  // fault-injecting wrapper between the database and the real file.
+  static Result<SpatialDb> OpenOnDisk(std::unique_ptr<Disk> disk,
+                                      uint32_t page_size,
+                                      uint32_t buffer_pages);
+
+  // Opens `path` for durable serving: WAL-logged writes, snapshot-isolated
+  // reads, crash recovery. Replays any WAL tail beyond the last checkpoint
+  // before returning. Defined with ServingDb (db/serving_db.h).
+  static Result<std::unique_ptr<ServingDb<D>>> OpenForServing(
+      const std::string& path, const ServingOptions& options);
+
   SpatialDb(SpatialDb&&) = default;
   SpatialDb& operator=(SpatialDb&&) = default;
   SpatialDb(const SpatialDb&) = delete;
@@ -77,6 +94,31 @@ class SpatialDb {
 
   // Writes the superblock, flushes dirty pages, and syncs a file backend.
   Status Flush();
+
+  // Flushes (when writable) and retires the database: after an OK Close()
+  // the destructor will not write again, and a failed flush is reported
+  // here — with a Status the caller can act on — instead of being
+  // swallowed at destruction time.
+  Status Close();
+
+  // Marks the database closed WITHOUT flushing: the destructor becomes a
+  // no-op and unflushed state is deliberately dropped. This is the
+  // simulated-crash hook of the durability tests; production code wants
+  // Close().
+  void Abandon() { closed_ = true; }
+
+  // Durability state stamped into the superblock by the next Flush() and
+  // read back on open. Maintained by the serving layer; plain SpatialDb
+  // use leaves the defaults (epoch 0, lsn 0, wal seq 1).
+  void StampDurability(uint64_t epoch, uint64_t checkpoint_lsn,
+                       uint64_t wal_seq) {
+    epoch_ = epoch;
+    checkpoint_lsn_ = checkpoint_lsn;
+    wal_seq_ = wal_seq;
+  }
+  uint64_t epoch() const { return epoch_; }
+  uint64_t checkpoint_lsn() const { return checkpoint_lsn_; }
+  uint64_t wal_seq() const { return wal_seq_; }
 
   RTree<D>& tree() { return *tree_; }
   const RTree<D>& tree() const { return *tree_; }
@@ -102,7 +144,11 @@ class SpatialDb {
   std::optional<RTree<D>> tree_;
   bool file_backed_ = false;
   bool read_only_ = false;
+  bool closed_ = false;
   PageId meta_page_ = kInvalidPageId;
+  uint64_t epoch_ = 0;
+  uint64_t checkpoint_lsn_ = 0;
+  uint64_t wal_seq_ = 1;
 };
 
 extern template class SpatialDb<2>;

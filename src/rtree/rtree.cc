@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 
 #include "common/macros.h"
@@ -88,6 +89,44 @@ uint32_t RTree<D>::min_entries() const {
 }
 
 template <int D>
+Result<PageHandle> RTree<D>::FetchMutable(PageId node_id,
+                                          PageId* current_id) {
+  SPATIAL_ASSIGN_OR_RETURN(PageHandle handle, pool_->Fetch(node_id));
+  if (cow_ == nullptr || !cow_->NeedsShadow(node_id)) {
+    *current_id = node_id;
+    return handle;
+  }
+  SPATIAL_ASSIGN_OR_RETURN(PageHandle shadow, pool_->NewPage());
+  std::memcpy(shadow.data(), handle.data(), pool_->page_size());
+  shadow.MarkDirty();
+  handle.Release();
+  cow_->OnPageAllocated(shadow.id());
+  cow_->OnPageRetired(node_id);
+  *current_id = shadow.id();
+  return shadow;
+}
+
+template <int D>
+Result<PageHandle> RTree<D>::NewTrackedPage() {
+  SPATIAL_ASSIGN_OR_RETURN(PageHandle handle, pool_->NewPage());
+  if (cow_ != nullptr) cow_->OnPageAllocated(handle.id());
+  return handle;
+}
+
+template <int D>
+Status RTree<D>::RetireOrFree(PageId id) {
+  // Under COW even a fresh page is retired rather than freed: deferring to
+  // checkpoint costs one page of reuse latency and keeps a single
+  // invariant — no page leaves the allocator while any snapshot or the
+  // durable superblock might reference it.
+  if (cow_ != nullptr) {
+    cow_->OnPageRetired(id);
+    return Status::OK();
+  }
+  return pool_->FreePage(id);
+}
+
+template <int D>
 Status RTree<D>::Insert(const Rect<D>& mbr, uint64_t id) {
   if (!mbr.IsValid()) {
     return Status::InvalidArgument("Insert: invalid rectangle");
@@ -105,9 +144,10 @@ Status RTree<D>::InsertAtLevel(const Entry<D>& entry, uint16_t target_level,
   SPATIAL_ASSIGN_OR_RETURN(
       InsertOutcome outcome,
       InsertRecursive(root_page_, entry, target_level, reinsert_mask));
+  root_page_ = outcome.node_id;  // the root may have been shadowed
   if (outcome.split_entry.has_value()) {
     // Root split: grow the tree by one level.
-    SPATIAL_ASSIGN_OR_RETURN(PageHandle new_root, pool_->NewPage());
+    SPATIAL_ASSIGN_OR_RETURN(PageHandle new_root, NewTrackedPage());
     NodeView<D> view(new_root.data(), pool_->page_size());
     view.InitEmpty(static_cast<uint16_t>(root_level_ + 1));
     view.Append(Entry<D>{outcome.updated_mbr, root_page_});
@@ -130,7 +170,13 @@ template <int D>
 auto RTree<D>::InsertRecursive(PageId node_id, const Entry<D>& entry,
                                uint16_t target_level, uint32_t* reinsert_mask)
     -> Result<InsertOutcome> {
-  SPATIAL_ASSIGN_OR_RETURN(PageHandle handle, pool_->Fetch(node_id));
+  // An insert dirties every node on its path, so shadow (if the COW policy
+  // requires it) before reading. is_root is decided by the incoming id —
+  // root_page_ still holds the pre-shadow root id at this point.
+  const bool is_root = node_id == root_page_;
+  PageId current_id = node_id;
+  SPATIAL_ASSIGN_OR_RETURN(PageHandle handle,
+                           FetchMutable(node_id, &current_id));
   NodeView<D> view(handle.data(), pool_->page_size());
   if (!view.has_valid_magic()) {
     return Status::Corruption("insert: node page has bad magic");
@@ -140,9 +186,10 @@ auto RTree<D>::InsertRecursive(PageId node_id, const Entry<D>& entry,
     if (!view.full()) {
       view.Append(entry);
       handle.MarkDirty();
-      return InsertOutcome{view.ComputeMbr(), std::nullopt, {}};
+      return InsertOutcome{view.ComputeMbr(), std::nullopt, {}, current_id};
     }
-    return HandleOverflow(&view, &handle, node_id, entry, reinsert_mask);
+    return HandleOverflow(&view, &handle, current_id, is_root, entry,
+                          reinsert_mask);
   }
 
   SPATIAL_DCHECK(view.level() > target_level);
@@ -154,26 +201,28 @@ auto RTree<D>::InsertRecursive(PageId node_id, const Entry<D>& entry,
       InsertOutcome child_outcome,
       InsertRecursive(child_id, entry, target_level, reinsert_mask));
 
-  view.set_entry(static_cast<uint32_t>(child_idx),
-                 Entry<D>{child_outcome.updated_mbr, child_entry.id});
+  view.set_entry(
+      static_cast<uint32_t>(child_idx),
+      Entry<D>{child_outcome.updated_mbr, child_outcome.node_id});
   handle.MarkDirty();
 
   if (child_outcome.split_entry.has_value()) {
     SPATIAL_DCHECK(child_outcome.reinserts.empty());
     if (!view.full()) {
       view.Append(*child_outcome.split_entry);
-      return InsertOutcome{view.ComputeMbr(), std::nullopt, {}};
+      return InsertOutcome{view.ComputeMbr(), std::nullopt, {}, current_id};
     }
-    return HandleOverflow(&view, &handle, node_id, *child_outcome.split_entry,
-                          reinsert_mask);
+    return HandleOverflow(&view, &handle, current_id, is_root,
+                          *child_outcome.split_entry, reinsert_mask);
   }
   return InsertOutcome{view.ComputeMbr(), std::nullopt,
-                       std::move(child_outcome.reinserts)};
+                       std::move(child_outcome.reinserts), current_id};
 }
 
 template <int D>
 auto RTree<D>::HandleOverflow(NodeView<D>* view, PageHandle* handle,
-                              PageId node_id, const Entry<D>& extra,
+                              PageId node_id, bool is_root,
+                              const Entry<D>& extra,
                               uint32_t* reinsert_mask) -> Result<InsertOutcome> {
   const uint16_t level = view->level();
   std::vector<Entry<D>> entries = view->GetEntries();
@@ -181,7 +230,7 @@ auto RTree<D>::HandleOverflow(NodeView<D>* view, PageHandle* handle,
 
   const bool may_reinsert =
       options_.split == SplitAlgorithm::kRStar && options_.rstar_reinsert &&
-      node_id != root_page_ && (*reinsert_mask & (1u << level)) == 0;
+      !is_root && (*reinsert_mask & (1u << level)) == 0;
 
   if (may_reinsert) {
     *reinsert_mask |= (1u << level);
@@ -207,6 +256,7 @@ auto RTree<D>::HandleOverflow(NodeView<D>* view, PageHandle* handle,
     view->SetEntries(keep);
     handle->MarkDirty();
     outcome.updated_mbr = view->ComputeMbr();
+    outcome.node_id = node_id;
     return outcome;
   }
 
@@ -217,13 +267,13 @@ auto RTree<D>::HandleOverflow(NodeView<D>* view, PageHandle* handle,
   const Rect<D> mbr_a = UnionOf(split.group_a);
   const Rect<D> mbr_b = UnionOf(split.group_b);
 
-  SPATIAL_ASSIGN_OR_RETURN(PageHandle sibling, pool_->NewPage());
+  SPATIAL_ASSIGN_OR_RETURN(PageHandle sibling, NewTrackedPage());
   NodeView<D> sibling_view(sibling.data(), pool_->page_size());
   sibling_view.InitEmpty(level);
   sibling_view.SetEntries(split.group_b);
   sibling.MarkDirty();
 
-  return InsertOutcome{mbr_a, Entry<D>{mbr_b, sibling.id()}, {}};
+  return InsertOutcome{mbr_a, Entry<D>{mbr_b, sibling.id()}, {}, node_id};
 }
 
 template <int D>
@@ -291,6 +341,7 @@ Result<bool> RTree<D>::Delete(const Rect<D>& mbr, uint64_t id) {
   SPATIAL_ASSIGN_OR_RETURN(DeleteOutcome outcome,
                            DeleteRecursive(root_page_, mbr, id, &orphans));
   if (!outcome.found) return false;
+  root_page_ = outcome.node_id;  // the root may have been shadowed
   --size_;
   // Reinsert entries of dissolved nodes at their original levels.
   for (const PendingEntry& orphan : orphans) {
@@ -307,6 +358,9 @@ auto RTree<D>::DeleteRecursive(PageId node_id, const Rect<D>& mbr,
                                uint64_t id,
                                std::vector<PendingEntry>* orphans)
     -> Result<DeleteOutcome> {
+  // Unlike insert, a delete only dirties the path to the matching entry —
+  // so the descent reads in place, and a node is shadowed (re-fetched via
+  // FetchMutable, a guaranteed pool hit) only once a match is known.
   SPATIAL_ASSIGN_OR_RETURN(PageHandle handle, pool_->Fetch(node_id));
   NodeView<D> view(handle.data(), pool_->page_size());
   if (!view.has_valid_magic()) {
@@ -318,12 +372,18 @@ auto RTree<D>::DeleteRecursive(PageId node_id, const Rect<D>& mbr,
     for (uint32_t i = 0; i < view.count(); ++i) {
       const Entry<D> e = view.entry(i);
       if (e.id == id && e.mbr == mbr) {
-        view.RemoveAt(i);
-        handle.MarkDirty();
+        handle.Release();
+        PageId current_id = node_id;
+        SPATIAL_ASSIGN_OR_RETURN(PageHandle mut,
+                                 FetchMutable(node_id, &current_id));
+        NodeView<D> mut_view(mut.data(), pool_->page_size());
+        mut_view.RemoveAt(i);
+        mut.MarkDirty();
         DeleteOutcome outcome;
         outcome.found = true;
-        outcome.underflow = !is_root && view.count() < min_entries();
-        outcome.updated_mbr = view.ComputeMbr();
+        outcome.underflow = !is_root && mut_view.count() < min_entries();
+        outcome.updated_mbr = mut_view.ComputeMbr();
+        outcome.node_id = current_id;
         return outcome;
       }
     }
@@ -338,30 +398,38 @@ auto RTree<D>::DeleteRecursive(PageId node_id, const Rect<D>& mbr,
                              DeleteRecursive(child_id, mbr, id, orphans));
     if (!child_outcome.found) continue;
 
+    handle.Release();
+    PageId current_id = node_id;
+    SPATIAL_ASSIGN_OR_RETURN(PageHandle mut,
+                             FetchMutable(node_id, &current_id));
+    NodeView<D> mut_view(mut.data(), pool_->page_size());
+
     // Keep a lone under-full child under the root: the subsequent
     // root-shrink pass promotes it, preserving all entries.
     const bool dissolve_child =
-        child_outcome.underflow && !(is_root && view.count() == 1);
+        child_outcome.underflow && !(is_root && mut_view.count() == 1);
     if (dissolve_child) {
       SPATIAL_ASSIGN_OR_RETURN(PageHandle child_handle,
-                               pool_->Fetch(child_id));
+                               pool_->Fetch(child_outcome.node_id));
       NodeView<D> child_view(child_handle.data(), pool_->page_size());
       const uint16_t child_level = child_view.level();
       for (const Entry<D>& e : child_view.GetEntries()) {
         orphans->push_back(PendingEntry{e, child_level});
       }
       child_handle.Release();
-      SPATIAL_RETURN_IF_ERROR(pool_->FreePage(child_id));
-      view.RemoveAt(i);
+      SPATIAL_RETURN_IF_ERROR(RetireOrFree(child_outcome.node_id));
+      mut_view.RemoveAt(i);
     } else {
-      view.set_entry(i, Entry<D>{child_outcome.updated_mbr, child_entry.id});
+      mut_view.set_entry(
+          i, Entry<D>{child_outcome.updated_mbr, child_outcome.node_id});
     }
-    handle.MarkDirty();
+    mut.MarkDirty();
 
     DeleteOutcome outcome;
     outcome.found = true;
-    outcome.underflow = !is_root && view.count() < min_entries();
-    outcome.updated_mbr = view.ComputeMbr();
+    outcome.underflow = !is_root && mut_view.count() < min_entries();
+    outcome.updated_mbr = mut_view.ComputeMbr();
+    outcome.node_id = current_id;
     return outcome;
   }
   return DeleteOutcome{};
@@ -376,7 +444,7 @@ Status RTree<D>::ShrinkRootIfNeeded() {
     const PageId new_root = static_cast<PageId>(view.entry(0).id);
     const PageId old_root = root_page_;
     root.Release();
-    SPATIAL_RETURN_IF_ERROR(pool_->FreePage(old_root));
+    SPATIAL_RETURN_IF_ERROR(RetireOrFree(old_root));
     root_page_ = new_root;
     --root_level_;
   }

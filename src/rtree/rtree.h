@@ -13,6 +13,7 @@
 #include "rtree/node.h"
 #include "rtree/options.h"
 #include "storage/buffer_pool.h"
+#include "storage/cow.h"
 
 namespace spatial {
 
@@ -32,6 +33,16 @@ namespace spatial {
 // the pool needs at least (height + 3) frames for inserts/deletes. Read-only
 // traversals copy entries out and release each page before descending, so
 // queries run with a single frame.
+//
+// Copy-on-write mode: with SetCowPolicy(policy) installed, mutations never
+// edit a page the policy marks as shadow-required (i.e. reachable from a
+// published snapshot). Such pages are copied to a fresh page first, the
+// original is retired through the policy (not freed — concurrent snapshot
+// readers may still traverse it), and the parent's child pointer is
+// re-aimed at the copy; the root id itself may change on any mutation, so
+// cow-mode callers must observe root_page() after each operation. With no
+// policy (the default) behaviour is byte-for-byte the classic in-place
+// update. See docs/DURABILITY.md.
 //
 // Not thread-safe.
 template <int D>
@@ -90,6 +101,22 @@ class RTree {
   uint32_t max_entries() const;
   uint32_t min_entries() const;
 
+  // Installs (or, with nullptr, removes) the copy-on-write policy consulted
+  // by every mutation. Owned by the caller; must outlive the tree or be
+  // reset before destruction.
+  void SetCowPolicy(CowPolicy* cow) { cow_ = cow; }
+  CowPolicy* cow_policy() const { return cow_; }
+
+  // Re-points this tree object at another published version (root page,
+  // entry count, root level) without touching storage. Used by snapshot
+  // readers to adopt a newly published version, and by the writer after
+  // recovery. The caller is responsible for the triple being consistent.
+  void Rebase(PageId root_page, uint64_t size, uint16_t root_level) {
+    root_page_ = root_page;
+    size_ = size;
+    root_level_ = root_level;
+  }
+
  private:
   friend class TreeBuilderAccess;  // bulk loader installs prebuilt roots
 
@@ -112,12 +139,14 @@ class RTree {
     Rect<D> updated_mbr;                  // new MBR of the visited child
     std::optional<Entry<D>> split_entry;  // sibling created by a split
     std::vector<PendingEntry> reinserts;  // R* forced-reinsertion backlog
+    PageId node_id = kInvalidPageId;      // where the child lives now (COW)
   };
 
   struct DeleteOutcome {
     bool found = false;
     bool underflow = false;  // node fell below the minimum fill
     Rect<D> updated_mbr = Rect<D>::Empty();
+    PageId node_id = kInvalidPageId;  // where the child lives now (COW)
   };
 
   Status InsertAtLevel(const Entry<D>& entry, uint16_t target_level,
@@ -127,9 +156,22 @@ class RTree {
                                         uint16_t target_level,
                                         uint32_t* reinsert_mask);
   Result<InsertOutcome> HandleOverflow(NodeView<D>* view, PageHandle* handle,
-                                       PageId node_id,
+                                       PageId node_id, bool is_root,
                                        const Entry<D>& extra,
                                        uint32_t* reinsert_mask);
+
+  // Pins `node_id` for mutation. Under an active CowPolicy that demands a
+  // shadow, copies the page to a fresh one, retires the original, and
+  // returns the copy; `*current_id` receives the id the caller must use
+  // (and propagate to its parent) from now on.
+  Result<PageHandle> FetchMutable(PageId node_id, PageId* current_id);
+
+  // Allocates a page and reports it to the CowPolicy.
+  Result<PageHandle> NewTrackedPage();
+
+  // Removes a page from the current tree version: retires it through the
+  // CowPolicy when one is installed, otherwise frees it immediately.
+  Status RetireOrFree(PageId id);
   size_t ChooseSubtree(const NodeView<D>& node, const Rect<D>& mbr) const;
 
   Result<DeleteOutcome> DeleteRecursive(PageId node_id, const Rect<D>& mbr,
@@ -149,6 +191,7 @@ class RTree {
   PageId root_page_;
   uint64_t size_;
   uint16_t root_level_;
+  CowPolicy* cow_ = nullptr;
 };
 
 extern template class RTree<2>;

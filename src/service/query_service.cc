@@ -20,9 +20,24 @@ const char* QueryKindName(QueryKind kind) {
       return "top-k";
     case QueryKind::kBatchKnn:
       return "batch-knn";
+    case QueryKind::kInsert:
+      return "insert";
+    case QueryKind::kDelete:
+      return "delete";
+    case QueryKind::kCheckpoint:
+      return "checkpoint";
   }
   return "unknown";
 }
+
+namespace {
+
+// Cap on how many queued write requests one group commit absorbs; bounds
+// batch latency without limiting throughput (the next batch starts
+// immediately).
+constexpr size_t kMaxWriteBatch = 256;
+
+}  // namespace
 
 template <int D>
 QueryService<D>::QueryService(const SpatialDb<D>* db,
@@ -63,9 +78,37 @@ Result<std::unique_ptr<QueryService<D>>> QueryService<D>::Attach(
 }
 
 template <int D>
+Result<std::unique_ptr<QueryService<D>>> QueryService<D>::OpenServing(
+    const std::string& path, const ServingOptions& serving_options,
+    const Options& options) {
+  SPATIAL_RETURN_IF_ERROR(options.Validate());
+  if (serving_options.max_reader_slots < options.num_workers) {
+    return Status::InvalidArgument(
+        "serving: max_reader_slots must cover every worker");
+  }
+  SPATIAL_ASSIGN_OR_RETURN(std::unique_ptr<ServingDb<D>> serving,
+                           ServingDb<D>::Open(path, serving_options));
+  const SpatialDb<D>* raw = &serving->db();
+  std::unique_ptr<QueryService<D>> service(
+      new QueryService<D>(raw, nullptr, options));
+  service->serving_db_ = std::move(serving);
+  SPATIAL_RETURN_IF_ERROR(service->StartWorkers());
+  return service;
+}
+
+template <int D>
 Status QueryService<D>::StartWorkers() {
   // Build every worker's private view/pool/tree before the first thread
   // starts, so worker construction needs no synchronization.
+  PageId root_page = db_->tree().root_page();
+  uint64_t tree_size = db_->tree().size();
+  uint64_t reclaim_gen = 0;
+  if (serving_db_ != nullptr) {
+    const TreeSnapshot snap = serving_db_->CurrentSnapshot();
+    root_page = snap.root_page;
+    tree_size = snap.size;
+    reclaim_gen = snap.reclaim_gen;
+  }
   for (uint32_t i = 0; i < options_.num_workers; ++i) {
     auto worker = std::make_unique<Worker>();
     worker->disk = std::make_unique<ReadOnlyDiskView>(
@@ -73,10 +116,16 @@ Status QueryService<D>::StartWorkers() {
     worker->pool = std::make_unique<BufferPool>(
         worker->disk.get(), options_.frames_per_worker, options_.eviction);
     SPATIAL_ASSIGN_OR_RETURN(
-        RTree<D> tree,
-        RTree<D>::Open(worker->pool.get(), db_->tree().options(),
-                       db_->tree().root_page(), db_->tree().size()));
+        RTree<D> tree, RTree<D>::Open(worker->pool.get(),
+                                      db_->tree().options(), root_page,
+                                      tree_size));
     worker->tree.emplace(std::move(tree));
+    if (serving_db_ != nullptr) {
+      SPATIAL_ASSIGN_OR_RETURN(worker->reader_slot,
+                               serving_db_->RegisterReader());
+      worker->last_reclaim_gen = reclaim_gen;
+      reader_slots_held_ = true;
+    }
     workers_.push_back(std::move(worker));
   }
   epoch_ = std::chrono::steady_clock::now();
@@ -84,6 +133,11 @@ Status QueryService<D>::StartWorkers() {
   for (uint32_t i = 0; i < options_.num_workers; ++i) {
     threads_.emplace_back(&QueryService<D>::WorkerLoop, this,
                           workers_[i].get(), i);
+  }
+  if (serving_db_ != nullptr) {
+    write_queue_ =
+        std::make_unique<RequestQueue<Task>>(options_.queue_capacity);
+    writer_thread_ = std::thread(&QueryService<D>::WriterLoop, this);
   }
   return Status::OK();
 }
@@ -97,10 +151,18 @@ template <int D>
 void QueryService<D>::Shutdown() {
   stopped_.store(true, std::memory_order_release);
   queue_.Close();
+  if (write_queue_ != nullptr) write_queue_->Close();
   for (std::thread& t : threads_) {
     if (t.joinable()) t.join();
   }
   threads_.clear();
+  if (writer_thread_.joinable()) writer_thread_.join();
+  if (serving_db_ != nullptr && reader_slots_held_) {
+    for (const auto& worker : workers_) {
+      serving_db_->ReleaseReader(worker->reader_slot);
+    }
+    reader_slots_held_ = false;
+  }
 }
 
 template <int D>
@@ -109,7 +171,16 @@ std::future<QueryResponse<D>> QueryService<D>::Submit(
   Task task;
   task.request = std::move(request);
   std::future<QueryResponse<D>> future = task.promise.get_future();
-  if (!queue_.Push(std::move(task))) {
+  const bool is_write = IsWriteKind(task.request.kind);
+  if (is_write && serving_db_ == nullptr) {
+    QueryResponse<D> response;
+    response.status = Status::InvalidArgument(
+        "write requests need a serving-mode service (OpenServing)");
+    task.promise.set_value(std::move(response));
+    return future;
+  }
+  RequestQueue<Task>& queue = is_write ? *write_queue_ : queue_;
+  if (!queue.Push(std::move(task))) {
     // Queue closed; Push left `task` intact, so answer inline.
     QueryResponse<D> response;
     response.status = Status::InvalidArgument("query service is shut down");
@@ -127,7 +198,28 @@ template <int D>
 void QueryService<D>::WorkerLoop(Worker* worker, uint32_t worker_id) {
   while (std::optional<Task> task = queue_.Pop()) {
     const auto start = std::chrono::steady_clock::now();
-    QueryResponse<D> response = Dispatch(worker, task->request);
+    QueryResponse<D> response;
+    if (serving_db_ != nullptr) {
+      // Pin the current snapshot for the whole query: the checkpoint
+      // reclaimer will not recycle any page this version can reach until
+      // the Unpin. A reclaim_gen change means some earlier checkpoint DID
+      // recycle ids — cached images of them are stale, drop them.
+      const TreeSnapshot snap = serving_db_->PinSnapshot(worker->reader_slot);
+      Status prep = Status::OK();
+      if (snap.reclaim_gen != worker->last_reclaim_gen) {
+        prep = worker->pool->InvalidateAll();
+        if (prep.ok()) worker->last_reclaim_gen = snap.reclaim_gen;
+      }
+      if (prep.ok()) {
+        worker->tree->Rebase(snap.root_page, snap.size, snap.root_level);
+        response = Dispatch(worker, task->request);
+      } else {
+        response.status = std::move(prep);
+      }
+      serving_db_->UnpinSnapshot(worker->reader_slot);
+    } else {
+      response = Dispatch(worker, task->request);
+    }
     const auto end = std::chrono::steady_clock::now();
     const uint64_t ns = static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
@@ -139,6 +231,77 @@ void QueryService<D>::WorkerLoop(Worker* worker, uint32_t worker_id) {
         .fetch_add(1, std::memory_order_relaxed);
     worker->query_stats.Add(response.stats);
     task->promise.set_value(std::move(response));
+  }
+}
+
+template <int D>
+void QueryService<D>::WriterLoop() {
+  while (std::optional<Task> task = write_queue_->Pop()) {
+    std::vector<Task> batch;
+    batch.push_back(std::move(*task));
+    // Group commit: everything already queued rides this batch — one WAL
+    // write plus one fsync amortized over all of it.
+    while (batch.size() < kMaxWriteBatch) {
+      std::optional<Task> more = write_queue_->TryPop();
+      if (!more.has_value()) break;
+      batch.push_back(std::move(*more));
+    }
+    RunWriteBatch(&batch);
+  }
+}
+
+template <int D>
+void QueryService<D>::RunWriteBatch(std::vector<Task>* batch) {
+  // The writer "worker id" is one past the readers'.
+  const uint32_t writer_id = options_.num_workers;
+  size_t i = 0;
+  while (i < batch->size()) {
+    const auto start = std::chrono::steady_clock::now();
+    const auto finish = [&](Task* t, QueryResponse<D> response) {
+      response.latency_ns = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count());
+      response.worker_id = writer_id;
+      t->promise.set_value(std::move(response));
+    };
+    if ((*batch)[i].request.kind == QueryKind::kCheckpoint) {
+      QueryResponse<D> response;
+      response.status = serving_db_->Checkpoint();
+      (response.ok() ? checkpoints_ : writes_failed_)
+          .fetch_add(1, std::memory_order_relaxed);
+      finish(&(*batch)[i], std::move(response));
+      ++i;
+      continue;
+    }
+    // A contiguous run of inserts/deletes becomes one ApplyBatch (one
+    // commit); a checkpoint request acts as a barrier between runs.
+    size_t j = i;
+    std::vector<typename ServingDb<D>::WriteOp> ops;
+    while (j < batch->size() &&
+           (*batch)[j].request.kind != QueryKind::kCheckpoint) {
+      const QueryRequest<D>& rq = (*batch)[j].request;
+      ops.push_back(rq.kind == QueryKind::kInsert
+                        ? ServingDb<D>::WriteOp::Insert(rq.window,
+                                                        rq.object_id)
+                        : ServingDb<D>::WriteOp::Delete(rq.window,
+                                                        rq.object_id));
+      ++j;
+    }
+    std::vector<typename ServingDb<D>::WriteResult> results;
+    const Status applied = serving_db_->ApplyBatch(ops, &results);
+    for (size_t k = i; k < j; ++k) {
+      QueryResponse<D> response;
+      response.status = applied;
+      if (applied.ok()) {
+        response.lsn = results[k - i].lsn;
+        response.affected = results[k - i].applied ? 1 : 0;
+      }
+      (applied.ok() ? writes_ok_ : writes_failed_)
+          .fetch_add(1, std::memory_order_relaxed);
+      finish(&(*batch)[k], std::move(response));
+    }
+    i = j;
   }
 }
 
@@ -203,6 +366,14 @@ QueryResponse<D> QueryService<D>::Dispatch(Worker* worker,
       }
       return response;
     }
+    case QueryKind::kInsert:
+    case QueryKind::kDelete:
+    case QueryKind::kCheckpoint:
+      // Submit routes write kinds to the writer thread; reaching a reader
+      // worker with one is a bug.
+      response.status =
+          Status::Internal("write request dispatched to a query worker");
+      return response;
   }
   response.status = Status::InvalidArgument("unknown query kind");
   return response;
@@ -212,6 +383,9 @@ template <int D>
 ServiceStats QueryService<D>::Stats() const {
   ServiceStats stats;
   stats.workers = static_cast<uint32_t>(workers_.size());
+  stats.writes_ok = writes_ok_.load(std::memory_order_relaxed);
+  stats.writes_failed = writes_failed_.load(std::memory_order_relaxed);
+  stats.checkpoints = checkpoints_.load(std::memory_order_relaxed);
   stats.elapsed_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     epoch_)
@@ -237,6 +411,9 @@ void QueryService<D>::ResetStats() {
     worker->ok.store(0, std::memory_order_relaxed);
     worker->failed.store(0, std::memory_order_relaxed);
   }
+  writes_ok_.store(0, std::memory_order_relaxed);
+  writes_failed_.store(0, std::memory_order_relaxed);
+  checkpoints_.store(0, std::memory_order_relaxed);
   epoch_ = std::chrono::steady_clock::now();
 }
 

@@ -10,6 +10,7 @@
 
 #include "common/result.h"
 #include "core/scratch.h"
+#include "db/serving_db.h"
 #include "db/spatial_db.h"
 #include "service/latency_histogram.h"
 #include "service/request.h"
@@ -20,13 +21,23 @@
 
 namespace spatial {
 
-// Concurrent query service over an immutable SpatialDb: a fixed pool of
-// worker threads drains an MPMC request queue and answers kNN, constrained
-// kNN, range, and incremental top-k queries.
+// Concurrent query service over a SpatialDb: a fixed pool of worker
+// threads drains an MPMC request queue and answers kNN, constrained kNN,
+// range, and incremental top-k queries.
+//
+// Two modes:
+//   * Read-only (Open / Attach): the classic immutable-tree service.
+//   * Serving (OpenServing): the database is a ServingDb — a dedicated
+//     writer thread drains a separate write queue, group-commits batches
+//     to the WAL, and publishes copy-on-write snapshots; each reader
+//     worker pins the current snapshot around every query, so queries see
+//     a consistent tree version while writes land concurrently
+//     (docs/DURABILITY.md).
 //
 // Concurrency model (docs/SERVICE.md has the full story):
-//   * The tree is immutable while served, so workers share the on-disk
-//     image with no coordination at all.
+//   * The served tree version is immutable (permanently in read-only mode,
+//     per-snapshot under COW in serving mode), so workers share the
+//     on-disk image with no coordination at all.
 //   * Each worker owns a private ReadOnlyDiskView + BufferPool + RTree
 //     handle — the hot path (queue pop aside) takes no locks and touches
 //     no shared mutable state. Physical reads go through the base disk's
@@ -84,6 +95,13 @@ class QueryService {
   static Result<std::unique_ptr<QueryService>> Attach(const SpatialDb<D>& db,
                                                       const Options& options);
 
+  // Opens (or creates) `path` as a ServingDb and serves it read-write:
+  // kInsert/kDelete/kCheckpoint requests are accepted alongside queries.
+  // Replays the WAL tail (crash recovery) before the first request runs.
+  static Result<std::unique_ptr<QueryService>> OpenServing(
+      const std::string& path, const ServingOptions& serving_options,
+      const Options& options);
+
   QueryService(const QueryService&) = delete;
   QueryService& operator=(const QueryService&) = delete;
   ~QueryService();
@@ -112,6 +130,12 @@ class QueryService {
   uint32_t num_workers() const { return options_.num_workers; }
   const SpatialDb<D>& db() const { return *db_; }
 
+  // Serving mode only (null otherwise). Recovery info, checkpoint control,
+  // and the snapshot registry live here.
+  ServingDb<D>* serving_db() { return serving_db_.get(); }
+  const ServingDb<D>* serving_db() const { return serving_db_.get(); }
+  bool serving() const { return serving_db_ != nullptr; }
+
  private:
   struct Task {
     QueryRequest<D> request;
@@ -132,6 +156,11 @@ class QueryService {
     // Reusable traversal arena: after warm-up, kNN/top-k dispatches run
     // without heap allocation (docs/PERF.md).
     QueryScratch<D> scratch;
+    // Serving mode: the worker's snapshot-pin slot, and the last
+    // reclaim_gen it observed — when it changes, a checkpoint recycled
+    // page ids and the private pool's cached images must be dropped.
+    uint32_t reader_slot = 0;
+    uint64_t last_reclaim_gen = 0;
   };
 
   QueryService(const SpatialDb<D>* db, std::unique_ptr<SpatialDb<D>> owned,
@@ -139,14 +168,27 @@ class QueryService {
 
   Status StartWorkers();
   void WorkerLoop(Worker* worker, uint32_t worker_id);
+  void WriterLoop();
+  void RunWriteBatch(std::vector<Task>* batch);
   QueryResponse<D> Dispatch(Worker* worker, const QueryRequest<D>& request);
 
   Options options_;
   std::unique_ptr<SpatialDb<D>> owned_db_;  // Open() path; null for Attach()
+  // OpenServing() path; declared before workers_ so their disk views and
+  // pools die first.
+  std::unique_ptr<ServingDb<D>> serving_db_;
   const SpatialDb<D>* db_;                  // always valid
   RequestQueue<Task> queue_;
+  // Serving mode: writes bypass the query queue so a burst of queries
+  // cannot starve the durability path (and vice versa).
+  std::unique_ptr<RequestQueue<Task>> write_queue_;
+  std::thread writer_thread_;
+  std::atomic<uint64_t> writes_ok_{0};
+  std::atomic<uint64_t> writes_failed_{0};
+  std::atomic<uint64_t> checkpoints_{0};
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
+  bool reader_slots_held_ = false;
   std::chrono::steady_clock::time_point epoch_;
   std::atomic<bool> stopped_{false};
 };

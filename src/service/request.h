@@ -14,18 +14,29 @@
 
 namespace spatial {
 
-// The query kinds the service executes — the read-only surface of the
-// library. Insert/delete are deliberately absent: the served tree is
-// immutable (see docs/SERVICE.md).
+// The request kinds the service executes. The query kinds work against any
+// service; the write kinds (kInsert / kDelete / kCheckpoint) need a service
+// opened in serving mode (OpenServing), where a single writer thread logs
+// them to the WAL and publishes snapshot-isolated tree versions — on a
+// read-only service they fail immediately (see docs/SERVICE.md and
+// docs/DURABILITY.md).
 enum class QueryKind {
   kKnn,             // k nearest neighbors (SIGMOD'95 branch-and-bound)
   kConstrainedKnn,  // k nearest within a region
   kRange,           // all entries intersecting a window
   kTopK,            // k nearest via the incremental (distance-browsing) scan
   kBatchKnn,        // many kNN queries answered in one worker pass
+  kInsert,          // durably insert (window = MBR, object_id = id)
+  kDelete,          // durably delete one exact (window, object_id) match
+  kCheckpoint,      // fold the WAL into the base file now
 };
 
 const char* QueryKindName(QueryKind kind);
+
+inline bool IsWriteKind(QueryKind kind) {
+  return kind == QueryKind::kInsert || kind == QueryKind::kDelete ||
+         kind == QueryKind::kCheckpoint;
+}
 
 // One query. Which fields matter depends on `kind`; the factory functions
 // below construct well-formed requests for each kind.
@@ -37,6 +48,7 @@ struct QueryRequest {
   KnnOptions knn;                      // kKnn / kConstrainedKnn / kBatchKnn
   uint32_t top_k = 1;                  // kTopK result count
   std::vector<Point<D>> batch_queries;  // kBatchKnn query points
+  uint64_t object_id = 0;              // kInsert / kDelete object id
 
   static QueryRequest Knn(const Point<D>& q, uint32_t k) {
     QueryRequest r;
@@ -80,6 +92,30 @@ struct QueryRequest {
     r.knn.k = k;
     return r;
   }
+
+  // Durable writes (serving mode only). The response's future resolves
+  // once the op is on disk — an OK status IS the durability ack.
+  static QueryRequest Insert(const Rect<D>& mbr, uint64_t id) {
+    QueryRequest r;
+    r.kind = QueryKind::kInsert;
+    r.window = mbr;
+    r.object_id = id;
+    return r;
+  }
+
+  static QueryRequest Delete(const Rect<D>& mbr, uint64_t id) {
+    QueryRequest r;
+    r.kind = QueryKind::kDelete;
+    r.window = mbr;
+    r.object_id = id;
+    return r;
+  }
+
+  static QueryRequest Checkpoint() {
+    QueryRequest r;
+    r.kind = QueryKind::kCheckpoint;
+    return r;
+  }
 };
 
 // The answer to one request. `neighbors` is filled for the k-NN kinds,
@@ -99,6 +135,10 @@ struct QueryResponse {
   QueryStats stats;
   uint64_t latency_ns = 0;
   uint32_t worker_id = 0;
+  // Write kinds: the op's log sequence number, and 1 when it took effect
+  // (inserts always do; a delete counts only an exact match).
+  uint64_t lsn = 0;
+  uint64_t affected = 0;
 
   bool ok() const { return status.ok(); }
 };

@@ -54,6 +54,19 @@ class RequestQueue {
     return item;
   }
 
+  // Non-blocking Pop: an item if one is ready, nullopt otherwise (empty or
+  // closed-and-drained). The writer thread's group-commit loop uses this
+  // to batch everything already queued without waiting for more.
+  std::optional<T> TryPop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
   void Close() {
     {
       std::lock_guard<std::mutex> lock(mu_);

@@ -19,6 +19,11 @@ struct ServiceStats {
   uint64_t queries_failed = 0;
   double elapsed_seconds = 0.0;  // since service start (or ResetStats)
 
+  // Serving mode (OpenServing) only; zero on read-only services.
+  uint64_t writes_ok = 0;
+  uint64_t writes_failed = 0;
+  uint64_t checkpoints = 0;
+
   IoStats io;          // summed over worker disk views
   BufferStats buffer;  // summed over worker buffer pools
   QueryStats query;    // summed over all executed queries

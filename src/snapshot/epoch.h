@@ -1,0 +1,106 @@
+#ifndef SPATIAL_SNAPSHOT_EPOCH_H_
+#define SPATIAL_SNAPSHOT_EPOCH_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "snapshot/snapshot.h"
+
+namespace spatial {
+
+// Publication point between the single writer and N reader threads, plus
+// the pin registry that epoch-based reclamation consults.
+//
+// Every reader owns a slot (RegisterReader). Around each query it Pins the
+// current snapshot — which both hands it a consistent tree version and
+// blocks reclamation of any page that version can reach — and Unpins when
+// done. The writer Publishes a new snapshot after each applied batch and,
+// at checkpoint, asks MinPinnedEpoch() for the reclamation horizon: a page
+// retired in epoch E may be freed once E < MinPinnedEpoch() (no active
+// pin, and no future pin — Pin only ever returns the current snapshot,
+// whose epoch is higher still).
+//
+// Everything is guarded by one mutex. A lock-free seqlock was considered
+// and rejected: the pin/unpin pair costs one uncontended lock each way,
+// which is noise next to the request-queue mutex every query already
+// crosses, and the mutex keeps the pin registry trivially race-free (see
+// docs/DURABILITY.md).
+class SnapshotManager {
+ public:
+  explicit SnapshotManager(uint32_t max_readers = 64)
+      : pins_(max_readers, kUnpinned), used_(max_readers, false) {}
+
+  SnapshotManager(const SnapshotManager&) = delete;
+  SnapshotManager& operator=(const SnapshotManager&) = delete;
+
+  // Writer side ------------------------------------------------------------
+
+  void Publish(const TreeSnapshot& snap) {
+    std::lock_guard<std::mutex> lock(mu_);
+    current_ = snap;
+  }
+
+  TreeSnapshot Current() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return current_;
+  }
+
+  // Smallest epoch any reader currently has pinned; the current snapshot's
+  // epoch when nothing is pinned (nothing older can ever be pinned again).
+  uint64_t MinPinnedEpoch() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t min_epoch = current_.epoch;
+    for (const uint64_t pin : pins_) {
+      if (pin != kUnpinned && pin < min_epoch) min_epoch = pin;
+    }
+    return min_epoch;
+  }
+
+  // Reader side ------------------------------------------------------------
+
+  Result<uint32_t> RegisterReader() {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (uint32_t i = 0; i < pins_.size(); ++i) {
+      if (!used_[i]) {
+        used_[i] = true;
+        pins_[i] = kUnpinned;
+        return i;
+      }
+    }
+    return Status::ResourceExhausted("snapshot: no free reader slots");
+  }
+
+  void ReleaseReader(uint32_t slot) {
+    std::lock_guard<std::mutex> lock(mu_);
+    pins_[slot] = kUnpinned;
+    used_[slot] = false;
+  }
+
+  // Pins and returns the current snapshot for this reader slot. Nested
+  // pins are a bug (the slot is per-thread, one query at a time).
+  TreeSnapshot Pin(uint32_t slot) {
+    std::lock_guard<std::mutex> lock(mu_);
+    pins_[slot] = current_.epoch;
+    return current_;
+  }
+
+  void Unpin(uint32_t slot) {
+    std::lock_guard<std::mutex> lock(mu_);
+    pins_[slot] = kUnpinned;
+  }
+
+ private:
+  static constexpr uint64_t kUnpinned = ~uint64_t{0};
+
+  mutable std::mutex mu_;
+  TreeSnapshot current_;
+  std::vector<uint64_t> pins_;
+  std::vector<bool> used_;
+};
+
+}  // namespace spatial
+
+#endif  // SPATIAL_SNAPSHOT_EPOCH_H_

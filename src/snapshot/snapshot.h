@@ -1,0 +1,34 @@
+#ifndef SPATIAL_SNAPSHOT_SNAPSHOT_H_
+#define SPATIAL_SNAPSHOT_SNAPSHOT_H_
+
+#include <cstdint>
+
+#include "storage/disk.h"
+
+namespace spatial {
+
+// An immutable, consistent view of the serving tree, published by the
+// writer after each applied batch. Because the writer never mutates a page
+// reachable from a published root (copy-on-write path copying), the triple
+// (root_page, root_level, size) alone pins an entire tree version: readers
+// traverse from root_page and, by construction, only ever reach pages
+// whose bytes are frozen.
+//
+// `reclaim_gen` increments whenever a checkpoint actually frees retired
+// pages back to the allocator. A reader that still holds buffer-pool
+// frames from an older generation must drop them before using this
+// snapshot — a freed page id can be recycled for new contents, and a
+// cached stale image would otherwise survive the swap (the disk itself is
+// coherent; the reader's private cache is what must be invalidated).
+struct TreeSnapshot {
+  PageId root_page = kInvalidPageId;
+  uint16_t root_level = 0;
+  uint64_t size = 0;
+  uint64_t epoch = 0;        // publishing epoch; pin key for reclamation
+  uint64_t lsn = 0;          // last WAL lsn folded into this version
+  uint64_t reclaim_gen = 0;  // bumps when page ids may have been recycled
+};
+
+}  // namespace spatial
+
+#endif  // SPATIAL_SNAPSHOT_SNAPSHOT_H_

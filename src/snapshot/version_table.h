@@ -1,0 +1,89 @@
+#ifndef SPATIAL_SNAPSHOT_VERSION_TABLE_H_
+#define SPATIAL_SNAPSHOT_VERSION_TABLE_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_set>
+
+#include "storage/cow.h"
+
+namespace spatial {
+
+// The CowPolicy implementation behind serving mode: tracks which pages are
+// "fresh" (allocated since the last published snapshot, hence invisible to
+// every reader and mutable in place) and which are "retired" (dropped from
+// the writer's tree version but possibly still reachable from published
+// snapshots).
+//
+// Lifecycle per write batch:
+//   1. writer mutates the tree; the R-tree calls NeedsShadow /
+//      OnPageAllocated / OnPageRetired through the CowPolicy interface,
+//   2. writer publishes the new snapshot under epoch E+1 and calls
+//      BeginEpoch(E+1) — fresh pages become reachable, so the fresh set is
+//      cleared; retired pages recorded during the batch were tagged E (the
+//      last epoch whose snapshot could reference them),
+//   3. at checkpoint, ReclaimUpTo(horizon) frees every retired page whose
+//      tag is below the horizon (min pinned epoch — see
+//      SnapshotManager::MinPinnedEpoch; checkpoint additionally guarantees
+//      the durable superblock no longer references them).
+//
+// Retire order is epoch order (tags are appended monotonically), so the
+// deque is scanned from the front and reclamation is O(freed).
+//
+// Owned and called by the single writer thread only — no locking.
+class PageVersionTable final : public CowPolicy {
+ public:
+  bool NeedsShadow(PageId id) const override {
+    return fresh_.find(id) == fresh_.end();
+  }
+
+  void OnPageAllocated(PageId id) override { fresh_.insert(id); }
+
+  void OnPageRetired(PageId id) override {
+    // A fresh page that retires within its own batch was never visible to
+    // anyone; the tree frees it immediately instead of retiring it, so a
+    // retired page is by definition non-fresh. Keep the erase anyway —
+    // it makes the invariant local rather than contractual.
+    fresh_.erase(id);
+    retired_.push_back(Retired{id, current_epoch_});
+  }
+
+  // The writer published the snapshot for `epoch`; everything allocated
+  // before this point is now reachable by readers.
+  void BeginEpoch(uint64_t epoch) {
+    current_epoch_ = epoch;
+    fresh_.clear();
+  }
+
+  // Frees every retired page tagged with an epoch < `horizon` by calling
+  // `free_page`. Returns the number of pages freed.
+  uint64_t ReclaimUpTo(uint64_t horizon,
+                       const std::function<void(PageId)>& free_page) {
+    uint64_t freed = 0;
+    while (!retired_.empty() && retired_.front().epoch < horizon) {
+      free_page(retired_.front().id);
+      retired_.pop_front();
+      ++freed;
+    }
+    return freed;
+  }
+
+  uint64_t current_epoch() const { return current_epoch_; }
+  size_t fresh_count() const { return fresh_.size(); }
+  size_t retired_count() const { return retired_.size(); }
+
+ private:
+  struct Retired {
+    PageId id;
+    uint64_t epoch;  // last published epoch whose snapshot may reference id
+  };
+
+  uint64_t current_epoch_ = 0;
+  std::unordered_set<PageId> fresh_;
+  std::deque<Retired> retired_;
+};
+
+}  // namespace spatial
+
+#endif  // SPATIAL_SNAPSHOT_VERSION_TABLE_H_

@@ -133,6 +133,28 @@ Status BufferPool::FlushAll() {
   return Status::OK();
 }
 
+Status BufferPool::InvalidateAll() {
+  if (pinned_frames() > 0) {
+    return Status::InvalidArgument(
+        "InvalidateAll: pool has pinned frames");
+  }
+  free_frames_.clear();
+  for (uint32_t i = 0; i < capacity_; ++i) {
+    Frame& frame = frames_[i];
+    if (frame.id != kInvalidPageId) {
+      page_table_[frame.id] = kNilFrame;
+      if (frame.evictable) MakeUnevictable(i);
+      frame.id = kInvalidPageId;
+      frame.dirty = false;
+      frame.referenced = false;
+    }
+    free_frames_.push_back(capacity_ - 1 - i);  // same order as construction
+  }
+  SPATIAL_DCHECK(lru_head_ == kNilFrame && lru_tail_ == kNilFrame);
+  clock_hand_ = 0;
+  return Status::OK();
+}
+
 uint32_t BufferPool::pinned_frames() const {
   uint32_t pinned = 0;
   for (const Frame& frame : frames_) {

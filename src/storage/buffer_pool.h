@@ -86,6 +86,13 @@ class BufferPool {
   // Writes back all dirty frames.
   Status FlushAll();
 
+  // Drops every cached frame WITHOUT writeback. Fails with InvalidArgument
+  // if any frame is pinned. Used by snapshot readers when the writer's
+  // checkpoint reclaims retired pages: a reused page id must not serve a
+  // stale cached image, so the reader empties its (read-only, never dirty)
+  // pool before adopting the new snapshot.
+  Status InvalidateAll();
+
   Disk* disk() { return disk_; }
   uint32_t capacity() const { return capacity_; }
   EvictionPolicy policy() const { return policy_; }

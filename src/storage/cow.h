@@ -1,0 +1,40 @@
+#ifndef SPATIAL_STORAGE_COW_H_
+#define SPATIAL_STORAGE_COW_H_
+
+#include "storage/disk.h"
+
+namespace spatial {
+
+// Copy-on-write page lifecycle policy, consulted by the R-tree's mutation
+// paths when a ServingDb is applying writes while readers hold pinned
+// snapshots (src/snapshot/version_table.h is the production implementation).
+//
+// Contract, per publishing epoch:
+//   * NeedsShadow(id) — true if `id` may be referenced by a published
+//     snapshot and must therefore not be mutated in place. Pages allocated
+//     since the last publish ("fresh" pages) return false: no reader can
+//     reach them yet, so the writer may edit them directly instead of
+//     copying once per mutation.
+//   * OnPageAllocated(id) — the tree allocated `id` (shadow copy, split
+//     sibling, or new root); it is fresh until the next publish.
+//   * OnPageRetired(id) — `id` left the writer's current tree version
+//     (shadowed, dissolved, or shrunk away). The page's bytes must remain
+//     readable until every snapshot that can reference it is unpinned AND
+//     a checkpoint has moved the durable superblock past it; the policy
+//     owns that deferral (epoch-tagged retire list).
+//
+// With cow disabled (RTree::SetCowPolicy(nullptr), the default), mutation
+// is in place and retired pages are freed immediately — the classic
+// single-owner behaviour every pre-serving test exercises.
+class CowPolicy {
+ public:
+  virtual ~CowPolicy() = default;
+
+  virtual bool NeedsShadow(PageId id) const = 0;
+  virtual void OnPageAllocated(PageId id) = 0;
+  virtual void OnPageRetired(PageId id) = 0;
+};
+
+}  // namespace spatial
+
+#endif  // SPATIAL_STORAGE_COW_H_

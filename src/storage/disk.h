@@ -2,6 +2,7 @@
 #define SPATIAL_STORAGE_DISK_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "common/status.h"
 #include "storage/io_stats.h"
@@ -50,6 +51,24 @@ class Disk {
 
   // Number of live (allocated, not freed) pages.
   virtual uint64_t live_pages() const = 0;
+
+  // Total page span of the medium, including freed pages (the file size in
+  // pages for a file backend). live_pages() <= page_span().
+  virtual uint64_t page_span() const { return live_pages(); }
+
+  // Makes previously written pages durable (fsync for a file backend).
+  // No-op for media without a volatile cache.
+  virtual Status Sync() { return Status::OK(); }
+
+  // Free-list persistence hooks for the durability subsystem: the
+  // superblock stores the free list at each checkpoint and re-seeds it on
+  // reopen, so pages retired by copy-on-write updates are reusable across
+  // process lifetimes. Backends without an externalizable free list return
+  // an empty snapshot and ignore adoption.
+  virtual std::vector<PageId> FreeListSnapshot() const { return {}; }
+  virtual void AdoptFreeList(const std::vector<PageId>& free_ids) {
+    (void)free_ids;
+  }
 
   virtual const IoStats& stats() const = 0;
   virtual void ResetStats() = 0;

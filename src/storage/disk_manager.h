@@ -37,6 +37,8 @@ class DiskManager final : public Disk {
   uint64_t live_pages() const override {
     return stats_.pages_allocated - stats_.pages_freed;
   }
+  uint64_t page_span() const override { return pages_.size(); }
+  std::vector<PageId> FreeListSnapshot() const override { return free_list_; }
 
   const IoStats& stats() const override { return stats_; }
   void ResetStats() override { stats_.Reset(); }

@@ -1,0 +1,65 @@
+#ifndef SPATIAL_STORAGE_FAULT_INJECTOR_H_
+#define SPATIAL_STORAGE_FAULT_INJECTOR_H_
+
+#include <cstdint>
+
+namespace spatial {
+
+// Deterministic crash-point injection shared by FaultyDiskManager (data
+// pages) and WalWriter (log appends / fsyncs). Every durable write in the
+// system asks the injector for a verdict before touching the medium; the
+// injector counts those operations and, once the armed operation number is
+// reached, simulates a fail-stop crash: the triggering operation and every
+// later one fail. The crash-matrix recovery test sweeps `fail_at_op` over
+// the whole workload, so each sweep iteration dies at a different write.
+//
+// `torn` models a torn final WAL record: instead of dropping the
+// triggering log write entirely, the writer persists only a prefix of it
+// (callers of OnWrite receive kTorn exactly once; every later op fails).
+// Page-granular data writes treat kTorn as kFailStop — the durability
+// design assumes sector-atomic superblock writes (docs/DURABILITY.md), so
+// a torn *page* never reaches the recovery path.
+//
+// Not thread-safe; the write path is single-threaded by design.
+class FaultInjector {
+ public:
+  enum class Action {
+    kOk,        // perform the write
+    kTorn,      // persist a prefix of the write, then fail
+    kFailStop,  // perform nothing; the "process" is dead
+  };
+
+  // Counting mode (fail_at_op == 0, the default): never fails, just counts.
+  // A baseline run in counting mode measures the total number of durable
+  // operations a workload performs, which bounds the crash matrix.
+  void Arm(uint64_t fail_at_op, bool torn = false) {
+    fail_at_op_ = fail_at_op;
+    torn_ = torn;
+    ops_ = 0;
+    tripped_ = false;
+  }
+
+  // Verdict for the next durable operation.
+  Action OnWrite() {
+    ++ops_;
+    if (tripped_) return Action::kFailStop;
+    if (fail_at_op_ != 0 && ops_ >= fail_at_op_) {
+      tripped_ = true;
+      return torn_ ? Action::kTorn : Action::kFailStop;
+    }
+    return Action::kOk;
+  }
+
+  uint64_t ops_seen() const { return ops_; }
+  bool tripped() const { return tripped_; }
+
+ private:
+  uint64_t fail_at_op_ = 0;
+  bool torn_ = false;
+  uint64_t ops_ = 0;
+  bool tripped_ = false;
+};
+
+}  // namespace spatial
+
+#endif  // SPATIAL_STORAGE_FAULT_INJECTOR_H_

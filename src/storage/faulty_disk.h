@@ -1,0 +1,85 @@
+#ifndef SPATIAL_STORAGE_FAULTY_DISK_H_
+#define SPATIAL_STORAGE_FAULTY_DISK_H_
+
+#include <memory>
+#include <utility>
+
+#include "common/macros.h"
+#include "common/status.h"
+#include "storage/disk.h"
+#include "storage/fault_injector.h"
+
+namespace spatial {
+
+// Fault-injection decorator over any Disk: every durable operation
+// (WritePage, Sync) consults the shared FaultInjector, and once the armed
+// crash point trips, all further durable operations fail with Internal —
+// modelling a process that died mid-write. Reads always pass through: the
+// crash-matrix test "crashes" by abandoning the serving stack and then
+// reopens the *underlying* file with a clean manager, exactly like a
+// process restart.
+//
+// Page writes fail atomically (all-or-nothing). Torn writes are a WAL-only
+// phenomenon here: the recovery design assumes sector-atomic superblock
+// writes and CRC-guards every log record, so sub-page tearing is exercised
+// where it matters — on the log's final record (see storage/fault_injector.h
+// and docs/DURABILITY.md).
+//
+// AllocatePage / FreePage are in-memory bookkeeping plus a zero-extension
+// write; they are forwarded untouched even after the crash trips. Any page
+// the dead process "allocated" is unreachable from the durable superblock,
+// so recovery never observes it — the file is at worst a few pages longer.
+class FaultyDiskManager final : public Disk {
+ public:
+  FaultyDiskManager(std::unique_ptr<Disk> base, FaultInjector* injector)
+      : base_(std::move(base)), injector_(injector) {
+    SPATIAL_CHECK(base_ != nullptr);
+    SPATIAL_CHECK(injector_ != nullptr);
+  }
+
+  uint32_t page_size() const override { return base_->page_size(); }
+  PageId AllocatePage() override { return base_->AllocatePage(); }
+  Status FreePage(PageId id) override { return base_->FreePage(id); }
+
+  Status ReadPage(PageId id, char* out) override {
+    return base_->ReadPage(id, out);
+  }
+  Status ReadPageConcurrent(PageId id, char* out) const override {
+    return base_->ReadPageConcurrent(id, out);
+  }
+
+  Status WritePage(PageId id, const char* in) override {
+    if (injector_->OnWrite() != FaultInjector::Action::kOk) {
+      return Status::Internal("injected crash: page write dropped");
+    }
+    return base_->WritePage(id, in);
+  }
+
+  Status Sync() override {
+    if (injector_->OnWrite() != FaultInjector::Action::kOk) {
+      return Status::Internal("injected crash: sync dropped");
+    }
+    return base_->Sync();
+  }
+
+  uint64_t live_pages() const override { return base_->live_pages(); }
+  uint64_t page_span() const override { return base_->page_span(); }
+  std::vector<PageId> FreeListSnapshot() const override {
+    return base_->FreeListSnapshot();
+  }
+  void AdoptFreeList(const std::vector<PageId>& free_ids) override {
+    base_->AdoptFreeList(free_ids);
+  }
+  const IoStats& stats() const override { return base_->stats(); }
+  void ResetStats() override { base_->ResetStats(); }
+
+  Disk* base() { return base_.get(); }
+
+ private:
+  std::unique_ptr<Disk> base_;
+  FaultInjector* injector_;
+};
+
+}  // namespace spatial
+
+#endif  // SPATIAL_STORAGE_FAULTY_DISK_H_

@@ -106,6 +106,7 @@ FileDiskManager::FileDiskManager(std::string path, uint32_t page_size,
       file_(file),
       fd_(fileno(file)),
       num_pages_(num_pages),
+      pages_published_(std::make_unique<std::atomic<uint32_t>>(num_pages)),
       read_only_(read_only),
       freed_(num_pages, false),
       read_mu_(std::make_unique<std::mutex>()) {}
@@ -124,6 +125,7 @@ FileDiskManager& FileDiskManager::operator=(
     file_ = other.file_;
     fd_ = other.fd_;
     num_pages_ = other.num_pages_;
+    pages_published_ = std::move(other.pages_published_);
     read_only_ = other.read_only_;
     freed_ = std::move(other.freed_);
     free_list_ = std::move(other.free_list_);
@@ -156,11 +158,13 @@ PageId FileDiskManager::AllocatePage() {
   SPATIAL_CHECK(id != kInvalidPageId);
   ++num_pages_;
   freed_.push_back(false);
-  // Extend the file by one zero page.
+  // Extend the file by one zero page, then publish the new count so
+  // concurrent readers see the page only after it exists on disk.
   std::unique_ptr<char[]> zeros(new char[page_size_]());
   if (SeekToPage(file_, id, page_size_).ok()) {
     std::fwrite(zeros.get(), 1, page_size_, file_);
   }
+  pages_published_->store(num_pages_, std::memory_order_release);
   return id;
 }
 
@@ -218,7 +222,10 @@ Status FileDiskManager::ReadPage(PageId id, char* out) {
 }
 
 Status FileDiskManager::ReadPageConcurrent(PageId id, char* out) const {
-  if (id >= num_pages_ || freed_[id]) {
+  // Bounds-check against the atomic mirror, not num_pages_/freed_: a
+  // concurrent writer may be allocating or retiring pages, and snapshot
+  // readers are entitled to fetch retired-but-unreclaimed pages.
+  if (id >= pages_published_->load(std::memory_order_acquire)) {
     return Status::InvalidArgument(
         "ReadPageConcurrent: page not allocated");
   }
@@ -244,10 +251,30 @@ uint64_t FileDiskManager::live_pages() const {
   return num_pages_ - free_list_.size();
 }
 
+std::vector<PageId> FileDiskManager::FreeListSnapshot() const {
+  return free_list_;
+}
+
+void FileDiskManager::AdoptFreeList(const std::vector<PageId>& free_ids) {
+  for (const PageId id : free_ids) {
+    if (id >= num_pages_ || freed_[id]) continue;  // stale entry; ignore
+    freed_[id] = true;
+    free_list_.push_back(id);
+  }
+}
+
 Status FileDiskManager::Sync() {
   if (std::fflush(file_) != 0) {
     return Status::Internal("fflush failed: " + path_);
   }
+#if defined(SPATIAL_HAVE_PREAD)
+  // fsync so durability claims (WAL commit, checkpoint) hold across a
+  // process crash; fflush alone only reaches the kernel page cache.
+  while (::fsync(fd_) != 0) {
+    if (errno == EINTR) continue;
+    return Status::Internal("fsync failed: " + path_);
+  }
+#endif
   return Status::OK();
 }
 

@@ -1,6 +1,7 @@
 #ifndef SPATIAL_STORAGE_FILE_DISK_MANAGER_H_
 #define SPATIAL_STORAGE_FILE_DISK_MANAGER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <memory>
@@ -20,22 +21,26 @@ namespace spatial {
 //   page 0..N-1 : raw page images, page_size bytes each
 //
 // Allocation metadata (the free list) is kept in memory and rebuilt as
-// "no free pages" on reopen; freed pages of a previous session are leaked
-// in the file but remain readable, which is sound (the tree never points
-// at them) if slightly wasteful. A production system would persist the
-// free list in a superblock; for this reproduction the simple scheme keeps
-// the format trivial and the recovery story obvious.
+// "no free pages" on reopen, unless the owner re-seeds it via
+// AdoptFreeList (the serving superblock persists the list at each
+// checkpoint). Without adoption, freed pages of a previous session are
+// leaked in the file but remain readable, which is sound (the tree never
+// points at them) if slightly wasteful.
 //
 // Thread-safety contract:
 //   * AllocatePage / FreePage / WritePage / ReadPage / Sync — single
 //     threaded, exactly as before (ReadPage updates stats()).
-//   * ReadPageConcurrent — safe from any number of threads at once, as
-//     long as no mutating member runs concurrently. On POSIX it issues a
-//     positional `pread` on the underlying descriptor, so concurrent
-//     readers never race on the shared file offset; elsewhere it falls
-//     back to a mutex-serialized seek+read. The stdio stream is opened
-//     unbuffered so the descriptor view (pread) is always coherent with
-//     stdio writes.
+//   * ReadPageConcurrent — safe from any number of threads at once, even
+//     while ONE thread mutates the disk. Its bounds check reads an atomic
+//     mirror of the page count (published after each file extension), and
+//     it deliberately does not consult the freed_ bitmap: under snapshot
+//     isolation a reader may legitimately fetch a page the writer has
+//     already retired, and the bitmap is not safely readable concurrently
+//     anyway. On POSIX the read is a positional `pread` on the underlying
+//     descriptor, so concurrent readers never race on the shared file
+//     offset; elsewhere it falls back to a mutex-serialized seek+read. The
+//     stdio stream is opened unbuffered so the descriptor view (pread) is
+//     always coherent with stdio writes.
 class FileDiskManager final : public Disk {
  public:
   // Creates a new file (truncating any existing one).
@@ -67,11 +72,16 @@ class FileDiskManager final : public Disk {
   Status ReadPageConcurrent(PageId id, char* out) const override;
   Status WritePage(PageId id, const char* in) override;
   uint64_t live_pages() const override;
+  uint64_t page_span() const override { return num_pages_; }
+  std::vector<PageId> FreeListSnapshot() const override;
+  void AdoptFreeList(const std::vector<PageId>& free_ids) override;
   const IoStats& stats() const override { return stats_; }
   void ResetStats() override { stats_.Reset(); }
 
-  // Flushes the underlying file's user-space buffers.
-  Status Sync();
+  // Flushes user-space buffers and fsyncs the descriptor, so previously
+  // written pages survive a crash of the host process (and, modulo the
+  // device's own cache, a power failure).
+  Status Sync() override;
 
   const std::string& path() const { return path_; }
   bool read_only() const { return read_only_; }
@@ -89,6 +99,10 @@ class FileDiskManager final : public Disk {
   std::FILE* file_ = nullptr;
   int fd_ = -1;  // fileno(file_), cached for pread
   uint32_t num_pages_ = 0;
+  // Mirror of num_pages_ readable from concurrent reader threads; updated
+  // after the file has actually been extended. Heap-allocated so the
+  // manager stays movable.
+  std::unique_ptr<std::atomic<uint32_t>> pages_published_;
   bool read_only_ = false;
   std::vector<bool> freed_;  // indexed by PageId
   std::vector<PageId> free_list_;

@@ -38,6 +38,7 @@ class ReadOnlyDiskView final : public Disk {
 
   uint32_t page_size() const override { return base_->page_size(); }
   uint64_t live_pages() const override { return base_->live_pages(); }
+  uint64_t page_span() const override { return base_->page_span(); }
 
   // Mutation is a programming error on a read-only view. AllocatePage has
   // no error channel, so it aborts.

@@ -1,0 +1,110 @@
+#include "wal/wal_reader.h"
+
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "common/macros.h"
+#include "wal/wal_writer.h"
+
+namespace spatial {
+
+Result<WalReplayIterator> WalReplayIterator::Open(const std::string& prefix,
+                                                  uint64_t start_seq) {
+  if (start_seq == 0) {
+    return Status::InvalidArgument("wal: replay seq must be >= 1");
+  }
+  return WalReplayIterator(prefix, start_seq);
+}
+
+bool WalReplayIterator::SegmentExists(const std::string& prefix,
+                                      uint64_t seq) {
+  std::FILE* f = std::fopen(WalWriter::SegmentPath(prefix, seq).c_str(), "rb");
+  if (f == nullptr) return false;
+  std::fclose(f);
+  return true;
+}
+
+Result<bool> WalReplayIterator::LoadSegment() {
+  const std::string path = WalWriter::SegmentPath(prefix_, seq_);
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+
+  std::string contents;
+  char chunk[4096];
+  size_t n;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+    contents.append(chunk, n);
+  }
+  std::fclose(f);
+
+  // Validate the header. A short or garbled header means the segment's
+  // very first durable write crashed: a torn tail if this is the newest
+  // segment, corruption otherwise.
+  bool header_ok = contents.size() >= kWalSegmentHeaderBytes;
+  if (header_ok) {
+    uint32_t magic, version;
+    uint64_t seq;
+    std::memcpy(&magic, contents.data(), 4);
+    std::memcpy(&version, contents.data() + 4, 4);
+    std::memcpy(&seq, contents.data() + 8, 8);
+    header_ok =
+        magic == kWalSegmentMagic && version == kWalSegmentVersion &&
+        seq == seq_;
+  }
+  if (!header_ok) {
+    if (SegmentExists(prefix_, seq_ + 1)) {
+      return Status::Corruption("wal: damaged header in non-last segment " +
+                                path);
+    }
+    tail_torn_ = true;
+    torn_keep_bytes_ = 0;  // even the header is garbage: unlink on repair
+    done_ = true;
+    return true;  // "loaded" an empty tail
+  }
+
+  buffer_ = contents.substr(kWalSegmentHeaderBytes);
+  offset_ = 0;
+  loaded_ = true;
+  ++segments_read_;
+  return true;
+}
+
+Result<bool> WalReplayIterator::Next(WalRecord* out) {
+  while (!done_) {
+    if (!loaded_) {
+      SPATIAL_ASSIGN_OR_RETURN(const bool exists, LoadSegment());
+      if (!exists) {
+        done_ = true;
+        break;
+      }
+      continue;  // re-check done_ (torn header sets it)
+    }
+    if (offset_ >= buffer_.size()) {
+      // Clean end of this segment: follow the chain.
+      loaded_ = false;
+      ++seq_;
+      continue;
+    }
+    size_t frame_size = 0;
+    const Status st = DecodeWalRecord(buffer_.data() + offset_,
+                                      buffer_.size() - offset_, out,
+                                      &frame_size);
+    if (st.ok()) {
+      offset_ += frame_size;
+      ++records_read_;
+      return true;
+    }
+    // Damaged record: discardable tail only in the newest segment.
+    if (SegmentExists(prefix_, seq_ + 1)) {
+      return Status::Corruption("wal: damaged record mid-log in segment " +
+                                std::to_string(seq_) + ": " + st.message());
+    }
+    tail_torn_ = true;
+    torn_keep_bytes_ = kWalSegmentHeaderBytes + offset_;
+    done_ = true;
+  }
+  return false;
+}
+
+}  // namespace spatial

@@ -1,0 +1,88 @@
+#ifndef SPATIAL_WAL_WAL_READER_H_
+#define SPATIAL_WAL_WAL_READER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "wal/wal_record.h"
+
+namespace spatial {
+
+// Sequential replay over the segment chain starting at `start_seq` (the
+// seq the superblock recorded at its last checkpoint). Semantics:
+//
+//   * Segments are read in seq order; a missing next segment is the clean
+//     end of the log.
+//   * A torn or CRC-failing record in the LAST segment ends replay cleanly
+//     at the previous record — that tail was never acknowledged, by the
+//     commit protocol (fsync precedes ack).
+//   * The same damage in a NON-last segment is real corruption (fsynced
+//     data changed under us, or segments were tampered with) and fails
+//     loudly rather than silently dropping acknowledged writes.
+//
+// A missing START segment is also a clean empty log: it means the crash
+// hit checkpoint between superblock publication and segment creation —
+// impossible in the shipped ordering (rotate before superblock write), but
+// cheap to tolerate.
+class WalReplayIterator {
+ public:
+  static Result<WalReplayIterator> Open(const std::string& prefix,
+                                        uint64_t start_seq);
+
+  // Advances to the next record. Returns true and fills `out`, or false at
+  // the (clean) end of the log, or Corruption for mid-log damage.
+  Result<bool> Next(WalRecord* out);
+
+  uint64_t records_read() const { return records_read_; }
+  uint64_t segments_read() const { return segments_read_; }
+  // True if replay ended by discarding a damaged tail rather than at a
+  // clean segment boundary.
+  bool tail_torn() const { return tail_torn_; }
+
+  // Meaningful only after Next() has returned false (log drained).
+  //
+  // The seq of the segment holding the damaged tail, and the number of
+  // file bytes (header included) that decoded cleanly before the damage.
+  // 0 keep-bytes means the segment's own header was torn — the whole file
+  // is garbage. Recovery MUST repair the torn segment (truncate to the
+  // keep-bytes, or unlink it when 0 — see WalWriter::TruncateSegment)
+  // before creating any later segment: once a successor exists, the
+  // damaged record would read as mid-log corruption, not a clean tail.
+  uint64_t torn_seq() const { return seq_; }
+  uint64_t torn_keep_bytes() const { return torn_keep_bytes_; }
+
+  // First seq the writer may (re)create without destroying replayed data:
+  // past the torn segment when its prefix is kept, else the first missing
+  // (or fully-garbage) seq.
+  uint64_t next_seq() const {
+    return (tail_torn_ && torn_keep_bytes_ > 0) ? seq_ + 1 : seq_;
+  }
+
+ private:
+  WalReplayIterator(std::string prefix, uint64_t start_seq)
+      : prefix_(std::move(prefix)), seq_(start_seq) {}
+
+  // Loads segment `seq_` into buffer_. Returns true if the segment exists
+  // and has a valid header; false if it does not exist. A segment that
+  // exists but has a short/invalid header counts as a torn tail (header
+  // write crashed) unless a later segment exists.
+  Result<bool> LoadSegment();
+  static bool SegmentExists(const std::string& prefix, uint64_t seq);
+
+  std::string prefix_;
+  uint64_t seq_ = 0;
+  bool loaded_ = false;
+  bool done_ = false;
+  bool tail_torn_ = false;
+  std::string buffer_;  // current segment bytes past the header
+  size_t offset_ = 0;
+  uint64_t torn_keep_bytes_ = 0;
+  uint64_t records_read_ = 0;
+  uint64_t segments_read_ = 0;
+};
+
+}  // namespace spatial
+
+#endif  // SPATIAL_WAL_WAL_READER_H_

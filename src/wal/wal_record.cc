@@ -1,0 +1,116 @@
+#include "wal/wal_record.h"
+
+#include <cstring>
+
+#include "common/crc32.h"
+#include "common/macros.h"
+
+namespace spatial {
+
+namespace {
+
+void PutU32(std::string* out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out->append(buf, 4);
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+
+void PutF64(std::string* out, double v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+
+uint32_t GetU32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+uint64_t GetU64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+double GetF64(const char* p) {
+  double v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+}  // namespace
+
+void AppendWalRecord(const WalRecord& rec, std::string* out) {
+  SPATIAL_CHECK(rec.dim <= kWalMaxDim);
+  const uint32_t payload_len = WalPayloadSize(rec.dim);
+
+  std::string payload;
+  payload.reserve(payload_len);
+  payload.push_back(static_cast<char>(rec.type));
+  payload.push_back(static_cast<char>(rec.dim));
+  payload.append(6, '\0');
+  PutU64(&payload, rec.lsn);
+  PutU64(&payload, rec.object_id);
+  PutU64(&payload, rec.epoch);
+  for (uint8_t d = 0; d < rec.dim; ++d) PutF64(&payload, rec.lo[d]);
+  for (uint8_t d = 0; d < rec.dim; ++d) PutF64(&payload, rec.hi[d]);
+  SPATIAL_CHECK(payload.size() == payload_len);
+
+  PutU32(out, payload_len);
+  PutU32(out, Crc32(payload.data(), payload.size()));
+  out->append(payload);
+}
+
+Status DecodeWalRecord(const char* data, size_t size, WalRecord* out,
+                       size_t* frame_size) {
+  if (size < kWalHeaderBytes) {
+    return Status::OutOfRange("wal record: truncated header");
+  }
+  const uint32_t payload_len = GetU32(data);
+  const uint32_t crc = GetU32(data + 4);
+  // Length sanity before trusting it: payload sizes are a small closed set.
+  if (payload_len < WalPayloadSize(0) ||
+      payload_len > WalPayloadSize(kWalMaxDim)) {
+    return Status::Corruption("wal record: implausible payload length " +
+                              std::to_string(payload_len));
+  }
+  if (size < kWalHeaderBytes + payload_len) {
+    return Status::OutOfRange("wal record: truncated payload");
+  }
+  const char* payload = data + kWalHeaderBytes;
+  if (Crc32(payload, payload_len) != crc) {
+    return Status::Corruption("wal record: checksum mismatch");
+  }
+
+  const uint8_t type = static_cast<uint8_t>(payload[0]);
+  const uint8_t dim = static_cast<uint8_t>(payload[1]);
+  if (type < static_cast<uint8_t>(WalRecordType::kInsert) ||
+      type > static_cast<uint8_t>(WalRecordType::kCheckpoint)) {
+    return Status::Corruption("wal record: unknown type " +
+                              std::to_string(type));
+  }
+  if (dim > kWalMaxDim || WalPayloadSize(dim) != payload_len) {
+    return Status::Corruption("wal record: dimension/length mismatch");
+  }
+
+  out->type = static_cast<WalRecordType>(type);
+  out->dim = dim;
+  out->lsn = GetU64(payload + 8);
+  out->object_id = GetU64(payload + 16);
+  out->epoch = GetU64(payload + 24);
+  for (uint8_t d = 0; d < dim; ++d) {
+    out->lo[d] = GetF64(payload + 32 + 8 * d);
+    out->hi[d] = GetF64(payload + 32 + 8 * (dim + d));
+  }
+  *frame_size = kWalHeaderBytes + payload_len;
+  return Status::OK();
+}
+
+}  // namespace spatial

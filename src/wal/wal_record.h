@@ -1,0 +1,77 @@
+#ifndef SPATIAL_WAL_WAL_RECORD_H_
+#define SPATIAL_WAL_WAL_RECORD_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace spatial {
+
+// One logical operation in the write-ahead log.
+//
+// On-disk framing (all integers little-endian, the only byte order this
+// testbed targets):
+//
+//   [u32 payload_len][u32 crc32(payload)][payload]
+//
+// payload layout (payload_len = 32 + 16*dim bytes):
+//
+//   off  0  u8   type         (WalRecordType)
+//   off  1  u8   dim          (0 for kCheckpoint, else 2 or 3)
+//   off  2  u8x6 reserved     (zero)
+//   off  8  u64  lsn
+//   off 16  u64  object_id    (user id of the indexed object; 0 for
+//                              kCheckpoint)
+//   off 24  u64  epoch        (publishing epoch the op was applied in;
+//                              diagnostic only — replay recomputes epochs)
+//   off 32  f64 x dim  rect lo
+//   ...     f64 x dim  rect hi
+//
+// The CRC covers the payload only; the length prefix is validated by range
+// (a corrupt length either fails the bound check or lands the CRC check on
+// garbage). A record is the unit of atomicity: replay accepts a record iff
+// its full frame is present and the CRC matches, so a torn final write is
+// indistinguishable from "record never written" — exactly the semantics
+// group commit needs.
+enum class WalRecordType : uint8_t {
+  kInsert = 1,
+  kDelete = 2,
+  // Marker stamped at the head of each post-checkpoint segment; carries the
+  // checkpoint's LSN. Replay skips it (state comes from the superblock).
+  kCheckpoint = 3,
+};
+
+inline constexpr uint8_t kWalMaxDim = 3;
+inline constexpr uint32_t kWalHeaderBytes = 8;  // len + crc
+
+struct WalRecord {
+  WalRecordType type = WalRecordType::kInsert;
+  uint8_t dim = 0;
+  uint64_t lsn = 0;
+  uint64_t object_id = 0;
+  uint64_t epoch = 0;
+  double lo[kWalMaxDim] = {0, 0, 0};
+  double hi[kWalMaxDim] = {0, 0, 0};
+};
+
+inline constexpr uint32_t WalPayloadSize(uint8_t dim) {
+  return 32 + 16u * dim;
+}
+
+// Appends the framed record ([len][crc][payload]) to `out`.
+void AppendWalRecord(const WalRecord& rec, std::string* out);
+
+// Decodes one framed record starting at data[0]. `size` is the number of
+// bytes available. On success stores the record and its total framed size.
+// Returns:
+//   OK          — record decoded, *frame_size set,
+//   OutOfRange  — the buffer ends before the frame does (torn tail),
+//   Corruption  — CRC mismatch or nonsensical length/type/dim.
+Status DecodeWalRecord(const char* data, size_t size, WalRecord* out,
+                       size_t* frame_size);
+
+}  // namespace spatial
+
+#endif  // SPATIAL_WAL_WAL_RECORD_H_

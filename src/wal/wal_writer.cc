@@ -1,0 +1,207 @@
+#include "wal/wal_writer.h"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/macros.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define SPATIAL_WAL_HAVE_FSYNC 1
+#include <unistd.h>
+#endif
+
+namespace spatial {
+
+std::string WalWriter::SegmentPath(const std::string& prefix, uint64_t seq) {
+  return prefix + ".wal." + std::to_string(seq);
+}
+
+Result<WalWriter> WalWriter::Open(const std::string& prefix, uint64_t seq,
+                                  const WalOptions& options,
+                                  FaultInjector* injector) {
+  if (seq == 0) {
+    return Status::InvalidArgument("wal: segment seq must be >= 1");
+  }
+  WalWriter writer(prefix, options, injector);
+  SPATIAL_RETURN_IF_ERROR(writer.StartSegment(seq));
+  return writer;
+}
+
+WalWriter::WalWriter(WalWriter&& other) noexcept { *this = std::move(other); }
+
+WalWriter& WalWriter::operator=(WalWriter&& other) noexcept {
+  if (this != &other) {
+    CloseFile();
+    prefix_ = std::move(other.prefix_);
+    options_ = other.options_;
+    injector_ = other.injector_;
+    seq_ = other.seq_;
+    file_ = other.file_;
+    fd_ = other.fd_;
+    segment_file_bytes_ = other.segment_file_bytes_;
+    commits_ = other.commits_;
+    pending_ = std::move(other.pending_);
+    other.file_ = nullptr;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+WalWriter::~WalWriter() { CloseFile(); }
+
+void WalWriter::CloseFile() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+    fd_ = -1;
+  }
+}
+
+Status WalWriter::StartSegment(uint64_t seq) {
+  CloseFile();
+  const std::string path = SegmentPath(prefix_, seq);
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    return Status::Internal("wal: cannot create segment " + path);
+  }
+  std::setvbuf(file_, nullptr, _IONBF, 0);
+#if defined(SPATIAL_WAL_HAVE_FSYNC)
+  fd_ = fileno(file_);
+#endif
+  seq_ = seq;
+  segment_file_bytes_ = 0;
+
+  char header[kWalSegmentHeaderBytes];
+  std::memcpy(header, &kWalSegmentMagic, 4);
+  std::memcpy(header + 4, &kWalSegmentVersion, 4);
+  std::memcpy(header + 8, &seq, 8);
+  SPATIAL_RETURN_IF_ERROR(DurableWrite(header, sizeof(header)));
+  return DurableSync();
+}
+
+Status WalWriter::Append(const WalRecord& rec) {
+  if (file_ == nullptr) {
+    return Status::Internal("wal: writer is closed");
+  }
+  AppendWalRecord(rec, &pending_);
+  return Status::OK();
+}
+
+Status WalWriter::Commit() {
+  if (pending_.empty()) return Status::OK();
+  if (file_ == nullptr) {
+    return Status::Internal("wal: writer is closed");
+  }
+  SPATIAL_RETURN_IF_ERROR(DurableWrite(pending_.data(), pending_.size()));
+  SPATIAL_RETURN_IF_ERROR(DurableSync());
+  segment_file_bytes_ += pending_.size();
+  pending_.clear();
+  ++commits_;
+  return Status::OK();
+}
+
+Result<uint64_t> WalWriter::Rotate() {
+  if (!pending_.empty()) {
+    return Status::InvalidArgument("wal: rotate with uncommitted records");
+  }
+  SPATIAL_RETURN_IF_ERROR(StartSegment(seq_ + 1));
+  return seq_;
+}
+
+void WalWriter::DeleteSegmentsBelow(uint64_t keep_seq) {
+  for (uint64_t s = keep_seq; s-- > 1;) {
+    if (std::remove(SegmentPath(prefix_, s).c_str()) != 0) break;
+  }
+}
+
+Status WalWriter::TruncateSegment(const std::string& prefix, uint64_t seq,
+                                  uint64_t keep_bytes) {
+  const std::string path = SegmentPath(prefix, seq);
+  if (keep_bytes == 0) {
+    if (std::remove(path.c_str()) != 0) {
+      return Status::Internal("wal: cannot unlink torn segment " + path);
+    }
+    return Status::OK();
+  }
+  // Read the surviving prefix, then rewrite the file to exactly that
+  // length. A read-modify-rewrite (rather than ftruncate) keeps this
+  // portable; segments are small and recovery-time only.
+  std::string prefix_bytes;
+  {
+    std::FILE* in = std::fopen(path.c_str(), "rb");
+    if (in == nullptr) {
+      return Status::Internal("wal: cannot open torn segment " + path);
+    }
+    prefix_bytes.resize(keep_bytes);
+    const size_t got = std::fread(prefix_bytes.data(), 1, keep_bytes, in);
+    std::fclose(in);
+    if (got < keep_bytes) {
+      return Status::Internal("wal: torn segment shorter than its repair");
+    }
+  }
+  std::FILE* out = std::fopen(path.c_str(), "wb");
+  if (out == nullptr) {
+    return Status::Internal("wal: cannot rewrite torn segment " + path);
+  }
+  const bool wrote = std::fwrite(prefix_bytes.data(), 1, prefix_bytes.size(),
+                                 out) == prefix_bytes.size() &&
+                     std::fflush(out) == 0;
+#if defined(SPATIAL_WAL_HAVE_FSYNC)
+  if (wrote) {
+    while (::fsync(fileno(out)) != 0) {
+      if (errno != EINTR) break;
+    }
+  }
+#endif
+  std::fclose(out);
+  if (!wrote) {
+    return Status::Internal("wal: short write repairing segment " + path);
+  }
+  return Status::OK();
+}
+
+Status WalWriter::DurableWrite(const char* data, size_t n) {
+  const FaultInjector::Action action =
+      injector_ != nullptr ? injector_->OnWrite() : FaultInjector::Action::kOk;
+  if (action == FaultInjector::Action::kFailStop) {
+    return Status::Internal("injected crash: wal write dropped");
+  }
+  if (action == FaultInjector::Action::kTorn) {
+    // Persist an arbitrary prefix — the classic torn group-commit batch.
+    // Half the batch usually cuts mid-record; replay's CRC check must
+    // discard the ragged tail.
+    const size_t torn = n / 2;
+    if (torn > 0) std::fwrite(data, 1, torn, file_);
+    std::fflush(file_);
+#if defined(SPATIAL_WAL_HAVE_FSYNC)
+    ::fsync(fd_);
+#endif
+    return Status::Internal("injected crash: wal write torn");
+  }
+  if (std::fwrite(data, 1, n, file_) != n) {
+    return Status::Internal("wal: short write in segment " +
+                            std::to_string(seq_));
+  }
+  return Status::OK();
+}
+
+Status WalWriter::DurableSync() {
+  const FaultInjector::Action action =
+      injector_ != nullptr ? injector_->OnWrite() : FaultInjector::Action::kOk;
+  if (action != FaultInjector::Action::kOk) {
+    return Status::Internal("injected crash: wal fsync dropped");
+  }
+  if (std::fflush(file_) != 0) {
+    return Status::Internal("wal: fflush failed");
+  }
+#if defined(SPATIAL_WAL_HAVE_FSYNC)
+  while (::fsync(fd_) != 0) {
+    if (errno == EINTR) continue;
+    return Status::Internal("wal: fsync failed");
+  }
+#endif
+  return Status::OK();
+}
+
+}  // namespace spatial

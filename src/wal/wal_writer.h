@@ -1,0 +1,126 @@
+#ifndef SPATIAL_WAL_WAL_WRITER_H_
+#define SPATIAL_WAL_WAL_WRITER_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/fault_injector.h"
+#include "wal/wal_record.h"
+
+namespace spatial {
+
+// Segment file layout: a 16-byte header
+//
+//   [u32 magic "SWAL"][u32 version][u64 seq]
+//
+// followed by framed WalRecords (see wal_record.h). Segments are named
+// `<prefix>.wal.<seq>` with seq monotonically increasing; the serving
+// superblock records the seq of the oldest segment still needed, so
+// recovery knows where replay starts and checkpointing knows what to
+// unlink.
+inline constexpr uint32_t kWalSegmentMagic = 0x4c415753u;  // "SWAL" LE
+inline constexpr uint32_t kWalSegmentVersion = 1;
+inline constexpr uint32_t kWalSegmentHeaderBytes = 16;
+
+struct WalOptions {
+  // Rotation threshold: after a commit pushes a segment past this size the
+  // owner is expected to checkpoint (which rotates). Not a hard cap — a
+  // commit batch is never split across segments.
+  uint64_t segment_bytes = 256 * 1024;
+};
+
+// Appender with group commit. Append() only buffers in memory; Commit()
+// makes everything appended since the last commit durable with exactly one
+// file write plus one fsync, so the per-transaction fsync cost is amortized
+// over the whole batch. If Commit() fails, none of the batch is
+// acknowledged (a torn tail is discarded by replay's CRC check), and the
+// writer is dead — the serving layer treats that as a crash.
+//
+// The writer only ever creates fresh segments (Open truncates, Rotate
+// starts seq+1): recovery never appends to an old segment, it replays the
+// tail and rotates past it, which sidesteps append-after-torn-write
+// ambiguity entirely.
+//
+// All durable operations consult the optional FaultInjector; a torn verdict
+// persists a prefix of the batch, modelling a crash mid-write.
+//
+// Single-threaded (the serving layer has exactly one writer thread).
+class WalWriter {
+ public:
+  static std::string SegmentPath(const std::string& prefix, uint64_t seq);
+
+  // Creates (truncating) segment `<prefix>.wal.<seq>` and writes its
+  // header durably.
+  static Result<WalWriter> Open(const std::string& prefix, uint64_t seq,
+                                const WalOptions& options,
+                                FaultInjector* injector = nullptr);
+
+  WalWriter(WalWriter&& other) noexcept;
+  WalWriter& operator=(WalWriter&& other) noexcept;
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+  ~WalWriter();
+
+  // Buffers a record for the next Commit(). Never touches the file.
+  Status Append(const WalRecord& rec);
+
+  // Durably writes every record buffered since the last Commit. No-op when
+  // nothing is pending.
+  Status Commit();
+
+  // True when the current segment has reached the rotation threshold.
+  bool ShouldRotate() const {
+    return segment_file_bytes_ >= options_.segment_bytes;
+  }
+
+  // Closes the current segment and starts `seq()+1`. Pending appends must
+  // be committed first. Returns the new seq.
+  Result<uint64_t> Rotate();
+
+  // Unlinks every segment with seq < `keep_seq` (walking downward until a
+  // segment is missing). Called after the superblock durably records
+  // `keep_seq` as the replay start.
+  void DeleteSegmentsBelow(uint64_t keep_seq);
+
+  // Repairs a torn segment discovered by replay: durably rewrites
+  // `<prefix>.wal.<seq>` keeping only its first `keep_bytes` bytes
+  // (unlinks the file when keep_bytes == 0). Recovery calls this before
+  // creating any later segment, so the discarded ragged tail can never be
+  // mistaken for mid-log corruption on a subsequent crash.
+  static Status TruncateSegment(const std::string& prefix, uint64_t seq,
+                                uint64_t keep_bytes);
+
+  uint64_t seq() const { return seq_; }
+  uint64_t pending_bytes() const { return pending_.size(); }
+  uint64_t segment_file_bytes() const { return segment_file_bytes_; }
+  uint64_t commits() const { return commits_; }
+
+ private:
+  WalWriter(std::string prefix, WalOptions options, FaultInjector* injector)
+      : prefix_(std::move(prefix)), options_(options), injector_(injector) {}
+
+  // Opens a fresh segment file for `seq` and durably writes its header.
+  Status StartSegment(uint64_t seq);
+  void CloseFile();
+
+  // Durable primitives; both consult the injector.
+  Status DurableWrite(const char* data, size_t n);
+  Status DurableSync();
+
+  std::string prefix_;
+  WalOptions options_;
+  FaultInjector* injector_ = nullptr;
+  uint64_t seq_ = 0;
+  std::FILE* file_ = nullptr;
+  int fd_ = -1;
+  uint64_t segment_file_bytes_ = 0;
+  uint64_t commits_ = 0;
+  std::string pending_;
+};
+
+}  // namespace spatial
+
+#endif  // SPATIAL_WAL_WAL_WRITER_H_

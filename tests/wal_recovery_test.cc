@@ -1,0 +1,247 @@
+// The crash matrix: kill the serving database at EVERY durable operation
+// of a scripted workload (fail-stop, and torn for WAL writes), reopen, and
+// prove the recovered tree (a) validates, (b) contains every acknowledged
+// write, and (c) answers queries exactly like a reference rebuilt from the
+// durable op prefix — the acked ⊆ recovered ⊆ submitted contract of
+// docs/DURABILITY.md.
+//
+// A baseline run in counting mode measures the total number of durable
+// operations N; the matrix then sweeps fail_at_op over 1..N. The full
+// sweep runs in the `heavy` ctest configuration; `--smoke` thins it to a
+// spread of crash points (plus both edges) for tier-1.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "baselines/linear_scan.h"
+#include "common/rng.h"
+#include "core/knn.h"
+#include "db/serving_db.h"
+#include "rtree/validator.h"
+#include "storage/fault_injector.h"
+#include "wal/wal_writer.h"
+
+namespace spatial {
+namespace {
+
+bool g_smoke = false;
+
+using WriteOp2 = ServingDb<2>::WriteOp;
+using WriteResult2 = ServingDb<2>::WriteResult;
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void CleanupDb(const std::string& path) {
+  std::remove(path.c_str());
+  for (uint64_t s = 1; s <= 128; ++s) {
+    std::remove(WalWriter::SegmentPath(path, s).c_str());
+  }
+}
+
+// The scripted workload: batches of inserts with interleaved deletes of
+// earlier ids, plus explicit checkpoints after batches 4 and 8 so the
+// matrix crosses every checkpoint step too. Fully deterministic.
+std::vector<std::vector<WriteOp2>> MakeWorkload() {
+  Rng rng(1234);
+  std::vector<std::vector<WriteOp2>> batches;
+  std::vector<WriteOp2> inserted;  // ids still expected to be present
+  uint64_t next_id = 1;
+  for (int b = 0; b < 12; ++b) {
+    std::vector<WriteOp2> batch;
+    for (int i = 0; i < 4; ++i) {
+      const bool do_delete = !inserted.empty() && (b * 4 + i) % 7 == 6;
+      if (do_delete) {
+        const WriteOp2 victim =
+            inserted[rng.NextBounded(inserted.size())];
+        batch.push_back(WriteOp2::Delete(victim.mbr, victim.id));
+        inserted.erase(
+            std::find_if(inserted.begin(), inserted.end(),
+                         [&](const WriteOp2& op) {
+                           return op.id == victim.id;
+                         }));
+      } else {
+        Rect<2> r;
+        r.lo[0] = rng.Uniform(0.0, 1.0);
+        r.lo[1] = rng.Uniform(0.0, 1.0);
+        r.hi[0] = r.lo[0] + rng.Uniform(0.0, 0.02);
+        r.hi[1] = r.lo[1] + rng.Uniform(0.0, 0.02);
+        const WriteOp2 op = WriteOp2::Insert(r, next_id++);
+        batch.push_back(op);
+        inserted.push_back(op);
+      }
+    }
+    batches.push_back(std::move(batch));
+  }
+  return batches;
+}
+
+bool IsCheckpointBatch(size_t batch_index) {
+  return batch_index == 4 || batch_index == 8;
+}
+
+struct RunOutcome {
+  // submitted_by_lsn[lsn] = the op the writer assigned that lsn (index 0
+  // unused). Covers acked batches AND the batch in flight at the crash —
+  // replay may legitimately resurrect a durable-but-unacked prefix of it.
+  std::vector<WriteOp2> submitted_by_lsn;
+  uint64_t last_acked_lsn = 0;
+};
+
+// Runs the workload against `path` until the injector kills it (or to
+// completion), then abandons the database — the simulated crash.
+RunOutcome RunWorkload(const std::string& path, FaultInjector* injector) {
+  RunOutcome outcome;
+  outcome.submitted_by_lsn.resize(1);
+  ServingOptions options;
+  options.injector = injector;
+  auto sdb = ServingDb<2>::Open(path, options);
+  if (!sdb.ok()) return outcome;  // crashed inside Open/recovery
+
+  const auto workload = MakeWorkload();
+  for (size_t b = 0; b < workload.size(); ++b) {
+    for (const WriteOp2& op : workload[b]) {
+      outcome.submitted_by_lsn.push_back(op);
+    }
+    std::vector<WriteResult2> results;
+    const Status st = (*sdb)->ApplyBatch(workload[b], &results);
+    if (!st.ok()) break;
+    outcome.last_acked_lsn = results.back().lsn;
+    if (IsCheckpointBatch(b) && !(*sdb)->Checkpoint().ok()) break;
+  }
+  (*sdb)->Abandon();
+  return outcome;
+}
+
+// Applies submitted ops with lsn <= recovered_lsn, in lsn order — exactly
+// what replay promises the recovered tree contains.
+std::vector<Entry<2>> RebuildReference(const RunOutcome& outcome,
+                                       uint64_t recovered_lsn) {
+  std::vector<Entry<2>> entries;
+  for (uint64_t lsn = 1;
+       lsn <= recovered_lsn && lsn < outcome.submitted_by_lsn.size(); ++lsn) {
+    const WriteOp2& op = outcome.submitted_by_lsn[lsn];
+    if (op.is_insert) {
+      entries.push_back(Entry<2>{op.mbr, op.id});
+    } else {
+      auto it = std::find_if(entries.begin(), entries.end(),
+                             [&](const Entry<2>& e) { return e.id == op.id; });
+      if (it != entries.end()) entries.erase(it);
+    }
+  }
+  return entries;
+}
+
+// Reopens after the crash (injection off) and checks the contract.
+void VerifyRecovery(const std::string& path, const RunOutcome& outcome,
+                    const std::string& label) {
+  auto sdb = ServingDb<2>::Open(path, ServingOptions{});
+  ASSERT_TRUE(sdb.ok()) << label << ": recovery failed: "
+                        << sdb.status().ToString();
+  // recovered_lsn starts at the superblock's checkpoint lsn and advances
+  // over the replayed tail, so it IS the recovered high-water mark.
+  const uint64_t recovered = (*sdb)->recovery_info().recovered_lsn;
+
+  // acked ⊆ recovered ⊆ submitted.
+  ASSERT_GE(recovered, outcome.last_acked_lsn) << label;
+  ASSERT_LT(recovered, outcome.submitted_by_lsn.size()) << label;
+
+  const std::vector<Entry<2>> reference = RebuildReference(outcome, recovered);
+  RTree<2>& tree = (*sdb)->writer_tree();
+  ASSERT_EQ(tree.size(), reference.size()) << label;
+
+  auto report = ValidateTree<2>(tree, true);
+  ASSERT_TRUE(report.ok()) << label << ": " << report.status().ToString();
+  ASSERT_EQ(report->leaf_entries, reference.size()) << label;
+
+  // Exact content match (ids are unique, so ids suffice).
+  Rect<2> everything;
+  everything.lo[0] = everything.lo[1] = -1e9;
+  everything.hi[0] = everything.hi[1] = 1e9;
+  std::vector<Entry<2>> found;
+  ASSERT_TRUE(tree.Search(everything, &found).ok()) << label;
+  std::vector<uint64_t> got_ids, want_ids;
+  for (const auto& e : found) got_ids.push_back(e.id);
+  for (const auto& e : reference) want_ids.push_back(e.id);
+  std::sort(got_ids.begin(), got_ids.end());
+  std::sort(want_ids.begin(), want_ids.end());
+  ASSERT_EQ(got_ids, want_ids) << label;
+
+  // Query equivalence: recovered index answers like the reference.
+  Rng rng(99);
+  for (int i = 0; i < 4; ++i) {
+    const Point<2> q{{rng.Uniform(0.0, 1.0), rng.Uniform(0.0, 1.0)}};
+    KnnOptions knn;
+    knn.k = 5;
+    auto got = KnnSearch<2>(tree, q, knn, nullptr);
+    ASSERT_TRUE(got.ok()) << label;
+    const std::vector<Neighbor> want = LinearScanKnn<2>(reference, q, 5,
+                                                        nullptr);
+    ASSERT_EQ(got->size(), want.size()) << label;
+    for (size_t j = 0; j < want.size(); ++j) {
+      ASSERT_DOUBLE_EQ((*got)[j].dist_sq, want[j].dist_sq)
+          << label << " rank " << j;
+    }
+  }
+  ASSERT_TRUE((*sdb)->Close().ok()) << label;
+}
+
+TEST(WalRecoveryTest, CrashMatrix) {
+  const std::string path = TempPath("crash_matrix.sdb");
+
+  // Baseline: count the workload's durable operations.
+  CleanupDb(path);
+  FaultInjector injector;
+  injector.Arm(0);
+  const RunOutcome baseline = RunWorkload(path, &injector);
+  ASSERT_FALSE(injector.tripped());
+  const uint64_t total_ops = injector.ops_seen();
+  ASSERT_GT(total_ops, 20u);
+  ASSERT_EQ(baseline.last_acked_lsn, 48u);  // every batch acked
+
+  // The baseline itself must recover (crash at the very end).
+  VerifyRecovery(path, baseline, "baseline");
+  if (::testing::Test::HasFatalFailure()) return;
+
+  const uint64_t step =
+      g_smoke ? std::max<uint64_t>(1, total_ops / 12) : 1;
+  uint64_t matrix_runs = 0;
+  for (uint64_t fail_at = 1; fail_at <= total_ops; ++fail_at) {
+    // Smoke keeps a spread of interior points plus both edges.
+    if (g_smoke && fail_at != 1 && fail_at != total_ops &&
+        fail_at % step != 0) {
+      continue;
+    }
+    for (const bool torn : {false, true}) {
+      const std::string label = "fail_at=" + std::to_string(fail_at) +
+                                (torn ? " torn" : " failstop");
+      CleanupDb(path);
+      injector.Arm(fail_at, torn);
+      const RunOutcome outcome = RunWorkload(path, &injector);
+      EXPECT_TRUE(injector.tripped()) << label;
+      injector.Arm(0);
+      VerifyRecovery(path, outcome, label);
+      if (::testing::Test::HasFatalFailure()) return;
+      ++matrix_runs;
+    }
+  }
+  EXPECT_GE(matrix_runs, g_smoke ? 20u : 2 * (total_ops - 1));
+  CleanupDb(path);
+}
+
+}  // namespace
+}  // namespace spatial
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") spatial::g_smoke = true;
+  }
+  return RUN_ALL_TESTS();
+}

@@ -1,0 +1,298 @@
+// Write-ahead log unit tests: record framing, group commit, segment
+// rotation, replay semantics (torn tail vs mid-log corruption), and
+// torn-segment repair.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "storage/fault_injector.h"
+#include "wal/wal_reader.h"
+#include "wal/wal_record.h"
+#include "wal/wal_writer.h"
+
+namespace spatial {
+namespace {
+
+std::string TempPrefix(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void RemoveSegments(const std::string& prefix) {
+  for (uint64_t s = 1; s <= 64; ++s) {
+    std::remove(WalWriter::SegmentPath(prefix, s).c_str());
+  }
+}
+
+WalRecord MakeInsert(uint64_t lsn, uint64_t id) {
+  WalRecord rec;
+  rec.type = WalRecordType::kInsert;
+  rec.dim = 2;
+  rec.lsn = lsn;
+  rec.object_id = id;
+  rec.epoch = 7;
+  rec.lo[0] = 0.25 * static_cast<double>(id);
+  rec.lo[1] = -1.5;
+  rec.hi[0] = 0.25 * static_cast<double>(id) + 1.0;
+  rec.hi[1] = 2.5;
+  return rec;
+}
+
+std::vector<WalRecord> ReplayAll(const std::string& prefix, uint64_t seq,
+                                 WalReplayIterator* out_it = nullptr) {
+  auto it = WalReplayIterator::Open(prefix, seq);
+  EXPECT_TRUE(it.ok()) << it.status().ToString();
+  std::vector<WalRecord> records;
+  WalRecord rec;
+  while (true) {
+    auto more = it->Next(&rec);
+    EXPECT_TRUE(more.ok()) << more.status().ToString();
+    if (!more.ok() || !*more) break;
+    records.push_back(rec);
+  }
+  if (out_it != nullptr) *out_it = std::move(*it);
+  return records;
+}
+
+TEST(WalRecordTest, RoundTripAllTypes) {
+  for (uint8_t dim : {2, 3}) {
+    WalRecord rec = MakeInsert(42, 9);
+    rec.dim = dim;
+    rec.type = WalRecordType::kDelete;
+    std::string buf;
+    AppendWalRecord(rec, &buf);
+    ASSERT_EQ(buf.size(), kWalHeaderBytes + WalPayloadSize(dim));
+
+    WalRecord decoded;
+    size_t frame = 0;
+    ASSERT_TRUE(DecodeWalRecord(buf.data(), buf.size(), &decoded, &frame).ok());
+    EXPECT_EQ(frame, buf.size());
+    EXPECT_EQ(decoded.type, rec.type);
+    EXPECT_EQ(decoded.dim, rec.dim);
+    EXPECT_EQ(decoded.lsn, rec.lsn);
+    EXPECT_EQ(decoded.object_id, rec.object_id);
+    EXPECT_EQ(decoded.epoch, rec.epoch);
+    for (int d = 0; d < dim; ++d) {
+      EXPECT_DOUBLE_EQ(decoded.lo[d], rec.lo[d]);
+      EXPECT_DOUBLE_EQ(decoded.hi[d], rec.hi[d]);
+    }
+  }
+  // Checkpoint markers carry no rectangle.
+  WalRecord marker;
+  marker.type = WalRecordType::kCheckpoint;
+  marker.dim = 0;
+  marker.lsn = 100;
+  std::string buf;
+  AppendWalRecord(marker, &buf);
+  WalRecord decoded;
+  size_t frame = 0;
+  ASSERT_TRUE(DecodeWalRecord(buf.data(), buf.size(), &decoded, &frame).ok());
+  EXPECT_EQ(decoded.type, WalRecordType::kCheckpoint);
+  EXPECT_EQ(decoded.lsn, 100u);
+}
+
+TEST(WalRecordTest, ShortBufferIsOutOfRange) {
+  std::string buf;
+  AppendWalRecord(MakeInsert(1, 1), &buf);
+  WalRecord decoded;
+  size_t frame = 0;
+  for (size_t cut = 0; cut < buf.size(); ++cut) {
+    const Status st = DecodeWalRecord(buf.data(), cut, &decoded, &frame);
+    EXPECT_TRUE(st.IsOutOfRange()) << "cut=" << cut << ": " << st.ToString();
+  }
+}
+
+TEST(WalRecordTest, BitFlipIsCorruption) {
+  std::string buf;
+  AppendWalRecord(MakeInsert(1, 1), &buf);
+  WalRecord decoded;
+  size_t frame = 0;
+  // Flip one payload byte: CRC must catch it.
+  buf[kWalHeaderBytes + 5] ^= 0x40;
+  EXPECT_TRUE(
+      DecodeWalRecord(buf.data(), buf.size(), &decoded, &frame).IsCorruption());
+}
+
+TEST(WalWriterTest, AppendIsInvisibleUntilCommit) {
+  const std::string prefix = TempPrefix("wal_group");
+  RemoveSegments(prefix);
+  auto writer = WalWriter::Open(prefix, 1, WalOptions{});
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  ASSERT_TRUE(writer->Append(MakeInsert(1, 1)).ok());
+  ASSERT_TRUE(writer->Append(MakeInsert(2, 2)).ok());
+
+  // Nothing committed yet: replay sees an empty (but healthy) log.
+  EXPECT_EQ(ReplayAll(prefix, 1).size(), 0u);
+
+  ASSERT_TRUE(writer->Commit().ok());
+  EXPECT_EQ(writer->commits(), 1u);
+  const std::vector<WalRecord> records = ReplayAll(prefix, 1);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].lsn, 1u);
+  EXPECT_EQ(records[1].lsn, 2u);
+  RemoveSegments(prefix);
+}
+
+TEST(WalWriterTest, RotationChainsSegments) {
+  const std::string prefix = TempPrefix("wal_rotate");
+  RemoveSegments(prefix);
+  auto writer = WalWriter::Open(prefix, 1, WalOptions{});
+  ASSERT_TRUE(writer.ok());
+  uint64_t lsn = 0;
+  for (int seg = 0; seg < 3; ++seg) {
+    for (int i = 0; i < 4; ++i) {
+      lsn += 1;
+      ASSERT_TRUE(writer->Append(MakeInsert(lsn, lsn)).ok());
+    }
+    ASSERT_TRUE(writer->Commit().ok());
+    if (seg < 2) {
+      auto rotated = writer->Rotate();
+      ASSERT_TRUE(rotated.ok()) << rotated.status().ToString();
+      EXPECT_EQ(*rotated, static_cast<uint64_t>(seg + 2));
+    }
+  }
+  WalReplayIterator it = *WalReplayIterator::Open(prefix, 1);
+  const std::vector<WalRecord> records = ReplayAll(prefix, 1, &it);
+  ASSERT_EQ(records.size(), 12u);
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].lsn, i + 1);
+  }
+  EXPECT_EQ(it.segments_read(), 3u);
+  EXPECT_FALSE(it.tail_torn());
+
+  // Checkpoint-style cleanup: drop everything below the newest segment.
+  writer->DeleteSegmentsBelow(3);
+  EXPECT_EQ(std::fopen(WalWriter::SegmentPath(prefix, 1).c_str(), "rb"),
+            nullptr);
+  EXPECT_EQ(std::fopen(WalWriter::SegmentPath(prefix, 2).c_str(), "rb"),
+            nullptr);
+  EXPECT_EQ(ReplayAll(prefix, 3).size(), 4u);
+  RemoveSegments(prefix);
+}
+
+TEST(WalWriterTest, RotateWithPendingRecordsFails) {
+  const std::string prefix = TempPrefix("wal_rotate_pending");
+  RemoveSegments(prefix);
+  auto writer = WalWriter::Open(prefix, 1, WalOptions{});
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer->Append(MakeInsert(1, 1)).ok());
+  EXPECT_FALSE(writer->Rotate().ok());
+  RemoveSegments(prefix);
+}
+
+TEST(WalReplayTest, TornCommitIsDiscardedCleanly) {
+  const std::string prefix = TempPrefix("wal_torn");
+  RemoveSegments(prefix);
+  FaultInjector injector;
+  auto writer = WalWriter::Open(prefix, 1, WalOptions{}, &injector);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer->Append(MakeInsert(1, 1)).ok());
+  ASSERT_TRUE(writer->Append(MakeInsert(2, 2)).ok());
+  ASSERT_TRUE(writer->Commit().ok());
+
+  // Arm so the NEXT durable op (the batch's write) is torn: half of the
+  // single 72-byte frame lands, cutting mid-record.
+  injector.Arm(1, /*torn=*/true);
+  ASSERT_TRUE(writer->Append(MakeInsert(3, 3)).ok());
+  EXPECT_FALSE(writer->Commit().ok());
+
+  WalReplayIterator it = *WalReplayIterator::Open(prefix, 1);
+  const std::vector<WalRecord> records = ReplayAll(prefix, 1, &it);
+  // The committed batch survives in full; the torn record is discarded.
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].lsn, 1u);
+  EXPECT_EQ(records[1].lsn, 2u);
+  EXPECT_TRUE(it.tail_torn());
+  // Keep-bytes covers the segment header plus both committed frames.
+  const uint64_t frame = kWalHeaderBytes + WalPayloadSize(2);
+  EXPECT_EQ(it.torn_keep_bytes(), kWalSegmentHeaderBytes + 2 * frame);
+
+  // Repair, then replay again: same records, now a clean end.
+  ASSERT_TRUE(
+      WalWriter::TruncateSegment(prefix, it.torn_seq(), it.torn_keep_bytes())
+          .ok());
+  WalReplayIterator again = *WalReplayIterator::Open(prefix, 1);
+  EXPECT_EQ(ReplayAll(prefix, 1, &again).size(), records.size());
+  EXPECT_FALSE(again.tail_torn());
+  RemoveSegments(prefix);
+}
+
+TEST(WalReplayTest, DamageInNonLastSegmentIsCorruption) {
+  const std::string prefix = TempPrefix("wal_midlog");
+  RemoveSegments(prefix);
+  auto writer = WalWriter::Open(prefix, 1, WalOptions{});
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer->Append(MakeInsert(1, 1)).ok());
+  ASSERT_TRUE(writer->Commit().ok());
+  ASSERT_TRUE(writer->Rotate().ok());
+  ASSERT_TRUE(writer->Append(MakeInsert(2, 2)).ok());
+  ASSERT_TRUE(writer->Commit().ok());
+
+  // Flip a byte inside segment 1's record: fsynced data changed under us.
+  {
+    const std::string path = WalWriter::SegmentPath(prefix, 1);
+    std::FILE* f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, kWalSegmentHeaderBytes + kWalHeaderBytes + 3, SEEK_SET);
+    std::fputc('!', f);
+    std::fclose(f);
+  }
+  auto it = WalReplayIterator::Open(prefix, 1);
+  ASSERT_TRUE(it.ok());
+  WalRecord rec;
+  auto next = it->Next(&rec);
+  EXPECT_FALSE(next.ok());
+  EXPECT_TRUE(next.status().IsCorruption()) << next.status().ToString();
+  RemoveSegments(prefix);
+}
+
+TEST(WalReplayTest, MissingStartSegmentIsEmptyLog) {
+  const std::string prefix = TempPrefix("wal_missing");
+  RemoveSegments(prefix);
+  WalReplayIterator it = *WalReplayIterator::Open(prefix, 5);
+  EXPECT_EQ(ReplayAll(prefix, 5, &it).size(), 0u);
+  EXPECT_FALSE(it.tail_torn());
+  EXPECT_EQ(it.next_seq(), 5u);
+}
+
+TEST(WalReplayTest, GarbledHeaderOfLastSegmentIsTornTail) {
+  const std::string prefix = TempPrefix("wal_badheader");
+  RemoveSegments(prefix);
+  {
+    std::FILE* f =
+        std::fopen(WalWriter::SegmentPath(prefix, 1).c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite("junk", 1, 4, f);  // crashed during the header write
+    std::fclose(f);
+  }
+  WalReplayIterator it = *WalReplayIterator::Open(prefix, 1);
+  EXPECT_EQ(ReplayAll(prefix, 1, &it).size(), 0u);
+  EXPECT_TRUE(it.tail_torn());
+  EXPECT_EQ(it.torn_keep_bytes(), 0u);
+  // Repair unlinks the garbage file; the seq is reusable.
+  ASSERT_TRUE(WalWriter::TruncateSegment(prefix, 1, 0).ok());
+  EXPECT_EQ(it.next_seq(), 1u);
+  EXPECT_EQ(std::fopen(WalWriter::SegmentPath(prefix, 1).c_str(), "rb"),
+            nullptr);
+}
+
+TEST(WalWriterTest, FailStopCommitLosesWholeBatch) {
+  const std::string prefix = TempPrefix("wal_failstop");
+  RemoveSegments(prefix);
+  FaultInjector injector;
+  auto writer = WalWriter::Open(prefix, 1, WalOptions{}, &injector);
+  ASSERT_TRUE(writer.ok());
+  injector.Arm(1, /*torn=*/false);
+  ASSERT_TRUE(writer->Append(MakeInsert(1, 1)).ok());
+  EXPECT_FALSE(writer->Commit().ok());
+  EXPECT_TRUE(injector.tripped());
+  WalReplayIterator it = *WalReplayIterator::Open(prefix, 1);
+  EXPECT_EQ(ReplayAll(prefix, 1, &it).size(), 0u);
+  RemoveSegments(prefix);
+}
+
+}  // namespace
+}  // namespace spatial

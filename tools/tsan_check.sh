@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Builds the repo with ThreadSanitizer (-DSPATIAL_SANITIZE=thread) into a
 # dedicated build directory and runs the concurrency-sensitive tests: the
-# query-service unit tests and the multi-threaded stress test that checks
-# byte-identical results against single-threaded KnnSearch.
+# query-service unit tests, the read-only stress test that checks
+# byte-identical results against single-threaded KnnSearch, and the
+# serving-mode stress test (concurrent writes + snapshot-pinned readers).
 #
 # Usage: tools/tsan_check.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
@@ -13,11 +14,14 @@ BUILD_DIR="${1:-build-tsan}"
 cmake -B "$BUILD_DIR" -S . -DSPATIAL_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
-  --target query_service_test service_stress_test io_stats_test
+  --target query_service_test service_stress_test serving_stress_test \
+  io_stats_test
 
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
 for t in io_stats_test query_service_test service_stress_test; do
   echo "=== TSan: $t ==="
   "$BUILD_DIR/tests/$t"
 done
+echo "=== TSan: serving_stress_test --smoke ==="
+"$BUILD_DIR/tests/serving_stress_test" --smoke
 echo "=== TSan: all concurrency tests clean ==="
