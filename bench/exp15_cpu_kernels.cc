@@ -393,18 +393,7 @@ void Main(bool smoke) {
   PrintTableAndCsv(table);
 
   const char* json_path = smoke ? "/tmp/BENCH_E15_smoke.json" : "BENCH_E15.json";
-  std::FILE* f = std::fopen(json_path, "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "E15: cannot write %s\n", json_path);
-    std::exit(1);
-  }
-  std::fprintf(f, "{\n");
-  for (size_t i = 0; i < json.size(); ++i) {
-    std::fprintf(f, "  \"%s\": %.6f%s\n", json[i].first.c_str(),
-                 json[i].second, i + 1 < json.size() ? "," : "");
-  }
-  std::fprintf(f, "}\n");
-  std::fclose(f);
+  WriteBenchJson(json_path, json, /*update_manifest=*/!smoke);
   std::printf("wrote %s\n", json_path);
 }
 

@@ -4,6 +4,7 @@
 // Shared setup for the experiment binaries (one binary per reproduced
 // table/figure; see DESIGN.md §4 and EXPERIMENTS.md).
 
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
 #include <string>
@@ -88,6 +89,78 @@ inline void PrintTableAndCsv(const Table& table) {
   std::printf("\n--- CSV ---\n");
   table.PrintCsv(std::cout);
   std::printf("\n");
+}
+
+// Writes a flat {"metric": value} JSON file for tools/bench_compare.py and,
+// when `update_manifest` is set (full runs only — smoke runs write to /tmp),
+// registers the file in BENCH_MANIFEST.json next to it. The manifest is the
+// authoritative list of benchmark artifacts: bench_compare.py's manifest
+// mode fails loudly on any listed file that is missing, so a bench binary
+// that silently stops producing its JSON turns the regression gate red
+// instead of shrinking the comparison.
+inline void WriteBenchJson(const char* path,
+                           const std::vector<std::pair<std::string, double>>& metrics,
+                           bool update_manifest) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path);
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n");
+  for (size_t i = 0; i < metrics.size(); ++i) {
+    std::fprintf(f, "  \"%s\": %.6f%s\n", metrics[i].first.c_str(),
+                 metrics[i].second, i + 1 < metrics.size() ? "," : "");
+  }
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  if (!update_manifest) return;
+
+  // The entry is the file's basename: manifest and artifacts live side by
+  // side in whatever directory the bench was run from.
+  std::string entry(path);
+  if (const size_t slash = entry.rfind('/'); slash != std::string::npos) {
+    entry = entry.substr(slash + 1);
+  }
+  const char* manifest_path = "BENCH_MANIFEST.json";
+  std::vector<std::string> files;
+  if (std::FILE* m = std::fopen(manifest_path, "r")) {
+    // The manifest is machine-written (below), so a quoted-token scan is a
+    // full parse: every ".json" string in it is a tracked artifact.
+    std::string contents;
+    char buf[4096];
+    size_t got;
+    while ((got = std::fread(buf, 1, sizeof(buf), m)) > 0) {
+      contents.append(buf, got);
+    }
+    std::fclose(m);
+    size_t pos = 0;
+    while ((pos = contents.find('"', pos)) != std::string::npos) {
+      const size_t end = contents.find('"', pos + 1);
+      if (end == std::string::npos) break;
+      const std::string token = contents.substr(pos + 1, end - pos - 1);
+      if (token.size() > 5 &&
+          token.compare(token.size() - 5, 5, ".json") == 0) {
+        files.push_back(token);
+      }
+      pos = end + 1;
+    }
+  }
+  files.push_back(entry);
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  std::FILE* m = std::fopen(manifest_path, "w");
+  if (m == nullptr) {
+    std::fprintf(stderr, "bench: cannot write %s\n", manifest_path);
+    std::exit(1);
+  }
+  std::fprintf(m, "{\n  \"files\": [\n");
+  for (size_t i = 0; i < files.size(); ++i) {
+    std::fprintf(m, "    \"%s\"%s\n", files[i].c_str(),
+                 i + 1 < files.size() ? "," : "");
+  }
+  std::fprintf(m, "  ]\n}\n");
+  std::fclose(m);
 }
 
 // Dies with a message on error — experiment binaries have no recovery path.

@@ -1,0 +1,57 @@
+#include "common/cpu_features.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace spatial {
+
+const char* KernelIsaName(KernelIsa isa) {
+  switch (isa) {
+    case KernelIsa::kScalar:
+      return "scalar";
+    case KernelIsa::kSse2:
+      return "sse2";
+    case KernelIsa::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+std::optional<KernelIsa> ParseKernelIsa(const char* name) {
+  if (name == nullptr) return std::nullopt;
+  if (std::strcmp(name, "scalar") == 0) return KernelIsa::kScalar;
+  if (std::strcmp(name, "sse2") == 0) return KernelIsa::kSse2;
+  if (std::strcmp(name, "avx2") == 0) return KernelIsa::kAvx2;
+  return std::nullopt;
+}
+
+namespace {
+
+KernelIsa ProbeBestCpuIsa() {
+#if defined(__x86_64__) || defined(__i386__)
+  // __builtin_cpu_supports reads CPUID (and XCR0 for AVX tiers, so an AVX2
+  // CPU under a no-AVX OS correctly reports unsupported).
+  if (__builtin_cpu_supports("avx2")) return KernelIsa::kAvx2;
+  if (__builtin_cpu_supports("sse2")) return KernelIsa::kSse2;
+  return KernelIsa::kScalar;
+#else
+  return KernelIsa::kScalar;
+#endif
+}
+
+}  // namespace
+
+KernelIsa BestCpuKernelIsa() {
+  static const KernelIsa best = ProbeBestCpuIsa();
+  return best;
+}
+
+bool CpuSupportsKernelIsa(KernelIsa isa) {
+  return static_cast<int>(isa) <= static_cast<int>(BestCpuKernelIsa());
+}
+
+std::optional<KernelIsa> ForcedKernelIsa() {
+  return ParseKernelIsa(std::getenv("SPATIAL_FORCE_KERNEL"));
+}
+
+}  // namespace spatial

@@ -1,0 +1,43 @@
+#ifndef SPATIAL_COMMON_CPU_FEATURES_H_
+#define SPATIAL_COMMON_CPU_FEATURES_H_
+
+#include <optional>
+
+namespace spatial {
+
+// The instruction-set tiers the SoA distance kernels are specialized for
+// (see src/geom/metrics_simd.h and docs/PERF.md). Ordered: a CPU that
+// supports a tier supports every lower one, so "best" and "clamp" are
+// simple integer comparisons.
+enum class KernelIsa : int {
+  kScalar = 0,  // portable C++, every platform
+  kSse2 = 1,    // 2 doubles/vector; baseline on x86-64
+  kAvx2 = 2,    // 4 doubles/vector; Haswell (2013) and later
+};
+
+// Lowercase name used by SPATIAL_FORCE_KERNEL and in reports:
+// "scalar", "sse2", "avx2".
+const char* KernelIsaName(KernelIsa isa);
+
+// Parses a KernelIsaName back; returns nullopt for anything else.
+std::optional<KernelIsa> ParseKernelIsa(const char* name);
+
+// True iff the *CPU executing right now* can run the tier. Scalar is
+// always supported; on non-x86 platforms nothing else is. Whether the
+// build actually contains kernels for the tier is a separate question
+// answered by the kernel registry (SoaKernelBuildSupports).
+bool CpuSupportsKernelIsa(KernelIsa isa);
+
+// Highest tier CpuSupportsKernelIsa admits. Probed once, then cached.
+KernelIsa BestCpuKernelIsa();
+
+// The SPATIAL_FORCE_KERNEL environment override, parsed: nullopt when the
+// variable is unset or names no known tier. The dispatch table clamps the
+// forced tier to what the CPU and the build support, so forcing "avx2" on
+// an SSE2-only host degrades safely instead of faulting (tests force every
+// tier unconditionally and must pass everywhere).
+std::optional<KernelIsa> ForcedKernelIsa();
+
+}  // namespace spatial
+
+#endif  // SPATIAL_COMMON_CPU_FEATURES_H_

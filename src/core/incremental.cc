@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "geom/metrics.h"
+#include "geom/metrics_simd.h"
 #include "rtree/node.h"
 
 namespace spatial {
@@ -65,14 +65,17 @@ Status IncrementalKnn<D>::ExpandNode(PageId node_id) {
   if (n == 0) return Status::OK();
 
   // Expansion never recurses, so the pin is held for the whole call and
-  // the packed entries are read in place; the metric for all entries is
-  // evaluated in one batched pass before feeding the queue.
+  // the packed entries are read in place for their ids; the metric for all
+  // entries runs through the dispatched SoA kernel (ObjectDist and MINDIST
+  // are the same kernel — both are MBR MINDIST).
   const Entry<D>* entries = view.entries();
-  double* dist = scratch_->min_dist.EnsureCapacity(n);
+  const SoaBlock<D> soa = scratch_->StageSoa(entries, n);
+  double* dist =
+      scratch_->min_dist.EnsureCapacity(QueryScratch<D>::DistSlots(n));
   if (is_leaf) {
-    ObjectDistSqBatch(query_, entries, n, dist);
+    ObjectDistSqBatchSoa(query_, soa, dist);
   } else {
-    MinDistSqBatch(query_, entries, n, dist);
+    MinDistSqBatchSoa(query_, soa, dist);
   }
   if (stats_ != nullptr) {
     stats_->distance_computations += n;

@@ -5,6 +5,7 @@
 
 #include "common/macros.h"
 #include "geom/metrics.h"
+#include "geom/metrics_simd.h"
 #include "rtree/node.h"
 
 namespace spatial {
@@ -71,12 +72,13 @@ class DepthFirstKnn {
         s1_active_(options.use_s1 && options.k == 1),
         s2_active_(options.use_s2 && options.k == 1),
         // Under MINDIST ordering the ABL is consumed in ascending-MINDIST
-        // order until the bound kills the rest, so most entries are popped
-        // lazily from a min-heap instead of fully sorted. Pop order equals
-        // sorted order (ties broken by page id in both), and the prune
-        // bound only ever tightens, so the moment the heap's top exceeds it
-        // every remaining entry is dead — exactly the set the sorted loop
-        // would skip. The traversal is therefore unchanged for every k.
+        // order until the bound kills the rest, so entries are selected
+        // lazily (min-scan per visited child) instead of fully sorted.
+        // Selection order equals sorted order (ties broken by page id in
+        // both), and the prune bound only ever tightens, so the moment the
+        // remaining minimum exceeds it every remaining entry is dead —
+        // exactly the set the sorted loop would skip. The traversal is
+        // therefore unchanged for every k.
         lazy_heap_(options.ordering == AblOrdering::kMinDist &&
                    !options.force_full_sort) {}
 
@@ -100,8 +102,13 @@ class DepthFirstKnn {
   }
 
   Status VisitLeaf(const Entry<D>* entries, uint32_t n) {
-    double* dist = scratch_->min_dist.EnsureCapacity(n);
-    ObjectDistSqBatch(query_, entries, n, dist);
+    // Object distances through the dispatched SoA kernel: the packed page
+    // entries are transposed into the scratch planes (ids keep being read
+    // from the pinned page), then one vector pass produces every distance.
+    const SoaBlock<D> soa = scratch_->StageSoa(entries, n);
+    double* dist =
+        scratch_->min_dist.EnsureCapacity(QueryScratch<D>::DistSlots(n));
+    ObjectDistSqBatchSoa(query_, soa, dist);
     if (stats_ != nullptr) {
       stats_->objects_examined += n;
       stats_->distance_computations += n;
@@ -110,10 +117,19 @@ class DepthFirstKnn {
     // The bound only tightens when an offer is kept, so it is hoisted out
     // of the loop and refreshed on that event alone.
     double bound_sq = PruneBoundSq();
-    for (uint32_t i = 0; i < n; ++i) {
-      // An entry already beyond the prune bound cannot enter the answer
-      // (the bound proves k closer objects exist); skipping it avoids the
-      // buffer's sift work on dense leaves.
+    // Vector prefilter against the entry bound. Every index it drops would
+    // fail the in-loop test below as well (the bound only tightens from
+    // here), so the offered sequence — and the prune count — are exactly
+    // those of the scalar loop, without its per-entry compare/branch on
+    // dense leaves.
+    uint32_t* idx =
+        scratch_->filter_idx.EnsureCapacity(QueryScratch<D>::DistSlots(n));
+    const uint32_t kept = FilterNotAboveSoa<D>(dist, n, bound_sq, idx);
+    if (stats_ != nullptr) stats_->pruned_leaf += n - kept;
+    for (uint32_t j = 0; j < kept; ++j) {
+      const uint32_t i = idx[j];
+      // An entry already beyond the (now possibly tighter) prune bound
+      // cannot enter the answer; skipping it avoids the buffer's sift work.
       if (dist[i] > bound_sq) {
         if (stats_ != nullptr) ++stats_->pruned_leaf;
         continue;
@@ -149,55 +165,66 @@ class DepthFirstKnn {
     // distance pass and the packed entries are read in place — no copy.
     if (view.is_leaf()) return VisitLeaf(view.entries(), n);
 
-    // Internal nodes are staged into contiguous scratch and the pin
-    // released before any metric or descent work: pin-depth stays at one
-    // frame for the whole traversal, however deep the tree.
-    Entry<D>* stage = scratch_->stage.EnsureCapacity(n);
-    view.CopyEntries(stage);
+    // Internal nodes are staged and the pin released before any metric or
+    // descent work: pin-depth stays at one frame for the whole traversal,
+    // however deep the tree. The transpose kernel reads the packed page
+    // image directly, so only the child ids — the one column the descent
+    // needs after the planes exist — are copied out, not whole entries.
+    const Entry<D>* page_entries = view.entries();
+    const SoaBlock<D> soa = scratch_->StageSoa(page_entries, n);
+    uint64_t* child_ids = scratch_->child_ids.EnsureCapacity(n);
+    for (uint32_t i = 0; i < n; ++i) child_ids[i] = page_entries[i].id;
     handle.Release();
 
-    // Evaluate the metrics for all children in one pass each. MINMAXDIST
-    // is needed only by S1/S2 and by the MINMAXDIST ordering.
-    double* dmin = scratch_->min_dist.EnsureCapacity(n);
-    MinDistSqBatch(query_, stage, n, dmin);
+    // Evaluate the metrics for all children in one pass. MINMAXDIST is
+    // needed only by S1/S2 and by the MINMAXDIST ordering; when it is, the
+    // fused kernel produces both metrics from a single traversal of the
+    // planes.
+    double* dmin =
+        scratch_->min_dist.EnsureCapacity(QueryScratch<D>::DistSlots(n));
     const bool need_minmax = s1_active_ || s2_active_ ||
                              options_.ordering == AblOrdering::kMinMaxDist;
     double* dminmax = nullptr;
     if (need_minmax) {
-      dminmax = scratch_->min_max_dist.EnsureCapacity(n);
-      MinMaxDistSqBatch(query_, stage, n, dminmax);
+      dminmax =
+          scratch_->min_max_dist.EnsureCapacity(QueryScratch<D>::DistSlots(n));
+      MinAndMinMaxDistSqBatchSoa(query_, soa, dmin, dminmax);
+    } else {
+      MinDistSqBatchSoa(query_, soa, dmin);
     }
     if (stats_ != nullptr) {
       stats_->abl_entries_generated += n;
       stats_->distance_computations += need_minmax ? 2 * uint64_t{n} : n;
     }
 
-    // Build this level's Active Branch List as a frame in the shared arena.
+    // S1/S2 reduce over the MINMAXDIST array before the ABL is built, so
+    // Strategy 1 can filter with the vector kernel and push only the
+    // surviving slots (`<= bound` is exactly `!(> bound)` for these
+    // never-NaN distances, and the filter preserves index order, so the ABL
+    // contents match the old push-all-then-compact loop bit for bit).
     std::vector<AblSlot>& abl = scratch_->abl;
     AblFrame frame{&abl, abl.size()};
     const size_t base = frame.base;
-    for (uint32_t i = 0; i < n; ++i) {
-      abl.push_back(AblSlot{static_cast<PageId>(stage[i].id), dmin[i],
-                            need_minmax ? dminmax[i] : 0.0});
-    }
-
+    bool pushed = false;
     if (s1_active_ || s2_active_) {
       double min_minmax = std::numeric_limits<double>::infinity();
-      for (size_t i = base; i < abl.size(); ++i) {
-        min_minmax = std::min(min_minmax, abl[i].min_max_dist_sq);
+      for (uint32_t i = 0; i < n; ++i) {
+        min_minmax = std::min(min_minmax, dminmax[i]);
       }
       if (s1_active_) {
         // Strategy 1: some sibling is guaranteed to contain an object at
         // distance <= min_minmax; branches strictly beyond it are dead.
         const double s1_bound = min_minmax * kMinMaxSlack;
-        size_t kept = base;
-        for (size_t i = base; i < abl.size(); ++i) {
-          if (abl[i].min_dist_sq <= s1_bound) abl[kept++] = abl[i];
+        uint32_t* idx =
+            scratch_->filter_idx.EnsureCapacity(QueryScratch<D>::DistSlots(n));
+        const uint32_t kept = FilterNotAboveSoa<D>(dmin, n, s1_bound, idx);
+        if (stats_ != nullptr) stats_->pruned_s1 += n - kept;
+        for (uint32_t j = 0; j < kept; ++j) {
+          const uint32_t i = idx[j];
+          abl.push_back(AblSlot{static_cast<PageId>(child_ids[i]), dmin[i],
+                                dminmax[i]});
         }
-        if (stats_ != nullptr) {
-          stats_->pruned_s1 += static_cast<uint64_t>(abl.size() - kept);
-        }
-        abl.resize(kept);
+        pushed = true;
       }
       if (s2_active_ && min_minmax * kMinMaxSlack < estimate_sq_) {
         // Strategy 2: tighten the NN distance estimate.
@@ -205,30 +232,54 @@ class DepthFirstKnn {
         if (stats_ != nullptr) ++stats_->estimate_updates_s2;
       }
     }
+    if (!pushed) {
+      // Strategy-3 prefilter: a child at MINDIST beyond the current bound
+      // can never be descended — the bound only tightens from here, and
+      // every consumption loop below rechecks it — so such children skip
+      // the ABL entirely and are charged to pruned_s3 now instead of when
+      // the consumption loop would have reached them. Same visits, same
+      // counts, but the selection scan and sort touch only live slots.
+      const double bound_sq = PruneBoundSq();
+      uint32_t* idx =
+          scratch_->filter_idx.EnsureCapacity(QueryScratch<D>::DistSlots(n));
+      const uint32_t kept = FilterNotAboveSoa<D>(dmin, n, bound_sq, idx);
+      if (stats_ != nullptr) stats_->pruned_s3 += n - kept;
+      for (uint32_t j = 0; j < kept; ++j) {
+        const uint32_t i = idx[j];
+        abl.push_back(AblSlot{static_cast<PageId>(child_ids[i]), dmin[i],
+                              need_minmax ? dminmax[i] : 0.0});
+      }
+    }
     const size_t m = abl.size() - base;
 
     if (lazy_heap_) {
-      // Pop children in MINDIST order from a min-heap, visiting until the
-      // cheapest survivor exceeds the bound — at that point *every*
-      // remaining child exceeds it (the heap top is their minimum), which
-      // is exactly the set a per-slot check would prune.
-      const auto greater = [](const AblSlot& a, const AblSlot& b) {
-        return MinDistLess(b, a);
-      };
-      std::make_heap(abl.begin() + base, abl.end(), greater);
+      // Consume children in MINDIST order by scanning the frame for the
+      // remaining minimum each round, visiting until that minimum exceeds
+      // the bound — at that point *every* remaining child exceeds it.
+      // Selection order equals heap-pop order equals sorted order (ties
+      // broken by page id in all three, and the scan compares the whole
+      // remaining set, so its result is independent of slot order), but at
+      // node fan-outs the scan beats a heap: the bound usually kills the
+      // descent after a handful of children, and the scan writes nothing,
+      // where make_heap shuffles 24-byte slots even for children that are
+      // never visited.
       size_t live = m;
       while (live > 0) {
-        // Recompute iterators each round: recursion below may grow (and
-        // reallocate) the arena past this frame.
-        std::pop_heap(abl.begin() + base, abl.begin() + base + live,
-                      greater);
-        const AblSlot slot = abl[base + --live];
+        // Recompute the frame pointer each round: recursion below may grow
+        // (and reallocate) the arena past this frame.
+        AblSlot* slots = abl.data() + base;
+        size_t best = 0;
+        for (size_t i = 1; i < live; ++i) {
+          if (MinDistLess(slots[i], slots[best])) best = i;
+        }
+        const AblSlot slot = slots[best];
         if (slot.min_dist_sq > PruneBoundSq()) {
           if (stats_ != nullptr) {
-            stats_->pruned_s3 += static_cast<uint64_t>(live) + 1;
+            stats_->pruned_s3 += static_cast<uint64_t>(live);
           }
           break;
         }
+        slots[best] = slots[--live];  // unordered remove; the set survives
         SPATIAL_RETURN_IF_ERROR(Visit(slot.child));
       }
       return Status::OK();

@@ -55,9 +55,22 @@ class NeighborBuffer {
       return true;
     }
     if (dist_sq >= heap_.front().dist_sq) return false;
-    std::pop_heap(heap_.begin(), heap_.end(), Less{});
-    heap_.back() = Neighbor{id, dist_sq};
-    std::push_heap(heap_.begin(), heap_.end(), Less{});
+    // Replace the worst and restore the heap with one sift-down —
+    // pop_heap + push_heap would walk the tree twice for the same effect.
+    const size_t n = heap_.size();
+    size_t hole = 0;
+    for (;;) {
+      size_t child = 2 * hole + 1;
+      if (child >= n) break;
+      if (child + 1 < n &&
+          heap_[child].dist_sq < heap_[child + 1].dist_sq) {
+        ++child;
+      }
+      if (heap_[child].dist_sq <= dist_sq) break;
+      heap_[hole] = heap_[child];
+      hole = child;
+    }
+    heap_[hole] = Neighbor{id, dist_sq};
     return true;
   }
 

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/neighbor_buffer.h"
+#include "geom/metrics_simd.h"
 #include "rtree/entry.h"
 #include "storage/disk.h"
 
@@ -104,9 +105,37 @@ struct QueryScratch {
   // batch distance kernels stream them in a single pass.
   AlignedArray<Entry<D>> stage;
 
-  // Distance outputs of the batch kernels, parallel to `stage`.
+  // Distance outputs of the batch kernels, parallel to `stage`. Sized via
+  // EnsureDistCapacity: the SIMD kernels store whole vectors, so the
+  // arrays cover the node's SoaStride, not just its entry count.
   AlignedArray<double> min_dist;
   AlignedArray<double> min_max_dist;
+
+  // SoA staging planes for the SIMD distance kernels: 2*D planes (lo/hi
+  // per dimension) of SoaStride(n) doubles each, refilled per node by
+  // StageSoa. Lives here so steady-state queries never allocate.
+  AlignedArray<double> soa;
+
+  // Survivor indices of the dispatched bound filter (FilterNotAboveSoa),
+  // sized like the distance arrays.
+  AlignedArray<uint32_t> filter_idx;
+
+  // Child page ids of the internal node being expanded, copied out of the
+  // pinned page so the pin can be dropped before descending.
+  AlignedArray<uint64_t> child_ids;
+
+  // Transposes `n` AoS entries (from a NodeView's page image or the AoS
+  // `stage` copy) into the SoA planes and returns the kernel-ready view.
+  SoaBlock<D> StageSoa(const Entry<D>* entries, uint32_t n) {
+    const size_t stride = SoaStride(n);
+    double* planes = soa.EnsureCapacity(SoaDoubles(D, n));
+    TransposeToSoaDispatched<D>(entries, n, planes, stride);
+    return SoaBlock<D>{planes, stride, n};
+  }
+
+  // Capacity the distance output arrays need for an n-entry node under the
+  // vector kernels (full-vector stores may touch the padded tail).
+  static constexpr size_t DistSlots(uint32_t n) { return SoaStride(n); }
 
   // Active Branch List arena shared by all recursion levels with stack
   // discipline: each Visit() records the current size as its frame base,

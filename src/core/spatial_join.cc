@@ -1,6 +1,8 @@
 #include "core/spatial_join.h"
 
 #include "common/macros.h"
+#include "core/scratch.h"
+#include "geom/metrics_simd.h"
 #include "rtree/node.h"
 
 namespace spatial {
@@ -12,6 +14,12 @@ struct JoinContext {
   const RTree<D>* inner;
   std::vector<JoinPair>* out;
   JoinStats* stats;
+
+  // Reused staging for the leaf x leaf stage: the inner leaf as SoA planes
+  // plus one distance row, shared across every leaf pair of the join.
+  AlignedArray<double> soa;
+  AlignedArray<double> dist;
+  AlignedArray<uint32_t> idx;
 };
 
 template <int D>
@@ -50,14 +58,29 @@ Status JoinNodes(JoinContext<D>* ctx, PageId outer_id, PageId inner_id) {
   if (ctx->stats != nullptr) ++ctx->stats->node_pairs;
 
   if (outer.level == 0 && inner.level == 0) {
+    // Stage the inner leaf once as SoA planes and run the rect-rect
+    // MINDIST kernel per outer entry: a zero gap is exactly MBR
+    // intersection (touching boundaries included), so the pair test
+    // becomes one branch-free vector pass per outer entry instead of
+    // per-pair short-circuit compares.
+    const uint32_t n = static_cast<uint32_t>(inner.entries.size());
+    const size_t stride = SoaStride(n);
+    double* planes = ctx->soa.EnsureCapacity(SoaDoubles(D, n));
+    TransposeToSoaDispatched<D>(inner.entries.data(), n, planes, stride);
+    const SoaBlock<D> soa{planes, stride, n};
+    double* dist = ctx->dist.EnsureCapacity(SoaStride(n));
+    uint32_t* idx = ctx->idx.EnsureCapacity(SoaStride(n));
     for (const Entry<D>& a : outer.entries) {
-      for (const Entry<D>& b : inner.entries) {
-        if (ctx->stats != nullptr) ++ctx->stats->comparisons;
-        if (a.mbr.Intersects(b.mbr)) {
-          ctx->out->push_back({a.id, b.id});
-          if (ctx->stats != nullptr) ++ctx->stats->results;
-        }
+      MinDistSqBatchSoa(a.mbr, soa, dist);
+      if (ctx->stats != nullptr) ctx->stats->comparisons += n;
+      // The gap metric is never negative, so !(dist > 0) is exactly
+      // dist == 0: the vector filter yields the intersecting pairs in the
+      // same ascending order as the old per-element scan.
+      const uint32_t hits = FilterNotAboveSoa<D>(dist, n, 0.0, idx);
+      for (uint32_t j = 0; j < hits; ++j) {
+        ctx->out->push_back({a.id, inner.entries[idx[j]].id});
       }
+      if (ctx->stats != nullptr) ctx->stats->results += hits;
     }
     return Status::OK();
   }
@@ -95,7 +118,7 @@ Status SpatialJoin(const RTree<D>& outer, const RTree<D>& inner,
                    std::vector<JoinPair>* out, JoinStats* stats) {
   SPATIAL_CHECK(out != nullptr);
   if (outer.empty() || inner.empty()) return Status::OK();
-  JoinContext<D> ctx{&outer, &inner, out, stats};
+  JoinContext<D> ctx{&outer, &inner, out, stats, {}, {}, {}};
   return JoinNodes(&ctx, outer.root_page(), inner.root_page());
 }
 

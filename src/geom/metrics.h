@@ -206,6 +206,26 @@ inline void ObjectDistSqBatch(const Point<D>& p, const E* elems, uint32_t n,
   MinDistSqBatch<D>(p, elems, n, out);
 }
 
+// out[j] = MINDIST^2(a, elems[j].mbr): the rect-rect gap metric, in the
+// same branch-free max form as the point kernel. Selects the same operand
+// as the branching scalar MinDistSq(Rect, Rect) in every case, so the
+// results coincide bit for bit.
+template <int D, typename E>
+inline void MinDistSqBatch(const Rect<D>& a, const E* elems, uint32_t n,
+                           double* out) {
+  for (uint32_t j = 0; j < n; ++j) {
+    const Rect<D>& b = elems[j].mbr;
+    double sum = 0.0;
+    for (int i = 0; i < D; ++i) {
+      const double lo_gap = b.lo[i] - a.hi[i];
+      const double hi_gap = a.lo[i] - b.hi[i];
+      const double gap = std::max(std::max(lo_gap, hi_gap), 0.0);
+      sum += gap * gap;
+    }
+    out[j] = sum;
+  }
+}
+
 }  // namespace spatial
 
 #endif  // SPATIAL_GEOM_METRICS_H_

@@ -1,0 +1,439 @@
+#include "geom/metrics_simd.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
+#if defined(__x86_64__)
+#include <emmintrin.h>  // SSE2
+#endif
+
+// The portable kernel tiers. Every implementation — scalar here, SSE2
+// here, AVX2 in metrics_simd_avx2.cc — evaluates the *same expression
+// tree in the same order* as the scalar batch kernels of geom/metrics.h:
+// per entry, per dimension in ascending order, gap = max(max(lo_gap,
+// hi_gap), 0), sum accumulated dimension by dimension. Vector tiers put
+// one entry per lane, so each lane is exactly the scalar computation and
+// the results are bit-identical (simd_kernel_test proves it exhaustively).
+//
+// Two places need care to preserve bit-identity on degenerate input
+// (empty boxes stage +-infinity and make MINMAXDIST's mid NaN):
+//  * plane selection must be `p <= mid ? lo : hi` with an *ordered*
+//    compare (NaN -> false -> hi), matching the scalar ternary;
+//  * the final min over dimensions must keep the old value when the
+//    candidate is NaN, as std::min does — hardware minpd instead returns
+//    the NaN. The vector tiers therefore emulate std::min with a
+//    compare+select rather than using min instructions.
+
+namespace spatial {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scalar tier: the reference the vector tiers are tested against. Also the
+// only tier on non-x86 builds.
+
+template <int D>
+void MinDistScalar(const double* q, const double* planes, size_t stride,
+                   uint32_t n, double* out) {
+  for (uint32_t j = 0; j < n; ++j) {
+    double sum = 0.0;
+    for (int d = 0; d < D; ++d) {
+      const double lo_gap = planes[(2 * d) * stride + j] - q[d];
+      const double hi_gap = q[d] - planes[(2 * d + 1) * stride + j];
+      const double g = std::max(std::max(lo_gap, hi_gap), 0.0);
+      sum += g * g;
+    }
+    out[j] = sum;
+  }
+}
+
+template <int D>
+void MinMaxDistScalar(const double* q, const double* planes, size_t stride,
+                      uint32_t n, double* out) {
+  for (uint32_t j = 0; j < n; ++j) {
+    double far_sum = 0.0;
+    double far_term[D];
+    double near_term[D];
+    for (int d = 0; d < D; ++d) {
+      const double lo = planes[(2 * d) * stride + j];
+      const double hi = planes[(2 * d + 1) * stride + j];
+      const double mid = 0.5 * (lo + hi);
+      const double near_plane = (q[d] <= mid) ? lo : hi;
+      const double far_plane = (q[d] >= mid) ? lo : hi;
+      const double dn = q[d] - near_plane;
+      const double df = q[d] - far_plane;
+      near_term[d] = dn * dn;
+      far_term[d] = df * df;
+      far_sum += far_term[d];
+    }
+    double best = std::numeric_limits<double>::infinity();
+    for (int k = 0; k < D; ++k) {
+      const double candidate = far_sum - far_term[k] + near_term[k];
+      best = std::min(best, candidate);
+    }
+    out[j] = best;
+  }
+}
+
+template <int D>
+void MinAndMinMaxScalar(const double* q, const double* planes, size_t stride,
+                        uint32_t n, double* out_min, double* out_minmax) {
+  for (uint32_t j = 0; j < n; ++j) {
+    double min_sum = 0.0;
+    double far_sum = 0.0;
+    double far_term[D];
+    double near_term[D];
+    for (int d = 0; d < D; ++d) {
+      const double lo = planes[(2 * d) * stride + j];
+      const double hi = planes[(2 * d + 1) * stride + j];
+      const double lo_gap = lo - q[d];
+      const double hi_gap = q[d] - hi;
+      const double g = std::max(std::max(lo_gap, hi_gap), 0.0);
+      min_sum += g * g;
+      const double mid = 0.5 * (lo + hi);
+      const double near_plane = (q[d] <= mid) ? lo : hi;
+      const double far_plane = (q[d] >= mid) ? lo : hi;
+      const double dn = q[d] - near_plane;
+      const double df = q[d] - far_plane;
+      near_term[d] = dn * dn;
+      far_term[d] = df * df;
+      far_sum += far_term[d];
+    }
+    double best = std::numeric_limits<double>::infinity();
+    for (int k = 0; k < D; ++k) {
+      const double candidate = far_sum - far_term[k] + near_term[k];
+      best = std::min(best, candidate);
+    }
+    out_min[j] = min_sum;
+    out_minmax[j] = best;
+  }
+}
+
+template <int D>
+void RectMinDistScalar(const double* q, const double* planes, size_t stride,
+                       uint32_t n, double* out) {
+  // q holds the query rect as 2*D packed doubles: lo[0..D), hi[0..D).
+  // The branch-free form selects exactly the value the branching scalar
+  // MinDistSq(Rect, Rect) computes: when the boxes overlap in a dimension
+  // both differences are <= 0 and the max is +0.0 (or -0.0, squared away).
+  for (uint32_t j = 0; j < n; ++j) {
+    double sum = 0.0;
+    for (int d = 0; d < D; ++d) {
+      const double b_lo = planes[(2 * d) * stride + j];
+      const double b_hi = planes[(2 * d + 1) * stride + j];
+      const double gap =
+          std::max(std::max(b_lo - q[D + d], q[d] - b_hi), 0.0);
+      sum += gap * gap;
+    }
+    out[j] = sum;
+  }
+}
+
+// Source double index c of an element (lo[0..D) then hi[0..D), the Rect
+// layout) maps to plane index: lo_d lives at plane 2d, hi_d at 2d+1.
+constexpr int PlaneOf(int dims, int c) {
+  return c < dims ? 2 * c : 2 * (c - dims) + 1;
+}
+
+template <int D>
+void TransposeScalarKernel(const void* elems, size_t elem_bytes, uint32_t n,
+                           double* planes, size_t stride) {
+  const char* base = static_cast<const char*>(elems);
+  for (int c = 0; c < 2 * D; ++c) {
+    double* plane = planes + PlaneOf(D, c) * stride;
+    for (uint32_t j = 0; j < n; ++j) {
+      double v;
+      std::memcpy(&v, base + j * elem_bytes + c * sizeof(double), sizeof(v));
+      plane[j] = v;
+    }
+    const double pad = n > 0 ? plane[n - 1] : 0.0;
+    for (size_t j = n; j < stride; ++j) plane[j] = pad;
+  }
+}
+
+uint32_t FilterScalarKernel(const double* dist, uint32_t n, double bound,
+                            uint32_t* idx_out) {
+  uint32_t kept = 0;
+  for (uint32_t j = 0; j < n; ++j) {
+    if (!(dist[j] > bound)) idx_out[kept++] = j;
+  }
+  return kept;
+}
+
+// ---------------------------------------------------------------------------
+// SSE2 tier: two entries per 128-bit lane pair. Baseline on x86-64, so no
+// special compile flags are needed for this TU.
+
+#if defined(__x86_64__)
+
+template <int D>
+void MinDistSse2(const double* q, const double* planes, size_t stride,
+                 uint32_t n, double* out) {
+  const __m128d zero = _mm_setzero_pd();
+  for (uint32_t j = 0; j < n; j += 2) {
+    __m128d sum = zero;
+    for (int d = 0; d < D; ++d) {
+      const __m128d lo = _mm_load_pd(planes + (2 * d) * stride + j);
+      const __m128d hi = _mm_load_pd(planes + (2 * d + 1) * stride + j);
+      const __m128d p = _mm_set1_pd(q[d]);
+      const __m128d g = _mm_max_pd(
+          _mm_max_pd(_mm_sub_pd(lo, p), _mm_sub_pd(p, hi)), zero);
+      sum = _mm_add_pd(sum, _mm_mul_pd(g, g));
+    }
+    _mm_store_pd(out + j, sum);
+  }
+}
+
+// mask ? a : b, bitwise (SSE2 has no blendv).
+static inline __m128d Select128(__m128d mask, __m128d a, __m128d b) {
+  return _mm_or_pd(_mm_and_pd(mask, a), _mm_andnot_pd(mask, b));
+}
+
+template <int D>
+void MinMaxDistSse2(const double* q, const double* planes, size_t stride,
+                    uint32_t n, double* out) {
+  const __m128d half = _mm_set1_pd(0.5);
+  const __m128d inf = _mm_set1_pd(std::numeric_limits<double>::infinity());
+  for (uint32_t j = 0; j < n; j += 2) {
+    __m128d far_sum = _mm_setzero_pd();
+    __m128d far_term[D];
+    __m128d near_term[D];
+    for (int d = 0; d < D; ++d) {
+      const __m128d lo = _mm_load_pd(planes + (2 * d) * stride + j);
+      const __m128d hi = _mm_load_pd(planes + (2 * d + 1) * stride + j);
+      const __m128d p = _mm_set1_pd(q[d]);
+      const __m128d mid = _mm_mul_pd(half, _mm_add_pd(lo, hi));
+      const __m128d near_plane = Select128(_mm_cmple_pd(p, mid), lo, hi);
+      const __m128d far_plane = Select128(_mm_cmpge_pd(p, mid), lo, hi);
+      const __m128d dn = _mm_sub_pd(p, near_plane);
+      const __m128d df = _mm_sub_pd(p, far_plane);
+      near_term[d] = _mm_mul_pd(dn, dn);
+      far_term[d] = _mm_mul_pd(df, df);
+      far_sum = _mm_add_pd(far_sum, far_term[d]);
+    }
+    __m128d best = inf;
+    for (int k = 0; k < D; ++k) {
+      const __m128d candidate =
+          _mm_add_pd(_mm_sub_pd(far_sum, far_term[k]), near_term[k]);
+      // std::min semantics: take candidate only when candidate < best.
+      best = Select128(_mm_cmplt_pd(candidate, best), candidate, best);
+    }
+    _mm_store_pd(out + j, best);
+  }
+}
+
+template <int D>
+void MinAndMinMaxSse2(const double* q, const double* planes, size_t stride,
+                      uint32_t n, double* out_min, double* out_minmax) {
+  const __m128d zero = _mm_setzero_pd();
+  const __m128d half = _mm_set1_pd(0.5);
+  const __m128d inf = _mm_set1_pd(std::numeric_limits<double>::infinity());
+  for (uint32_t j = 0; j < n; j += 2) {
+    __m128d min_sum = zero;
+    __m128d far_sum = zero;
+    __m128d far_term[D];
+    __m128d near_term[D];
+    for (int d = 0; d < D; ++d) {
+      const __m128d lo = _mm_load_pd(planes + (2 * d) * stride + j);
+      const __m128d hi = _mm_load_pd(planes + (2 * d + 1) * stride + j);
+      const __m128d p = _mm_set1_pd(q[d]);
+      const __m128d g = _mm_max_pd(
+          _mm_max_pd(_mm_sub_pd(lo, p), _mm_sub_pd(p, hi)), zero);
+      min_sum = _mm_add_pd(min_sum, _mm_mul_pd(g, g));
+      const __m128d mid = _mm_mul_pd(half, _mm_add_pd(lo, hi));
+      const __m128d near_plane = Select128(_mm_cmple_pd(p, mid), lo, hi);
+      const __m128d far_plane = Select128(_mm_cmpge_pd(p, mid), lo, hi);
+      const __m128d dn = _mm_sub_pd(p, near_plane);
+      const __m128d df = _mm_sub_pd(p, far_plane);
+      near_term[d] = _mm_mul_pd(dn, dn);
+      far_term[d] = _mm_mul_pd(df, df);
+      far_sum = _mm_add_pd(far_sum, far_term[d]);
+    }
+    __m128d best = inf;
+    for (int k = 0; k < D; ++k) {
+      const __m128d candidate =
+          _mm_add_pd(_mm_sub_pd(far_sum, far_term[k]), near_term[k]);
+      best = Select128(_mm_cmplt_pd(candidate, best), candidate, best);
+    }
+    _mm_store_pd(out_min + j, min_sum);
+    _mm_store_pd(out_minmax + j, best);
+  }
+}
+
+template <int D>
+void RectMinDistSse2(const double* q, const double* planes, size_t stride,
+                     uint32_t n, double* out) {
+  const __m128d zero = _mm_setzero_pd();
+  for (uint32_t j = 0; j < n; j += 2) {
+    __m128d sum = zero;
+    for (int d = 0; d < D; ++d) {
+      const __m128d b_lo = _mm_load_pd(planes + (2 * d) * stride + j);
+      const __m128d b_hi = _mm_load_pd(planes + (2 * d + 1) * stride + j);
+      const __m128d a_lo = _mm_set1_pd(q[d]);
+      const __m128d a_hi = _mm_set1_pd(q[D + d]);
+      const __m128d gap = _mm_max_pd(
+          _mm_max_pd(_mm_sub_pd(b_lo, a_hi), _mm_sub_pd(a_lo, b_hi)), zero);
+      sum = _mm_add_pd(sum, _mm_mul_pd(gap, gap));
+    }
+    _mm_store_pd(out + j, sum);
+  }
+}
+
+// Two elements per round, two source columns per step: unpacklo/hi of the
+// two rows' column pair IS the 2x2 transpose. Entry data is only 8-byte
+// aligned (page images start entries at offset 8), so sources use loadu;
+// plane stores are aligned (planes are 64-byte aligned, stride is a
+// multiple of kSoaLane, j advances by 2).
+template <int D>
+void TransposeSse2Kernel(const void* elems, size_t elem_bytes, uint32_t n,
+                         double* planes, size_t stride) {
+  const char* base = static_cast<const char*>(elems);
+  uint32_t j = 0;
+  for (; j + 2 <= n; j += 2) {
+    const double* e0 = reinterpret_cast<const double*>(base + j * elem_bytes);
+    const double* e1 =
+        reinterpret_cast<const double*>(base + (j + 1) * elem_bytes);
+    for (int c = 0; c < 2 * D; c += 2) {
+      const __m128d a = _mm_loadu_pd(e0 + c);
+      const __m128d b = _mm_loadu_pd(e1 + c);
+      _mm_store_pd(planes + PlaneOf(D, c) * stride + j,
+                   _mm_unpacklo_pd(a, b));
+      _mm_store_pd(planes + PlaneOf(D, c + 1) * stride + j,
+                   _mm_unpackhi_pd(a, b));
+    }
+  }
+  for (; j < n; ++j) {
+    for (int c = 0; c < 2 * D; ++c) {
+      double v;
+      std::memcpy(&v, base + j * elem_bytes + c * sizeof(double), sizeof(v));
+      planes[PlaneOf(D, c) * stride + j] = v;
+    }
+  }
+  for (int c = 0; c < 2 * D; ++c) {
+    double* plane = planes + PlaneOf(D, c) * stride;
+    const double pad = n > 0 ? plane[n - 1] : 0.0;
+    for (size_t t = n; t < stride; ++t) plane[t] = pad;
+  }
+}
+
+uint32_t FilterSse2Kernel(const double* dist, uint32_t n, double bound,
+                          uint32_t* idx_out) {
+  const __m128d b = _mm_set1_pd(bound);
+  uint32_t kept = 0;
+  uint32_t j = 0;
+  for (; j + 2 <= n; j += 2) {
+    // cmpngt: !(dist > bound), NaN -> true — the scalar prune complement.
+    const int m = _mm_movemask_pd(_mm_cmpngt_pd(_mm_load_pd(dist + j), b));
+    if (m & 1) idx_out[kept++] = j;
+    if (m & 2) idx_out[kept++] = j + 1;
+  }
+  for (; j < n; ++j) {
+    if (!(dist[j] > bound)) idx_out[kept++] = j;
+  }
+  return kept;
+}
+
+#endif  // defined(__x86_64__)
+
+// ---------------------------------------------------------------------------
+// Registries.
+
+template <int D>
+constexpr SoaKernelSet ScalarSet() {
+  return SoaKernelSet{&MinDistScalar<D>,      &MinMaxDistScalar<D>,
+                      &MinDistScalar<D>,      &RectMinDistScalar<D>,
+                      &MinAndMinMaxScalar<D>, &TransposeScalarKernel<D>,
+                      &FilterScalarKernel,    KernelIsa::kScalar};
+}
+
+constexpr SoaKernelSet kScalarSets[] = {
+    ScalarSet<2>(), ScalarSet<3>(), ScalarSet<4>(), ScalarSet<5>(),
+    ScalarSet<6>(), ScalarSet<7>(), ScalarSet<8>()};
+
+#if defined(__x86_64__)
+template <int D>
+constexpr SoaKernelSet Sse2Set() {
+  return SoaKernelSet{&MinDistSse2<D>,      &MinMaxDistSse2<D>,
+                      &MinDistSse2<D>,      &RectMinDistSse2<D>,
+                      &MinAndMinMaxSse2<D>, &TransposeSse2Kernel<D>,
+                      &FilterSse2Kernel,    KernelIsa::kSse2};
+}
+
+constexpr SoaKernelSet kSse2Sets[] = {
+    Sse2Set<2>(), Sse2Set<3>(), Sse2Set<4>(), Sse2Set<5>(),
+    Sse2Set<6>(), Sse2Set<7>(), Sse2Set<8>()};
+#endif
+
+bool DimsInRange(int dims) {
+  return dims >= kSoaMinDims && dims <= kSoaMaxDims;
+}
+
+}  // namespace
+
+namespace simd_internal {
+
+const SoaKernelSet* ScalarKernelSetFor(int dims) {
+  return DimsInRange(dims) ? &kScalarSets[dims - kSoaMinDims] : nullptr;
+}
+
+const SoaKernelSet* Sse2KernelSetFor(int dims) {
+#if defined(__x86_64__)
+  return DimsInRange(dims) ? &kSse2Sets[dims - kSoaMinDims] : nullptr;
+#else
+  (void)dims;
+  return nullptr;
+#endif
+}
+
+#ifndef SPATIAL_HAVE_AVX2_KERNELS
+// The AVX2 TU is absent from this build (non-x86-64 target or a compiler
+// without -mavx2); resolve its registry to "not available".
+const SoaKernelSet* Avx2KernelSetFor(int dims) {
+  (void)dims;
+  return nullptr;
+}
+#endif
+
+}  // namespace simd_internal
+
+bool SoaKernelBuildSupports(KernelIsa isa) {
+  switch (isa) {
+    case KernelIsa::kScalar:
+      return true;
+    case KernelIsa::kSse2:
+      return simd_internal::Sse2KernelSetFor(kSoaMinDims) != nullptr;
+    case KernelIsa::kAvx2:
+      return simd_internal::Avx2KernelSetFor(kSoaMinDims) != nullptr;
+  }
+  return false;
+}
+
+const SoaKernelSet* SoaKernelSetFor(int dims, KernelIsa isa) {
+  switch (isa) {
+    case KernelIsa::kScalar:
+      return simd_internal::ScalarKernelSetFor(dims);
+    case KernelIsa::kSse2:
+      return simd_internal::Sse2KernelSetFor(dims);
+    case KernelIsa::kAvx2:
+      return simd_internal::Avx2KernelSetFor(dims);
+  }
+  return nullptr;
+}
+
+KernelIsa ActiveKernelIsa() {
+  static const KernelIsa active = [] {
+    KernelIsa best = BestCpuKernelIsa();
+    while (!SoaKernelBuildSupports(best)) {
+      best = static_cast<KernelIsa>(static_cast<int>(best) - 1);
+    }
+    const std::optional<KernelIsa> forced = ForcedKernelIsa();
+    if (forced.has_value() &&
+        static_cast<int>(*forced) < static_cast<int>(best)) {
+      return *forced;
+    }
+    return best;
+  }();
+  return active;
+}
+
+}  // namespace spatial

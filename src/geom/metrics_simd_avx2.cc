@@ -1,0 +1,251 @@
+// AVX2 tier of the SoA distance kernels: four entries per 256-bit vector.
+//
+// This TU is compiled with -mavx2 (see src/CMakeLists.txt) and is the ONLY
+// TU in the tree built above the portable baseline. It therefore includes
+// nothing that defines inline functions shared with other TUs — the linker
+// could otherwise pick an AVX-encoded copy for the whole program and crash
+// pre-AVX2 hosts. Runtime dispatch (metrics_simd.cc) guarantees these
+// kernels only execute after __builtin_cpu_supports("avx2") succeeded.
+//
+// Bit-identity contract (see metrics_simd.cc): one entry per lane, the
+// scalar expression tree per lane, dimensions accumulated in order, mul
+// and add kept separate (no FMA — fusing would change the rounding and
+// break bit-identity with the scalar reference), std::min emulated with
+// compare+blend so NaN candidates from empty boxes resolve as the scalar
+// ternary does, not as vminpd does.
+
+#include <immintrin.h>
+
+#include "geom/metrics_simd_kernels.h"
+
+namespace spatial {
+namespace {
+
+constexpr double kInf = __builtin_huge_val();
+
+template <int D>
+void MinDistAvx2(const double* q, const double* planes, size_t stride,
+                 uint32_t n, double* out) {
+  const __m256d zero = _mm256_setzero_pd();
+  for (uint32_t j = 0; j < n; j += 4) {
+    __m256d sum = zero;
+    for (int d = 0; d < D; ++d) {
+      const __m256d lo = _mm256_load_pd(planes + (2 * d) * stride + j);
+      const __m256d hi = _mm256_load_pd(planes + (2 * d + 1) * stride + j);
+      const __m256d p = _mm256_set1_pd(q[d]);
+      const __m256d g = _mm256_max_pd(
+          _mm256_max_pd(_mm256_sub_pd(lo, p), _mm256_sub_pd(p, hi)), zero);
+      sum = _mm256_add_pd(sum, _mm256_mul_pd(g, g));
+    }
+    _mm256_store_pd(out + j, sum);
+  }
+}
+
+template <int D>
+void MinMaxDistAvx2(const double* q, const double* planes, size_t stride,
+                    uint32_t n, double* out) {
+  const __m256d half = _mm256_set1_pd(0.5);
+  const __m256d inf = _mm256_set1_pd(kInf);
+  for (uint32_t j = 0; j < n; j += 4) {
+    __m256d far_sum = _mm256_setzero_pd();
+    __m256d far_term[D];
+    __m256d near_term[D];
+    for (int d = 0; d < D; ++d) {
+      const __m256d lo = _mm256_load_pd(planes + (2 * d) * stride + j);
+      const __m256d hi = _mm256_load_pd(planes + (2 * d + 1) * stride + j);
+      const __m256d p = _mm256_set1_pd(q[d]);
+      const __m256d mid = _mm256_mul_pd(half, _mm256_add_pd(lo, hi));
+      // blendv picks the *second* operand where the mask is set:
+      // p <= mid -> lo, else (including NaN mid) hi — the scalar ternary.
+      const __m256d near_plane =
+          _mm256_blendv_pd(hi, lo, _mm256_cmp_pd(p, mid, _CMP_LE_OQ));
+      const __m256d far_plane =
+          _mm256_blendv_pd(hi, lo, _mm256_cmp_pd(p, mid, _CMP_GE_OQ));
+      const __m256d dn = _mm256_sub_pd(p, near_plane);
+      const __m256d df = _mm256_sub_pd(p, far_plane);
+      near_term[d] = _mm256_mul_pd(dn, dn);
+      far_term[d] = _mm256_mul_pd(df, df);
+      far_sum = _mm256_add_pd(far_sum, far_term[d]);
+    }
+    __m256d best = inf;
+    for (int k = 0; k < D; ++k) {
+      const __m256d candidate =
+          _mm256_add_pd(_mm256_sub_pd(far_sum, far_term[k]), near_term[k]);
+      best = _mm256_blendv_pd(
+          best, candidate, _mm256_cmp_pd(candidate, best, _CMP_LT_OQ));
+    }
+    _mm256_store_pd(out + j, best);
+  }
+}
+
+template <int D>
+void MinAndMinMaxAvx2(const double* q, const double* planes, size_t stride,
+                      uint32_t n, double* out_min, double* out_minmax) {
+  const __m256d zero = _mm256_setzero_pd();
+  const __m256d half = _mm256_set1_pd(0.5);
+  const __m256d inf = _mm256_set1_pd(kInf);
+  for (uint32_t j = 0; j < n; j += 4) {
+    __m256d min_sum = zero;
+    __m256d far_sum = zero;
+    __m256d far_term[D];
+    __m256d near_term[D];
+    for (int d = 0; d < D; ++d) {
+      const __m256d lo = _mm256_load_pd(planes + (2 * d) * stride + j);
+      const __m256d hi = _mm256_load_pd(planes + (2 * d + 1) * stride + j);
+      const __m256d p = _mm256_set1_pd(q[d]);
+      const __m256d g = _mm256_max_pd(
+          _mm256_max_pd(_mm256_sub_pd(lo, p), _mm256_sub_pd(p, hi)), zero);
+      min_sum = _mm256_add_pd(min_sum, _mm256_mul_pd(g, g));
+      const __m256d mid = _mm256_mul_pd(half, _mm256_add_pd(lo, hi));
+      const __m256d near_plane =
+          _mm256_blendv_pd(hi, lo, _mm256_cmp_pd(p, mid, _CMP_LE_OQ));
+      const __m256d far_plane =
+          _mm256_blendv_pd(hi, lo, _mm256_cmp_pd(p, mid, _CMP_GE_OQ));
+      const __m256d dn = _mm256_sub_pd(p, near_plane);
+      const __m256d df = _mm256_sub_pd(p, far_plane);
+      near_term[d] = _mm256_mul_pd(dn, dn);
+      far_term[d] = _mm256_mul_pd(df, df);
+      far_sum = _mm256_add_pd(far_sum, far_term[d]);
+    }
+    __m256d best = inf;
+    for (int k = 0; k < D; ++k) {
+      const __m256d candidate =
+          _mm256_add_pd(_mm256_sub_pd(far_sum, far_term[k]), near_term[k]);
+      best = _mm256_blendv_pd(
+          best, candidate, _mm256_cmp_pd(candidate, best, _CMP_LT_OQ));
+    }
+    _mm256_store_pd(out_min + j, min_sum);
+    _mm256_store_pd(out_minmax + j, best);
+  }
+}
+
+template <int D>
+void RectMinDistAvx2(const double* q, const double* planes, size_t stride,
+                     uint32_t n, double* out) {
+  const __m256d zero = _mm256_setzero_pd();
+  for (uint32_t j = 0; j < n; j += 4) {
+    __m256d sum = zero;
+    for (int d = 0; d < D; ++d) {
+      const __m256d b_lo = _mm256_load_pd(planes + (2 * d) * stride + j);
+      const __m256d b_hi = _mm256_load_pd(planes + (2 * d + 1) * stride + j);
+      const __m256d a_lo = _mm256_set1_pd(q[d]);
+      const __m256d a_hi = _mm256_set1_pd(q[D + d]);
+      const __m256d gap = _mm256_max_pd(
+          _mm256_max_pd(_mm256_sub_pd(b_lo, a_hi), _mm256_sub_pd(a_lo, b_hi)),
+          zero);
+      sum = _mm256_add_pd(sum, _mm256_mul_pd(gap, gap));
+    }
+    _mm256_store_pd(out + j, sum);
+  }
+}
+
+constexpr int PlaneOf(int dims, int c) {
+  return c < dims ? 2 * c : 2 * (c - dims) + 1;
+}
+
+// Four elements per round. Full source-column quads go through the
+// classic 4x4 double transpose (unpacklo/hi + permute2f128); a trailing
+// column pair (odd D: 2*D = 4m + 2) is transposed from 128-bit halves.
+// Sources are only 8-byte aligned (page images), hence loadu; plane
+// stores stay aligned (64-byte planes, stride multiple of kSoaLane).
+template <int D>
+void TransposeAvx2(const void* elems, size_t elem_bytes, uint32_t n,
+                   double* planes, size_t stride) {
+  const char* base = static_cast<const char*>(elems);
+  uint32_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    const double* e0 = reinterpret_cast<const double*>(base + j * elem_bytes);
+    const double* e1 =
+        reinterpret_cast<const double*>(base + (j + 1) * elem_bytes);
+    const double* e2 =
+        reinterpret_cast<const double*>(base + (j + 2) * elem_bytes);
+    const double* e3 =
+        reinterpret_cast<const double*>(base + (j + 3) * elem_bytes);
+    int c = 0;
+    for (; c + 4 <= 2 * D; c += 4) {
+      const __m256d r0 = _mm256_loadu_pd(e0 + c);
+      const __m256d r1 = _mm256_loadu_pd(e1 + c);
+      const __m256d r2 = _mm256_loadu_pd(e2 + c);
+      const __m256d r3 = _mm256_loadu_pd(e3 + c);
+      const __m256d t0 = _mm256_unpacklo_pd(r0, r1);
+      const __m256d t1 = _mm256_unpackhi_pd(r0, r1);
+      const __m256d t2 = _mm256_unpacklo_pd(r2, r3);
+      const __m256d t3 = _mm256_unpackhi_pd(r2, r3);
+      _mm256_store_pd(planes + PlaneOf(D, c) * stride + j,
+                      _mm256_permute2f128_pd(t0, t2, 0x20));
+      _mm256_store_pd(planes + PlaneOf(D, c + 1) * stride + j,
+                      _mm256_permute2f128_pd(t1, t3, 0x20));
+      _mm256_store_pd(planes + PlaneOf(D, c + 2) * stride + j,
+                      _mm256_permute2f128_pd(t0, t2, 0x31));
+      _mm256_store_pd(planes + PlaneOf(D, c + 3) * stride + j,
+                      _mm256_permute2f128_pd(t1, t3, 0x31));
+    }
+    if (c < 2 * D) {  // trailing column pair
+      const __m128d u0 = _mm_loadu_pd(e0 + c);
+      const __m128d u1 = _mm_loadu_pd(e1 + c);
+      const __m128d u2 = _mm_loadu_pd(e2 + c);
+      const __m128d u3 = _mm_loadu_pd(e3 + c);
+      _mm256_store_pd(planes + PlaneOf(D, c) * stride + j,
+                      _mm256_set_m128d(_mm_unpacklo_pd(u2, u3),
+                                       _mm_unpacklo_pd(u0, u1)));
+      _mm256_store_pd(planes + PlaneOf(D, c + 1) * stride + j,
+                      _mm256_set_m128d(_mm_unpackhi_pd(u2, u3),
+                                       _mm_unpackhi_pd(u0, u1)));
+    }
+  }
+  for (; j < n; ++j) {
+    const double* e = reinterpret_cast<const double*>(base + j * elem_bytes);
+    for (int c = 0; c < 2 * D; ++c) {
+      planes[PlaneOf(D, c) * stride + j] = e[c];
+    }
+  }
+  for (int c = 0; c < 2 * D; ++c) {
+    double* plane = planes + PlaneOf(D, c) * stride;
+    const double pad = n > 0 ? plane[n - 1] : 0.0;
+    for (size_t t = n; t < stride; ++t) plane[t] = pad;
+  }
+}
+
+uint32_t FilterAvx2(const double* dist, uint32_t n, double bound,
+                    uint32_t* idx_out) {
+  const __m256d b = _mm256_set1_pd(bound);
+  uint32_t kept = 0;
+  uint32_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    // NGT_UQ: !(dist > bound), NaN -> true — the scalar prune complement.
+    int m = _mm256_movemask_pd(
+        _mm256_cmp_pd(_mm256_load_pd(dist + j), b, _CMP_NGT_UQ));
+    while (m != 0) {
+      idx_out[kept++] = j + static_cast<uint32_t>(__builtin_ctz(m));
+      m &= m - 1;
+    }
+  }
+  for (; j < n; ++j) {
+    if (!(dist[j] > bound)) idx_out[kept++] = j;
+  }
+  return kept;
+}
+
+template <int D>
+constexpr SoaKernelSet Avx2Set() {
+  return SoaKernelSet{&MinDistAvx2<D>,      &MinMaxDistAvx2<D>,
+                      &MinDistAvx2<D>,      &RectMinDistAvx2<D>,
+                      &MinAndMinMaxAvx2<D>, &TransposeAvx2<D>,
+                      &FilterAvx2,          KernelIsa::kAvx2};
+}
+
+constexpr SoaKernelSet kAvx2Sets[] = {
+    Avx2Set<2>(), Avx2Set<3>(), Avx2Set<4>(), Avx2Set<5>(),
+    Avx2Set<6>(), Avx2Set<7>(), Avx2Set<8>()};
+
+}  // namespace
+
+namespace simd_internal {
+
+const SoaKernelSet* Avx2KernelSetFor(int dims) {
+  if (dims < kSoaMinDims || dims > kSoaMaxDims) return nullptr;
+  return &kAvx2Sets[dims - kSoaMinDims];
+}
+
+}  // namespace simd_internal
+}  // namespace spatial

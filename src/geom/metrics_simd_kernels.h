@@ -1,0 +1,90 @@
+#ifndef SPATIAL_GEOM_METRICS_SIMD_KERNELS_H_
+#define SPATIAL_GEOM_METRICS_SIMD_KERNELS_H_
+
+// Internal ABI between the dispatching front end (metrics_simd.h/.cc) and
+// the per-ISA kernel translation units. Deliberately minimal: the AVX2 TU
+// is compiled with -mavx2, and any inline code it instantiates from a
+// shared header could be emitted with AVX encodings and then chosen by the
+// linker for every TU — a crash on pre-AVX2 hosts. Keeping this header
+// free of inline functions and project types removes that hazard.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/cpu_features.h"
+
+namespace spatial {
+
+// The SoA planes a kernel consumes: 2*D planes of `stride` doubles each,
+// ordered lo0, hi0, lo1, hi1, ..., all 64-byte aligned (stride is a
+// multiple of kSoaLane and the base comes from an AlignedArray). Entry j's
+// box is { lo_d = planes[2*d*stride + j], hi_d = planes[(2*d+1)*stride + j] }.
+inline constexpr size_t kSoaLane = 8;  // doubles per 64-byte cache line
+
+// Dimensions the kernel registry is instantiated for. The engine uses
+// D = 2..4; the equivalence fuzz tests sweep the full range.
+inline constexpr int kSoaMinDims = 2;
+inline constexpr int kSoaMaxDims = 8;
+
+// Point-query kernel: q holds D query coordinates; writes out[j] for
+// j in [0, n). Vector kernels may additionally write the padding lanes
+// out[n, RoundUpToVector(n)) — callers size `out` to SoaStride(n) slots
+// and ignore the tail. `planes`/`out` must be 64-byte aligned and `stride`
+// a multiple of kSoaLane; n == 0 is a no-op.
+using SoaKernelFn = void (*)(const double* q, const double* planes,
+                             size_t stride, uint32_t n, double* out);
+
+// Fused point-query kernel: one pass over the planes producing both
+// MINDIST^2 and MINMAXDIST^2 (bit-identical to running the two single
+// kernels). The depth-first search needs both metrics for every internal
+// node when S1/S2 or MINMAXDIST ordering is active; fusing halves the
+// plane traffic of that (hottest) case.
+using SoaKernelFusedFn = void (*)(const double* q, const double* planes,
+                                  size_t stride, uint32_t n, double* out_min,
+                                  double* out_minmax);
+
+// AoS -> SoA staging kernel. `elems` points at `n` elements of
+// `elem_bytes` each whose first 2*D doubles are lo[0..D), hi[0..D) (the
+// Rect<D> layout; Entry<D> has its id after the rect). Writes the 2*D
+// planes at `planes`/`stride` in plane order lo0, hi0, lo1, hi1, ... and
+// pads [n, stride) of every plane by replicating the last element, exactly
+// like the scalar TransposeToSoa in metrics_simd.h (the reference it is
+// tested against). `elems` may be unaligned (page images stage from offset
+// 8); `planes` must be 64-byte aligned.
+using SoaTransposeFn = void (*)(const void* elems, size_t elem_bytes,
+                                uint32_t n, double* planes, size_t stride);
+
+// Bound-filter kernel: writes the indices j in [0, n), ascending, for
+// which `!(dist[j] > bound)` — the exact complement of the traversal's
+// `dist > bound` prune test (NaN never compares greater, so a NaN distance
+// is kept, matching the scalar branch). Returns the survivor count.
+// `dist` must be 64-byte aligned; `idx_out` needs n slots.
+using SoaFilterFn = uint32_t (*)(const double* dist, uint32_t n, double bound,
+                                 uint32_t* idx_out);
+
+// One ISA's kernel complement for one dimensionality.
+struct SoaKernelSet {
+  SoaKernelFn min_dist = nullptr;      // MINDIST^2(point, box)
+  SoaKernelFn min_max_dist = nullptr;  // MINMAXDIST^2(point, box)
+  SoaKernelFn object_dist = nullptr;   // ObjectDistSq == MBR MINDIST
+  SoaKernelFn rect_min_dist = nullptr;  // MINDIST^2(rect, box); q = 2*D dbls
+  SoaKernelFusedFn min_and_min_max = nullptr;
+  SoaTransposeFn transpose = nullptr;   // AoS elements -> SoA planes
+  SoaFilterFn filter_not_above = nullptr;  // indices with !(dist > bound)
+  KernelIsa isa = KernelIsa::kScalar;
+};
+
+namespace simd_internal {
+
+// Per-ISA registries, defined in their respective TUs. Return nullptr when
+// `dims` is out of [kSoaMinDims, kSoaMaxDims]. Avx2KernelSetFor exists
+// only when the build compiled the AVX2 TU (x86-64 with -mavx2 support);
+// metrics_simd.cc references it behind SPATIAL_HAVE_AVX2_KERNELS.
+const SoaKernelSet* ScalarKernelSetFor(int dims);
+const SoaKernelSet* Sse2KernelSetFor(int dims);  // nullptr off x86-64
+const SoaKernelSet* Avx2KernelSetFor(int dims);
+
+}  // namespace simd_internal
+}  // namespace spatial
+
+#endif  // SPATIAL_GEOM_METRICS_SIMD_KERNELS_H_

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/macros.h"
+#include "geom/metrics_simd.h"
 #include "rtree/entry.h"
 
 namespace spatial {
@@ -130,6 +131,16 @@ class NodeView {
   void CopyEntries(Entry<D>* out) const {
     std::memcpy(out, data_ + sizeof(NodeHeader),
                 static_cast<size_t>(count()) * sizeof(Entry<D>));
+  }
+
+  // Stages all count() entries as structure-of-arrays planes for the SIMD
+  // distance kernels (geom/metrics_simd.h): `planes` must hold
+  // SoaDoubles(D, count()) doubles at 64-byte alignment and `stride` must
+  // be SoaStride(count()). Complements CopyEntries — traversals that need
+  // both the ids (AoS) and the kernels' operands (SoA) stage both from one
+  // pinned page.
+  void CopyEntriesSoa(double* planes, size_t stride) const {
+    TransposeToSoaDispatched<D>(entries(), count(), planes, stride);
   }
 
   // Direct pointer to the packed entry array, for reading a node in place

@@ -1,0 +1,520 @@
+// Bit-identity fuzz for the SoA SIMD distance kernels (geom/metrics_simd.h).
+//
+// The dispatch contract is that every kernel tier — scalar SoA, SSE2, AVX2 —
+// reproduces the scalar AoS batch kernels of geom/metrics.h *bit for bit*:
+// same products, same summation order, same plane selection on ties and on
+// non-finite inputs (empty rects carry lo=+inf/hi=-inf). The engine's
+// correctness tests only exercise whichever tier the host dispatches to;
+// this test pins each tier explicitly and compares raw bit patterns, so a
+// rounding divergence (e.g. an accidental FMA contraction) fails loudly on
+// any machine rather than only on exotic hardware.
+//
+// The ctest registrations run the whole binary once per
+// SPATIAL_FORCE_KERNEL value, which additionally exercises the env-forced
+// dispatch path end to end (see Dispatch.RespectsForceEnvironment).
+
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "common/cpu_features.h"
+#include "common/rng.h"
+#include "core/scratch.h"
+#include "geom/metrics.h"
+#include "geom/metrics_simd.h"
+#include "gtest/gtest.h"
+#include "rtree/node.h"
+
+namespace spatial {
+namespace {
+
+// Minimal AoS element: the kernels only require an `mbr` member.
+template <int D>
+struct Box {
+  Rect<D> mbr;
+};
+
+// Largest batch the fuzz sweeps. Covers every real fan-out: a 1 KiB page
+// holds at most (1024-8)/sizeof(Entry<2>) = 25 entries at D=2 and fewer at
+// higher D, and the bulk loader never packs beyond the page fan-out.
+constexpr uint32_t kMaxBatch = 40;
+
+// Bit pattern used to pre-fill output buffers so a lane the kernel failed
+// to write is caught (it would compare unequal against any real distance).
+constexpr unsigned char kSentinelByte = 0xCB;
+
+template <int D>
+Rect<D> RandomRect(Rng& rng) {
+  Rect<D> r;
+  for (int d = 0; d < D; ++d) {
+    const double a = rng.Uniform(-100.0, 100.0);
+    const double b = rng.Uniform(-100.0, 100.0);
+    r.lo[d] = std::min(a, b);
+    r.hi[d] = std::max(a, b);
+  }
+  return r;
+}
+
+template <int D>
+Rect<D> PointRect(Rng& rng) {
+  Rect<D> r;
+  for (int d = 0; d < D; ++d) {
+    const double a = rng.Uniform(-100.0, 100.0);
+    r.lo[d] = a;
+    r.hi[d] = a;
+  }
+  return r;
+}
+
+template <int D>
+std::vector<Box<D>> RandomBoxes(Rng& rng, uint32_t n) {
+  std::vector<Box<D>> boxes(n);
+  for (uint32_t j = 0; j < n; ++j) {
+    // Mix in the degenerate shapes the engine actually produces: point
+    // MBRs (every leaf entry of a point dataset) and the empty rect
+    // (lo=+inf, hi=-inf; never stored in a node, but the kernels must not
+    // turn its infinities into NaN mismatches if one ever reaches them).
+    const uint64_t flavor = rng.NextBounded(8);
+    if (flavor == 0) {
+      boxes[j].mbr = Rect<D>::Empty();
+    } else if (flavor <= 2) {
+      boxes[j].mbr = PointRect<D>(rng);
+    } else {
+      boxes[j].mbr = RandomRect<D>(rng);
+    }
+  }
+  return boxes;
+}
+
+template <int D>
+Point<D> RandomPoint(Rng& rng) {
+  Point<D> p;
+  // Occasionally drop the query inside the data cube's typical box so the
+  // "p inside the rect" (distance 0) branch is exercised too.
+  for (int d = 0; d < D; ++d) p[d] = rng.Uniform(-120.0, 120.0);
+  return p;
+}
+
+// EXPECT bit-equality of the first n doubles; NaN == NaN, +0 != -0.
+void ExpectBitEqual(const double* got, const double* want, uint32_t n,
+                    const char* what, KernelIsa isa, int dims, uint32_t batch) {
+  for (uint32_t j = 0; j < n; ++j) {
+    EXPECT_EQ(std::memcmp(&got[j], &want[j], sizeof(double)), 0)
+        << what << " diverges from the scalar AoS reference at lane " << j
+        << " (isa=" << KernelIsaName(isa) << ", D=" << dims << ", n=" << batch
+        << "): got " << got[j] << ", want " << want[j];
+  }
+}
+
+// Reference for the bound filter: ascending indices with !(dist[j] > bound).
+uint32_t FilterReference(const double* dist, uint32_t n, double bound,
+                         uint32_t* idx_out) {
+  uint32_t kept = 0;
+  for (uint32_t j = 0; j < n; ++j) {
+    if (!(dist[j] > bound)) idx_out[kept++] = j;
+  }
+  return kept;
+}
+
+// Checks set.filter_not_above against FilterReference for a spread of
+// bounds derived from the data. `dist` need not be aligned; it is staged
+// into the aligned scratch the kernel requires.
+template <int D>
+void CheckFilter(const SoaKernelSet& set, const double* dist, uint32_t n) {
+  AlignedArray<double> staged_arr;
+  double* staged = staged_arr.EnsureCapacity(SoaStride(n) + 1);
+  if (n > 0) std::memcpy(staged, dist, n * sizeof(double));
+  for (size_t j = n; j < SoaStride(n); ++j) staged[j] = 0.0;
+
+  std::vector<double> bounds = {0.0, -1.0,
+                                std::numeric_limits<double>::infinity(),
+                                -std::numeric_limits<double>::infinity()};
+  if (n > 0) bounds.push_back(dist[n / 2]);  // an exact value: ties kept
+
+  std::vector<uint32_t> want(n + 1);
+  AlignedArray<uint32_t> got_arr;
+  uint32_t* got = got_arr.EnsureCapacity(n + 1);
+  for (double bound : bounds) {
+    const uint32_t want_kept = FilterReference(staged, n, bound, want.data());
+    std::memset(got, kSentinelByte, (n + 1) * sizeof(uint32_t));
+    const uint32_t got_kept = set.filter_not_above(staged, n, bound, got);
+    ASSERT_EQ(got_kept, want_kept)
+        << "filter_not_above kept count (isa=" << KernelIsaName(set.isa)
+        << ", D=" << D << ", n=" << n << ", bound=" << bound << ")";
+    EXPECT_EQ(std::memcmp(got, want.data(), want_kept * sizeof(uint32_t)), 0)
+        << "filter_not_above indices (isa=" << KernelIsaName(set.isa)
+        << ", D=" << D << ", n=" << n << ", bound=" << bound << ")";
+    uint32_t sentinel;
+    std::memset(&sentinel, kSentinelByte, sizeof(sentinel));
+    for (uint32_t j = want_kept; j < n + 1; ++j) {
+      ASSERT_EQ(got[j], sentinel)
+          << "filter_not_above wrote past its survivors at slot " << j;
+    }
+  }
+}
+
+// Runs every kernel of `set` over one staged batch and compares against the
+// AoS references computed by geom/metrics.h.
+template <int D>
+void CheckKernelSet(const SoaKernelSet& set, const std::vector<Box<D>>& boxes,
+                    const Point<D>& q, const Rect<D>& qr) {
+  const uint32_t n = static_cast<uint32_t>(boxes.size());
+  const size_t stride = SoaStride(n);
+
+  AlignedArray<double> planes_arr;
+  double* planes = planes_arr.EnsureCapacity(SoaDoubles(D, n));
+  TransposeToSoa<D>(boxes.data(), n, planes, stride);
+
+  // References from the scalar AoS batch kernels (the spec).
+  std::vector<double> ref_min(n), ref_minmax(n), ref_obj(n), ref_rect(n);
+  MinDistSqBatch<D>(q, boxes.data(), n, ref_min.data());
+  MinMaxDistSqBatch<D>(q, boxes.data(), n, ref_minmax.data());
+  ObjectDistSqBatch<D>(q, boxes.data(), n, ref_obj.data());
+  MinDistSqBatch<D>(qr, boxes.data(), n, ref_rect.data());
+
+  // Outputs sized to the padded stride: vector kernels store whole vectors,
+  // so lanes [n, stride) are theirs to clobber — but nothing past stride.
+  AlignedArray<double> out_arr, out2_arr;
+  double* out = out_arr.EnsureCapacity(stride + 1);
+  double* out2 = out2_arr.EnsureCapacity(stride + 1);
+  const auto rearm = [&] {
+    std::memset(out, kSentinelByte, (stride + 1) * sizeof(double));
+    std::memset(out2, kSentinelByte, (stride + 1) * sizeof(double));
+  };
+  double guard;
+  std::memset(&guard, kSentinelByte, sizeof(guard));
+  const auto check_guard = [&](const char* what) {
+    EXPECT_EQ(std::memcmp(&out[stride], &guard, sizeof(double)), 0)
+        << what << " wrote past SoaStride(n) (D=" << D << ", n=" << n << ")";
+    EXPECT_EQ(std::memcmp(&out2[stride], &guard, sizeof(double)), 0)
+        << what << " wrote past SoaStride(n) (D=" << D << ", n=" << n << ")";
+  };
+
+  rearm();
+  set.min_dist(q.coord.data(), planes, stride, n, out);
+  ExpectBitEqual(out, ref_min.data(), n, "min_dist", set.isa, D, n);
+  check_guard("min_dist");
+
+  rearm();
+  set.min_max_dist(q.coord.data(), planes, stride, n, out);
+  ExpectBitEqual(out, ref_minmax.data(), n, "min_max_dist", set.isa, D, n);
+  check_guard("min_max_dist");
+
+  rearm();
+  set.object_dist(q.coord.data(), planes, stride, n, out);
+  ExpectBitEqual(out, ref_obj.data(), n, "object_dist", set.isa, D, n);
+  check_guard("object_dist");
+
+  rearm();
+  set.rect_min_dist(qr.lo.coord.data(), planes, stride, n, out);
+  ExpectBitEqual(out, ref_rect.data(), n, "rect_min_dist", set.isa, D, n);
+  check_guard("rect_min_dist");
+
+  rearm();
+  set.min_and_min_max(q.coord.data(), planes, stride, n, out, out2);
+  ExpectBitEqual(out, ref_min.data(), n, "fused min", set.isa, D, n);
+  ExpectBitEqual(out2, ref_minmax.data(), n, "fused minmax", set.isa, D, n);
+  check_guard("min_and_min_max");
+
+  // Staging kernel: every plane — including the replicated padding tail —
+  // must match the portable TransposeToSoa reference bit for bit.
+  AlignedArray<double> planes2_arr;
+  double* planes2 = planes2_arr.EnsureCapacity(SoaDoubles(D, n) + 1);
+  std::memset(planes2, kSentinelByte, (SoaDoubles(D, n) + 1) * sizeof(double));
+  set.transpose(boxes.data(), sizeof(Box<D>), n, planes2, stride);
+  ExpectBitEqual(planes2, planes, static_cast<uint32_t>(SoaDoubles(D, n)),
+                 "transpose", set.isa, D, n);
+  EXPECT_EQ(std::memcmp(&planes2[SoaDoubles(D, n)], &guard, sizeof(double)), 0)
+      << "transpose wrote past its planes (D=" << D << ", n=" << n << ")";
+
+  // Bound filter: survivors of !(dist > bound), ascending, for bounds on
+  // every interesting side of the data — nothing, everything, an exact
+  // distance value (ties must be kept), and zero (the join's predicate).
+  CheckFilter<D>(set, ref_min.data(), n);
+  if (n > 0) {
+    // NaN lanes must be kept: the traversal's prune drops only values that
+    // compare greater than the bound, and NaN compares false.
+    std::vector<double> with_nan(ref_min.begin(), ref_min.end());
+    with_nan[n / 2] = std::numeric_limits<double>::quiet_NaN();
+    CheckFilter<D>(set, with_nan.data(), n);
+  }
+}
+
+constexpr KernelIsa kAllIsas[] = {KernelIsa::kScalar, KernelIsa::kSse2,
+                                  KernelIsa::kAvx2};
+
+template <int D>
+void FuzzDimension(uint64_t seed) {
+  Rng rng(seed);
+  for (uint32_t n = 0; n <= kMaxBatch; ++n) {
+    std::vector<Box<D>> boxes = RandomBoxes<D>(rng, n);
+    if (n >= 2) {
+      // Force at least one empty rect and one point MBR into every batch
+      // of size >= 2 so the non-finite and zero-extent paths are always
+      // present, not just when the random flavors happen to include them.
+      boxes[0].mbr = Rect<D>::Empty();
+      boxes[1].mbr = PointRect<D>(rng);
+    }
+    const Point<D> q = RandomPoint<D>(rng);
+    const Rect<D> qr = RandomRect<D>(rng);
+    for (KernelIsa isa : kAllIsas) {
+      const SoaKernelSet* set = SoaKernelSetFor(D, isa);
+      if (isa == KernelIsa::kScalar) {
+        ASSERT_NE(set, nullptr) << "scalar tier must exist for D=" << D;
+      }
+      if (set == nullptr || !CpuSupportsKernelIsa(isa)) continue;
+      EXPECT_EQ(set->isa, isa);
+      CheckKernelSet<D>(*set, boxes, q, qr);
+    }
+  }
+}
+
+TEST(SimdKernel, BitIdenticalAcrossIsasD2) { FuzzDimension<2>(0xA1); }
+TEST(SimdKernel, BitIdenticalAcrossIsasD3) { FuzzDimension<3>(0xA2); }
+TEST(SimdKernel, BitIdenticalAcrossIsasD4) { FuzzDimension<4>(0xA3); }
+TEST(SimdKernel, BitIdenticalAcrossIsasD5) { FuzzDimension<5>(0xA4); }
+TEST(SimdKernel, BitIdenticalAcrossIsasD6) { FuzzDimension<6>(0xA5); }
+TEST(SimdKernel, BitIdenticalAcrossIsasD7) { FuzzDimension<7>(0xA6); }
+TEST(SimdKernel, BitIdenticalAcrossIsasD8) { FuzzDimension<8>(0xA7); }
+
+// The dispatched wrappers (what the engine actually calls) must agree with
+// the scalar AoS reference under whatever tier the environment resolves —
+// the ctest matrix runs this once per SPATIAL_FORCE_KERNEL value.
+template <int D>
+void CheckDispatchedWrappers(uint64_t seed) {
+  Rng rng(seed);
+  for (uint32_t n : {0u, 1u, 7u, 25u, kMaxBatch}) {
+    std::vector<Box<D>> boxes = RandomBoxes<D>(rng, n);
+    const Point<D> q = RandomPoint<D>(rng);
+    const Rect<D> qr = RandomRect<D>(rng);
+
+    AlignedArray<double> planes_arr;
+    const size_t stride = SoaStride(n);
+    double* planes = planes_arr.EnsureCapacity(SoaDoubles(D, n));
+    TransposeToSoa<D>(boxes.data(), n, planes, stride);
+    const SoaBlock<D> soa{planes, stride, n};
+
+    std::vector<double> ref(n), ref2(n);
+    AlignedArray<double> out_arr, out2_arr;
+    double* out = out_arr.EnsureCapacity(stride);
+    double* out2 = out2_arr.EnsureCapacity(stride);
+
+    MinDistSqBatch<D>(q, boxes.data(), n, ref.data());
+    MinDistSqBatchSoa<D>(q, soa, out);
+    ExpectBitEqual(out, ref.data(), n, "dispatched min_dist",
+                   ActiveKernelIsa(), D, n);
+
+    MinMaxDistSqBatch<D>(q, boxes.data(), n, ref.data());
+    MinMaxDistSqBatchSoa<D>(q, soa, out);
+    ExpectBitEqual(out, ref.data(), n, "dispatched min_max_dist",
+                   ActiveKernelIsa(), D, n);
+
+    ObjectDistSqBatch<D>(q, boxes.data(), n, ref.data());
+    ObjectDistSqBatchSoa<D>(q, soa, out);
+    ExpectBitEqual(out, ref.data(), n, "dispatched object_dist",
+                   ActiveKernelIsa(), D, n);
+
+    MinDistSqBatch<D>(qr, boxes.data(), n, ref.data());
+    MinDistSqBatchSoa<D>(qr, soa, out);
+    ExpectBitEqual(out, ref.data(), n, "dispatched rect_min_dist",
+                   ActiveKernelIsa(), D, n);
+
+    MinDistSqBatch<D>(q, boxes.data(), n, ref.data());
+    MinMaxDistSqBatch<D>(q, boxes.data(), n, ref2.data());
+    MinAndMinMaxDistSqBatchSoa<D>(q, soa, out, out2);
+    ExpectBitEqual(out, ref.data(), n, "dispatched fused min",
+                   ActiveKernelIsa(), D, n);
+    ExpectBitEqual(out2, ref2.data(), n, "dispatched fused minmax",
+                   ActiveKernelIsa(), D, n);
+  }
+}
+
+TEST(SimdKernel, DispatchedWrappersMatchReferenceD2) {
+  CheckDispatchedWrappers<2>(0xB1);
+}
+TEST(SimdKernel, DispatchedWrappersMatchReferenceD3) {
+  CheckDispatchedWrappers<3>(0xB2);
+}
+TEST(SimdKernel, DispatchedWrappersMatchReferenceD4) {
+  CheckDispatchedWrappers<4>(0xB3);
+}
+
+// SoA staging invariants the kernels rely on.
+TEST(SoaStaging, StrideRoundsUpToCacheLine) {
+  EXPECT_EQ(SoaStride(0), 0u);
+  EXPECT_EQ(SoaStride(1), kSoaLane);
+  EXPECT_EQ(SoaStride(kSoaLane), kSoaLane);
+  EXPECT_EQ(SoaStride(kSoaLane + 1), 2 * kSoaLane);
+  EXPECT_EQ(SoaStride(25), 32u);
+  EXPECT_EQ(SoaDoubles(2, 25), 4u * 32u);
+}
+
+TEST(SoaStaging, TransposePadsTailWithLastEntry) {
+  constexpr int D = 3;
+  Rng rng(0xC1);
+  const uint32_t n = 5;
+  std::vector<Box<D>> boxes = RandomBoxes<D>(rng, n);
+  boxes[n - 1].mbr = RandomRect<D>(rng);  // finite, so padding is checkable
+
+  AlignedArray<double> planes_arr;
+  const size_t stride = SoaStride(n);
+  double* planes = planes_arr.EnsureCapacity(SoaDoubles(D, n));
+  TransposeToSoa<D>(boxes.data(), n, planes, stride);
+  const SoaBlock<D> soa{planes, stride, n};
+
+  for (int d = 0; d < D; ++d) {
+    for (uint32_t j = 0; j < n; ++j) {
+      EXPECT_EQ(soa.lo(d)[j], boxes[j].mbr.lo[d]);
+      EXPECT_EQ(soa.hi(d)[j], boxes[j].mbr.hi[d]);
+    }
+    for (size_t j = n; j < stride; ++j) {
+      EXPECT_EQ(soa.lo(d)[j], boxes[n - 1].mbr.lo[d]);
+      EXPECT_EQ(soa.hi(d)[j], boxes[n - 1].mbr.hi[d]);
+    }
+  }
+}
+
+// The staging kernels are stride-generic: Entry<D> carries an id after its
+// rect, so its element stride differs from Box<D>'s. Every tier must
+// reproduce the reference transpose for that layout too (this is the
+// layout the traversals actually stage).
+template <int D>
+void CheckTransposeEntryStride(uint64_t seed) {
+  Rng rng(seed);
+  for (uint32_t n = 0; n <= kMaxBatch; ++n) {
+    std::vector<Entry<D>> entries(n);
+    for (uint32_t j = 0; j < n; ++j) {
+      entries[j].mbr = RandomRect<D>(rng);
+      entries[j].id = rng.Next64();
+    }
+    const size_t stride = SoaStride(n);
+    AlignedArray<double> ref_arr, got_arr;
+    // +1 keeps the buffers non-null at n == 0 (zero-length memset on a
+    // null pointer is UB, and EnsureCapacity(0) does not allocate).
+    double* ref = ref_arr.EnsureCapacity(SoaDoubles(D, n) + 1);
+    double* got = got_arr.EnsureCapacity(SoaDoubles(D, n) + 1);
+    TransposeToSoa<D>(entries.data(), n, ref, stride);
+    for (KernelIsa isa : kAllIsas) {
+      const SoaKernelSet* set = SoaKernelSetFor(D, isa);
+      if (set == nullptr || !CpuSupportsKernelIsa(isa)) continue;
+      std::memset(got, kSentinelByte, SoaDoubles(D, n) * sizeof(double));
+      set->transpose(entries.data(), sizeof(Entry<D>), n, got, stride);
+      ExpectBitEqual(got, ref, static_cast<uint32_t>(SoaDoubles(D, n)),
+                     "entry-stride transpose", isa, D, n);
+    }
+    // The dispatched wrapper the engine calls must agree as well.
+    std::memset(got, kSentinelByte, SoaDoubles(D, n) * sizeof(double));
+    TransposeToSoaDispatched<D>(entries.data(), n, got, stride);
+    ExpectBitEqual(got, ref, static_cast<uint32_t>(SoaDoubles(D, n)),
+                   "dispatched transpose", ActiveKernelIsa(), D, n);
+  }
+}
+
+TEST(SoaStaging, TransposeEntryStrideBitIdenticalD2) {
+  CheckTransposeEntryStride<2>(0xD1);
+}
+TEST(SoaStaging, TransposeEntryStrideBitIdenticalD3) {
+  CheckTransposeEntryStride<3>(0xD2);
+}
+TEST(SoaStaging, TransposeEntryStrideBitIdenticalD4) {
+  CheckTransposeEntryStride<4>(0xD3);
+}
+
+TEST(SoaStaging, QueryScratchStagesAndSizesOutputs) {
+  QueryScratch<2> scratch;
+  Rng rng(0xC2);
+  std::vector<Entry<2>> entries(10);
+  for (auto& e : entries) {
+    e.mbr = RandomRect<2>(rng);
+    e.id = rng.Next64();
+  }
+  const SoaBlock<2> soa =
+      scratch.StageSoa(entries.data(), static_cast<uint32_t>(entries.size()));
+  EXPECT_EQ(soa.n, 10u);
+  EXPECT_EQ(soa.stride, SoaStride(10));
+  EXPECT_EQ(QueryScratch<2>::DistSlots(10), SoaStride(10));
+  EXPECT_GE(scratch.soa.capacity(), SoaDoubles(2, 10));
+  for (uint32_t j = 0; j < soa.n; ++j) {
+    EXPECT_EQ(soa.lo(0)[j], entries[j].mbr.lo[0]);
+    EXPECT_EQ(soa.hi(1)[j], entries[j].mbr.hi[1]);
+  }
+}
+
+TEST(SoaStaging, NodeViewCopyEntriesSoaMatchesEntries) {
+  constexpr int D = 2;
+  alignas(8) char page[1024];
+  NodeView<D> view(page, sizeof(page));
+  view.InitEmpty(/*level=*/0);
+  Rng rng(0xC3);
+  const uint32_t n = 9;
+  for (uint32_t i = 0; i < n; ++i) {
+    Entry<D> e;
+    e.mbr = RandomRect<D>(rng);
+    e.id = i;
+    view.Append(e);
+  }
+  AlignedArray<double> planes_arr;
+  const size_t stride = SoaStride(n);
+  double* planes = planes_arr.EnsureCapacity(SoaDoubles(D, n));
+  view.CopyEntriesSoa(planes, stride);
+  const SoaBlock<D> soa{planes, stride, n};
+  for (uint32_t j = 0; j < n; ++j) {
+    const Entry<D> e = view.entry(j);
+    for (int d = 0; d < D; ++d) {
+      EXPECT_EQ(soa.lo(d)[j], e.mbr.lo[d]);
+      EXPECT_EQ(soa.hi(d)[j], e.mbr.hi[d]);
+    }
+  }
+}
+
+// Dispatch plumbing: the resolved tier must equal the forced tier clamped
+// to what the CPU and the build can actually run.
+TEST(Dispatch, RespectsForceEnvironment) {
+  KernelIsa best = KernelIsa::kScalar;
+  for (KernelIsa isa : kAllIsas) {
+    if (CpuSupportsKernelIsa(isa) && SoaKernelBuildSupports(isa)) best = isa;
+  }
+  KernelIsa expected = best;
+  if (std::optional<KernelIsa> forced = ForcedKernelIsa();
+      forced.has_value() && static_cast<int>(*forced) < static_cast<int>(best)) {
+    expected = *forced;
+  }
+  EXPECT_EQ(ActiveKernelIsa(), expected)
+      << "active=" << KernelIsaName(ActiveKernelIsa())
+      << " expected=" << KernelIsaName(expected);
+  // Whatever tier is active must have a full kernel complement.
+  const SoaKernelSet* set = SoaKernelSetFor(2, ActiveKernelIsa());
+  ASSERT_NE(set, nullptr);
+  EXPECT_NE(set->min_dist, nullptr);
+  EXPECT_NE(set->min_max_dist, nullptr);
+  EXPECT_NE(set->object_dist, nullptr);
+  EXPECT_NE(set->rect_min_dist, nullptr);
+  EXPECT_NE(set->min_and_min_max, nullptr);
+  EXPECT_NE(set->transpose, nullptr);
+  EXPECT_NE(set->filter_not_above, nullptr);
+}
+
+TEST(Dispatch, IsaNamesRoundTrip) {
+  for (KernelIsa isa : kAllIsas) {
+    const std::optional<KernelIsa> parsed = ParseKernelIsa(KernelIsaName(isa));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, isa);
+  }
+  EXPECT_FALSE(ParseKernelIsa("avx512").has_value());
+  EXPECT_FALSE(ParseKernelIsa("").has_value());
+  EXPECT_FALSE(ParseKernelIsa(nullptr).has_value());
+}
+
+TEST(Dispatch, ScalarAlwaysAvailable) {
+  EXPECT_TRUE(CpuSupportsKernelIsa(KernelIsa::kScalar));
+  EXPECT_TRUE(SoaKernelBuildSupports(KernelIsa::kScalar));
+  for (int dims = kSoaMinDims; dims <= kSoaMaxDims; ++dims) {
+    EXPECT_NE(SoaKernelSetFor(dims, KernelIsa::kScalar), nullptr);
+  }
+  EXPECT_EQ(SoaKernelSetFor(kSoaMinDims - 1, KernelIsa::kScalar), nullptr);
+  EXPECT_EQ(SoaKernelSetFor(kSoaMaxDims + 1, KernelIsa::kScalar), nullptr);
+}
+
+}  // namespace
+}  // namespace spatial

@@ -16,10 +16,20 @@ metric-name prefix:
 Metrics with an unrecognized prefix, or present in only one file, are
 reported but never fail the comparison. ``--self-test`` runs the built-in
 check that ctest wires in (see bench/CMakeLists.txt).
+
+The experiment binaries also maintain ``BENCH_MANIFEST.json`` — a registry
+of every benchmark JSON a full run has produced. ``--manifest`` audits it:
+
+    tools/bench_compare.py --manifest BENCH_MANIFEST.json
+
+exits non-zero, naming each offender, if any listed file is missing or
+unparsable — so CI notices a silently-skipped experiment instead of
+"comparing" against a stale artifact.
 """
 
 import argparse
 import json
+import os
 import sys
 
 HIGHER_IS_BETTER = ("qps", "speedup", "hit")
@@ -76,6 +86,45 @@ def compare(old, new, max_regress, out=sys.stdout):
     return failures
 
 
+def load_json(path, what):
+    """Loads a JSON file, exiting with a clean one-line error if it cannot
+    be read or parsed (a stack trace here would bury the actual problem —
+    a missing or truncated benchmark artifact — in noise)."""
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except OSError as e:
+        sys.exit(f"error: cannot read {what} {path!r}: {e.strerror}")
+    except json.JSONDecodeError as e:
+        sys.exit(f"error: {what} {path!r} is not valid JSON: {e}")
+
+
+def audit_manifest(manifest_path, out=sys.stdout):
+    """Verifies every file the manifest lists exists next to it and parses
+    as JSON. Returns the list of problems (empty when the manifest is
+    healthy)."""
+    manifest = load_json(manifest_path, "manifest")
+    files = manifest.get("files")
+    if not isinstance(files, list) or not files:
+        return [f"{manifest_path}: manifest has no 'files' list"]
+    base = os.path.dirname(os.path.abspath(manifest_path))
+    problems = []
+    for name in files:
+        path = os.path.join(base, name)
+        if not os.path.exists(path):
+            problems.append(f"{name}: listed in manifest but missing "
+                            f"(expected at {path})")
+            continue
+        try:
+            with open(path) as f:
+                data = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            problems.append(f"{name}: unreadable or invalid JSON ({e})")
+            continue
+        print(f"  {name:<24} ok ({len(data)} metrics)", file=out)
+    return problems
+
+
 def self_test():
     old = {
         "qps_scratch_k1": 1000.0,
@@ -106,6 +155,39 @@ def self_test():
     if regression("latency_x", 100.0, 109.0) >= 0.10:
         print("self-test FAILED: sub-threshold regression flagged")
         return 1
+
+    # Manifest audit: a healthy manifest passes, a missing listed file and
+    # a corrupt listed file are both reported by name.
+    import io
+    import tempfile
+    with tempfile.TemporaryDirectory() as tmp:
+        good = os.path.join(tmp, "BENCH_GOOD.json")
+        with open(good, "w") as f:
+            json.dump({"qps_x": 1.0}, f)
+        corrupt = os.path.join(tmp, "BENCH_BAD.json")
+        with open(corrupt, "w") as f:
+            f.write("{ not json")
+        manifest = os.path.join(tmp, "BENCH_MANIFEST.json")
+        with open(manifest, "w") as f:
+            json.dump({"files": ["BENCH_GOOD.json"]}, f)
+        if audit_manifest(manifest, out=io.StringIO()):
+            print("self-test FAILED: healthy manifest reported problems")
+            return 1
+        with open(manifest, "w") as f:
+            json.dump({"files": ["BENCH_GOOD.json", "BENCH_GONE.json",
+                                 "BENCH_BAD.json"]}, f)
+        problems = audit_manifest(manifest, out=io.StringIO())
+        if (len(problems) != 2
+                or "BENCH_GONE.json" not in problems[0]
+                or "BENCH_BAD.json" not in problems[1]):
+            print(f"self-test FAILED: manifest audit got {problems}")
+            return 1
+        with open(manifest, "w") as f:
+            json.dump({}, f)
+        if not audit_manifest(manifest, out=io.StringIO()):
+            print("self-test FAILED: empty manifest accepted")
+            return 1
+
     print("self-test passed")
     return 0
 
@@ -119,17 +201,29 @@ def main():
                         help="allowed fractional regression (default 0.10)")
     parser.add_argument("--self-test", action="store_true",
                         help="run the built-in consistency check and exit")
+    parser.add_argument("--manifest", metavar="MANIFEST",
+                        help="audit a BENCH_MANIFEST.json instead of "
+                             "comparing: fail if any listed file is missing "
+                             "or unparsable")
     args = parser.parse_args()
 
     if args.self_test:
         return self_test()
+    if args.manifest:
+        print(f"auditing {args.manifest}")
+        problems = audit_manifest(args.manifest)
+        if problems:
+            for p in problems:
+                print(f"  MISSING  {p}")
+            print(f"\nmanifest audit failed: {len(problems)} problem(s)")
+            return 1
+        print("\nmanifest complete")
+        return 0
     if args.old is None or args.new is None:
         parser.error("old and new JSON files are required")
 
-    with open(args.old) as f:
-        old = json.load(f)
-    with open(args.new) as f:
-        new = json.load(f)
+    old = load_json(args.old, "baseline")
+    new = load_json(args.new, "candidate")
     print(f"comparing {args.old} -> {args.new} "
           f"(max regression {args.max_regress:.0%})")
     failures = compare(old, new, args.max_regress)
