@@ -60,6 +60,7 @@ Status IncrementalKnn<D>::ExpandNode(PageId node_id) {
       ++stats_->internal_nodes_visited;
     }
   }
+  if (obs::TraceContext* t = scratch_->trace) t->CountNode(view.level());
   const bool is_leaf = view.is_leaf();
   const uint32_t n = view.count();
   if (n == 0) return Status::OK();

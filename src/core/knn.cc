@@ -154,6 +154,7 @@ class DepthFirstKnn {
         ++stats_->internal_nodes_visited;
       }
     }
+    if (obs::TraceContext* t = scratch_->trace) t->CountNode(view.level());
     if (options_.visit_trace != nullptr) {
       options_.visit_trace->push_back(node_id);
     }

@@ -10,6 +10,7 @@
 
 #include "core/neighbor_buffer.h"
 #include "geom/metrics_simd.h"
+#include "obs/trace.h"
 #include "rtree/entry.h"
 #include "storage/disk.h"
 
@@ -148,6 +149,13 @@ struct QueryScratch {
   // Candidate buffer of the depth-first search; Reset(k) re-arms it per
   // query without releasing storage.
   NeighborBuffer buffer{1};
+
+  // Sampled-tracing hook (docs/OBSERVABILITY.md): when non-null, the
+  // traversals record per-level page accesses into it. Null for every
+  // untraced query — the hot path pays one pointer test per node visit
+  // and allocates nothing either way. The service arms this per query;
+  // standalone callers leave it null.
+  obs::TraceContext* trace = nullptr;
 };
 
 }  // namespace spatial

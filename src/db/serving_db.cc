@@ -1,5 +1,6 @@
 #include "db/serving_db.h"
 
+#include <chrono>
 #include <cstdio>
 #include <utility>
 
@@ -134,6 +135,7 @@ Status ServingDb<D>::Replay(uint64_t start_seq) {
       WalWriter wal, WalWriter::Open(path_, it.next_seq(), wal_options,
                                      options_.injector));
   wal_.emplace(std::move(wal));
+  wal_->set_metrics(&wal_metrics_);
   return Status::OK();
 }
 
@@ -219,6 +221,7 @@ Status ServingDb<D>::ApplyBatch(const std::vector<WriteOp>& ops,
   epoch_ += 1;
   PublishCurrent();
   version_table_.BeginEpoch(epoch_);
+  retired_pages_.Store(version_table_.retired_count());
   if (results != nullptr) *results = std::move(local);
 
   // 5. Housekeeping after the ack: a full segment triggers a checkpoint.
@@ -242,7 +245,14 @@ Status ServingDb<D>::Checkpoint() {
   // (a) Every page the tree references must be durable before the
   //     superblock may point at it.
   if (Status st = db_->pool().FlushAll(); !st.ok()) return Die(std::move(st));
-  if (Status st = db_->disk().Sync(); !st.ok()) return Die(std::move(st));
+  {
+    const auto sync_start = std::chrono::steady_clock::now();
+    if (Status st = db_->disk().Sync(); !st.ok()) return Die(std::move(st));
+    checkpoint_sync_ns_.Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - sync_start)
+            .count()));
+  }
 
   // (b) Start a fresh segment; a marker record ties it to this checkpoint
   //     (replay skips it — state comes from the superblock).
@@ -279,6 +289,8 @@ Status ServingDb<D>::Checkpoint() {
         if (!st.ok()) free_status = std::move(st);
       });
   if (!free_status.ok()) return Die(std::move(free_status));
+  reclaimed_pages_total_ += freed;
+  retired_pages_.Store(version_table_.retired_count());
   if (freed > 0) {
     ++reclaim_gen_;
     PublishCurrent();

@@ -10,6 +10,8 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "db/spatial_db.h"
+#include "obs/metrics.h"
+#include "obs/stat_counter.h"
 #include "geom/rect.h"
 #include "snapshot/epoch.h"
 #include "snapshot/snapshot.h"
@@ -134,6 +136,8 @@ class ServingDb {
   // Introspection ------------------------------------------------------------
 
   const RecoveryInfo& recovery_info() const { return recovery_info_; }
+  // Counters are StatCounter cells: written only by the writer thread,
+  // safe to read live from any thread (metrics scrapers included).
   uint64_t last_lsn() const { return last_lsn_; }
   uint64_t epoch() const { return epoch_; }
   uint64_t reclaim_gen() const { return reclaim_gen_; }
@@ -141,6 +145,18 @@ class ServingDb {
   bool dead() const { return dead_; }
   const std::string& path() const { return path_; }
   const ServingOptions& options() const { return options_; }
+
+  // Observability (docs/OBSERVABILITY.md). Live instruments, safe to read
+  // from any thread while the writer runs; the query service's metrics
+  // registry scrapes them.
+  const obs::WalMetrics& wal_metrics() const { return wal_metrics_; }
+  const obs::PowerHistogram& checkpoint_sync_histogram() const {
+    return checkpoint_sync_ns_;
+  }
+  // COW bookkeeping depth: retired page versions currently held back by
+  // the reclamation horizon, and the lifetime total reclaimed.
+  uint64_t retired_pages() const { return retired_pages_; }
+  uint64_t reclaimed_pages_total() const { return reclaimed_pages_total_; }
 
   // The shared storage readers open ReadOnlyDiskView over. With fault
   // injection this is the FaultyDiskManager wrapper (reads pass through).
@@ -173,10 +189,14 @@ class ServingDb {
   PageVersionTable version_table_;
   SnapshotManager snapshots_;
   RecoveryInfo recovery_info_;
-  uint64_t epoch_ = 0;
-  uint64_t last_lsn_ = 0;
-  uint64_t reclaim_gen_ = 0;
-  uint64_t checkpoints_ = 0;
+  obs::StatCounter epoch_;
+  obs::StatCounter last_lsn_;
+  obs::StatCounter reclaim_gen_;
+  obs::StatCounter checkpoints_;
+  obs::WalMetrics wal_metrics_;
+  obs::PowerHistogram checkpoint_sync_ns_;
+  obs::StatCounter retired_pages_;
+  obs::StatCounter reclaimed_pages_total_;
   bool dead_ = false;
   bool closed_ = false;
 };

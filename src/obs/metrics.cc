@@ -1,0 +1,177 @@
+#include "obs/metrics.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+namespace spatial {
+namespace obs {
+
+namespace {
+
+const char* TypeName(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter:
+      return "counter";
+    case MetricType::kGauge:
+      return "gauge";
+    case MetricType::kHistogram:
+      return "histogram";
+  }
+  return "untyped";
+}
+
+void AppendDouble(std::string* out, double v) {
+  char buf[64];
+  if (std::isnan(v)) {
+    out->append("NaN");
+    return;
+  }
+  // Integers (the common case: counters, bucket counts) print exactly;
+  // everything else gets enough digits to round-trip.
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  out->append(buf);
+}
+
+void AppendSamplePrefix(std::string* out, std::string_view name,
+                        std::string_view labels) {
+  out->append(name);
+  if (!labels.empty()) {
+    out->push_back('{');
+    out->append(labels);
+    out->push_back('}');
+  }
+  out->push_back(' ');
+}
+
+}  // namespace
+
+void ExpositionWriter::Family(std::string_view name, std::string_view help,
+                              MetricType type) {
+  out_->append("# HELP ");
+  out_->append(name);
+  out_->push_back(' ');
+  out_->append(help);
+  out_->append("\n# TYPE ");
+  out_->append(name);
+  out_->push_back(' ');
+  out_->append(TypeName(type));
+  out_->push_back('\n');
+}
+
+void ExpositionWriter::Sample(std::string_view name, std::string_view labels,
+                              double value) {
+  AppendSamplePrefix(out_, name, labels);
+  AppendDouble(out_, value);
+  out_->push_back('\n');
+}
+
+void ExpositionWriter::Sample(std::string_view name, std::string_view labels,
+                              uint64_t value) {
+  AppendSamplePrefix(out_, name, labels);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  out_->append(buf);
+  out_->push_back('\n');
+}
+
+void ExpositionWriter::Histogram(std::string_view name,
+                                 std::string_view labels,
+                                 const HistogramSnapshot& s) {
+  // Find the last non-empty bucket so we don't emit 64 lines for a
+  // histogram that only ever saw microsecond values.
+  int last = -1;
+  for (int b = 0; b < kHistogramBuckets; ++b) {
+    if (s.counts[b] != 0) last = b;
+  }
+  uint64_t cumulative = 0;
+  char buf[96];
+  for (int b = 0; b <= last && b < kHistogramBuckets - 1; ++b) {
+    cumulative += s.counts[b];
+    out_->append(name);
+    out_->append("_bucket{");
+    if (!labels.empty()) {
+      out_->append(labels);
+      out_->push_back(',');
+    }
+    std::snprintf(buf, sizeof(buf), "le=\"%" PRIu64 "\"} %" PRIu64 "\n",
+                  HistogramSnapshot::BucketUpperBound(b), cumulative);
+    out_->append(buf);
+  }
+  out_->append(name);
+  out_->append("_bucket{");
+  if (!labels.empty()) {
+    out_->append(labels);
+    out_->push_back(',');
+  }
+  std::snprintf(buf, sizeof(buf), "le=\"+Inf\"} %" PRIu64 "\n",
+                s.total_count);
+  out_->append(buf);
+
+  AppendSamplePrefix(out_, std::string(name) + "_sum", labels);
+  std::snprintf(buf, sizeof(buf), "%" PRIu64 "\n", s.total);
+  out_->append(buf);
+  AppendSamplePrefix(out_, std::string(name) + "_count", labels);
+  std::snprintf(buf, sizeof(buf), "%" PRIu64 "\n", s.total_count);
+  out_->append(buf);
+}
+
+Counter* MetricsRegistry::AddCounter(std::string name, std::string help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Named<Counter>& named = counters_.emplace_back();
+  named.name = std::move(name);
+  named.help = std::move(help);
+  return &named.instrument;
+}
+
+Gauge* MetricsRegistry::AddGauge(std::string name, std::string help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Named<Gauge>& named = gauges_.emplace_back();
+  named.name = std::move(name);
+  named.help = std::move(help);
+  return &named.instrument;
+}
+
+PowerHistogram* MetricsRegistry::AddHistogram(std::string name,
+                                              std::string help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Named<PowerHistogram>& named = histograms_.emplace_back();
+  named.name = std::move(name);
+  named.help = std::move(help);
+  return &named.instrument;
+}
+
+void MetricsRegistry::AddCollector(CollectFn fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  collectors_.push_back(std::move(fn));
+}
+
+std::string MetricsRegistry::ScrapeText() const {
+  std::string out;
+  out.reserve(4096);
+  ExpositionWriter writer(&out);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& c : counters_) {
+    writer.Family(c.name, c.help, MetricType::kCounter);
+    writer.Sample(c.name, {}, c.instrument.Value());
+  }
+  for (const auto& g : gauges_) {
+    writer.Family(g.name, g.help, MetricType::kGauge);
+    writer.Sample(g.name, {}, g.instrument.Value());
+  }
+  for (const auto& h : histograms_) {
+    writer.Family(h.name, h.help, MetricType::kHistogram);
+    writer.Histogram(h.name, {}, h.instrument.Snapshot());
+  }
+  for (const auto& collect : collectors_) {
+    collect(writer);
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace spatial

@@ -1,0 +1,156 @@
+#ifndef SPATIAL_OBS_METRICS_H_
+#define SPATIAL_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/histogram.h"
+
+namespace spatial {
+namespace obs {
+
+// Lock-free instruments + a scrape-time registry with Prometheus-style
+// text exposition (docs/OBSERVABILITY.md has the full metric catalog).
+//
+// Two ways a value reaches a scrape:
+//
+//   1. Owned instruments (Counter / Gauge / PowerHistogram) created via
+//      MetricsRegistry::Add*(). Updates are relaxed atomics — lock-free,
+//      wait-free, safe from any thread. Used by code that has no existing
+//      stats struct (WAL commit path, checkpoint timing).
+//   2. Collectors: callbacks run at scrape time that read existing
+//      sharded per-worker state (IoStats/BufferStats/QueryStats shards,
+//      per-worker latency histograms) and emit aggregated families. The
+//      hot paths keep their single-writer counters; aggregation cost is
+//      paid by the scraper, not the workers.
+//
+// Registration and scraping take a mutex (neither is a hot path; all
+// registration happens at service startup). Instrument *updates* never
+// lock. Instrument pointers returned by Add*() are stable for the life of
+// the registry (deque storage, no reallocation of elements).
+
+// Multi-writer monotone counter.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Inc() { Add(1); }
+  void Add(uint64_t n) { v_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t Value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+// Last-write-wins double-valued gauge (bit-cast through uint64).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(double v) {
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    __builtin_memcpy(&bits, &v, sizeof(bits));
+    bits_.store(bits, std::memory_order_relaxed);
+  }
+  double Value() const {
+    const uint64_t bits = bits_.load(std::memory_order_relaxed);
+    double v;
+    __builtin_memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+ private:
+  std::atomic<uint64_t> bits_{0};  // 0 bits == 0.0
+};
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+// Appends samples in Prometheus text exposition format to a string.
+// Collectors receive one of these at scrape time; ScrapeText() drives it
+// over the owned instruments first.
+class ExpositionWriter {
+ public:
+  explicit ExpositionWriter(std::string* out) : out_(out) {}
+
+  // "# HELP name help" + "# TYPE name counter|gauge|histogram".
+  void Family(std::string_view name, std::string_view help, MetricType type);
+
+  // One sample line; labels like `kind="knn",worker="3"` (empty = none).
+  void Sample(std::string_view name, std::string_view labels, double value);
+  void Sample(std::string_view name, std::string_view labels, uint64_t value);
+
+  // Full histogram exposition: cumulative `name_bucket{le="..."}` series
+  // (power-of-two upper bounds, trailing empty buckets elided, `+Inf`
+  // always present), then `name_sum` and `name_count`.
+  void Histogram(std::string_view name, std::string_view labels,
+                 const HistogramSnapshot& s);
+
+ private:
+  std::string* out_;
+};
+
+class MetricsRegistry {
+ public:
+  using CollectFn = std::function<void(ExpositionWriter&)>;
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Returned pointers remain valid (and lock-free to update) for the
+  // registry's lifetime.
+  Counter* AddCounter(std::string name, std::string help);
+  Gauge* AddGauge(std::string name, std::string help);
+  PowerHistogram* AddHistogram(std::string name, std::string help);
+
+  // Runs at every scrape, after the owned instruments are written.
+  void AddCollector(CollectFn fn);
+
+  // Full exposition document. Safe from any thread, any time.
+  std::string ScrapeText() const;
+
+ private:
+  template <typename T>
+  struct Named {
+    std::string name;
+    std::string help;
+    T instrument;
+  };
+
+  mutable std::mutex mu_;
+  std::deque<Named<Counter>> counters_;
+  std::deque<Named<Gauge>> gauges_;
+  std::deque<Named<PowerHistogram>> histograms_;
+  std::vector<CollectFn> collectors_;
+};
+
+// Instrument bundles owned by subsystems that predate the registry; the
+// subsystem records into them directly (optional pointer, null = off) and
+// a service-level collector exposes them on scrape.
+struct WalMetrics {
+  PowerHistogram fsync_ns;        // DurableSync latency per group commit
+  PowerHistogram commit_records;  // records per group commit (batch size)
+  PowerHistogram commit_bytes;    // bytes per group commit
+};
+
+struct DiskMetrics {
+  PowerHistogram read_ns;   // physical page-read latency
+  PowerHistogram write_ns;  // physical page-write / flush latency
+  PowerHistogram fsync_ns;  // data-file fsync latency (checkpoints)
+};
+
+}  // namespace obs
+}  // namespace spatial
+
+#endif  // SPATIAL_OBS_METRICS_H_

@@ -1,0 +1,141 @@
+#include "obs/slow_query_log.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace spatial {
+namespace obs {
+
+namespace {
+
+void AppendU64(std::string* out, const char* key, uint64_t v,
+               bool trailing_comma = true) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "\"%s\":%" PRIu64 "%s", key, v,
+                trailing_comma ? "," : "");
+  out->append(buf);
+}
+
+void AppendRecordJson(std::string* out, const QueryTraceRecord& r) {
+  out->push_back('{');
+  AppendU64(out, "seq", r.seq);
+  AppendU64(out, "worker", r.worker);
+  out->append("\"kind\":\"");
+  out->append(r.kind_name);
+  out->append("\",");
+  AppendU64(out, "k", r.k);
+  AppendU64(out, "latency_ns", r.latency_ns);
+  AppendU64(out, "queue_wait_ns", r.queue_wait_ns);
+  out->append(r.traced ? "\"traced\":true," : "\"traced\":false,");
+  out->append("\"stats\":{");
+  AppendU64(out, "nodes_visited", r.stats.nodes_visited);
+  AppendU64(out, "leaf_nodes_visited", r.stats.leaf_nodes_visited);
+  AppendU64(out, "internal_nodes_visited", r.stats.internal_nodes_visited);
+  AppendU64(out, "abl_entries_generated", r.stats.abl_entries_generated);
+  AppendU64(out, "pruned_s1", r.stats.pruned_s1);
+  AppendU64(out, "estimate_updates_s2", r.stats.estimate_updates_s2);
+  AppendU64(out, "pruned_s3", r.stats.pruned_s3);
+  AppendU64(out, "pruned_leaf", r.stats.pruned_leaf);
+  AppendU64(out, "objects_examined", r.stats.objects_examined);
+  AppendU64(out, "distance_computations", r.stats.distance_computations);
+  AppendU64(out, "heap_pushes", r.stats.heap_pushes);
+  AppendU64(out, "heap_pops", r.stats.heap_pops, /*trailing_comma=*/false);
+  out->append("},\"nodes_per_level\":[");
+  // Emit levels 0..top where top is the highest non-zero level (leaf
+  // level always emitted so the array is never empty).
+  int top = 0;
+  for (int i = 0; i < kTraceMaxLevels; ++i) {
+    if (r.nodes_per_level[i] != 0) top = i;
+  }
+  char buf[32];
+  for (int i = 0; i <= top; ++i) {
+    std::snprintf(buf, sizeof(buf), "%s%u", i == 0 ? "" : ",",
+                  r.nodes_per_level[i]);
+    out->append(buf);
+  }
+  out->append("]}");
+}
+
+}  // namespace
+
+SlowQueryLog::SlowQueryLog(const Options& options) : options_(options) {
+  slow_.reserve(options_.slow_capacity);
+  sampled_.reserve(options_.sampled_capacity);
+}
+
+void SlowQueryLog::Record(const QueryTraceRecord& record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  QueryTraceRecord r = record;
+  r.seq = seq_++;
+  if (r.latency_ns >= options_.slow_threshold_ns &&
+      options_.slow_capacity > 0) {
+    if (slow_.size() < options_.slow_capacity) {
+      slow_.push_back(r);  // within reserved capacity: no allocation
+    } else {
+      slow_[slow_next_] = r;
+      slow_next_ = (slow_next_ + 1) % options_.slow_capacity;
+    }
+    return;
+  }
+  if (options_.sampled_capacity == 0) return;
+  ++sampled_seen_;
+  if (sampled_.size() < options_.sampled_capacity) {
+    sampled_.push_back(r);
+    return;
+  }
+  // Reservoir (algorithm R): replace a uniformly random slot with
+  // probability capacity / seen.
+  const uint64_t slot = NextRandom(&rng_) % sampled_seen_;
+  if (slot < options_.sampled_capacity) {
+    sampled_[static_cast<size_t>(slot)] = r;
+  }
+}
+
+uint64_t SlowQueryLog::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return seq_;
+}
+
+size_t SlowQueryLog::slow_captured() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slow_.size();
+}
+
+size_t SlowQueryLog::sampled_captured() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sampled_.size();
+}
+
+std::vector<QueryTraceRecord> SlowQueryLog::SlowEntries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slow_;
+}
+
+std::vector<QueryTraceRecord> SlowQueryLog::SampledEntries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sampled_;
+}
+
+std::string SlowQueryLog::DumpJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  out.reserve(256 + 512 * (slow_.size() + sampled_.size()));
+  out.push_back('{');
+  AppendU64(&out, "slow_threshold_ns", options_.slow_threshold_ns);
+  AppendU64(&out, "total_recorded", seq_);
+  out.append("\"slow\":[");
+  for (size_t i = 0; i < slow_.size(); ++i) {
+    if (i != 0) out.push_back(',');
+    AppendRecordJson(&out, slow_[i]);
+  }
+  out.append("],\"sampled\":[");
+  for (size_t i = 0; i < sampled_.size(); ++i) {
+    if (i != 0) out.push_back(',');
+    AppendRecordJson(&out, sampled_[i]);
+  }
+  out.append("]}");
+  return out;
+}
+
+}  // namespace obs
+}  // namespace spatial

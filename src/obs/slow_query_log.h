@@ -1,0 +1,90 @@
+#ifndef SPATIAL_OBS_SLOW_QUERY_LOG_H_
+#define SPATIAL_OBS_SLOW_QUERY_LOG_H_
+
+#include <cstdint>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/query_stats.h"
+#include "obs/trace.h"
+
+namespace spatial {
+namespace obs {
+
+// One captured query: fixed-size POD so recording never allocates.
+struct QueryTraceRecord {
+  uint64_t seq = 0;       // capture order, assigned by the log
+  uint16_t worker = 0;
+  uint32_t k = 0;
+  char kind_name[16] = {};  // e.g. "knn", "batch_knn" (service fills this)
+  uint64_t latency_ns = 0;
+  uint64_t queue_wait_ns = 0;
+  bool traced = false;      // nodes_per_level valid (query was sampled)
+  QueryStats stats;
+  uint32_t nodes_per_level[kTraceMaxLevels] = {};
+
+  void SetKindName(const char* name) {
+    std::strncpy(kind_name, name, sizeof(kind_name) - 1);
+    kind_name[sizeof(kind_name) - 1] = '\0';
+  }
+};
+
+// Ring-buffer capture of interesting queries, two populations:
+//
+//   * slow:    every query at or above `slow_threshold_ns` — newest-wins
+//     ring, so a burst of slow queries keeps the most recent ones.
+//   * sampled: trace-sampled queries below the threshold — reservoir
+//     sampled (algorithm R), so the retained set is a uniform sample of
+//     everything ever offered, not just the most recent.
+//
+// Record() takes a mutex, which is fine: it runs at most once per query
+// and only for sampled-or-slow queries (rare by construction). All
+// storage is preallocated in the constructor; the steady state never
+// allocates. DumpJson() is for operators (CLI `metrics` command,
+// serve-bench --metrics-dump) and allocates freely.
+class SlowQueryLog {
+ public:
+  struct Options {
+    size_t slow_capacity = 64;
+    size_t sampled_capacity = 64;
+    uint64_t slow_threshold_ns = 10'000'000;  // 10 ms
+  };
+
+  explicit SlowQueryLog(const Options& options);
+  SlowQueryLog(const SlowQueryLog&) = delete;
+  SlowQueryLog& operator=(const SlowQueryLog&) = delete;
+
+  // Routes by latency: >= threshold goes to the slow ring, else to the
+  // sampled reservoir. Never allocates.
+  void Record(const QueryTraceRecord& record);
+
+  uint64_t slow_threshold_ns() const { return options_.slow_threshold_ns; }
+  uint64_t total_recorded() const;   // offered to Record(), both kinds
+  size_t slow_captured() const;      // currently retained slow entries
+  size_t sampled_captured() const;   // currently retained sampled entries
+
+  // Stable plain-value copies for inspection/testing.
+  std::vector<QueryTraceRecord> SlowEntries() const;
+  std::vector<QueryTraceRecord> SampledEntries() const;
+
+  // {"slow_threshold_ns":..., "slow":[...], "sampled":[...]}; see
+  // docs/OBSERVABILITY.md for the record schema.
+  std::string DumpJson() const;
+
+ private:
+  const Options options_;
+  mutable std::mutex mu_;
+  std::vector<QueryTraceRecord> slow_;     // ring, capacity slow_capacity
+  size_t slow_next_ = 0;
+  std::vector<QueryTraceRecord> sampled_;  // reservoir
+  uint64_t sampled_seen_ = 0;
+  uint64_t seq_ = 0;
+  uint64_t rng_ = 0x9E3779B97F4A7C15ULL;
+};
+
+}  // namespace obs
+}  // namespace spatial
+
+#endif  // SPATIAL_OBS_SLOW_QUERY_LOG_H_

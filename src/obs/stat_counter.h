@@ -1,0 +1,79 @@
+#ifndef SPATIAL_OBS_STAT_COUNTER_H_
+#define SPATIAL_OBS_STAT_COUNTER_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace spatial {
+namespace obs {
+
+// A single-writer counter cell that is safe to *read* from any thread.
+//
+// The storage subsystem keeps its counters (IoStats, BufferStats) in plain
+// structs owned by exactly one thread — a worker's private disk view and
+// buffer pool, or the single writer thread's pool. That ownership model is
+// what keeps the hot paths cheap, but it made every counter a data race the
+// moment a metrics scraper wanted a live value. StatCounter keeps the
+// single-writer discipline (increments are a relaxed load + relaxed store,
+// which compiles to the same plain `add` instruction as `++x` on every
+// mainstream ISA) while making concurrent readers well-defined.
+//
+// It deliberately mimics uint64_t: implicit conversion on read, ++/+=
+// on write, copyable (copies are value snapshots — used by the Snapshot()
+// aggregation structs, which are plain values owned by one thread).
+class StatCounter {
+ public:
+  constexpr StatCounter() noexcept : v_(0) {}
+  constexpr StatCounter(uint64_t v) noexcept : v_(v) {}  // NOLINT: implicit
+
+  StatCounter(const StatCounter& other) noexcept : v_(other.value()) {}
+  StatCounter& operator=(const StatCounter& other) noexcept {
+    Store(other.value());
+    return *this;
+  }
+  StatCounter& operator=(uint64_t v) noexcept {
+    Store(v);
+    return *this;
+  }
+
+  // Owner-thread write path: plain add in codegen, atomic for readers.
+  StatCounter& operator+=(uint64_t n) noexcept {
+    v_.store(v_.load(std::memory_order_relaxed) + n,
+             std::memory_order_relaxed);
+    return *this;
+  }
+  StatCounter& operator++() noexcept { return *this += 1; }
+  uint64_t operator++(int) noexcept {
+    const uint64_t old = value();
+    *this += 1;
+    return old;
+  }
+  // Rare correction path (e.g. un-counting allocation zeroing I/O).
+  StatCounter& operator-=(uint64_t n) noexcept {
+    v_.store(v_.load(std::memory_order_relaxed) - n,
+             std::memory_order_relaxed);
+    return *this;
+  }
+  StatCounter& operator--() noexcept { return *this -= 1; }
+
+  // Any-thread write path (rare: shared counters like ServingDb epochs use
+  // single-writer Store; FetchAdd exists for completeness).
+  void FetchAdd(uint64_t n) noexcept {
+    v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void Store(uint64_t v) noexcept { v_.store(v, std::memory_order_relaxed); }
+
+  // Any-thread read path.
+  uint64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  operator uint64_t() const noexcept { return value(); }  // NOLINT: implicit
+
+ private:
+  std::atomic<uint64_t> v_;
+};
+
+}  // namespace obs
+}  // namespace spatial
+
+#endif  // SPATIAL_OBS_STAT_COUNTER_H_

@@ -1,0 +1,81 @@
+#ifndef SPATIAL_OBS_TRACE_H_
+#define SPATIAL_OBS_TRACE_H_
+
+#include <cstdint>
+
+namespace spatial {
+namespace obs {
+
+// Per-query tracing, sized for the zero-allocation contract: a
+// TraceContext is fixed-size POD, owned per worker, and reached through a
+// nullable pointer in QueryScratch. The service arms the pointer only for
+// sampled queries, so the traversal hot path pays exactly one pointer
+// test per node visit when a query is not traced — and nothing ever
+// allocates, traced or not.
+//
+// R-trees here are shallow (fanout ~50 at 1 KiB pages ⇒ depth 4 covers
+// six million entries); 12 levels is beyond any realistic tree, and
+// deeper levels clamp into the top slot rather than overflow.
+inline constexpr int kTraceMaxLevels = 12;
+
+// Span kinds recorded per traced query. These are phases of one request's
+// life in the service, not nested spans — each holds a duration in ns.
+enum class SpanKind : uint8_t {
+  kQueueWait = 0,  // submit → worker dequeue
+  kExecute = 1,    // dispatch → response ready (traversal inclusive)
+};
+inline constexpr int kTraceSpanKinds = 2;
+
+inline const char* SpanKindName(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kQueueWait:
+      return "queue_wait";
+    case SpanKind::kExecute:
+      return "execute";
+  }
+  return "unknown";
+}
+
+struct TraceContext {
+  // Page accesses by tree level: index 0 = leaves, index (root_level)
+  // = root. Filled by the traversals via CountNode().
+  uint32_t nodes_per_level[kTraceMaxLevels] = {};
+  uint64_t span_ns[kTraceSpanKinds] = {};
+
+  void Reset() {
+    for (auto& c : nodes_per_level) c = 0;
+    for (auto& s : span_ns) s = 0;
+  }
+
+  void CountNode(uint16_t level) {
+    const int slot =
+        level < kTraceMaxLevels ? level : kTraceMaxLevels - 1;
+    ++nodes_per_level[slot];
+  }
+
+  void SetSpan(SpanKind kind, uint64_t ns) {
+    span_ns[static_cast<int>(kind)] = ns;
+  }
+};
+
+// xorshift64* — the per-worker sampling draw. Deterministic, one
+// multiply + three shifts per query, no libc, no allocation.
+inline uint64_t NextRandom(uint64_t* state) {
+  uint64_t x = *state;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  *state = x;
+  return x * 0x2545F4914F6CDD1DULL;
+}
+
+// True on roughly `per_million` out of every million draws.
+inline bool SampleDraw(uint64_t* state, uint32_t per_million) {
+  if (per_million == 0) return false;
+  return NextRandom(state) % 1000000u < per_million;
+}
+
+}  // namespace obs
+}  // namespace spatial
+
+#endif  // SPATIAL_OBS_TRACE_H_

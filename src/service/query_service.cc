@@ -111,8 +111,11 @@ Status QueryService<D>::StartWorkers() {
   }
   for (uint32_t i = 0; i < options_.num_workers; ++i) {
     auto worker = std::make_unique<Worker>();
+    // Distinct nonzero xorshift seeds per worker (value is arbitrary).
+    worker->rng = 0x9E3779B97F4A7C15ULL * (i + 1) + 1;
     worker->disk = std::make_unique<ReadOnlyDiskView>(
-        &db_->disk(), options_.simulated_read_latency_us);
+        &db_->disk(), options_.simulated_read_latency_us,
+        &worker->read_latency);
     worker->pool = std::make_unique<BufferPool>(
         worker->disk.get(), options_.frames_per_worker, options_.eviction);
     SPATIAL_ASSIGN_OR_RETURN(
@@ -128,6 +131,7 @@ Status QueryService<D>::StartWorkers() {
     }
     workers_.push_back(std::move(worker));
   }
+  RegisterMetrics();
   epoch_ = std::chrono::steady_clock::now();
   threads_.reserve(options_.num_workers);
   for (uint32_t i = 0; i < options_.num_workers; ++i) {
@@ -170,6 +174,7 @@ std::future<QueryResponse<D>> QueryService<D>::Submit(
     QueryRequest<D> request) {
   Task task;
   task.request = std::move(request);
+  task.submit_time = std::chrono::steady_clock::now();
   std::future<QueryResponse<D>> future = task.promise.get_future();
   const bool is_write = IsWriteKind(task.request.kind);
   if (is_write && serving_db_ == nullptr) {
@@ -198,6 +203,21 @@ template <int D>
 void QueryService<D>::WorkerLoop(Worker* worker, uint32_t worker_id) {
   while (std::optional<Task> task = queue_.Pop()) {
     const auto start = std::chrono::steady_clock::now();
+    const uint64_t queue_wait_ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            start - task->submit_time)
+            .count());
+    worker->queue_wait.Record(queue_wait_ns);
+    // Per-query sampling draw; an armed scratch.trace pointer is the only
+    // thing the traversals see (one pointer test per node visit; nothing
+    // allocates on either path).
+    const bool sampled =
+        obs::SampleDraw(&worker->rng, options_.trace_sample_per_million);
+    if (sampled) {
+      worker->trace_ctx.Reset();
+      worker->trace_ctx.SetSpan(obs::SpanKind::kQueueWait, queue_wait_ns);
+      worker->scratch.trace = &worker->trace_ctx;
+    }
     QueryResponse<D> response;
     if (serving_db_ != nullptr) {
       // Pin the current snapshot for the whole query: the checkpoint
@@ -229,7 +249,32 @@ void QueryService<D>::WorkerLoop(Worker* worker, uint32_t worker_id) {
     worker->histogram.Record(ns);
     (response.ok() ? worker->ok : worker->failed)
         .fetch_add(1, std::memory_order_relaxed);
-    worker->query_stats.Add(response.stats);
+    const int kind = static_cast<int>(task->request.kind);
+    ++worker->kind_count[kind];
+    worker->kind_stats[kind].Add(response.stats);
+    if (sampled) {
+      worker->trace_ctx.SetSpan(obs::SpanKind::kExecute, ns);
+      worker->scratch.trace = nullptr;
+    }
+    if (sampled || ns >= slow_log_->slow_threshold_ns()) {
+      // Stack POD copied into the log's preallocated ring: the capture
+      // path allocates nothing.
+      obs::QueryTraceRecord rec;
+      rec.worker = static_cast<uint16_t>(worker_id);
+      rec.k = task->request.kind == QueryKind::kTopK ? task->request.top_k
+                                                     : task->request.knn.k;
+      rec.SetKindName(QueryKindName(task->request.kind));
+      rec.latency_ns = ns;
+      rec.queue_wait_ns = queue_wait_ns;
+      rec.traced = sampled;
+      rec.stats = response.stats;
+      if (sampled) {
+        for (int l = 0; l < obs::kTraceMaxLevels; ++l) {
+          rec.nodes_per_level[l] = worker->trace_ctx.nodes_per_level[l];
+        }
+      }
+      slow_log_->Record(rec);
+    }
     task->promise.set_value(std::move(response));
   }
 }
@@ -380,7 +425,225 @@ QueryResponse<D> QueryService<D>::Dispatch(Worker* worker,
 }
 
 template <int D>
-ServiceStats QueryService<D>::Stats() const {
+void QueryService<D>::RegisterMetrics() {
+  metrics_ = std::make_unique<obs::MetricsRegistry>();
+  obs::SlowQueryLog::Options log_options;
+  log_options.slow_capacity = options_.slow_log_capacity;
+  log_options.sampled_capacity = options_.sampled_log_capacity;
+  log_options.slow_threshold_ns = options_.slow_query_threshold_ns;
+  slow_log_ = std::make_unique<obs::SlowQueryLog>(log_options);
+  metrics_->AddCollector(
+      [this](obs::ExpositionWriter& writer) { CollectMetrics(writer); });
+}
+
+namespace {
+
+// Per-kind traversal counters, emitted one family per stat with a `kind`
+// label. Member pointers keep the scrape in lockstep with QueryStats.
+struct QueryStatField {
+  const char* name;
+  const char* help;
+  uint64_t QueryStats::*field;
+};
+
+constexpr QueryStatField kQueryStatFields[] = {
+    {"spatial_query_nodes_visited_total", "R-tree pages fetched by queries",
+     &QueryStats::nodes_visited},
+    {"spatial_query_leaf_nodes_visited_total", "Leaf pages fetched",
+     &QueryStats::leaf_nodes_visited},
+    {"spatial_query_internal_nodes_visited_total", "Internal pages fetched",
+     &QueryStats::internal_nodes_visited},
+    {"spatial_query_abl_entries_generated_total",
+     "Active branch list entries considered",
+     &QueryStats::abl_entries_generated},
+    {"spatial_query_pruned_s1_total",
+     "Branches pruned by strategy 1 (MINDIST > sibling MINMAXDIST)",
+     &QueryStats::pruned_s1},
+    {"spatial_query_estimate_updates_s2_total",
+     "NN estimate updates from strategy 2 (MINMAXDIST)",
+     &QueryStats::estimate_updates_s2},
+    {"spatial_query_pruned_s3_total",
+     "Branches pruned by strategy 3 (MINDIST > k-th nearest)",
+     &QueryStats::pruned_s3},
+    {"spatial_query_pruned_leaf_total",
+     "Leaf entries skipped before distance evaluation",
+     &QueryStats::pruned_leaf},
+    {"spatial_query_objects_examined_total", "Objects distance-tested",
+     &QueryStats::objects_examined},
+    {"spatial_query_distance_computations_total",
+     "Distance kernel evaluations", &QueryStats::distance_computations},
+    {"spatial_query_heap_pushes_total",
+     "Best-first / incremental heap pushes", &QueryStats::heap_pushes},
+    {"spatial_query_heap_pops_total", "Best-first / incremental heap pops",
+     &QueryStats::heap_pops},
+};
+
+std::string KindLabel(QueryKind kind) {
+  std::string label = "kind=\"";
+  label += QueryKindName(kind);
+  label += '"';
+  return label;
+}
+
+}  // namespace
+
+template <int D>
+void QueryService<D>::CollectMetrics(obs::ExpositionWriter& writer) const {
+  const ServiceStats stats = Snapshot();
+
+  writer.Family("spatial_workers", "Query worker threads",
+                obs::MetricType::kGauge);
+  writer.Sample("spatial_workers", "",
+                static_cast<uint64_t>(stats.workers));
+  writer.Family("spatial_uptime_seconds",
+                "Seconds since service start (or ResetStats)",
+                obs::MetricType::kGauge);
+  writer.Sample("spatial_uptime_seconds", "", stats.elapsed_seconds);
+
+  writer.Family("spatial_queries_total",
+                "Completed queries by outcome", obs::MetricType::kCounter);
+  writer.Sample("spatial_queries_total", "outcome=\"ok\"", stats.queries_ok);
+  writer.Sample("spatial_queries_total", "outcome=\"failed\"",
+                stats.queries_failed);
+
+  writer.Family("spatial_queries_by_kind_total",
+                "Completed requests by query kind",
+                obs::MetricType::kCounter);
+  for (int k = 0; k < kNumQueryKinds; ++k) {
+    const QueryKind kind = static_cast<QueryKind>(k);
+    writer.Sample("spatial_queries_by_kind_total", KindLabel(kind),
+                  KindQueryCount(kind));
+  }
+
+  // Traversal counters per read kind (write kinds never produce
+  // QueryStats; their shards stay zero and are elided).
+  QueryStats per_kind[kNumQueryKinds];
+  for (int k = 0; k < kNumQueryKinds; ++k) {
+    per_kind[k] = KindQueryStats(static_cast<QueryKind>(k));
+  }
+  for (const QueryStatField& field : kQueryStatFields) {
+    writer.Family(field.name, field.help, obs::MetricType::kCounter);
+    for (int k = 0; k < kNumQueryKinds; ++k) {
+      const QueryKind kind = static_cast<QueryKind>(k);
+      if (IsWriteKind(kind)) continue;
+      writer.Sample(field.name, KindLabel(kind), per_kind[k].*field.field);
+    }
+  }
+
+  writer.Family("spatial_buffer_logical_fetches_total",
+                "Buffer pool Fetch() calls (the paper's page accesses)",
+                obs::MetricType::kCounter);
+  writer.Sample("spatial_buffer_logical_fetches_total", "",
+                static_cast<uint64_t>(stats.buffer.logical_fetches));
+  writer.Family("spatial_buffer_hits_total", "Buffer pool hits",
+                obs::MetricType::kCounter);
+  writer.Sample("spatial_buffer_hits_total", "",
+                static_cast<uint64_t>(stats.buffer.hits));
+  writer.Family("spatial_buffer_misses_total", "Buffer pool misses",
+                obs::MetricType::kCounter);
+  writer.Sample("spatial_buffer_misses_total", "",
+                static_cast<uint64_t>(stats.buffer.misses));
+  writer.Family("spatial_buffer_evictions_total", "Buffer pool evictions",
+                obs::MetricType::kCounter);
+  writer.Sample("spatial_buffer_evictions_total", "",
+                static_cast<uint64_t>(stats.buffer.evictions));
+  writer.Family("spatial_buffer_hit_rate",
+                "Buffer pool hit rate since start/reset",
+                obs::MetricType::kGauge);
+  writer.Sample("spatial_buffer_hit_rate", "", stats.buffer.HitRate());
+
+  writer.Family("spatial_io_physical_reads_total",
+                "Physical page reads (buffer pool misses reaching disk)",
+                obs::MetricType::kCounter);
+  writer.Sample("spatial_io_physical_reads_total", "",
+                static_cast<uint64_t>(stats.io.physical_reads));
+
+  writer.Family("spatial_query_latency_ns",
+                "Per-query wall time inside the worker",
+                obs::MetricType::kHistogram);
+  writer.Histogram("spatial_query_latency_ns", "", stats.latency);
+  writer.Family("spatial_queue_wait_ns",
+                "Submit-to-dequeue wait per request",
+                obs::MetricType::kHistogram);
+  writer.Histogram("spatial_queue_wait_ns", "", stats.queue_wait);
+
+  obs::HistogramSnapshot read_latency;
+  for (const auto& worker : workers_) {
+    read_latency += worker->read_latency.Snapshot();
+  }
+  writer.Family("spatial_read_latency_ns",
+                "Physical page-read latency (miss path)",
+                obs::MetricType::kHistogram);
+  writer.Histogram("spatial_read_latency_ns", "", read_latency);
+
+  writer.Family("spatial_slow_queries_recorded_total",
+                "Queries offered to the slow/sampled query log",
+                obs::MetricType::kCounter);
+  writer.Sample("spatial_slow_queries_recorded_total", "",
+                slow_log_->total_recorded());
+  writer.Family("spatial_slow_queries_retained",
+                "Entries currently retained in the slow-query log",
+                obs::MetricType::kGauge);
+  writer.Sample("spatial_slow_queries_retained", "population=\"slow\"",
+                static_cast<uint64_t>(slow_log_->slow_captured()));
+  writer.Sample("spatial_slow_queries_retained", "population=\"sampled\"",
+                static_cast<uint64_t>(slow_log_->sampled_captured()));
+
+  if (serving_db_ == nullptr) return;
+
+  writer.Family("spatial_writes_total",
+                "Durable write requests by outcome",
+                obs::MetricType::kCounter);
+  writer.Sample("spatial_writes_total", "outcome=\"ok\"", stats.writes_ok);
+  writer.Sample("spatial_writes_total", "outcome=\"failed\"",
+                stats.writes_failed);
+  writer.Family("spatial_checkpoints_total", "Completed checkpoints",
+                obs::MetricType::kCounter);
+  writer.Sample("spatial_checkpoints_total", "", stats.checkpoints);
+
+  writer.Family("spatial_snapshot_epoch",
+                "Current published snapshot epoch", obs::MetricType::kGauge);
+  writer.Sample("spatial_snapshot_epoch", "", serving_db_->epoch());
+  writer.Family("spatial_reclaim_gen",
+                "Page-reclamation generation (bumps when a checkpoint "
+                "recycles page ids)",
+                obs::MetricType::kGauge);
+  writer.Sample("spatial_reclaim_gen", "", serving_db_->reclaim_gen());
+  writer.Family("spatial_last_lsn", "Last durable log sequence number",
+                obs::MetricType::kGauge);
+  writer.Sample("spatial_last_lsn", "", serving_db_->last_lsn());
+  writer.Family("spatial_retired_pages",
+                "COW-retired pages awaiting reclamation (reclamation depth)",
+                obs::MetricType::kGauge);
+  writer.Sample("spatial_retired_pages", "", serving_db_->retired_pages());
+  writer.Family("spatial_reclaimed_pages_total",
+                "Pages recycled by checkpoints", obs::MetricType::kCounter);
+  writer.Sample("spatial_reclaimed_pages_total", "",
+                serving_db_->reclaimed_pages_total());
+
+  const obs::WalMetrics& wal = serving_db_->wal_metrics();
+  writer.Family("spatial_wal_fsync_ns",
+                "WAL fsync latency per group commit",
+                obs::MetricType::kHistogram);
+  writer.Histogram("spatial_wal_fsync_ns", "", wal.fsync_ns.Snapshot());
+  writer.Family("spatial_wal_commit_records",
+                "Records per WAL group commit (batch size)",
+                obs::MetricType::kHistogram);
+  writer.Histogram("spatial_wal_commit_records", "",
+                   wal.commit_records.Snapshot());
+  writer.Family("spatial_wal_commit_bytes", "Bytes per WAL group commit",
+                obs::MetricType::kHistogram);
+  writer.Histogram("spatial_wal_commit_bytes", "",
+                   wal.commit_bytes.Snapshot());
+  writer.Family("spatial_checkpoint_sync_ns",
+                "Data-file fsync latency during checkpoints",
+                obs::MetricType::kHistogram);
+  writer.Histogram("spatial_checkpoint_sync_ns", "",
+                   serving_db_->checkpoint_sync_histogram().Snapshot());
+}
+
+template <int D>
+ServiceStats QueryService<D>::Snapshot() const {
   ServiceStats stats;
   stats.workers = static_cast<uint32_t>(workers_.size());
   stats.writes_ok = writes_ok_.load(std::memory_order_relaxed);
@@ -395,10 +658,31 @@ ServiceStats QueryService<D>::Stats() const {
     stats.queries_failed += worker->failed.load(std::memory_order_relaxed);
     stats.io += worker->disk->stats();
     stats.buffer += worker->pool->stats();
-    stats.query.Add(worker->query_stats);
+    for (int kind = 0; kind < kNumQueryKinds; ++kind) {
+      stats.query.Add(worker->kind_stats[kind].Snapshot());
+    }
     stats.latency += worker->histogram.Snapshot();
+    stats.queue_wait += worker->queue_wait.Snapshot();
   }
   return stats;
+}
+
+template <int D>
+QueryStats QueryService<D>::KindQueryStats(QueryKind kind) const {
+  QueryStats stats;
+  const int k = static_cast<int>(kind);
+  for (const auto& worker : workers_) {
+    stats.Add(worker->kind_stats[k].Snapshot());
+  }
+  return stats;
+}
+
+template <int D>
+uint64_t QueryService<D>::KindQueryCount(QueryKind kind) const {
+  uint64_t n = 0;
+  const int k = static_cast<int>(kind);
+  for (const auto& worker : workers_) n += worker->kind_count[k];
+  return n;
 }
 
 template <int D>
@@ -406,8 +690,13 @@ void QueryService<D>::ResetStats() {
   for (const auto& worker : workers_) {
     worker->disk->ResetStats();
     worker->pool->ResetStats();
-    worker->query_stats.Reset();
+    for (int kind = 0; kind < kNumQueryKinds; ++kind) {
+      worker->kind_stats[kind].Reset();
+      worker->kind_count[kind] = 0;
+    }
     worker->histogram.Reset();
+    worker->queue_wait.Reset();
+    worker->read_latency.Reset();
     worker->ok.store(0, std::memory_order_relaxed);
     worker->failed.store(0, std::memory_order_relaxed);
   }

@@ -12,7 +12,11 @@
 #include "core/scratch.h"
 #include "db/serving_db.h"
 #include "db/spatial_db.h"
-#include "service/latency_histogram.h"
+#include "obs/histogram.h"
+#include "obs/metrics.h"
+#include "obs/query_metrics.h"
+#include "obs/slow_query_log.h"
+#include "obs/trace.h"
 #include "service/request.h"
 #include "service/request_queue.h"
 #include "service/service_stats.h"
@@ -72,6 +76,16 @@ class QueryService {
     // than the host's core count (see E14 and storage/read_only_disk.h).
     uint32_t simulated_read_latency_us = 0;
 
+    // Observability (docs/OBSERVABILITY.md). Sampling is per query, drawn
+    // from a per-worker xorshift: 0 = tracing off (the default; queries
+    // pay one pointer test), 10000 = 1%. Queries at or above the slow
+    // threshold are captured in the slow-query log whether sampled or not
+    // (without per-level counts unless they were also sampled).
+    uint32_t trace_sample_per_million = 0;
+    uint64_t slow_query_threshold_ns = 10'000'000;  // 10 ms
+    size_t slow_log_capacity = 64;     // retained slow entries
+    size_t sampled_log_capacity = 64;  // reservoir of sampled traces
+
     Status Validate() const {
       if (num_workers < 1) {
         return Status::InvalidArgument("num_workers must be >= 1");
@@ -117,10 +131,33 @@ class QueryService {
   // also run by the destructor.
   void Shutdown();
 
-  // Aggregated snapshot across workers. Exact when no queries are in
-  // flight (e.g. all submitted futures resolved); during load the
-  // latency/queue counters are live and the I/O counters approximate.
-  ServiceStats Stats() const;
+  // Live aggregated snapshot across workers — safe to call from any
+  // thread at any time, including while workers run (every source cell is
+  // a relaxed-atomic single-writer counter). Exact once all submitted
+  // futures have resolved; during load, counters may be torn *across*
+  // fields (never within one).
+  ServiceStats Snapshot() const;
+
+  // Historical spelling of Snapshot().
+  ServiceStats Stats() const { return Snapshot(); }
+
+  // Per-kind traversal counters summed over workers (live, like
+  // Snapshot()).
+  QueryStats KindQueryStats(QueryKind kind) const;
+  uint64_t KindQueryCount(QueryKind kind) const;
+
+  // The service's metrics registry: every layer's instruments — request /
+  // queue / latency, per-kind traversal stats, buffer pool, physical I/O,
+  // WAL group commit, snapshot epochs — exposed in Prometheus text format
+  // by ScrapeMetrics(). Scraping is thread-safe and non-blocking for
+  // workers.
+  obs::MetricsRegistry& metrics() { return *metrics_; }
+  const obs::MetricsRegistry& metrics() const { return *metrics_; }
+  std::string ScrapeMetrics() const { return metrics_->ScrapeText(); }
+
+  // Captured slow/sampled queries (ring + reservoir; DumpJson for the
+  // CLI).
+  const obs::SlowQueryLog& slow_query_log() const { return *slow_log_; }
 
   // Zeroes all per-worker counters and restarts the QPS clock. Call only
   // while no queries are in flight (between bench phases).
@@ -140,6 +177,9 @@ class QueryService {
   struct Task {
     QueryRequest<D> request;
     std::promise<QueryResponse<D>> promise;
+    // Stamped by Submit; the worker's dequeue time minus this is the
+    // queue-wait span.
+    std::chrono::steady_clock::time_point submit_time;
   };
 
   // Everything a worker thread touches while executing queries. Built on
@@ -150,9 +190,19 @@ class QueryService {
     std::unique_ptr<BufferPool> pool;
     std::optional<RTree<D>> tree;
     LatencyHistogram histogram;
+    LatencyHistogram queue_wait;
+    // Physical-read latency, recorded by the disk view (miss path only).
+    obs::PowerHistogram read_latency;
     std::atomic<uint64_t> ok{0};
     std::atomic<uint64_t> failed{0};
-    QueryStats query_stats;  // owner-thread only; read when idle
+    // Traversal counters, sharded per kind; written once per query by the
+    // owning worker, read live by Snapshot() and the metrics scrape.
+    obs::AtomicQueryStats kind_stats[kNumQueryKinds];
+    obs::StatCounter kind_count[kNumQueryKinds];
+    // Sampled tracing: the worker's reusable trace context (armed through
+    // scratch.trace only for sampled queries) and its sampling RNG.
+    obs::TraceContext trace_ctx;
+    uint64_t rng = 0;
     // Reusable traversal arena: after warm-up, kNN/top-k dispatches run
     // without heap allocation (docs/PERF.md).
     QueryScratch<D> scratch;
@@ -167,6 +217,8 @@ class QueryService {
                const Options& options);
 
   Status StartWorkers();
+  void RegisterMetrics();
+  void CollectMetrics(obs::ExpositionWriter& writer) const;
   void WorkerLoop(Worker* worker, uint32_t worker_id);
   void WriterLoop();
   void RunWriteBatch(std::vector<Task>* batch);
@@ -191,6 +243,10 @@ class QueryService {
   bool reader_slots_held_ = false;
   std::chrono::steady_clock::time_point epoch_;
   std::atomic<bool> stopped_{false};
+  // Observability. Built before the workers start; collectors capture
+  // `this` and read the per-worker shards at scrape time.
+  std::unique_ptr<obs::MetricsRegistry> metrics_;
+  std::unique_ptr<obs::SlowQueryLog> slow_log_;
 };
 
 extern template class QueryService<2>;

@@ -31,6 +31,10 @@ enum class QueryKind {
   kCheckpoint,      // fold the WAL into the base file now
 };
 
+// Size of the enum, for per-kind stat shards (metrics registry).
+inline constexpr int kNumQueryKinds =
+    static_cast<int>(QueryKind::kCheckpoint) + 1;
+
 const char* QueryKindName(QueryKind kind);
 
 inline bool IsWriteKind(QueryKind kind) {

@@ -4,7 +4,7 @@
 #include <cstdint>
 
 #include "core/query_stats.h"
-#include "service/latency_histogram.h"
+#include "obs/histogram.h"
 #include "storage/io_stats.h"
 
 namespace spatial {
@@ -12,7 +12,11 @@ namespace spatial {
 // Aggregated view over every worker of a QueryService: the per-worker
 // IoStats (physical reads through the private disk views), BufferStats
 // (logical fetches — the paper's "page accesses"), algorithm counters, and
-// the merged latency distribution. Produced by QueryService::Stats().
+// the merged latency distribution. Produced by QueryService::Snapshot()
+// (of which Stats() is the historical spelling) — safe to take live while
+// workers run; every source cell is a relaxed-atomic single-writer
+// counter, so a concurrent snapshot is torn at worst across counters,
+// never within one.
 struct ServiceStats {
   uint32_t workers = 0;
   uint64_t queries_ok = 0;
@@ -28,6 +32,7 @@ struct ServiceStats {
   BufferStats buffer;  // summed over worker buffer pools
   QueryStats query;    // summed over all executed queries
   LatencySnapshot latency;
+  LatencySnapshot queue_wait;  // submit → worker dequeue
 
   uint64_t TotalQueries() const { return queries_ok + queries_failed; }
 

@@ -3,22 +3,31 @@
 
 #include <cstdint>
 
+#include "obs/stat_counter.h"
+
 namespace spatial {
 
 // Counters kept by DiskManager (physical I/O) and BufferPool (logical
 // accesses). The SIGMOD'95 evaluation reports *page accesses* per query;
 // we expose both logical fetches (what the paper counts, since it assumes
 // a cold/no buffer) and physical reads after the buffer pool.
+//
+// Fields are obs::StatCounter cells: writes stay single-writer and cost a
+// plain add (each disk view / buffer pool is owned by one thread), but a
+// metrics scraper may now read a live instance from another thread
+// without a data race — the basis of QueryService::Snapshot() and the
+// /metrics exposition (docs/OBSERVABILITY.md).
 struct IoStats {
-  uint64_t physical_reads = 0;
-  uint64_t physical_writes = 0;
-  uint64_t pages_allocated = 0;
-  uint64_t pages_freed = 0;
+  obs::StatCounter physical_reads;
+  obs::StatCounter physical_writes;
+  obs::StatCounter pages_allocated;
+  obs::StatCounter pages_freed;
 
   void Reset() { *this = IoStats(); }
 
   // Aggregation across independent counters (e.g. per-worker disks in the
-  // query service, or per-run sums in the experiment drivers).
+  // query service, or per-run sums in the experiment drivers). The
+  // destination must be a private plain-value copy (not a live shard).
   IoStats& operator+=(const IoStats& other) {
     physical_reads += other.physical_reads;
     physical_writes += other.physical_writes;
@@ -31,17 +40,17 @@ struct IoStats {
 };
 
 struct BufferStats {
-  uint64_t logical_fetches = 0;  // Fetch() calls: the paper's page accesses.
-  uint64_t hits = 0;
-  uint64_t misses = 0;
-  uint64_t evictions = 0;
-  uint64_t dirty_writebacks = 0;
+  obs::StatCounter logical_fetches;  // Fetch() calls: the paper's accesses.
+  obs::StatCounter hits;
+  obs::StatCounter misses;
+  obs::StatCounter evictions;
+  obs::StatCounter dirty_writebacks;
 
   double HitRate() const {
-    return logical_fetches == 0
+    const uint64_t fetches = logical_fetches;
+    return fetches == 0
                ? 0.0
-               : static_cast<double>(hits) /
-                     static_cast<double>(logical_fetches);
+               : static_cast<double>(hits) / static_cast<double>(fetches);
   }
 
   void Reset() { *this = BufferStats(); }

@@ -7,6 +7,7 @@
 
 #include "common/macros.h"
 #include "common/status.h"
+#include "obs/histogram.h"
 #include "storage/disk.h"
 
 namespace spatial {
@@ -30,9 +31,16 @@ namespace spatial {
 // I/O overlap across workers independent of the host's core count.
 class ReadOnlyDiskView final : public Disk {
  public:
+  // `read_latency`, when non-null, receives the wall time of every
+  // physical read (the buffer-pool miss path only — ns-scale clock reads
+  // against µs-scale pread are noise). The histogram must outlive the
+  // view; the query service points it at a per-worker instrument.
   explicit ReadOnlyDiskView(const Disk* base,
-                            uint32_t simulated_read_latency_us = 0)
-      : base_(base), simulated_read_latency_us_(simulated_read_latency_us) {
+                            uint32_t simulated_read_latency_us = 0,
+                            obs::PowerHistogram* read_latency = nullptr)
+      : base_(base),
+        simulated_read_latency_us_(simulated_read_latency_us),
+        read_latency_(read_latency) {
     SPATIAL_CHECK(base != nullptr);
   }
 
@@ -54,10 +62,17 @@ class ReadOnlyDiskView final : public Disk {
   }
 
   Status ReadPage(PageId id, char* out) override {
-    SPATIAL_RETURN_IF_ERROR(base_->ReadPageConcurrent(id, out));
-    if (simulated_read_latency_us_ != 0) {
-      std::this_thread::sleep_for(
-          std::chrono::microseconds(simulated_read_latency_us_));
+    if (read_latency_ != nullptr) {
+      const auto start = std::chrono::steady_clock::now();
+      SPATIAL_RETURN_IF_ERROR(base_->ReadPageConcurrent(id, out));
+      SimulateLatency();
+      read_latency_->Record(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count()));
+    } else {
+      SPATIAL_RETURN_IF_ERROR(base_->ReadPageConcurrent(id, out));
+      SimulateLatency();
     }
     ++stats_.physical_reads;
     return Status::OK();
@@ -71,9 +86,17 @@ class ReadOnlyDiskView final : public Disk {
   void ResetStats() override { stats_.Reset(); }
 
  private:
+  void SimulateLatency() const {
+    if (simulated_read_latency_us_ != 0) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(simulated_read_latency_us_));
+    }
+  }
+
   const Disk* base_;
   const uint32_t simulated_read_latency_us_;
-  IoStats stats_;  // private to the owning thread
+  obs::PowerHistogram* read_latency_;
+  IoStats stats_;  // single-writer cells; scrapers may read live
 };
 
 }  // namespace spatial

@@ -1,6 +1,7 @@
 #include "wal/wal_writer.h"
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <utility>
 
@@ -41,7 +42,9 @@ WalWriter& WalWriter::operator=(WalWriter&& other) noexcept {
     fd_ = other.fd_;
     segment_file_bytes_ = other.segment_file_bytes_;
     commits_ = other.commits_;
+    pending_records_ = other.pending_records_;
     pending_ = std::move(other.pending_);
+    metrics_ = other.metrics_;
     other.file_ = nullptr;
     other.fd_ = -1;
   }
@@ -85,6 +88,7 @@ Status WalWriter::Append(const WalRecord& rec) {
     return Status::Internal("wal: writer is closed");
   }
   AppendWalRecord(rec, &pending_);
+  ++pending_records_;
   return Status::OK();
 }
 
@@ -93,10 +97,24 @@ Status WalWriter::Commit() {
   if (file_ == nullptr) {
     return Status::Internal("wal: writer is closed");
   }
+  const uint64_t batch_bytes = pending_.size();
+  const uint64_t batch_records = pending_records_;
   SPATIAL_RETURN_IF_ERROR(DurableWrite(pending_.data(), pending_.size()));
-  SPATIAL_RETURN_IF_ERROR(DurableSync());
+  if (metrics_ != nullptr) {
+    const auto sync_start = std::chrono::steady_clock::now();
+    SPATIAL_RETURN_IF_ERROR(DurableSync());
+    metrics_->fsync_ns.Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - sync_start)
+            .count()));
+    metrics_->commit_records.Record(batch_records);
+    metrics_->commit_bytes.Record(batch_bytes);
+  } else {
+    SPATIAL_RETURN_IF_ERROR(DurableSync());
+  }
   segment_file_bytes_ += pending_.size();
   pending_.clear();
+  pending_records_ = 0;
   ++commits_;
   return Status::OK();
 }

@@ -7,6 +7,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "storage/fault_injector.h"
 #include "wal/wal_record.h"
 
@@ -98,6 +99,11 @@ class WalWriter {
   uint64_t segment_file_bytes() const { return segment_file_bytes_; }
   uint64_t commits() const { return commits_; }
 
+  // Optional group-commit instrumentation: when set, Commit() records its
+  // fsync latency, batch record count, and batch bytes. The bundle must
+  // outlive the writer (ServingDb owns both; survives Rotate moves).
+  void set_metrics(obs::WalMetrics* metrics) { metrics_ = metrics; }
+
  private:
   WalWriter(std::string prefix, WalOptions options, FaultInjector* injector)
       : prefix_(std::move(prefix)), options_(options), injector_(injector) {}
@@ -118,7 +124,9 @@ class WalWriter {
   int fd_ = -1;
   uint64_t segment_file_bytes_ = 0;
   uint64_t commits_ = 0;
+  uint64_t pending_records_ = 0;
   std::string pending_;
+  obs::WalMetrics* metrics_ = nullptr;
 };
 
 }  // namespace spatial

@@ -6,7 +6,7 @@
 
 #include <gtest/gtest.h>
 
-#include "service/latency_histogram.h"
+#include "obs/histogram.h"
 
 namespace spatial {
 namespace {
@@ -89,7 +89,7 @@ TEST(LatencySnapshotTest, MergeAndPercentiles) {
   LatencySnapshot merged = worker1.Snapshot();
   merged += worker2.Snapshot();
   EXPECT_EQ(merged.total_count, 100u);
-  EXPECT_EQ(merged.max_ns, 1000000u);
+  EXPECT_EQ(merged.max, 1000000u);
 
   // p50 falls in the fast buckets, p99 in the slow ones. Buckets are
   // power-of-two wide, so compare against bucket bounds, not exact values.
@@ -111,7 +111,7 @@ TEST(LatencySnapshotTest, ResetClears) {
   h.Record(500);
   h.Reset();
   EXPECT_EQ(h.Snapshot().total_count, 0u);
-  EXPECT_EQ(h.Snapshot().max_ns, 0u);
+  EXPECT_EQ(h.Snapshot().max, 0u);
 }
 
 }  // namespace

@@ -17,6 +17,10 @@
 #include "core/knn.h"
 #include "data/uniform.h"
 #include "data/workload.h"
+#include "obs/histogram.h"
+#include "obs/query_metrics.h"
+#include "obs/slow_query_log.h"
+#include "obs/trace.h"
 #include "rtree/bulk_load.h"
 #include "rtree/node.h"
 #include "tests/test_util.h"
@@ -154,6 +158,118 @@ TEST(ZeroAllocTest, BatchKnnSteadyStateIsAllocationFree) {
   ASSERT_TRUE(status.ok());
   EXPECT_EQ(delta.allocations, 0u)
       << delta.bytes << " bytes allocated in steady-state batch";
+}
+
+// The observability layer must not repeal the zero-alloc contract: this
+// replays the QueryService worker loop's per-query instrumentation —
+// histogram records, the sampling draw, per-kind stat mirror, trace
+// arming, and slow-log capture — around the same warm KnnSearchInto and
+// KnnSearchBatch paths, at 0% sampling (the steady default), 1% (mostly
+// the sampled-out path), and 100% (every query traced and logged).
+TEST(ZeroAllocTest, InstrumentedQueryPathIsAllocationFree) {
+  Fixture f;
+  QueryScratch<2> scratch;
+  std::vector<Neighbor> out;
+  QueryStats stats;
+  KnnOptions options;
+  options.k = 10;
+
+  obs::AtomicQueryStats kind_stats;
+  obs::StatCounter kind_count;
+  LatencyHistogram latency;
+  LatencyHistogram queue_wait;
+  obs::TraceContext trace_ctx;
+  obs::SlowQueryLog::Options log_options;
+  log_options.slow_capacity = 8;
+  log_options.sampled_capacity = 8;
+  // Everything below the threshold: slow capture exercised via sampling.
+  log_options.slow_threshold_ns = ~0ull;
+  obs::SlowQueryLog log(log_options);
+  uint64_t rng = 0x9E3779B97F4A7C15ULL;
+
+  auto run_instrumented = [&](uint32_t sample_per_million) -> bool {
+    bool all_ok = true;
+    for (const Point2& q : f.queries) {
+      queue_wait.Record(100);
+      const bool sampled = obs::SampleDraw(&rng, sample_per_million);
+      if (sampled) {
+        trace_ctx.Reset();
+        trace_ctx.SetSpan(obs::SpanKind::kQueueWait, 100);
+        scratch.trace = &trace_ctx;
+      }
+      stats.Reset();
+      all_ok &=
+          KnnSearchInto<2>(*f.tree, q, options, &scratch, &out, &stats).ok();
+      ++kind_count;
+      kind_stats.Add(stats);
+      latency.Record(5000);
+      if (sampled) {
+        trace_ctx.SetSpan(obs::SpanKind::kExecute, 5000);
+        scratch.trace = nullptr;
+        obs::QueryTraceRecord rec;
+        rec.worker = 0;
+        rec.k = options.k;
+        rec.SetKindName("knn");
+        rec.latency_ns = 5000;
+        rec.queue_wait_ns = 100;
+        rec.traced = true;
+        rec.stats = stats;
+        for (int l = 0; l < obs::kTraceMaxLevels; ++l) {
+          rec.nodes_per_level[l] = trace_ctx.nodes_per_level[l];
+        }
+        log.Record(rec);
+      }
+    }
+    return all_ok;
+  };
+
+  // Warm pass (100% sampling fills the log's preallocated storage too).
+  ASSERT_TRUE(run_instrumented(1'000'000));
+
+  for (uint32_t per_million : {0u, 10'000u, 1'000'000u}) {
+    const AllocCounts before = ThreadAllocCounts();
+    const bool all_ok = run_instrumented(per_million);
+    const AllocCounts delta = ThreadAllocCounts() - before;
+    ASSERT_TRUE(all_ok);
+    EXPECT_EQ(delta.allocations, 0u)
+        << "sampling " << per_million << "/1e6: " << delta.bytes
+        << " bytes allocated in instrumented steady state";
+  }
+  EXPECT_GT(log.total_recorded(), 0u);
+  EXPECT_GT(kind_stats.Snapshot().nodes_visited, 0u);
+}
+
+// Batch path under 100% sampling: the whole batch is one "query" from the
+// service's perspective, so the trace context is armed across it.
+TEST(ZeroAllocTest, InstrumentedBatchKnnIsAllocationFree) {
+  Fixture f;
+  QueryScratch<2> scratch;
+  BatchKnnResult batch;
+  KnnOptions options;
+  options.k = 10;
+  obs::TraceContext trace_ctx;
+
+  scratch.trace = &trace_ctx;
+  trace_ctx.Reset();
+  ASSERT_TRUE(KnnSearchBatch<2>(*f.tree, f.queries.data(), f.queries.size(),
+                                options, &scratch, &batch)
+                  .ok());
+
+  const AllocCounts before = ThreadAllocCounts();
+  trace_ctx.Reset();
+  Status status = KnnSearchBatch<2>(*f.tree, f.queries.data(),
+                                    f.queries.size(), options, &scratch,
+                                    &batch);
+  const AllocCounts delta = ThreadAllocCounts() - before;
+  scratch.trace = nullptr;
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(delta.allocations, 0u)
+      << delta.bytes << " bytes allocated in traced steady-state batch";
+  uint64_t traced_nodes = 0;
+  for (int l = 0; l < obs::kTraceMaxLevels; ++l) {
+    traced_nodes += trace_ctx.nodes_per_level[l];
+  }
+  EXPECT_GT(traced_nodes, 0u);
 }
 
 TEST(ZeroAllocTest, IncrementalScanReusesScratchWithoutAllocating) {

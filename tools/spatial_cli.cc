@@ -11,6 +11,13 @@
 //   spatial_cli range <db.sdb> <lox> <loy> <hix> <hiy> [page_size]
 //   spatial_cli serve-bench <db.sdb> <workers> <queries> [k] [page_size]
 //                           [frames_per_worker] [latency_us]
+//                           [--metrics-dump] [--trace-sample=<per_million>]
+//   spatial_cli metrics <db.sdb> [queries] [k] [page_size] [--slow-log]
+//
+// serve-bench --metrics-dump prints the full Prometheus text exposition
+// (and the slow-query log as JSON) after the run; `metrics` drives a short
+// query burst with 100% trace sampling and prints the exposition — or,
+// with --slow-log, the captured per-query traces (docs/OBSERVABILITY.md).
 //
 // Exit status 0 on success; errors print a Status string to stderr.
 
@@ -57,7 +64,10 @@ int Usage() {
       "  spatial_cli rnn <db.sdb> <x> <y> [page_size]\n"
       "  spatial_cli range <db.sdb> <lox> <loy> <hix> <hiy> [page_size]\n"
       "  spatial_cli serve-bench <db.sdb> <workers> <queries> [k] "
-      "[page_size] [frames_per_worker] [latency_us]\n");
+      "[page_size] [frames_per_worker] [latency_us] [--metrics-dump] "
+      "[--trace-sample=<per_million>]\n"
+      "  spatial_cli metrics <db.sdb> [queries] [k] [page_size] "
+      "[--slow-log]\n");
   return 2;
 }
 
@@ -242,6 +252,22 @@ int CmdRange(int argc, char** argv) {
 // random kNN queries at it from two submitter threads, and reports
 // throughput, latency percentiles, and the aggregated page-access stats.
 int CmdServeBench(int argc, char** argv) {
+  // Flags may appear anywhere; positionals keep their historical order.
+  bool metrics_dump = false;
+  uint32_t trace_sample_per_million = 0;
+  std::vector<char*> positional;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics-dump") == 0) {
+      metrics_dump = true;
+    } else if (std::strncmp(argv[i], "--trace-sample=", 15) == 0) {
+      trace_sample_per_million =
+          static_cast<uint32_t>(std::atoi(argv[i] + 15));
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  argc = static_cast<int>(positional.size());
+  argv = positional.data();
   if (argc < 3) return Usage();
   const std::string path = argv[0];
   const uint32_t workers =
@@ -254,6 +280,7 @@ int CmdServeBench(int argc, char** argv) {
 
   QueryService<2>::Options options;
   options.num_workers = workers;
+  options.trace_sample_per_million = trace_sample_per_million;
   if (argc > 5) {
     options.frames_per_worker = static_cast<uint32_t>(std::atoi(argv[5]));
   }
@@ -303,12 +330,71 @@ int CmdServeBench(int argc, char** argv) {
               static_cast<double>(stats.latency.PercentileNs(0.50)) / 1e6,
               static_cast<double>(stats.latency.PercentileNs(0.95)) / 1e6,
               static_cast<double>(stats.latency.PercentileNs(0.99)) / 1e6,
-              static_cast<double>(stats.latency.max_ns) / 1e6);
+              static_cast<double>(stats.latency.max) / 1e6);
   std::printf("page accesses/query: %.2f logical, %.2f physical "
               "(hit rate %.3f)\n",
               stats.PageAccessesPerQuery(), stats.PhysicalReadsPerQuery(),
               stats.buffer.HitRate());
+  if (metrics_dump) {
+    std::printf("--- metrics ---\n%s",
+                (*service)->ScrapeMetrics().c_str());
+    std::printf("--- slow-query log ---\n%s\n",
+                (*service)->slow_query_log().DumpJson().c_str());
+  }
   return failed.load() == 0 ? 0 : 1;
+}
+
+// Drives a short fully-traced query burst and prints the Prometheus text
+// exposition (or, with --slow-log, the captured traces as JSON): a quick
+// way to see every metric family a served database exports.
+int CmdMetrics(int argc, char** argv) {
+  bool slow_log = false;
+  std::vector<char*> positional;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--slow-log") == 0) {
+      slow_log = true;
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  argc = static_cast<int>(positional.size());
+  argv = positional.data();
+  if (argc < 1) return Usage();
+  const std::string path = argv[0];
+  const size_t num_queries =
+      argc > 1 ? static_cast<size_t>(std::atoll(argv[1])) : 256;
+  const uint32_t k =
+      argc > 2 ? static_cast<uint32_t>(std::atoi(argv[2])) : 10;
+  const uint32_t page_size =
+      argc > 3 ? static_cast<uint32_t>(std::atoi(argv[3])) : 1024;
+
+  QueryService<2>::Options options;
+  options.num_workers = 2;
+  options.trace_sample_per_million = 1'000'000;  // trace everything
+  auto service = QueryService<2>::Open(path, page_size, options);
+  if (!service.ok()) return Fail(service.status(), "open service");
+
+  auto bounds = (*service)->db().tree().Bounds();
+  if (!bounds.ok()) return Fail(bounds.status(), "bounds");
+  Rng rng(12345);
+  std::vector<std::future<QueryResponse<2>>> futures;
+  for (size_t i = 0; i < num_queries; ++i) {
+    Point2 q;
+    for (int d = 0; d < 2; ++d) {
+      q[d] = rng.Uniform(bounds->lo[d], bounds->hi[d]);
+    }
+    futures.push_back((*service)->Submit(QueryRequest<2>::Knn(q, k)));
+  }
+  uint64_t failed = 0;
+  for (auto& f : futures) {
+    if (!f.get().ok()) ++failed;
+  }
+  if (slow_log) {
+    std::printf("%s\n", (*service)->slow_query_log().DumpJson().c_str());
+  } else {
+    std::printf("%s", (*service)->ScrapeMetrics().c_str());
+  }
+  return failed == 0 ? 0 : 1;
 }
 
 int Main(int argc, char** argv) {
@@ -322,6 +408,7 @@ int Main(int argc, char** argv) {
   if (command == "rnn") return CmdRnn(argc - 2, argv + 2);
   if (command == "range") return CmdRange(argc - 2, argv + 2);
   if (command == "serve-bench") return CmdServeBench(argc - 2, argv + 2);
+  if (command == "metrics") return CmdMetrics(argc - 2, argv + 2);
   return Usage();
 }
 

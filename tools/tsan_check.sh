@@ -15,13 +15,16 @@ cmake -B "$BUILD_DIR" -S . -DSPATIAL_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
   --target query_service_test service_stress_test serving_stress_test \
-  io_stats_test
+  io_stats_test obs_metrics_test metrics_scrape_test
 
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
-for t in io_stats_test query_service_test service_stress_test; do
+for t in io_stats_test obs_metrics_test query_service_test \
+         service_stress_test; do
   echo "=== TSan: $t ==="
   "$BUILD_DIR/tests/$t"
 done
-echo "=== TSan: serving_stress_test --smoke ==="
-"$BUILD_DIR/tests/serving_stress_test" --smoke
+for t in serving_stress_test metrics_scrape_test; do
+  echo "=== TSan: $t --smoke ==="
+  "$BUILD_DIR/tests/$t" --smoke
+done
 echo "=== TSan: all concurrency tests clean ==="
