@@ -1,0 +1,387 @@
+// E19 — Sharded scatter-gather serving (shard + net layers).
+//
+// The SIGMOD'95 algorithm is single-tree; this experiment measures the
+// production question layered on top (docs/SHARDING.md): what does
+// spatially partitioning one dataset across N independent QueryService
+// shards buy, and what does it cost?
+//
+// Four parts over one 100k-point uniform dataset:
+//   (0) Bit-identity gate: every sharded kNN answer is memcmp'd against
+//       the same query on a single tree holding the whole dataset. The
+//       timed sections below only run if the merge is byte-exact.
+//   (a) Aggregate kNN throughput: shards in {1, 2, 4}, two workers per
+//       shard, every physical read carrying a simulated rotational-disk
+//       latency (E14's regime — sleeping reads overlap across workers, so
+//       scaling is independent of host core count). Each query scatters
+//       to every shard, each shard searches a tree 1/N the size, and N×
+//       more workers overlap I/O: aggregate qps must scale.
+//   (b) Shared prune-bound streaming: with the router's atomic k-th-
+//       distance bound on vs off, total pages scanned per query across
+//       all shards. The shard holding the answer publishes its bound and
+//       laggard shards prune subtrees they would otherwise read.
+//   (c) Overload shedding through the RPC front door: a server with a
+//       small in-flight budget, driven first under the budget (capacity),
+//       then by 8x more closed-loop clients (overload). Excess requests
+//       shed kOverloaded before any shard sees them, so the p99 of the
+//       *accepted* requests stays bounded instead of growing a queue.
+//
+// Writes BENCH_E19.json for tools/bench_compare.py; `--smoke` runs a
+// scaled-down pass and writes to /tmp without touching the manifest.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/knn.h"
+#include "db/spatial_db.h"
+#include "exp_common.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "shard/shard_router.h"
+#include "shard/shard_set.h"
+
+namespace spatial {
+namespace bench {
+namespace {
+
+constexpr uint32_t kK = 10;
+constexpr uint32_t kWorkersPerShard = 2;
+constexpr uint32_t kFramesPerWorker = 16;
+constexpr uint32_t kSimulatedLatencyUs = 200;
+
+struct Params {
+  size_t n_points;
+  size_t gate_queries;
+  size_t qps_queries;      // per throughput config
+  size_t bound_queries;    // per bound mode
+  size_t rpc_calls_per_client;
+};
+
+ShardSet<2>::Options SetOptions(uint32_t shards, uint32_t latency_us) {
+  ShardSet<2>::Options options;
+  options.num_shards = shards;
+  options.page_size = kPageSize;
+  options.service.num_workers = kWorkersPerShard;
+  options.service.frames_per_worker = kFramesPerWorker;
+  options.service.simulated_read_latency_us = latency_us;
+  return options;
+}
+
+std::vector<Point2> RandomQueries(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point2> queries(n);
+  for (auto& q : queries) {
+    q = {{rng.Uniform(0.0, 1.0), rng.Uniform(0.0, 1.0)}};
+  }
+  return queries;
+}
+
+// (0) Byte-exact equivalence of the sharded merge against one tree.
+void BitIdentityGate(const std::vector<Entry<2>>& data,
+                     const std::vector<Point2>& queries) {
+  SpatialDb<2>::Options db_options;
+  db_options.page_size = kPageSize;
+  db_options.buffer_pages = kBufferPages;
+  auto reference =
+      Unwrap(SpatialDb<2>::CreateInMemory(db_options), "reference db");
+  UnwrapStatus(reference.BulkLoadData(data, BulkLoadMethod::kStr),
+               "reference bulk load");
+
+  for (uint32_t shards : {1u, 4u}) {
+    auto set = Unwrap(ShardSet<2>::Build(data, SetOptions(shards, 0)),
+                      "gate shard set");
+    ShardRouter<2> router(set.get());
+    for (const Point2& q : queries) {
+      KnnOptions knn;
+      knn.k = kK;
+      auto want = Unwrap(KnnSearch<2>(reference.tree(), q, knn, nullptr),
+                         "reference knn");
+      QueryResponse<2> got = router.Execute(QueryRequest<2>::Knn(q, kK));
+      UnwrapStatus(got.status, "sharded knn");
+      if (got.neighbors.size() != want.size() ||
+          std::memcmp(got.neighbors.data(), want.data(),
+                      want.size() * sizeof(Neighbor)) != 0) {
+        std::fprintf(stderr,
+                     "E19 bit-identity gate FAILED at %u shards: sharded "
+                     "answer differs from single tree\n",
+                     shards);
+        std::exit(1);
+      }
+    }
+  }
+  std::printf("bit-identity gate: sharded == single tree on %zu queries "
+              "x {1, 4} shards (memcmp)\n\n",
+              queries.size());
+}
+
+struct LoadResult {
+  double qps = 0.0;
+  double pages_per_query = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+// Closed-loop load: `threads` clients call the router synchronously.
+LoadResult RunRouterLoad(ShardRouter<2>* router,
+                         const std::vector<Point2>& queries,
+                         size_t num_queries, uint32_t threads) {
+  std::atomic<uint64_t> pages{0};
+  std::vector<std::vector<uint64_t>> lat(threads);
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  for (uint32_t t = 0; t < threads; ++t) {
+    clients.emplace_back([&, t] {
+      for (size_t i = t; i < num_queries; i += threads) {
+        const auto t0 = std::chrono::steady_clock::now();
+        QueryResponse<2> r = router->Execute(
+            QueryRequest<2>::Knn(queries[i % queries.size()], kK));
+        const auto t1 = std::chrono::steady_clock::now();
+        UnwrapStatus(r.status, "router knn");
+        pages.fetch_add(r.stats.nodes_visited, std::memory_order_relaxed);
+        lat[t].push_back(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                .count()));
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  std::vector<uint64_t> all;
+  for (auto& v : lat) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  auto pct = [&](double p) {
+    if (all.empty()) return 0.0;
+    const size_t i = std::min(all.size() - 1,
+                              static_cast<size_t>(p * (all.size() - 1)));
+    return static_cast<double>(all[i]) / 1e6;
+  };
+  LoadResult r;
+  r.qps = elapsed > 0
+              ? static_cast<double>(num_queries) / elapsed
+              : 0.0;
+  r.pages_per_query =
+      static_cast<double>(pages.load()) / static_cast<double>(num_queries);
+  r.p50_ms = pct(0.50);
+  r.p99_ms = pct(0.99);
+  return r;
+}
+
+struct RpcResult {
+  uint64_t ok = 0;
+  uint64_t shed = 0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+// Closed-loop RPC load, one client connection per thread; latency is
+// collected over *accepted* requests only.
+RpcResult RunRpcLoad(uint16_t port, const std::vector<Point2>& queries,
+                     uint32_t threads, size_t calls_per_client) {
+  std::atomic<uint64_t> ok{0}, shed{0};
+  std::vector<std::vector<uint64_t>> lat(threads);
+  std::vector<std::thread> clients;
+  for (uint32_t t = 0; t < threads; ++t) {
+    clients.emplace_back([&, t] {
+      auto client =
+          Unwrap(RpcClient<2>::Connect("127.0.0.1", port), "rpc connect");
+      for (size_t i = 0; i < calls_per_client; ++i) {
+        const Point2& q = queries[(t * calls_per_client + i) % queries.size()];
+        const auto t0 = std::chrono::steady_clock::now();
+        auto r = Unwrap(client->Call(QueryRequest<2>::Knn(q, kK)), "rpc call");
+        const auto t1 = std::chrono::steady_clock::now();
+        if (r.status.ok()) {
+          ok.fetch_add(1);
+          lat[t].push_back(static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                  .count()));
+        } else if (r.status.IsOverloaded()) {
+          shed.fetch_add(1);
+        } else {
+          UnwrapStatus(r.status, "rpc query");
+        }
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+
+  std::vector<uint64_t> all;
+  for (auto& v : lat) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  auto pct = [&](double p) {
+    if (all.empty()) return 0.0;
+    const size_t i = std::min(all.size() - 1,
+                              static_cast<size_t>(p * (all.size() - 1)));
+    return static_cast<double>(all[i]) / 1e6;
+  };
+  RpcResult r;
+  r.ok = ok.load();
+  r.shed = shed.load();
+  r.p50_ms = pct(0.50);
+  r.p99_ms = pct(0.99);
+  return r;
+}
+
+void Main(bool smoke) {
+  const Params p = smoke
+                       ? Params{5000, 20, 60, 40, 20}
+                       : Params{100000, 150, 600, 300, 100};
+  PrintHeader("E19", "sharded scatter-gather serving (shard + net layers)");
+  std::printf("host reports %u hardware threads; %u workers/shard, "
+              "%u frames/worker, %u us simulated read latency%s\n\n",
+              std::thread::hardware_concurrency(), kWorkersPerShard,
+              kFramesPerWorker, kSimulatedLatencyUs, smoke ? " [smoke]" : "");
+
+  const auto data = MakeDataset(Family::kUniform, p.n_points, kDataSeed);
+  const auto queries = RandomQueries(512, kQuerySeed);
+
+  BitIdentityGate(data, RandomQueries(p.gate_queries, kQuerySeed + 1));
+
+  std::vector<std::pair<std::string, double>> json;
+
+  // (a) Aggregate throughput vs shard count under the I/O-bound regime.
+  double qps1 = 0.0, qps4 = 0.0;
+  {
+    std::printf("--- (a) aggregate kNN qps vs shard count: "
+                "8 closed-loop clients, k=%u ---\n",
+                kK);
+    Table table({"shards", "workers", "qps", "speedup", "pages/q", "p50_ms",
+                 "p99_ms"});
+    double baseline = 0.0;
+    for (uint32_t shards : {1u, 2u, 4u}) {
+      auto set = Unwrap(
+          ShardSet<2>::Build(data, SetOptions(shards, kSimulatedLatencyUs)),
+          "qps shard set");
+      ShardRouter<2> router(set.get());
+      const LoadResult r = RunRouterLoad(&router, queries, p.qps_queries, 8);
+      if (shards == 1) baseline = r.qps;
+      if (shards == 1) qps1 = r.qps;
+      if (shards == 4) qps4 = r.qps;
+      table.AddRow({std::to_string(shards),
+                    std::to_string(shards * kWorkersPerShard),
+                    FmtDouble(r.qps, 0),
+                    FmtDouble(baseline > 0 ? r.qps / baseline : 1.0, 2),
+                    FmtDouble(r.pages_per_query, 2), FmtDouble(r.p50_ms, 3),
+                    FmtDouble(r.p99_ms, 3)});
+      json.emplace_back("qps_knn_shards" + std::to_string(shards), r.qps);
+    }
+    PrintTableAndCsv(table);
+    json.emplace_back("speedup_shards4", qps1 > 0 ? qps4 / qps1 : 0.0);
+  }
+
+  // (b) Shared prune-bound streaming: pages scanned across all shards.
+  double pages_shared = 0.0, pages_independent = 0.0;
+  {
+    std::printf("--- (b) shared prune-bound streaming: 4 shards, "
+                "total pages scanned per query ---\n");
+    Table table({"bound", "pages/q", "p50_ms"});
+    for (bool stream : {false, true}) {
+      auto set = Unwrap(ShardSet<2>::Build(data, SetOptions(4, 0)),
+                        "bound shard set");
+      ShardRouter<2>::Options router_options;
+      router_options.stream_bound = stream;
+      ShardRouter<2> router(set.get(), router_options);
+      const LoadResult r =
+          RunRouterLoad(&router, queries, p.bound_queries, 2);
+      (stream ? pages_shared : pages_independent) = r.pages_per_query;
+      table.AddRow({stream ? "shared (streamed)" : "independent",
+                    FmtDouble(r.pages_per_query, 2), FmtDouble(r.p50_ms, 3)});
+    }
+    PrintTableAndCsv(table);
+    json.emplace_back("pages_per_query_independent_bound", pages_independent);
+    json.emplace_back("pages_per_query_shared_bound", pages_shared);
+  }
+
+  // (c) Overload shedding through the RPC front door.
+  double p99_capacity = 0.0, p99_overload = 0.0, shed_fraction = 0.0;
+  {
+    constexpr uint32_t kBudget = 4;
+    std::printf("--- (c) overload shedding: RPC server, in-flight budget "
+                "%u, capacity (2 clients) vs overload (16 clients) ---\n",
+                kBudget);
+    auto set = Unwrap(
+        ShardSet<2>::Build(data, SetOptions(4, kSimulatedLatencyUs)),
+        "rpc shard set");
+    ShardRouter<2> router(set.get());
+    typename RpcServer<2>::Options server_options;
+    server_options.max_pending = kBudget;
+    server_options.max_connections = 32;
+    auto server =
+        Unwrap(RpcServer<2>::Start(&router, server_options), "rpc server");
+
+    Table table({"phase", "clients", "accepted", "shed", "shed_frac",
+                 "p50_ms", "p99_ms"});
+    const RpcResult cap =
+        RunRpcLoad(server->port(), queries, 2, p.rpc_calls_per_client);
+    p99_capacity = cap.p99_ms;
+    table.AddRow({"capacity", "2", std::to_string(cap.ok),
+                  std::to_string(cap.shed),
+                  FmtDouble(cap.ok + cap.shed > 0
+                                ? static_cast<double>(cap.shed) /
+                                      static_cast<double>(cap.ok + cap.shed)
+                                : 0.0,
+                            3),
+                  FmtDouble(cap.p50_ms, 3), FmtDouble(cap.p99_ms, 3)});
+    const RpcResult over =
+        RunRpcLoad(server->port(), queries, 16, p.rpc_calls_per_client);
+    p99_overload = over.p99_ms;
+    shed_fraction = over.ok + over.shed > 0
+                        ? static_cast<double>(over.shed) /
+                              static_cast<double>(over.ok + over.shed)
+                        : 0.0;
+    table.AddRow({"overload", "16", std::to_string(over.ok),
+                  std::to_string(over.shed), FmtDouble(shed_fraction, 3),
+                  FmtDouble(over.p50_ms, 3), FmtDouble(over.p99_ms, 3)});
+    PrintTableAndCsv(table);
+    server->Stop();
+    server->WaitUntilStopped();
+
+    json.emplace_back("p99_accepted_ms_capacity", p99_capacity);
+    json.emplace_back("p99_accepted_ms_overload", p99_overload);
+    json.emplace_back("overload_shed_fraction", shed_fraction);
+  }
+
+  // The acceptance gates only bind at full scale; the smoke run is a
+  // correctness/smoke pass over tiny inputs where the ratios are noise.
+  if (!smoke) {
+    if (qps1 <= 0 || qps4 / qps1 < 2.5) {
+      std::fprintf(stderr,
+                   "E19 FAILED: 4-shard speedup %.2fx < 2.5x required\n",
+                   qps1 > 0 ? qps4 / qps1 : 0.0);
+      std::exit(1);
+    }
+    if (pages_shared > pages_independent) {
+      std::fprintf(stderr,
+                   "E19 FAILED: shared bound scanned more pages "
+                   "(%.2f) than independent bounds (%.2f)\n",
+                   pages_shared, pages_independent);
+      std::exit(1);
+    }
+    if (shed_fraction <= 0.0) {
+      std::fprintf(stderr, "E19 FAILED: overload phase shed nothing\n");
+      std::exit(1);
+    }
+  }
+
+  const char* json_path =
+      smoke ? "/tmp/BENCH_E19_smoke.json" : "BENCH_E19.json";
+  WriteBenchJson(json_path, json, /*update_manifest=*/!smoke);
+  std::printf("wrote %s\n", json_path);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace spatial
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::string(argv[1]) == "--smoke";
+  spatial::bench::Main(smoke);
+  return 0;
+}

@@ -21,6 +21,9 @@ class Status {
     kOutOfRange,
     kAlreadyExists,
     kInternal,
+    // Admission control shed the request: the server's pending-request
+    // budget was full (net/server.h). Retry later; nothing was executed.
+    kOverloaded,
   };
 
   Status() : code_(Code::kOk) {}
@@ -47,6 +50,9 @@ class Status {
   static Status Internal(std::string_view msg) {
     return Status(Code::kInternal, msg);
   }
+  static Status Overloaded(std::string_view msg) {
+    return Status(Code::kOverloaded, msg);
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   Code code() const { return code_; }
@@ -61,6 +67,7 @@ class Status {
   bool IsOutOfRange() const { return code_ == Code::kOutOfRange; }
   bool IsAlreadyExists() const { return code_ == Code::kAlreadyExists; }
   bool IsInternal() const { return code_ == Code::kInternal; }
+  bool IsOverloaded() const { return code_ == Code::kOverloaded; }
 
   // Human-readable "CODE: message" string, e.g. "NotFound: page 17".
   std::string ToString() const {
@@ -98,6 +105,8 @@ class Status {
         return "AlreadyExists";
       case Code::kInternal:
         return "Internal";
+      case Code::kOverloaded:
+        return "Overloaded";
     }
     return "Unknown";
   }

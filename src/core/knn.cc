@@ -98,7 +98,20 @@ class DepthFirstKnn {
     double bound = std::numeric_limits<double>::infinity();
     if (options_.use_s3) bound = std::min(bound, scratch_->buffer.WorstDistSq());
     if (s2_active_) bound = std::min(bound, estimate_sq_);
+    // Cross-shard streaming: another shard's published k-th distance is a
+    // valid upper bound on the global k-th distance (core/shared_bound.h).
+    if (options_.shared_bound != nullptr) {
+      bound = std::min(bound, options_.shared_bound->LoadSq());
+    }
     return bound;
+  }
+
+  // Publishes this search's local k-th distance to the shared bound once
+  // the buffer holds k candidates; called whenever an offer tightened it.
+  void PublishBound() {
+    if (options_.shared_bound != nullptr && scratch_->buffer.full()) {
+      options_.shared_bound->TightenSq(scratch_->buffer.WorstDistSq());
+    }
   }
 
   Status VisitLeaf(const Entry<D>* entries, uint32_t n) {
@@ -134,7 +147,10 @@ class DepthFirstKnn {
         if (stats_ != nullptr) ++stats_->pruned_leaf;
         continue;
       }
-      if (buffer.Offer(entries[i].id, dist[i])) bound_sq = PruneBoundSq();
+      if (buffer.Offer(entries[i].id, dist[i])) {
+        PublishBound();
+        bound_sq = PruneBoundSq();
+      }
     }
     return Status::OK();
   }

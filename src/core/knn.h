@@ -9,6 +9,7 @@
 #include "core/neighbor_buffer.h"
 #include "core/query_stats.h"
 #include "core/scratch.h"
+#include "core/shared_bound.h"
 #include "geom/point.h"
 #include "rtree/rtree.h"
 
@@ -46,6 +47,15 @@ struct KnnOptions {
   bool use_s1 = true;
   bool use_s2 = true;
   bool use_s3 = true;
+
+  // Cross-shard bound streaming (shard/shard_router.h). When set, the
+  // search additionally prunes against this shared upper bound on the
+  // global k-th distance and publishes its own local k-th distance into it
+  // once its buffer is full. Results are unchanged — the bound can only
+  // discard objects beyond the global k-th neighbor (see
+  // core/shared_bound.h for the argument) — but laggard shards skip work.
+  // Standalone (single-tree) callers leave it null.
+  SharedPruneBound* shared_bound = nullptr;
 
   // Test hooks. `force_full_sort` disables the lazy-heap ABL path that
   // MINDIST ordering otherwise takes, so tests can assert both paths visit

@@ -1,0 +1,72 @@
+#ifndef SPATIAL_CORE_SHARED_BOUND_H_
+#define SPATIAL_CORE_SHARED_BOUND_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+
+namespace spatial {
+
+// A monotonically tightening upper bound on the k-th nearest squared
+// distance, shared by searches running concurrently over disjoint shards
+// of one dataset (shard/shard_router.h).
+//
+// Why it is sound: the k-th smallest distance within any *subset* of the
+// data is >= the k-th smallest within the whole dataset, so every value a
+// shard publishes (its current local k-th distance once its buffer holds k
+// candidates) is a valid upper bound on the global k-th distance — and so
+// is the minimum over shards. A shard pruning an MBR whose MINDIST exceeds
+// this bound can only discard objects strictly farther than the global
+// k-th neighbor, i.e. objects that the cross-shard merge would drop
+// anyway. Timing therefore changes how much work laggard shards do, never
+// which objects the merged answer contains (E19 measures the saved pages).
+//
+// Lock-free: squared distances are non-negative IEEE-754 doubles, whose
+// total order coincides with the order of their bit patterns as unsigned
+// integers, so min-tracking runs as a CAS loop on one uint64 cell.
+class SharedPruneBound {
+ public:
+  SharedPruneBound() : bits_(Encode(kInf)) {}
+  SharedPruneBound(const SharedPruneBound&) = delete;
+  SharedPruneBound& operator=(const SharedPruneBound&) = delete;
+
+  double LoadSq() const {
+    return Decode(bits_.load(std::memory_order_relaxed));
+  }
+
+  // Lowers the bound to `dist_sq` if that is tighter; never raises it.
+  void TightenSq(double dist_sq) {
+    const uint64_t bits = Encode(dist_sq);
+    uint64_t cur = bits_.load(std::memory_order_relaxed);
+    while (bits < cur &&
+           !bits_.compare_exchange_weak(cur, bits,
+                                        std::memory_order_relaxed)) {
+    }
+  }
+
+  // Re-arms for a new query. Callers must not reset while any search still
+  // holds a pointer to this bound.
+  void Reset() { bits_.store(Encode(kInf), std::memory_order_relaxed); }
+
+ private:
+  static constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  static uint64_t Encode(double d) {
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(d));
+    std::memcpy(&bits, &d, sizeof(bits));
+    return bits;
+  }
+  static double Decode(uint64_t bits) {
+    double d;
+    std::memcpy(&d, &bits, sizeof(d));
+    return d;
+  }
+
+  std::atomic<uint64_t> bits_;
+};
+
+}  // namespace spatial
+
+#endif  // SPATIAL_CORE_SHARED_BOUND_H_

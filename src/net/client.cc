@@ -1,0 +1,81 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace spatial {
+
+template <int D>
+Result<std::unique_ptr<RpcClient<D>>> RpcClient<D>::Connect(
+    const std::string& host, uint16_t port) {
+  const std::string address = host == "localhost" ? "127.0.0.1" : host;
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, address.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("RpcClient: bad host " + host);
+  }
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("RpcClient: socket: ") +
+                            std::strerror(errno));
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status st = Status::Internal(std::string("RpcClient: connect: ") +
+                                       std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  WireHandshake ours;
+  ours.dim = static_cast<uint32_t>(D);
+  Status sent = SendHandshake(fd, ours);
+  if (!sent.ok()) {
+    ::close(fd);
+    return sent;
+  }
+  Result<WireHandshake> theirs = RecvHandshake(fd);
+  if (!theirs.ok()) {
+    ::close(fd);
+    return theirs.status();
+  }
+  if (theirs->magic != kWireMagic || theirs->version != kWireVersion ||
+      theirs->dim != static_cast<uint32_t>(D)) {
+    ::close(fd);
+    return Status::InvalidArgument(
+        "RpcClient: handshake mismatch (wrong server, version, or "
+        "dimensionality)");
+  }
+  return std::unique_ptr<RpcClient>(new RpcClient(fd));
+}
+
+template <int D>
+RpcClient<D>::~RpcClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+template <int D>
+Result<QueryResponse<D>> RpcClient<D>::Call(const QueryRequest<D>& request) {
+  request_buf_.clear();
+  EncodeRequest<D>(request, &request_buf_);
+  SPATIAL_RETURN_IF_ERROR(SendFrame(fd_, request_buf_));
+  SPATIAL_RETURN_IF_ERROR(RecvFrame(fd_, &response_buf_));
+  return DecodeResponse<D>(
+      reinterpret_cast<const uint8_t*>(response_buf_.data()),
+      response_buf_.size());
+}
+
+template class RpcClient<2>;
+template class RpcClient<3>;
+
+}  // namespace spatial

@@ -1,0 +1,50 @@
+#ifndef SPATIAL_NET_CLIENT_H_
+#define SPATIAL_NET_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "net/wire.h"
+#include "service/request.h"
+
+namespace spatial {
+
+// Client side of the binary RPC protocol (net/wire.h): one TCP connection,
+// synchronous request/response. Transport and protocol failures surface as
+// the Result's error; application-level failures (including kOverloaded
+// sheds) arrive inside the returned QueryResponse's status, exactly as a
+// local QueryService would report them.
+//
+// Not thread-safe — frames would interleave. Open one client per calling
+// thread (tools/spatial_cli.cc's shard-bench does exactly that).
+template <int D>
+class RpcClient {
+ public:
+  // Connects and completes the handshake. `host` is a dotted-quad IPv4
+  // address ("localhost" is accepted as 127.0.0.1).
+  static Result<std::unique_ptr<RpcClient>> Connect(const std::string& host,
+                                                    uint16_t port);
+
+  RpcClient(const RpcClient&) = delete;
+  RpcClient& operator=(const RpcClient&) = delete;
+  ~RpcClient();
+
+  // One round trip. After an error the connection is dead; reconnect.
+  Result<QueryResponse<D>> Call(const QueryRequest<D>& request);
+
+ private:
+  explicit RpcClient(int fd) : fd_(fd) {}
+
+  int fd_;
+  std::string request_buf_;
+  std::string response_buf_;
+};
+
+extern template class RpcClient<2>;
+extern template class RpcClient<3>;
+
+}  // namespace spatial
+
+#endif  // SPATIAL_NET_CLIENT_H_

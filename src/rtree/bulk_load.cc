@@ -7,6 +7,7 @@
 
 #include "common/macros.h"
 #include "geom/metrics.h"
+#include "rtree/str_sort.h"
 
 namespace spatial {
 
@@ -99,28 +100,6 @@ void SortByCurve(std::vector<Entry<D>>* entries, BulkLoadMethod method) {
   *entries = std::move(sorted);
 }
 
-// Sort-Tile-Recursive ordering: sort by the first dimension, partition into
-// slabs, recurse on the remaining dimensions inside each slab.
-template <int D>
-void StrOrder(Entry<D>* begin, Entry<D>* end, int dim, size_t node_capacity) {
-  const size_t n = static_cast<size_t>(end - begin);
-  if (n <= node_capacity || dim >= D) return;
-  std::sort(begin, end, [dim](const Entry<D>& a, const Entry<D>& b) {
-    return a.mbr.Center()[dim] < b.mbr.Center()[dim];
-  });
-  if (dim == D - 1) return;
-  const double pages =
-      std::ceil(static_cast<double>(n) / static_cast<double>(node_capacity));
-  const double slabs_d = std::ceil(
-      std::pow(pages, 1.0 / static_cast<double>(D - dim)));
-  const size_t slabs = std::max<size_t>(1, static_cast<size_t>(slabs_d));
-  const size_t slab_size = (n + slabs - 1) / slabs;
-  for (size_t start = 0; start < n; start += slab_size) {
-    const size_t stop = std::min(n, start + slab_size);
-    StrOrder(begin + start, begin + stop, dim + 1, node_capacity);
-  }
-}
-
 // Packs an ordered entry run into nodes at `level`, spreading entries evenly
 // so every node holds between floor(n/P) and ceil(n/P) entries.
 template <int D>
@@ -204,8 +183,9 @@ Result<RTree<D>> BulkLoad(BufferPool* pool, const RTreeOptions& options,
   uint16_t level = 0;
   for (;;) {
     if (method == BulkLoadMethod::kStr) {
-      StrOrder<D>(current.data(), current.data() + current.size(), 0,
-                  node_capacity);
+      // The tile sort is shared with the shard partitioner (rtree/str_sort.h).
+      StrTileSort<D>(current.data(), current.data() + current.size(), 0,
+                     node_capacity);
     } else {
       SortByCurve<D>(&current, method);
     }

@@ -1,0 +1,33 @@
+#include "rtree/str_sort.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spatial {
+
+template <int D>
+void StrTileSort(Entry<D>* begin, Entry<D>* end, int dim,
+                 size_t tile_capacity) {
+  const size_t n = static_cast<size_t>(end - begin);
+  if (n <= tile_capacity || dim >= D) return;
+  std::sort(begin, end, [dim](const Entry<D>& a, const Entry<D>& b) {
+    return a.mbr.Center()[dim] < b.mbr.Center()[dim];
+  });
+  if (dim == D - 1) return;
+  const double tiles =
+      std::ceil(static_cast<double>(n) / static_cast<double>(tile_capacity));
+  const double slabs_d =
+      std::ceil(std::pow(tiles, 1.0 / static_cast<double>(D - dim)));
+  const size_t slabs = std::max<size_t>(1, static_cast<size_t>(slabs_d));
+  const size_t slab_size = (n + slabs - 1) / slabs;
+  for (size_t start = 0; start < n; start += slab_size) {
+    const size_t stop = std::min(n, start + slab_size);
+    StrTileSort(begin + start, begin + stop, dim + 1, tile_capacity);
+  }
+}
+
+template void StrTileSort<2>(Entry<2>*, Entry<2>*, int, size_t);
+template void StrTileSort<3>(Entry<3>*, Entry<3>*, int, size_t);
+template void StrTileSort<4>(Entry<4>*, Entry<4>*, int, size_t);
+
+}  // namespace spatial

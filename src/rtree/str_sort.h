@@ -1,0 +1,35 @@
+#ifndef SPATIAL_RTREE_STR_SORT_H_
+#define SPATIAL_RTREE_STR_SORT_H_
+
+#include <cstddef>
+
+#include "rtree/entry.h"
+
+namespace spatial {
+
+// Sort-Tile-Recursive ordering (Leutenegger et al. 1997): sort the run by
+// the first dimension, partition it into slabs sized so each slab fills a
+// whole number of tiles, then recurse on the remaining dimensions inside
+// each slab. After the call, every `tile_capacity`-sized contiguous chunk
+// of [begin, end) is a spatially coherent tile.
+//
+// This is the one STR implementation in the tree: the bulk loader packs
+// each chunk into an R-tree node (`tile_capacity` = node capacity,
+// rtree/bulk_load.cc), and the shard partitioner carves the run into
+// per-shard tiles (`tile_capacity` = objects per shard,
+// shard/partitioner.cc).
+//
+// `dim` is the dimension to sort first — pass 0; recursion uses the rest.
+// Runs of at most `tile_capacity` entries are left untouched (they already
+// fit one tile).
+template <int D>
+void StrTileSort(Entry<D>* begin, Entry<D>* end, int dim,
+                 size_t tile_capacity);
+
+extern template void StrTileSort<2>(Entry<2>*, Entry<2>*, int, size_t);
+extern template void StrTileSort<3>(Entry<3>*, Entry<3>*, int, size_t);
+extern template void StrTileSort<4>(Entry<4>*, Entry<4>*, int, size_t);
+
+}  // namespace spatial
+
+#endif  // SPATIAL_RTREE_STR_SORT_H_

@@ -1,0 +1,53 @@
+#include "shard/partitioner.h"
+
+#include <utility>
+
+#include "rtree/str_sort.h"
+
+namespace spatial {
+
+template <int D>
+Result<Partition<D>> PartitionStr(std::vector<Entry<D>> items,
+                                  uint32_t num_shards) {
+  if (num_shards < 1) {
+    return Status::InvalidArgument("PartitionStr: num_shards must be >= 1");
+  }
+  for (const Entry<D>& e : items) {
+    if (!e.mbr.IsValid()) {
+      return Status::InvalidArgument("PartitionStr: invalid entry rectangle");
+    }
+  }
+
+  Partition<D> out;
+  out.shards.resize(num_shards);
+  out.tiles.assign(num_shards, Rect<D>::Empty());
+
+  const size_t n = items.size();
+  if (n == 0) return out;
+
+  const size_t tile_capacity = (n + num_shards - 1) / num_shards;
+  StrTileSort<D>(items.data(), items.data() + n, 0, tile_capacity);
+
+  // Slice the ordered run evenly (base/extra spread, same as the bulk
+  // loader's PackLevel): shard boundaries drift at most one entry from the
+  // exact tile boundaries, which keeps tiles coherent while avoiding a
+  // near-empty final shard.
+  const size_t base = n / num_shards;
+  const size_t extra = n % num_shards;
+  size_t next = 0;
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    const size_t take = base + (s < extra ? 1 : 0);
+    out.shards[s].reserve(take);
+    for (size_t i = 0; i < take; ++i) {
+      out.tiles[s].ExpandToInclude(items[next].mbr);
+      out.shards[s].push_back(items[next]);
+      ++next;
+    }
+  }
+  return out;
+}
+
+template Result<Partition<2>> PartitionStr<2>(std::vector<Entry<2>>, uint32_t);
+template Result<Partition<3>> PartitionStr<3>(std::vector<Entry<3>>, uint32_t);
+
+}  // namespace spatial

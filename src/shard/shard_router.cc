@@ -1,0 +1,258 @@
+#include "shard/shard_router.h"
+
+#include <algorithm>
+#include <chrono>
+#include <future>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "core/shared_bound.h"
+#include "geom/metrics.h"
+
+namespace spatial {
+
+namespace {
+
+// The deterministic merge order: ascending squared distance, object id
+// breaking ties. Shard answers arrive in shard order, so equal inputs
+// always merge identically.
+bool NeighborLess(const Neighbor& a, const Neighbor& b) {
+  if (a.dist_sq != b.dist_sq) return a.dist_sq < b.dist_sq;
+  return a.id < b.id;
+}
+
+uint64_t ElapsedNs(std::chrono::steady_clock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+}  // namespace
+
+template <int D>
+ShardRouter<D>::ShardRouter(ShardSet<D>* shards, const Options& options)
+    : shards_(shards), options_(options) {
+  RegisterMetrics();
+}
+
+template <int D>
+void ShardRouter<D>::RegisterMetrics() {
+  for (int k = 0; k < kNumQueryKinds; ++k) {
+    // Kind names like "top-k" carry hyphens, which are legal in label
+    // values but not in Prometheus metric names — fold them to '_'.
+    std::string name = std::string("spatial_router_requests_total_") +
+                       QueryKindName(static_cast<QueryKind>(k));
+    std::replace(name.begin(), name.end(), '-', '_');
+    requests_by_kind_[k] =
+        metrics_.AddCounter(name, "Router requests of this kind");
+  }
+  failed_ = metrics_.AddCounter("spatial_router_requests_failed_total",
+                                "Router requests that returned an error");
+  merge_ns_ = metrics_.AddHistogram(
+      "spatial_router_merge_ns",
+      "Scatter-gather wall time per request (submit to merged answer)");
+
+  // Per-shard families, labelled shard="i". Reading Snapshot() is safe
+  // while workers run (relaxed single-writer counters).
+  metrics_.AddCollector([this](obs::ExpositionWriter& writer) {
+    writer.Family("spatial_shard_queries_total",
+                  "Queries executed per shard", obs::MetricType::kCounter);
+    for (uint32_t s = 0; s < shards_->num_shards(); ++s) {
+      const ServiceStats stats = shards_->shard(s).Snapshot();
+      writer.Sample("spatial_shard_queries_total",
+                    "shard=\"" + std::to_string(s) + "\",outcome=\"ok\"",
+                    stats.queries_ok);
+      writer.Sample("spatial_shard_queries_total",
+                    "shard=\"" + std::to_string(s) + "\",outcome=\"failed\"",
+                    stats.queries_failed);
+    }
+    writer.Family("spatial_shard_query_latency_ns",
+                  "Per-shard query latency (worker wall time)",
+                  obs::MetricType::kHistogram);
+    for (uint32_t s = 0; s < shards_->num_shards(); ++s) {
+      const ServiceStats stats = shards_->shard(s).Snapshot();
+      writer.Histogram("spatial_shard_query_latency_ns",
+                       "shard=\"" + std::to_string(s) + "\"", stats.latency);
+    }
+    writer.Family("spatial_shard_objects", "Objects initially loaded",
+                  obs::MetricType::kGauge);
+    for (uint32_t s = 0; s < shards_->num_shards(); ++s) {
+      writer.Sample("spatial_shard_objects",
+                    "shard=\"" + std::to_string(s) + "\"",
+                    shards_->shard_size(s));
+    }
+  });
+}
+
+template <int D>
+QueryResponse<D> ShardRouter<D>::Execute(const QueryRequest<D>& request) {
+  requests_by_kind_[static_cast<int>(request.kind)]->Inc();
+  QueryResponse<D> response;
+  switch (request.kind) {
+    case QueryKind::kKnn:
+    case QueryKind::kConstrainedKnn:
+    case QueryKind::kRange:
+    case QueryKind::kTopK:
+    case QueryKind::kBatchKnn:
+      response = ScatterQuery(request);
+      break;
+    case QueryKind::kInsert:
+      response = RouteInsert(request);
+      break;
+    case QueryKind::kDelete:
+    case QueryKind::kCheckpoint:
+      response = Broadcast(request);
+      break;
+  }
+  if (!response.ok()) failed_->Inc();
+  return response;
+}
+
+template <int D>
+QueryResponse<D> ShardRouter<D>::ScatterQuery(const QueryRequest<D>& request) {
+  const auto start = std::chrono::steady_clock::now();
+  const uint32_t n = shards_->num_shards();
+
+  // One bound per Execute() call, on the stack: concurrent router calls
+  // never share a bound, so no reset/epoch protocol is needed. Streaming
+  // applies to plain kNN only — the constrained search clips by region and
+  // the incremental top-k scan does not take KnnOptions.
+  SharedPruneBound bound;
+  QueryRequest<D> scattered = request;
+  if (options_.stream_bound && request.kind == QueryKind::kKnn) {
+    scattered.knn.shared_bound = &bound;
+  }
+
+  std::vector<std::future<QueryResponse<D>>> futures;
+  futures.reserve(n);
+  for (uint32_t s = 0; s < n; ++s) {
+    futures.push_back(shards_->shard(s).Submit(scattered));
+  }
+
+  std::vector<QueryResponse<D>> answers;
+  answers.reserve(n);
+  for (auto& f : futures) answers.push_back(f.get());
+
+  QueryResponse<D> merged;
+  for (const auto& a : answers) {
+    if (!a.status.ok() && merged.status.ok()) merged.status = a.status;
+    merged.stats.Add(a.stats);
+    // The scatter runs shards concurrently: the round trip's critical path
+    // is the slowest shard, so that is the latency we report.
+    merged.latency_ns = std::max(merged.latency_ns, a.latency_ns);
+  }
+  if (!merged.status.ok()) {
+    merge_ns_->Record(ElapsedNs(start));
+    return merged;
+  }
+
+  switch (request.kind) {
+    case QueryKind::kKnn:
+    case QueryKind::kConstrainedKnn:
+    case QueryKind::kTopK: {
+      const uint32_t k = request.kind == QueryKind::kTopK ? request.top_k
+                                                          : request.knn.k;
+      for (const auto& a : answers) {
+        merged.neighbors.insert(merged.neighbors.end(), a.neighbors.begin(),
+                                a.neighbors.end());
+      }
+      std::sort(merged.neighbors.begin(), merged.neighbors.end(),
+                NeighborLess);
+      if (merged.neighbors.size() > k) merged.neighbors.resize(k);
+      break;
+    }
+    case QueryKind::kRange: {
+      // A single tree reports range hits in traversal order, which is a
+      // tree-shape artifact; the router normalizes to ascending object id
+      // so the merged answer is a pure function of the dataset.
+      for (const auto& a : answers) {
+        merged.entries.insert(merged.entries.end(), a.entries.begin(),
+                              a.entries.end());
+      }
+      std::sort(merged.entries.begin(), merged.entries.end(),
+                [](const Entry<D>& x, const Entry<D>& y) {
+                  return x.id < y.id;
+                });
+      break;
+    }
+    case QueryKind::kBatchKnn: {
+      const uint32_t k = request.knn.k;
+      const size_t num_queries = request.batch_queries.size();
+      std::vector<Neighbor> scratch;
+      merged.batch_offsets.reserve(num_queries + 1);
+      merged.batch_offsets.push_back(0);
+      for (size_t q = 0; q < num_queries; ++q) {
+        scratch.clear();
+        for (const auto& a : answers) {
+          const uint32_t lo = a.batch_offsets[q];
+          const uint32_t hi = a.batch_offsets[q + 1];
+          scratch.insert(scratch.end(), a.neighbors.begin() + lo,
+                         a.neighbors.begin() + hi);
+        }
+        std::sort(scratch.begin(), scratch.end(), NeighborLess);
+        if (scratch.size() > k) scratch.resize(k);
+        merged.neighbors.insert(merged.neighbors.end(), scratch.begin(),
+                                scratch.end());
+        merged.batch_offsets.push_back(
+            static_cast<uint32_t>(merged.neighbors.size()));
+      }
+      break;
+    }
+    default:
+      break;
+  }
+
+  merge_ns_->Record(ElapsedNs(start));
+  return merged;
+}
+
+template <int D>
+QueryResponse<D> ShardRouter<D>::RouteInsert(const QueryRequest<D>& request) {
+  const auto start = std::chrono::steady_clock::now();
+  // Nearest initial tile by MINDIST, ties (e.g. the MBR overlaps several
+  // tiles at distance 0) to the lowest index. Empty tiles — shards that
+  // received no objects at build time — still win when every tile is
+  // empty; then shard 0 takes the insert.
+  uint32_t target = 0;
+  double best = std::numeric_limits<double>::infinity();
+  for (uint32_t s = 0; s < shards_->num_shards(); ++s) {
+    const Rect<D>& tile = shards_->tile(s);
+    if (tile.IsEmpty()) continue;
+    const double d = MinDistSq<D>(tile, request.window);
+    if (d < best) {
+      best = d;
+      target = s;
+    }
+  }
+  QueryResponse<D> response = shards_->shard(target).Execute(request);
+  merge_ns_->Record(ElapsedNs(start));
+  return response;
+}
+
+template <int D>
+QueryResponse<D> ShardRouter<D>::Broadcast(const QueryRequest<D>& request) {
+  const auto start = std::chrono::steady_clock::now();
+  const uint32_t n = shards_->num_shards();
+  std::vector<std::future<QueryResponse<D>>> futures;
+  futures.reserve(n);
+  for (uint32_t s = 0; s < n; ++s) {
+    futures.push_back(shards_->shard(s).Submit(request));
+  }
+  QueryResponse<D> merged;
+  for (auto& f : futures) {
+    QueryResponse<D> a = f.get();
+    if (!a.status.ok() && merged.status.ok()) merged.status = a.status;
+    merged.affected += a.affected;
+    merged.lsn = std::max(merged.lsn, a.lsn);
+    merged.latency_ns = std::max(merged.latency_ns, a.latency_ns);
+  }
+  merge_ns_->Record(ElapsedNs(start));
+  return merged;
+}
+
+template class ShardRouter<2>;
+template class ShardRouter<3>;
+
+}  // namespace spatial

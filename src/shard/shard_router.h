@@ -1,0 +1,83 @@
+#ifndef SPATIAL_SHARD_SHARD_ROUTER_H_
+#define SPATIAL_SHARD_SHARD_ROUTER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.h"
+#include "service/request.h"
+#include "shard/shard_set.h"
+
+namespace spatial {
+
+// Scatter-gather front end over a ShardSet. One Execute() call fans the
+// request out to every relevant shard, waits for the per-shard answers,
+// and merges them into a single QueryResponse that is bit-identical to
+// running the same request against one tree holding the whole dataset
+// (modulo distance ties at the k-th position — see docs/SHARDING.md).
+//
+// Routing:
+//   * kKnn / kConstrainedKnn / kTopK / kRange / kBatchKnn — scatter to all
+//     shards, merge (k-NN kinds by (dist_sq, id) truncated to k; range by
+//     object id; batch per-query).
+//   * kInsert — route to the single shard whose initial tile is nearest
+//     the new MBR (MINDIST, ties to the lowest shard index).
+//   * kDelete / kCheckpoint — broadcast (a delete must reach whichever
+//     shard holds the object; `affected` sums over shards).
+//
+// Bound streaming: for kKnn with Options::stream_bound, the router plants
+// one SharedPruneBound (core/shared_bound.h) into every scattered copy's
+// KnnOptions. Each shard publishes its local k-th distance as soon as its
+// buffer fills and prunes against the tightest bound any shard has found,
+// so laggard shards skip subtrees the global answer has already beaten.
+// The merged answer is unchanged; E19 measures the pages saved.
+//
+// Thread-safe: Execute() may be called from any number of threads (the
+// RPC server's connection threads do exactly that); all shared state is
+// the shards' own MPMC queues and the router's lock-free instruments.
+template <int D>
+class ShardRouter {
+ public:
+  struct Options {
+    bool stream_bound = true;
+  };
+
+  // `shards` must outlive the router.
+  explicit ShardRouter(ShardSet<D>* shards, const Options& options = {});
+
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  // Synchronous scatter-gather round trip.
+  QueryResponse<D> Execute(const QueryRequest<D>& request);
+
+  ShardSet<D>& shards() { return *shards_; }
+  const Options& options() const { return options_; }
+
+  // Router-level instruments (requests by kind, merge latency) plus a
+  // collector emitting per-shard query/latency families labelled
+  // shard="i". ScrapeMetrics() returns the full document; the per-shard
+  // registries remain scrapable individually via shard(i).ScrapeMetrics().
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  std::string ScrapeMetrics() const { return metrics_.ScrapeText(); }
+
+ private:
+  QueryResponse<D> ScatterQuery(const QueryRequest<D>& request);
+  QueryResponse<D> RouteInsert(const QueryRequest<D>& request);
+  QueryResponse<D> Broadcast(const QueryRequest<D>& request);
+  void RegisterMetrics();
+
+  ShardSet<D>* shards_;
+  Options options_;
+  obs::MetricsRegistry metrics_;
+  obs::Counter* requests_by_kind_[kNumQueryKinds] = {};
+  obs::Counter* failed_;
+  obs::PowerHistogram* merge_ns_;
+};
+
+extern template class ShardRouter<2>;
+extern template class ShardRouter<3>;
+
+}  // namespace spatial
+
+#endif  // SPATIAL_SHARD_SHARD_ROUTER_H_

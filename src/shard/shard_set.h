@@ -1,0 +1,106 @@
+#ifndef SPATIAL_SHARD_SHARD_SET_H_
+#define SPATIAL_SHARD_SHARD_SET_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "db/serving_db.h"
+#include "db/spatial_db.h"
+#include "service/query_service.h"
+#include "shard/partitioner.h"
+
+namespace spatial {
+
+// N independent QueryService shards over one spatially partitioned
+// dataset. Build() runs the STR partitioner (shard/partitioner.h), bulk
+// loads one database per tile, and starts one QueryService per shard; the
+// ShardRouter (shard/shard_router.h) then scatters requests across them
+// and merges the answers.
+//
+// Three backends:
+//   * Memory (the default): each shard is an in-memory SpatialDb the set
+//     owns, served via QueryService::Attach. Tests and benchmarks.
+//   * File: each shard is `<dir>/shard_<i>.sdb`, bulk loaded, closed, and
+//     reopened read-only via QueryService::Open.
+//   * Serving (implies file): shards reopen via QueryService::OpenServing,
+//     so the router can scatter durable kInsert / kDelete / kCheckpoint
+//     alongside queries.
+//
+// Shards are fully independent — separate disks, buffer pools, worker
+// pools, WALs — so there is no cross-shard coordination at all below the
+// router; the only shared state during a query is the optional prune bound
+// the router threads through KnnOptions (core/shared_bound.h).
+template <int D>
+class ShardSet {
+ public:
+  struct Options {
+    uint32_t num_shards = 2;
+    // File / serving backends. `dir` must exist; shard files inside it are
+    // truncated by Build().
+    bool file_backed = false;
+    bool serving = false;  // implies file_backed
+    std::string dir;
+    uint32_t page_size = 1024;
+    // Build-time buffer-pool pages per shard (the serving-side pools are
+    // sized by `service.frames_per_worker`).
+    uint32_t buffer_pages = 256;
+    typename QueryService<D>::Options service;
+
+    Status Validate() const {
+      if (num_shards < 1) {
+        return Status::InvalidArgument("ShardSet: num_shards must be >= 1");
+      }
+      if ((file_backed || serving) && dir.empty()) {
+        return Status::InvalidArgument(
+            "ShardSet: file/serving backend needs a directory");
+      }
+      return Status::OK();
+    }
+  };
+
+  // Partitions `items`, builds and starts every shard. On any failure the
+  // already-built shards are torn down and the error returned.
+  static Result<std::unique_ptr<ShardSet>> Build(std::vector<Entry<D>> items,
+                                                 const Options& options);
+
+  ShardSet(const ShardSet&) = delete;
+  ShardSet& operator=(const ShardSet&) = delete;
+
+  uint32_t num_shards() const {
+    return static_cast<uint32_t>(services_.size());
+  }
+  QueryService<D>& shard(uint32_t i) { return *services_[i]; }
+  const QueryService<D>& shard(uint32_t i) const { return *services_[i]; }
+
+  // Bounding rectangle of shard i's initial tile (Rect::Empty() if the
+  // shard received no objects). Inserts are routed by MINDIST against
+  // these; the tiles are not updated by later inserts, which only affects
+  // routing quality, never correctness (deletes broadcast).
+  const Rect<D>& tile(uint32_t i) const { return tiles_[i]; }
+
+  // Objects initially loaded into shard i.
+  uint64_t shard_size(uint32_t i) const { return sizes_[i]; }
+
+  const Options& options() const { return options_; }
+
+ private:
+  explicit ShardSet(const Options& options) : options_(options) {}
+
+  Options options_;
+  std::vector<Rect<D>> tiles_;
+  std::vector<uint64_t> sizes_;
+  // Memory backend only: the databases the services attach to. Declared
+  // before services_ so every service shuts down before its database dies.
+  std::vector<std::unique_ptr<SpatialDb<D>>> dbs_;
+  std::vector<std::unique_ptr<QueryService<D>>> services_;
+};
+
+extern template class ShardSet<2>;
+extern template class ShardSet<3>;
+
+}  // namespace spatial
+
+#endif  // SPATIAL_SHARD_SHARD_SET_H_

@@ -1,0 +1,201 @@
+// The binary wire protocol: every request and response field must survive
+// an encode/decode round trip bit-exactly, malformed frames must be
+// rejected without reading out of bounds, and the framed socket I/O must
+// move payloads intact.
+
+#include "net/wire.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace spatial {
+namespace {
+
+template <int D>
+QueryRequest<D> RoundTripRequest(const QueryRequest<D>& in) {
+  std::string buf;
+  EncodeRequest<D>(in, &buf);
+  auto out = DecodeRequest<D>(reinterpret_cast<const uint8_t*>(buf.data()),
+                              buf.size());
+  EXPECT_TRUE(out.ok()) << out.status().ToString();
+  return *out;
+}
+
+TEST(WireTest, KnnRequestRoundTrip) {
+  QueryRequest<2> in = QueryRequest<2>::Knn({{0.25, -3.5}}, 17);
+  in.knn.ordering = AblOrdering::kMinMaxDist;
+  in.knn.use_s2 = false;
+  QueryRequest<2> out = RoundTripRequest(in);
+  EXPECT_EQ(out.kind, QueryKind::kKnn);
+  EXPECT_EQ(out.query[0], 0.25);
+  EXPECT_EQ(out.query[1], -3.5);
+  EXPECT_EQ(out.knn.k, 17u);
+  EXPECT_EQ(out.knn.ordering, AblOrdering::kMinMaxDist);
+  EXPECT_TRUE(out.knn.use_s1);
+  EXPECT_FALSE(out.knn.use_s2);
+  EXPECT_TRUE(out.knn.use_s3);
+}
+
+TEST(WireTest, AllKindsRoundTrip) {
+  const Rect<2> window = Rect<2>::FromCorners({{0.1, 0.2}}, {{0.7, 0.9}});
+  std::vector<QueryRequest<2>> requests = {
+      QueryRequest<2>::Knn({{0.5, 0.5}}, 3),
+      QueryRequest<2>::ConstrainedKnn({{0.5, 0.5}}, window, 4),
+      QueryRequest<2>::Range(window),
+      QueryRequest<2>::TopK({{0.3, 0.4}}, 9),
+      QueryRequest<2>::BatchKnn({{{0.1, 0.1}}, {{0.9, 0.8}}}, 2),
+      QueryRequest<2>::Insert(window, 12345),
+      QueryRequest<2>::Delete(window, 777),
+      QueryRequest<2>::Checkpoint(),
+  };
+  for (const auto& in : requests) {
+    QueryRequest<2> out = RoundTripRequest(in);
+    EXPECT_EQ(out.kind, in.kind);
+    EXPECT_EQ(out.window.lo, in.window.lo);
+    EXPECT_EQ(out.window.hi, in.window.hi);
+    EXPECT_EQ(out.object_id, in.object_id);
+    EXPECT_EQ(out.top_k, in.top_k);
+    ASSERT_EQ(out.batch_queries.size(), in.batch_queries.size());
+    for (size_t i = 0; i < in.batch_queries.size(); ++i) {
+      EXPECT_EQ(out.batch_queries[i], in.batch_queries[i]);
+    }
+  }
+}
+
+TEST(WireTest, ResponseRoundTrip) {
+  QueryResponse<2> in;
+  in.status = Status::OK();
+  in.neighbors = {{42, 0.125}, {7, 3.875}};
+  in.entries = {{Rect<2>::FromCorners({{0, 0}}, {{1, 1}}), 9}};
+  in.batch_offsets = {0, 1, 2};
+  in.stats.nodes_visited = 11;
+  in.stats.pruned_s3 = 5;
+  in.stats.heap_pops = 2;
+  in.latency_ns = 123456789;
+  in.worker_id = 3;
+  in.lsn = 17;
+  in.affected = 1;
+
+  std::string buf;
+  EncodeResponse<2>(in, &buf);
+  auto out = DecodeResponse<2>(reinterpret_cast<const uint8_t*>(buf.data()),
+                               buf.size());
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->status.ok());
+  ASSERT_EQ(out->neighbors.size(), 2u);
+  EXPECT_EQ(0, std::memcmp(out->neighbors.data(), in.neighbors.data(),
+                           2 * sizeof(Neighbor)));
+  ASSERT_EQ(out->entries.size(), 1u);
+  EXPECT_EQ(out->entries[0].id, 9u);
+  EXPECT_EQ(out->batch_offsets, in.batch_offsets);
+  EXPECT_EQ(out->stats.nodes_visited, 11u);
+  EXPECT_EQ(out->stats.pruned_s3, 5u);
+  EXPECT_EQ(out->stats.heap_pops, 2u);
+  EXPECT_EQ(out->latency_ns, in.latency_ns);
+  EXPECT_EQ(out->worker_id, 3u);
+  EXPECT_EQ(out->lsn, 17u);
+  EXPECT_EQ(out->affected, 1u);
+}
+
+TEST(WireTest, ErrorStatusRoundTrip) {
+  QueryResponse<2> in;
+  in.status = Status::Overloaded("server at max_pending; retry later");
+  std::string buf;
+  EncodeResponse<2>(in, &buf);
+  auto out = DecodeResponse<2>(reinterpret_cast<const uint8_t*>(buf.data()),
+                               buf.size());
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->status.IsOverloaded());
+  EXPECT_EQ(out->status.message(), "server at max_pending; retry later");
+}
+
+TEST(WireTest, RejectsTruncatedAndTrailingBytes) {
+  QueryRequest<2> in = QueryRequest<2>::BatchKnn({{{0.1, 0.1}}}, 2);
+  std::string buf;
+  EncodeRequest<2>(in, &buf);
+  for (size_t cut = 0; cut < buf.size(); ++cut) {
+    auto out = DecodeRequest<2>(reinterpret_cast<const uint8_t*>(buf.data()),
+                                cut);
+    EXPECT_FALSE(out.ok()) << "accepted a frame truncated to " << cut;
+  }
+  buf.push_back('\0');
+  auto padded = DecodeRequest<2>(reinterpret_cast<const uint8_t*>(buf.data()),
+                                 buf.size());
+  EXPECT_TRUE(padded.status().IsCorruption());
+}
+
+TEST(WireTest, RejectsUnknownKindAndLyingCounts) {
+  QueryRequest<2> in = QueryRequest<2>::Knn({{0.5, 0.5}}, 1);
+  std::string buf;
+  EncodeRequest<2>(in, &buf);
+  std::string bad_kind = buf;
+  bad_kind[0] = 99;
+  EXPECT_TRUE(DecodeRequest<2>(
+                  reinterpret_cast<const uint8_t*>(bad_kind.data()),
+                  bad_kind.size())
+                  .status()
+                  .IsCorruption());
+
+  // A batch count promising far more points than the frame holds must be
+  // rejected before any allocation is sized from it.
+  std::string lying = buf;
+  const size_t count_at = lying.size() - 4;
+  lying[count_at] = '\xff';
+  lying[count_at + 1] = '\xff';
+  lying[count_at + 2] = '\xff';
+  lying[count_at + 3] = '\x7f';
+  EXPECT_TRUE(DecodeRequest<2>(
+                  reinterpret_cast<const uint8_t*>(lying.data()), lying.size())
+                  .status()
+                  .IsCorruption());
+}
+
+TEST(WireTest, FramesCrossSocketsIntact) {
+  int fds[2];
+  ASSERT_EQ(0, ::socketpair(AF_UNIX, SOCK_STREAM, 0, fds));
+
+  std::string sent(100000, 'x');
+  for (size_t i = 0; i < sent.size(); ++i) sent[i] = static_cast<char>(i % 251);
+  std::thread writer([&] {
+    EXPECT_TRUE(SendFrame(fds[0], sent).ok());
+    WireHandshake hs;
+    hs.dim = 2;
+    EXPECT_TRUE(SendHandshake(fds[0], hs).ok());
+    ::close(fds[0]);
+  });
+  std::string got;
+  ASSERT_TRUE(RecvFrame(fds[1], &got).ok());
+  EXPECT_EQ(got, sent);
+  auto hs = RecvHandshake(fds[1]);
+  ASSERT_TRUE(hs.ok());
+  EXPECT_EQ(hs->magic, kWireMagic);
+  EXPECT_EQ(hs->version, kWireVersion);
+  EXPECT_EQ(hs->dim, 2u);
+  // Peer closed: the next read reports clean end-of-stream, not an error.
+  EXPECT_TRUE(RecvFrame(fds[1], &got).IsNotFound());
+  writer.join();
+  ::close(fds[1]);
+}
+
+TEST(WireTest, OversizedFrameLengthRejected) {
+  int fds[2];
+  ASSERT_EQ(0, ::socketpair(AF_UNIX, SOCK_STREAM, 0, fds));
+  // A length prefix beyond kMaxFrameBytes must be rejected without
+  // attempting the read.
+  const uint8_t evil[4] = {0xff, 0xff, 0xff, 0xff};
+  ASSERT_EQ(4, ::write(fds[0], evil, 4));
+  std::string got;
+  EXPECT_TRUE(RecvFrame(fds[1], &got).IsCorruption());
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+}  // namespace
+}  // namespace spatial

@@ -1,0 +1,128 @@
+// The STR spatial partitioner: the shards must be an exact disjoint cover
+// of the input, balanced to within one object, spatially tiled, and a pure
+// function of the input (determinism is what makes sharded answers
+// reproducible).
+
+#include "shard/partitioner.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "data/uniform.h"
+#include "tests/test_util.h"
+
+namespace spatial {
+namespace {
+
+std::vector<Entry<2>> MakeData(size_t n, uint64_t seed = 17) {
+  Rng rng(seed);
+  return MakePointEntries(GenerateUniform<2>(n, UnitBounds<2>(), &rng));
+}
+
+TEST(PartitionerTest, DisjointCoverAndBalance) {
+  for (uint32_t shards : {1u, 2u, 4u, 7u}) {
+    const auto data = MakeData(1000);
+    auto partition = PartitionStr<2>(data, shards);
+    ASSERT_TRUE(partition.ok()) << partition.status().ToString();
+    ASSERT_EQ(partition->num_shards(), shards);
+
+    // Every input object lands in exactly one shard.
+    std::map<uint64_t, int> seen;
+    size_t total = 0;
+    const size_t base = data.size() / shards;
+    for (uint32_t s = 0; s < shards; ++s) {
+      const auto& shard = partition->shards[s];
+      EXPECT_GE(shard.size(), base);
+      EXPECT_LE(shard.size(), base + 1);
+      total += shard.size();
+      for (const auto& e : shard) seen[e.id]++;
+    }
+    EXPECT_EQ(total, data.size());
+    for (const auto& [id, count] : seen) {
+      EXPECT_EQ(count, 1) << "object " << id << " in " << count << " shards";
+    }
+  }
+}
+
+TEST(PartitionerTest, TilesBoundTheirShards) {
+  const auto data = MakeData(900);
+  auto partition = PartitionStr<2>(data, 4);
+  ASSERT_TRUE(partition.ok());
+  for (uint32_t s = 0; s < 4; ++s) {
+    const Rect<2>& tile = partition->tiles[s];
+    ASSERT_TRUE(tile.IsValid());
+    Rect<2> bounds = Rect<2>::Empty();
+    for (const auto& e : partition->shards[s]) {
+      EXPECT_TRUE(tile.Contains(e.mbr)) << "shard " << s;
+      bounds.ExpandToInclude(e.mbr);
+    }
+    // The tile is the exact bounding box, not a loose superset.
+    EXPECT_EQ(tile, bounds);
+  }
+}
+
+TEST(PartitionerTest, TilesAreSpatiallyCoherent) {
+  // STR on uniform data should produce tiles whose total area is a small
+  // fraction of the unit square times the shard count — i.e. genuinely
+  // localized tiles, not interleaved stripes of the whole domain.
+  const auto data = MakeData(4000);
+  auto partition = PartitionStr<2>(data, 4);
+  ASSERT_TRUE(partition.ok());
+  double total_area = 0.0;
+  for (const auto& tile : partition->tiles) total_area += tile.Area();
+  // 4 perfect quarter tiles would sum to ~1.0; allow generous slack.
+  EXPECT_LT(total_area, 1.6);
+}
+
+TEST(PartitionerTest, Deterministic) {
+  const auto data = MakeData(500);
+  auto a = PartitionStr<2>(data, 7);
+  auto b = PartitionStr<2>(data, 7);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (uint32_t s = 0; s < 7; ++s) {
+    ASSERT_EQ(a->shards[s].size(), b->shards[s].size());
+    for (size_t i = 0; i < a->shards[s].size(); ++i) {
+      EXPECT_EQ(a->shards[s][i].id, b->shards[s][i].id);
+      EXPECT_EQ(a->shards[s][i].mbr, b->shards[s][i].mbr);
+    }
+    EXPECT_EQ(a->tiles[s], b->tiles[s]);
+  }
+}
+
+TEST(PartitionerTest, MoreShardsThanObjects) {
+  const auto data = MakeData(3);
+  auto partition = PartitionStr<2>(data, 7);
+  ASSERT_TRUE(partition.ok());
+  size_t total = 0, empty = 0;
+  for (uint32_t s = 0; s < 7; ++s) {
+    total += partition->shards[s].size();
+    if (partition->shards[s].empty()) {
+      ++empty;
+      EXPECT_TRUE(partition->tiles[s].IsEmpty());
+    }
+  }
+  EXPECT_EQ(total, 3u);
+  EXPECT_EQ(empty, 4u);
+}
+
+TEST(PartitionerTest, EmptyInput) {
+  auto partition = PartitionStr<2>({}, 3);
+  ASSERT_TRUE(partition.ok());
+  for (const auto& shard : partition->shards) EXPECT_TRUE(shard.empty());
+  for (const auto& tile : partition->tiles) EXPECT_TRUE(tile.IsEmpty());
+}
+
+TEST(PartitionerTest, RejectsBadArguments) {
+  EXPECT_TRUE(PartitionStr<2>(MakeData(10), 0).status().IsInvalidArgument());
+  std::vector<Entry<2>> bad = MakeData(2);
+  bad[0].mbr = Rect<2>::Empty();
+  EXPECT_TRUE(PartitionStr<2>(bad, 2).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace spatial

@@ -32,6 +32,27 @@ diff "$WORK/a" "$WORK/b"
 # range query returns a result count line
 "$CLI" range "$WORK/bulk.sdb" 0.4 0.4 0.6 0.6 | tail -1 | grep -q "results"
 
+# sharded serving over RPC: launch shard-serve in the background with a
+# request budget, poll its log for the bound port, drive it with
+# shard-bench (single thread so the request budget drains serially and the
+# final reply flushes before the server stops), and wait for a clean exit.
+"$CLI" shard-serve "$WORK/pts.csv" 3 0 2 --max-requests=60 \
+  > "$WORK/serve.log" 2>&1 &
+SERVE_PID=$!
+PORT=""
+for _ in $(seq 1 100); do
+  PORT="$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+    "$WORK/serve.log")"
+  [ -n "$PORT" ] && break
+  sleep 0.1
+done
+test -n "$PORT"
+"$CLI" shard-bench 127.0.0.1 "$PORT" 60 5 1 | tee "$WORK/bench.log" \
+  | grep -q "ok=60 shed=0 failed=0"
+grep -q "throughput" "$WORK/bench.log"
+wait "$SERVE_PID"
+grep -q "served 60 requests (0 shed)" "$WORK/serve.log"
+
 # error handling: bad arguments exit non-zero
 if "$CLI" knn "$WORK/missing.sdb" 0 0 1 2>/dev/null; then
   echo "expected failure for missing db" >&2

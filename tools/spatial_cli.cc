@@ -13,6 +13,15 @@
 //                           [frames_per_worker] [latency_us]
 //                           [--metrics-dump] [--trace-sample=<per_million>]
 //   spatial_cli metrics <db.sdb> [queries] [k] [page_size] [--slow-log]
+//   spatial_cli shard-serve <points.csv> <shards> [port] [workers]
+//                           [--max-requests=N] [--max-pending=N]
+//   spatial_cli shard-bench <host> <port> <queries> [k] [threads]
+//
+// shard-serve partitions the CSV across <shards> in-memory shards and
+// serves them over the binary RPC protocol (docs/SHARDING.md); it prints
+// "listening on 127.0.0.1:<port>" once ready. shard-bench connects one
+// RpcClient per thread and fires random kNN queries, reporting throughput,
+// latency percentiles, and how many requests the server shed.
 //
 // serve-bench --metrics-dump prints the full Prometheus text exposition
 // (and the slow-query log as JSON) after the run; `metrics` drives a short
@@ -21,7 +30,9 @@
 //
 // Exit status 0 on success; errors print a Status string to stderr.
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -39,8 +50,12 @@
 #include "data/tiger_like.h"
 #include "data/uniform.h"
 #include "db/spatial_db.h"
+#include "net/client.h"
+#include "net/server.h"
 #include "rtree/validator.h"
 #include "service/query_service.h"
+#include "shard/shard_router.h"
+#include "shard/shard_set.h"
 
 namespace spatial {
 namespace {
@@ -67,7 +82,10 @@ int Usage() {
       "[page_size] [frames_per_worker] [latency_us] [--metrics-dump] "
       "[--trace-sample=<per_million>]\n"
       "  spatial_cli metrics <db.sdb> [queries] [k] [page_size] "
-      "[--slow-log]\n");
+      "[--slow-log]\n"
+      "  spatial_cli shard-serve <points.csv> <shards> [port] [workers] "
+      "[--max-requests=N] [--max-pending=N]\n"
+      "  spatial_cli shard-bench <host> <port> <queries> [k] [threads]\n");
   return 2;
 }
 
@@ -397,6 +415,143 @@ int CmdMetrics(int argc, char** argv) {
   return failed == 0 ? 0 : 1;
 }
 
+// Partitions a CSV of points across in-memory shards and serves them over
+// the binary RPC protocol until max_requests completes (or forever when 0).
+// The "listening on" line is flushed immediately so scripted drivers
+// (tools/cli_test.sh) can poll for the bound port.
+int CmdShardServe(int argc, char** argv) {
+  uint64_t max_requests = 0;
+  uint32_t max_pending = 128;
+  std::vector<char*> positional;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--max-requests=", 15) == 0) {
+      max_requests = std::strtoull(argv[i] + 15, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--max-pending=", 14) == 0) {
+      max_pending = static_cast<uint32_t>(std::atoi(argv[i] + 14));
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  argc = static_cast<int>(positional.size());
+  argv = positional.data();
+  if (argc < 2) return Usage();
+  const std::string csv = argv[0];
+  const uint32_t shards = static_cast<uint32_t>(std::atoi(argv[1]));
+  const uint16_t port =
+      argc > 2 ? static_cast<uint16_t>(std::atoi(argv[2])) : 0;
+  const uint32_t workers =
+      argc > 3 ? static_cast<uint32_t>(std::atoi(argv[3])) : 2;
+
+  auto points = ReadPointsCsv(csv);
+  if (!points.ok()) return Fail(points.status(), "read csv");
+
+  ShardSet<2>::Options set_options;
+  set_options.num_shards = shards;
+  set_options.service.num_workers = workers;
+  auto set = ShardSet<2>::Build(MakePointEntries(*points), set_options);
+  if (!set.ok()) return Fail(set.status(), "build shards");
+  ShardRouter<2> router(set->get());
+
+  typename RpcServer<2>::Options server_options;
+  server_options.port = port;
+  server_options.max_pending = max_pending;
+  server_options.max_requests = max_requests;
+  auto server = RpcServer<2>::Start(&router, server_options);
+  if (!server.ok()) return Fail(server.status(), "start server");
+
+  std::printf("listening on 127.0.0.1:%u (%u shards, %u workers/shard)\n",
+              (*server)->port(), (*set)->num_shards(), workers);
+  std::fflush(stdout);
+
+  (*server)->WaitUntilStopped();
+  std::printf("served %llu requests (%llu shed)\n",
+              static_cast<unsigned long long>((*server)->requests_served()),
+              static_cast<unsigned long long>((*server)->requests_shed()));
+  return 0;
+}
+
+// Fires uniformly random kNN queries at a shard-serve endpoint, one
+// RpcClient per thread (the client is not thread-safe), and reports
+// aggregate throughput, latency percentiles over accepted requests, and
+// the ok/shed/failed split. Sheds are expected under deliberate overload
+// and do not fail the run; transport errors do.
+int CmdShardBench(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string host = argv[0];
+  const uint16_t port = static_cast<uint16_t>(std::atoi(argv[1]));
+  const size_t num_queries = static_cast<size_t>(std::atoll(argv[2]));
+  const uint32_t k =
+      argc > 3 ? static_cast<uint32_t>(std::atoi(argv[3])) : 10;
+  const uint32_t num_threads =
+      argc > 4 ? static_cast<uint32_t>(std::atoi(argv[4])) : 2;
+  if (num_threads < 1) return Usage();
+
+  std::atomic<uint64_t> ok{0}, shed{0}, failed{0};
+  std::vector<std::vector<uint64_t>> latencies(num_threads);
+  std::vector<std::thread> clients;
+  const auto start = std::chrono::steady_clock::now();
+  for (uint32_t t = 0; t < num_threads; ++t) {
+    clients.emplace_back([&, t] {
+      auto client = RpcClient<2>::Connect(host, port);
+      if (!client.ok()) {
+        std::fprintf(stderr, "connect: %s\n",
+                     client.status().ToString().c_str());
+        failed.fetch_add(1);
+        return;
+      }
+      Rng rng(777 + t);
+      for (size_t i = t; i < num_queries; i += num_threads) {
+        const Point2 q{{rng.Uniform(0.0, 1.0), rng.Uniform(0.0, 1.0)}};
+        const auto t0 = std::chrono::steady_clock::now();
+        auto r = (*client)->Call(QueryRequest<2>::Knn(q, k));
+        const auto t1 = std::chrono::steady_clock::now();
+        if (!r.ok()) {
+          std::fprintf(stderr, "call: %s\n", r.status().ToString().c_str());
+          failed.fetch_add(1);
+          return;  // connection is dead after a transport error
+        }
+        if (r->status.ok()) {
+          ok.fetch_add(1);
+          latencies[t].push_back(static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                  .count()));
+        } else if (r->status.IsOverloaded()) {
+          shed.fetch_add(1);
+        } else {
+          std::fprintf(stderr, "query: %s\n", r->status.ToString().c_str());
+          failed.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  std::vector<uint64_t> all;
+  for (auto& v : latencies) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  auto pct = [&](double p) {
+    if (all.empty()) return 0.0;
+    const size_t i = std::min(all.size() - 1,
+                              static_cast<size_t>(p * (all.size() - 1)));
+    return static_cast<double>(all[i]) / 1e6;
+  };
+
+  std::printf("ran %zu queries (k=%u) on %u threads in %.3f s\n", num_queries,
+              k, num_threads, elapsed);
+  std::printf("throughput: %.0f queries/s\n",
+              elapsed > 0 ? static_cast<double>(ok.load()) / elapsed : 0.0);
+  std::printf("accepted latency p50/p99: %.3f / %.3f ms\n", pct(0.50),
+              pct(0.99));
+  std::printf("ok=%llu shed=%llu failed=%llu\n",
+              static_cast<unsigned long long>(ok.load()),
+              static_cast<unsigned long long>(shed.load()),
+              static_cast<unsigned long long>(failed.load()));
+  return failed.load() == 0 ? 0 : 1;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
@@ -409,6 +564,8 @@ int Main(int argc, char** argv) {
   if (command == "range") return CmdRange(argc - 2, argv + 2);
   if (command == "serve-bench") return CmdServeBench(argc - 2, argv + 2);
   if (command == "metrics") return CmdMetrics(argc - 2, argv + 2);
+  if (command == "shard-serve") return CmdShardServe(argc - 2, argv + 2);
+  if (command == "shard-bench") return CmdShardBench(argc - 2, argv + 2);
   return Usage();
 }
 
