@@ -1,0 +1,240 @@
+// E20 — Resident tier throughput (pinned SoA-native arena vs paged path).
+//
+// Measures what the memory-resident tree tier (storage/resident_tree.h)
+// buys over the paged traversal it shadows, on a cached-memory workload
+// where the buffer pool already holds the whole tree — i.e. the delta is
+// purely the per-visit overhead the resident tier deletes: page-table
+// lookup, frame pin/unpin, magic check, and the SoA transpose that the
+// paged path re-runs on every node visit but the compiler ran exactly once.
+//
+// Engines, all answering the same uniform kNN workload:
+//
+//   paged     — KnnSearchInto over the RTree as shipped: buffer-pool
+//               fetches + per-visit SoA staging through the runtime-
+//               dispatched kernels (the E17 "dispatched" engine).
+//   resident  — KnnSearchInto over the compiled ResidentTree: direct
+//               offset lookups into the arena's precomputed planes, same
+//               dispatched kernels, zero pins.
+//
+// The resident engine's answers are checked bit-identical to paged before
+// any timing. Reported per (D, k): queries/sec, speedup over paged, and
+// steady-state allocations/query for the resident engine (this binary
+// links spatial_alloc_tracker); plus per-D arena bytes and one-shot
+// compile time. Writes BENCH_E20.json for tools/bench_compare.py;
+// `--smoke` runs a scaled-down configuration for ctest.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench_util/experiment.h"
+#include "common/alloc_tracker.h"
+#include "core/knn.h"
+#include "exp_common.h"
+#include "rtree/bulk_load.h"
+#include "storage/disk_manager.h"
+#include "storage/resident_tree.h"
+
+namespace spatial {
+namespace bench {
+namespace {
+
+double Seconds(std::chrono::steady_clock::time_point a,
+               std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+// Best-of-rounds throughput plus steady-state allocation rate: the warm
+// pass grows every arena to its high-water mark, so allocations observed
+// across the timed rounds are genuine steady-state traffic.
+struct EngineResult {
+  double qps = 0.0;
+  double allocs_per_query = 0.0;
+};
+
+// Times the two engines with interleaved rounds (paged, resident, paged,
+// resident, ...) rather than back to back: frequency scaling and scheduler
+// noise drift on the scale of a full timing block, so paired rounds keep
+// the speedup ratio honest even when absolute qps wobbles between runs.
+template <int D, typename PagedFn, typename ResidentFn>
+void TimeEngines(const std::vector<Point<D>>& queries, size_t rounds,
+                 PagedFn&& paged_fn, ResidentFn&& resident_fn,
+                 EngineResult* paged, EngineResult* resident) {
+  // Warm both: arenas reach their high-water mark, pool faults in the tree.
+  for (const Point<D>& q : queries) paged_fn(q);
+  for (const Point<D>& q : queries) resident_fn(q);
+
+  double best_paged = std::numeric_limits<double>::infinity();
+  double best_resident = std::numeric_limits<double>::infinity();
+  uint64_t paged_allocs = 0, resident_allocs = 0;
+  for (size_t r = 0; r < rounds; ++r) {
+    const AllocCounts b0 = ThreadAllocCounts();
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const Point<D>& q : queries) paged_fn(q);
+    const auto t1 = std::chrono::steady_clock::now();
+    const AllocCounts b1 = ThreadAllocCounts();
+    for (const Point<D>& q : queries) resident_fn(q);
+    const auto t2 = std::chrono::steady_clock::now();
+    const AllocCounts b2 = ThreadAllocCounts();
+    best_paged = std::min(best_paged, Seconds(t0, t1));
+    best_resident = std::min(best_resident, Seconds(t1, t2));
+    paged_allocs += (b1 - b0).allocations;
+    resident_allocs += (b2 - b1).allocations;
+  }
+  const double n = static_cast<double>(queries.size());
+  const double total = n * static_cast<double>(rounds);
+  paged->qps = n / best_paged;
+  paged->allocs_per_query = static_cast<double>(paged_allocs) / total;
+  resident->qps = n / best_resident;
+  resident->allocs_per_query = static_cast<double>(resident_allocs) / total;
+}
+
+template <int D>
+struct Workload {
+  Workload(size_t n_points, size_t n_queries, uint32_t frames)
+      : disk(kPageSize), pool(&disk, frames) {
+    Rng rng(kDataSeed);
+    data = MakePointEntries(GenerateUniform<D>(n_points, UnitBounds<D>(), &rng));
+    auto loaded = BulkLoad<D>(&pool, RTreeOptions{}, data, BulkLoadMethod::kStr);
+    UnwrapStatus(loaded.status(), "bulk load");
+    tree.emplace(std::move(loaded).value());
+    Rng qrng(kQuerySeed);
+    queries = GenerateQueries<D>(data, n_queries, QueryDistribution::kUniform,
+                                 0.0, &qrng);
+  }
+
+  DiskManager disk;
+  BufferPool pool;
+  std::vector<Entry<D>> data;
+  std::optional<RTree<D>> tree;
+  std::vector<Point<D>> queries;
+};
+
+// Asserts `got` equals `want` bit for bit (ids and distances).
+void CheckAnswers(const std::vector<Neighbor>& got,
+                  const std::vector<Neighbor>& want, int dims, uint32_t k) {
+  if (got.size() != want.size() ||
+      (!got.empty() && std::memcmp(got.data(), want.data(),
+                                   got.size() * sizeof(Neighbor)) != 0)) {
+    std::fprintf(stderr,
+                 "E20: resident diverged from paged at D=%d k=%u "
+                 "(sizes %zu vs %zu)\n",
+                 dims, k, got.size(), want.size());
+    for (size_t i = 0; i < got.size() && i < want.size(); ++i) {
+      if (got[i].id != want[i].id || got[i].dist_sq != want[i].dist_sq) {
+        std::fprintf(stderr,
+                     "  rank %zu: id %llu vs %llu, dist %.17g vs %.17g\n", i,
+                     (unsigned long long)got[i].id,
+                     (unsigned long long)want[i].id, got[i].dist_sq,
+                     want[i].dist_sq);
+      }
+    }
+    std::exit(1);
+  }
+}
+
+template <int D>
+void RunDimension(size_t n_points, size_t n_queries, size_t rounds,
+                  uint32_t frames, Table* table,
+                  std::vector<std::pair<std::string, double>>* json) {
+  Workload<D> w(n_points, n_queries, frames);
+  const RTree<D>& tree = *w.tree;
+
+  auto compiled = ResidentTree<D>::Compile(&w.pool, tree.root_page(),
+                                           tree.size(), {});
+  UnwrapStatus(compiled.status(), "resident compile");
+  const ResidentTree<D>& resident = *compiled;
+  const std::string dim_suffix = "_d" + std::to_string(D);
+  json->emplace_back("arena_bytes" + dim_suffix,
+                     static_cast<double>(resident.arena_bytes()));
+  json->emplace_back("compile_ms" + dim_suffix,
+                     static_cast<double>(resident.compile_ns()) / 1e6);
+
+  for (uint32_t k : {1u, 10u}) {
+    KnnOptions options;
+    options.k = k;
+    QueryScratch<D> scratch;
+    std::vector<Neighbor> want, got;
+
+    // Answers first: the resident tier must reproduce the paged path bit
+    // for bit before its timings mean anything.
+    for (const Point<D>& q : w.queries) {
+      UnwrapStatus(KnnSearchInto<D>(tree, q, options, &scratch, &want, nullptr),
+                   "paged knn");
+      UnwrapStatus(
+          KnnSearchInto<D>(resident, q, options, &scratch, &got, nullptr),
+          "resident knn");
+      CheckAnswers(got, want, D, k);
+    }
+
+    EngineResult paged, res;
+    TimeEngines<D>(
+        w.queries, rounds,
+        [&](const Point<D>& q) {
+          UnwrapStatus(
+              KnnSearchInto<D>(tree, q, options, &scratch, &got, nullptr),
+              "paged knn");
+        },
+        [&](const Point<D>& q) {
+          UnwrapStatus(
+              KnnSearchInto<D>(resident, q, options, &scratch, &got, nullptr),
+              "resident knn");
+        },
+        &paged, &res);
+
+    struct Row {
+      const char* name;
+      const EngineResult& r;
+    };
+    for (const Row& row : {Row{"paged", paged}, Row{"resident", res}}) {
+      const double speedup = row.r.qps / paged.qps;
+      table->AddRow({FmtInt(D), std::to_string(k), row.name,
+                     FmtDouble(row.r.qps, 0), FmtDouble(speedup, 2),
+                     FmtDouble(row.r.allocs_per_query, 3)});
+      const std::string suffix = "_" + std::string(row.name) + dim_suffix +
+                                 "_k" + std::to_string(k);
+      json->emplace_back("qps" + suffix, row.r.qps);
+      json->emplace_back("speedup" + suffix, speedup);
+      json->emplace_back("allocs_per_query" + suffix, row.r.allocs_per_query);
+    }
+  }
+}
+
+void Main(bool smoke) {
+  const size_t n_points = smoke ? 4000 : 100000;
+  const size_t n_queries = smoke ? 64 : 2000;
+  // Best-of-9: this host's run-to-run drift is large (±10-15% on a shared
+  // core), and each engine's best round converges with more samples.
+  const size_t rounds = smoke ? 1 : 9;
+  const uint32_t frames = 8192;  // covers the whole tree at every D
+
+  PrintHeader("E20", "Resident tier (pinned SoA-native arena vs paged path)");
+  std::printf("%zu uniform points, STR-packed, %zu queries x %zu rounds%s\n\n",
+              n_points, n_queries, rounds, smoke ? " [smoke]" : "");
+
+  std::vector<std::pair<std::string, double>> json;
+  Table table({"D", "k", "engine", "qps", "speedup", "allocs/q"});
+  RunDimension<2>(n_points, n_queries, rounds, frames, &table, &json);
+  RunDimension<3>(n_points, n_queries, rounds, frames, &table, &json);
+  RunDimension<4>(n_points, n_queries, rounds, frames, &table, &json);
+  PrintTableAndCsv(table);
+
+  const char* json_path =
+      smoke ? "/tmp/BENCH_E20_smoke.json" : "BENCH_E20.json";
+  WriteBenchJson(json_path, json, /*update_manifest=*/!smoke);
+  std::printf("wrote %s\n", json_path);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace spatial
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::string(argv[1]) == "--smoke";
+  spatial::bench::Main(smoke);
+  return 0;
+}

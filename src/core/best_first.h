@@ -10,6 +10,7 @@
 #include "core/scratch.h"
 #include "geom/point.h"
 #include "rtree/rtree.h"
+#include "storage/resident_tree.h"
 
 namespace spatial {
 
@@ -30,6 +31,20 @@ Result<std::vector<Neighbor>> BestFirstKnn(const RTree<D>& tree,
                                            QueryScratch<D>* scratch,
                                            QueryStats* stats);
 
+// Resident-tier variants: the identical best-first search over a compiled
+// ResidentTree (storage/resident_tree.h), emission order bit-identical to
+// the paged path.
+template <int D>
+Result<std::vector<Neighbor>> BestFirstKnn(const ResidentTree<D>& tree,
+                                           const Point<D>& query, uint32_t k,
+                                           QueryStats* stats);
+
+template <int D>
+Result<std::vector<Neighbor>> BestFirstKnn(const ResidentTree<D>& tree,
+                                           const Point<D>& query, uint32_t k,
+                                           QueryScratch<D>* scratch,
+                                           QueryStats* stats);
+
 extern template Result<std::vector<Neighbor>> BestFirstKnn<2>(
     const RTree<2>&, const Point<2>&, uint32_t, QueryStats*);
 extern template Result<std::vector<Neighbor>> BestFirstKnn<3>(
@@ -45,6 +60,23 @@ extern template Result<std::vector<Neighbor>> BestFirstKnn<3>(
     QueryStats*);
 extern template Result<std::vector<Neighbor>> BestFirstKnn<4>(
     const RTree<4>&, const Point<4>&, uint32_t, QueryScratch<4>*,
+    QueryStats*);
+
+extern template Result<std::vector<Neighbor>> BestFirstKnn<2>(
+    const ResidentTree<2>&, const Point<2>&, uint32_t, QueryStats*);
+extern template Result<std::vector<Neighbor>> BestFirstKnn<3>(
+    const ResidentTree<3>&, const Point<3>&, uint32_t, QueryStats*);
+extern template Result<std::vector<Neighbor>> BestFirstKnn<4>(
+    const ResidentTree<4>&, const Point<4>&, uint32_t, QueryStats*);
+
+extern template Result<std::vector<Neighbor>> BestFirstKnn<2>(
+    const ResidentTree<2>&, const Point<2>&, uint32_t, QueryScratch<2>*,
+    QueryStats*);
+extern template Result<std::vector<Neighbor>> BestFirstKnn<3>(
+    const ResidentTree<3>&, const Point<3>&, uint32_t, QueryScratch<3>*,
+    QueryStats*);
+extern template Result<std::vector<Neighbor>> BestFirstKnn<4>(
+    const ResidentTree<4>&, const Point<4>&, uint32_t, QueryScratch<4>*,
     QueryStats*);
 
 }  // namespace spatial

@@ -15,15 +15,35 @@ IncrementalKnn<D>::IncrementalKnn(const RTree<D>& tree, const Point<D>& query,
 template <int D>
 IncrementalKnn<D>::IncrementalKnn(const RTree<D>& tree, const Point<D>& query,
                                   QueryScratch<D>* scratch, QueryStats* stats)
-    : tree_(&tree), query_(query), stats_(stats), scratch_(scratch) {
+    : IncrementalKnn(NodeAccessor<D>(tree), tree.root_page(), tree.empty(),
+                     query, scratch, stats) {}
+
+template <int D>
+IncrementalKnn<D>::IncrementalKnn(const ResidentTree<D>& tree,
+                                  const Point<D>& query, QueryStats* stats)
+    : IncrementalKnn(tree, query, nullptr, stats) {}
+
+template <int D>
+IncrementalKnn<D>::IncrementalKnn(const ResidentTree<D>& tree,
+                                  const Point<D>& query,
+                                  QueryScratch<D>* scratch, QueryStats* stats)
+    : IncrementalKnn(NodeAccessor<D>(tree), tree.root_page(), tree.empty(),
+                     query, scratch, stats) {}
+
+template <int D>
+IncrementalKnn<D>::IncrementalKnn(const NodeAccessor<D>& access,
+                                  PageId root_page, bool empty,
+                                  const Point<D>& query,
+                                  QueryScratch<D>* scratch, QueryStats* stats)
+    : access_(access), query_(query), stats_(stats), scratch_(scratch) {
   if (scratch_ == nullptr) {
     owned_scratch_ = std::make_unique<QueryScratch<D>>();
     scratch_ = owned_scratch_.get();
   }
   scratch_->heap.clear();
-  if (!tree.empty()) {
+  if (!empty) {
     scratch_->heap.push_back(
-        DistHeapItem{0.0, /*is_object=*/false, tree.root_page()});
+        DistHeapItem{0.0, /*is_object=*/false, root_page});
     if (stats_ != nullptr) ++stats_->heap_pushes;
   }
 }
@@ -46,37 +66,32 @@ Result<std::optional<Neighbor>> IncrementalKnn<D>::Next() {
 
 template <int D>
 Status IncrementalKnn<D>::ExpandNode(PageId node_id) {
-  BufferPool* pool = tree_->pool();
-  SPATIAL_ASSIGN_OR_RETURN(PageHandle handle, pool->Fetch(node_id));
-  NodeView<D> view(handle.data(), pool->page_size());
-  if (!view.has_valid_magic()) {
-    return Status::Corruption("incremental knn: node page has bad magic");
-  }
+  ExpandedNode<D> node;
+  SPATIAL_RETURN_IF_ERROR(access_.Expand(
+      node_id, scratch_, &node, "incremental knn: node page has bad magic"));
   if (stats_ != nullptr) {
     ++stats_->nodes_visited;
-    if (view.is_leaf()) {
+    if (node.is_leaf()) {
       ++stats_->leaf_nodes_visited;
     } else {
       ++stats_->internal_nodes_visited;
     }
   }
-  if (obs::TraceContext* t = scratch_->trace) t->CountNode(view.level());
-  const bool is_leaf = view.is_leaf();
-  const uint32_t n = view.count();
+  if (obs::TraceContext* t = scratch_->trace) t->CountNode(node.level);
+  const bool is_leaf = node.is_leaf();
+  const uint32_t n = node.count;
   if (n == 0) return Status::OK();
 
-  // Expansion never recurses, so the pin is held for the whole call and
-  // the packed entries are read in place for their ids; the metric for all
-  // entries runs through the dispatched SoA kernel (ObjectDist and MINDIST
+  // Expansion never recurses, so a paged leaf's pin is simply held inside
+  // `node` for the whole call; the metric for all entries runs through the
+  // dispatched SoA kernel over the node's planes (ObjectDist and MINDIST
   // are the same kernel — both are MBR MINDIST).
-  const Entry<D>* entries = view.entries();
-  const SoaBlock<D> soa = scratch_->StageSoa(entries, n);
   double* dist =
       scratch_->min_dist.EnsureCapacity(QueryScratch<D>::DistSlots(n));
   if (is_leaf) {
-    ObjectDistSqBatchSoa(query_, soa, dist);
+    ObjectDistSqBatchSoa(query_, node.soa, dist);
   } else {
-    MinDistSqBatchSoa(query_, soa, dist);
+    MinDistSqBatchSoa(query_, node.soa, dist);
   }
   if (stats_ != nullptr) {
     stats_->distance_computations += n;
@@ -90,7 +105,7 @@ Status IncrementalKnn<D>::ExpandNode(PageId node_id) {
 
   std::vector<DistHeapItem>& heap = scratch_->heap;
   for (uint32_t i = 0; i < n; ++i) {
-    heap.push_back(DistHeapItem{dist[i], is_leaf, entries[i].id});
+    heap.push_back(DistHeapItem{dist[i], is_leaf, node.id(i)});
     std::push_heap(heap.begin(), heap.end());
   }
   return Status::OK();

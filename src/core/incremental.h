@@ -8,10 +8,12 @@
 
 #include "common/result.h"
 #include "core/neighbor_buffer.h"
+#include "core/node_access.h"
 #include "core/query_stats.h"
 #include "core/scratch.h"
 #include "geom/point.h"
 #include "rtree/rtree.h"
+#include "storage/resident_tree.h"
 
 namespace spatial {
 
@@ -26,12 +28,16 @@ namespace spatial {
 //
 // The queue and the node-staging buffers live in a QueryScratch: pass one
 // in to reuse its storage across queries (the query-service workers do), or
-// use the two-argument constructor and the iterator owns a private arena.
+// use the scratch-less constructors and the iterator owns a private arena.
 //
-// The iterator borrows `tree` (and its buffer pool, and `scratch` if
-// given); it must not outlive them, and the tree must not be mutated while
-// iterating. A shared scratch must not be used by another query until this
-// iterator is done.
+// The iterator runs over either backend: a paged RTree (borrowing its
+// buffer pool) or a compiled ResidentTree (storage/resident_tree.h), with
+// bit-identical emission order — both expand nodes through the same
+// NodeAccessor and push the same (distance, id) items.
+//
+// The iterator borrows the tree (and `scratch` if given); it must not
+// outlive them, and the tree must not be mutated while iterating. A shared
+// scratch must not be used by another query until this iterator is done.
 template <int D>
 class IncrementalKnn {
  public:
@@ -39,14 +45,22 @@ class IncrementalKnn {
                  QueryStats* stats);
   IncrementalKnn(const RTree<D>& tree, const Point<D>& query,
                  QueryScratch<D>* scratch, QueryStats* stats);
+  IncrementalKnn(const ResidentTree<D>& tree, const Point<D>& query,
+                 QueryStats* stats);
+  IncrementalKnn(const ResidentTree<D>& tree, const Point<D>& query,
+                 QueryScratch<D>* scratch, QueryStats* stats);
 
   // Returns the next-closest neighbor, or nullopt when exhausted.
   Result<std::optional<Neighbor>> Next();
 
  private:
+  IncrementalKnn(const NodeAccessor<D>& access, PageId root_page, bool empty,
+                 const Point<D>& query, QueryScratch<D>* scratch,
+                 QueryStats* stats);
+
   Status ExpandNode(PageId node_id);
 
-  const RTree<D>* tree_;
+  NodeAccessor<D> access_;
   Point<D> query_;
   QueryStats* stats_;
   std::unique_ptr<QueryScratch<D>> owned_scratch_;  // when none was passed

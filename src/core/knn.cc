@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/macros.h"
+#include "core/node_access.h"
 #include "geom/metrics.h"
 #include "geom/metrics_simd.h"
 #include "rtree/node.h"
@@ -56,13 +57,84 @@ struct AblFrame {
   ~AblFrame() { arena->resize(base); }
 };
 
+// Compile-time node-access policies. The traversal below is templated on
+// one of these rather than branching per visit, so the resident
+// instantiation compiles down to a table lookup with no ExpandedNode
+// staging, no PageHandle, and no backend branch on its hot path — the
+// paged instantiation is exactly the NodeAccessor expansion it always was.
+// Both yield nodes with the same count/level/soa/id accessors, so the
+// traversal source (and therefore answers, visit order, and stats) is
+// identical for both backends.
 template <int D>
+class PagedAccess {
+ public:
+  using Node = ExpandedNode<D>;
+  explicit PagedAccess(const RTree<D>& tree) : access_(tree) {}
+  Status Expand(PageId id, QueryScratch<D>* scratch, Node* storage,
+                const Node** out, const char* bad_magic_message) const {
+    *out = storage;
+    return access_.Expand(id, scratch, storage, bad_magic_message);
+  }
+  void Prefetch(PageId) const {}
+
+ private:
+  const NodeAccessor<D> access_;
+};
+
+template <int D>
+class ResidentAccess {
+ public:
+  using Node = ResidentNodeRef<D>;
+  explicit ResidentAccess(const ResidentTree<D>& tree) : tree_(&tree) {}
+  Status Expand(PageId id, QueryScratch<D>*, Node*, const Node** out,
+                const char*) const {
+    const ResidentNodeRef<D>* node = tree_->Find(id);
+    if (node == nullptr) {
+      return Status::Corruption("resident tree: unknown node page");
+    }
+    *out = node;
+    return Status::OK();
+  }
+  void Prefetch(PageId id) const {
+    if (const ResidentNodeRef<D>* node = tree_->Find(id)) {
+      __builtin_prefetch(node->planes);
+    }
+  }
+
+ private:
+  const ResidentTree<D>* tree_;
+};
+
+// The SoA planes in the form the kernels take, from either node shape (the
+// paged ExpandedNode carries the staged block by value, the resident node
+// derives it from its arena record).
+template <int D>
+inline const SoaBlock<D>& NodeSoa(const ExpandedNode<D>& node) {
+  return node.soa;
+}
+template <int D>
+inline SoaBlock<D> NodeSoa(const ResidentNodeRef<D>& node) {
+  return node.soa();
+}
+
+// The depth-first branch-and-bound search, generic over the node backend:
+// the Access policy expands pages from either the paged buffer pool or a
+// compiled ResidentTree, so one traversal serves both tiers with
+// bit-identical answers and visit order.
+//
+// kObserved selects the instrumented instantiation: stats accumulation,
+// trace counting, and visit recording all compile away when the caller
+// passed none of them (the steady-state serving shape), instead of costing
+// a dozen predictable-but-present branches per visit. Both instantiations
+// run the identical search — observation never feeds back into pruning.
+template <int D, class Access, bool kObserved>
 class DepthFirstKnn {
  public:
-  DepthFirstKnn(const RTree<D>& tree, const Point<D>& query,
-                const KnnOptions& options, QueryScratch<D>* scratch,
-                QueryStats* stats)
-      : tree_(tree),
+  DepthFirstKnn(const Access& access, PageId root_page,
+                const Point<D>& query, const KnnOptions& options,
+                QueryScratch<D>* scratch, QueryStats* stats)
+      : access_(access),
+        root_page_(root_page),
         query_(query),
         options_(options),
         scratch_(scratch),
@@ -85,7 +157,7 @@ class DepthFirstKnn {
   Status Run(std::vector<Neighbor>* out, bool append) {
     scratch_->buffer.Reset(options_.k);
     scratch_->abl.clear();
-    SPATIAL_RETURN_IF_ERROR(Visit(tree_.root_page()));
+    SPATIAL_RETURN_IF_ERROR(Visit(root_page_));
     scratch_->buffer.ExtractSorted(out, append);
     return Status::OK();
   }
@@ -114,40 +186,46 @@ class DepthFirstKnn {
     }
   }
 
-  Status VisitLeaf(const Entry<D>* entries, uint32_t n) {
-    // Object distances through the dispatched SoA kernel: the packed page
-    // entries are transposed into the scratch planes (ids keep being read
-    // from the pinned page), then one vector pass produces every distance.
-    const SoaBlock<D> soa = scratch_->StageSoa(entries, n);
+  Status VisitLeaf(const typename Access::Node& node) {
+    // Object distances through the dispatched SoA kernel over the node's
+    // planes — staged per visit by the paged backend, precomputed at
+    // compile time by the resident one. Distance evaluation and the entry-
+    // bound prefilter are fused into one plane pass: the kernel emits the
+    // same distance array and the same ascending survivor set the separate
+    // compute + FilterNotAboveSoa passes produced (every index it drops
+    // would fail the in-loop test below as well, since the bound only
+    // tightens from here), without re-streaming the finished array.
+    const uint32_t n = node.count;
+    const auto& soa = NodeSoa(node);
     double* dist =
         scratch_->min_dist.EnsureCapacity(QueryScratch<D>::DistSlots(n));
-    ObjectDistSqBatchSoa(query_, soa, dist);
-    if (stats_ != nullptr) {
-      stats_->objects_examined += n;
-      stats_->distance_computations += n;
-    }
     NeighborBuffer& buffer = scratch_->buffer;
     // The bound only tightens when an offer is kept, so it is hoisted out
     // of the loop and refreshed on that event alone.
     double bound_sq = PruneBoundSq();
-    // Vector prefilter against the entry bound. Every index it drops would
-    // fail the in-loop test below as well (the bound only tightens from
-    // here), so the offered sequence — and the prune count — are exactly
-    // those of the scalar loop, without its per-entry compare/branch on
-    // dense leaves.
     uint32_t* idx =
         scratch_->filter_idx.EnsureCapacity(QueryScratch<D>::DistSlots(n));
-    const uint32_t kept = FilterNotAboveSoa<D>(dist, n, bound_sq, idx);
-    if (stats_ != nullptr) stats_->pruned_leaf += n - kept;
+    const uint32_t kept = ks_.min_dist_filter(query_.coord.data(), soa.planes,
+                                              soa.stride, soa.n, bound_sq,
+                                              dist, idx);
+    if constexpr (kObserved) {
+      if (stats_ != nullptr) {
+        stats_->objects_examined += n;
+        stats_->distance_computations += n;
+        stats_->pruned_leaf += n - kept;
+      }
+    }
     for (uint32_t j = 0; j < kept; ++j) {
       const uint32_t i = idx[j];
       // An entry already beyond the (now possibly tighter) prune bound
       // cannot enter the answer; skipping it avoids the buffer's sift work.
       if (dist[i] > bound_sq) {
-        if (stats_ != nullptr) ++stats_->pruned_leaf;
+        if constexpr (kObserved) {
+          if (stats_ != nullptr) ++stats_->pruned_leaf;
+        }
         continue;
       }
-      if (buffer.Offer(entries[i].id, dist[i])) {
+      if (buffer.Offer(node.id(i), dist[i])) {
         PublishBound();
         bound_sq = PruneBoundSq();
       }
@@ -156,97 +234,121 @@ class DepthFirstKnn {
   }
 
   Status Visit(PageId node_id) {
-    SPATIAL_ASSIGN_OR_RETURN(PageHandle handle,
-                             tree_.pool()->Fetch(node_id));
-    NodeView<D> view(handle.data(), tree_.pool()->page_size());
-    if (!view.has_valid_magic()) {
-      return Status::Corruption("knn: node page has bad magic");
-    }
-    if (stats_ != nullptr) {
-      ++stats_->nodes_visited;
-      if (view.is_leaf()) {
-        ++stats_->leaf_nodes_visited;
-      } else {
-        ++stats_->internal_nodes_visited;
+    typename Access::Node storage;
+    const typename Access::Node* node_ptr = nullptr;
+    SPATIAL_RETURN_IF_ERROR(access_.Expand(node_id, scratch_, &storage,
+                                           &node_ptr,
+                                           "knn: node page has bad magic"));
+    const typename Access::Node& node = *node_ptr;
+    if constexpr (kObserved) {
+      if (stats_ != nullptr) {
+        ++stats_->nodes_visited;
+        if (node.is_leaf()) {
+          ++stats_->leaf_nodes_visited;
+        } else {
+          ++stats_->internal_nodes_visited;
+        }
+      }
+      if (obs::TraceContext* t = scratch_->trace) t->CountNode(node.level);
+      if (options_.visit_trace != nullptr) {
+        options_.visit_trace->push_back(node_id);
       }
     }
-    if (obs::TraceContext* t = scratch_->trace) t->CountNode(view.level());
-    if (options_.visit_trace != nullptr) {
-      options_.visit_trace->push_back(node_id);
-    }
 
-    const uint32_t n = view.count();
+    const uint32_t n = node.count;
     if (n == 0) return Status::OK();
 
-    // Leaves recurse no further, so the pin is simply held across the
-    // distance pass and the packed entries are read in place — no copy.
-    if (view.is_leaf()) return VisitLeaf(view.entries(), n);
+    if (node.is_leaf()) return VisitLeaf(node);
 
-    // Internal nodes are staged and the pin released before any metric or
-    // descent work: pin-depth stays at one frame for the whole traversal,
-    // however deep the tree. The transpose kernel reads the packed page
-    // image directly, so only the child ids — the one column the descent
-    // needs after the planes exist — are copied out, not whole entries.
-    const Entry<D>* page_entries = view.entries();
-    const SoaBlock<D> soa = scratch_->StageSoa(page_entries, n);
-    uint64_t* child_ids = scratch_->child_ids.EnsureCapacity(n);
-    for (uint32_t i = 0; i < n; ++i) child_ids[i] = page_entries[i].id;
-    handle.Release();
-
-    // Evaluate the metrics for all children in one pass. MINMAXDIST is
-    // needed only by S1/S2 and by the MINMAXDIST ordering; when it is, the
-    // fused kernel produces both metrics from a single traversal of the
-    // planes.
+    // Internal node: the planes and the dense child-id column are ready
+    // (Expand already dropped any pin), so go straight to the metrics.
+    // Evaluate them for all children in one pass. MINMAXDIST is needed
+    // only by S1/S2 and by the MINMAXDIST ordering; when it is, the fused
+    // kernel produces both metrics from a single traversal of the planes.
+    const uint64_t* child_ids = node.dense_ids();
+    const auto& soa = NodeSoa(node);
     double* dmin =
         scratch_->min_dist.EnsureCapacity(QueryScratch<D>::DistSlots(n));
-    const bool need_minmax = s1_active_ || s2_active_ ||
-                             options_.ordering == AblOrdering::kMinMaxDist;
+    uint32_t* idx =
+        scratch_->filter_idx.EnsureCapacity(QueryScratch<D>::DistSlots(n));
+    const bool minmax_ordering =
+        options_.ordering == AblOrdering::kMinMaxDist;
+    const bool need_minmax = s1_active_ || s2_active_ || minmax_ordering;
+    // Three single-pass shapes, picked by who consumes what:
+    //  - S1/S2 under MINDIST ordering (the k == 1 hot path) only ever reads
+    //    the *minimum* MINMAXDIST, so the fused reduce kernel returns that
+    //    scalar directly and the per-entry array is never materialized. The
+    //    reduced min is bit-identical to std::min over the array the fused
+    //    kernel would have written (min over an identical value set).
+    //  - MINMAXDIST ordering needs the per-entry array for the sort, so it
+    //    keeps the two-array fused kernel (+ scalar reduce when S1/S2 also
+    //    want the min).
+    //  - Neither active: MINDIST and the S3 bound prefilter fuse into one
+    //    pass; the survivor set matches compute-then-FilterNotAboveSoa
+    //    exactly (PruneBoundSq cannot tighten mid-node — no offers happen
+    //    between here and the filter in the unfused form).
     double* dminmax = nullptr;
-    if (need_minmax) {
+    double min_minmax = std::numeric_limits<double>::infinity();
+    bool prefiltered = false;
+    uint32_t kept = 0;
+    if ((s1_active_ || s2_active_) && !minmax_ordering) {
+      min_minmax = ks_.min_dist_min_minmax(query_.coord.data(), soa.planes,
+                                           soa.stride, soa.n, dmin);
+    } else if (need_minmax) {
       dminmax =
           scratch_->min_max_dist.EnsureCapacity(QueryScratch<D>::DistSlots(n));
-      MinAndMinMaxDistSqBatchSoa(query_, soa, dmin, dminmax);
+      ks_.min_and_min_max(query_.coord.data(), soa.planes, soa.stride, soa.n,
+                          dmin, dminmax);
+      if (s1_active_ || s2_active_) {
+        for (uint32_t i = 0; i < n; ++i) {
+          min_minmax = std::min(min_minmax, dminmax[i]);
+        }
+      }
     } else {
-      MinDistSqBatchSoa(query_, soa, dmin);
+      kept = ks_.min_dist_filter(query_.coord.data(), soa.planes, soa.stride,
+                                 soa.n, PruneBoundSq(), dmin, idx);
+      prefiltered = true;
     }
-    if (stats_ != nullptr) {
-      stats_->abl_entries_generated += n;
-      stats_->distance_computations += need_minmax ? 2 * uint64_t{n} : n;
+    if constexpr (kObserved) {
+      if (stats_ != nullptr) {
+        stats_->abl_entries_generated += n;
+        stats_->distance_computations += need_minmax ? 2 * uint64_t{n} : n;
+      }
     }
 
-    // S1/S2 reduce over the MINMAXDIST array before the ABL is built, so
-    // Strategy 1 can filter with the vector kernel and push only the
+    // Strategy 1 filters with the vector kernel and pushes only the
     // surviving slots (`<= bound` is exactly `!(> bound)` for these
     // never-NaN distances, and the filter preserves index order, so the ABL
-    // contents match the old push-all-then-compact loop bit for bit).
+    // contents match the old push-all-then-compact loop bit for bit). The
+    // slot's min_max_dist_sq is only read under MINMAXDIST ordering — the
+    // one case where the per-entry array exists — so the reduce-only path
+    // stores 0.0 there without changing any comparison.
     std::vector<AblSlot>& abl = scratch_->abl;
     AblFrame frame{&abl, abl.size()};
     const size_t base = frame.base;
     bool pushed = false;
     if (s1_active_ || s2_active_) {
-      double min_minmax = std::numeric_limits<double>::infinity();
-      for (uint32_t i = 0; i < n; ++i) {
-        min_minmax = std::min(min_minmax, dminmax[i]);
-      }
       if (s1_active_) {
         // Strategy 1: some sibling is guaranteed to contain an object at
         // distance <= min_minmax; branches strictly beyond it are dead.
         const double s1_bound = min_minmax * kMinMaxSlack;
-        uint32_t* idx =
-            scratch_->filter_idx.EnsureCapacity(QueryScratch<D>::DistSlots(n));
-        const uint32_t kept = FilterNotAboveSoa<D>(dmin, n, s1_bound, idx);
-        if (stats_ != nullptr) stats_->pruned_s1 += n - kept;
+        kept = ks_.filter_not_above(dmin, n, s1_bound, idx);
+        if constexpr (kObserved) {
+          if (stats_ != nullptr) stats_->pruned_s1 += n - kept;
+        }
         for (uint32_t j = 0; j < kept; ++j) {
           const uint32_t i = idx[j];
           abl.push_back(AblSlot{static_cast<PageId>(child_ids[i]), dmin[i],
-                                dminmax[i]});
+                                dminmax != nullptr ? dminmax[i] : 0.0});
         }
         pushed = true;
       }
       if (s2_active_ && min_minmax * kMinMaxSlack < estimate_sq_) {
         // Strategy 2: tighten the NN distance estimate.
         estimate_sq_ = min_minmax * kMinMaxSlack;
-        if (stats_ != nullptr) ++stats_->estimate_updates_s2;
+        if constexpr (kObserved) {
+          if (stats_ != nullptr) ++stats_->estimate_updates_s2;
+        }
       }
     }
     if (!pushed) {
@@ -256,18 +358,23 @@ class DepthFirstKnn {
       // the ABL entirely and are charged to pruned_s3 now instead of when
       // the consumption loop would have reached them. Same visits, same
       // counts, but the selection scan and sort touch only live slots.
-      const double bound_sq = PruneBoundSq();
-      uint32_t* idx =
-          scratch_->filter_idx.EnsureCapacity(QueryScratch<D>::DistSlots(n));
-      const uint32_t kept = FilterNotAboveSoa<D>(dmin, n, bound_sq, idx);
-      if (stats_ != nullptr) stats_->pruned_s3 += n - kept;
+      if (!prefiltered) {
+        kept = ks_.filter_not_above(dmin, n, PruneBoundSq(), idx);
+      }
+      if constexpr (kObserved) {
+        if (stats_ != nullptr) stats_->pruned_s3 += n - kept;
+      }
       for (uint32_t j = 0; j < kept; ++j) {
         const uint32_t i = idx[j];
         abl.push_back(AblSlot{static_cast<PageId>(child_ids[i]), dmin[i],
-                              need_minmax ? dminmax[i] : 0.0});
+                              dminmax != nullptr ? dminmax[i] : 0.0});
       }
     }
     const size_t m = abl.size() - base;
+    // The surviving children are about to be visited in MINDIST order;
+    // start pulling their arena records into cache so the selection scan
+    // below overlaps the memory latency. Compiles away for paged access.
+    for (size_t i = 0; i < m; ++i) access_.Prefetch(abl[base + i].child);
 
     if (lazy_heap_) {
       // Consume children in MINDIST order by scanning the frame for the
@@ -291,8 +398,10 @@ class DepthFirstKnn {
         }
         const AblSlot slot = slots[best];
         if (slot.min_dist_sq > PruneBoundSq()) {
-          if (stats_ != nullptr) {
-            stats_->pruned_s3 += static_cast<uint64_t>(live);
+          if constexpr (kObserved) {
+            if (stats_ != nullptr) {
+              stats_->pruned_s3 += static_cast<uint64_t>(live);
+            }
           }
           break;
         }
@@ -327,7 +436,9 @@ class DepthFirstKnn {
     for (size_t i = 0; i < m; ++i) {
       const AblSlot slot = abl[base + i];  // copy: recursion moves the arena
       if (slot.min_dist_sq > PruneBoundSq()) {
-        if (stats_ != nullptr) ++stats_->pruned_s3;
+        if constexpr (kObserved) {
+          if (stats_ != nullptr) ++stats_->pruned_s3;
+        }
         continue;
       }
       SPATIAL_RETURN_IF_ERROR(Visit(slot.child));
@@ -335,16 +446,64 @@ class DepthFirstKnn {
     return Status::OK();
   }
 
-  const RTree<D>& tree_;
+  const Access access_;
+  const PageId root_page_;
   const Point<D> query_;
   const KnnOptions options_;
   QueryScratch<D>* scratch_;
   QueryStats* stats_;
+  // The dispatched kernel set, resolved once per search: the per-call
+  // wrappers in metrics_simd.h re-read a function-local static behind an
+  // init guard, which a traversal making several kernel calls per visit
+  // has no reason to pay.
+  const SoaKernelSet& ks_ = SoaKernels<D>();
   const bool s1_active_;
   const bool s2_active_;
   const bool lazy_heap_;
   double estimate_sq_ = std::numeric_limits<double>::infinity();
 };
+
+template <int D, class Access>
+Status KnnSearchIntoImpl(const Access& access, PageId root_page, bool empty,
+                         const Point<D>& query, const KnnOptions& options,
+                         QueryScratch<D>* scratch, std::vector<Neighbor>* out,
+                         QueryStats* stats) {
+  SPATIAL_CHECK(scratch != nullptr && out != nullptr);
+  SPATIAL_RETURN_IF_ERROR(options.Validate());
+  out->clear();
+  if (empty) return Status::OK();
+  if (stats == nullptr && options.visit_trace == nullptr &&
+      scratch->trace == nullptr) {
+    DepthFirstKnn<D, Access, /*kObserved=*/false> search(
+        access, root_page, query, options, scratch, stats);
+    return search.Run(out, /*append=*/false);
+  }
+  DepthFirstKnn<D, Access, /*kObserved=*/true> search(access, root_page, query,
+                                                      options, scratch, stats);
+  return search.Run(out, /*append=*/false);
+}
+
+template <int D, class Access>
+Status KnnSearchBatchImpl(const Access& access, PageId root_page, bool empty,
+                          const Point<D>* queries, size_t num_queries,
+                          const KnnOptions& options, QueryScratch<D>* scratch,
+                          BatchKnnResult* out) {
+  SPATIAL_CHECK(scratch != nullptr && out != nullptr);
+  SPATIAL_RETURN_IF_ERROR(options.Validate());
+  out->Clear();
+  out->offsets.push_back(0);
+  for (size_t q = 0; q < num_queries; ++q) {
+    out->stats.emplace_back();
+    if (!empty) {
+      DepthFirstKnn<D, Access, /*kObserved=*/true> search(
+          access, root_page, queries[q], options, scratch,
+          &out->stats.back());
+      SPATIAL_RETURN_IF_ERROR(search.Run(&out->neighbors, /*append=*/true));
+    }
+    out->offsets.push_back(static_cast<uint32_t>(out->neighbors.size()));
+  }
+  return Status::OK();
+}
 
 }  // namespace
 
@@ -352,12 +511,18 @@ template <int D>
 Status KnnSearchInto(const RTree<D>& tree, const Point<D>& query,
                      const KnnOptions& options, QueryScratch<D>* scratch,
                      std::vector<Neighbor>* out, QueryStats* stats) {
-  SPATIAL_CHECK(scratch != nullptr && out != nullptr);
-  SPATIAL_RETURN_IF_ERROR(options.Validate());
-  out->clear();
-  if (tree.empty()) return Status::OK();
-  DepthFirstKnn<D> search(tree, query, options, scratch, stats);
-  return search.Run(out, /*append=*/false);
+  return KnnSearchIntoImpl<D>(PagedAccess<D>(tree), tree.root_page(),
+                              tree.empty(), query, options, scratch, out,
+                              stats);
+}
+
+template <int D>
+Status KnnSearchInto(const ResidentTree<D>& tree, const Point<D>& query,
+                     const KnnOptions& options, QueryScratch<D>* scratch,
+                     std::vector<Neighbor>* out, QueryStats* stats) {
+  return KnnSearchIntoImpl<D>(ResidentAccess<D>(tree), tree.root_page(),
+                              tree.empty(), query, options, scratch, out,
+                              stats);
 }
 
 template <int D>
@@ -376,20 +541,18 @@ template <int D>
 Status KnnSearchBatch(const RTree<D>& tree, const Point<D>* queries,
                       size_t num_queries, const KnnOptions& options,
                       QueryScratch<D>* scratch, BatchKnnResult* out) {
-  SPATIAL_CHECK(scratch != nullptr && out != nullptr);
-  SPATIAL_RETURN_IF_ERROR(options.Validate());
-  out->Clear();
-  out->offsets.push_back(0);
-  for (size_t q = 0; q < num_queries; ++q) {
-    out->stats.emplace_back();
-    if (!tree.empty()) {
-      DepthFirstKnn<D> search(tree, queries[q], options, scratch,
-                              &out->stats.back());
-      SPATIAL_RETURN_IF_ERROR(search.Run(&out->neighbors, /*append=*/true));
-    }
-    out->offsets.push_back(static_cast<uint32_t>(out->neighbors.size()));
-  }
-  return Status::OK();
+  return KnnSearchBatchImpl<D>(PagedAccess<D>(tree), tree.root_page(),
+                               tree.empty(), queries, num_queries, options,
+                               scratch, out);
+}
+
+template <int D>
+Status KnnSearchBatch(const ResidentTree<D>& tree, const Point<D>* queries,
+                      size_t num_queries, const KnnOptions& options,
+                      QueryScratch<D>* scratch, BatchKnnResult* out) {
+  return KnnSearchBatchImpl<D>(ResidentAccess<D>(tree), tree.root_page(),
+                               tree.empty(), queries, num_queries, options,
+                               scratch, out);
 }
 
 template Result<std::vector<Neighbor>> KnnSearch<2>(const RTree<2>&,
@@ -415,6 +578,16 @@ template Status KnnSearchInto<4>(const RTree<4>&, const Point<4>&,
                                  const KnnOptions&, QueryScratch<4>*,
                                  std::vector<Neighbor>*, QueryStats*);
 
+template Status KnnSearchInto<2>(const ResidentTree<2>&, const Point<2>&,
+                                 const KnnOptions&, QueryScratch<2>*,
+                                 std::vector<Neighbor>*, QueryStats*);
+template Status KnnSearchInto<3>(const ResidentTree<3>&, const Point<3>&,
+                                 const KnnOptions&, QueryScratch<3>*,
+                                 std::vector<Neighbor>*, QueryStats*);
+template Status KnnSearchInto<4>(const ResidentTree<4>&, const Point<4>&,
+                                 const KnnOptions&, QueryScratch<4>*,
+                                 std::vector<Neighbor>*, QueryStats*);
+
 template Status KnnSearchBatch<2>(const RTree<2>&, const Point<2>*, size_t,
                                   const KnnOptions&, QueryScratch<2>*,
                                   BatchKnnResult*);
@@ -423,6 +596,16 @@ template Status KnnSearchBatch<3>(const RTree<3>&, const Point<3>*, size_t,
                                   BatchKnnResult*);
 template Status KnnSearchBatch<4>(const RTree<4>&, const Point<4>*, size_t,
                                   const KnnOptions&, QueryScratch<4>*,
+                                  BatchKnnResult*);
+
+template Status KnnSearchBatch<2>(const ResidentTree<2>&, const Point<2>*,
+                                  size_t, const KnnOptions&, QueryScratch<2>*,
+                                  BatchKnnResult*);
+template Status KnnSearchBatch<3>(const ResidentTree<3>&, const Point<3>*,
+                                  size_t, const KnnOptions&, QueryScratch<3>*,
+                                  BatchKnnResult*);
+template Status KnnSearchBatch<4>(const ResidentTree<4>&, const Point<4>*,
+                                  size_t, const KnnOptions&, QueryScratch<4>*,
                                   BatchKnnResult*);
 
 }  // namespace spatial

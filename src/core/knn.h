@@ -12,6 +12,7 @@
 #include "core/shared_bound.h"
 #include "geom/point.h"
 #include "rtree/rtree.h"
+#include "storage/resident_tree.h"
 
 namespace spatial {
 
@@ -91,6 +92,16 @@ Status KnnSearchInto(const RTree<D>& tree, const Point<D>& query,
                      const KnnOptions& options, QueryScratch<D>* scratch,
                      std::vector<Neighbor>* out, QueryStats* stats);
 
+// Resident-tier variant: the identical search over a compiled ResidentTree
+// (storage/resident_tree.h) — no buffer-pool pins, no page translation, no
+// per-visit transpose. Answers, visit order, and every QueryStats counter
+// except the page-access ones match the paged path bit for bit
+// (tests/resident_tree_test.cc memcmp-gates this).
+template <int D>
+Status KnnSearchInto(const ResidentTree<D>& tree, const Point<D>& query,
+                     const KnnOptions& options, QueryScratch<D>* scratch,
+                     std::vector<Neighbor>* out, QueryStats* stats);
+
 // Answers of a batched kNN call, CSR-packed: query i's neighbors are
 // neighbors[offsets[i] .. offsets[i+1]), sorted by ascending distance, and
 // stats[i] holds that query's counters. Clear() retains capacity so one
@@ -126,6 +137,12 @@ Status KnnSearchBatch(const RTree<D>& tree, const Point<D>* queries,
                       size_t num_queries, const KnnOptions& options,
                       QueryScratch<D>* scratch, BatchKnnResult* out);
 
+// Resident-tier batch variant (see the ResidentTree KnnSearchInto above).
+template <int D>
+Status KnnSearchBatch(const ResidentTree<D>& tree, const Point<D>* queries,
+                      size_t num_queries, const KnnOptions& options,
+                      QueryScratch<D>* scratch, BatchKnnResult* out);
+
 extern template Result<std::vector<Neighbor>> KnnSearch<2>(
     const RTree<2>&, const Point<2>&, const KnnOptions&, QueryStats*);
 extern template Result<std::vector<Neighbor>> KnnSearch<3>(
@@ -143,6 +160,19 @@ extern template Status KnnSearchInto<4>(const RTree<4>&, const Point<4>&,
                                         const KnnOptions&, QueryScratch<4>*,
                                         std::vector<Neighbor>*, QueryStats*);
 
+extern template Status KnnSearchInto<2>(const ResidentTree<2>&,
+                                        const Point<2>&, const KnnOptions&,
+                                        QueryScratch<2>*,
+                                        std::vector<Neighbor>*, QueryStats*);
+extern template Status KnnSearchInto<3>(const ResidentTree<3>&,
+                                        const Point<3>&, const KnnOptions&,
+                                        QueryScratch<3>*,
+                                        std::vector<Neighbor>*, QueryStats*);
+extern template Status KnnSearchInto<4>(const ResidentTree<4>&,
+                                        const Point<4>&, const KnnOptions&,
+                                        QueryScratch<4>*,
+                                        std::vector<Neighbor>*, QueryStats*);
+
 extern template Status KnnSearchBatch<2>(const RTree<2>&, const Point<2>*,
                                          size_t, const KnnOptions&,
                                          QueryScratch<2>*, BatchKnnResult*);
@@ -152,6 +182,19 @@ extern template Status KnnSearchBatch<3>(const RTree<3>&, const Point<3>*,
 extern template Status KnnSearchBatch<4>(const RTree<4>&, const Point<4>*,
                                          size_t, const KnnOptions&,
                                          QueryScratch<4>*, BatchKnnResult*);
+
+extern template Status KnnSearchBatch<2>(const ResidentTree<2>&,
+                                         const Point<2>*, size_t,
+                                         const KnnOptions&, QueryScratch<2>*,
+                                         BatchKnnResult*);
+extern template Status KnnSearchBatch<3>(const ResidentTree<3>&,
+                                         const Point<3>*, size_t,
+                                         const KnnOptions&, QueryScratch<3>*,
+                                         BatchKnnResult*);
+extern template Status KnnSearchBatch<4>(const ResidentTree<4>&,
+                                         const Point<4>*, size_t,
+                                         const KnnOptions&, QueryScratch<4>*,
+                                         BatchKnnResult*);
 
 }  // namespace spatial
 

@@ -160,6 +160,61 @@ uint32_t FilterScalarKernel(const double* dist, uint32_t n, double bound,
   return kept;
 }
 
+template <int D>
+uint32_t MinDistFilterScalar(const double* q, const double* planes,
+                             size_t stride, uint32_t n, double bound,
+                             double* out, uint32_t* idx_out) {
+  uint32_t kept = 0;
+  for (uint32_t j = 0; j < n; ++j) {
+    double sum = 0.0;
+    for (int d = 0; d < D; ++d) {
+      const double lo_gap = planes[(2 * d) * stride + j] - q[d];
+      const double hi_gap = q[d] - planes[(2 * d + 1) * stride + j];
+      const double g = std::max(std::max(lo_gap, hi_gap), 0.0);
+      sum += g * g;
+    }
+    out[j] = sum;
+    if (!(sum > bound)) idx_out[kept++] = j;
+  }
+  return kept;
+}
+
+template <int D>
+double MinDistMinMinMaxScalar(const double* q, const double* planes,
+                              size_t stride, uint32_t n, double* out_min) {
+  double reduced = std::numeric_limits<double>::infinity();
+  for (uint32_t j = 0; j < n; ++j) {
+    double min_sum = 0.0;
+    double far_sum = 0.0;
+    double far_term[D];
+    double near_term[D];
+    for (int d = 0; d < D; ++d) {
+      const double lo = planes[(2 * d) * stride + j];
+      const double hi = planes[(2 * d + 1) * stride + j];
+      const double lo_gap = lo - q[d];
+      const double hi_gap = q[d] - hi;
+      const double g = std::max(std::max(lo_gap, hi_gap), 0.0);
+      min_sum += g * g;
+      const double mid = 0.5 * (lo + hi);
+      const double near_plane = (q[d] <= mid) ? lo : hi;
+      const double far_plane = (q[d] >= mid) ? lo : hi;
+      const double dn = q[d] - near_plane;
+      const double df = q[d] - far_plane;
+      near_term[d] = dn * dn;
+      far_term[d] = df * df;
+      far_sum += far_term[d];
+    }
+    double best = std::numeric_limits<double>::infinity();
+    for (int k = 0; k < D; ++k) {
+      const double candidate = far_sum - far_term[k] + near_term[k];
+      best = std::min(best, candidate);
+    }
+    out_min[j] = min_sum;
+    reduced = std::min(reduced, best);
+  }
+  return reduced;
+}
+
 // ---------------------------------------------------------------------------
 // SSE2 tier: two entries per 128-bit lane pair. Baseline on x86-64, so no
 // special compile flags are needed for this TU.
@@ -333,6 +388,95 @@ uint32_t FilterSse2Kernel(const double* dist, uint32_t n, double bound,
   return kept;
 }
 
+// Fused MINDIST + filter: whole lane pairs, then the scalar expression for
+// a trailing odd entry (lane == scalar bit for bit, so the out[] array
+// matches MinDistSse2 exactly).
+template <int D>
+uint32_t MinDistFilterSse2(const double* q, const double* planes,
+                           size_t stride, uint32_t n, double bound,
+                           double* out, uint32_t* idx_out) {
+  const __m128d zero = _mm_setzero_pd();
+  const __m128d b = _mm_set1_pd(bound);
+  uint32_t kept = 0;
+  uint32_t j = 0;
+  for (; j + 2 <= n; j += 2) {
+    __m128d sum = zero;
+    for (int d = 0; d < D; ++d) {
+      const __m128d lo = _mm_load_pd(planes + (2 * d) * stride + j);
+      const __m128d hi = _mm_load_pd(planes + (2 * d + 1) * stride + j);
+      const __m128d p = _mm_set1_pd(q[d]);
+      const __m128d g = _mm_max_pd(
+          _mm_max_pd(_mm_sub_pd(lo, p), _mm_sub_pd(p, hi)), zero);
+      sum = _mm_add_pd(sum, _mm_mul_pd(g, g));
+    }
+    _mm_store_pd(out + j, sum);
+    const int m = _mm_movemask_pd(_mm_cmpngt_pd(sum, b));
+    if (m & 1) idx_out[kept++] = j;
+    if (m & 2) idx_out[kept++] = j + 1;
+  }
+  for (; j < n; ++j) {
+    double sum = 0.0;
+    for (int d = 0; d < D; ++d) {
+      const double lo_gap = planes[(2 * d) * stride + j] - q[d];
+      const double hi_gap = q[d] - planes[(2 * d + 1) * stride + j];
+      const double g = std::max(std::max(lo_gap, hi_gap), 0.0);
+      sum += g * g;
+    }
+    out[j] = sum;
+    if (!(sum > bound)) idx_out[kept++] = j;
+  }
+  return kept;
+}
+
+// Fused MINDIST + MINMAXDIST reduction. The running minimum uses the same
+// compare+select as the per-dimension min (candidate < best takes the
+// candidate, NaN keeps the old value), and the tail past n is covered by
+// the padding contract: plane slots [n, stride) replicate entry n - 1, so
+// the padded lanes of the last pair reproduce that entry's MINMAXDIST and
+// cannot perturb the minimum.
+template <int D>
+double MinDistMinMinMaxSse2(const double* q, const double* planes,
+                            size_t stride, uint32_t n, double* out_min) {
+  const __m128d zero = _mm_setzero_pd();
+  const __m128d half = _mm_set1_pd(0.5);
+  const __m128d inf = _mm_set1_pd(std::numeric_limits<double>::infinity());
+  __m128d reduced = inf;
+  for (uint32_t j = 0; j < n; j += 2) {
+    __m128d min_sum = zero;
+    __m128d far_sum = zero;
+    __m128d far_term[D];
+    __m128d near_term[D];
+    for (int d = 0; d < D; ++d) {
+      const __m128d lo = _mm_load_pd(planes + (2 * d) * stride + j);
+      const __m128d hi = _mm_load_pd(planes + (2 * d + 1) * stride + j);
+      const __m128d p = _mm_set1_pd(q[d]);
+      const __m128d g = _mm_max_pd(
+          _mm_max_pd(_mm_sub_pd(lo, p), _mm_sub_pd(p, hi)), zero);
+      min_sum = _mm_add_pd(min_sum, _mm_mul_pd(g, g));
+      const __m128d mid = _mm_mul_pd(half, _mm_add_pd(lo, hi));
+      const __m128d near_plane = Select128(_mm_cmple_pd(p, mid), lo, hi);
+      const __m128d far_plane = Select128(_mm_cmpge_pd(p, mid), lo, hi);
+      const __m128d dn = _mm_sub_pd(p, near_plane);
+      const __m128d df = _mm_sub_pd(p, far_plane);
+      near_term[d] = _mm_mul_pd(dn, dn);
+      far_term[d] = _mm_mul_pd(df, df);
+      far_sum = _mm_add_pd(far_sum, far_term[d]);
+    }
+    __m128d best = inf;
+    for (int k = 0; k < D; ++k) {
+      const __m128d candidate =
+          _mm_add_pd(_mm_sub_pd(far_sum, far_term[k]), near_term[k]);
+      best = Select128(_mm_cmplt_pd(candidate, best), candidate, best);
+    }
+    _mm_store_pd(out_min + j, min_sum);
+    reduced = Select128(_mm_cmplt_pd(best, reduced), best, reduced);
+  }
+  const __m128d hi_lane = _mm_unpackhi_pd(reduced, reduced);
+  const __m128d folded =
+      Select128(_mm_cmplt_pd(hi_lane, reduced), hi_lane, reduced);
+  return _mm_cvtsd_f64(folded);
+}
+
 #endif  // defined(__x86_64__)
 
 // ---------------------------------------------------------------------------
@@ -340,10 +484,11 @@ uint32_t FilterSse2Kernel(const double* dist, uint32_t n, double bound,
 
 template <int D>
 constexpr SoaKernelSet ScalarSet() {
-  return SoaKernelSet{&MinDistScalar<D>,      &MinMaxDistScalar<D>,
-                      &MinDistScalar<D>,      &RectMinDistScalar<D>,
-                      &MinAndMinMaxScalar<D>, &TransposeScalarKernel<D>,
-                      &FilterScalarKernel,    KernelIsa::kScalar};
+  return SoaKernelSet{&MinDistScalar<D>,       &MinMaxDistScalar<D>,
+                      &MinDistScalar<D>,       &RectMinDistScalar<D>,
+                      &MinAndMinMaxScalar<D>,  &TransposeScalarKernel<D>,
+                      &FilterScalarKernel,     &MinDistFilterScalar<D>,
+                      &MinDistMinMinMaxScalar<D>, KernelIsa::kScalar};
 }
 
 constexpr SoaKernelSet kScalarSets[] = {
@@ -353,10 +498,11 @@ constexpr SoaKernelSet kScalarSets[] = {
 #if defined(__x86_64__)
 template <int D>
 constexpr SoaKernelSet Sse2Set() {
-  return SoaKernelSet{&MinDistSse2<D>,      &MinMaxDistSse2<D>,
-                      &MinDistSse2<D>,      &RectMinDistSse2<D>,
-                      &MinAndMinMaxSse2<D>, &TransposeSse2Kernel<D>,
-                      &FilterSse2Kernel,    KernelIsa::kSse2};
+  return SoaKernelSet{&MinDistSse2<D>,       &MinMaxDistSse2<D>,
+                      &MinDistSse2<D>,       &RectMinDistSse2<D>,
+                      &MinAndMinMaxSse2<D>,  &TransposeSse2Kernel<D>,
+                      &FilterSse2Kernel,     &MinDistFilterSse2<D>,
+                      &MinDistMinMinMaxSse2<D>, KernelIsa::kSse2};
 }
 
 constexpr SoaKernelSet kSse2Sets[] = {

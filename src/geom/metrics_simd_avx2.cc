@@ -226,12 +226,115 @@ uint32_t FilterAvx2(const double* dist, uint32_t n, double bound,
   return kept;
 }
 
+// Fused MINDIST + filter: whole vector groups, then the scalar expression
+// for the trailing entries (lane == scalar bit for bit, so the out[] array
+// matches MinDistAvx2 exactly and the kept set matches FilterAvx2 over it).
+template <int D>
+uint32_t MinDistFilterAvx2(const double* q, const double* planes,
+                           size_t stride, uint32_t n, double bound,
+                           double* out, uint32_t* idx_out) {
+  const __m256d zero = _mm256_setzero_pd();
+  const __m256d b = _mm256_set1_pd(bound);
+  uint32_t kept = 0;
+  uint32_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    __m256d sum = zero;
+    for (int d = 0; d < D; ++d) {
+      const __m256d lo = _mm256_load_pd(planes + (2 * d) * stride + j);
+      const __m256d hi = _mm256_load_pd(planes + (2 * d + 1) * stride + j);
+      const __m256d p = _mm256_set1_pd(q[d]);
+      const __m256d g = _mm256_max_pd(
+          _mm256_max_pd(_mm256_sub_pd(lo, p), _mm256_sub_pd(p, hi)), zero);
+      sum = _mm256_add_pd(sum, _mm256_mul_pd(g, g));
+    }
+    _mm256_store_pd(out + j, sum);
+    int m = _mm256_movemask_pd(_mm256_cmp_pd(sum, b, _CMP_NGT_UQ));
+    while (m != 0) {
+      idx_out[kept++] = j + static_cast<uint32_t>(__builtin_ctz(m));
+      m &= m - 1;
+    }
+  }
+  for (; j < n; ++j) {
+    double sum = 0.0;
+    for (int d = 0; d < D; ++d) {
+      const double lo_gap = planes[(2 * d) * stride + j] - q[d];
+      const double hi_gap = q[d] - planes[(2 * d + 1) * stride + j];
+      // std::max spelled out (this TU includes no shared inline headers):
+      // (a < b) ? b : a, twice — identical selects to the scalar reference.
+      const double gap = lo_gap < hi_gap ? hi_gap : lo_gap;
+      const double g = gap < 0.0 ? 0.0 : gap;
+      sum += g * g;
+    }
+    out[j] = sum;
+    if (!(sum > bound)) idx_out[kept++] = j;
+  }
+  return kept;
+}
+
+// Fused MINDIST + MINMAXDIST reduction. The running minimum uses the same
+// compare+blend as the per-dimension min (candidate < best takes the
+// candidate, NaN keeps the old value). The tail past n is covered by the
+// padding contract: plane slots [n, stride) replicate entry n - 1, so the
+// padded lanes of the last group reproduce that entry's MINMAXDIST and
+// cannot perturb the minimum.
+template <int D>
+double MinDistMinMinMaxAvx2(const double* q, const double* planes,
+                            size_t stride, uint32_t n, double* out_min) {
+  const __m256d zero = _mm256_setzero_pd();
+  const __m256d half = _mm256_set1_pd(0.5);
+  const __m256d inf = _mm256_set1_pd(kInf);
+  __m256d reduced = inf;
+  for (uint32_t j = 0; j < n; j += 4) {
+    __m256d min_sum = zero;
+    __m256d far_sum = zero;
+    __m256d far_term[D];
+    __m256d near_term[D];
+    for (int d = 0; d < D; ++d) {
+      const __m256d lo = _mm256_load_pd(planes + (2 * d) * stride + j);
+      const __m256d hi = _mm256_load_pd(planes + (2 * d + 1) * stride + j);
+      const __m256d p = _mm256_set1_pd(q[d]);
+      const __m256d g = _mm256_max_pd(
+          _mm256_max_pd(_mm256_sub_pd(lo, p), _mm256_sub_pd(p, hi)), zero);
+      min_sum = _mm256_add_pd(min_sum, _mm256_mul_pd(g, g));
+      const __m256d mid = _mm256_mul_pd(half, _mm256_add_pd(lo, hi));
+      const __m256d near_plane =
+          _mm256_blendv_pd(hi, lo, _mm256_cmp_pd(p, mid, _CMP_LE_OQ));
+      const __m256d far_plane =
+          _mm256_blendv_pd(hi, lo, _mm256_cmp_pd(p, mid, _CMP_GE_OQ));
+      const __m256d dn = _mm256_sub_pd(p, near_plane);
+      const __m256d df = _mm256_sub_pd(p, far_plane);
+      near_term[d] = _mm256_mul_pd(dn, dn);
+      far_term[d] = _mm256_mul_pd(df, df);
+      far_sum = _mm256_add_pd(far_sum, far_term[d]);
+    }
+    __m256d best = inf;
+    for (int k = 0; k < D; ++k) {
+      const __m256d candidate =
+          _mm256_add_pd(_mm256_sub_pd(far_sum, far_term[k]), near_term[k]);
+      best = _mm256_blendv_pd(
+          best, candidate, _mm256_cmp_pd(candidate, best, _CMP_LT_OQ));
+    }
+    _mm256_store_pd(out_min + j, min_sum);
+    reduced = _mm256_blendv_pd(
+        reduced, best, _mm256_cmp_pd(best, reduced, _CMP_LT_OQ));
+  }
+  const __m128d lo_half = _mm256_castpd256_pd128(reduced);
+  const __m128d hi_half = _mm256_extractf128_pd(reduced, 1);
+  const __m128d pair = _mm_blendv_pd(
+      lo_half, hi_half, _mm_cmp_pd(hi_half, lo_half, _CMP_LT_OQ));
+  const __m128d upper = _mm_unpackhi_pd(pair, pair);
+  const __m128d folded =
+      _mm_blendv_pd(pair, upper, _mm_cmp_pd(upper, pair, _CMP_LT_OQ));
+  return _mm_cvtsd_f64(folded);
+}
+
 template <int D>
 constexpr SoaKernelSet Avx2Set() {
-  return SoaKernelSet{&MinDistAvx2<D>,      &MinMaxDistAvx2<D>,
-                      &MinDistAvx2<D>,      &RectMinDistAvx2<D>,
-                      &MinAndMinMaxAvx2<D>, &TransposeAvx2<D>,
-                      &FilterAvx2,          KernelIsa::kAvx2};
+  return SoaKernelSet{&MinDistAvx2<D>,       &MinMaxDistAvx2<D>,
+                      &MinDistAvx2<D>,       &RectMinDistAvx2<D>,
+                      &MinAndMinMaxAvx2<D>,  &TransposeAvx2<D>,
+                      &FilterAvx2,           &MinDistFilterAvx2<D>,
+                      &MinDistMinMinMaxAvx2<D>, KernelIsa::kAvx2};
 }
 
 constexpr SoaKernelSet kAvx2Sets[] = {

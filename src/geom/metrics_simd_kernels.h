@@ -62,6 +62,30 @@ using SoaTransposeFn = void (*)(const void* elems, size_t elem_bytes,
 using SoaFilterFn = uint32_t (*)(const double* dist, uint32_t n, double bound,
                                  uint32_t* idx_out);
 
+// Fused MINDIST + bound filter: out[j] = MINDIST^2(p, box_j) for all j
+// (bit-identical to the min_dist kernel) and idx_out collects the indices
+// with `!(out[j] > bound)` exactly as filter_not_above would over the
+// finished array — one pass over the planes instead of compute-then-
+// re-scan. Returns the survivor count. The traversal's leaf pipeline and
+// the S3 child prefilter are built on this.
+using SoaDistFilterFn = uint32_t (*)(const double* q, const double* planes,
+                                     size_t stride, uint32_t n, double bound,
+                                     double* out, uint32_t* idx_out);
+
+// Fused MINDIST + MINMAXDIST reduction: out_min[j] = MINDIST^2(p, box_j)
+// (bit-identical to min_dist) and the return value is
+// min_j MINMAXDIST^2(p, box_j) over j in [0, n) — the only MINMAXDIST
+// consumer on the S1/S2 path under MINDIST ordering — without
+// materializing the per-entry MINMAXDIST array or a second reduce pass.
+// NaN candidates are skipped exactly as std::min's `b < a` select does;
+// +inf for n == 0. Per-entry MINMAXDIST values match the min_max_dist
+// kernel lane for lane, so the reduced min equals the scalar
+// reduce-after-kernel result bit for bit (min over an identical value set
+// is order-independent).
+using SoaMinDistReduceFn = double (*)(const double* q, const double* planes,
+                                      size_t stride, uint32_t n,
+                                      double* out_min);
+
 // One ISA's kernel complement for one dimensionality.
 struct SoaKernelSet {
   SoaKernelFn min_dist = nullptr;      // MINDIST^2(point, box)
@@ -71,6 +95,8 @@ struct SoaKernelSet {
   SoaKernelFusedFn min_and_min_max = nullptr;
   SoaTransposeFn transpose = nullptr;   // AoS elements -> SoA planes
   SoaFilterFn filter_not_above = nullptr;  // indices with !(dist > bound)
+  SoaDistFilterFn min_dist_filter = nullptr;      // MINDIST + bound filter
+  SoaMinDistReduceFn min_dist_min_minmax = nullptr;  // MINDIST + min MINMAX
   KernelIsa isa = KernelIsa::kScalar;
 };
 

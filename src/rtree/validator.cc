@@ -48,14 +48,19 @@ Result<Rect<D>> ValidateSubtree(ValidationContext<D>* ctx, PageId node_id,
     ctx->report.nodes_per_level.resize(level + 1, 0);
     ctx->report.sibling_overlap_per_level.resize(level + 1, 0.0);
     ctx->report.entry_area_per_level.resize(level + 1, 0.0);
+    ctx->report.entry_margin_per_level.resize(level + 1, 0.0);
+    ctx->report.avg_fill_per_level.resize(level + 1, 0.0);
   }
   ++ctx->report.nodes_per_level[level];
+  ctx->report.avg_fill_per_level[level] +=
+      static_cast<double>(count) / static_cast<double>(view.max_entries());
 
-  // Quality metrics: pairwise overlap and total area of this node's
-  // entries (O(M^2) per node, M is the fan-out).
+  // Quality metrics: pairwise overlap, total area, and total margin of
+  // this node's entries (O(M^2) per node, M is the fan-out).
   for (uint32_t i = 0; i < count; ++i) {
     const Rect<D> a = view.entry(i).mbr;
     ctx->report.entry_area_per_level[level] += a.Area();
+    ctx->report.entry_margin_per_level[level] += a.Margin();
     for (uint32_t j = i + 1; j < count; ++j) {
       ctx->report.sibling_overlap_per_level[level] +=
           a.OverlapArea(view.entry(j).mbr);
@@ -109,6 +114,11 @@ Result<TreeReport> ValidateTree(const RTree<D>& tree, bool check_min_fill) {
       ctx.report.nodes_per_level.empty() ? 0 : ctx.report.nodes_per_level[0];
   if (leaves > 0) {
     ctx.report.avg_leaf_fill /= static_cast<double>(leaves);
+  }
+  for (size_t level = 0; level < ctx.report.avg_fill_per_level.size();
+       ++level) {
+    const uint64_t n = ctx.report.nodes_per_level[level];
+    if (n > 0) ctx.report.avg_fill_per_level[level] /= static_cast<double>(n);
   }
   return ctx.report;
 }

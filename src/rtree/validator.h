@@ -18,11 +18,16 @@ struct TreeReport {
   double avg_leaf_fill = 0.0;             // mean count/M over leaf nodes
 
   // Quality diagnostics (classic R-tree metrics): per level, the summed
-  // pairwise overlap area between sibling entries of each node, and the
-  // summed area of the entries. High overlap forces NN/window searches to
-  // descend multiple siblings — the quantity the R* split minimizes.
+  // pairwise overlap area between sibling entries of each node, the summed
+  // area of the entries, and the summed margin (perimeter). High overlap
+  // forces NN/window searches to descend multiple siblings — the quantity
+  // the R* split minimizes; margin measures how elongated the MBRs are.
   std::vector<double> sibling_overlap_per_level;
   std::vector<double> entry_area_per_level;
+  std::vector<double> entry_margin_per_level;
+  // Mean count/M over the nodes of each level (index 0 = leaves; the top
+  // entry covers the root alone and is usually low).
+  std::vector<double> avg_fill_per_level;
 
   double total_sibling_overlap() const {
     double total = 0.0;

@@ -131,6 +131,24 @@ Status QueryService<D>::StartWorkers() {
     }
     workers_.push_back(std::move(worker));
   }
+  if (options_.resident_tier) {
+    // Best effort: no thread is running yet, so the walk needs no pin and
+    // the publish needs no ordering. A failed compile (in practice: the
+    // arena cap; a corrupt page would have failed Open already) silently
+    // leaves every query on the paged path.
+    uint64_t source_epoch = 0;
+    if (serving_db_ != nullptr) {
+      source_epoch = serving_db_->CurrentSnapshot().epoch;
+    }
+    if (CompileResident(root_page, tree_size, source_epoch).ok() &&
+        serving_db_ == nullptr) {
+      // Read-only trees are immutable for the service's lifetime, so the
+      // workers can hold the raw pointer and skip resident_mu_ per query.
+      for (const auto& worker : workers_) {
+        worker->resident_fixed = resident_.get();
+      }
+    }
+  }
   RegisterMetrics();
   epoch_ = std::chrono::steady_clock::now();
   threads_.reserve(options_.num_workers);
@@ -232,13 +250,28 @@ void QueryService<D>::WorkerLoop(Worker* worker, uint32_t worker_id) {
       }
       if (prep.ok()) {
         worker->tree->Rebase(snap.root_page, snap.size, snap.root_level);
-        response = Dispatch(worker, task->request);
+        // The resident tree is trusted only when it was compiled from
+        // exactly the snapshot this query pinned: a write bumps the epoch
+        // (and usually the COW root), so a stale arena can never serve a
+        // query — it just falls back to the paged path.
+        std::shared_ptr<const ResidentTree<D>> resident;
+        if (options_.resident_tier) {
+          std::lock_guard<std::mutex> lock(resident_mu_);
+          resident = resident_;
+        }
+        const ResidentTree<D>* fast =
+            (resident != nullptr &&
+             resident->source_epoch() == snap.epoch &&
+             resident->root_page() == snap.root_page)
+                ? resident.get()
+                : nullptr;
+        response = Dispatch(worker, task->request, fast);
       } else {
         response.status = std::move(prep);
       }
       serving_db_->UnpinSnapshot(worker->reader_slot);
     } else {
-      response = Dispatch(worker, task->request);
+      response = Dispatch(worker, task->request, worker->resident_fixed);
     }
     const auto end = std::chrono::steady_clock::now();
     const uint64_t ns = static_cast<uint64_t>(
@@ -315,6 +348,7 @@ void QueryService<D>::RunWriteBatch(std::vector<Task>* batch) {
       response.status = serving_db_->Checkpoint();
       (response.ok() ? checkpoints_ : writes_failed_)
           .fetch_add(1, std::memory_order_relaxed);
+      if (response.ok()) DropStaleResident();
       finish(&(*batch)[i], std::move(response));
       ++i;
       continue;
@@ -335,6 +369,7 @@ void QueryService<D>::RunWriteBatch(std::vector<Task>* batch) {
     }
     std::vector<typename ServingDb<D>::WriteResult> results;
     const Status applied = serving_db_->ApplyBatch(ops, &results);
+    if (applied.ok()) DropStaleResident();
     for (size_t k = i; k < j; ++k) {
       QueryResponse<D> response;
       response.status = applied;
@@ -352,14 +387,36 @@ void QueryService<D>::RunWriteBatch(std::vector<Task>* batch) {
 
 template <int D>
 QueryResponse<D> QueryService<D>::Dispatch(Worker* worker,
-                                           const QueryRequest<D>& request) {
+                                           const QueryRequest<D>& request,
+                                           const ResidentTree<D>* resident) {
   QueryResponse<D> response;
   const RTree<D>& tree = *worker->tree;
+  const int kind = static_cast<int>(request.kind);
+  // Tier routing for resident-eligible kinds: one branch per query, and
+  // the fallback counter records every eligible query the tier *could not*
+  // serve (disabled tiers count nothing — the gap is not a fallback).
+  const auto route = [&](auto&& fast, auto&& paged) {
+    if (resident != nullptr) {
+      ++worker->tier_hits[kind];
+      fast();
+    } else {
+      if (options_.resident_tier) ++worker->tier_fallbacks[kind];
+      paged();
+    }
+  };
   switch (request.kind) {
     case QueryKind::kKnn: {
-      response.status =
-          KnnSearchInto<D>(tree, request.query, request.knn, &worker->scratch,
-                           &response.neighbors, &response.stats);
+      route(
+          [&] {
+            response.status = KnnSearchInto<D>(
+                *resident, request.query, request.knn, &worker->scratch,
+                &response.neighbors, &response.stats);
+          },
+          [&] {
+            response.status = KnnSearchInto<D>(
+                tree, request.query, request.knn, &worker->scratch,
+                &response.neighbors, &response.stats);
+          });
       return response;
     }
     case QueryKind::kConstrainedKnn: {
@@ -382,17 +439,28 @@ QueryResponse<D> QueryService<D>::Dispatch(Worker* worker,
         response.status = Status::InvalidArgument("top_k must be >= 1");
         return response;
       }
-      IncrementalKnn<D> scan(tree, request.query, &worker->scratch,
-                             &response.stats);
-      for (uint32_t i = 0; i < request.top_k; ++i) {
-        auto next = scan.Next();
-        if (!next.ok()) {
-          response.status = next.status();
-          return response;
+      const auto drain = [&](IncrementalKnn<D>& scan) {
+        for (uint32_t i = 0; i < request.top_k; ++i) {
+          auto next = scan.Next();
+          if (!next.ok()) {
+            response.status = next.status();
+            return;
+          }
+          if (!next->has_value()) break;  // tree exhausted
+          response.neighbors.push_back(**next);
         }
-        if (!next->has_value()) break;  // tree exhausted
-        response.neighbors.push_back(**next);
-      }
+      };
+      route(
+          [&] {
+            IncrementalKnn<D> scan(*resident, request.query, &worker->scratch,
+                                   &response.stats);
+            drain(scan);
+          },
+          [&] {
+            IncrementalKnn<D> scan(tree, request.query, &worker->scratch,
+                                   &response.stats);
+            drain(scan);
+          });
       return response;
     }
     case QueryKind::kBatchKnn: {
@@ -401,9 +469,19 @@ QueryResponse<D> QueryService<D>::Dispatch(Worker* worker,
         return response;
       }
       BatchKnnResult batch;
-      response.status = KnnSearchBatch<D>(
-          tree, request.batch_queries.data(), request.batch_queries.size(),
-          request.knn, &worker->scratch, &batch);
+      route(
+          [&] {
+            response.status = KnnSearchBatch<D>(
+                *resident, request.batch_queries.data(),
+                request.batch_queries.size(), request.knn, &worker->scratch,
+                &batch);
+          },
+          [&] {
+            response.status = KnnSearchBatch<D>(
+                tree, request.batch_queries.data(),
+                request.batch_queries.size(), request.knn, &worker->scratch,
+                &batch);
+          });
       if (response.status.ok()) {
         response.neighbors = std::move(batch.neighbors);
         response.batch_offsets = std::move(batch.offsets);
@@ -422,6 +500,75 @@ QueryResponse<D> QueryService<D>::Dispatch(Worker* worker,
   }
   response.status = Status::InvalidArgument("unknown query kind");
   return response;
+}
+
+template <int D>
+Status QueryService<D>::CompileResident(PageId root_page, uint64_t tree_size,
+                                        uint64_t source_epoch) {
+  // A throwaway view + small pool: the walk reads every page exactly once
+  // (pin depth 1), so worker pools and their statistics stay untouched.
+  ReadOnlyDiskView disk(&db_->disk());
+  BufferPool pool(&disk, /*capacity=*/64, options_.eviction);
+  typename ResidentTree<D>::Options opts;
+  opts.max_arena_bytes = options_.resident_max_bytes;
+  opts.source_epoch = source_epoch;
+  SPATIAL_ASSIGN_OR_RETURN(
+      ResidentTree<D> compiled,
+      ResidentTree<D>::Compile(&pool, root_page, tree_size, opts));
+  resident_compile_ns_.Record(compiled.compile_ns());
+  resident_compiles_.fetch_add(1, std::memory_order_relaxed);
+  auto tree = std::make_shared<const ResidentTree<D>>(std::move(compiled));
+  {
+    std::lock_guard<std::mutex> lock(resident_mu_);
+    resident_ = std::move(tree);
+  }
+  return Status::OK();
+}
+
+template <int D>
+void QueryService<D>::DropStaleResident() {
+  if (!options_.resident_tier || serving_db_ == nullptr) return;
+  const TreeSnapshot snap = serving_db_->CurrentSnapshot();
+  std::lock_guard<std::mutex> lock(resident_mu_);
+  if (resident_ != nullptr && (resident_->source_epoch() != snap.epoch ||
+                               resident_->root_page() != snap.root_page)) {
+    resident_.reset();
+    resident_invalidations_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+template <int D>
+Status QueryService<D>::RecompileResidentTier() {
+  if (!options_.resident_tier) {
+    return Status::InvalidArgument("resident tier is disabled");
+  }
+  if (serving_db_ == nullptr) {
+    // Read-only trees never change; the startup compile either already
+    // succeeded (workers hold it) or the tree is over the arena cap.
+    std::lock_guard<std::mutex> lock(resident_mu_);
+    return resident_ != nullptr
+               ? Status::OK()
+               : Status::ResourceExhausted(
+                     "resident tree exceeds resident_max_bytes");
+  }
+  // Pin the snapshot for the whole walk so no page this version reaches
+  // can be recycled mid-compile. If a write publishes a newer version
+  // while we compile, the per-query epoch check simply never routes to
+  // the result and the next write's DropStaleResident frees it.
+  SPATIAL_ASSIGN_OR_RETURN(const uint32_t slot, serving_db_->RegisterReader());
+  const TreeSnapshot snap = serving_db_->PinSnapshot(slot);
+  const Status compiled = CompileResident(snap.root_page, snap.size,
+                                          snap.epoch);
+  serving_db_->UnpinSnapshot(slot);
+  serving_db_->ReleaseReader(slot);
+  return compiled;
+}
+
+template <int D>
+std::shared_ptr<const ResidentTree<D>> QueryService<D>::resident_tree()
+    const {
+  std::lock_guard<std::mutex> lock(resident_mu_);
+  return resident_;
 }
 
 template <int D>
@@ -589,6 +736,56 @@ void QueryService<D>::CollectMetrics(obs::ExpositionWriter& writer) const {
   writer.Sample("spatial_slow_queries_retained", "population=\"sampled\"",
                 static_cast<uint64_t>(slow_log_->sampled_captured()));
 
+  // Resident tier (docs/PERF.md "Resident tier"). The gauges describe the
+  // currently published arena (zero after an invalidation); the routing
+  // counters cover only resident-eligible kinds.
+  writer.Family("spatial_resident_arena_bytes",
+                "Bytes in the published resident-tier arena",
+                obs::MetricType::kGauge);
+  writer.Sample("spatial_resident_arena_bytes", "",
+                stats.resident_arena_bytes);
+  writer.Family("spatial_resident_nodes",
+                "Nodes compiled into the published resident-tier arena",
+                obs::MetricType::kGauge);
+  writer.Sample("spatial_resident_nodes",
+                "", static_cast<uint64_t>(stats.resident_nodes));
+  writer.Family("spatial_resident_compiles_total",
+                "Resident-tier arena compilations",
+                obs::MetricType::kCounter);
+  writer.Sample("spatial_resident_compiles_total", "",
+                stats.resident_compiles);
+  writer.Family("spatial_resident_invalidations_total",
+                "Resident-tier arenas dropped after a write published a "
+                "new tree version",
+                obs::MetricType::kCounter);
+  writer.Sample("spatial_resident_invalidations_total", "",
+                stats.resident_invalidations);
+  writer.Family("spatial_resident_compile_ns",
+                "Resident-tier compile duration",
+                obs::MetricType::kHistogram);
+  writer.Histogram("spatial_resident_compile_ns", "",
+                   resident_compile_ns_.Snapshot());
+  writer.Family("spatial_resident_queries_total",
+                "Resident-eligible queries by serving tier",
+                obs::MetricType::kCounter);
+  for (int k = 0; k < kNumQueryKinds; ++k) {
+    const QueryKind kind = static_cast<QueryKind>(k);
+    if (kind != QueryKind::kKnn && kind != QueryKind::kTopK &&
+        kind != QueryKind::kBatchKnn) {
+      continue;
+    }
+    uint64_t hits = 0;
+    uint64_t fallbacks = 0;
+    for (const auto& worker : workers_) {
+      hits += worker->tier_hits[k];
+      fallbacks += worker->tier_fallbacks[k];
+    }
+    writer.Sample("spatial_resident_queries_total",
+                  KindLabel(kind) + ",tier=\"resident\"", hits);
+    writer.Sample("spatial_resident_queries_total",
+                  KindLabel(kind) + ",tier=\"paged\"", fallbacks);
+  }
+
   if (serving_db_ == nullptr) return;
 
   writer.Family("spatial_writes_total",
@@ -653,6 +850,17 @@ ServiceStats QueryService<D>::Snapshot() const {
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     epoch_)
           .count();
+  stats.resident_compiles =
+      resident_compiles_.load(std::memory_order_relaxed);
+  stats.resident_invalidations =
+      resident_invalidations_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(resident_mu_);
+    if (resident_ != nullptr) {
+      stats.resident_arena_bytes = resident_->arena_bytes();
+      stats.resident_nodes = resident_->node_count();
+    }
+  }
   for (const auto& worker : workers_) {
     stats.queries_ok += worker->ok.load(std::memory_order_relaxed);
     stats.queries_failed += worker->failed.load(std::memory_order_relaxed);
@@ -660,6 +868,8 @@ ServiceStats QueryService<D>::Snapshot() const {
     stats.buffer += worker->pool->stats();
     for (int kind = 0; kind < kNumQueryKinds; ++kind) {
       stats.query.Add(worker->kind_stats[kind].Snapshot());
+      stats.resident_hits += worker->tier_hits[kind];
+      stats.resident_fallbacks += worker->tier_fallbacks[kind];
     }
     stats.latency += worker->histogram.Snapshot();
     stats.queue_wait += worker->queue_wait.Snapshot();
@@ -693,6 +903,8 @@ void QueryService<D>::ResetStats() {
     for (int kind = 0; kind < kNumQueryKinds; ++kind) {
       worker->kind_stats[kind].Reset();
       worker->kind_count[kind] = 0;
+      worker->tier_hits[kind] = 0;
+      worker->tier_fallbacks[kind] = 0;
     }
     worker->histogram.Reset();
     worker->queue_wait.Reset();

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -22,6 +23,7 @@
 #include "service/service_stats.h"
 #include "storage/buffer_pool.h"
 #include "storage/read_only_disk.h"
+#include "storage/resident_tree.h"
 
 namespace spatial {
 
@@ -75,6 +77,19 @@ class QueryService {
     // a rotational disk so throughput scaling reflects I/O overlap rather
     // than the host's core count (see E14 and storage/read_only_disk.h).
     uint32_t simulated_read_latency_us = 0;
+
+    // Memory-resident fast path (docs/PERF.md "Resident tier"): compile
+    // the served tree into a pinned SoA arena at startup and route
+    // kKnn/kTopK/kBatchKnn through it — no buffer-pool pins, no page
+    // translation, no per-visit transpose, answers and visit order
+    // bit-identical to the paged path. Serving mode drops the compiled
+    // tree whenever a write publishes a new version and falls back to the
+    // paged path until RecompileResidentTier() is called; a tree whose
+    // arena would exceed resident_max_bytes also stays paged. Compile
+    // failures are silent: residency is a performance tier, never a
+    // correctness requirement.
+    bool resident_tier = true;
+    uint64_t resident_max_bytes = 1ull << 32;  // 4 GiB
 
     // Observability (docs/OBSERVABILITY.md). Sampling is per query, drawn
     // from a per-worker xorshift: 0 = tracing off (the default; queries
@@ -159,6 +174,18 @@ class QueryService {
   // CLI).
   const obs::SlowQueryLog& slow_query_log() const { return *slow_log_; }
 
+  // Recompiles the resident tier from the currently published tree
+  // version (serving mode pins a snapshot around the walk). Returns the
+  // compile status; on failure the service simply keeps answering through
+  // the paged path. InvalidArgument when the tier is disabled.
+  Status RecompileResidentTier();
+
+  // The currently published resident tree, or null when the tier is
+  // disabled, over the arena cap, or invalidated by a write. Serving-mode
+  // callers should treat it as advisory: workers additionally check it
+  // against their pinned snapshot before trusting it.
+  std::shared_ptr<const ResidentTree<D>> resident_tree() const;
+
   // Zeroes all per-worker counters and restarts the QPS clock. Call only
   // while no queries are in flight (between bench phases).
   void ResetStats();
@@ -211,6 +238,15 @@ class QueryService {
     // page ids and the private pool's cached images must be dropped.
     uint32_t reader_slot = 0;
     uint64_t last_reclaim_gen = 0;
+    // Read-only mode only: the resident tree, set before the worker
+    // thread starts and immutable afterwards, so the hot path reads it
+    // with no synchronization at all. Serving workers instead take a
+    // shared_ptr copy per query (the tree can be invalidated under them).
+    const ResidentTree<D>* resident_fixed = nullptr;
+    // Tier routing counters for resident-eligible kinds (kKnn, kTopK,
+    // kBatchKnn): served from the arena vs fell back to the paged path.
+    obs::StatCounter tier_hits[kNumQueryKinds];
+    obs::StatCounter tier_fallbacks[kNumQueryKinds];
   };
 
   QueryService(const SpatialDb<D>* db, std::unique_ptr<SpatialDb<D>> owned,
@@ -222,7 +258,18 @@ class QueryService {
   void WorkerLoop(Worker* worker, uint32_t worker_id);
   void WriterLoop();
   void RunWriteBatch(std::vector<Task>* batch);
-  QueryResponse<D> Dispatch(Worker* worker, const QueryRequest<D>& request);
+  // `resident` is the tree to route eligible kinds through, already
+  // validated against the worker's pinned snapshot (null = paged path).
+  QueryResponse<D> Dispatch(Worker* worker, const QueryRequest<D>& request,
+                            const ResidentTree<D>* resident);
+  // Compiles the tree version identified by (root_page, tree_size,
+  // source_epoch) through a throwaway pool and publishes it under
+  // resident_mu_.
+  Status CompileResident(PageId root_page, uint64_t tree_size,
+                         uint64_t source_epoch);
+  // Writer-thread hook: drops the published resident tree once it no
+  // longer matches the current snapshot.
+  void DropStaleResident();
 
   Options options_;
   std::unique_ptr<SpatialDb<D>> owned_db_;  // Open() path; null for Attach()
@@ -247,6 +294,17 @@ class QueryService {
   // `this` and read the per-worker shards at scrape time.
   std::unique_ptr<obs::MetricsRegistry> metrics_;
   std::unique_ptr<obs::SlowQueryLog> slow_log_;
+  // Resident tier. The published tree is swapped under resident_mu_:
+  // compiled by StartWorkers / RecompileResidentTier, dropped by the
+  // writer thread when a batch publishes a new version. Serving workers
+  // copy the shared_ptr per query and verify (source_epoch, root_page)
+  // against their pinned snapshot; read-only workers bypass the mutex via
+  // Worker::resident_fixed.
+  mutable std::mutex resident_mu_;
+  std::shared_ptr<const ResidentTree<D>> resident_;
+  std::atomic<uint64_t> resident_compiles_{0};
+  std::atomic<uint64_t> resident_invalidations_{0};
+  obs::PowerHistogram resident_compile_ns_;
 };
 
 extern template class QueryService<2>;

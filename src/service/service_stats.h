@@ -28,6 +28,16 @@ struct ServiceStats {
   uint64_t writes_failed = 0;
   uint64_t checkpoints = 0;
 
+  // Resident fast path (docs/PERF.md "Resident tier"); all zero when the
+  // tier is disabled. Hits/fallbacks count only resident-eligible kinds
+  // (kKnn, kTopK, kBatchKnn).
+  uint64_t resident_hits = 0;
+  uint64_t resident_fallbacks = 0;
+  uint64_t resident_compiles = 0;
+  uint64_t resident_invalidations = 0;
+  uint64_t resident_arena_bytes = 0;  // currently published arena (gauge)
+  uint32_t resident_nodes = 0;        // nodes in the published arena
+
   IoStats io;          // summed over worker disk views
   BufferStats buffer;  // summed over worker buffer pools
   QueryStats query;    // summed over all executed queries

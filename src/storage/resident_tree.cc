@@ -1,0 +1,220 @@
+#include "storage/resident_tree.h"
+
+#include <chrono>
+#include <new>
+
+#include "rtree/entry.h"
+#include "rtree/node.h"
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#endif
+
+namespace spatial {
+
+namespace {
+
+constexpr uint64_t kHugePageBytes = 2ull << 20;
+
+struct ArenaAllocation {
+  double* ptr = nullptr;
+  uint64_t mapped_bytes = 0;  // 0 = heap
+  bool hugetlb = false;
+};
+
+// One contiguous block for the whole tree. Preference order: explicit
+// hugetlb mapping (guaranteed 2 MiB pages), anonymous mapping with
+// transparent-hugepage advice, plain 64-byte-aligned heap memory. Every
+// fallback is silent — residency is a performance tier, not a correctness
+// requirement.
+ArenaAllocation AllocateArena(uint64_t bytes, bool try_hugepages) {
+#if defined(__linux__)
+  if (try_hugepages) {
+#if defined(MAP_HUGETLB)
+    const uint64_t huge_bytes =
+        (bytes + kHugePageBytes - 1) & ~(kHugePageBytes - 1);
+    void* p = ::mmap(nullptr, huge_bytes, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS | MAP_HUGETLB, -1, 0);
+    if (p != MAP_FAILED) {
+      return ArenaAllocation{static_cast<double*>(p), huge_bytes, true};
+    }
+#endif
+    // Transparent hugepages only back 2 MiB-aligned, 2 MiB-spanning
+    // ranges, so over-map by one hugepage and trim the head/tail down to
+    // an aligned arena; the compile pass's first touch then faults the
+    // whole range in as hugepages (THP madvise mode).
+    const uint64_t aligned_bytes =
+        (bytes + kHugePageBytes - 1) & ~(kHugePageBytes - 1);
+    void* raw = ::mmap(nullptr, aligned_bytes + kHugePageBytes,
+                       PROT_READ | PROT_WRITE, MAP_PRIVATE | MAP_ANONYMOUS,
+                       -1, 0);
+    if (raw != MAP_FAILED) {
+      const uintptr_t base = reinterpret_cast<uintptr_t>(raw);
+      const uintptr_t aligned =
+          (base + kHugePageBytes - 1) & ~(kHugePageBytes - 1);
+      if (aligned != base) ::munmap(raw, aligned - base);
+      const uintptr_t end = base + aligned_bytes + kHugePageBytes;
+      if (end != aligned + aligned_bytes) {
+        ::munmap(reinterpret_cast<void*>(aligned + aligned_bytes),
+                 end - (aligned + aligned_bytes));
+      }
+      void* plain = reinterpret_cast<void*>(aligned);
+#if defined(MADV_HUGEPAGE)
+      (void)::madvise(plain, aligned_bytes, MADV_HUGEPAGE);
+#endif
+      return ArenaAllocation{static_cast<double*>(plain), aligned_bytes,
+                             false};
+    }
+  }
+#else
+  (void)try_hugepages;
+#endif
+  return ArenaAllocation{
+      static_cast<double*>(::operator new(bytes, std::align_val_t{64})), 0,
+      false};
+}
+
+}  // namespace
+
+template <int D>
+void ResidentTree<D>::ArenaDelete::operator()(double* p) const {
+  if (p == nullptr) return;
+#if defined(__linux__)
+  if (mapped_bytes != 0) {
+    ::munmap(p, mapped_bytes);
+    return;
+  }
+#endif
+  ::operator delete(p, std::align_val_t{64});
+}
+
+template <int D>
+Result<ResidentTree<D>> ResidentTree<D>::Compile(BufferPool* pool,
+                                                 PageId root_page,
+                                                 uint64_t tree_size,
+                                                 const Options& options) {
+  const auto start = std::chrono::steady_clock::now();
+  ResidentTree tree;
+  tree.source_epoch_ = options.source_epoch;
+  tree.size_ = tree_size;
+  const auto finish = [&start, &tree]() {
+    tree.compile_ns_ = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+  };
+  if (tree_size == 0) {
+    finish();
+    return tree;
+  }
+  tree.root_page_ = root_page;
+
+  // Pass 1: breadth-first page walk. Slot order is discovery order; the
+  // page map doubles as the visited set so a corrupt child pointer cannot
+  // loop the walk.
+  struct NodeMeta {
+    PageId page = kInvalidPageId;
+    uint32_t entry_offset = 0;
+    uint32_t count = 0;
+    uint16_t level = 0;
+  };
+  std::vector<NodeMeta> metas;
+  std::vector<Entry<D>> entries;
+  std::vector<PageId> order;
+  std::vector<uint32_t>& page_map = tree.page_map_;
+
+  const auto enqueue = [&](PageId id) -> Status {
+    if (id == kInvalidPageId) {
+      return Status::Corruption("resident tree: invalid child page id");
+    }
+    if (id >= page_map.size()) page_map.resize(id + 1, kNoNode);
+    if (page_map[id] != kNoNode) {
+      return Status::Corruption("resident tree: page reachable twice");
+    }
+    page_map[id] = static_cast<uint32_t>(order.size());
+    order.push_back(id);
+    return Status::OK();
+  };
+  SPATIAL_RETURN_IF_ERROR(enqueue(root_page));
+
+  uint64_t arena_doubles = 0;
+  for (size_t i = 0; i < order.size(); ++i) {
+    const PageId id = order[i];
+    SPATIAL_ASSIGN_OR_RETURN(PageHandle handle, pool->Fetch(id));
+    NodeView<D> view(handle.data(), pool->page_size());
+    if (!view.has_valid_magic()) {
+      return Status::Corruption("resident tree: node page has bad magic");
+    }
+    const uint32_t n = view.count();
+    NodeMeta meta;
+    meta.page = id;
+    meta.entry_offset = static_cast<uint32_t>(entries.size());
+    meta.count = n;
+    meta.level = view.level();
+    metas.push_back(meta);
+    // Planes plus the node's id column padded to a cache line, so the next
+    // node's plane block stays 64-byte aligned in the interleaved layout.
+    arena_doubles += SoaDoubles(D, n) + ((uint64_t{n} + 7) & ~uint64_t{7});
+    const size_t off = entries.size();
+    entries.resize(off + n);
+    view.CopyEntries(entries.data() + off);
+    if (!view.is_leaf()) {
+      for (uint32_t j = 0; j < n; ++j) {
+        SPATIAL_RETURN_IF_ERROR(
+            enqueue(static_cast<PageId>(entries[off + j].id)));
+      }
+    }
+  }
+  tree.root_level_ = metas[0].level;
+
+  // Pass 2: lay the arena out as interleaved per-node records — each
+  // node's plane block immediately followed by its id column — so a visit
+  // streams one contiguous byte range instead of touching two distant
+  // regions. Plane blocks are 64-byte multiples (SoaStride pads to full
+  // cache lines) and each id column is padded to a cache line, so every
+  // node's planes stay 64-byte aligned for the vector kernels.
+  const uint64_t total_bytes = arena_doubles * sizeof(double);
+  if (options.max_arena_bytes != 0 && total_bytes > options.max_arena_bytes) {
+    return Status::ResourceExhausted(
+        "resident tree: arena would exceed max_arena_bytes");
+  }
+
+  ArenaAllocation alloc = AllocateArena(total_bytes, options.try_hugepages);
+  tree.arena_ = std::unique_ptr<double[], ArenaDelete>(
+      alloc.ptr, ArenaDelete{alloc.mapped_bytes});
+  tree.arena_bytes_ = total_bytes;
+  tree.hugepage_backed_ = alloc.hugetlb;
+
+  double* cursor = alloc.ptr;
+  tree.nodes_.reserve(metas.size());
+  for (const NodeMeta& meta : metas) {
+    const Entry<D>* node_entries = entries.data() + meta.entry_offset;
+    const size_t stride = SoaStride(meta.count);
+    if (meta.count > 0) {
+      // The same dispatched staging kernel QueryScratch::StageSoa runs per
+      // visit, executed once here — which is why the resident planes are
+      // bit-identical to what the paged traversal would stage.
+      TransposeToSoaDispatched<D>(node_entries, meta.count, cursor, stride);
+    }
+    uint64_t* ids = reinterpret_cast<uint64_t*>(cursor + 2 * D * stride);
+    for (uint32_t j = 0; j < meta.count; ++j) {
+      ids[j] = node_entries[j].id;
+    }
+    ResidentNodeRef<D> ref;
+    ref.planes = cursor;
+    ref.ids = ids;
+    ref.count = meta.count;
+    ref.level = meta.level;
+    tree.nodes_.push_back(ref);
+    cursor += 2 * D * stride + ((uint64_t{meta.count} + 7) & ~uint64_t{7});
+  }
+
+  finish();
+  return tree;
+}
+
+template class ResidentTree<2>;
+template class ResidentTree<3>;
+template class ResidentTree<4>;
+
+}  // namespace spatial

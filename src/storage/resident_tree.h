@@ -1,0 +1,141 @@
+#ifndef SPATIAL_STORAGE_RESIDENT_TREE_H_
+#define SPATIAL_STORAGE_RESIDENT_TREE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "geom/metrics_simd.h"
+#include "storage/buffer_pool.h"
+
+namespace spatial {
+
+// The memory-resident fast path (docs/PERF.md, "Resident tier").
+//
+// The paged traversal pays three per-visit costs even when every page is
+// cached: the buffer-pool pin (hash probe + frame bookkeeping), the
+// page-image translation (NodeView over raw bytes), and the AoS -> SoA
+// transpose that feeds the SIMD distance kernels. ResidentTree::Compile
+// walks a tree once and emits a single contiguous arena in which every node
+// is stored *in the form the traversal consumes*: its SoA planes already
+// transposed (bit-identical to what StageSoa would produce, because both
+// run the same dispatched staging kernel) and its id column densely packed.
+// Queries then expand a node with one table lookup — no pin, no view, no
+// transpose.
+//
+// The compiled tree is an immutable snapshot of the source tree at compile
+// time, keyed by the (source_epoch, root_page) it was built from; serving
+// layers drop it when a write publishes a new version and fall back to the
+// paged path (service/query_service.h owns that lifecycle).
+//
+// Node identity stays PageId: traversal order, tie-breaking, and the
+// visit-trace test hook all key on child page ids, so the resident tier
+// preserves them and maps PageId -> node slot through a dense table (page
+// ids are densely allocated by both disk backends). That is what makes the
+// resident traversal's answers AND visit order memcmp-identical to the
+// paged path — enforced by tests/resident_tree_test.cc, not hoped for.
+//
+// The arena is allocated in one block, 2 MiB-aligned and hugepage-backed
+// where the platform cooperates (MAP_HUGETLB, falling back to
+// madvise(MADV_HUGEPAGE), falling back to the heap) so deep traversals
+// touch as few TLB entries as possible.
+//
+// ResidentTree is immutable after Compile and safe to share across any
+// number of reader threads.
+
+template <int D>
+struct ResidentNodeRef {
+  const double* planes = nullptr;  // 2*D SoA planes of SoaStride(count)
+  const uint64_t* ids = nullptr;   // object ids (leaf) or child PageIds
+  uint32_t count = 0;
+  uint16_t level = 0;  // 0 = leaf
+
+  bool is_leaf() const { return level == 0; }
+  SoaBlock<D> soa() const {
+    return SoaBlock<D>{planes, SoaStride(count), count};
+  }
+  // Mirrors ExpandedNode's id accessors, so a traversal templated on the
+  // backend reads ids through the same expressions on both.
+  uint64_t id(uint32_t i) const { return ids[i]; }
+  const uint64_t* dense_ids() const { return ids; }
+};
+
+template <int D>
+class ResidentTree {
+ public:
+  struct Options {
+    // Try MAP_HUGETLB / MADV_HUGEPAGE before falling back to the heap.
+    bool try_hugepages = true;
+    // Refuse to compile a tree whose arena would exceed this (0 = no cap).
+    // The serving layer uses this as its overflow guard: a tree too big to
+    // pin stays on the paged path.
+    uint64_t max_arena_bytes = 0;
+    // Provenance tag for snapshot-published trees: the ServingDb epoch the
+    // compiled tree was built from. Readers compare it against their pinned
+    // snapshot to detect staleness. Read-only trees leave it 0.
+    uint64_t source_epoch = 0;
+  };
+
+  // Compiles the tree rooted at `root_page` (with `tree_size` objects, as
+  // tracked by RTree/TreeSnapshot) by reading every node once through
+  // `pool`. The pool is only used during the call; the compiled tree holds
+  // no reference to it. An empty tree (size 0) compiles to an empty
+  // resident tree.
+  static Result<ResidentTree> Compile(BufferPool* pool, PageId root_page,
+                                      uint64_t tree_size,
+                                      const Options& options);
+
+  ResidentTree(ResidentTree&&) noexcept = default;
+  ResidentTree& operator=(ResidentTree&&) noexcept = default;
+  ResidentTree(const ResidentTree&) = delete;
+  ResidentTree& operator=(const ResidentTree&) = delete;
+
+  // O(1) node lookup; nullptr for a PageId that is not part of this tree.
+  const ResidentNodeRef<D>* Find(PageId id) const {
+    if (id >= page_map_.size()) return nullptr;
+    const uint32_t slot = page_map_[id];
+    return slot == kNoNode ? nullptr : &nodes_[slot];
+  }
+
+  PageId root_page() const { return root_page_; }
+  uint64_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  uint16_t root_level() const { return root_level_; }
+  uint32_t node_count() const { return static_cast<uint32_t>(nodes_.size()); }
+  uint64_t arena_bytes() const { return arena_bytes_; }
+  uint64_t compile_ns() const { return compile_ns_; }
+  bool hugepage_backed() const { return hugepage_backed_; }
+  uint64_t source_epoch() const { return source_epoch_; }
+
+ private:
+  static constexpr uint32_t kNoNode = 0xffffffffu;
+
+  struct ArenaDelete {
+    uint64_t mapped_bytes = 0;  // 0 = heap allocation
+    void operator()(double* p) const;
+  };
+
+  ResidentTree() = default;
+
+  std::unique_ptr<double[], ArenaDelete> arena_;
+  std::vector<ResidentNodeRef<D>> nodes_;
+  std::vector<uint32_t> page_map_;  // PageId -> slot in nodes_
+  PageId root_page_ = kInvalidPageId;
+  uint64_t size_ = 0;
+  uint16_t root_level_ = 0;
+  uint64_t arena_bytes_ = 0;
+  uint64_t compile_ns_ = 0;
+  bool hugepage_backed_ = false;
+  uint64_t source_epoch_ = 0;
+};
+
+extern template class ResidentTree<2>;
+extern template class ResidentTree<3>;
+extern template class ResidentTree<4>;
+
+}  // namespace spatial
+
+#endif  // SPATIAL_STORAGE_RESIDENT_TREE_H_

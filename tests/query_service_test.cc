@@ -137,6 +137,9 @@ TEST(QueryServiceTest, StatsAggregateAcrossWorkers) {
   QueryService<2>::Options options;
   options.num_workers = 4;
   options.frames_per_worker = 8;
+  // This test asserts the paged path's page-access accounting; the
+  // resident tier would answer without touching the buffer pools.
+  options.resident_tier = false;
   auto service = QueryService<2>::Attach(*db, options);
   ASSERT_TRUE(service.ok());
 
@@ -166,6 +169,10 @@ TEST(QueryServiceTest, StatsAggregateAcrossWorkers) {
             stats.latency.PercentileNs(0.5));
   // Per-query algorithm counters flowed through the workers.
   EXPECT_GE(stats.query.nodes_visited, static_cast<uint64_t>(kQueries));
+  // With the tier disabled, no query may be counted against it.
+  EXPECT_EQ(stats.resident_hits, 0u);
+  EXPECT_EQ(stats.resident_fallbacks, 0u);
+  EXPECT_EQ(stats.resident_compiles, 0u);
 
   (*service)->ResetStats();
   const ServiceStats zeroed = (*service)->Stats();

@@ -217,6 +217,68 @@ void CheckKernelSet(const SoaKernelSet& set, const std::vector<Box<D>>& boxes,
   ExpectBitEqual(out2, ref_minmax.data(), n, "fused minmax", set.isa, D, n);
   check_guard("min_and_min_max");
 
+  // Fused MINDIST + bound filter: the distance array must match min_dist
+  // bit for bit and the survivor list must match filter_not_above run over
+  // the finished reference array, for the same spread of bounds the
+  // standalone filter is exercised with.
+  {
+    std::vector<double> bounds = {0.0, -1.0,
+                                  std::numeric_limits<double>::infinity(),
+                                  -std::numeric_limits<double>::infinity()};
+    if (n > 0) bounds.push_back(ref_min[n / 2]);  // exact value: ties kept
+    std::vector<uint32_t> want_idx(n + 1);
+    AlignedArray<uint32_t> got_idx_arr;
+    uint32_t* got_idx = got_idx_arr.EnsureCapacity(n + 1);
+    uint32_t idx_sentinel;
+    std::memset(&idx_sentinel, kSentinelByte, sizeof(idx_sentinel));
+    for (double bound : bounds) {
+      const uint32_t want_kept =
+          FilterReference(ref_min.data(), n, bound, want_idx.data());
+      rearm();
+      std::memset(got_idx, kSentinelByte, (n + 1) * sizeof(uint32_t));
+      const uint32_t got_kept = set.min_dist_filter(q.coord.data(), planes,
+                                                    stride, n, bound, out,
+                                                    got_idx);
+      ExpectBitEqual(out, ref_min.data(), n, "min_dist_filter distances",
+                     set.isa, D, n);
+      check_guard("min_dist_filter");
+      ASSERT_EQ(got_kept, want_kept)
+          << "min_dist_filter kept count (isa=" << KernelIsaName(set.isa)
+          << ", D=" << D << ", n=" << n << ", bound=" << bound << ")";
+      EXPECT_EQ(std::memcmp(got_idx, want_idx.data(),
+                            want_kept * sizeof(uint32_t)),
+                0)
+          << "min_dist_filter indices (isa=" << KernelIsaName(set.isa)
+          << ", D=" << D << ", n=" << n << ", bound=" << bound << ")";
+      for (uint32_t j = want_kept; j < n + 1; ++j) {
+        ASSERT_EQ(got_idx[j], idx_sentinel)
+            << "min_dist_filter wrote past its survivors at slot " << j;
+      }
+    }
+  }
+
+  // Fused MINDIST + min-MINMAXDIST reduction: the distance array must match
+  // min_dist bit for bit and the returned scalar must equal a std::min
+  // reduction of the reference MINMAXDIST array (+inf for n == 0 and NaN
+  // candidates skipped — the fuzz batches force an empty rect, whose
+  // MINMAXDIST is NaN, into every batch of size >= 2).
+  {
+    double want_min = std::numeric_limits<double>::infinity();
+    for (uint32_t j = 0; j < n; ++j) {
+      want_min = std::min(want_min, ref_minmax[j]);
+    }
+    rearm();
+    const double got_min =
+        set.min_dist_min_minmax(q.coord.data(), planes, stride, n, out);
+    ExpectBitEqual(out, ref_min.data(), n, "min_dist_min_minmax distances",
+                   set.isa, D, n);
+    check_guard("min_dist_min_minmax");
+    EXPECT_EQ(std::memcmp(&got_min, &want_min, sizeof(double)), 0)
+        << "min_dist_min_minmax reduced min (isa=" << KernelIsaName(set.isa)
+        << ", D=" << D << ", n=" << n << "): got " << got_min << ", want "
+        << want_min;
+  }
+
   // Staging kernel: every plane — including the replicated padding tail —
   // must match the portable TransposeToSoa reference bit for bit.
   AlignedArray<double> planes2_arr;

@@ -23,6 +23,7 @@
 #include "obs/trace.h"
 #include "rtree/bulk_load.h"
 #include "rtree/node.h"
+#include "storage/resident_tree.h"
 #include "tests/test_util.h"
 
 namespace spatial {
@@ -270,6 +271,99 @@ TEST(ZeroAllocTest, InstrumentedBatchKnnIsAllocationFree) {
     traced_nodes += trace_ctx.nodes_per_level[l];
   }
   EXPECT_GT(traced_nodes, 0u);
+}
+
+// The resident tier's headline contract: a query over the compiled arena
+// performs zero steady-state allocations — same discipline as the paged
+// path, minus even the buffer-pool bookkeeping. One compile, then every
+// traversal is pointer-chasing through preallocated planes.
+TEST(ZeroAllocTest, ResidentKnnSearchIntoIsAllocationFreeWhenWarm) {
+  Fixture f;
+  auto resident =
+      ResidentTree<2>::Compile(&f.pool, f.tree->root_page(), f.tree->size(),
+                               {});
+  ASSERT_TRUE(resident.ok()) << resident.status().ToString();
+  QueryScratch<2> scratch;
+  std::vector<Neighbor> out;
+  QueryStats stats;
+
+  for (uint32_t k : {1u, 10u}) {
+    KnnOptions options;
+    options.k = k;
+    for (const Point2& q : f.queries) {
+      ASSERT_TRUE(
+          KnnSearchInto<2>(*resident, q, options, &scratch, &out, &stats)
+              .ok());
+    }
+
+    const AllocCounts before = ThreadAllocCounts();
+    bool all_ok = true;
+    for (const Point2& q : f.queries) {
+      all_ok &=
+          KnnSearchInto<2>(*resident, q, options, &scratch, &out, &stats).ok();
+    }
+    const AllocCounts delta = ThreadAllocCounts() - before;
+    ASSERT_TRUE(all_ok);
+    EXPECT_EQ(delta.allocations, 0u)
+        << "resident k=" << k << ": " << delta.bytes
+        << " bytes allocated in steady state";
+  }
+}
+
+TEST(ZeroAllocTest, ResidentBatchKnnSteadyStateIsAllocationFree) {
+  Fixture f;
+  auto resident =
+      ResidentTree<2>::Compile(&f.pool, f.tree->root_page(), f.tree->size(),
+                               {});
+  ASSERT_TRUE(resident.ok()) << resident.status().ToString();
+  QueryScratch<2> scratch;
+  BatchKnnResult batch;
+  KnnOptions options;
+  options.k = 10;
+
+  ASSERT_TRUE(KnnSearchBatch<2>(*resident, f.queries.data(), f.queries.size(),
+                                options, &scratch, &batch)
+                  .ok());
+
+  const AllocCounts before = ThreadAllocCounts();
+  Status status = KnnSearchBatch<2>(*resident, f.queries.data(),
+                                    f.queries.size(), options, &scratch,
+                                    &batch);
+  const AllocCounts delta = ThreadAllocCounts() - before;
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(delta.allocations, 0u)
+      << delta.bytes << " bytes allocated in resident steady-state batch";
+}
+
+TEST(ZeroAllocTest, ResidentIncrementalScanIsAllocationFreeWhenWarm) {
+  Fixture f;
+  auto resident =
+      ResidentTree<2>::Compile(&f.pool, f.tree->root_page(), f.tree->size(),
+                               {});
+  ASSERT_TRUE(resident.ok()) << resident.status().ToString();
+  QueryScratch<2> scratch;
+  QueryStats stats;
+
+  auto run_scans = [&]() -> size_t {
+    size_t produced = 0;
+    for (const Point2& q : f.queries) {
+      IncrementalKnn<2> scan(*resident, q, &scratch, &stats);
+      for (int i = 0; i < 16; ++i) {
+        auto next = scan.Next();
+        if (!next.ok() || !next->has_value()) return produced;
+        ++produced;
+      }
+    }
+    return produced;
+  };
+  ASSERT_EQ(run_scans(), f.queries.size() * 16);
+
+  const AllocCounts before = ThreadAllocCounts();
+  const size_t produced = run_scans();
+  const AllocCounts delta = ThreadAllocCounts() - before;
+  EXPECT_EQ(produced, f.queries.size() * 16);
+  EXPECT_EQ(delta.allocations, 0u)
+      << delta.bytes << " bytes allocated across resident incremental scans";
 }
 
 TEST(ZeroAllocTest, IncrementalScanReusesScratchWithoutAllocating) {

@@ -20,6 +20,19 @@ test "$(wc -l < "$WORK/pts.csv")" -eq 2000
 "$CLI" stats "$WORK/bulk.sdb" | grep -q "structure:      OK"
 "$CLI" stats "$WORK/dyn.sdb" | grep -q "entries:        2000"
 
+# tree-quality: the full report is golden — the dataset is seed-pinned and
+# STR packing is deterministic, so every number is reproducible
+"$CLI" tree-quality "$WORK/bulk.sdb" > "$WORK/quality.out"
+diff "$WORK/quality.out" - <<'GOLDEN'
+tree-quality: 2000 entries, height 3, 85 nodes, fan-out 25
+level     nodes     fill      overlap         area       margin
+0            80    1.000     0.000000     0.000000     0.000000
+1             4    0.800     0.842372     2.395514    24.630828
+2             1    0.160     1.442316     2.165764     6.151260
+total sibling overlap: 2.284689
+structure: OK
+GOLDEN
+
 # knn: both indexes must report identical nearest distances
 "$CLI" knn "$WORK/bulk.sdb" 0.5 0.5 3 | grep "^id=" | cut -d= -f3 > "$WORK/a"
 "$CLI" knn "$WORK/dyn.sdb" 0.5 0.5 3 | grep "^id=" | cut -d= -f3 > "$WORK/b"
@@ -32,12 +45,22 @@ diff "$WORK/a" "$WORK/b"
 # range query returns a result count line
 "$CLI" range "$WORK/bulk.sdb" 0.4 0.4 0.6 0.6 | tail -1 | grep -q "results"
 
+# serve-bench on both backends: the resident tier must actually serve
+# every query (no fallbacks on a read-only tree), and --backend=paged must
+# keep the tier off entirely
+"$CLI" serve-bench "$WORK/bulk.sdb" 2 40 5 --backend=resident \
+  > "$WORK/resident.log"
+grep -q "backend: resident" "$WORK/resident.log"
+grep -q "40 resident / 0 paged" "$WORK/resident.log"
+"$CLI" serve-bench "$WORK/bulk.sdb" 2 40 5 --backend=paged \
+  | grep -q "backend: paged"
+
 # sharded serving over RPC: launch shard-serve in the background with a
 # request budget, poll its log for the bound port, drive it with
 # shard-bench (single thread so the request budget drains serially and the
 # final reply flushes before the server stops), and wait for a clean exit.
 "$CLI" shard-serve "$WORK/pts.csv" 3 0 2 --max-requests=60 \
-  > "$WORK/serve.log" 2>&1 &
+  --backend=resident > "$WORK/serve.log" 2>&1 &
 SERVE_PID=$!
 PORT=""
 for _ in $(seq 1 100); do
@@ -51,6 +74,7 @@ test -n "$PORT"
   | grep -q "ok=60 shed=0 failed=0"
 grep -q "throughput" "$WORK/bench.log"
 wait "$SERVE_PID"
+grep -q "resident backend" "$WORK/serve.log"
 grep -q "served 60 requests (0 shed)" "$WORK/serve.log"
 
 # error handling: bad arguments exit non-zero

@@ -5,6 +5,7 @@
 //   spatial_cli build <points.csv> <out.sdb> [method] [page_size]
 //                      method: insert|str|hilbert|morton   (default str)
 //   spatial_cli stats <db.sdb> [page_size]
+//   spatial_cli tree-quality <db.sdb> [page_size]
 //   spatial_cli knn <db.sdb> <x> <y> <k> [page_size]
 //   spatial_cli farthest <db.sdb> <x> <y> <k> [page_size]
 //   spatial_cli rnn <db.sdb> <x> <y> [page_size]
@@ -12,10 +13,21 @@
 //   spatial_cli serve-bench <db.sdb> <workers> <queries> [k] [page_size]
 //                           [frames_per_worker] [latency_us]
 //                           [--metrics-dump] [--trace-sample=<per_million>]
+//                           [--backend=paged|resident]
 //   spatial_cli metrics <db.sdb> [queries] [k] [page_size] [--slow-log]
 //   spatial_cli shard-serve <points.csv> <shards> [port] [workers]
 //                           [--max-requests=N] [--max-pending=N]
+//                           [--backend=paged|resident]
 //   spatial_cli shard-bench <host> <port> <queries> [k] [threads]
+//
+// tree-quality prints the validator's per-level quality diagnostics (node
+// fill, summed sibling overlap, entry area and margin) in a stable format
+// checked golden by tools/cli_test.sh.
+//
+// --backend selects the serving tier (docs/PERF.md "Resident tier"):
+// `resident` (the default) compiles the tree into a pinned SoA arena and
+// serves kNN/top-k/batch from it; `paged` forces every query through the
+// per-worker buffer pools.
 //
 // shard-serve partitions the CSV across <shards> in-memory shards and
 // serves them over the binary RPC protocol (docs/SHARDING.md); it prints
@@ -74,17 +86,18 @@ int Usage() {
       "  spatial_cli build <points.csv> <out.sdb> [insert|str|hilbert|"
       "morton] [page_size]\n"
       "  spatial_cli stats <db.sdb> [page_size]\n"
+      "  spatial_cli tree-quality <db.sdb> [page_size]\n"
       "  spatial_cli knn <db.sdb> <x> <y> <k> [page_size]\n"
       "  spatial_cli farthest <db.sdb> <x> <y> <k> [page_size]\n"
       "  spatial_cli rnn <db.sdb> <x> <y> [page_size]\n"
       "  spatial_cli range <db.sdb> <lox> <loy> <hix> <hiy> [page_size]\n"
       "  spatial_cli serve-bench <db.sdb> <workers> <queries> [k] "
       "[page_size] [frames_per_worker] [latency_us] [--metrics-dump] "
-      "[--trace-sample=<per_million>]\n"
+      "[--trace-sample=<per_million>] [--backend=paged|resident]\n"
       "  spatial_cli metrics <db.sdb> [queries] [k] [page_size] "
       "[--slow-log]\n"
       "  spatial_cli shard-serve <points.csv> <shards> [port] [workers] "
-      "[--max-requests=N] [--max-pending=N]\n"
+      "[--max-requests=N] [--max-pending=N] [--backend=paged|resident]\n"
       "  spatial_cli shard-bench <host> <port> <queries> [k] [threads]\n");
   return 2;
 }
@@ -189,6 +202,40 @@ int CmdStats(int argc, char** argv) {
   return 0;
 }
 
+// Prints the validator's quality diagnostics in a stable, golden-testable
+// layout: one row per level (leaves first) with node count, mean fill,
+// summed sibling overlap, and summed entry area/margin.
+int CmdTreeQuality(int argc, char** argv) {
+  if (argc < 1) return Usage();
+  const uint32_t page_size =
+      argc > 1 ? static_cast<uint32_t>(std::atoi(argv[1])) : 1024;
+  auto db = SpatialDb<2>::OpenFromFile(argv[0], page_size, 1024);
+  if (!db.ok()) return Fail(db.status(), "open db");
+  auto report = ValidateTree<2>(db->tree(), /*check_min_fill=*/false);
+  if (!report.ok()) return Fail(report.status(), "validate");
+  std::printf("tree-quality: %llu entries, height %d, %llu nodes, "
+              "fan-out %u\n",
+              static_cast<unsigned long long>(db->tree().size()),
+              report->height,
+              static_cast<unsigned long long>(report->nodes),
+              db->tree().max_entries());
+  std::printf("%-6s %8s %8s %12s %12s %12s\n", "level", "nodes", "fill",
+              "overlap", "area", "margin");
+  for (size_t level = 0; level < report->nodes_per_level.size(); ++level) {
+    std::printf("%-6zu %8llu %8.3f %12.6f %12.6f %12.6f\n", level,
+                static_cast<unsigned long long>(
+                    report->nodes_per_level[level]),
+                report->avg_fill_per_level[level],
+                report->sibling_overlap_per_level[level],
+                report->entry_area_per_level[level],
+                report->entry_margin_per_level[level]);
+  }
+  std::printf("total sibling overlap: %.6f\n",
+              report->total_sibling_overlap());
+  std::printf("structure: OK\n");
+  return 0;
+}
+
 int CmdKnn(int argc, char** argv) {
   if (argc < 4) return Usage();
   const uint32_t page_size =
@@ -272,6 +319,7 @@ int CmdRange(int argc, char** argv) {
 int CmdServeBench(int argc, char** argv) {
   // Flags may appear anywhere; positionals keep their historical order.
   bool metrics_dump = false;
+  bool resident = true;
   uint32_t trace_sample_per_million = 0;
   std::vector<char*> positional;
   for (int i = 0; i < argc; ++i) {
@@ -280,6 +328,10 @@ int CmdServeBench(int argc, char** argv) {
     } else if (std::strncmp(argv[i], "--trace-sample=", 15) == 0) {
       trace_sample_per_million =
           static_cast<uint32_t>(std::atoi(argv[i] + 15));
+    } else if (std::strcmp(argv[i], "--backend=paged") == 0) {
+      resident = false;
+    } else if (std::strcmp(argv[i], "--backend=resident") == 0) {
+      resident = true;
     } else {
       positional.push_back(argv[i]);
     }
@@ -299,6 +351,7 @@ int CmdServeBench(int argc, char** argv) {
   QueryService<2>::Options options;
   options.num_workers = workers;
   options.trace_sample_per_million = trace_sample_per_million;
+  options.resident_tier = resident;
   if (argc > 5) {
     options.frames_per_worker = static_cast<uint32_t>(std::atoi(argv[5]));
   }
@@ -353,6 +406,16 @@ int CmdServeBench(int argc, char** argv) {
               "(hit rate %.3f)\n",
               stats.PageAccessesPerQuery(), stats.PhysicalReadsPerQuery(),
               stats.buffer.HitRate());
+  if (resident) {
+    std::printf("backend: resident (arena %llu bytes, %u nodes; "
+                "%llu resident / %llu paged)\n",
+                static_cast<unsigned long long>(stats.resident_arena_bytes),
+                stats.resident_nodes,
+                static_cast<unsigned long long>(stats.resident_hits),
+                static_cast<unsigned long long>(stats.resident_fallbacks));
+  } else {
+    std::printf("backend: paged\n");
+  }
   if (metrics_dump) {
     std::printf("--- metrics ---\n%s",
                 (*service)->ScrapeMetrics().c_str());
@@ -422,12 +485,17 @@ int CmdMetrics(int argc, char** argv) {
 int CmdShardServe(int argc, char** argv) {
   uint64_t max_requests = 0;
   uint32_t max_pending = 128;
+  bool resident = true;
   std::vector<char*> positional;
   for (int i = 0; i < argc; ++i) {
     if (std::strncmp(argv[i], "--max-requests=", 15) == 0) {
       max_requests = std::strtoull(argv[i] + 15, nullptr, 10);
     } else if (std::strncmp(argv[i], "--max-pending=", 14) == 0) {
       max_pending = static_cast<uint32_t>(std::atoi(argv[i] + 14));
+    } else if (std::strcmp(argv[i], "--backend=paged") == 0) {
+      resident = false;
+    } else if (std::strcmp(argv[i], "--backend=resident") == 0) {
+      resident = true;
     } else {
       positional.push_back(argv[i]);
     }
@@ -448,6 +516,7 @@ int CmdShardServe(int argc, char** argv) {
   ShardSet<2>::Options set_options;
   set_options.num_shards = shards;
   set_options.service.num_workers = workers;
+  set_options.service.resident_tier = resident;
   auto set = ShardSet<2>::Build(MakePointEntries(*points), set_options);
   if (!set.ok()) return Fail(set.status(), "build shards");
   ShardRouter<2> router(set->get());
@@ -459,8 +528,10 @@ int CmdShardServe(int argc, char** argv) {
   auto server = RpcServer<2>::Start(&router, server_options);
   if (!server.ok()) return Fail(server.status(), "start server");
 
-  std::printf("listening on 127.0.0.1:%u (%u shards, %u workers/shard)\n",
-              (*server)->port(), (*set)->num_shards(), workers);
+  std::printf("listening on 127.0.0.1:%u (%u shards, %u workers/shard, "
+              "%s backend)\n",
+              (*server)->port(), (*set)->num_shards(), workers,
+              resident ? "resident" : "paged");
   std::fflush(stdout);
 
   (*server)->WaitUntilStopped();
@@ -558,6 +629,7 @@ int Main(int argc, char** argv) {
   if (command == "generate") return CmdGenerate(argc - 2, argv + 2);
   if (command == "build") return CmdBuild(argc - 2, argv + 2);
   if (command == "stats") return CmdStats(argc - 2, argv + 2);
+  if (command == "tree-quality") return CmdTreeQuality(argc - 2, argv + 2);
   if (command == "knn") return CmdKnn(argc - 2, argv + 2);
   if (command == "farthest") return CmdFarthest(argc - 2, argv + 2);
   if (command == "rnn") return CmdRnn(argc - 2, argv + 2);
