@@ -152,7 +152,15 @@ class DepthFirstKnn {
         // exactly the set the sorted loop would skip. The traversal is
         // therefore unchanged for every k.
         lazy_heap_(options.ordering == AblOrdering::kMinDist &&
-                   !options.force_full_sort) {}
+                   !options.force_full_sort),
+        // inf * inf == inf, so an unbounded search still seeds at +inf.
+        max_dist_sq_(options.max_distance * options.max_distance),
+        // At epsilon = 0 this is exactly 1.0, and bound * 1.0 == bound
+        // bitwise for every finite double and +-inf, so the exact path is
+        // unchanged — no branch needed.
+        relax_sq_(1.0 /
+                  ((1.0 + options.epsilon) * (1.0 + options.epsilon))),
+        visit_budget_(options.max_visits) {}
 
   Status Run(std::vector<Neighbor>* out, bool append) {
     scratch_->buffer.Reset(options_.k);
@@ -163,15 +171,40 @@ class DepthFirstKnn {
   }
 
  private:
-  // Current pruning bound: actual k-th nearest distance (S3) combined with
-  // the MINMAXDIST-based estimate (S2). Branches at MINDIST strictly above
-  // the bound cannot improve the result.
+  // Current pruning bound for *descent*: actual k-th nearest distance (S3)
+  // combined with the MINMAXDIST-based estimate (S2). Branches at MINDIST
+  // strictly above the bound cannot improve the result. The bound is
+  // seeded at max_distance^2 (distance-bounded kNN; +inf when unbounded)
+  // and the final value is relaxed by 1/(1+epsilon)^2 (approximate kNN):
+  // every object inside a skipped subtree satisfies
+  // dist^2 >= mindist^2 > bound_at_skip * relax_sq, and bound_at_skip
+  // never goes below the final k-th answer distance, which yields the
+  // per-answer contract r_i <= (1+epsilon) * t_i.
   double PruneBoundSq() const {
-    double bound = std::numeric_limits<double>::infinity();
+    double bound = max_dist_sq_;
     if (options_.use_s3) bound = std::min(bound, scratch_->buffer.WorstDistSq());
     if (s2_active_) bound = std::min(bound, estimate_sq_);
     // Cross-shard streaming: another shard's published k-th distance is a
     // valid upper bound on the global k-th distance (core/shared_bound.h).
+    if (options_.shared_bound != nullptr) {
+      bound = std::min(bound, options_.shared_bound->LoadSq());
+    }
+    return bound * relax_sq_;
+  }
+
+  // Object-level bound: the same combination *without* the epsilon
+  // relaxation. Leaf objects have their exact distances in hand by the
+  // time they are filtered (the kernel computes all of them in one plane
+  // pass), so discarding one under the relaxed bound would give up answer
+  // quality without saving any work. The relaxation therefore gates only
+  // descent decisions (PruneBoundSq above); within every visited leaf the
+  // buffer keeps the genuinely best objects. The (1+epsilon) contract is
+  // untouched — its proof only concerns subtrees that were never entered —
+  // and at epsilon = 0 the two bounds are bitwise identical.
+  double ObjectBoundSq() const {
+    double bound = max_dist_sq_;
+    if (options_.use_s3) bound = std::min(bound, scratch_->buffer.WorstDistSq());
+    if (s2_active_) bound = std::min(bound, estimate_sq_);
     if (options_.shared_bound != nullptr) {
       bound = std::min(bound, options_.shared_bound->LoadSq());
     }
@@ -201,8 +234,9 @@ class DepthFirstKnn {
         scratch_->min_dist.EnsureCapacity(QueryScratch<D>::DistSlots(n));
     NeighborBuffer& buffer = scratch_->buffer;
     // The bound only tightens when an offer is kept, so it is hoisted out
-    // of the loop and refreshed on that event alone.
-    double bound_sq = PruneBoundSq();
+    // of the loop and refreshed on that event alone. Objects compete at
+    // the unrelaxed bound (see ObjectBoundSq).
+    double bound_sq = ObjectBoundSq();
     uint32_t* idx =
         scratch_->filter_idx.EnsureCapacity(QueryScratch<D>::DistSlots(n));
     const uint32_t kept = ks_.min_dist_filter(query_.coord.data(), soa.planes,
@@ -227,13 +261,24 @@ class DepthFirstKnn {
       }
       if (buffer.Offer(node.id(i), dist[i])) {
         PublishBound();
-        bound_sq = PruneBoundSq();
+        bound_sq = ObjectBoundSq();
       }
     }
     return Status::OK();
   }
 
   Status Visit(PageId node_id) {
+    // Early-termination budget (kApproxKnn): once max_visits nodes have
+    // been expanded the whole descent unwinds and the buffer's current
+    // contents become the answer. Checked before the expand so the visit
+    // that trips the budget is never charged.
+    if (visit_budget_ != 0) {
+      if (visits_ >= visit_budget_) {
+        stopped_ = true;
+        return Status::OK();
+      }
+      ++visits_;
+    }
     typename Access::Node storage;
     const typename Access::Node* node_ptr = nullptr;
     SPATIAL_RETURN_IF_ERROR(access_.Expand(node_id, scratch_, &storage,
@@ -407,6 +452,7 @@ class DepthFirstKnn {
         }
         slots[best] = slots[--live];  // unordered remove; the set survives
         SPATIAL_RETURN_IF_ERROR(Visit(slot.child));
+        if (stopped_) break;
       }
       return Status::OK();
     }
@@ -442,6 +488,7 @@ class DepthFirstKnn {
         continue;
       }
       SPATIAL_RETURN_IF_ERROR(Visit(slot.child));
+      if (stopped_) break;
     }
     return Status::OK();
   }
@@ -460,7 +507,273 @@ class DepthFirstKnn {
   const bool s1_active_;
   const bool s2_active_;
   const bool lazy_heap_;
+  const double max_dist_sq_;
+  const double relax_sq_;
+  const uint64_t visit_budget_;
+  uint64_t visits_ = 0;
+  bool stopped_ = false;
   double estimate_sq_ = std::numeric_limits<double>::infinity();
+};
+
+// Global best-first traversal for the approximate search (an active
+// epsilon and/or visit budget): nodes are expanded in ascending-MINDIST
+// order off one priority queue instead of depth-first, because both knobs
+// need the *global* order to bite:
+//
+//  - The epsilon-relaxed cutoff is final the moment the queue's minimum
+//    key exceeds bound/(1+eps)^2 — every unexpanded node is at least that
+//    far, so the traversal ends without the verification tail the
+//    depth-first shape pays (DFS must keep visiting siblings to prove the
+//    bound; the global order proves it by construction).
+//  - A visit budget spent here buys the globally most promising nodes.
+//    Spent on a DFS it buys a depth-first prefix of the first subtree,
+//    which is why budgeted DFS recall collapses (measured in E21).
+//
+// Exact kNN keeps the paper's depth-first engine untouched; this path is
+// entered only when an approximation knob is active, so zero-knob
+// requests remain bit-identical to the exact search by running the same
+// code. S1/S2 are MINMAXDIST descent heuristics of the DFS shape (k = 1
+// only) and are not consulted here; S3, max_distance, and the shared
+// shard bound compose exactly as in the DFS engine — objects compete at
+// the unrelaxed bound, descent and termination use the relaxed one, so
+// the (1+epsilon) per-rank contract argument carries over unchanged.
+template <int D, class Access, bool kObserved>
+class BestFirstApproxKnn {
+ public:
+  BestFirstApproxKnn(const Access& access, PageId root_page,
+                     const Point<D>& query, const KnnOptions& options,
+                     QueryScratch<D>* scratch, QueryStats* stats)
+      : access_(access),
+        root_page_(root_page),
+        query_(query),
+        options_(options),
+        scratch_(scratch),
+        stats_(stats),
+        max_dist_sq_(options.max_distance * options.max_distance),
+        relax_sq_(1.0 /
+                  ((1.0 + options.epsilon) * (1.0 + options.epsilon))),
+        visit_budget_(options.max_visits) {}
+
+  Status Run(std::vector<Neighbor>* out, bool append) {
+    scratch_->buffer.Reset(options_.k);
+    std::vector<KnnFrameHeapItem>& heap = scratch_->knn_heap;
+    std::vector<KnnChildSlot>& kids = scratch_->knn_children;
+    heap.clear();
+    kids.clear();
+    uint64_t visits = 0;
+    // Direct-descent slot: an expanded node's best child usually beats the
+    // current heap minimum (keys only grow downward), so it is handed to
+    // the next iteration here instead of round-tripping through the heap.
+    // Best-first order is preserved exactly — the slot is only armed when
+    // its key is <= the heap minimum, so it *is* the global minimum (and
+    // stays so: everything pushed while it is armed keys at or above it
+    // by MBR containment).
+    bool has_next = true;
+    double next_key = 0.0;
+    PageId next_node = root_page_;
+    while (true) {
+      if (visit_budget_ != 0 && visits >= visit_budget_) break;
+      double key;
+      PageId node_id;
+      if (has_next) {
+        key = next_key;
+        node_id = next_node;
+        has_next = false;
+        // The key is a lower bound on every remaining subtree, so one
+        // relaxed-bound comparison terminates the whole search.
+        if (key > PruneBoundSq()) break;
+      } else if (!heap.empty()) {
+        // A frame's key is the exact minimum over its live children, so
+        // the same single comparison terminates before the frame is even
+        // resolved.
+        const KnnFrameHeapItem top = heap.front();
+        if (top.dist_sq > PruneBoundSq()) break;
+        std::pop_heap(heap.begin(), heap.end());
+        heap.pop_back();
+        // Resolve the frame: one scan finds the minimum child (the node to
+        // visit) and the runner-up key, which re-keys the successor frame.
+        KnnChildSlot* slot = kids.data();
+        uint32_t m1 = top.pos;
+        double min2 = std::numeric_limits<double>::infinity();
+        for (uint32_t i = top.pos + 1; i < top.end; ++i) {
+          if (slot[i].dist_sq < slot[m1].dist_sq ||
+              (slot[i].dist_sq == slot[m1].dist_sq &&
+               slot[i].page < slot[m1].page)) {
+            min2 = slot[m1].dist_sq;
+            m1 = i;
+          } else if (slot[i].dist_sq < min2) {
+            min2 = slot[i].dist_sq;
+          }
+        }
+        key = slot[m1].dist_sq;
+        node_id = static_cast<PageId>(slot[m1].page);
+        if (top.pos + 1 < top.end) {
+          std::swap(slot[m1], slot[top.pos]);
+          heap.push_back(KnnFrameHeapItem{min2, top.pos + 1, top.end});
+          std::push_heap(heap.begin(), heap.end());
+        }
+      } else {
+        break;
+      }
+      ++visits;
+      SPATIAL_RETURN_IF_ERROR(
+          Visit(node_id, &has_next, &next_key, &next_node));
+    }
+    scratch_->buffer.ExtractSorted(out, append);
+    return Status::OK();
+  }
+
+ private:
+  // Same bound pair as the DFS engine (minus S2, which never arms here):
+  // descent and termination at the relaxed bound, object competition at
+  // the exact one.
+  double PruneBoundSq() const {
+    double bound = max_dist_sq_;
+    if (options_.use_s3) bound = std::min(bound, scratch_->buffer.WorstDistSq());
+    if (options_.shared_bound != nullptr) {
+      bound = std::min(bound, options_.shared_bound->LoadSq());
+    }
+    return bound * relax_sq_;
+  }
+  double ObjectBoundSq() const {
+    double bound = max_dist_sq_;
+    if (options_.use_s3) bound = std::min(bound, scratch_->buffer.WorstDistSq());
+    if (options_.shared_bound != nullptr) {
+      bound = std::min(bound, options_.shared_bound->LoadSq());
+    }
+    return bound;
+  }
+
+  void PublishBound() {
+    if (options_.shared_bound != nullptr && scratch_->buffer.full()) {
+      options_.shared_bound->TightenSq(scratch_->buffer.WorstDistSq());
+    }
+  }
+
+  Status Visit(PageId node_id, bool* has_next, double* next_key,
+               PageId* next_node) {
+    typename Access::Node storage;
+    const typename Access::Node* node_ptr = nullptr;
+    SPATIAL_RETURN_IF_ERROR(access_.Expand(node_id, scratch_, &storage,
+                                           &node_ptr,
+                                           "knn: node page has bad magic"));
+    const typename Access::Node& node = *node_ptr;
+    if constexpr (kObserved) {
+      if (stats_ != nullptr) {
+        ++stats_->nodes_visited;
+        if (node.is_leaf()) {
+          ++stats_->leaf_nodes_visited;
+        } else {
+          ++stats_->internal_nodes_visited;
+        }
+      }
+      if (obs::TraceContext* t = scratch_->trace) t->CountNode(node.level);
+      if (options_.visit_trace != nullptr) {
+        options_.visit_trace->push_back(node_id);
+      }
+    }
+
+    const uint32_t n = node.count;
+    if (n == 0) return Status::OK();
+    const auto& soa = NodeSoa(node);
+    double* dist =
+        scratch_->min_dist.EnsureCapacity(QueryScratch<D>::DistSlots(n));
+    uint32_t* idx =
+        scratch_->filter_idx.EnsureCapacity(QueryScratch<D>::DistSlots(n));
+
+    if (node.is_leaf()) {
+      // Identical to the DFS leaf pass: fused distance + exact-bound
+      // prefilter, offers at the unrelaxed bound.
+      NeighborBuffer& buffer = scratch_->buffer;
+      double bound_sq = ObjectBoundSq();
+      const uint32_t kept = ks_.min_dist_filter(query_.coord.data(),
+                                                soa.planes, soa.stride, soa.n,
+                                                bound_sq, dist, idx);
+      if constexpr (kObserved) {
+        if (stats_ != nullptr) {
+          stats_->objects_examined += n;
+          stats_->distance_computations += n;
+          stats_->pruned_leaf += n - kept;
+        }
+      }
+      for (uint32_t j = 0; j < kept; ++j) {
+        const uint32_t i = idx[j];
+        if (dist[i] > bound_sq) {
+          if constexpr (kObserved) {
+            if (stats_ != nullptr) ++stats_->pruned_leaf;
+          }
+          continue;
+        }
+        if (buffer.Offer(node.id(i), dist[i])) {
+          PublishBound();
+          bound_sq = ObjectBoundSq();
+        }
+      }
+      return Status::OK();
+    }
+
+    // Internal node: children at MINDIST within the relaxed bound join the
+    // global queue; the rest are pruned now (they could only be re-tested
+    // against an even tighter bound later).
+    const uint64_t* child_ids = node.dense_ids();
+    const uint32_t kept = ks_.min_dist_filter(query_.coord.data(), soa.planes,
+                                              soa.stride, soa.n,
+                                              PruneBoundSq(), dist, idx);
+    if constexpr (kObserved) {
+      if (stats_ != nullptr) {
+        stats_->abl_entries_generated += n;
+        stats_->distance_computations += n;
+        stats_->pruned_s3 += n - kept;
+      }
+    }
+    if (kept == 0) return Status::OK();
+    // The best child goes to the direct-descent slot when it is already at
+    // or below the heap minimum (tie goes to descent — equal keys may be
+    // expanded in either order without affecting any bound); its siblings
+    // become one arena frame behind a single heap entry keyed by their
+    // minimum (lazy sibling expansion — see KnnFrameHeapItem).
+    uint32_t best = idx[0];
+    for (uint32_t j = 1; j < kept; ++j) {
+      const uint32_t i = idx[j];
+      if (dist[i] < dist[best] ||
+          (dist[i] == dist[best] && child_ids[i] < child_ids[best])) {
+        best = i;
+      }
+    }
+    std::vector<KnnFrameHeapItem>& heap = scratch_->knn_heap;
+    std::vector<KnnChildSlot>& kids = scratch_->knn_children;
+    const bool descend = heap.empty() || !(heap.front().dist_sq < dist[best]);
+    const uint32_t start = static_cast<uint32_t>(kids.size());
+    double frame_min = std::numeric_limits<double>::infinity();
+    for (uint32_t j = 0; j < kept; ++j) {
+      const uint32_t i = idx[j];
+      if (descend && i == best) continue;
+      if (dist[i] < frame_min) frame_min = dist[i];
+      kids.push_back(KnnChildSlot{dist[i], child_ids[i]});
+    }
+    if (kids.size() > start) {
+      heap.push_back(KnnFrameHeapItem{frame_min, start,
+                                      static_cast<uint32_t>(kids.size())});
+      std::push_heap(heap.begin(), heap.end());
+    }
+    if (descend) {
+      *has_next = true;
+      *next_key = dist[best];
+      *next_node = static_cast<PageId>(child_ids[best]);
+    }
+    return Status::OK();
+  }
+
+  const Access access_;
+  const PageId root_page_;
+  const Point<D> query_;
+  const KnnOptions options_;
+  QueryScratch<D>* scratch_;
+  QueryStats* stats_;
+  const SoaKernelSet& ks_ = SoaKernels<D>();
+  const double max_dist_sq_;
+  const double relax_sq_;
+  const uint64_t visit_budget_;
 };
 
 template <int D, class Access>
@@ -472,9 +785,22 @@ Status KnnSearchIntoImpl(const Access& access, PageId root_page, bool empty,
   SPATIAL_RETURN_IF_ERROR(options.Validate());
   out->clear();
   if (empty) return Status::OK();
+  // An active approximation knob selects the best-first engine; zero-knob
+  // searches take the paper's depth-first engine, bit for bit.
+  const bool approx = options.epsilon > 0.0 || options.max_visits != 0;
   if (stats == nullptr && options.visit_trace == nullptr &&
       scratch->trace == nullptr) {
+    if (approx) {
+      BestFirstApproxKnn<D, Access, /*kObserved=*/false> search(
+          access, root_page, query, options, scratch, stats);
+      return search.Run(out, /*append=*/false);
+    }
     DepthFirstKnn<D, Access, /*kObserved=*/false> search(
+        access, root_page, query, options, scratch, stats);
+    return search.Run(out, /*append=*/false);
+  }
+  if (approx) {
+    BestFirstApproxKnn<D, Access, /*kObserved=*/true> search(
         access, root_page, query, options, scratch, stats);
     return search.Run(out, /*append=*/false);
   }

@@ -1,7 +1,9 @@
 #ifndef SPATIAL_CORE_KNN_H_
 #define SPATIAL_CORE_KNN_H_
 
+#include <cmath>
 #include <cstdint>
+#include <limits>
 #include <utility>
 #include <vector>
 
@@ -58,6 +60,30 @@ struct KnnOptions {
   // Standalone (single-tree) callers leave it null.
   SharedPruneBound* shared_bound = nullptr;
 
+  // Distance-bounded kNN: only objects at distance <= max_distance qualify
+  // as answers. Seeds the prune bound before descent (the search starts at
+  // max_distance^2 instead of +inf), so it composes with S1/S3, the shared
+  // shard bound, and both tiers; the result may then hold fewer than k
+  // neighbors even on a large tree. Infinity (the default) disables it.
+  double max_distance = std::numeric_limits<double>::infinity();
+
+  // Approximate kNN (arXiv:1303.1951): subtree descent is pruned at
+  // bound / (1+epsilon)^2 in squared-distance space, so every reported
+  // distance r_i satisfies r_i <= (1+epsilon) * t_i against the true i-th
+  // distance t_i. Objects inside visited leaves still compete at the
+  // exact bound — their distances are already computed, so relaxing there
+  // would cost recall without saving work. epsilon = 0 is bit-identical
+  // to the exact search (the relaxation multiplies the bound by exactly
+  // 1.0). Exact request kinds must leave this at 0; the service enforces
+  // that.
+  double epsilon = 0.0;
+
+  // Early-termination visit budget: after max_visits node visits the
+  // descent stops and the best candidates found so far are returned. No
+  // distance contract — recall is an empirical property measured by the
+  // E21 harness. 0 (the default) means unlimited.
+  uint64_t max_visits = 0;
+
   // Test hooks. `force_full_sort` disables the lazy-heap ABL path that
   // MINDIST ordering otherwise takes, so tests can assert both paths visit
   // nodes in the identical order. `visit_trace` (if set) receives the
@@ -67,6 +93,12 @@ struct KnnOptions {
 
   Status Validate() const {
     if (k < 1) return Status::InvalidArgument("k must be >= 1");
+    if (std::isnan(max_distance) || max_distance < 0.0) {
+      return Status::InvalidArgument("max_distance must be >= 0");
+    }
+    if (!std::isfinite(epsilon) || epsilon < 0.0) {
+      return Status::InvalidArgument("epsilon must be finite and >= 0");
+    }
     return Status::OK();
   }
 };

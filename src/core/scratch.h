@@ -97,6 +97,54 @@ struct DistHeapItem {
   }
 };
 
+// Child-arena slot of the best-first approximate kNN engine (core/knn.cc):
+// a bare (MINDIST, page) pair. An expanded node's surviving children are
+// appended as one contiguous *frame* of these; the frame is consumed by
+// linear min-scans, never heap-ordered, so appends are plain push_backs.
+struct KnnChildSlot {
+  double dist_sq = 0.0;
+  uint64_t page = 0;
+};
+
+// Priority-queue item of the same engine: one *frame* of unvisited
+// children (lazy sibling expansion, Hjaltason–Samet style), keyed by the
+// exact minimum MINDIST over the frame's live slots
+// [pos, end) in QueryScratch::knn_children. Queueing a frame instead of
+// its members keeps heap traffic at O(1) per node visit — one pop plus at
+// most one successor re-push — where a per-child queue pays fan-out
+// push_heaps for siblings that are mostly never expanded. Min-heap under
+// std::push_heap/pop_heap; pos breaks key ties so pop order is
+// deterministic per tree shape.
+struct KnnFrameHeapItem {
+  double dist_sq = 0.0;
+  uint32_t pos = 0;
+  uint32_t end = 0;
+
+  friend bool operator<(const KnnFrameHeapItem& a, const KnnFrameHeapItem& b) {
+    if (a.dist_sq != b.dist_sq) return a.dist_sq > b.dist_sq;
+    return a.pos > b.pos;
+  }
+};
+
+// Geometry-preserving browse-queue item (reverse-kNN, NN skyline): like
+// DistHeapItem but carrying the MBR, because those traversals need the
+// popped box's geometry (sector assignment, per-source dominance tests)
+// after the node that held it is long gone. Same min-heap ordering, with
+// id as the final tie-break so pop order is deterministic per tree shape.
+template <int D>
+struct GeoHeapItem {
+  double dist_sq = 0.0;
+  bool is_object = false;
+  uint64_t id = 0;  // object id or child PageId
+  Rect<D> mbr;
+
+  friend bool operator<(const GeoHeapItem& a, const GeoHeapItem& b) {
+    if (a.dist_sq != b.dist_sq) return a.dist_sq > b.dist_sq;
+    if (a.is_object != b.is_object) return a.is_object < b.is_object;
+    return a.id > b.id;
+  }
+};
+
 // The arena proper. Members are deliberately public: the traversals in
 // core/ know the reuse discipline, and exposing the buffers keeps the hot
 // path free of accessor indirection.
@@ -145,6 +193,21 @@ struct QueryScratch {
 
   // Best-first / incremental traversal queue storage.
   std::vector<DistHeapItem> heap;
+
+  // Frame queue and child arena of the best-first approximate kNN engine.
+  std::vector<KnnFrameHeapItem> knn_heap;
+  std::vector<KnnChildSlot> knn_children;
+
+  // Geometry-preserving browse queue and staging vectors of the
+  // reverse-kNN and NN-skyline traversals (core/reverse_knn.h,
+  // core/skyline.h). geo_items stages candidates / skyline members;
+  // geo_dists holds their per-source distance vectors (skyline);
+  // tmp_neighbors receives the nested verification kNN answers (RkNN)
+  // so the outer query never allocates in steady state.
+  std::vector<GeoHeapItem<D>> geo_heap;
+  std::vector<GeoHeapItem<D>> geo_items;
+  std::vector<double> geo_dists;
+  std::vector<Neighbor> tmp_neighbors;
 
   // Candidate buffer of the depth-first search; Reset(k) re-arms it per
   // query without releasing storage.

@@ -165,6 +165,13 @@ void EncodeRequest(const QueryRequest<D>& request, std::string* out) {
                                   (request.knn.use_s3 ? 4 : 0)));
   PutU32(out, request.top_k);
   PutU64(out, request.object_id);
+  // Wire version 2 additions (distance-bounded / approximate kNN and the
+  // reverse-kNN scatter flag), ahead of the variable tail so the fixed
+  // layout stays contiguous.
+  PutF64(out, request.knn.max_distance);
+  PutF64(out, request.knn.epsilon);
+  PutU64(out, request.knn.max_visits);
+  PutU8(out, request.rknn_candidates_only ? 1 : 0);
   PutU32(out, static_cast<uint32_t>(request.batch_queries.size()));
   for (const Point<D>& p : request.batch_queries) PutPoint<D>(out, p);
 }
@@ -174,7 +181,7 @@ Result<QueryRequest<D>> DecodeRequest(const uint8_t* data, size_t len) {
   Reader r(data, len);
   QueryRequest<D> request;
   const uint8_t kind = r.U8();
-  if (kind > static_cast<uint8_t>(QueryKind::kCheckpoint)) {
+  if (kind >= static_cast<uint8_t>(kNumQueryKinds)) {
     return Status::Corruption("wire: unknown request kind");
   }
   request.kind = static_cast<QueryKind>(kind);
@@ -192,6 +199,14 @@ Result<QueryRequest<D>> DecodeRequest(const uint8_t* data, size_t len) {
   request.knn.use_s3 = (flags & 4) != 0;
   request.top_k = r.U32();
   request.object_id = r.U64();
+  request.knn.max_distance = r.F64();
+  request.knn.epsilon = r.F64();
+  request.knn.max_visits = r.U64();
+  const uint8_t candidates_only = r.U8();
+  if (candidates_only > 1) {
+    return Status::Corruption("wire: bad rknn_candidates_only flag");
+  }
+  request.rknn_candidates_only = candidates_only != 0;
   const uint32_t num_batch = r.U32();
   if (!r.CanHold(num_batch, D * sizeof(double))) return Truncated();
   request.batch_queries.reserve(num_batch);

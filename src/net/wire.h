@@ -28,7 +28,7 @@ namespace spatial {
 // oversized frame returns kCorruption without reading out of bounds.
 
 inline constexpr uint32_t kWireMagic = 0x43525053;  // "SPRC" little-endian
-inline constexpr uint32_t kWireVersion = 1;
+inline constexpr uint32_t kWireVersion = 2;
 
 // Upper bound on one frame's payload. Large enough for any realistic
 // batch; small enough that a corrupt length prefix cannot drive an

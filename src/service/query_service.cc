@@ -1,34 +1,15 @@
 #include "service/query_service.h"
 
+#include <limits>
 #include <utility>
 
 #include "core/constrained.h"
 #include "core/incremental.h"
 #include "core/knn.h"
+#include "core/reverse_knn.h"
+#include "core/skyline.h"
 
 namespace spatial {
-
-const char* QueryKindName(QueryKind kind) {
-  switch (kind) {
-    case QueryKind::kKnn:
-      return "knn";
-    case QueryKind::kConstrainedKnn:
-      return "constrained-knn";
-    case QueryKind::kRange:
-      return "range";
-    case QueryKind::kTopK:
-      return "top-k";
-    case QueryKind::kBatchKnn:
-      return "batch-knn";
-    case QueryKind::kInsert:
-      return "insert";
-    case QueryKind::kDelete:
-      return "delete";
-    case QueryKind::kCheckpoint:
-      return "checkpoint";
-  }
-  return "unknown";
-}
 
 namespace {
 
@@ -404,8 +385,17 @@ QueryResponse<D> QueryService<D>::Dispatch(Worker* worker,
       paged();
     }
   };
+  // The exact kinds must stay exact: approximation knobs ride only on
+  // kApproxKnn, whose metrics and contract are separate by design.
+  const bool approx_knobs_set =
+      request.knn.epsilon != 0.0 || request.knn.max_visits != 0;
   switch (request.kind) {
     case QueryKind::kKnn: {
+      if (approx_knobs_set) {
+        response.status = Status::InvalidArgument(
+            "epsilon/max_visits require the approx-knn kind");
+        return response;
+      }
       route(
           [&] {
             response.status = KnnSearchInto<D>(
@@ -420,6 +410,14 @@ QueryResponse<D> QueryService<D>::Dispatch(Worker* worker,
       return response;
     }
     case QueryKind::kConstrainedKnn: {
+      if (approx_knobs_set ||
+          request.knn.max_distance !=
+              std::numeric_limits<double>::infinity()) {
+        response.status = Status::InvalidArgument(
+            "constrained kNN supports none of epsilon/max_visits/"
+            "max_distance");
+        return response;
+      }
       auto result = ConstrainedKnnSearch<D>(tree, request.query,
                                             request.window, request.knn,
                                             &response.stats);
@@ -464,6 +462,11 @@ QueryResponse<D> QueryService<D>::Dispatch(Worker* worker,
       return response;
     }
     case QueryKind::kBatchKnn: {
+      if (approx_knobs_set) {
+        response.status = Status::InvalidArgument(
+            "epsilon/max_visits require the approx-knn kind");
+        return response;
+      }
       if (request.batch_queries.empty()) {
         response.batch_offsets.push_back(0);
         return response;
@@ -487,6 +490,79 @@ QueryResponse<D> QueryService<D>::Dispatch(Worker* worker,
         response.batch_offsets = std::move(batch.offsets);
         for (const QueryStats& qs : batch.stats) response.stats.Add(qs);
       }
+      return response;
+    }
+    case QueryKind::kReverseKnn: {
+      if constexpr (D == 2) {
+        ReverseKnnOptions rknn;
+        rknn.k = request.knn.k;
+        if (request.rknn_candidates_only) {
+          // Shard scatter path: sector candidates only, with geometry —
+          // the router verifies against the global tree itself.
+          route(
+              [&] {
+                response.status =
+                    ReverseKnnCandidates(*resident, request.query, rknn,
+                                         &worker->scratch, &response.entries,
+                                         &response.stats);
+              },
+              [&] {
+                response.status =
+                    ReverseKnnCandidates(tree, request.query, rknn,
+                                         &worker->scratch, &response.entries,
+                                         &response.stats);
+              });
+        } else {
+          route(
+              [&] {
+                response.status =
+                    ReverseKnnSearch(*resident, request.query, rknn,
+                                     &worker->scratch, &response.neighbors,
+                                     &response.stats);
+              },
+              [&] {
+                response.status =
+                    ReverseKnnSearch(tree, request.query, rknn,
+                                     &worker->scratch, &response.neighbors,
+                                     &response.stats);
+              });
+        }
+      } else {
+        // The sector construction is planar (core/reverse_knn.h); surface
+        // that as a client error instead of the historical link error.
+        response.status = Status::InvalidArgument(
+            "reverse-knn supports 2-D services only");
+      }
+      return response;
+    }
+    case QueryKind::kNnSkyline: {
+      route(
+          [&] {
+            response.status = NnSkylineSearch<D>(
+                *resident, request.batch_queries.data(),
+                request.batch_queries.size(), &worker->scratch,
+                &response.entries, &response.stats);
+          },
+          [&] {
+            response.status = NnSkylineSearch<D>(
+                tree, request.batch_queries.data(),
+                request.batch_queries.size(), &worker->scratch,
+                &response.entries, &response.stats);
+          });
+      return response;
+    }
+    case QueryKind::kApproxKnn: {
+      route(
+          [&] {
+            response.status = KnnSearchInto<D>(
+                *resident, request.query, request.knn, &worker->scratch,
+                &response.neighbors, &response.stats);
+          },
+          [&] {
+            response.status = KnnSearchInto<D>(
+                tree, request.query, request.knn, &worker->scratch,
+                &response.neighbors, &response.stats);
+          });
       return response;
     }
     case QueryKind::kInsert:
@@ -770,10 +846,7 @@ void QueryService<D>::CollectMetrics(obs::ExpositionWriter& writer) const {
                 obs::MetricType::kCounter);
   for (int k = 0; k < kNumQueryKinds; ++k) {
     const QueryKind kind = static_cast<QueryKind>(k);
-    if (kind != QueryKind::kKnn && kind != QueryKind::kTopK &&
-        kind != QueryKind::kBatchKnn) {
-      continue;
-    }
+    if (!IsResidentEligible(kind)) continue;
     uint64_t hits = 0;
     uint64_t fallbacks = 0;
     for (const auto& worker : workers_) {

@@ -29,17 +29,77 @@ enum class QueryKind {
   kInsert,          // durably insert (window = MBR, object_id = id)
   kDelete,          // durably delete one exact (window, object_id) match
   kCheckpoint,      // fold the WAL into the base file now
+  // Later kinds append below so existing wire bytes keep their meaning
+  // (net/wire.h kWireVersion gates cross-version handshakes).
+  kReverseKnn,      // reverse k-NN: objects that count q among their k-NN
+  kNnSkyline,       // NN skyline over the batch_queries source points
+  kApproxKnn,       // epsilon/budget-relaxed kNN (knn.epsilon, max_visits)
 };
 
 // Size of the enum, for per-kind stat shards (metrics registry).
 inline constexpr int kNumQueryKinds =
-    static_cast<int>(QueryKind::kCheckpoint) + 1;
+    static_cast<int>(QueryKind::kApproxKnn) + 1;
 
-const char* QueryKindName(QueryKind kind);
+// The kind table: one row per enum member, indexed by the enum value. The
+// static_asserts below force this table, kNumQueryKinds, and the per-kind
+// metric arrays it sizes (service/query_service.h, shard/shard_router.h)
+// to move together — adding an enum member without a row, or reordering
+// rows, fails the build instead of silently desynchronizing stat shards.
+struct QueryKindInfo {
+  QueryKind kind;
+  const char* name;        // metric label (hyphenated; exposition folds)
+  bool is_write;           // needs a serving-mode (writer) service
+  bool resident_eligible;  // can be answered by the resident tree tier
+};
+
+inline constexpr QueryKindInfo kQueryKindTable[] = {
+    {QueryKind::kKnn, "knn", false, true},
+    {QueryKind::kConstrainedKnn, "constrained-knn", false, false},
+    {QueryKind::kRange, "range", false, false},
+    {QueryKind::kTopK, "top-k", false, true},
+    {QueryKind::kBatchKnn, "batch-knn", false, true},
+    {QueryKind::kInsert, "insert", true, false},
+    {QueryKind::kDelete, "delete", true, false},
+    {QueryKind::kCheckpoint, "checkpoint", true, false},
+    {QueryKind::kReverseKnn, "reverse-knn", false, true},
+    {QueryKind::kNnSkyline, "nn-skyline", false, true},
+    {QueryKind::kApproxKnn, "approx-knn", false, true},
+};
+
+static_assert(sizeof(kQueryKindTable) / sizeof(kQueryKindTable[0]) ==
+                  kNumQueryKinds,
+              "kQueryKindTable must have exactly one row per QueryKind");
+
+namespace internal {
+constexpr bool QueryKindTableAligned() {
+  for (int i = 0; i < kNumQueryKinds; ++i) {
+    if (static_cast<int>(kQueryKindTable[i].kind) != i) return false;
+  }
+  return true;
+}
+}  // namespace internal
+
+static_assert(internal::QueryKindTableAligned(),
+              "kQueryKindTable rows must be in enum order");
+
+inline const char* QueryKindName(QueryKind kind) {
+  const int i = static_cast<int>(kind);
+  if (i < 0 || i >= kNumQueryKinds) return "unknown";
+  return kQueryKindTable[i].name;
+}
 
 inline bool IsWriteKind(QueryKind kind) {
-  return kind == QueryKind::kInsert || kind == QueryKind::kDelete ||
-         kind == QueryKind::kCheckpoint;
+  const int i = static_cast<int>(kind);
+  if (i < 0 || i >= kNumQueryKinds) return false;
+  return kQueryKindTable[i].is_write;
+}
+
+// True for kinds the resident tree tier can serve (query_service.cc
+// routes these through the compiled arena when it is fresh).
+inline bool IsResidentEligible(QueryKind kind) {
+  const int i = static_cast<int>(kind);
+  if (i < 0 || i >= kNumQueryKinds) return false;
+  return kQueryKindTable[i].resident_eligible;
 }
 
 // One query. Which fields matter depends on `kind`; the factory functions
@@ -47,12 +107,18 @@ inline bool IsWriteKind(QueryKind kind) {
 template <int D>
 struct QueryRequest {
   QueryKind kind = QueryKind::kKnn;
-  Point<D> query{};                    // kKnn / kConstrainedKnn / kTopK
+  Point<D> query{};                    // kKnn-family / kTopK / kReverseKnn
   Rect<D> window = Rect<D>::Empty();   // kConstrainedKnn region, kRange
-  KnnOptions knn;                      // kKnn / kConstrainedKnn / kBatchKnn
+  KnnOptions knn;                      // kKnn-family (k, max_distance,
+                                       // epsilon, max_visits), kReverseKnn k
   uint32_t top_k = 1;                  // kTopK result count
-  std::vector<Point<D>> batch_queries;  // kBatchKnn query points
+  std::vector<Point<D>> batch_queries;  // kBatchKnn queries, kNnSkyline
+                                        // source points
   uint64_t object_id = 0;              // kInsert / kDelete object id
+  // kReverseKnn scatter support: stop after sector candidate generation
+  // and return the candidates (with geometry) as `entries` — the shard
+  // router verifies them against the global tree itself.
+  bool rknn_candidates_only = false;
 
   static QueryRequest Knn(const Point<D>& q, uint32_t k) {
     QueryRequest r;
@@ -94,6 +160,41 @@ struct QueryRequest {
     r.kind = QueryKind::kBatchKnn;
     r.batch_queries = std::move(queries);
     r.knn.k = k;
+    return r;
+  }
+
+  // Reverse k-NN: the objects that would include q in their own k-NN
+  // answer (ties included). 2-D services only — others answer
+  // kInvalidArgument (the sector construction is planar).
+  static QueryRequest ReverseKnn(const Point<D>& q, uint32_t k) {
+    QueryRequest r;
+    r.kind = QueryKind::kReverseKnn;
+    r.query = q;
+    r.knn.k = k;
+    return r;
+  }
+
+  // NN skyline over >= 1 source points (core/skyline.h): results arrive
+  // as `entries` sorted by ascending (distance-sum, id).
+  static QueryRequest NnSkyline(std::vector<Point<D>> sources) {
+    QueryRequest r;
+    r.kind = QueryKind::kNnSkyline;
+    r.batch_queries = std::move(sources);
+    return r;
+  }
+
+  // Approximate kNN: prunes at bound/(1+epsilon)^2 (every answer within
+  // (1+epsilon) of the true distance) and optionally stops after
+  // max_visits node visits (no distance contract; recall is measured —
+  // see docs/QUERIES.md). epsilon = 0, max_visits = 0 is exact.
+  static QueryRequest ApproxKnn(const Point<D>& q, uint32_t k, double epsilon,
+                                uint64_t max_visits = 0) {
+    QueryRequest r;
+    r.kind = QueryKind::kApproxKnn;
+    r.query = q;
+    r.knn.k = k;
+    r.knn.epsilon = epsilon;
+    r.knn.max_visits = max_visits;
     return r;
   }
 

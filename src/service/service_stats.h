@@ -29,8 +29,8 @@ struct ServiceStats {
   uint64_t checkpoints = 0;
 
   // Resident fast path (docs/PERF.md "Resident tier"); all zero when the
-  // tier is disabled. Hits/fallbacks count only resident-eligible kinds
-  // (kKnn, kTopK, kBatchKnn).
+  // tier is disabled. Hits/fallbacks count only resident-eligible kinds —
+  // the ones kQueryKindTable (service/request.h) marks resident_eligible.
   uint64_t resident_hits = 0;
   uint64_t resident_fallbacks = 0;
   uint64_t resident_compiles = 0;

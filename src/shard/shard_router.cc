@@ -7,7 +7,9 @@
 #include <utility>
 #include <vector>
 
+#include "core/reverse_knn.h"
 #include "core/shared_bound.h"
+#include "core/skyline.h"
 #include "geom/metrics.h"
 
 namespace spatial {
@@ -50,6 +52,12 @@ void ShardRouter<D>::RegisterMetrics() {
   }
   failed_ = metrics_.AddCounter("spatial_router_requests_failed_total",
                                 "Router requests that returned an error");
+  rknn_candidates_ = metrics_.AddCounter(
+      "spatial_router_rknn_candidates_total",
+      "Reverse-kNN candidates surviving the global sector re-selection");
+  rknn_verify_rounds_ = metrics_.AddCounter(
+      "spatial_router_rknn_verify_rounds_total",
+      "Cross-shard kNN rounds issued to verify reverse-kNN candidates");
   merge_ns_ = metrics_.AddHistogram(
       "spatial_router_merge_ns",
       "Scatter-gather wall time per request (submit to merged answer)");
@@ -96,7 +104,12 @@ QueryResponse<D> ShardRouter<D>::Execute(const QueryRequest<D>& request) {
     case QueryKind::kRange:
     case QueryKind::kTopK:
     case QueryKind::kBatchKnn:
+    case QueryKind::kNnSkyline:
+    case QueryKind::kApproxKnn:
       response = ScatterQuery(request);
+      break;
+    case QueryKind::kReverseKnn:
+      response = RouteReverseKnn(request);
       break;
     case QueryKind::kInsert:
       response = RouteInsert(request);
@@ -117,11 +130,15 @@ QueryResponse<D> ShardRouter<D>::ScatterQuery(const QueryRequest<D>& request) {
 
   // One bound per Execute() call, on the stack: concurrent router calls
   // never share a bound, so no reset/epoch protocol is needed. Streaming
-  // applies to plain kNN only — the constrained search clips by region and
-  // the incremental top-k scan does not take KnnOptions.
+  // applies to plain and approximate kNN — the constrained search clips by
+  // region and the incremental top-k scan does not take KnnOptions. For
+  // kApproxKnn the published bounds are exact (unrelaxed) local k-th
+  // distances, so streaming tightens pruning without widening the
+  // (1+epsilon) contract.
   SharedPruneBound bound;
   QueryRequest<D> scattered = request;
-  if (options_.stream_bound && request.kind == QueryKind::kKnn) {
+  if (options_.stream_bound && (request.kind == QueryKind::kKnn ||
+                                request.kind == QueryKind::kApproxKnn)) {
     scattered.knn.shared_bound = &bound;
   }
 
@@ -151,7 +168,8 @@ QueryResponse<D> ShardRouter<D>::ScatterQuery(const QueryRequest<D>& request) {
   switch (request.kind) {
     case QueryKind::kKnn:
     case QueryKind::kConstrainedKnn:
-    case QueryKind::kTopK: {
+    case QueryKind::kTopK:
+    case QueryKind::kApproxKnn: {
       const uint32_t k = request.kind == QueryKind::kTopK ? request.top_k
                                                           : request.knn.k;
       for (const auto& a : answers) {
@@ -200,12 +218,169 @@ QueryResponse<D> ShardRouter<D>::ScatterQuery(const QueryRequest<D>& request) {
       }
       break;
     }
+    case QueryKind::kNnSkyline: {
+      // The global skyline is a subset of the union of shard skylines: a
+      // global dominator of object o shares o's shard (where it already
+      // eliminated o) or is itself undominated there and reaches the
+      // union — either way o does not survive. Distance vectors are
+      // recomputed with the canonical scalar expression (core/skyline.h),
+      // bit-identical to the kernels the shards browsed with, so the
+      // merged answer matches a single whole-dataset tree byte for byte.
+      std::vector<Entry<D>> pool;
+      for (const auto& a : answers) {
+        pool.insert(pool.end(), a.entries.begin(), a.entries.end());
+      }
+      const size_t m = request.batch_queries.size();
+      const Point<D>* sources = request.batch_queries.data();
+      std::vector<double> dists(pool.size() * m);
+      std::vector<double> sums(pool.size());
+      for (size_t i = 0; i < pool.size(); ++i) {
+        SkylineDistVector<D>(sources, m, pool[i].mbr, &dists[i * m]);
+        double sum = 0.0;
+        for (size_t j = 0; j < m; ++j) sum += dists[i * m + j];
+        sums[i] = sum;
+      }
+      // Ascending (sum, id) is both the output order and a topological
+      // order for dominance (a dominator's sum is strictly smaller), so
+      // testing each entry against the already-kept prefix is exact.
+      std::vector<size_t> order(pool.size());
+      for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+      std::sort(order.begin(), order.end(), [&](size_t x, size_t y) {
+        if (sums[x] != sums[y]) return sums[x] < sums[y];
+        return pool[x].id < pool[y].id;
+      });
+      std::vector<size_t> kept;
+      for (size_t idx : order) {
+        bool dominated = false;
+        for (size_t member : kept) {
+          if (SkylineDominates(&dists[member * m], &dists[idx * m], m)) {
+            dominated = true;
+            break;
+          }
+        }
+        if (!dominated) kept.push_back(idx);
+      }
+      merged.entries.reserve(kept.size());
+      for (size_t idx : kept) merged.entries.push_back(pool[idx]);
+      break;
+    }
     default:
       break;
   }
 
   merge_ns_->Record(ElapsedNs(start));
   return merged;
+}
+
+template <int D>
+QueryResponse<D> ShardRouter<D>::RouteReverseKnn(
+    const QueryRequest<D>& request) {
+  const auto start = std::chrono::steady_clock::now();
+  const uint32_t n = shards_->num_shards();
+
+  // Phase 1: every shard generates (but does not verify) its local sector
+  // candidates. A local filter only ever drops objects that its own shard
+  // proves cannot be reverse k-NN — more objects globally can only
+  // strengthen that proof — so the union still contains every answer.
+  QueryRequest<D> scattered = request;
+  scattered.rknn_candidates_only = true;
+
+  std::vector<std::future<QueryResponse<D>>> futures;
+  futures.reserve(n);
+  for (uint32_t s = 0; s < n; ++s) {
+    futures.push_back(shards_->shard(s).Submit(scattered));
+  }
+  std::vector<QueryResponse<D>> answers;
+  answers.reserve(n);
+  for (auto& f : futures) answers.push_back(f.get());
+
+  QueryResponse<D> merged;
+  for (const auto& a : answers) {
+    if (!a.status.ok() && merged.status.ok()) merged.status = a.status;
+    merged.stats.Add(a.stats);
+    merged.latency_ns = std::max(merged.latency_ns, a.latency_ns);
+  }
+  if (!merged.status.ok()) {
+    merge_ns_->Record(ElapsedNs(start));
+    return merged;
+  }
+
+  if constexpr (D != 2) {
+    // Unreachable — every shard already answered kInvalidArgument above —
+    // but keeps this instantiation from touching the planar-only filter.
+    merged.status =
+        Status::InvalidArgument("reverse-knn supports 2-D services only");
+    merge_ns_->Record(ElapsedNs(start));
+    return merged;
+  } else {
+    // Phase 2: re-run the sector selection globally. A shard's local
+    // filter may keep objects that closer same-sector objects in *other*
+    // shards eliminate, so the union is re-fed — in the ascending
+    // (dist, id) order the filter requires — through a fresh filter.
+    // Distances are recomputed with the scalar MINDIST, bit-identical to
+    // the kernel keys the shards browsed with.
+    struct Candidate {
+      double dist_sq;
+      Entry<2> entry;
+    };
+    std::vector<Candidate> pool;
+    for (const auto& a : answers) {
+      for (const auto& e : a.entries) {
+        pool.push_back(Candidate{MinDistSq(request.query, e.mbr), e});
+      }
+    }
+    std::sort(pool.begin(), pool.end(),
+              [](const Candidate& x, const Candidate& y) {
+                if (x.dist_sq != y.dist_sq) return x.dist_sq < y.dist_sq;
+                return x.entry.id < y.entry.id;
+              });
+    ReverseKnnSectorFilter filter(request.query, request.knn.k);
+    std::vector<Candidate> selected;
+    for (const auto& c : pool) {
+      if (filter.Closed(c.dist_sq)) break;
+      if (filter.Offer(c.entry.mbr.Center(), c.dist_sq)) {
+        selected.push_back(c);
+      }
+    }
+    rknn_candidates_->Add(selected.size());
+
+    if (request.rknn_candidates_only) {
+      merged.entries.reserve(selected.size());
+      for (const auto& c : selected) merged.entries.push_back(c.entry);
+      merge_ns_->Record(ElapsedNs(start));
+      return merged;
+    }
+
+    // Phase 3: verify each survivor with an exact cross-shard (k+1)-NN at
+    // its location — the single-tree rule (core/reverse_knn.h), but the
+    // neighbor list now spans every shard. Rounds run sequentially, so
+    // their latencies add onto the candidate phase's.
+    for (const auto& c : selected) {
+      if (c.dist_sq == 0.0) {
+        // Coincides with the query: unconditionally a reverse k-NN.
+        merged.neighbors.push_back(Neighbor{c.entry.id, 0.0});
+        continue;
+      }
+      const QueryRequest<D> verify =
+          QueryRequest<D>::Knn(c.entry.mbr.Center(), request.knn.k + 1);
+      QueryResponse<D> around = ScatterQuery(verify);
+      rknn_verify_rounds_->Inc();
+      if (!around.status.ok()) {
+        merged.status = around.status;
+        merge_ns_->Record(ElapsedNs(start));
+        return merged;
+      }
+      merged.stats.Add(around.stats);
+      merged.latency_ns += around.latency_ns;
+      if (ReverseKnnQualifies(around.neighbors, c.entry.id, c.dist_sq,
+                              request.knn.k)) {
+        merged.neighbors.push_back(Neighbor{c.entry.id, c.dist_sq});
+      }
+    }
+    std::sort(merged.neighbors.begin(), merged.neighbors.end(), NeighborLess);
+    merge_ns_->Record(ElapsedNs(start));
+    return merged;
+  }
 }
 
 template <int D>

@@ -17,20 +17,35 @@ namespace spatial {
 // (modulo distance ties at the k-th position — see docs/SHARDING.md).
 //
 // Routing:
-//   * kKnn / kConstrainedKnn / kTopK / kRange / kBatchKnn — scatter to all
-//     shards, merge (k-NN kinds by (dist_sq, id) truncated to k; range by
-//     object id; batch per-query).
+//   * kKnn / kConstrainedKnn / kTopK / kBatchKnn / kApproxKnn — scatter to
+//     all shards, merge by (dist_sq, id) truncated to k (per query for the
+//     batch kind). The approximate merge keeps the epsilon contract: the
+//     merged k-th distance never exceeds any shard's local k-th, and every
+//     shard's answers individually satisfy r <= (1+eps) * t.
+//   * kRange — scatter, merge by object id.
+//   * kNnSkyline — scatter, union the per-shard skylines, re-apply the
+//     dominance filter over the union (the global skyline is a subset of
+//     the union: any global dominator either eliminated its victim inside
+//     its own shard or survives into the union and eliminates it here).
+//   * kReverseKnn — two-phase (RouteReverseKnn): shards generate sector
+//     candidates only (rknn_candidates_only), the router re-runs the
+//     sector selection over the union, then verifies each survivor with
+//     an exact cross-shard (k+1)-NN — verification must consult the
+//     *global* dataset, which no single shard holds.
 //   * kInsert — route to the single shard whose initial tile is nearest
 //     the new MBR (MINDIST, ties to the lowest shard index).
 //   * kDelete / kCheckpoint — broadcast (a delete must reach whichever
 //     shard holds the object; `affected` sums over shards).
 //
-// Bound streaming: for kKnn with Options::stream_bound, the router plants
-// one SharedPruneBound (core/shared_bound.h) into every scattered copy's
-// KnnOptions. Each shard publishes its local k-th distance as soon as its
-// buffer fills and prunes against the tightest bound any shard has found,
-// so laggard shards skip subtrees the global answer has already beaten.
-// The merged answer is unchanged; E19 measures the pages saved.
+// Bound streaming: for kKnn / kApproxKnn with Options::stream_bound, the
+// router plants one SharedPruneBound (core/shared_bound.h) into every
+// scattered copy's KnnOptions. Each shard publishes its local k-th
+// distance as soon as its buffer fills and prunes against the tightest
+// bound any shard has found, so laggard shards skip subtrees the global
+// answer has already beaten. Published bounds are always exact (unrelaxed)
+// local k-th distances, so the merged answer is unchanged for kKnn and the
+// epsilon contract is preserved for kApproxKnn; E19 measures the pages
+// saved.
 //
 // Thread-safe: Execute() may be called from any number of threads (the
 // RPC server's connection threads do exactly that); all shared state is
@@ -63,6 +78,7 @@ class ShardRouter {
 
  private:
   QueryResponse<D> ScatterQuery(const QueryRequest<D>& request);
+  QueryResponse<D> RouteReverseKnn(const QueryRequest<D>& request);
   QueryResponse<D> RouteInsert(const QueryRequest<D>& request);
   QueryResponse<D> Broadcast(const QueryRequest<D>& request);
   void RegisterMetrics();
@@ -72,6 +88,8 @@ class ShardRouter {
   obs::MetricsRegistry metrics_;
   obs::Counter* requests_by_kind_[kNumQueryKinds] = {};
   obs::Counter* failed_;
+  obs::Counter* rknn_candidates_;     // survivors of the global re-selection
+  obs::Counter* rknn_verify_rounds_;  // cross-shard verification kNNs issued
   obs::PowerHistogram* merge_ns_;
 };
 

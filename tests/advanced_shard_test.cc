@@ -1,0 +1,182 @@
+// Scatter-gather correctness for the advanced query classes: across shard
+// counts {1, 2, 4} and both backends, the router's reverse k-NN and NN
+// skyline answers must be byte-identical to the brute-force references
+// (and hence to a single whole-dataset tree), and approximate kNN must
+// keep its (1+epsilon) contract after the cross-shard merge.
+
+#include "shard/shard_router.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "data/uniform.h"
+#include "tests/reference.h"
+#include "tests/test_util.h"
+
+namespace spatial {
+namespace {
+
+std::vector<Entry<2>> MakeData(size_t n, uint64_t seed = 404) {
+  Rng rng(seed);
+  return MakePointEntries(GenerateUniform<2>(n, UnitBounds<2>(), &rng));
+}
+
+ShardSet<2>::Options SetOptions(uint32_t shards, bool file_backed,
+                                const std::string& dir) {
+  ShardSet<2>::Options options;
+  options.num_shards = shards;
+  options.file_backed = file_backed;
+  options.dir = dir;
+  options.page_size = 512;
+  options.buffer_pages = 64;
+  options.service.num_workers = 2;
+  options.service.frames_per_worker = 32;
+  return options;
+}
+
+void ExpectNeighborsByteIdentical(const std::vector<Neighbor>& got,
+                                  const std::vector<Neighbor>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  if (!got.empty()) {
+    EXPECT_EQ(0, std::memcmp(got.data(), want.data(),
+                             got.size() * sizeof(Neighbor)));
+  }
+}
+
+void ExpectEntriesByteIdentical(const std::vector<Entry<2>>& got,
+                                const std::vector<Entry<2>>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  if (!got.empty()) {
+    EXPECT_EQ(0, std::memcmp(got.data(), want.data(),
+                             got.size() * sizeof(Entry<2>)));
+  }
+}
+
+void RunAdvancedEquivalenceSuite(uint32_t shards, bool file_backed,
+                                 bool resident) {
+  SCOPED_TRACE("shards=" + std::to_string(shards) +
+               " file=" + std::to_string(file_backed) +
+               " resident=" + std::to_string(resident));
+  const auto data = MakeData(1200);
+  auto options = SetOptions(shards, file_backed, ::testing::TempDir());
+  options.service.resident_tier = resident;
+  auto set = ShardSet<2>::Build(data, options);
+  ASSERT_TRUE(set.ok()) << set.status().ToString();
+  ShardRouter<2> router(set->get());
+
+  Rng rng(9);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Point2 q{{rng.Uniform(0.0, 1.0), rng.Uniform(0.0, 1.0)}};
+
+    // Reverse k-NN: byte-identical to brute force.
+    for (uint32_t k : {1u, 3u}) {
+      SCOPED_TRACE("trial=" + std::to_string(trial) +
+                   " k=" + std::to_string(k));
+      QueryResponse<2> got =
+          router.Execute(QueryRequest<2>::ReverseKnn(q, k));
+      ASSERT_TRUE(got.ok()) << got.status.ToString();
+      ExpectNeighborsByteIdentical(got.neighbors,
+                                   RefReverseKnn<2>(data, q, k));
+    }
+
+    // NN skyline over 1..3 sources: byte-identical to brute force.
+    std::vector<Point2> sources{q};
+    for (size_t extra = 0; extra < 2; ++extra) {
+      QueryResponse<2> got =
+          router.Execute(QueryRequest<2>::NnSkyline(sources));
+      ASSERT_TRUE(got.ok()) << got.status.ToString();
+      ExpectEntriesByteIdentical(got.entries, RefSkyline<2>(data, sources));
+      sources.push_back({{rng.Uniform(0.0, 1.0), rng.Uniform(0.0, 1.0)}});
+    }
+
+    // Approximate kNN: same count, sorted, every rank within (1+eps).
+    for (double eps : {0.0, 0.5}) {
+      QueryResponse<2> got =
+          router.Execute(QueryRequest<2>::ApproxKnn(q, 10, eps));
+      ASSERT_TRUE(got.ok()) << got.status.ToString();
+      const auto exact = RefKnn<2>(data, q, 10);
+      ASSERT_EQ(got.neighbors.size(), exact.size());
+      const double factor = (1.0 + eps) * (1.0 + eps) * (1.0 + 1e-9);
+      for (size_t i = 0; i < exact.size(); ++i) {
+        ASSERT_LE(got.neighbors[i].dist_sq, exact[i].dist_sq * factor)
+            << "rank " << i << " eps " << eps;
+        if (i > 0) {
+          ASSERT_LE(got.neighbors[i - 1].dist_sq, got.neighbors[i].dist_sq);
+        }
+      }
+      // eps = 0 through the approx path stays exact end to end.
+      if (eps == 0.0) {
+        ExpectNeighborsByteIdentical(got.neighbors, exact);
+      }
+    }
+  }
+}
+
+TEST(AdvancedShardTest, MemoryBackendMatchesReference) {
+  for (uint32_t shards : {1u, 2u, 4u}) {
+    RunAdvancedEquivalenceSuite(shards, /*file_backed=*/false,
+                                /*resident=*/true);
+  }
+}
+
+TEST(AdvancedShardTest, PagedTierMatchesReference) {
+  for (uint32_t shards : {1u, 4u}) {
+    RunAdvancedEquivalenceSuite(shards, /*file_backed=*/false,
+                                /*resident=*/false);
+  }
+}
+
+TEST(AdvancedShardTest, FileBackendMatchesReference) {
+  for (uint32_t shards : {2u, 4u}) {
+    RunAdvancedEquivalenceSuite(shards, /*file_backed=*/true,
+                                /*resident=*/true);
+  }
+}
+
+TEST(AdvancedShardTest, CandidatesOnlySurfacesGlobalSelection) {
+  const auto data = MakeData(900);
+  auto set = ShardSet<2>::Build(data, SetOptions(3, false, ""));
+  ASSERT_TRUE(set.ok());
+  ShardRouter<2> router(set->get());
+  const Point2 q{{0.5, 0.5}};
+  QueryRequest<2> request = QueryRequest<2>::ReverseKnn(q, 2);
+  request.rknn_candidates_only = true;
+  QueryResponse<2> got = router.Execute(request);
+  ASSERT_TRUE(got.ok()) << got.status.ToString();
+  EXPECT_TRUE(got.neighbors.empty());
+  // Every true reverse k-NN appears among the globally selected candidates.
+  for (const Neighbor& want : RefReverseKnn<2>(data, q, 2)) {
+    bool present = false;
+    for (const Entry<2>& e : got.entries) present |= e.id == want.id;
+    EXPECT_TRUE(present) << "missing candidate " << want.id;
+  }
+}
+
+TEST(AdvancedShardTest, RouterExposesPerKindAndRknnMetrics) {
+  const auto data = MakeData(600);
+  auto set = ShardSet<2>::Build(data, SetOptions(2, false, ""));
+  ASSERT_TRUE(set.ok());
+  ShardRouter<2> router(set->get());
+  router.Execute(QueryRequest<2>::ReverseKnn({{0.4, 0.4}}, 2));
+  router.Execute(QueryRequest<2>::NnSkyline({{{0.2, 0.2}}, {{0.7, 0.7}}}));
+  router.Execute(QueryRequest<2>::ApproxKnn({{0.5, 0.5}}, 5, 0.5));
+  const std::string scrape = router.ScrapeMetrics();
+  EXPECT_NE(scrape.find("spatial_router_requests_total_reverse_knn"),
+            std::string::npos);
+  EXPECT_NE(scrape.find("spatial_router_requests_total_nn_skyline"),
+            std::string::npos);
+  EXPECT_NE(scrape.find("spatial_router_requests_total_approx_knn"),
+            std::string::npos);
+  EXPECT_NE(scrape.find("spatial_router_rknn_candidates_total"),
+            std::string::npos);
+  EXPECT_NE(scrape.find("spatial_router_rknn_verify_rounds_total"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace spatial

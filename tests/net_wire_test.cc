@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstring>
 #include <string>
 #include <thread>
@@ -54,6 +55,9 @@ TEST(WireTest, AllKindsRoundTrip) {
       QueryRequest<2>::Insert(window, 12345),
       QueryRequest<2>::Delete(window, 777),
       QueryRequest<2>::Checkpoint(),
+      QueryRequest<2>::ReverseKnn({{0.6, 0.4}}, 5),
+      QueryRequest<2>::NnSkyline({{{0.2, 0.3}}, {{0.8, 0.1}}}),
+      QueryRequest<2>::ApproxKnn({{0.5, 0.5}}, 8, 0.25, 4096),
   };
   for (const auto& in : requests) {
     QueryRequest<2> out = RoundTripRequest(in);
@@ -67,6 +71,46 @@ TEST(WireTest, AllKindsRoundTrip) {
       EXPECT_EQ(out.batch_queries[i], in.batch_queries[i]);
     }
   }
+}
+
+TEST(WireTest, ApproxAndBoundedKnobsRoundTripBitExact) {
+  QueryRequest<2> in = QueryRequest<2>::ApproxKnn({{0.1, 0.9}}, 3, 0.125, 77);
+  in.knn.max_distance = 0.4375;  // exactly representable
+  QueryRequest<2> out = RoundTripRequest(in);
+  EXPECT_EQ(out.kind, QueryKind::kApproxKnn);
+  EXPECT_EQ(out.knn.k, 3u);
+  EXPECT_EQ(out.knn.epsilon, 0.125);
+  EXPECT_EQ(out.knn.max_visits, 77u);
+  EXPECT_EQ(out.knn.max_distance, 0.4375);
+  EXPECT_FALSE(out.rknn_candidates_only);
+
+  // The unbounded default (+inf) survives as +inf, not as a large finite.
+  QueryRequest<2> plain = QueryRequest<2>::Knn({{0.5, 0.5}}, 2);
+  QueryRequest<2> plain_out = RoundTripRequest(plain);
+  EXPECT_TRUE(std::isinf(plain_out.knn.max_distance));
+  EXPECT_EQ(plain_out.knn.epsilon, 0.0);
+  EXPECT_EQ(plain_out.knn.max_visits, 0u);
+
+  QueryRequest<2> cand = QueryRequest<2>::ReverseKnn({{0.3, 0.3}}, 4);
+  cand.rknn_candidates_only = true;
+  QueryRequest<2> cand_out = RoundTripRequest(cand);
+  EXPECT_EQ(cand_out.kind, QueryKind::kReverseKnn);
+  EXPECT_EQ(cand_out.knn.k, 4u);
+  EXPECT_TRUE(cand_out.rknn_candidates_only);
+}
+
+TEST(WireTest, RejectsBadCandidatesFlag) {
+  QueryRequest<2> in = QueryRequest<2>::Knn({{0.5, 0.5}}, 1);
+  std::string buf;
+  EncodeRequest<2>(in, &buf);
+  // Layout: the candidates-only flag byte sits immediately before the
+  // 4-byte batch count that ends every request frame.
+  std::string bad = buf;
+  bad[bad.size() - 5] = 2;
+  EXPECT_TRUE(DecodeRequest<2>(reinterpret_cast<const uint8_t*>(bad.data()),
+                               bad.size())
+                  .status()
+                  .IsCorruption());
 }
 
 TEST(WireTest, ResponseRoundTrip) {

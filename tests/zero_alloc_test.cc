@@ -15,6 +15,8 @@
 #include "common/rng.h"
 #include "core/incremental.h"
 #include "core/knn.h"
+#include "core/reverse_knn.h"
+#include "core/skyline.h"
 #include "data/uniform.h"
 #include "data/workload.h"
 #include "obs/histogram.h"
@@ -159,6 +161,89 @@ TEST(ZeroAllocTest, BatchKnnSteadyStateIsAllocationFree) {
   ASSERT_TRUE(status.ok());
   EXPECT_EQ(delta.allocations, 0u)
       << delta.bytes << " bytes allocated in steady-state batch";
+}
+
+// The advanced query classes ride the same scratch arena: the geometric
+// browse heap, candidate staging, and verification buffers all grow to
+// their high-water mark during the warm pass and are then reused.
+TEST(ZeroAllocTest, ReverseKnnSteadyStateIsAllocationFree) {
+  Fixture f;
+  QueryScratch<2> scratch;
+  std::vector<Neighbor> out;
+  ReverseKnnOptions options;
+  options.k = 3;
+
+  for (const Point2& q : f.queries) {
+    ASSERT_TRUE(
+        ReverseKnnSearch(*f.tree, q, options, &scratch, &out, nullptr).ok());
+  }
+
+  const AllocCounts before = ThreadAllocCounts();
+  bool all_ok = true;
+  for (const Point2& q : f.queries) {
+    all_ok &=
+        ReverseKnnSearch(*f.tree, q, options, &scratch, &out, nullptr).ok();
+  }
+  const AllocCounts delta = ThreadAllocCounts() - before;
+  ASSERT_TRUE(all_ok);
+  EXPECT_EQ(delta.allocations, 0u)
+      << delta.bytes << " bytes allocated in steady-state reverse k-NN";
+}
+
+TEST(ZeroAllocTest, NnSkylineSteadyStateIsAllocationFree) {
+  Fixture f;
+  QueryScratch<2> scratch;
+  std::vector<Entry<2>> out;
+  // Two-source skylines over sliding query pairs.
+  std::vector<Point2> sources(2);
+
+  const auto run_all = [&](bool* ok) {
+    for (size_t i = 0; i + 1 < f.queries.size(); i += 2) {
+      sources[0] = f.queries[i];
+      sources[1] = f.queries[i + 1];
+      const Status s =
+          NnSkylineSearch<2>(*f.tree, sources.data(), 2, &scratch, &out,
+                             nullptr);
+      if (ok != nullptr) *ok &= s.ok();
+    }
+  };
+  run_all(nullptr);  // warm
+
+  const AllocCounts before = ThreadAllocCounts();
+  bool all_ok = true;
+  run_all(&all_ok);
+  const AllocCounts delta = ThreadAllocCounts() - before;
+  ASSERT_TRUE(all_ok);
+  EXPECT_EQ(delta.allocations, 0u)
+      << delta.bytes << " bytes allocated in steady-state skyline";
+}
+
+TEST(ZeroAllocTest, ApproxAndBoundedKnnSteadyStateIsAllocationFree) {
+  Fixture f;
+  QueryScratch<2> scratch;
+  std::vector<Neighbor> out;
+  QueryStats stats;
+  KnnOptions options;
+  options.k = 10;
+  options.epsilon = 0.5;
+  options.max_visits = 64;
+  options.max_distance = 0.25;
+
+  for (const Point2& q : f.queries) {
+    ASSERT_TRUE(
+        KnnSearchInto<2>(*f.tree, q, options, &scratch, &out, &stats).ok());
+  }
+
+  const AllocCounts before = ThreadAllocCounts();
+  bool all_ok = true;
+  for (const Point2& q : f.queries) {
+    all_ok &=
+        KnnSearchInto<2>(*f.tree, q, options, &scratch, &out, &stats).ok();
+  }
+  const AllocCounts delta = ThreadAllocCounts() - before;
+  ASSERT_TRUE(all_ok);
+  EXPECT_EQ(delta.allocations, 0u)
+      << delta.bytes << " bytes allocated in steady-state approx kNN";
 }
 
 // The observability layer must not repeal the zero-alloc contract: this

@@ -16,7 +16,7 @@ BUILD_DIR="${1:-build-asan}"
 
 TESTS=(metrics_test metrics_reference_test simd_kernel_test knn_test
        knn_property_test spatial_join_test zero_alloc_test
-       resident_tree_test)
+       resident_tree_test advanced_query_test)
 
 cmake -B "$BUILD_DIR" -S . -DSPATIAL_SANITIZE=address+undefined \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo

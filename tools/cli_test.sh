@@ -42,6 +42,33 @@ diff "$WORK/a" "$WORK/b"
 "$CLI" farthest "$WORK/bulk.sdb" 0.5 0.5 2 | grep -c "^id=" | grep -q 2
 "$CLI" rnn "$WORK/bulk.sdb" 0.5 0.5 | grep -q "reverse nearest neighbors"
 
+# rknn generalizes rnn: k=1 must reproduce the rnn id set exactly.
+# (0.2, 0.8) is used because its RNN set is non-empty under seed 9 —
+# the centroid (0.5, 0.5) has no reverse nearest neighbor at all.
+"$CLI" rnn "$WORK/bulk.sdb" 0.2 0.8 | grep "^id=" | sort > "$WORK/rnn.ids"
+test -s "$WORK/rnn.ids"
+"$CLI" rknn "$WORK/bulk.sdb" 0.2 0.8 1 | grep "^id=" | sort > "$WORK/rknn.ids"
+diff "$WORK/rnn.ids" "$WORK/rknn.ids"
+"$CLI" rknn "$WORK/bulk.sdb" 0.2 0.8 3 | grep -q "reverse k-nearest neighbors"
+
+# skyline: a single source degenerates to its nearest neighbor
+"$CLI" skyline "$WORK/bulk.sdb" 0.5 0.5 | grep -q "(1 skyline objects)"
+"$CLI" knn "$WORK/bulk.sdb" 0.5 0.5 1 | grep "^id=" | cut -d= -f2 \
+  | cut -d' ' -f1 > "$WORK/nn1.id"
+"$CLI" skyline "$WORK/bulk.sdb" 0.5 0.5 | grep "^id=" | cut -d= -f2 \
+  | cut -d' ' -f1 > "$WORK/sky1.id"
+diff "$WORK/nn1.id" "$WORK/sky1.id"
+"$CLI" skyline "$WORK/bulk.sdb" 0.1 0.1 0.9 0.9 | tail -1 \
+  | grep -q "skyline objects"
+
+# approx-knn: epsilon=0 with no budget is the exact answer, bit for bit;
+# a relaxed epsilon still returns k results
+"$CLI" knn "$WORK/bulk.sdb" 0.5 0.5 5 | grep "^id=" > "$WORK/exact5"
+"$CLI" approx-knn "$WORK/bulk.sdb" 0.5 0.5 5 0 | grep "^id=" > "$WORK/approx0"
+diff "$WORK/exact5" "$WORK/approx0"
+"$CLI" approx-knn "$WORK/bulk.sdb" 0.5 0.5 5 0.5 | grep -c "^id=" | grep -q 5
+"$CLI" approx-knn "$WORK/bulk.sdb" 0.5 0.5 5 0.5 64 | grep -q "pages read"
+
 # range query returns a result count line
 "$CLI" range "$WORK/bulk.sdb" 0.4 0.4 0.6 0.6 | tail -1 | grep -q "results"
 

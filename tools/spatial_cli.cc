@@ -7,8 +7,12 @@
 //   spatial_cli stats <db.sdb> [page_size]
 //   spatial_cli tree-quality <db.sdb> [page_size]
 //   spatial_cli knn <db.sdb> <x> <y> <k> [page_size]
+//   spatial_cli approx-knn <db.sdb> <x> <y> <k> <epsilon> [max_visits]
+//                          [page_size]
 //   spatial_cli farthest <db.sdb> <x> <y> <k> [page_size]
 //   spatial_cli rnn <db.sdb> <x> <y> [page_size]
+//   spatial_cli rknn <db.sdb> <x> <y> <k> [page_size]
+//   spatial_cli skyline <db.sdb> <x1> <y1> [<x2> <y2> ...] [page_size]
 //   spatial_cli range <db.sdb> <lox> <loy> <hix> <hiy> [page_size]
 //   spatial_cli serve-bench <db.sdb> <workers> <queries> [k] [page_size]
 //                           [frames_per_worker] [latency_us]
@@ -56,7 +60,10 @@
 #include "common/rng.h"
 #include "core/farthest.h"
 #include "core/knn.h"
+#include "core/reverse_knn.h"
 #include "core/reverse_nn.h"
+#include "core/scratch.h"
+#include "core/skyline.h"
 #include "data/clustered.h"
 #include "data/dataset.h"
 #include "data/tiger_like.h"
@@ -88,8 +95,13 @@ int Usage() {
       "  spatial_cli stats <db.sdb> [page_size]\n"
       "  spatial_cli tree-quality <db.sdb> [page_size]\n"
       "  spatial_cli knn <db.sdb> <x> <y> <k> [page_size]\n"
+      "  spatial_cli approx-knn <db.sdb> <x> <y> <k> <epsilon> "
+      "[max_visits] [page_size]\n"
       "  spatial_cli farthest <db.sdb> <x> <y> <k> [page_size]\n"
       "  spatial_cli rnn <db.sdb> <x> <y> [page_size]\n"
+      "  spatial_cli rknn <db.sdb> <x> <y> <k> [page_size]\n"
+      "  spatial_cli skyline <db.sdb> <x1> <y1> [<x2> <y2> ...] "
+      "[page_size]\n"
       "  spatial_cli range <db.sdb> <lox> <loy> <hix> <hiy> [page_size]\n"
       "  spatial_cli serve-bench <db.sdb> <workers> <queries> [k] "
       "[page_size] [frames_per_worker] [latency_us] [--metrics-dump] "
@@ -288,6 +300,91 @@ int CmdRnn(int argc, char** argv) {
                 static_cast<unsigned long long>(n.id), std::sqrt(n.dist_sq));
   }
   std::printf("(%zu reverse nearest neighbors)\n", result->size());
+  return 0;
+}
+
+int CmdRknn(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  const uint32_t page_size =
+      argc > 4 ? static_cast<uint32_t>(std::atoi(argv[4])) : 1024;
+  auto db = SpatialDb<2>::OpenFromFile(argv[0], page_size, 1024);
+  if (!db.ok()) return Fail(db.status(), "open db");
+  const Point2 q{{std::atof(argv[1]), std::atof(argv[2])}};
+  ReverseKnnOptions options;
+  options.k = static_cast<uint32_t>(std::atoi(argv[3]));
+  QueryScratch<2> scratch;
+  std::vector<Neighbor> found;
+  QueryStats stats;
+  if (Status s = ReverseKnnSearch(db->tree(), q, options, &scratch, &found,
+                                  &stats);
+      !s.ok()) {
+    return Fail(s, "rknn");
+  }
+  for (const Neighbor& n : found) {
+    std::printf("id=%llu distance=%.9f\n",
+                static_cast<unsigned long long>(n.id), std::sqrt(n.dist_sq));
+  }
+  std::printf("(%zu reverse k-nearest neighbors)\n", found.size());
+  return 0;
+}
+
+int CmdSkyline(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  // Everything after the db path is coordinate pairs; an odd trailing
+  // argument is the page size.
+  uint32_t page_size = 1024;
+  int coord_args = argc - 1;
+  if (coord_args % 2 == 1) {
+    page_size = static_cast<uint32_t>(std::atoi(argv[argc - 1]));
+    --coord_args;
+  }
+  if (coord_args < 2) return Usage();
+  auto db = SpatialDb<2>::OpenFromFile(argv[0], page_size, 1024);
+  if (!db.ok()) return Fail(db.status(), "open db");
+  std::vector<Point2> sources;
+  for (int i = 0; i < coord_args; i += 2) {
+    sources.push_back(
+        Point2{{std::atof(argv[1 + i]), std::atof(argv[2 + i])}});
+  }
+  QueryScratch<2> scratch;
+  std::vector<Entry<2>> found;
+  QueryStats stats;
+  if (Status s = NnSkylineSearch<2>(db->tree(), sources.data(),
+                                    sources.size(), &scratch, &found, &stats);
+      !s.ok()) {
+    return Fail(s, "skyline");
+  }
+  for (const Entry<2>& e : found) {
+    const Point2 c = e.mbr.Center();
+    std::printf("id=%llu center=(%.6f, %.6f) distance_sum=%.9f\n",
+                static_cast<unsigned long long>(e.id), c[0], c[1],
+                SkylineDistSum<2>(sources.data(), sources.size(), e.mbr));
+  }
+  std::printf("(%zu skyline objects)\n", found.size());
+  return 0;
+}
+
+int CmdApproxKnn(int argc, char** argv) {
+  if (argc < 5) return Usage();
+  const uint32_t page_size =
+      argc > 6 ? static_cast<uint32_t>(std::atoi(argv[6])) : 1024;
+  auto db = SpatialDb<2>::OpenFromFile(argv[0], page_size, 1024);
+  if (!db.ok()) return Fail(db.status(), "open db");
+  const Point2 q{{std::atof(argv[1]), std::atof(argv[2])}};
+  KnnOptions options;
+  options.k = static_cast<uint32_t>(std::atoi(argv[3]));
+  options.epsilon = std::atof(argv[4]);
+  options.max_visits =
+      argc > 5 ? static_cast<uint64_t>(std::atoll(argv[5])) : 0;
+  QueryStats stats;
+  auto result = KnnSearch<2>(db->tree(), q, options, &stats);
+  if (!result.ok()) return Fail(result.status(), "approx-knn");
+  for (const Neighbor& n : *result) {
+    std::printf("id=%llu distance=%.9f\n",
+                static_cast<unsigned long long>(n.id), std::sqrt(n.dist_sq));
+  }
+  std::printf("(%llu pages read)\n",
+              static_cast<unsigned long long>(stats.nodes_visited));
   return 0;
 }
 
@@ -631,8 +728,11 @@ int Main(int argc, char** argv) {
   if (command == "stats") return CmdStats(argc - 2, argv + 2);
   if (command == "tree-quality") return CmdTreeQuality(argc - 2, argv + 2);
   if (command == "knn") return CmdKnn(argc - 2, argv + 2);
+  if (command == "approx-knn") return CmdApproxKnn(argc - 2, argv + 2);
   if (command == "farthest") return CmdFarthest(argc - 2, argv + 2);
   if (command == "rnn") return CmdRnn(argc - 2, argv + 2);
+  if (command == "rknn") return CmdRknn(argc - 2, argv + 2);
+  if (command == "skyline") return CmdSkyline(argc - 2, argv + 2);
   if (command == "range") return CmdRange(argc - 2, argv + 2);
   if (command == "serve-bench") return CmdServeBench(argc - 2, argv + 2);
   if (command == "metrics") return CmdMetrics(argc - 2, argv + 2);

@@ -5,8 +5,10 @@
 # byte-identical results against single-threaded KnnSearch, the
 # serving-mode stress test (concurrent writes + snapshot-pinned readers),
 # the sharded scatter-gather stress test (concurrent router calls with
-# shared prune-bound streaming + live metrics scraping), and the resident
-# tier's publish/invalidate/recompile-under-write-load race coverage.
+# shared prune-bound streaming + live metrics scraping), the advanced
+# query kinds' cross-shard merge paths (reverse-kNN verification rounds,
+# skyline re-merge, approx contract merge), and the resident tier's
+# publish/invalidate/recompile-under-write-load race coverage.
 #
 # Usage: tools/tsan_check.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
@@ -19,11 +21,12 @@ cmake -B "$BUILD_DIR" -S . -DSPATIAL_SANITIZE=thread \
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
   --target query_service_test service_stress_test serving_stress_test \
   io_stats_test obs_metrics_test metrics_scrape_test shard_stress_test \
-  resident_tree_test
+  resident_tree_test advanced_shard_test
 
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
 for t in io_stats_test obs_metrics_test query_service_test \
-         service_stress_test shard_stress_test resident_tree_test; do
+         service_stress_test shard_stress_test resident_tree_test \
+         advanced_shard_test; do
   echo "=== TSan: $t ==="
   "$BUILD_DIR/tests/$t"
 done
