@@ -1,0 +1,264 @@
+// E22 — distributed tracing overhead on the sharded router.
+//
+// PR 10's cross-shard tracing promises the same deal the worker-level
+// layer priced in E18: negligible when you don't look. Per scattered
+// query the router adds one xorshift sampling draw, one merge-latency
+// histogram record, one per-kind atomic counter, and one slow-threshold
+// test; only sampled queries (1 in 100 here) pay for trace-id minting,
+// per-shard completion clocks, span assembly, and a slow-ring/reservoir
+// insert — and the shards they touch pay the worker-side trace hook E18
+// already priced. This experiment measures the end-to-end delta through
+// the full scatter-gather path. Engines, both answering the same uniform
+// kNN workload through one 4-shard memory-resident ShardSet:
+//
+//   tracing-off  — ShardRouter with trace_sample_per_million = 0 (the
+//                  production default): the draw, the counter, the
+//                  histogram, the threshold test, nothing else.
+//   sampled-1pct — trace_sample_per_million = 10'000: ~1 query in 100
+//                  mints a trace id, propagates it to all four shards,
+//                  gets each shard's QueryTraceRecord back in the
+//                  response, and assembles the cross-shard trace into
+//                  the router's sampled reservoir.
+//
+// Both routers share the one ShardSet, so the trees, buffer pools, and
+// worker threads are identical; only the router-level tracing differs.
+// Every query is first run through both routers plus an explicitly
+// sampled request (trace context armed end to end) and the three answers
+// are required bit-identical before any timing starts. Timing uses E18's
+// paired interleaved chunks: the effect being priced (<2%) is far below
+// host drift, so the overhead is the median of per-chunk paired ratios.
+//
+// Gate (full run only): sampled-1pct overhead must be <= 2%; the run
+// exits nonzero otherwise. Writes BENCH_E22.json for
+// tools/bench_compare.py; `--smoke` runs a scaled-down configuration for
+// ctest and writes to /tmp without touching the manifest.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exp_common.h"
+#include "shard/shard_router.h"
+#include "shard/shard_set.h"
+
+namespace spatial {
+namespace bench {
+namespace {
+
+constexpr uint32_t kShards = 4;
+constexpr uint32_t kWorkersPerShard = 2;
+constexpr uint32_t kTraceSamplePerMillion = 10'000;  // 1%
+
+double Seconds(std::chrono::steady_clock::time_point a,
+               std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+// Paired interleaved timing, exactly E18's scheme: chunks of 64 queries
+// alternate between the engines with the order rotated every chunk, so
+// host drift (which operates on tens-of-milliseconds timescales) is
+// effectively constant within a chunk cycle and cancels in the ratio.
+struct TimedEngine {
+  std::function<void(const Point<2>&)> run;
+  std::vector<double> round_seconds;
+  std::vector<double> chunk_seconds;  // one entry per timed chunk
+
+  double BestSeconds() const {
+    return *std::min_element(round_seconds.begin(), round_seconds.end());
+  }
+  double Qps(size_t n_queries) const {
+    return static_cast<double>(n_queries) / BestSeconds();
+  }
+};
+
+void TimeInterleaved(const std::vector<Point2>& queries, size_t rounds,
+                     std::vector<TimedEngine*> engines) {
+  constexpr size_t kChunk = 64;
+  const size_t n_engines = engines.size();
+  for (TimedEngine* e : engines) {
+    for (const Point2& q : queries) e->run(q);  // warm: pools + queues
+  }
+  for (size_t r = 0; r < rounds; ++r) {
+    for (TimedEngine* e : engines) e->round_seconds.push_back(0.0);
+    size_t cycle = r;
+    for (size_t base = 0; base < queries.size(); base += kChunk, ++cycle) {
+      const size_t end = std::min(base + kChunk, queries.size());
+      for (size_t j = 0; j < n_engines; ++j) {
+        TimedEngine* e = engines[(cycle + j) % n_engines];
+        const auto t0 = std::chrono::steady_clock::now();
+        for (size_t i = base; i < end; ++i) e->run(queries[i]);
+        const auto t1 = std::chrono::steady_clock::now();
+        const double dt = Seconds(t0, t1);
+        e->round_seconds[r] += dt;
+        e->chunk_seconds.push_back(dt);
+      }
+    }
+  }
+}
+
+// Median over all timed chunks of (engine / baseline) - 1, as a
+// percentage. Chunk pairs run the same 64 queries within ~2 ms of each
+// other; the median discards chunks where a scheduler event hit one side.
+double PairedOverheadPct(const TimedEngine& base, const TimedEngine& engine) {
+  std::vector<double> ratios;
+  for (size_t r = 0; r < base.chunk_seconds.size(); ++r) {
+    ratios.push_back(engine.chunk_seconds[r] / base.chunk_seconds[r]);
+  }
+  std::sort(ratios.begin(), ratios.end());
+  const size_t n = ratios.size();
+  const double median = n % 2 == 1
+                            ? ratios[n / 2]
+                            : 0.5 * (ratios[n / 2 - 1] + ratios[n / 2]);
+  return (median - 1.0) * 100.0;
+}
+
+std::vector<Point2> RandomQueries(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point2> queries(n);
+  for (auto& q : queries) {
+    q = {{rng.Uniform(0.0, 1.0), rng.Uniform(0.0, 1.0)}};
+  }
+  return queries;
+}
+
+void CheckAnswers(const std::vector<Neighbor>& got,
+                  const std::vector<Neighbor>& want, const char* engine,
+                  uint32_t k) {
+  if (got.size() != want.size() ||
+      (!got.empty() && std::memcmp(got.data(), want.data(),
+                                   got.size() * sizeof(Neighbor)) != 0)) {
+    std::fprintf(stderr,
+                 "E22: %s diverged from tracing-off at k=%u (sizes %zu vs "
+                 "%zu)\n",
+                 engine, k, got.size(), want.size());
+    std::exit(1);
+  }
+}
+
+void Main(bool smoke) {
+  const size_t n_points = smoke ? 4000 : 100000;
+  const size_t n_queries = smoke ? 64 : 2000;
+  const size_t rounds = smoke ? 1 : 15;
+
+  PrintHeader("E22", "distributed tracing overhead (sharded router)");
+  std::printf("%zu uniform points, %u shards x %u workers, %zu queries x "
+              "%zu rounds, 1%% sampling%s\n\n",
+              n_points, kShards, kWorkersPerShard, n_queries, rounds,
+              smoke ? " [smoke]" : "");
+
+  Rng rng(kDataSeed);
+  const auto data =
+      MakePointEntries(GenerateUniform<2>(n_points, UnitBounds<2>(), &rng));
+  ShardSet<2>::Options set_options;
+  set_options.num_shards = kShards;
+  set_options.page_size = kPageSize;
+  set_options.service.num_workers = kWorkersPerShard;
+  auto set = Unwrap(ShardSet<2>::Build(data, set_options), "shard set");
+
+  ShardRouter<2> router_off(set.get());  // defaults: sampling off
+
+  ShardRouter<2>::Options sampled_options;
+  sampled_options.trace_sample_per_million = kTraceSamplePerMillion;
+  ShardRouter<2> router_sampled(set.get(), sampled_options);
+
+  const auto queries = RandomQueries(n_queries, kQuerySeed);
+
+  std::vector<std::pair<std::string, double>> json;
+  Table table({"k", "engine", "qps", "overhead_pct"});
+  double gate_overhead = 0.0;
+
+  for (uint32_t k : {1u, 10u}) {
+    // Bit-identity gate before any timing: the sampled router — and a
+    // request with the trace context explicitly armed, so the traced
+    // path itself is exercised regardless of the sampling draw — must
+    // answer byte-identically to the tracing-off router.
+    for (const Point2& q : queries) {
+      QueryResponse<2> want = router_off.Execute(QueryRequest<2>::Knn(q, k));
+      UnwrapStatus(want.status, "tracing-off knn");
+      QueryResponse<2> got =
+          router_sampled.Execute(QueryRequest<2>::Knn(q, k));
+      UnwrapStatus(got.status, "sampled knn");
+      CheckAnswers(got.neighbors, want.neighbors, "sampled-1pct", k);
+      QueryRequest<2> forced = QueryRequest<2>::Knn(q, k);
+      forced.trace_id = 0xE22E22E22ULL;
+      forced.trace_sampled = true;
+      QueryResponse<2> traced = router_sampled.Execute(forced);
+      UnwrapStatus(traced.status, "forced-trace knn");
+      CheckAnswers(traced.neighbors, want.neighbors, "forced-trace", k);
+    }
+
+    TimedEngine off_engine;
+    off_engine.run = [&](const Point2& q) {
+      QueryResponse<2> r = router_off.Execute(QueryRequest<2>::Knn(q, k));
+      UnwrapStatus(r.status, "tracing-off knn");
+    };
+    TimedEngine sampled_engine;
+    sampled_engine.run = [&](const Point2& q) {
+      QueryResponse<2> r = router_sampled.Execute(QueryRequest<2>::Knn(q, k));
+      UnwrapStatus(r.status, "sampled knn");
+    };
+
+    TimeInterleaved(queries, rounds, {&off_engine, &sampled_engine});
+
+    struct Row {
+      const char* name;
+      const TimedEngine* engine;
+    };
+    for (const Row& row : {Row{"tracing-off", &off_engine},
+                           Row{"sampled-1pct", &sampled_engine}}) {
+      const double qps = row.engine->Qps(queries.size());
+      const double overhead = PairedOverheadPct(off_engine, *row.engine);
+      table.AddRow({std::to_string(k), row.name, FmtDouble(qps, 0),
+                    FmtDouble(overhead, 2)});
+      const std::string suffix =
+          std::string("_") + row.name + "_k" + std::to_string(k);
+      json.emplace_back("qps" + suffix, qps);
+      json.emplace_back("overhead_pct" + suffix, overhead);
+    }
+    gate_overhead = std::max(
+        gate_overhead, PairedOverheadPct(off_engine, sampled_engine));
+  }
+
+  // The sampled router must actually have traced: every gate query with
+  // the context armed plus ~1% of everything else.
+  const uint64_t recorded = router_sampled.trace_log().total_recorded();
+  if (recorded < 2 * n_queries) {  // >= the forced-trace gate runs
+    std::fprintf(stderr, "E22: sampled router recorded %llu traces, "
+                 "expected >= %llu\n",
+                 (unsigned long long)recorded,
+                 (unsigned long long)(2 * n_queries));
+    std::exit(1);
+  }
+  json.emplace_back("traces_recorded", static_cast<double>(recorded));
+
+  PrintTableAndCsv(table);
+  std::printf("traces recorded by sampled router: %llu\n",
+              (unsigned long long)recorded);
+
+  if (!smoke && gate_overhead > 2.0) {
+    std::fprintf(stderr,
+                 "E22 gate FAILED: 1%% sampling costs %.2f%% qps (budget "
+                 "2%%)\n",
+                 gate_overhead);
+    std::exit(1);
+  }
+
+  const char* json_path =
+      smoke ? "/tmp/BENCH_E22_smoke.json" : "BENCH_E22.json";
+  WriteBenchJson(json_path, json, /*update_manifest=*/!smoke);
+  std::printf("wrote %s\n", json_path);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace spatial
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::string(argv[1]) == "--smoke";
+  spatial::bench::Main(smoke);
+  return 0;
+}

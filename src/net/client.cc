@@ -75,6 +75,17 @@ Result<QueryResponse<D>> RpcClient<D>::Call(const QueryRequest<D>& request) {
       response_buf_.size());
 }
 
+template <int D>
+Result<std::string> RpcClient<D>::Admin(AdminKind kind) {
+  request_buf_.clear();
+  EncodeAdminRequest(kind, &request_buf_);
+  SPATIAL_RETURN_IF_ERROR(SendFrame(fd_, request_buf_));
+  SPATIAL_RETURN_IF_ERROR(RecvFrame(fd_, &response_buf_));
+  return DecodeAdminResponse(
+      reinterpret_cast<const uint8_t*>(response_buf_.data()),
+      response_buf_.size());
+}
+
 template class RpcClient<2>;
 template class RpcClient<3>;
 

@@ -34,6 +34,12 @@ class RpcClient {
   // One round trip. After an error the connection is dead; reconnect.
   Result<QueryResponse<D>> Call(const QueryRequest<D>& request);
 
+  // One admin round trip (net/wire.h AdminKind): returns the opaque text
+  // payload — Prometheus exposition for kScrapeMetrics, the router
+  // slow-log JSON for kDumpSlowLog. Admin frames share the connection
+  // with Call() but bypass the server's admission control.
+  Result<std::string> Admin(AdminKind kind);
+
  private:
   explicit RpcClient(int fd) : fd_(fd) {}
 

@@ -7,6 +7,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <utility>
 
@@ -18,6 +19,13 @@ void CloseFd(int fd) {
   if (fd >= 0) ::close(fd);
 }
 
+uint64_t ElapsedNs(std::chrono::steady_clock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
 }  // namespace
 
 template <int D>
@@ -26,9 +34,15 @@ RpcServer<D>::RpcServer(ShardRouter<D>* router, const Options& options)
   obs::MetricsRegistry& registry = router_->metrics();
   requests_ = registry.AddCounter("spatial_rpc_requests_total",
                                   "Requests received over RPC");
+  admin_requests_ = registry.AddCounter(
+      "spatial_rpc_admin_requests_total",
+      "Admin frames answered (metrics scrapes, slow-log dumps)");
   shed_ = registry.AddCounter(
       "spatial_rpc_shed_total",
       "Requests shed by admission control (kOverloaded)");
+  deadline_shed_ = registry.AddCounter(
+      "spatial_rpc_deadline_shed_total",
+      "Requests shed because their deadline hint expired before execution");
   wire_errors_ = registry.AddCounter(
       "spatial_rpc_wire_errors_total",
       "Connections dropped on malformed frames or transport errors");
@@ -175,6 +189,32 @@ void RpcServer<D>::HandleConnection(int fd) {
       if (!recv.IsNotFound()) wire_errors_->Inc();
       break;
     }
+    const auto received = std::chrono::steady_clock::now();
+
+    // Admin frames answer inline and skip admission control, the served
+    // budget, and the request counter — a saturated or nearly-max_requests
+    // server must still answer a metrics scrape without disturbing the
+    // query budget scripted drivers count on.
+    if (IsAdminRequest(reinterpret_cast<const uint8_t*>(payload.data()),
+                       payload.size())) {
+      admin_requests_->Inc();
+      Result<AdminKind> kind = DecodeAdminRequest(
+          reinterpret_cast<const uint8_t*>(payload.data()), payload.size());
+      reply.clear();
+      if (!kind.ok()) {
+        EncodeAdminResponse(kind.status(), "", &reply);
+      } else if (*kind == AdminKind::kScrapeMetrics) {
+        EncodeAdminResponse(Status::OK(), router_->ScrapeMetrics(), &reply);
+      } else {
+        EncodeAdminResponse(Status::OK(), router_->trace_log().DumpJson(),
+                            &reply);
+      }
+      if (!SendFrame(fd, reply).ok()) {
+        wire_errors_->Inc();
+        break;
+      }
+      continue;
+    }
     requests_->Inc();
 
     QueryResponse<D> response;
@@ -182,6 +222,15 @@ void RpcServer<D>::HandleConnection(int fd) {
         reinterpret_cast<const uint8_t*>(payload.data()), payload.size());
     if (!request.ok()) {
       response.status = request.status();
+    } else if (request->deadline_budget_ns != 0 &&
+               ElapsedNs(received) >= request->deadline_budget_ns) {
+      // The caller's remaining patience elapsed before we could start
+      // (or it sent 1 to say it already had): shed without touching a
+      // shard. Deliberately not counted in shed_ — operators alert on
+      // capacity sheds and deadline sheds separately.
+      deadline_shed_->Inc();
+      response.status =
+          Status::Overloaded("deadline expired before execution");
     } else {
       // Admission control: reserve a slot or shed. The increment happens
       // before the router sees the request, so the budget bounds shard

@@ -27,7 +27,14 @@ namespace spatial {
 // immediately — the client receives a well-formed response whose status is
 // kOverloaded and no shard ever sees the request — so overload degrades
 // into fast, explicit rejections instead of unbounded queueing (E19
-// measures the accepted-request p99 under 2x overload).
+// measures the accepted-request p99 under 2x overload). A wire-v3 request
+// carrying a deadline hint whose budget has already elapsed on arrival is
+// shed the same way (spatial_rpc_deadline_shed_total): work the caller has
+// stopped waiting for must not occupy a shard worker.
+//
+// Admin frames (net/wire.h AdminKind) are answered inline, bypass both
+// admission checks, and do not count toward max_requests — an overloaded
+// or nearly-done server must still be observable.
 //
 // Instruments land in the router's registry, so one scrape covers the
 // connection gauge, shed counter, and request totals alongside the router
@@ -103,7 +110,9 @@ class RpcServer {
   bool joined_ = false;
   // Instruments (owned by the router's registry).
   obs::Counter* requests_;
+  obs::Counter* admin_requests_;
   obs::Counter* shed_;
+  obs::Counter* deadline_shed_;
   obs::Counter* wire_errors_;
   obs::Gauge* connections_;
   obs::Counter* connections_total_;

@@ -147,6 +147,71 @@ Status MakeStatus(uint8_t code, const std::string& msg) {
 
 Status Truncated() { return Status::Corruption("wire: truncated frame"); }
 
+void PutQueryStats(std::string* out, const QueryStats& s) {
+  PutU64(out, s.nodes_visited);
+  PutU64(out, s.leaf_nodes_visited);
+  PutU64(out, s.internal_nodes_visited);
+  PutU64(out, s.abl_entries_generated);
+  PutU64(out, s.pruned_s1);
+  PutU64(out, s.estimate_updates_s2);
+  PutU64(out, s.pruned_s3);
+  PutU64(out, s.pruned_leaf);
+  PutU64(out, s.objects_examined);
+  PutU64(out, s.distance_computations);
+  PutU64(out, s.heap_pushes);
+  PutU64(out, s.heap_pops);
+}
+
+void GetQueryStats(Reader& r, QueryStats* s) {
+  s->nodes_visited = r.U64();
+  s->leaf_nodes_visited = r.U64();
+  s->internal_nodes_visited = r.U64();
+  s->abl_entries_generated = r.U64();
+  s->pruned_s1 = r.U64();
+  s->estimate_updates_s2 = r.U64();
+  s->pruned_s3 = r.U64();
+  s->pruned_leaf = r.U64();
+  s->objects_examined = r.U64();
+  s->distance_computations = r.U64();
+  s->heap_pushes = r.U64();
+  s->heap_pops = r.U64();
+}
+
+// The embedded per-shard trace record (wire v3): encoded only when the
+// response's has_trace flag byte is 1.
+void PutTraceRecord(std::string* out, const obs::QueryTraceRecord& t) {
+  PutU32(out, t.worker);
+  PutU32(out, t.k);
+  for (size_t i = 0; i < sizeof(t.kind_name); ++i) {
+    PutU8(out, static_cast<uint8_t>(t.kind_name[i]));
+  }
+  PutU64(out, t.latency_ns);
+  PutU64(out, t.queue_wait_ns);
+  PutU8(out, t.traced ? 1 : 0);
+  PutQueryStats(out, t.stats);
+  for (uint32_t n : t.nodes_per_level) PutU32(out, n);
+}
+
+Status GetTraceRecord(Reader& r, obs::QueryTraceRecord* t) {
+  t->worker = static_cast<uint16_t>(r.U32());
+  t->k = r.U32();
+  for (size_t i = 0; i < sizeof(t->kind_name); ++i) {
+    t->kind_name[i] = static_cast<char>(r.U8());
+  }
+  // Never trust the peer to terminate the name.
+  t->kind_name[sizeof(t->kind_name) - 1] = '\0';
+  t->latency_ns = r.U64();
+  t->queue_wait_ns = r.U64();
+  const uint8_t traced = r.U8();
+  if (r.ok() && traced > 1) {
+    return Status::Corruption("wire: bad trace record flag");
+  }
+  t->traced = traced != 0;
+  GetQueryStats(r, &t->stats);
+  for (uint32_t& n : t->nodes_per_level) n = r.U32();
+  return Status::OK();
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -172,6 +237,12 @@ void EncodeRequest(const QueryRequest<D>& request, std::string* out) {
   PutF64(out, request.knn.epsilon);
   PutU64(out, request.knn.max_visits);
   PutU8(out, request.rknn_candidates_only ? 1 : 0);
+  // Wire version 3 additions: the propagated trace context and the
+  // deadline hint, again ahead of the variable tail.
+  PutU64(out, request.trace_id);
+  PutU64(out, request.parent_span_id);
+  PutU8(out, request.trace_sampled ? 1 : 0);
+  PutU64(out, request.deadline_budget_ns);
   PutU32(out, static_cast<uint32_t>(request.batch_queries.size()));
   for (const Point<D>& p : request.batch_queries) PutPoint<D>(out, p);
 }
@@ -207,6 +278,14 @@ Result<QueryRequest<D>> DecodeRequest(const uint8_t* data, size_t len) {
     return Status::Corruption("wire: bad rknn_candidates_only flag");
   }
   request.rknn_candidates_only = candidates_only != 0;
+  request.trace_id = r.U64();
+  request.parent_span_id = r.U64();
+  const uint8_t sampled = r.U8();
+  if (sampled > 1) {
+    return Status::Corruption("wire: bad trace_sampled flag");
+  }
+  request.trace_sampled = sampled != 0;
+  request.deadline_budget_ns = r.U64();
   const uint32_t num_batch = r.U32();
   if (!r.CanHold(num_batch, D * sizeof(double))) return Truncated();
   request.batch_queries.reserve(num_batch);
@@ -238,23 +317,15 @@ void EncodeResponse(const QueryResponse<D>& response, std::string* out) {
   }
   PutU32(out, static_cast<uint32_t>(response.batch_offsets.size()));
   for (uint32_t off : response.batch_offsets) PutU32(out, off);
-  const QueryStats& s = response.stats;
-  PutU64(out, s.nodes_visited);
-  PutU64(out, s.leaf_nodes_visited);
-  PutU64(out, s.internal_nodes_visited);
-  PutU64(out, s.abl_entries_generated);
-  PutU64(out, s.pruned_s1);
-  PutU64(out, s.estimate_updates_s2);
-  PutU64(out, s.pruned_s3);
-  PutU64(out, s.pruned_leaf);
-  PutU64(out, s.objects_examined);
-  PutU64(out, s.distance_computations);
-  PutU64(out, s.heap_pushes);
-  PutU64(out, s.heap_pops);
+  PutQueryStats(out, response.stats);
   PutU64(out, response.latency_ns);
   PutU32(out, response.worker_id);
   PutU64(out, response.lsn);
   PutU64(out, response.affected);
+  // Wire version 3: the shard's trace record rides the response when the
+  // request was sampled (a flag byte, then the fixed-size record).
+  PutU8(out, response.has_trace ? 1 : 0);
+  if (response.has_trace) PutTraceRecord(out, response.trace);
 }
 
 template <int D>
@@ -295,25 +366,82 @@ Result<QueryResponse<D>> DecodeResponse(const uint8_t* data, size_t len) {
   for (uint32_t i = 0; i < num_offsets; ++i) {
     response.batch_offsets.push_back(r.U32());
   }
-  QueryStats& s = response.stats;
-  s.nodes_visited = r.U64();
-  s.leaf_nodes_visited = r.U64();
-  s.internal_nodes_visited = r.U64();
-  s.abl_entries_generated = r.U64();
-  s.pruned_s1 = r.U64();
-  s.estimate_updates_s2 = r.U64();
-  s.pruned_s3 = r.U64();
-  s.pruned_leaf = r.U64();
-  s.objects_examined = r.U64();
-  s.distance_computations = r.U64();
-  s.heap_pushes = r.U64();
-  s.heap_pops = r.U64();
+  GetQueryStats(r, &response.stats);
   response.latency_ns = r.U64();
   response.worker_id = r.U32();
   response.lsn = r.U64();
   response.affected = r.U64();
+  const uint8_t has_trace = r.U8();
+  if (r.ok() && has_trace > 1) {
+    return Status::Corruption("wire: bad has_trace flag");
+  }
+  response.has_trace = has_trace != 0;
+  if (response.has_trace) {
+    SPATIAL_RETURN_IF_ERROR(GetTraceRecord(r, &response.trace));
+  }
   if (!r.AtEnd()) return Truncated();
   return response;
+}
+
+// ---------------------------------------------------------------------------
+// Admin frame codecs. A one-byte request (the AdminKind tag, from the
+// reserved 0xF0+ range so it can never collide with a QueryKind) and a
+// status + text response.
+
+bool IsAdminRequest(const uint8_t* data, size_t len) {
+  return len >= 1 && data[0] >= static_cast<uint8_t>(AdminKind::kScrapeMetrics);
+}
+
+void EncodeAdminRequest(AdminKind kind, std::string* out) {
+  PutU8(out, static_cast<uint8_t>(kind));
+}
+
+Result<AdminKind> DecodeAdminRequest(const uint8_t* data, size_t len) {
+  Reader r(data, len);
+  const uint8_t tag = r.U8();
+  if (!r.ok()) return Truncated();
+  if (tag != static_cast<uint8_t>(AdminKind::kScrapeMetrics) &&
+      tag != static_cast<uint8_t>(AdminKind::kDumpSlowLog)) {
+    return Status::Corruption("wire: unknown admin request kind");
+  }
+  if (!r.AtEnd()) return Truncated();
+  return static_cast<AdminKind>(tag);
+}
+
+void EncodeAdminResponse(const Status& status, const std::string& text,
+                         std::string* out) {
+  PutU8(out, static_cast<uint8_t>(status.code()));
+  const std::string& msg = status.message();
+  PutU32(out, static_cast<uint32_t>(msg.size()));
+  out->append(msg);
+  PutU32(out, static_cast<uint32_t>(text.size()));
+  out->append(text);
+}
+
+Result<std::string> DecodeAdminResponse(const uint8_t* data, size_t len) {
+  Reader r(data, len);
+  const uint8_t code = r.U8();
+  if (code > static_cast<uint8_t>(Status::Code::kOverloaded)) {
+    return Status::Corruption("wire: unknown status code");
+  }
+  const uint32_t msg_len = r.U32();
+  if (!r.CanHold(msg_len, 1)) return Truncated();
+  std::string msg;
+  msg.reserve(msg_len);
+  for (uint32_t i = 0; i < msg_len; ++i) {
+    msg.push_back(static_cast<char>(r.U8()));
+  }
+  const uint32_t text_len = r.U32();
+  if (!r.CanHold(text_len, 1)) return Truncated();
+  std::string text;
+  text.reserve(text_len);
+  for (uint32_t i = 0; i < text_len; ++i) {
+    text.push_back(static_cast<char>(r.U8()));
+  }
+  if (!r.AtEnd()) return Truncated();
+  const Status status = MakeStatus(code, msg);
+  if (!status.ok()) return status;
+  return text;
 }
 
 // ---------------------------------------------------------------------------

@@ -28,7 +28,12 @@ namespace spatial {
 // oversized frame returns kCorruption without reading out of bounds.
 
 inline constexpr uint32_t kWireMagic = 0x43525053;  // "SPRC" little-endian
-inline constexpr uint32_t kWireVersion = 2;
+// Version 3 adds the propagated trace context (trace id, parent span,
+// sample flag, deadline hint) to request frames, the optional embedded
+// QueryTraceRecord to response frames, and the admin frame family.
+// Handshakes require an exact version match, so v2 peers are rejected
+// before any frame is parsed.
+inline constexpr uint32_t kWireVersion = 3;
 
 // Upper bound on one frame's payload. Large enough for any realistic
 // batch; small enough that a corrupt length prefix cannot drive an
@@ -40,6 +45,33 @@ struct WireHandshake {
   uint32_t version = kWireVersion;
   uint32_t dim = 0;
 };
+
+// ---------------------------------------------------------------------------
+// Admin frame family (wire v3). Admin requests share the request frame
+// stream but carry a tag byte from a reserved high range, so a server can
+// tell them from query kinds (which are small enum values) by looking at
+// the first payload byte. They bypass admission control — an overloaded
+// server must still be observable — and answer with an admin response
+// frame: status code + message + one opaque text payload (Prometheus
+// exposition for kScrapeMetrics, the router slow-log JSON for
+// kDumpSlowLog).
+enum class AdminKind : uint8_t {
+  kScrapeMetrics = 0xF0,
+  kDumpSlowLog = 0xF1,
+};
+
+// True when a request payload's first byte is in the admin range; such
+// payloads must be decoded with DecodeAdminRequest, not DecodeRequest.
+bool IsAdminRequest(const uint8_t* data, size_t len);
+
+void EncodeAdminRequest(AdminKind kind, std::string* out);
+Result<AdminKind> DecodeAdminRequest(const uint8_t* data, size_t len);
+
+void EncodeAdminResponse(const Status& status, const std::string& text,
+                         std::string* out);
+// On wire success, returns the text payload; an application-level error
+// status travels inside the frame and is surfaced as the Result's error.
+Result<std::string> DecodeAdminResponse(const uint8_t* data, size_t len);
 
 // ---------------------------------------------------------------------------
 // Payload codecs. Encoders append to *out; decoders parse [data, data+len).

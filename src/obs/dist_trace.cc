@@ -1,0 +1,134 @@
+#include "obs/dist_trace.h"
+
+namespace spatial {
+namespace obs {
+
+void AppendRouterTraceJson(std::string* out, const RouterTraceRecord& r) {
+  out->push_back('{');
+  AppendJsonU64(out, "seq", r.seq);
+  AppendJsonU64(out, "trace_id", r.trace_id);
+  AppendJsonU64(out, "root_span_id", r.root_span_id);
+  out->append("\"kind\":\"");
+  out->append(r.kind_name);
+  out->append("\",");
+  AppendJsonU64(out, "k", r.k);
+  out->append(r.traced ? "\"traced\":true," : "\"traced\":false,");
+  out->append("\"spans\":{");
+  AppendJsonU64(out, "queue_ns", r.queue_ns);
+  AppendJsonU64(out, "scatter_ns", r.scatter_ns);
+  AppendJsonU64(out, "merge_ns", r.merge_ns);
+  AppendJsonU64(out, "total_ns", r.total_ns, /*trailing_comma=*/false);
+  out->append("},");
+  AppendJsonU64(out, "num_shards", r.num_shards);
+  AppendJsonU64(out, "straggler", r.straggler);
+  out->append("\"merged_stats\":");
+  AppendQueryStatsJson(out, r.merged_stats);
+  out->append(",\"shards\":[");
+  for (uint32_t i = 0; i < r.captured_shards(); ++i) {
+    const ShardSpan& s = r.shards[i];
+    if (i != 0) out->push_back(',');
+    out->push_back('{');
+    AppendJsonU64(out, "shard", s.shard);
+    AppendJsonU64(out, "worker", s.worker);
+    out->append(s.traced ? "\"traced\":true," : "\"traced\":false,");
+    AppendJsonU64(out, "rpc_ns", s.rpc_ns);
+    AppendJsonU64(out, "queue_wait_ns", s.queue_wait_ns);
+    AppendJsonU64(out, "execute_ns", s.execute_ns);
+    // The transport/observation share of the round trip: what is left
+    // after the shard's own queue-wait and execute accounting.
+    const uint64_t accounted = s.queue_wait_ns + s.execute_ns;
+    AppendJsonU64(out, "overhead_ns",
+                  s.rpc_ns > accounted ? s.rpc_ns - accounted : 0);
+    out->append("\"stats\":");
+    AppendQueryStatsJson(out, s.stats);
+    out->append(",\"nodes_per_level\":");
+    AppendLevelsJson(out, s.nodes_per_level);
+    out->push_back('}');
+  }
+  out->push_back(']');
+  if (r.num_shards > kMaxTraceShards) {
+    out->append(",\"shards_truncated\":true");
+  }
+  out->push_back('}');
+}
+
+DistTraceLog::DistTraceLog(const Options& options) : options_(options) {
+  slow_.reserve(options_.slow_capacity);
+  sampled_.reserve(options_.sampled_capacity);
+}
+
+void DistTraceLog::Record(const RouterTraceRecord& record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RouterTraceRecord r = record;
+  r.seq = seq_++;
+  if (r.total_ns >= options_.slow_threshold_ns && options_.slow_capacity > 0) {
+    if (slow_.size() < options_.slow_capacity) {
+      slow_.push_back(r);  // within reserved capacity: no allocation
+    } else {
+      slow_[slow_next_] = r;
+      slow_next_ = (slow_next_ + 1) % options_.slow_capacity;
+    }
+    return;
+  }
+  if (options_.sampled_capacity == 0) return;
+  ++sampled_seen_;
+  if (sampled_.size() < options_.sampled_capacity) {
+    sampled_.push_back(r);
+    return;
+  }
+  // Reservoir (algorithm R): replace a uniformly random slot with
+  // probability capacity / seen.
+  const uint64_t slot = NextRandom(&rng_) % sampled_seen_;
+  if (slot < options_.sampled_capacity) {
+    sampled_[static_cast<size_t>(slot)] = r;
+  }
+}
+
+uint64_t DistTraceLog::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return seq_;
+}
+
+size_t DistTraceLog::slow_captured() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slow_.size();
+}
+
+size_t DistTraceLog::sampled_captured() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sampled_.size();
+}
+
+std::vector<RouterTraceRecord> DistTraceLog::SlowEntries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slow_;
+}
+
+std::vector<RouterTraceRecord> DistTraceLog::SampledEntries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sampled_;
+}
+
+std::string DistTraceLog::DumpJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  out.reserve(256 + 1024 * (slow_.size() + sampled_.size()));
+  out.push_back('{');
+  AppendJsonU64(&out, "slow_threshold_ns", options_.slow_threshold_ns);
+  AppendJsonU64(&out, "total_recorded", seq_);
+  out.append("\"slow\":[");
+  for (size_t i = 0; i < slow_.size(); ++i) {
+    if (i != 0) out.push_back(',');
+    AppendRouterTraceJson(&out, slow_[i]);
+  }
+  out.append("],\"sampled\":[");
+  for (size_t i = 0; i < sampled_.size(); ++i) {
+    if (i != 0) out.push_back(',');
+    AppendRouterTraceJson(&out, sampled_[i]);
+  }
+  out.append("]}");
+  return out;
+}
+
+}  // namespace obs
+}  // namespace spatial

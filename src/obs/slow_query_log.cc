@@ -6,54 +6,67 @@
 namespace spatial {
 namespace obs {
 
-namespace {
-
-void AppendU64(std::string* out, const char* key, uint64_t v,
-               bool trailing_comma = true) {
+void AppendJsonU64(std::string* out, const char* key, uint64_t v,
+                   bool trailing_comma) {
   char buf[96];
   std::snprintf(buf, sizeof(buf), "\"%s\":%" PRIu64 "%s", key, v,
                 trailing_comma ? "," : "");
   out->append(buf);
 }
 
-void AppendRecordJson(std::string* out, const QueryTraceRecord& r) {
+void AppendQueryStatsJson(std::string* out, const QueryStats& s) {
   out->push_back('{');
-  AppendU64(out, "seq", r.seq);
-  AppendU64(out, "worker", r.worker);
-  out->append("\"kind\":\"");
-  out->append(r.kind_name);
-  out->append("\",");
-  AppendU64(out, "k", r.k);
-  AppendU64(out, "latency_ns", r.latency_ns);
-  AppendU64(out, "queue_wait_ns", r.queue_wait_ns);
-  out->append(r.traced ? "\"traced\":true," : "\"traced\":false,");
-  out->append("\"stats\":{");
-  AppendU64(out, "nodes_visited", r.stats.nodes_visited);
-  AppendU64(out, "leaf_nodes_visited", r.stats.leaf_nodes_visited);
-  AppendU64(out, "internal_nodes_visited", r.stats.internal_nodes_visited);
-  AppendU64(out, "abl_entries_generated", r.stats.abl_entries_generated);
-  AppendU64(out, "pruned_s1", r.stats.pruned_s1);
-  AppendU64(out, "estimate_updates_s2", r.stats.estimate_updates_s2);
-  AppendU64(out, "pruned_s3", r.stats.pruned_s3);
-  AppendU64(out, "pruned_leaf", r.stats.pruned_leaf);
-  AppendU64(out, "objects_examined", r.stats.objects_examined);
-  AppendU64(out, "distance_computations", r.stats.distance_computations);
-  AppendU64(out, "heap_pushes", r.stats.heap_pushes);
-  AppendU64(out, "heap_pops", r.stats.heap_pops, /*trailing_comma=*/false);
-  out->append("},\"nodes_per_level\":[");
+  AppendJsonU64(out, "nodes_visited", s.nodes_visited);
+  AppendJsonU64(out, "leaf_nodes_visited", s.leaf_nodes_visited);
+  AppendJsonU64(out, "internal_nodes_visited", s.internal_nodes_visited);
+  AppendJsonU64(out, "abl_entries_generated", s.abl_entries_generated);
+  AppendJsonU64(out, "pruned_s1", s.pruned_s1);
+  AppendJsonU64(out, "estimate_updates_s2", s.estimate_updates_s2);
+  AppendJsonU64(out, "pruned_s3", s.pruned_s3);
+  AppendJsonU64(out, "pruned_leaf", s.pruned_leaf);
+  AppendJsonU64(out, "objects_examined", s.objects_examined);
+  AppendJsonU64(out, "distance_computations", s.distance_computations);
+  AppendJsonU64(out, "heap_pushes", s.heap_pushes);
+  AppendJsonU64(out, "heap_pops", s.heap_pops, /*trailing_comma=*/false);
+  out->push_back('}');
+}
+
+void AppendLevelsJson(std::string* out,
+                      const uint32_t (&nodes_per_level)[kTraceMaxLevels]) {
   // Emit levels 0..top where top is the highest non-zero level (leaf
   // level always emitted so the array is never empty).
   int top = 0;
   for (int i = 0; i < kTraceMaxLevels; ++i) {
-    if (r.nodes_per_level[i] != 0) top = i;
+    if (nodes_per_level[i] != 0) top = i;
   }
+  out->push_back('[');
   char buf[32];
   for (int i = 0; i <= top; ++i) {
     std::snprintf(buf, sizeof(buf), "%s%u", i == 0 ? "" : ",",
-                  r.nodes_per_level[i]);
+                  nodes_per_level[i]);
     out->append(buf);
   }
-  out->append("]}");
+  out->push_back(']');
+}
+
+namespace {
+
+void AppendRecordJson(std::string* out, const QueryTraceRecord& r) {
+  out->push_back('{');
+  AppendJsonU64(out, "seq", r.seq);
+  AppendJsonU64(out, "worker", r.worker);
+  out->append("\"kind\":\"");
+  out->append(r.kind_name);
+  out->append("\",");
+  AppendJsonU64(out, "k", r.k);
+  AppendJsonU64(out, "latency_ns", r.latency_ns);
+  AppendJsonU64(out, "queue_wait_ns", r.queue_wait_ns);
+  out->append(r.traced ? "\"traced\":true," : "\"traced\":false,");
+  out->append("\"stats\":");
+  AppendQueryStatsJson(out, r.stats);
+  out->append(",\"nodes_per_level\":");
+  AppendLevelsJson(out, r.nodes_per_level);
+  out->push_back('}');
 }
 
 }  // namespace
@@ -121,8 +134,8 @@ std::string SlowQueryLog::DumpJson() const {
   std::string out;
   out.reserve(256 + 512 * (slow_.size() + sampled_.size()));
   out.push_back('{');
-  AppendU64(&out, "slow_threshold_ns", options_.slow_threshold_ns);
-  AppendU64(&out, "total_recorded", seq_);
+  AppendJsonU64(&out, "slow_threshold_ns", options_.slow_threshold_ns);
+  AppendJsonU64(&out, "total_recorded", seq_);
   out.append("\"slow\":[");
   for (size_t i = 0; i < slow_.size(); ++i) {
     if (i != 0) out.push_back(',');

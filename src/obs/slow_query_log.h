@@ -13,6 +13,17 @@
 namespace spatial {
 namespace obs {
 
+// JSON building blocks shared by every trace dump (this log's DumpJson
+// and the router's DistTraceLog in obs/dist_trace.h), so the schema of a
+// stats block or a per-level array is identical wherever it appears.
+void AppendJsonU64(std::string* out, const char* key, uint64_t v,
+                   bool trailing_comma = true);
+void AppendQueryStatsJson(std::string* out, const QueryStats& s);
+// `[n0,n1,...]` trimmed to the highest non-zero level (leaf level always
+// present).
+void AppendLevelsJson(std::string* out,
+                      const uint32_t (&nodes_per_level)[kTraceMaxLevels]);
+
 // One captured query: fixed-size POD so recording never allocates.
 struct QueryTraceRecord {
   uint64_t seq = 0;       // capture order, assigned by the log

@@ -209,8 +209,13 @@ void QueryService<D>::WorkerLoop(Worker* worker, uint32_t worker_id) {
     worker->queue_wait.Record(queue_wait_ns);
     // Per-query sampling draw; an armed scratch.trace pointer is the only
     // thing the traversals see (one pointer test per node visit; nothing
-    // allocates on either path).
+    // allocates on either path). A propagated trace context (wire v3:
+    // trace_id + trace_sampled) forces the draw, so a router-sampled
+    // request is traced by every shard it scatters to.
+    const bool forced =
+        task->request.trace_sampled && task->request.trace_id != 0;
     const bool sampled =
+        forced ||
         obs::SampleDraw(&worker->rng, options_.trace_sample_per_million);
     if (sampled) {
       worker->trace_ctx.Reset();
@@ -286,6 +291,11 @@ void QueryService<D>::WorkerLoop(Worker* worker, uint32_t worker_id) {
         for (int l = 0; l < obs::kTraceMaxLevels; ++l) {
           rec.nodes_per_level[l] = worker->trace_ctx.nodes_per_level[l];
         }
+        // The response carries the record back to the caller — over the
+        // wire when the request rode a sampled trace context, so the
+        // router can place this shard's span inside the assembled trace.
+        response.trace = rec;
+        response.has_trace = true;
       }
       slow_log_->Record(rec);
     }

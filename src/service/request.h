@@ -10,6 +10,7 @@
 #include "core/query_stats.h"
 #include "geom/point.h"
 #include "geom/rect.h"
+#include "obs/slow_query_log.h"
 #include "rtree/entry.h"
 
 namespace spatial {
@@ -119,6 +120,21 @@ struct QueryRequest {
   // and return the candidates (with geometry) as `entries` — the shard
   // router verifies them against the global tree itself.
   bool rknn_candidates_only = false;
+
+  // Distributed trace context (wire v3, docs/OBSERVABILITY.md). A nonzero
+  // trace_id with trace_sampled set forces the executing service to trace
+  // this query regardless of its own sampling rate and to return its
+  // QueryTraceRecord in the response — the shard router stamps these into
+  // every scattered copy of a sampled request and assembles the returned
+  // records into one cross-shard trace.
+  uint64_t trace_id = 0;        // 0 = not part of a distributed trace
+  uint64_t parent_span_id = 0;  // the router's root span (0 at the root)
+  bool trace_sampled = false;   // force-sample + return the trace record
+  // Deadline hint: the remaining time the caller will wait, 0 = none.
+  // The RPC server sheds a request whose budget has already elapsed on
+  // arrival as kOverloaded before any shard sees it (a caller that knows
+  // its deadline passed sends 1 to make that explicit).
+  uint64_t deadline_budget_ns = 0;
 
   static QueryRequest Knn(const Point<D>& q, uint32_t k) {
     QueryRequest r;
@@ -244,6 +260,14 @@ struct QueryResponse {
   // (inserts always do; a delete counts only an exact match).
   uint64_t lsn = 0;
   uint64_t affected = 0;
+  // Sampled tracing: the worker's capture of this query (full QueryStats,
+  // per-level node counts, queue-wait/execute spans), filled whenever the
+  // query was traced — by the service's own sampling draw or the
+  // request's propagated trace_sampled flag. Fixed-size POD, so carrying
+  // it keeps the response allocation-free; the wire codec only encodes it
+  // when has_trace is set.
+  bool has_trace = false;
+  obs::QueryTraceRecord trace;
 
   bool ok() const { return status.ok(); }
 };

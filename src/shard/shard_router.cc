@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstring>
 #include <future>
 #include <limits>
 #include <utility>
@@ -35,21 +36,16 @@ uint64_t ElapsedNs(std::chrono::steady_clock::time_point start) {
 
 template <int D>
 ShardRouter<D>::ShardRouter(ShardSet<D>* shards, const Options& options)
-    : shards_(shards), options_(options) {
+    : shards_(shards),
+      options_(options),
+      trace_log_(obs::DistTraceLog::Options{options.slow_log_capacity,
+                                            options.sampled_log_capacity,
+                                            options.slow_threshold_ns}) {
   RegisterMetrics();
 }
 
 template <int D>
 void ShardRouter<D>::RegisterMetrics() {
-  for (int k = 0; k < kNumQueryKinds; ++k) {
-    // Kind names like "top-k" carry hyphens, which are legal in label
-    // values but not in Prometheus metric names — fold them to '_'.
-    std::string name = std::string("spatial_router_requests_total_") +
-                       QueryKindName(static_cast<QueryKind>(k));
-    std::replace(name.begin(), name.end(), '-', '_');
-    requests_by_kind_[k] =
-        metrics_.AddCounter(name, "Router requests of this kind");
-  }
   failed_ = metrics_.AddCounter("spatial_router_requests_failed_total",
                                 "Router requests that returned an error");
   rknn_candidates_ = metrics_.AddCounter(
@@ -58,9 +54,44 @@ void ShardRouter<D>::RegisterMetrics() {
   rknn_verify_rounds_ = metrics_.AddCounter(
       "spatial_router_rknn_verify_rounds_total",
       "Cross-shard kNN rounds issued to verify reverse-kNN candidates");
+  traces_assembled_ = metrics_.AddCounter(
+      "spatial_router_traces_assembled_total",
+      "Sampled cross-shard traces assembled from per-shard trace records");
   merge_ns_ = metrics_.AddHistogram(
       "spatial_router_merge_ns",
       "Scatter-gather wall time per request (submit to merged answer)");
+
+  // Requests by kind: one spatial_router_requests_total family, one sample
+  // per kind labelled kind="..." (label values keep the hyphenated kind
+  // names — hyphens are legal in label values, unlike metric names). The
+  // cells are relaxed atomics written from any connection thread; the
+  // collector reads them live at scrape time.
+  metrics_.AddCollector([this](obs::ExpositionWriter& writer) {
+    writer.Family("spatial_router_requests_total", "Router requests by kind",
+                  obs::MetricType::kCounter);
+    for (int k = 0; k < kNumQueryKinds; ++k) {
+      writer.Sample(
+          "spatial_router_requests_total",
+          std::string("kind=\"") + QueryKindName(static_cast<QueryKind>(k)) +
+              "\"",
+          requests_by_kind_[k].value());
+    }
+    writer.Family(
+        "spatial_router_traces_recorded_total",
+        "Scatter round trips offered to the router trace log (sampled or "
+        "slow)",
+        obs::MetricType::kCounter);
+    writer.Sample("spatial_router_traces_recorded_total", "",
+                  trace_log_.total_recorded());
+    writer.Family("spatial_router_trace_log_entries",
+                  "Trace-log entries currently retained, by population",
+                  obs::MetricType::kGauge);
+    writer.Sample("spatial_router_trace_log_entries", "population=\"slow\"",
+                  static_cast<uint64_t>(trace_log_.slow_captured()));
+    writer.Sample("spatial_router_trace_log_entries",
+                  "population=\"sampled\"",
+                  static_cast<uint64_t>(trace_log_.sampled_captured()));
+  });
 
   // Per-shard families, labelled shard="i". Reading Snapshot() is safe
   // while workers run (relaxed single-writer counters).
@@ -96,7 +127,7 @@ void ShardRouter<D>::RegisterMetrics() {
 
 template <int D>
 QueryResponse<D> ShardRouter<D>::Execute(const QueryRequest<D>& request) {
-  requests_by_kind_[static_cast<int>(request.kind)]->Inc();
+  requests_by_kind_[static_cast<int>(request.kind)].FetchAdd(1);
   QueryResponse<D> response;
   switch (request.kind) {
     case QueryKind::kKnn:
@@ -128,6 +159,24 @@ QueryResponse<D> ShardRouter<D>::ScatterQuery(const QueryRequest<D>& request) {
   const auto start = std::chrono::steady_clock::now();
   const uint32_t n = shards_->num_shards();
 
+  // Root-of-trace sampling. Each router thread owns a cheap xorshift state
+  // (lazily seeded from its own slot address, so threads diverge without
+  // any shared state); a request is traced when the caller propagated a
+  // sampled context (wire v3) or when the router's own draw fires. The
+  // unsampled path pays one draw here and nothing per shard — the
+  // per-shard completion clocks below run only for sampled requests.
+  thread_local uint64_t tls_rng = 0;
+  if (tls_rng == 0) {
+    tls_rng = 0x9E3779B97F4A7C15ULL ^ reinterpret_cast<uint64_t>(&tls_rng);
+  }
+  const bool external = request.trace_sampled && request.trace_id != 0;
+  const bool sampled =
+      external || obs::SampleDraw(&tls_rng, options_.trace_sample_per_million);
+  const uint64_t trace_id =
+      sampled ? (external ? request.trace_id : (obs::NextRandom(&tls_rng) | 1))
+              : 0;
+  const uint64_t root_span_id = sampled ? (obs::NextRandom(&tls_rng) | 1) : 0;
+
   // One bound per Execute() call, on the stack: concurrent router calls
   // never share a bound, so no reset/epoch protocol is needed. Streaming
   // applies to plain and approximate kNN — the constrained search clips by
@@ -141,6 +190,13 @@ QueryResponse<D> ShardRouter<D>::ScatterQuery(const QueryRequest<D>& request) {
                                 request.kind == QueryKind::kApproxKnn)) {
     scattered.knn.shared_bound = &bound;
   }
+  if (sampled) {
+    // Every scattered copy carries the sampled context, so each shard
+    // force-samples and returns its QueryTraceRecord in the response.
+    scattered.trace_id = trace_id;
+    scattered.parent_span_id = root_span_id;
+    scattered.trace_sampled = true;
+  }
 
   std::vector<std::future<QueryResponse<D>>> futures;
   futures.reserve(n);
@@ -148,9 +204,16 @@ QueryResponse<D> ShardRouter<D>::ScatterQuery(const QueryRequest<D>& request) {
     futures.push_back(shards_->shard(s).Submit(scattered));
   }
 
+  uint64_t completed_ns[obs::kMaxTraceShards] = {};
   std::vector<QueryResponse<D>> answers;
   answers.reserve(n);
-  for (auto& f : futures) answers.push_back(f.get());
+  for (uint32_t s = 0; s < n; ++s) {
+    answers.push_back(futures[s].get());
+    if (sampled && s < obs::kMaxTraceShards) {
+      completed_ns[s] = ElapsedNs(start);
+    }
+  }
+  const uint64_t scatter_ns = ElapsedNs(start);
 
   QueryResponse<D> merged;
   for (const auto& a : answers) {
@@ -161,7 +224,13 @@ QueryResponse<D> ShardRouter<D>::ScatterQuery(const QueryRequest<D>& request) {
     merged.latency_ns = std::max(merged.latency_ns, a.latency_ns);
   }
   if (!merged.status.ok()) {
-    merge_ns_->Record(ElapsedNs(start));
+    const uint64_t total_ns = ElapsedNs(start);
+    merge_ns_->Record(total_ns);
+    if (sampled || total_ns >= trace_log_.slow_threshold_ns()) {
+      RecordScatterTrace(request, sampled, trace_id, root_span_id, answers,
+                         sampled ? completed_ns : nullptr, scatter_ns,
+                         total_ns, merged.stats);
+    }
     return merged;
   }
 
@@ -268,8 +337,68 @@ QueryResponse<D> ShardRouter<D>::ScatterQuery(const QueryRequest<D>& request) {
       break;
   }
 
-  merge_ns_->Record(ElapsedNs(start));
+  const uint64_t total_ns = ElapsedNs(start);
+  merge_ns_->Record(total_ns);
+  if (sampled || total_ns >= trace_log_.slow_threshold_ns()) {
+    RecordScatterTrace(request, sampled, trace_id, root_span_id, answers,
+                       sampled ? completed_ns : nullptr, scatter_ns, total_ns,
+                       merged.stats);
+  }
   return merged;
+}
+
+// Assembles the root spans, one ShardSpan per answer, the slowest-shard
+// queue wait, and the straggler shard into a RouterTraceRecord, then
+// offers it to the trace log (slow ring or sampled reservoir — the log
+// routes by total_ns). For unsampled slow captures `completed_ns` is null
+// and the per-shard detail degrades to what every answer carries anyway
+// (execute time + merged stats).
+template <int D>
+void ShardRouter<D>::RecordScatterTrace(
+    const QueryRequest<D>& request, bool sampled, uint64_t trace_id,
+    uint64_t root_span_id, const std::vector<QueryResponse<D>>& answers,
+    const uint64_t* completed_ns, uint64_t scatter_ns, uint64_t total_ns,
+    const QueryStats& merged_stats) {
+  obs::RouterTraceRecord rec;
+  rec.trace_id = trace_id;
+  rec.root_span_id = root_span_id;
+  rec.SetKindName(QueryKindName(request.kind));
+  rec.k = request.kind == QueryKind::kTopK ? request.top_k : request.knn.k;
+  rec.traced = sampled;
+  rec.scatter_ns = scatter_ns;
+  rec.merge_ns = total_ns - scatter_ns;
+  rec.total_ns = total_ns;
+  rec.num_shards = static_cast<uint32_t>(answers.size());
+  rec.merged_stats = merged_stats;
+
+  uint64_t worst = 0;
+  for (uint32_t s = 0; s < rec.captured_shards(); ++s) {
+    obs::ShardSpan& span = rec.shards[s];
+    const QueryResponse<D>& a = answers[s];
+    span.shard = s;
+    span.execute_ns = a.latency_ns;
+    span.stats = a.stats;
+    if (completed_ns != nullptr) span.rpc_ns = completed_ns[s];
+    if (a.has_trace) {
+      span.traced = true;
+      span.worker = a.trace.worker;
+      span.queue_wait_ns = a.trace.queue_wait_ns;
+      std::memcpy(span.nodes_per_level, a.trace.nodes_per_level,
+                  sizeof(span.nodes_per_level));
+      rec.queue_ns = std::max(rec.queue_ns, span.queue_wait_ns);
+    }
+    // Straggler = largest router-observed round trip; without one (slow
+    // capture of an unsampled request) fall back to the shard's own
+    // queue + execute accounting.
+    const uint64_t cost =
+        span.rpc_ns != 0 ? span.rpc_ns : span.queue_wait_ns + span.execute_ns;
+    if (cost > worst) {
+      worst = cost;
+      rec.straggler = s;
+    }
+  }
+  if (sampled) traces_assembled_->Inc();
+  trace_log_.Record(rec);
 }
 
 template <int D>

@@ -3,8 +3,12 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
+#include "obs/dist_trace.h"
 #include "obs/metrics.h"
+#include "obs/stat_counter.h"
+#include "obs/trace.h"
 #include "service/request.h"
 #include "shard/shard_set.h"
 
@@ -47,14 +51,37 @@ namespace spatial {
 // epsilon contract is preserved for kApproxKnn; E19 measures the pages
 // saved.
 //
+// Distributed tracing (docs/OBSERVABILITY.md "Distributed traces"): the
+// router is the root of a trace. A scatter-family request is traced when
+// it arrives carrying a sampled wire-v3 trace context (trace_id +
+// trace_sampled, stamped by a remote caller) or when the router's own
+// per-million sampling draw fires. Either way the router stamps the
+// context into every scattered copy, each shard force-samples and returns
+// its QueryTraceRecord in the response, and the router assembles one
+// RouterTraceRecord — root spans (queue, scatter, merge), one ShardSpan
+// per shard with the network-vs-execute split, and the straggler shard —
+// into its DistTraceLog. Requests whose scatter-gather round trip crosses
+// the slow threshold are captured in the same log even when unsampled
+// (without the per-shard queue-wait / per-level detail only a sampled
+// round trip carries).
+//
 // Thread-safe: Execute() may be called from any number of threads (the
 // RPC server's connection threads do exactly that); all shared state is
-// the shards' own MPMC queues and the router's lock-free instruments.
+// the shards' own MPMC queues, the router's lock-free instruments, and
+// the trace log's preallocated mutexed ring.
 template <int D>
 class ShardRouter {
  public:
   struct Options {
     bool stream_bound = true;
+    // Router-side trace sampling: 0 = off (requests still trace when the
+    // caller propagated a sampled context), 10000 = 1%.
+    uint32_t trace_sample_per_million = 0;
+    // Router slow-query log (scatter-gather round trips at or above the
+    // threshold are captured whether sampled or not).
+    uint64_t slow_threshold_ns = 10'000'000;  // 10 ms
+    size_t slow_log_capacity = 64;
+    size_t sampled_log_capacity = 64;
   };
 
   // `shards` must outlive the router.
@@ -76,20 +103,36 @@ class ShardRouter {
   obs::MetricsRegistry& metrics() { return metrics_; }
   std::string ScrapeMetrics() const { return metrics_.ScrapeText(); }
 
+  // Assembled cross-shard traces and router-slow captures (slow ring +
+  // reservoir; DumpJson backs the kDumpSlowLog admin frame).
+  const obs::DistTraceLog& trace_log() const { return trace_log_; }
+
  private:
   QueryResponse<D> ScatterQuery(const QueryRequest<D>& request);
   QueryResponse<D> RouteReverseKnn(const QueryRequest<D>& request);
   QueryResponse<D> RouteInsert(const QueryRequest<D>& request);
   QueryResponse<D> Broadcast(const QueryRequest<D>& request);
   void RegisterMetrics();
+  // Builds and records the RouterTraceRecord for one scatter round trip.
+  // `completed_ns` holds per-shard router-observed completion times
+  // (null when the request was not sampled).
+  void RecordScatterTrace(const QueryRequest<D>& request, bool sampled,
+                          uint64_t trace_id, uint64_t root_span_id,
+                          const std::vector<QueryResponse<D>>& answers,
+                          const uint64_t* completed_ns, uint64_t scatter_ns,
+                          uint64_t total_ns, const QueryStats& merged_stats);
 
   ShardSet<D>* shards_;
   Options options_;
   obs::MetricsRegistry metrics_;
-  obs::Counter* requests_by_kind_[kNumQueryKinds] = {};
+  obs::DistTraceLog trace_log_;
+  // Multi-writer cells exposed as one spatial_router_requests_total
+  // family labelled kind="..." by a scrape-time collector.
+  obs::StatCounter requests_by_kind_[kNumQueryKinds];
   obs::Counter* failed_;
   obs::Counter* rknn_candidates_;     // survivors of the global re-selection
   obs::Counter* rknn_verify_rounds_;  // cross-shard verification kNNs issued
+  obs::Counter* traces_assembled_;    // sampled cross-shard traces built
   obs::PowerHistogram* merge_ns_;
 };
 

@@ -166,12 +166,15 @@ TEST(AdvancedShardTest, RouterExposesPerKindAndRknnMetrics) {
   router.Execute(QueryRequest<2>::NnSkyline({{{0.2, 0.2}}, {{0.7, 0.7}}}));
   router.Execute(QueryRequest<2>::ApproxKnn({{0.5, 0.5}}, 5, 0.5));
   const std::string scrape = router.ScrapeMetrics();
-  EXPECT_NE(scrape.find("spatial_router_requests_total_reverse_knn"),
-            std::string::npos);
-  EXPECT_NE(scrape.find("spatial_router_requests_total_nn_skyline"),
-            std::string::npos);
-  EXPECT_NE(scrape.find("spatial_router_requests_total_approx_knn"),
-            std::string::npos);
+  EXPECT_NE(
+      scrape.find("spatial_router_requests_total{kind=\"reverse-knn\"} 1"),
+      std::string::npos);
+  EXPECT_NE(
+      scrape.find("spatial_router_requests_total{kind=\"nn-skyline\"} 1"),
+      std::string::npos);
+  EXPECT_NE(
+      scrape.find("spatial_router_requests_total{kind=\"approx-knn\"} 1"),
+      std::string::npos);
   EXPECT_NE(scrape.find("spatial_router_rknn_candidates_total"),
             std::string::npos);
   EXPECT_NE(scrape.find("spatial_router_rknn_verify_rounds_total"),

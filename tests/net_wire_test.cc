@@ -103,10 +103,45 @@ TEST(WireTest, RejectsBadCandidatesFlag) {
   QueryRequest<2> in = QueryRequest<2>::Knn({{0.5, 0.5}}, 1);
   std::string buf;
   EncodeRequest<2>(in, &buf);
-  // Layout: the candidates-only flag byte sits immediately before the
-  // 4-byte batch count that ends every request frame.
+  // Layout: the candidates-only flag byte sits ahead of the v3 trace
+  // context (trace id 8, parent span 8, sampled flag 1, deadline 8) and
+  // the 4-byte batch count that ends every request frame.
   std::string bad = buf;
-  bad[bad.size() - 5] = 2;
+  bad[bad.size() - 30] = 2;
+  EXPECT_TRUE(DecodeRequest<2>(reinterpret_cast<const uint8_t*>(bad.data()),
+                               bad.size())
+                  .status()
+                  .IsCorruption());
+}
+
+TEST(WireTest, TraceContextAndDeadlineRoundTrip) {
+  QueryRequest<2> in = QueryRequest<2>::Knn({{0.5, 0.5}}, 7);
+  in.trace_id = 0xDEADBEEFCAFEF00DULL;
+  in.parent_span_id = 0x0123456789ABCDEFULL;
+  in.trace_sampled = true;
+  in.deadline_budget_ns = 2'000'000;
+  QueryRequest<2> out = RoundTripRequest(in);
+  EXPECT_EQ(out.trace_id, in.trace_id);
+  EXPECT_EQ(out.parent_span_id, in.parent_span_id);
+  EXPECT_TRUE(out.trace_sampled);
+  EXPECT_EQ(out.deadline_budget_ns, 2'000'000u);
+
+  // The v2 defaults (no trace, no deadline) survive as exact zeros.
+  QueryRequest<2> plain = RoundTripRequest(QueryRequest<2>::Knn({{0, 0}}, 1));
+  EXPECT_EQ(plain.trace_id, 0u);
+  EXPECT_EQ(plain.parent_span_id, 0u);
+  EXPECT_FALSE(plain.trace_sampled);
+  EXPECT_EQ(plain.deadline_budget_ns, 0u);
+}
+
+TEST(WireTest, RejectsBadTraceSampledFlag) {
+  QueryRequest<2> in = QueryRequest<2>::Knn({{0.5, 0.5}}, 1);
+  std::string buf;
+  EncodeRequest<2>(in, &buf);
+  // The sampled flag byte sits ahead of the 8-byte deadline and the
+  // 4-byte batch count.
+  std::string bad = buf;
+  bad[bad.size() - 13] = 2;
   EXPECT_TRUE(DecodeRequest<2>(reinterpret_cast<const uint8_t*>(bad.data()),
                                bad.size())
                   .status()
@@ -146,6 +181,169 @@ TEST(WireTest, ResponseRoundTrip) {
   EXPECT_EQ(out->worker_id, 3u);
   EXPECT_EQ(out->lsn, 17u);
   EXPECT_EQ(out->affected, 1u);
+}
+
+TEST(WireTest, ResponseWithTraceRecordRoundTrip) {
+  QueryResponse<2> in;
+  in.neighbors = {{42, 0.125}};
+  in.stats.nodes_visited = 11;
+  in.latency_ns = 5555;
+  in.has_trace = true;
+  in.trace.worker = 3;
+  in.trace.k = 7;
+  in.trace.SetKindName("knn");
+  in.trace.latency_ns = 5555;
+  in.trace.queue_wait_ns = 1234;
+  in.trace.traced = true;
+  in.trace.stats.nodes_visited = 11;
+  in.trace.stats.heap_pops = 4;
+  in.trace.nodes_per_level[0] = 9;
+  in.trace.nodes_per_level[2] = 1;
+
+  std::string buf;
+  EncodeResponse<2>(in, &buf);
+  auto out = DecodeResponse<2>(reinterpret_cast<const uint8_t*>(buf.data()),
+                               buf.size());
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_TRUE(out->has_trace);
+  EXPECT_EQ(out->trace.worker, 3u);
+  EXPECT_EQ(out->trace.k, 7u);
+  EXPECT_STREQ(out->trace.kind_name, "knn");
+  EXPECT_EQ(out->trace.latency_ns, 5555u);
+  EXPECT_EQ(out->trace.queue_wait_ns, 1234u);
+  EXPECT_TRUE(out->trace.traced);
+  EXPECT_EQ(out->trace.stats.nodes_visited, 11u);
+  EXPECT_EQ(out->trace.stats.heap_pops, 4u);
+  EXPECT_EQ(out->trace.nodes_per_level[0], 9u);
+  EXPECT_EQ(out->trace.nodes_per_level[2], 1u);
+
+  // A traceless response decodes with has_trace off and an untouched
+  // (default) record.
+  QueryResponse<2> plain;
+  std::string plain_buf;
+  EncodeResponse<2>(plain, &plain_buf);
+  auto plain_out = DecodeResponse<2>(
+      reinterpret_cast<const uint8_t*>(plain_buf.data()), plain_buf.size());
+  ASSERT_TRUE(plain_out.ok());
+  EXPECT_FALSE(plain_out->has_trace);
+}
+
+TEST(WireTest, RejectsTruncatedTraceResponse) {
+  // With has_trace set, the truncation sweep covers every byte of the
+  // embedded record — the new v3 truncation points.
+  QueryResponse<2> in;
+  in.has_trace = true;
+  in.trace.traced = true;
+  in.trace.SetKindName("top-k");
+  std::string buf;
+  EncodeResponse<2>(in, &buf);
+  for (size_t cut = 0; cut < buf.size(); ++cut) {
+    auto out = DecodeResponse<2>(reinterpret_cast<const uint8_t*>(buf.data()),
+                                 cut);
+    EXPECT_FALSE(out.ok()) << "accepted a response truncated to " << cut;
+  }
+  buf.push_back('\0');
+  auto padded = DecodeResponse<2>(reinterpret_cast<const uint8_t*>(buf.data()),
+                                  buf.size());
+  EXPECT_TRUE(padded.status().IsCorruption());
+}
+
+TEST(WireTest, RejectsBadTraceFlags) {
+  // A traceless response ends with its has_trace byte; anything but 0/1
+  // there is corruption, not a bool.
+  QueryResponse<2> plain;
+  std::string buf;
+  EncodeResponse<2>(plain, &buf);
+  buf.back() = 2;
+  EXPECT_TRUE(DecodeResponse<2>(reinterpret_cast<const uint8_t*>(buf.data()),
+                                buf.size())
+                  .status()
+                  .IsCorruption());
+
+  // Inside the embedded record, the traced flag sits ahead of the stats
+  // block (12 u64) and the 12-slot level array that end the frame.
+  QueryResponse<2> traced;
+  traced.has_trace = true;
+  std::string tbuf;
+  EncodeResponse<2>(traced, &tbuf);
+  tbuf[tbuf.size() - 145] = 2;
+  EXPECT_TRUE(DecodeResponse<2>(reinterpret_cast<const uint8_t*>(tbuf.data()),
+                                tbuf.size())
+                  .status()
+                  .IsCorruption());
+}
+
+TEST(WireTest, AdminRequestRoundTrip) {
+  for (const AdminKind kind :
+       {AdminKind::kScrapeMetrics, AdminKind::kDumpSlowLog}) {
+    std::string buf;
+    EncodeAdminRequest(kind, &buf);
+    ASSERT_FALSE(buf.empty());
+    EXPECT_TRUE(IsAdminRequest(reinterpret_cast<const uint8_t*>(buf.data()),
+                               buf.size()));
+    auto out = DecodeAdminRequest(reinterpret_cast<const uint8_t*>(buf.data()),
+                                  buf.size());
+    ASSERT_TRUE(out.ok()) << out.status().ToString();
+    EXPECT_EQ(*out, kind);
+  }
+
+  // Query kinds never look like admin frames: their tag bytes are small
+  // enum values, far below the reserved 0xF0 range.
+  QueryRequest<2> query = QueryRequest<2>::Knn({{0.5, 0.5}}, 1);
+  std::string qbuf;
+  EncodeRequest<2>(query, &qbuf);
+  EXPECT_FALSE(IsAdminRequest(reinterpret_cast<const uint8_t*>(qbuf.data()),
+                              qbuf.size()));
+  EXPECT_FALSE(IsAdminRequest(nullptr, 0));
+}
+
+TEST(WireTest, AdminResponseRoundTrip) {
+  const std::string text = "spatial_router_requests_total{kind=\"knn\"} 3\n";
+  std::string buf;
+  EncodeAdminResponse(Status::OK(), text, &buf);
+  auto out = DecodeAdminResponse(reinterpret_cast<const uint8_t*>(buf.data()),
+                                 buf.size());
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(*out, text);
+
+  // An application-level error travels inside the frame and surfaces as
+  // the Result's error.
+  std::string err_buf;
+  EncodeAdminResponse(Status::Overloaded("busy"), "", &err_buf);
+  auto err = DecodeAdminResponse(
+      reinterpret_cast<const uint8_t*>(err_buf.data()), err_buf.size());
+  EXPECT_TRUE(err.status().IsOverloaded());
+  EXPECT_EQ(err.status().message(), "busy");
+}
+
+TEST(WireTest, RejectsMalformedAdminFrames) {
+  // Unknown admin tag.
+  const uint8_t bad_tag[1] = {0xFE};
+  EXPECT_TRUE(DecodeAdminRequest(bad_tag, 1).status().IsCorruption());
+  // Trailing bytes after the tag.
+  std::string req;
+  EncodeAdminRequest(AdminKind::kScrapeMetrics, &req);
+  req.push_back('\0');
+  EXPECT_TRUE(DecodeAdminRequest(reinterpret_cast<const uint8_t*>(req.data()),
+                                 req.size())
+                  .status()
+                  .IsCorruption());
+  // Truncated admin responses: every cut of a valid frame is rejected.
+  std::string buf;
+  EncodeAdminResponse(Status::OK(), "payload", &buf);
+  for (size_t cut = 0; cut < buf.size(); ++cut) {
+    auto out =
+        DecodeAdminResponse(reinterpret_cast<const uint8_t*>(buf.data()), cut);
+    EXPECT_FALSE(out.ok()) << "accepted an admin response truncated to "
+                           << cut;
+  }
+  // A text length promising more bytes than the frame holds.
+  std::string lying = buf;
+  lying.resize(lying.size() - 3);
+  EXPECT_FALSE(
+      DecodeAdminResponse(reinterpret_cast<const uint8_t*>(lying.data()),
+                          lying.size())
+          .ok());
 }
 
 TEST(WireTest, ErrorStatusRoundTrip) {

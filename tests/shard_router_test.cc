@@ -250,13 +250,14 @@ TEST(ShardRouterTest, MetricsExposePerShardFamilies) {
   }
   router.Execute(QueryRequest<2>::TopK({{0.5, 0.5}}, 2));
   const std::string scrape = router.ScrapeMetrics();
-  EXPECT_NE(scrape.find("spatial_router_requests_total_knn"),
+  // One labeled family, not per-kind metric names: hyphenated kind names
+  // survive intact as label values (legal there, unlike in metric names).
+  EXPECT_NE(scrape.find("spatial_router_requests_total{kind=\"knn\"} 5"),
             std::string::npos);
-  // Hyphenated kind names are folded to '_' (Prometheus metric names
-  // cannot contain '-').
-  EXPECT_NE(scrape.find("spatial_router_requests_total_top_k"),
+  EXPECT_NE(scrape.find("spatial_router_requests_total{kind=\"top-k\"} 1"),
             std::string::npos);
-  EXPECT_EQ(scrape.find("top-k"), std::string::npos);
+  EXPECT_EQ(scrape.find("spatial_router_requests_total_knn"),
+            std::string::npos);
   EXPECT_NE(scrape.find("spatial_router_merge_ns"), std::string::npos);
   EXPECT_NE(scrape.find("spatial_shard_queries_total{shard=\"0\""),
             std::string::npos);

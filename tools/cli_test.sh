@@ -86,8 +86,10 @@ grep -q "40 resident / 0 paged" "$WORK/resident.log"
 # request budget, poll its log for the bound port, drive it with
 # shard-bench (single thread so the request budget drains serially and the
 # final reply flushes before the server stops), and wait for a clean exit.
+# Router tracing samples everything so the remote slow-log dump below has
+# assembled distributed traces to show.
 "$CLI" shard-serve "$WORK/pts.csv" 3 0 2 --max-requests=60 \
-  --backend=resident > "$WORK/serve.log" 2>&1 &
+  --trace-sample=1000000 --backend=resident > "$WORK/serve.log" 2>&1 &
 SERVE_PID=$!
 PORT=""
 for _ in $(seq 1 100); do
@@ -97,9 +99,28 @@ for _ in $(seq 1 100); do
   sleep 0.1
 done
 test -n "$PORT"
-"$CLI" shard-bench 127.0.0.1 "$PORT" 60 5 1 | tee "$WORK/bench.log" \
-  | grep -q "ok=60 shed=0 failed=0"
+
+# remote admin plane: scrape the live deployment before driving load (admin
+# frames must not consume the 60-request budget) — the exposition document
+# carries the labeled router family and the per-shard families
+"$CLI" metrics --connect "127.0.0.1:$PORT" > "$WORK/remote_metrics.log"
+grep -q 'spatial_router_requests_total{kind="knn"}' "$WORK/remote_metrics.log"
+grep -q 'spatial_shard_queries_total{shard="0"' "$WORK/remote_metrics.log"
+grep -q 'spatial_rpc_deadline_shed_total' "$WORK/remote_metrics.log"
+
+"$CLI" shard-bench 127.0.0.1 "$PORT" 59 5 1 | tee "$WORK/bench.log" \
+  | grep -q "ok=59 shed=0 failed=0"
 grep -q "throughput" "$WORK/bench.log"
+
+# remote slow-log dump: every query was trace-sampled, so the router's
+# distributed-trace log must hold assembled traces with per-shard spans
+"$CLI" metrics --connect "127.0.0.1:$PORT" --slow-log \
+  > "$WORK/remote_slowlog.log"
+grep -q '"trace_id"' "$WORK/remote_slowlog.log"
+grep -q '"shards":\[' "$WORK/remote_slowlog.log"
+
+# drain the final budgeted request so the server exits cleanly
+"$CLI" shard-bench 127.0.0.1 "$PORT" 1 5 1 | grep -q "ok=1 shed=0 failed=0"
 wait "$SERVE_PID"
 grep -q "resident backend" "$WORK/serve.log"
 grep -q "served 60 requests (0 shed)" "$WORK/serve.log"

@@ -19,8 +19,10 @@
 //                           [--metrics-dump] [--trace-sample=<per_million>]
 //                           [--backend=paged|resident]
 //   spatial_cli metrics <db.sdb> [queries] [k] [page_size] [--slow-log]
+//   spatial_cli metrics --connect <host:port> [--slow-log]
 //   spatial_cli shard-serve <points.csv> <shards> [port] [workers]
 //                           [--max-requests=N] [--max-pending=N]
+//                           [--trace-sample=<per_million>]
 //                           [--backend=paged|resident]
 //   spatial_cli shard-bench <host> <port> <queries> [k] [threads]
 //
@@ -43,6 +45,9 @@
 // (and the slow-query log as JSON) after the run; `metrics` drives a short
 // query burst with 100% trace sampling and prints the exposition — or,
 // with --slow-log, the captured per-query traces (docs/OBSERVABILITY.md).
+// With --connect host:port, `metrics` instead scrapes a live shard-serve
+// deployment over the wire's admin frames: the full exposition document,
+// or with --slow-log the router's assembled distributed traces as JSON.
 //
 // Exit status 0 on success; errors print a Status string to stderr.
 
@@ -108,8 +113,10 @@ int Usage() {
       "[--trace-sample=<per_million>] [--backend=paged|resident]\n"
       "  spatial_cli metrics <db.sdb> [queries] [k] [page_size] "
       "[--slow-log]\n"
+      "  spatial_cli metrics --connect <host:port> [--slow-log]\n"
       "  spatial_cli shard-serve <points.csv> <shards> [port] [workers] "
-      "[--max-requests=N] [--max-pending=N] [--backend=paged|resident]\n"
+      "[--max-requests=N] [--max-pending=N] "
+      "[--trace-sample=<per_million>] [--backend=paged|resident]\n"
       "  spatial_cli shard-bench <host> <port> <queries> [k] [threads]\n");
   return 2;
 }
@@ -527,16 +534,44 @@ int CmdServeBench(int argc, char** argv) {
 // way to see every metric family a served database exports.
 int CmdMetrics(int argc, char** argv) {
   bool slow_log = false;
+  const char* connect = nullptr;
   std::vector<char*> positional;
   for (int i = 0; i < argc; ++i) {
     if (std::strcmp(argv[i], "--slow-log") == 0) {
       slow_log = true;
+    } else if (std::strcmp(argv[i], "--connect") == 0 && i + 1 < argc) {
+      connect = argv[++i];
+    } else if (std::strncmp(argv[i], "--connect=", 10) == 0) {
+      connect = argv[i] + 10;
     } else {
       positional.push_back(argv[i]);
     }
   }
   argc = static_cast<int>(positional.size());
   argv = positional.data();
+
+  // Remote mode: scrape a live shard-serve deployment over the wire's
+  // admin frames (no local database involved).
+  if (connect != nullptr) {
+    const std::string hostport = connect;
+    const size_t colon = hostport.rfind(':');
+    if (colon == std::string::npos || colon + 1 >= hostport.size()) {
+      std::fprintf(stderr, "metrics: --connect expects host:port\n");
+      return Usage();
+    }
+    const std::string host = hostport.substr(0, colon);
+    const uint16_t port =
+        static_cast<uint16_t>(std::atoi(hostport.c_str() + colon + 1));
+    auto client = RpcClient<2>::Connect(host, port);
+    if (!client.ok()) return Fail(client.status(), "connect");
+    auto text = (*client)->Admin(slow_log ? AdminKind::kDumpSlowLog
+                                          : AdminKind::kScrapeMetrics);
+    if (!text.ok()) return Fail(text.status(), "admin");
+    std::printf("%s", text->c_str());
+    if (text->empty() || text->back() != '\n') std::printf("\n");
+    return 0;
+  }
+
   if (argc < 1) return Usage();
   const std::string path = argv[0];
   const size_t num_queries =
@@ -582,6 +617,7 @@ int CmdMetrics(int argc, char** argv) {
 int CmdShardServe(int argc, char** argv) {
   uint64_t max_requests = 0;
   uint32_t max_pending = 128;
+  uint32_t trace_sample = 0;
   bool resident = true;
   std::vector<char*> positional;
   for (int i = 0; i < argc; ++i) {
@@ -589,6 +625,8 @@ int CmdShardServe(int argc, char** argv) {
       max_requests = std::strtoull(argv[i] + 15, nullptr, 10);
     } else if (std::strncmp(argv[i], "--max-pending=", 14) == 0) {
       max_pending = static_cast<uint32_t>(std::atoi(argv[i] + 14));
+    } else if (std::strncmp(argv[i], "--trace-sample=", 15) == 0) {
+      trace_sample = static_cast<uint32_t>(std::atoi(argv[i] + 15));
     } else if (std::strcmp(argv[i], "--backend=paged") == 0) {
       resident = false;
     } else if (std::strcmp(argv[i], "--backend=resident") == 0) {
@@ -616,7 +654,9 @@ int CmdShardServe(int argc, char** argv) {
   set_options.service.resident_tier = resident;
   auto set = ShardSet<2>::Build(MakePointEntries(*points), set_options);
   if (!set.ok()) return Fail(set.status(), "build shards");
-  ShardRouter<2> router(set->get());
+  ShardRouter<2>::Options router_options;
+  router_options.trace_sample_per_million = trace_sample;
+  ShardRouter<2> router(set->get(), router_options);
 
   typename RpcServer<2>::Options server_options;
   server_options.port = port;

@@ -7,8 +7,10 @@
 # the sharded scatter-gather stress test (concurrent router calls with
 # shared prune-bound streaming + live metrics scraping), the advanced
 # query kinds' cross-shard merge paths (reverse-kNN verification rounds,
-# skyline re-merge, approx contract merge), and the resident tier's
-# publish/invalidate/recompile-under-write-load race coverage.
+# skyline re-merge, approx contract merge), the resident tier's
+# publish/invalidate/recompile-under-write-load race coverage, and the
+# distributed-trace test (sampled scatter-gather over RPC with concurrent
+# remote admin scrapes against the live trace log).
 #
 # Usage: tools/tsan_check.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
@@ -21,12 +23,12 @@ cmake -B "$BUILD_DIR" -S . -DSPATIAL_SANITIZE=thread \
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
   --target query_service_test service_stress_test serving_stress_test \
   io_stats_test obs_metrics_test metrics_scrape_test shard_stress_test \
-  resident_tree_test advanced_shard_test
+  resident_tree_test advanced_shard_test distributed_trace_test
 
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
 for t in io_stats_test obs_metrics_test query_service_test \
          service_stress_test shard_stress_test resident_tree_test \
-         advanced_shard_test; do
+         advanced_shard_test distributed_trace_test; do
   echo "=== TSan: $t ==="
   "$BUILD_DIR/tests/$t"
 done
